@@ -1,0 +1,143 @@
+//! Shared interfaces for the baseline mechanisms.
+
+use identxx_netsim::workload::Flow;
+use identxx_proto::FiveTuple;
+
+/// The minimal decision interface every mechanism under comparison offers:
+/// given what the mechanism can *see* about a flow, would it let it through?
+///
+/// The baselines see only network-level information (the 5-tuple, plus — for
+/// Ethane — the host/user binding of the source address). The ident++
+/// controller additionally sees what the end-hosts report. The expressiveness
+/// experiment feeds all of them flows with known ground truth and scores the
+/// decisions against the administrator's intent.
+pub trait FlowClassifier {
+    /// Whether the mechanism admits the flow.
+    fn allow(&mut self, flow: &FiveTuple) -> bool;
+
+    /// Mechanism name for reporting.
+    fn name(&self) -> &str;
+}
+
+/// A workload flow together with the administrator's intent, as the
+/// expressiveness experiment consumes it.
+#[derive(Debug, Clone)]
+pub struct GroundTruthFlow {
+    /// The flow.
+    pub flow: FiveTuple,
+    /// The application that really generated it.
+    pub app: String,
+    /// The user that really initiated it.
+    pub user: String,
+    /// Whether the administrator intends this flow to be allowed.
+    pub intended_allowed: bool,
+}
+
+impl From<&Flow> for GroundTruthFlow {
+    fn from(f: &Flow) -> Self {
+        GroundTruthFlow {
+            flow: f.five_tuple,
+            app: f.app.name.clone(),
+            user: f.user.clone(),
+            intended_allowed: f.app.intended_allowed,
+        }
+    }
+}
+
+/// Confusion-matrix style score of a mechanism against intent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntentScore {
+    /// Flows correctly allowed.
+    pub true_allow: u64,
+    /// Flows correctly blocked.
+    pub true_block: u64,
+    /// Flows allowed that should have been blocked (security failures).
+    pub false_allow: u64,
+    /// Flows blocked that should have been allowed (collateral damage).
+    pub false_block: u64,
+}
+
+impl IntentScore {
+    /// Records one decision.
+    pub fn record(&mut self, intended_allowed: bool, decided_allow: bool) {
+        match (intended_allowed, decided_allow) {
+            (true, true) => self.true_allow += 1,
+            (false, false) => self.true_block += 1,
+            (false, true) => self.false_allow += 1,
+            (true, false) => self.false_block += 1,
+        }
+    }
+
+    /// Total flows scored.
+    pub fn total(&self) -> u64 {
+        self.true_allow + self.true_block + self.false_allow + self.false_block
+    }
+
+    /// Fraction of decisions that matched intent.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_allow + self.true_block) as f64 / self.total() as f64
+    }
+
+    /// Fraction of should-block flows that leaked through.
+    pub fn false_allow_rate(&self) -> f64 {
+        let should_block = self.true_block + self.false_allow;
+        if should_block == 0 {
+            0.0
+        } else {
+            self.false_allow as f64 / should_block as f64
+        }
+    }
+
+    /// Fraction of should-allow flows that were wrongly blocked.
+    pub fn false_block_rate(&self) -> f64 {
+        let should_allow = self.true_allow + self.false_block;
+        if should_allow == 0 {
+            0.0
+        } else {
+            self.false_block as f64 / should_allow as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_bookkeeping() {
+        let mut s = IntentScore::default();
+        s.record(true, true);
+        s.record(true, false);
+        s.record(false, false);
+        s.record(false, true);
+        assert_eq!(s.total(), 4);
+        assert!((s.accuracy() - 0.5).abs() < 1e-9);
+        assert!((s.false_allow_rate() - 0.5).abs() < 1e-9);
+        assert!((s.false_block_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_score_is_safe() {
+        let s = IntentScore::default();
+        assert_eq!(s.accuracy(), 0.0);
+        assert_eq!(s.false_allow_rate(), 0.0);
+        assert_eq!(s.false_block_rate(), 0.0);
+    }
+
+    #[test]
+    fn ground_truth_from_workload_flow() {
+        use identxx_netsim::workload::{WorkloadConfig, WorkloadGenerator};
+        let hosts = vec![
+            identxx_proto::Ipv4Addr::new(10, 0, 0, 1),
+            identxx_proto::Ipv4Addr::new(10, 0, 0, 2),
+        ];
+        let flows = WorkloadGenerator::new(WorkloadConfig::enterprise(hosts, 10, 1)).generate();
+        let gt: Vec<GroundTruthFlow> = flows.iter().map(GroundTruthFlow::from).collect();
+        assert_eq!(gt.len(), 10);
+        assert_eq!(gt[0].flow, flows[0].five_tuple);
+        assert_eq!(gt[0].app, flows[0].app.name);
+    }
+}

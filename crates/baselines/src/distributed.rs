@@ -1,0 +1,144 @@
+//! A distributed firewall (Ioannidis et al., CCS 2000).
+//!
+//! "Distributed firewalls centralize the policy, and distribute enforcement to
+//! firewalls implemented on the end-host. … Unfortunately … if enforcement is
+//! done only at the receiving end-host in this way, the end-host can become
+//! vulnerable to denial of service attacks. Second, a compromised end-host
+//! effectively has no protection. The central administrator's policies are
+//! completely bypassed" (§6).
+//!
+//! The model enforces, at the *receiving* host, an application-aware policy
+//! (the receiving host does know which local application would accept the
+//! flow) — but a compromised receiver simply stops enforcing, which is exactly
+//! the property the blast-radius experiment measures.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use identxx_proto::{FiveTuple, Ipv4Addr};
+
+use crate::common::FlowClassifier;
+
+/// Per-host policy: which destination ports the host accepts, and whether the
+/// host's enforcement is still intact.
+#[derive(Debug, Clone, Default)]
+struct HostPolicy {
+    /// Ports this host is willing to accept connections on.
+    accepted_ports: BTreeSet<u16>,
+    /// Whether the host has been compromised (enforcement disabled).
+    compromised: bool,
+}
+
+/// The distributed firewall: the central policy is "host H accepts ports P",
+/// pushed to each host, enforced at each host.
+#[derive(Debug, Clone, Default)]
+pub struct DistributedFirewall {
+    hosts: BTreeMap<Ipv4Addr, HostPolicy>,
+    /// What an unknown (unmanaged) host does with inbound flows.
+    unmanaged_allow: bool,
+}
+
+impl DistributedFirewall {
+    /// Creates a distributed firewall with no managed hosts.
+    pub fn new() -> Self {
+        DistributedFirewall::default()
+    }
+
+    /// Declares a managed host and the ports it accepts (the centrally
+    /// administered policy pushed to that host).
+    pub fn manage_host(&mut self, addr: Ipv4Addr, accepted_ports: &[u16]) {
+        let policy = self.hosts.entry(addr).or_default();
+        policy.accepted_ports = accepted_ports.iter().copied().collect();
+    }
+
+    /// Compromises (or restores) a host. A compromised host stops enforcing
+    /// its policy entirely.
+    pub fn set_compromised(&mut self, addr: Ipv4Addr, compromised: bool) {
+        self.hosts.entry(addr).or_default().compromised = compromised;
+    }
+
+    /// Whether a host is managed.
+    pub fn is_managed(&self, addr: Ipv4Addr) -> bool {
+        self.hosts.contains_key(&addr)
+    }
+
+    /// Sets what happens to flows destined to unmanaged hosts.
+    pub fn set_unmanaged_allow(&mut self, allow: bool) {
+        self.unmanaged_allow = allow;
+    }
+
+    /// Number of managed hosts.
+    pub fn managed_count(&self) -> usize {
+        self.hosts.len()
+    }
+}
+
+impl FlowClassifier for DistributedFirewall {
+    fn allow(&mut self, flow: &FiveTuple) -> bool {
+        match self.hosts.get(&flow.dst_ip) {
+            Some(policy) => {
+                if policy.compromised {
+                    // No protection at all once the enforcing host falls.
+                    true
+                } else {
+                    policy.accepted_ports.contains(&flow.dst_port)
+                }
+            }
+            None => self.unmanaged_allow,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "distributed-firewall"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fw() -> DistributedFirewall {
+        let mut fw = DistributedFirewall::new();
+        fw.manage_host(Ipv4Addr::new(10, 0, 0, 1), &[80, 443]);
+        fw.manage_host(Ipv4Addr::new(10, 0, 0, 2), &[22]);
+        fw
+    }
+
+    #[test]
+    fn enforcement_happens_at_the_receiver() {
+        let mut fw = fw();
+        let web = FiveTuple::tcp([10, 0, 0, 9], 1, [10, 0, 0, 1], 80);
+        let smb = FiveTuple::tcp([10, 0, 0, 9], 1, [10, 0, 0, 1], 445);
+        let ssh_to_2 = FiveTuple::tcp([10, 0, 0, 9], 1, [10, 0, 0, 2], 22);
+        assert!(fw.allow(&web));
+        assert!(!fw.allow(&smb));
+        assert!(fw.allow(&ssh_to_2));
+        assert_eq!(fw.name(), "distributed-firewall");
+        assert_eq!(fw.managed_count(), 2);
+        assert!(fw.is_managed(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn compromised_receiver_loses_all_protection() {
+        let mut fw = fw();
+        let smb = FiveTuple::tcp([10, 0, 0, 9], 1, [10, 0, 0, 1], 445);
+        assert!(!fw.allow(&smb));
+        fw.set_compromised(Ipv4Addr::new(10, 0, 0, 1), true);
+        assert!(fw.allow(&smb));
+        // Other hosts keep enforcing.
+        let smb_to_2 = FiveTuple::tcp([10, 0, 0, 9], 1, [10, 0, 0, 2], 445);
+        assert!(!fw.allow(&smb_to_2));
+        // Restoration re-enables enforcement.
+        fw.set_compromised(Ipv4Addr::new(10, 0, 0, 1), false);
+        assert!(!fw.allow(&smb));
+    }
+
+    #[test]
+    fn unmanaged_hosts_follow_configured_default() {
+        let mut fw = fw();
+        let to_unmanaged = FiveTuple::tcp([10, 0, 0, 9], 1, [192, 168, 7, 7], 9999);
+        assert!(!fw.allow(&to_unmanaged));
+        fw.set_unmanaged_allow(true);
+        assert!(fw.allow(&to_unmanaged));
+        assert!(!fw.is_managed(Ipv4Addr::new(192, 168, 7, 7)));
+    }
+}

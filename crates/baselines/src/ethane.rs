@@ -1,0 +1,205 @@
+//! An Ethane-style controller.
+//!
+//! Ethane (Casado et al., SIGCOMM 2007) centralizes policy and binds hosts and
+//! users to switch ports at join time, so policies can be written over named
+//! hosts, users and groups — but "it forces the administrator to make security
+//! decisions based on the source and destination's physical switch ports and
+//! network primitives, and not on any application-level information" (§6).
+//!
+//! The model here keeps that essential property: the controller knows, per
+//! address, which *host* and *user group* is bound there (registration), and
+//! its policy rules range over those bindings and destination ports — but it
+//! has no idea which application generated a flow.
+
+use std::collections::BTreeMap;
+
+use identxx_proto::{FiveTuple, Ipv4Addr};
+
+use crate::common::FlowClassifier;
+
+/// A host/user binding registered with the Ethane controller when the host
+/// joins the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// The host name.
+    pub host: String,
+    /// The group the bound user belongs to (Ethane policies are typically
+    /// written over groups).
+    pub group: String,
+}
+
+/// One Ethane policy rule: `(src group, dst group, dst port) -> allow/deny`.
+/// `None` components are wildcards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthanePolicy {
+    /// Source group constraint.
+    pub src_group: Option<String>,
+    /// Destination group constraint.
+    pub dst_group: Option<String>,
+    /// Destination port constraint.
+    pub dst_port: Option<u16>,
+    /// Allow or deny.
+    pub allow: bool,
+}
+
+/// The Ethane-style controller.
+#[derive(Debug, Clone, Default)]
+pub struct EthaneController {
+    bindings: BTreeMap<Ipv4Addr, Binding>,
+    rules: Vec<EthanePolicy>,
+    default_allow: bool,
+}
+
+impl EthaneController {
+    /// Creates a default-deny controller with no bindings.
+    pub fn new() -> Self {
+        EthaneController::default()
+    }
+
+    /// Registers a host binding (host join).
+    pub fn bind(&mut self, addr: Ipv4Addr, host: impl Into<String>, group: impl Into<String>) {
+        self.bindings.insert(
+            addr,
+            Binding {
+                host: host.into(),
+                group: group.into(),
+            },
+        );
+    }
+
+    /// Removes a binding (host leave).
+    pub fn unbind(&mut self, addr: Ipv4Addr) -> Option<Binding> {
+        self.bindings.remove(&addr)
+    }
+
+    /// The binding for an address.
+    pub fn binding(&self, addr: Ipv4Addr) -> Option<&Binding> {
+        self.bindings.get(&addr)
+    }
+
+    /// Appends a policy rule (first match wins).
+    pub fn add_rule(&mut self, rule: EthanePolicy) {
+        self.rules.push(rule);
+    }
+
+    /// Sets the default decision.
+    pub fn set_default_allow(&mut self, allow: bool) {
+        self.default_allow = allow;
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn group_of(&self, addr: Ipv4Addr) -> Option<&str> {
+        self.bindings.get(&addr).map(|b| b.group.as_str())
+    }
+
+    fn decide(&self, flow: &FiveTuple) -> bool {
+        let src_group = self.group_of(flow.src_ip);
+        let dst_group = self.group_of(flow.dst_ip);
+        // Unregistered hosts are outside Ethane's control: default-deny
+        // networks reject their flows outright.
+        if src_group.is_none() || dst_group.is_none() {
+            return self.default_allow;
+        }
+        for rule in &self.rules {
+            let src_ok = rule
+                .src_group
+                .as_deref()
+                .map(|g| Some(g) == src_group)
+                .unwrap_or(true);
+            let dst_ok = rule
+                .dst_group
+                .as_deref()
+                .map(|g| Some(g) == dst_group)
+                .unwrap_or(true);
+            let port_ok = rule.dst_port.map(|p| p == flow.dst_port).unwrap_or(true);
+            if src_ok && dst_ok && port_ok {
+                return rule.allow;
+            }
+        }
+        self.default_allow
+    }
+}
+
+impl FlowClassifier for EthaneController {
+    fn allow(&mut self, flow: &FiveTuple) -> bool {
+        self.decide(flow)
+    }
+
+    fn name(&self) -> &str {
+        "ethane"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> EthaneController {
+        let mut c = EthaneController::new();
+        c.bind(Ipv4Addr::new(10, 0, 0, 1), "server-1", "servers");
+        c.bind(Ipv4Addr::new(10, 0, 0, 9), "laptop-9", "employees");
+        c.bind(Ipv4Addr::new(10, 0, 0, 10), "laptop-10", "guests");
+        // Employees may reach servers on 80 and 445; guests only on 80.
+        c.add_rule(EthanePolicy {
+            src_group: Some("employees".into()),
+            dst_group: Some("servers".into()),
+            dst_port: None,
+            allow: true,
+        });
+        c.add_rule(EthanePolicy {
+            src_group: Some("guests".into()),
+            dst_group: Some("servers".into()),
+            dst_port: Some(80),
+            allow: true,
+        });
+        c
+    }
+
+    #[test]
+    fn group_based_rules_apply() {
+        let mut c = controller();
+        let employee_smb = FiveTuple::tcp([10, 0, 0, 9], 1, [10, 0, 0, 1], 445);
+        let guest_web = FiveTuple::tcp([10, 0, 0, 10], 1, [10, 0, 0, 1], 80);
+        let guest_smb = FiveTuple::tcp([10, 0, 0, 10], 1, [10, 0, 0, 1], 445);
+        assert!(c.allow(&employee_smb));
+        assert!(c.allow(&guest_web));
+        assert!(!c.allow(&guest_smb));
+        assert_eq!(c.name(), "ethane");
+        assert_eq!(c.rule_count(), 2);
+    }
+
+    #[test]
+    fn unregistered_hosts_are_denied_by_default() {
+        let mut c = controller();
+        let stranger = FiveTuple::tcp([192, 168, 5, 5], 1, [10, 0, 0, 1], 80);
+        assert!(!c.allow(&stranger));
+        c.set_default_allow(true);
+        assert!(c.allow(&stranger));
+    }
+
+    #[test]
+    fn cannot_distinguish_applications() {
+        // An employee running malware toward the server on port 80 is
+        // indistinguishable from their browser: Ethane sees only the binding
+        // and the port.
+        let mut c = controller();
+        let browser = FiveTuple::tcp([10, 0, 0, 9], 40000, [10, 0, 0, 1], 80);
+        let malware = FiveTuple::tcp([10, 0, 0, 9], 40001, [10, 0, 0, 1], 80);
+        assert_eq!(c.allow(&browser), c.allow(&malware));
+    }
+
+    #[test]
+    fn bindings_can_be_updated() {
+        let mut c = controller();
+        assert_eq!(c.binding(Ipv4Addr::new(10, 0, 0, 9)).unwrap().group, "employees");
+        assert!(c.unbind(Ipv4Addr::new(10, 0, 0, 9)).is_some());
+        assert!(c.binding(Ipv4Addr::new(10, 0, 0, 9)).is_none());
+        // After unbinding, the host is unregistered and denied.
+        let flow = FiveTuple::tcp([10, 0, 0, 9], 1, [10, 0, 0, 1], 80);
+        assert!(!c.allow(&flow));
+    }
+}

@@ -1,0 +1,31 @@
+//! # identxx-baselines — the comparison points
+//!
+//! The paper positions ident++ against three families of existing mechanisms
+//! (§5, §6):
+//!
+//! * **Vanilla firewalls** — stateful filters over network primitives
+//!   (addresses, ports). They cannot tell Skype from a browser when both use
+//!   destination port 80 (§1), which is the collateral-damage problem the
+//!   expressiveness experiment quantifies.
+//! * **Ethane** — centralized control with policies over *hosts and users*
+//!   bound at switch ports, "but forces the administrator to make security
+//!   decisions based on the source and destination's physical switch ports and
+//!   network primitives, and not on any application-level information" (§6).
+//! * **Distributed firewalls** — policy centralized but enforcement pushed to
+//!   the receiving end-host, which does have application information but
+//!   loses all protection when that host is compromised (§6).
+//!
+//! Each baseline implements [`FlowClassifier`], the minimal "would this flow
+//! be allowed?" interface the experiments exercise, and exposes the knobs the
+//! security-analysis experiment needs (host compromise for the distributed
+//! firewall, etc.).
+
+pub mod common;
+pub mod distributed;
+pub mod ethane;
+pub mod vanilla;
+
+pub use common::{FlowClassifier, GroundTruthFlow};
+pub use distributed::DistributedFirewall;
+pub use ethane::{EthaneController, EthanePolicy};
+pub use vanilla::{PortRule, VanillaFirewall};

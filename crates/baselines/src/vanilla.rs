@@ -1,0 +1,208 @@
+//! A vanilla stateful firewall: ordered rules over network primitives only.
+//!
+//! This is the mechanism the paper's introduction criticises: "the
+//! administrator may wish to deny Skype access to an important webserver but
+//! is unable to because Skype and Web traffic both use destination port 80.
+//! This information is usually only available at the end-hosts" (§1). The
+//! firewall here is deliberately competent — ordered rules, prefixes, port
+//! ranges, stateful return traffic — but it can only see the 5-tuple.
+
+use identxx_proto::{FiveTuple, Ipv4Addr};
+
+use crate::common::FlowClassifier;
+
+/// One firewall rule over network primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortRule {
+    /// Allow (true) or deny (false).
+    pub allow: bool,
+    /// Source prefix (`None` = any).
+    pub src: Option<(Ipv4Addr, u8)>,
+    /// Destination prefix (`None` = any).
+    pub dst: Option<(Ipv4Addr, u8)>,
+    /// Destination port range (`None` = any).
+    pub dst_ports: Option<(u16, u16)>,
+}
+
+impl PortRule {
+    /// An allow rule for a destination port.
+    pub fn allow_port(port: u16) -> PortRule {
+        PortRule {
+            allow: true,
+            src: None,
+            dst: None,
+            dst_ports: Some((port, port)),
+        }
+    }
+
+    /// A deny rule for a destination prefix and port.
+    pub fn deny_to(dst: Ipv4Addr, prefix_len: u8, port: Option<u16>) -> PortRule {
+        PortRule {
+            allow: false,
+            src: None,
+            dst: Some((dst, prefix_len)),
+            dst_ports: port.map(|p| (p, p)),
+        }
+    }
+
+    fn matches(&self, flow: &FiveTuple) -> bool {
+        if let Some((net, len)) = self.src {
+            if !flow.src_ip.in_prefix(net, len) {
+                return false;
+            }
+        }
+        if let Some((net, len)) = self.dst {
+            if !flow.dst_ip.in_prefix(net, len) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.dst_ports {
+            if flow.dst_port < lo || flow.dst_port > hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The stateful port-based firewall.
+#[derive(Debug, Clone, Default)]
+pub struct VanillaFirewall {
+    rules: Vec<PortRule>,
+    /// Default decision when no rule matches.
+    default_allow: bool,
+    /// Established flows (canonical 5-tuples) admitted statefully.
+    established: std::collections::HashSet<FiveTuple>,
+}
+
+impl VanillaFirewall {
+    /// Creates a default-deny firewall with no rules.
+    pub fn new() -> Self {
+        VanillaFirewall::default()
+    }
+
+    /// A typical enterprise configuration: allow outbound web (80/443), mail
+    /// (25), ssh (22), SMB only inside the LAN, deny the rest. `lan` is the
+    /// internal prefix.
+    pub fn enterprise_default(lan: Ipv4Addr, lan_prefix: u8) -> Self {
+        let mut fw = VanillaFirewall::new();
+        fw.add_rule(PortRule::allow_port(80));
+        fw.add_rule(PortRule::allow_port(443));
+        fw.add_rule(PortRule::allow_port(25));
+        fw.add_rule(PortRule::allow_port(22));
+        // SMB allowed only when both ends are in the LAN.
+        fw.add_rule(PortRule {
+            allow: true,
+            src: Some((lan, lan_prefix)),
+            dst: Some((lan, lan_prefix)),
+            dst_ports: Some((445, 445)),
+        });
+        fw
+    }
+
+    /// Appends a rule (first match wins).
+    pub fn add_rule(&mut self, rule: PortRule) {
+        self.rules.push(rule);
+    }
+
+    /// Sets the default decision.
+    pub fn set_default_allow(&mut self, allow: bool) {
+        self.default_allow = allow;
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn decide(&self, flow: &FiveTuple) -> bool {
+        if self.established.contains(&flow.canonical()) {
+            return true;
+        }
+        for rule in &self.rules {
+            if rule.matches(flow) {
+                return rule.allow;
+            }
+        }
+        self.default_allow
+    }
+}
+
+impl FlowClassifier for VanillaFirewall {
+    fn allow(&mut self, flow: &FiveTuple) -> bool {
+        let allowed = self.decide(flow);
+        if allowed {
+            self.established.insert(flow.canonical());
+        }
+        allowed
+    }
+
+    fn name(&self) -> &str {
+        "vanilla-firewall"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lan() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 0)
+    }
+
+    #[test]
+    fn first_match_wins_and_default_denies() {
+        let mut fw = VanillaFirewall::new();
+        fw.add_rule(PortRule::deny_to(Ipv4Addr::new(10, 0, 0, 1), 32, Some(80)));
+        fw.add_rule(PortRule::allow_port(80));
+        let to_server = FiveTuple::tcp([10, 0, 0, 9], 1, [10, 0, 0, 1], 80);
+        let to_other = FiveTuple::tcp([10, 0, 0, 9], 1, [10, 0, 0, 2], 80);
+        let ssh = FiveTuple::tcp([10, 0, 0, 9], 1, [10, 0, 0, 2], 22);
+        assert!(!fw.allow(&to_server));
+        assert!(fw.allow(&to_other));
+        assert!(!fw.allow(&ssh));
+        assert_eq!(fw.rule_count(), 2);
+        assert_eq!(fw.name(), "vanilla-firewall");
+    }
+
+    #[test]
+    fn stateful_return_traffic_is_admitted() {
+        let mut fw = VanillaFirewall::new();
+        fw.add_rule(PortRule::allow_port(80));
+        let outbound = FiveTuple::tcp([10, 0, 0, 9], 43000, [8, 8, 8, 8], 80);
+        assert!(fw.allow(&outbound));
+        // The reverse direction matches no allow rule (dst port 43000) but is
+        // admitted because of state.
+        assert!(fw.allow(&outbound.reversed()));
+        // An unrelated inbound flow to a high port is still blocked.
+        let unrelated = FiveTuple::tcp([8, 8, 8, 8], 80, [10, 0, 0, 9], 44000);
+        assert!(!fw.allow(&unrelated));
+    }
+
+    #[test]
+    fn cannot_distinguish_applications_on_the_same_port() {
+        // The central limitation: skype-to-webserver on port 80 looks exactly
+        // like a browser request.
+        let mut fw = VanillaFirewall::enterprise_default(lan(), 8);
+        let browser = FiveTuple::tcp([10, 0, 0, 9], 43000, [10, 0, 0, 1], 80);
+        let skype_same_tuple = FiveTuple::tcp([10, 0, 0, 9], 43001, [10, 0, 0, 1], 80);
+        assert!(fw.allow(&browser));
+        assert!(fw.allow(&skype_same_tuple)); // false allow, by construction
+    }
+
+    #[test]
+    fn enterprise_default_scopes_smb_to_lan() {
+        let mut fw = VanillaFirewall::enterprise_default(lan(), 8);
+        let internal_smb = FiveTuple::tcp([10, 0, 0, 9], 43000, [10, 0, 0, 1], 445);
+        let external_smb = FiveTuple::tcp([192, 168, 1, 9], 43000, [10, 0, 0, 1], 445);
+        assert!(fw.allow(&internal_smb));
+        assert!(!fw.allow(&external_smb));
+    }
+
+    #[test]
+    fn default_allow_mode() {
+        let mut fw = VanillaFirewall::new();
+        fw.set_default_allow(true);
+        assert!(fw.allow(&FiveTuple::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 9999)));
+    }
+}

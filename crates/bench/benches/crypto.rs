@@ -1,0 +1,70 @@
+//! Experiment E8c: the cost of authenticated delegation — hashing executables,
+//! signing requirement bundles, and verifying them inside `verify()`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use identxx_crypto::{sha256, sign_bundle, verify_bundle, KeyPair};
+use identxx_pf::{parse_ruleset, EvalContext};
+use identxx_proto::{FiveTuple, Response, Section};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 64 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(criterion::Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| sha256(&data));
+        });
+    }
+    group.finish();
+
+    let keypair = KeyPair::from_seed(b"research");
+    let bundle = [
+        "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08",
+        "research-app",
+        "block all\npass all with eq(@src[name], research-app) with eq(@dst[name], research-app)",
+    ];
+    let signature = sign_bundle(&keypair, &bundle);
+
+    let mut group = c.benchmark_group("delegation_signatures");
+    group.bench_function("sign_bundle", |b| b.iter(|| sign_bundle(&keypair, &bundle)));
+    group.bench_function("verify_bundle", |b| {
+        b.iter(|| verify_bundle(&signature, &keypair.public(), &bundle))
+    });
+    group.finish();
+
+    // The end-to-end cost of a policy decision that includes verify() +
+    // allowed(), compared to a plain eq() decision.
+    let flow = FiveTuple::tcp([10, 0, 0, 1], 45000, [10, 0, 0, 2], 7000);
+    let requirements = "block all\npass from any to any port 7000";
+    let sig = identxx_crypto::sign_bundle_hex(&keypair, &["cafebabe", "research-app", requirements]);
+    let mut dst = Response::new(flow);
+    let mut s = Section::new();
+    s.push("exe-hash", "cafebabe");
+    s.push("app-name", "research-app");
+    s.push("name", "research-app");
+    s.push("requirements", requirements);
+    s.push("req-sig", sig.as_str());
+    dst.push_section(s);
+    let src = Response::new(flow);
+
+    let plain = parse_ruleset("block all\npass all with eq(@dst[name], research-app)\n").unwrap();
+    let delegated = parse_ruleset(&format!(
+        "dict <pubkeys> {{ research : {} }}\nblock all\npass all with allowed(@dst[requirements]) with verify(@dst[req-sig], @pubkeys[research], @dst[exe-hash], @dst[app-name], @dst[requirements])\n",
+        keypair.public().to_hex()
+    ))
+    .unwrap();
+
+    let mut group = c.benchmark_group("decision_with_delegation");
+    group.bench_function("plain_eq_rule", |b| {
+        let ctx = EvalContext::new(&plain).with_responses(&src, &dst);
+        b.iter(|| ctx.evaluate(&flow));
+    });
+    group.bench_function("allowed_plus_verify_rule", |b| {
+        let ctx = EvalContext::new(&delegated).with_responses(&src, &dst);
+        b.iter(|| ctx.evaluate(&flow));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Supporting microbenchmark: encoding/decoding the ident++ wire protocol and
+//! OpenFlow flow-table lookups — the per-packet costs underlying every other
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use identxx_openflow::{FlowEntry, FlowMatch, FlowTable, OfAction, PacketHeader};
+use identxx_proto::{codec, FiveTuple, Query, Response, Section};
+
+fn sample_response(pairs: usize) -> Response {
+    let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+    let mut r = Response::new(flow);
+    let mut s = Section::new();
+    s.push("userID", "alice");
+    s.push("groupID", "users research");
+    s.push("name", "research-app");
+    s.push("exe-hash", "9f86d081884c7d659a2feaa0c55ad015");
+    for i in 0..pairs.saturating_sub(4) {
+        s.push(format!("extra-{i}"), "value");
+    }
+    r.push_section(s);
+    r
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+
+    let mut group = c.benchmark_group("proto_codec");
+    let query = Query::for_all_well_known(flow);
+    group.bench_function("encode_query", |b| b.iter(|| codec::encode_query(&query)));
+    let query_text = codec::encode_query(&query);
+    group.bench_function("decode_query", |b| {
+        b.iter(|| codec::decode_query(&query_text, flow.addresses()).unwrap())
+    });
+    for pairs in [8usize, 32, 128] {
+        let response = sample_response(pairs);
+        let text = codec::encode_response(&response);
+        group.bench_with_input(BenchmarkId::new("encode_response", pairs), &pairs, |b, _| {
+            b.iter(|| codec::encode_response(&response))
+        });
+        group.bench_with_input(BenchmarkId::new("decode_response", pairs), &pairs, |b, _| {
+            b.iter(|| codec::decode_response(&text, flow.addresses()).unwrap())
+        });
+    }
+    group.finish();
+
+    // OpenFlow flow-table lookup cost with increasing table occupancy.
+    let mut group = c.benchmark_group("flow_table_lookup");
+    for entries in [10usize, 100, 1_000] {
+        let mut table = FlowTable::new();
+        for i in 0..entries {
+            let f = FiveTuple::tcp(
+                [10, (i >> 8) as u8, i as u8, 1],
+                1000 + i as u16,
+                [10, 0, 0, 2],
+                80,
+            );
+            table.install(
+                FlowEntry::new(FlowMatch::exact_five_tuple(&f), 100, OfAction::Output(1)),
+                0,
+            );
+        }
+        let header = PacketHeader::from_flow(&flow, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| table.peek(&header))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

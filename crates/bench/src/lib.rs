@@ -1,0 +1,1 @@
+//! Benchmark-only crate: all content lives in `benches/`. See EXPERIMENTS.md for the experiment index.

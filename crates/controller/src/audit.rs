@@ -1,0 +1,172 @@
+//! The controller's audit log.
+//!
+//! Delegation is only safe if it is supervisable: the administrator must be
+//! able to "log and audit the delegates' actions, and revoke the delegation if
+//! needed" (§1). Every flow decision the controller makes is appended to this
+//! log together with the identity information the decision was based on, so
+//! an administrator can later ask "which flows were admitted because of rules
+//! delegated to user X / third party Y?" and revoke them.
+
+use identxx_pf::Decision;
+use identxx_proto::FiveTuple;
+
+/// One audited decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRecord {
+    /// Simulated time of the decision (microseconds).
+    pub time: u64,
+    /// The flow the decision was about.
+    pub flow: FiveTuple,
+    /// The decision.
+    pub decision: Decision,
+    /// Source line of the policy rule that decided (None = default applied).
+    pub matched_line: Option<usize>,
+    /// Whether the decision came from the controller's state table rather
+    /// than a fresh policy evaluation.
+    pub from_cache: bool,
+    /// The user reported by the source daemon, if any.
+    pub src_user: Option<String>,
+    /// The application reported by the source daemon, if any.
+    pub src_app: Option<String>,
+    /// The user reported by the destination daemon, if any.
+    pub dst_user: Option<String>,
+    /// The application reported by the destination daemon, if any.
+    pub dst_app: Option<String>,
+    /// The `rule-maker` value, when the decision relied on third-party rules.
+    pub rule_maker: Option<String>,
+    /// Number of ident++ queries issued for this decision.
+    pub queries_issued: u32,
+}
+
+/// The append-only audit log.
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    records: Vec<AuditRecord>,
+}
+
+impl AuditLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: AuditRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[AuditRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records that were allowed.
+    pub fn passed(&self) -> impl Iterator<Item = &AuditRecord> {
+        self.records.iter().filter(|r| r.decision == Decision::Pass)
+    }
+
+    /// Records that were denied.
+    pub fn blocked(&self) -> impl Iterator<Item = &AuditRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.decision == Decision::Block)
+    }
+
+    /// Records involving a given source application name.
+    pub fn by_src_app<'a>(&'a self, app: &'a str) -> impl Iterator<Item = &'a AuditRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.src_app.as_deref() == Some(app))
+    }
+
+    /// Records involving a given source user.
+    pub fn by_src_user<'a>(&'a self, user: &'a str) -> impl Iterator<Item = &'a AuditRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.src_user.as_deref() == Some(user))
+    }
+
+    /// Records whose decision relied on rules from a given rule maker.
+    pub fn by_rule_maker<'a>(&'a self, maker: &'a str) -> impl Iterator<Item = &'a AuditRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.rule_maker.as_deref() == Some(maker))
+    }
+
+    /// Fraction of decisions served from the state table.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let hits = self.records.iter().filter(|r| r.from_cache).count();
+        hits as f64 / self.records.len() as f64
+    }
+
+    /// Total ident++ queries accounted across all decisions.
+    pub fn total_queries(&self) -> u64 {
+        self.records.iter().map(|r| r.queries_issued as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(decision: Decision, app: &str, user: &str, from_cache: bool) -> AuditRecord {
+        AuditRecord {
+            time: 0,
+            flow: FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 80),
+            decision,
+            matched_line: Some(3),
+            from_cache,
+            src_user: Some(user.to_string()),
+            src_app: Some(app.to_string()),
+            dst_user: None,
+            dst_app: None,
+            rule_maker: if app == "thunderbird" {
+                Some("Secur".to_string())
+            } else {
+                None
+            },
+            queries_issued: if from_cache { 0 } else { 2 },
+        }
+    }
+
+    #[test]
+    fn filters_and_statistics() {
+        let mut log = AuditLog::new();
+        log.push(record(Decision::Pass, "skype", "alice", false));
+        log.push(record(Decision::Block, "skype-old", "bob", false));
+        log.push(record(Decision::Pass, "thunderbird", "alice", true));
+        log.push(record(Decision::Pass, "skype", "carol", true));
+
+        assert_eq!(log.len(), 4);
+        assert!(!log.is_empty());
+        assert_eq!(log.passed().count(), 3);
+        assert_eq!(log.blocked().count(), 1);
+        assert_eq!(log.by_src_app("skype").count(), 2);
+        assert_eq!(log.by_src_user("alice").count(), 2);
+        assert_eq!(log.by_rule_maker("Secur").count(), 1);
+        assert!((log.cache_hit_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(log.total_queries(), 4);
+        assert_eq!(log.records().len(), 4);
+    }
+
+    #[test]
+    fn empty_log_statistics() {
+        let log = AuditLog::new();
+        assert_eq!(log.cache_hit_ratio(), 0.0);
+        assert_eq!(log.total_queries(), 0);
+        assert!(log.is_empty());
+    }
+}

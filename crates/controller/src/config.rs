@@ -1,0 +1,134 @@
+//! Controller configuration.
+
+use identxx_crypto::KeyRegistry;
+use identxx_pf::{ConfigSet, Decision, PfError, RuleSet};
+
+/// Everything the controller needs besides the live network: its `.control`
+/// policy files, the public keys it trusts for `verify`, the named group
+/// lists referenced by `member`, and operating defaults.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// The `.control` configuration files (concatenated in name order).
+    pub control_files: ConfigSet,
+    /// Public keys trusted by name (in addition to keys inlined in `dict`
+    /// definitions inside the policy).
+    pub trusted_keys: KeyRegistry,
+    /// Named lists for `member(x, <name>)` (e.g. the `users` group).
+    pub named_lists: Vec<(String, Vec<String>)>,
+    /// Decision applied when no rule matches. The paper's configurations all
+    /// start with `block all`, but PF's native default is pass; keeping this
+    /// explicit lets experiments compare both.
+    pub default_decision: Decision,
+    /// Idle timeout for installed flow entries, in microseconds.
+    pub flow_idle_timeout: u64,
+    /// Hard timeout for installed flow entries, in microseconds (0 = none).
+    pub flow_hard_timeout: u64,
+    /// Whether the controller keeps its own state table so repeat flows skip
+    /// the ident++ query cycle (the "rule cache" of §2). Disabling it is the
+    /// ablation used in the flow-setup experiment.
+    pub use_state_table: bool,
+    /// Whether to install a drop entry for denied flows (so follow-up packets
+    /// of a denied flow do not hit the controller again).
+    pub install_drop_entries: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            control_files: ConfigSet::new(),
+            trusted_keys: KeyRegistry::new(),
+            named_lists: Vec::new(),
+            default_decision: Decision::Block,
+            flow_idle_timeout: 30_000_000, // 30 s
+            flow_hard_timeout: 0,
+            use_state_table: true,
+            install_drop_entries: true,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Creates a configuration with defaults and no policy.
+    pub fn new() -> Self {
+        ControllerConfig::default()
+    }
+
+    /// Adds a `.control` file (builder style).
+    pub fn with_control_file(
+        mut self,
+        name: impl Into<String>,
+        contents: impl Into<String>,
+    ) -> Self {
+        self.control_files.add_file(name, contents);
+        self
+    }
+
+    /// Adds a trusted public key by name (builder style).
+    pub fn with_trusted_key(mut self, name: impl Into<String>, key: identxx_crypto::PublicKey) -> Self {
+        self.trusted_keys.insert(name, key);
+        self
+    }
+
+    /// Adds a named list (builder style).
+    pub fn with_named_list(mut self, name: impl Into<String>, members: Vec<String>) -> Self {
+        self.named_lists.push((name.into(), members));
+        self
+    }
+
+    /// Sets the default decision (builder style).
+    pub fn with_default_decision(mut self, decision: Decision) -> Self {
+        self.default_decision = decision;
+        self
+    }
+
+    /// Disables the controller-side state table (ablation).
+    pub fn without_state_table(mut self) -> Self {
+        self.use_state_table = false;
+        self
+    }
+
+    /// Compiles the `.control` files into a rule set.
+    pub fn compile(&self) -> Result<RuleSet, PfError> {
+        self.control_files.compile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_crypto::KeyPair;
+
+    #[test]
+    fn builder_accumulates_settings() {
+        let key = KeyPair::from_seed(b"Secur");
+        let config = ControllerConfig::new()
+            .with_control_file("00-base.control", "block all\n")
+            .with_control_file("50-skype.control", "pass all with eq(@src[name], skype)\n")
+            .with_trusted_key("Secur", key.public())
+            .with_named_list("users", vec!["users".to_string()])
+            .with_default_decision(Decision::Pass);
+        assert_eq!(config.control_files.len(), 2);
+        assert_eq!(config.trusted_keys.get("Secur"), Some(key.public()));
+        assert_eq!(config.named_lists.len(), 1);
+        assert_eq!(config.default_decision, Decision::Pass);
+        let rs = config.compile().unwrap();
+        assert_eq!(rs.rules.len(), 2);
+    }
+
+    #[test]
+    fn defaults_are_conservative() {
+        let config = ControllerConfig::default();
+        assert_eq!(config.default_decision, Decision::Block);
+        assert!(config.use_state_table);
+        assert!(config.install_drop_entries);
+        assert!(config.flow_idle_timeout > 0);
+        let ablated = ControllerConfig::new().without_state_table();
+        assert!(!ablated.use_state_table);
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let config = ControllerConfig::new().with_control_file("00-bad.control", "pass from\n");
+        assert!(config.compile().is_err());
+    }
+}

@@ -1,0 +1,751 @@
+//! The ident++ controller.
+
+use identxx_pf::{Decision, EvalContext, PfError, RuleSet, StateTable, Verdict};
+use identxx_proto::{well_known, FiveTuple, Response};
+
+use identxx_openflow::{
+    ControllerDirective, FlowMod, OpenFlowController, PacketIn,
+};
+
+use crate::audit::{AuditLog, AuditRecord};
+use crate::config::ControllerConfig;
+use crate::install::NetworkMap;
+use crate::intercept::{Interceptor, QueryTarget, ResponseAugmenter};
+use crate::querier::DaemonDirectory;
+
+/// The keys the controller asks for by default. The hint list is advisory
+/// (§3.2); the daemons may return more.
+const DEFAULT_QUERY_KEYS: &[&str] = &[
+    well_known::USER_ID,
+    well_known::GROUP_ID,
+    well_known::APP_NAME,
+    well_known::EXE_HASH,
+    well_known::VERSION,
+    well_known::REQUIREMENTS,
+    well_known::REQ_SIG,
+    well_known::RULE_MAKER,
+    well_known::OS_PATCH,
+];
+
+/// Priority used for flow entries installed by the controller.
+const FLOW_ENTRY_PRIORITY: u16 = 100;
+
+/// The outcome of the controller's handling of one new flow.
+#[derive(Debug, Clone)]
+pub struct FlowDecision {
+    /// The flow the decision is about.
+    pub flow: FiveTuple,
+    /// The policy verdict.
+    pub verdict: Verdict,
+    /// The source-side ident++ response (if any was obtained).
+    pub src_response: Option<Response>,
+    /// The destination-side ident++ response (if any was obtained).
+    pub dst_response: Option<Response>,
+    /// Whether the decision came from the controller's state table without a
+    /// fresh query/evaluation cycle.
+    pub from_cache: bool,
+    /// How many ident++ queries were sent to daemons for this decision.
+    pub queries_issued: u32,
+    /// The flow-table entries the controller wants installed.
+    pub flow_mods: Vec<FlowMod>,
+}
+
+impl FlowDecision {
+    /// Whether the flow is allowed.
+    pub fn is_pass(&self) -> bool {
+        self.verdict.decision.is_pass()
+    }
+}
+
+/// The ident++ controller: policy, daemon directory, optional network map,
+/// state table, interceptors/augmenters, and the audit log.
+pub struct IdentxxController {
+    config: ControllerConfig,
+    ruleset: RuleSet,
+    daemons: DaemonDirectory,
+    network: Option<NetworkMap>,
+    state: StateTable,
+    audit: AuditLog,
+    interceptors: Vec<Box<dyn Interceptor>>,
+    augmenters: Vec<Box<dyn ResponseAugmenter>>,
+    /// A compromised controller (§5.1) stops enforcing anything.
+    compromised: bool,
+}
+
+impl IdentxxController {
+    /// Creates a controller from a configuration, compiling its `.control`
+    /// files.
+    pub fn new(config: ControllerConfig) -> Result<IdentxxController, PfError> {
+        let ruleset = config.compile()?;
+        Ok(IdentxxController {
+            config,
+            ruleset,
+            daemons: DaemonDirectory::new(),
+            network: None,
+            state: StateTable::new(),
+            audit: AuditLog::new(),
+            interceptors: Vec::new(),
+            augmenters: Vec::new(),
+            compromised: false,
+        })
+    }
+
+    /// Attaches a network map so decisions install entries along the whole
+    /// path (builder style).
+    pub fn with_network(mut self, network: NetworkMap) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    /// Registers an end-host daemon.
+    pub fn register_daemon(&mut self, daemon: identxx_daemon::Daemon) {
+        self.daemons.register(daemon);
+    }
+
+    /// Access to the daemon directory.
+    pub fn daemons(&self) -> &DaemonDirectory {
+        &self.daemons
+    }
+
+    /// Mutable access to the daemon directory (scenarios use this to start
+    /// applications or compromise hosts).
+    pub fn daemons_mut(&mut self) -> &mut DaemonDirectory {
+        &mut self.daemons
+    }
+
+    /// The compiled policy.
+    pub fn ruleset(&self) -> &RuleSet {
+        &self.ruleset
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The network map, if attached.
+    pub fn network(&self) -> Option<&NetworkMap> {
+        self.network.as_ref()
+    }
+
+    /// The audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Adds a query interceptor (answers queries on behalf of hosts).
+    pub fn add_interceptor(&mut self, interceptor: Box<dyn Interceptor>) {
+        self.interceptors.push(interceptor);
+    }
+
+    /// Adds a response augmenter (appends sections to responses).
+    pub fn add_augmenter(&mut self, augmenter: Box<dyn ResponseAugmenter>) {
+        self.augmenters.push(augmenter);
+    }
+
+    /// Marks the controller as compromised (§5.1): every flow is allowed and
+    /// nothing is audited, modelling an attacker who disabled protection.
+    pub fn set_compromised(&mut self, compromised: bool) {
+        self.compromised = compromised;
+    }
+
+    /// Whether the controller is compromised.
+    pub fn is_compromised(&self) -> bool {
+        self.compromised
+    }
+
+    /// Replaces (or adds) one `.control` file and recompiles the policy. The
+    /// state table is cleared because cached decisions may no longer reflect
+    /// the policy.
+    pub fn update_control_file(
+        &mut self,
+        name: impl Into<String>,
+        contents: impl Into<String>,
+    ) -> Result<(), PfError> {
+        self.config.control_files.add_file(name, contents);
+        self.ruleset = self.config.compile()?;
+        self.state.clear();
+        Ok(())
+    }
+
+    /// Removes a `.control` file (revoking, say, a third party's delegated
+    /// rules) and recompiles.
+    pub fn remove_control_file(&mut self, name: &str) -> Result<bool, PfError> {
+        let removed = self.config.control_files.remove(name);
+        if removed {
+            self.ruleset = self.config.compile()?;
+            self.state.clear();
+        }
+        Ok(removed)
+    }
+
+    /// Revokes previously allowed flows selected by `pred`: their state-table
+    /// entries are dropped and delete `flow-mod`s are produced for the network
+    /// (when a network map is attached).
+    pub fn revoke_where<F: Fn(&AuditRecord) -> bool>(&mut self, pred: F) -> Vec<FlowMod> {
+        let mut mods = Vec::new();
+        let flows: Vec<FiveTuple> = self
+            .audit
+            .records()
+            .iter()
+            .filter(|r| r.decision == Decision::Pass && pred(r))
+            .map(|r| r.flow)
+            .collect();
+        for flow in flows {
+            self.state.remove(&flow);
+            if let Some(network) = &self.network {
+                for direction in [flow, flow.reversed()] {
+                    if let Some(hops) = network.switch_hops(&direction) {
+                        for (switch, _port) in hops {
+                            mods.push(FlowMod::delete(
+                                switch,
+                                identxx_openflow::FlowMatch::exact_five_tuple(&direction),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        mods
+    }
+
+    /// Evaluates the policy for a flow given already-collected responses,
+    /// without touching daemons, cache, or audit log. Used by benchmarks and
+    /// by `allowed()`-style re-checks.
+    pub fn evaluate_only(
+        &self,
+        flow: &FiveTuple,
+        src: Option<&Response>,
+        dst: Option<&Response>,
+    ) -> Verdict {
+        let mut ctx = EvalContext::new(&self.ruleset)
+            .with_default(self.config.default_decision)
+            .with_key_registry(self.config.trusted_keys.clone());
+        for (name, members) in &self.config.named_lists {
+            ctx = ctx.with_named_list(name.clone(), members.clone());
+        }
+        if let Some(src) = src {
+            ctx = ctx.with_src_response(src);
+        }
+        if let Some(dst) = dst {
+            ctx = ctx.with_dst_response(dst);
+        }
+        ctx.evaluate(flow)
+    }
+
+    /// Runs the full ident++ decision cycle for a flow at simulated time
+    /// `now` (microseconds): state-table check, queries to both ends (unless
+    /// intercepted), policy evaluation, state/audit updates, and flow-mod
+    /// generation.
+    pub fn decide(&mut self, flow: &FiveTuple, now: u64) -> FlowDecision {
+        if self.compromised {
+            // §5.1: "If the controller is compromised, an attacker can disable
+            // all protection in the network."
+            let verdict = Verdict {
+                decision: Decision::Pass,
+                matched_rule: None,
+                matched_line: None,
+                keep_state: false,
+                quick: false,
+                rules_evaluated: 0,
+            };
+            let flow_mods = self.mods_for(flow, Decision::Pass);
+            return FlowDecision {
+                flow: *flow,
+                verdict,
+                src_response: None,
+                dst_response: None,
+                from_cache: false,
+                queries_issued: 0,
+                flow_mods,
+            };
+        }
+
+        // 1. The controller-side rule cache (state table).
+        if self.config.use_state_table {
+            if let Some(entry) = self.state.lookup(flow, now) {
+                let verdict = Verdict {
+                    decision: entry.decision,
+                    matched_rule: None,
+                    matched_line: None,
+                    keep_state: true,
+                    quick: false,
+                    rules_evaluated: 0,
+                };
+                let flow_mods = self.mods_for(flow, entry.decision);
+                self.audit.push(AuditRecord {
+                    time: now,
+                    flow: *flow,
+                    decision: entry.decision,
+                    matched_line: None,
+                    from_cache: true,
+                    src_user: None,
+                    src_app: None,
+                    dst_user: None,
+                    dst_app: None,
+                    rule_maker: None,
+                    queries_issued: 0,
+                });
+                return FlowDecision {
+                    flow: *flow,
+                    verdict,
+                    src_response: None,
+                    dst_response: None,
+                    from_cache: true,
+                    queries_issued: 0,
+                    flow_mods,
+                };
+            }
+        }
+
+        // 2. Query both ends (or let interceptors answer).
+        let (src_response, src_queries) = self.obtain_response(flow, QueryTarget::Source);
+        let (dst_response, dst_queries) = self.obtain_response(flow, QueryTarget::Destination);
+        let queries_issued = src_queries + dst_queries;
+
+        // 3. Evaluate the policy.
+        let verdict = self.evaluate_only(flow, src_response.as_ref(), dst_response.as_ref());
+
+        // 4. Cache, audit, and install.
+        if self.config.use_state_table && verdict.keep_state {
+            self.state.insert(flow, verdict.decision, now);
+        }
+        let flow_mods = self.mods_for(flow, verdict.decision);
+        let latest = |r: &Option<Response>, key: &str| -> Option<String> {
+            r.as_ref().and_then(|r| r.latest(key)).map(str::to_string)
+        };
+        self.audit.push(AuditRecord {
+            time: now,
+            flow: *flow,
+            decision: verdict.decision,
+            matched_line: verdict.matched_line,
+            from_cache: false,
+            src_user: latest(&src_response, well_known::USER_ID),
+            src_app: latest(&src_response, well_known::APP_NAME),
+            dst_user: latest(&dst_response, well_known::USER_ID),
+            dst_app: latest(&dst_response, well_known::APP_NAME),
+            rule_maker: latest(&src_response, well_known::RULE_MAKER)
+                .or_else(|| latest(&dst_response, well_known::RULE_MAKER)),
+            queries_issued: queries_issued as u32,
+        });
+
+        FlowDecision {
+            flow: *flow,
+            verdict,
+            src_response,
+            dst_response,
+            from_cache: false,
+            queries_issued: queries_issued as u32,
+            flow_mods,
+        }
+    }
+
+    /// Obtains (via interception or a daemon query) the response from one side
+    /// of the flow, applying augmenters. Returns the response and the number
+    /// of queries actually sent to daemons.
+    fn obtain_response(
+        &mut self,
+        flow: &FiveTuple,
+        target: QueryTarget,
+    ) -> (Option<Response>, u32) {
+        let addr = match target {
+            QueryTarget::Source => flow.src_ip,
+            QueryTarget::Destination => flow.dst_ip,
+        };
+        // Interceptors answer first; an intercepted query is not forwarded.
+        let mut response = None;
+        for interceptor in &mut self.interceptors {
+            if let Some(r) = interceptor.answer_for(addr, flow, target) {
+                response = Some(r);
+                break;
+            }
+        }
+        let mut queries = 0;
+        if response.is_none() {
+            queries = 1;
+            response = self.daemons.query(addr, flow, DEFAULT_QUERY_KEYS);
+            if response.is_none() {
+                // The daemon did not answer; no response to augment.
+                return (None, queries);
+            }
+        }
+        // Augment the response with sections from on-path controllers.
+        if let Some(r) = response.as_mut() {
+            for augmenter in &mut self.augmenters {
+                if let Some(section) = augmenter.augment(flow, target, r) {
+                    r.augment(section);
+                }
+            }
+        }
+        (response, queries)
+    }
+
+    fn mods_for(&self, flow: &FiveTuple, decision: Decision) -> Vec<FlowMod> {
+        match &self.network {
+            Some(network) => match decision {
+                Decision::Pass => network.allow_flow_mods(
+                    flow,
+                    FLOW_ENTRY_PRIORITY,
+                    self.config.flow_idle_timeout,
+                    self.config.flow_hard_timeout,
+                ),
+                Decision::Block if self.config.install_drop_entries => {
+                    network.drop_flow_mods(flow, FLOW_ENTRY_PRIORITY, self.config.flow_idle_timeout)
+                }
+                Decision::Block => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// The controller's state table (read access, for tests and experiments).
+    pub fn state_table(&self) -> &StateTable {
+        &self.state
+    }
+}
+
+impl OpenFlowController for IdentxxController {
+    fn packet_in(&mut self, event: &PacketIn, now: u64) -> ControllerDirective {
+        let flow = event.header.five_tuple();
+        let decision = self.decide(&flow, now);
+        if decision.is_pass() {
+            ControllerDirective::allow(decision.flow_mods)
+        } else {
+            ControllerDirective::deny_with(decision.flow_mods)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ident++"
+    }
+}
+
+impl std::fmt::Debug for IdentxxController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IdentxxController")
+            .field("rules", &self.ruleset.rules.len())
+            .field("daemons", &self.daemons.len())
+            .field("audited", &self.audit.len())
+            .field("compromised", &self.compromised)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_daemon::Daemon;
+    use identxx_hostmodel::{Executable, Host};
+    use identxx_netsim::{LinkProps, Topology};
+    use identxx_proto::Ipv4Addr;
+
+    fn skype(version: i64) -> Executable {
+        Executable::new("/usr/bin/skype", "skype", version, "skype.com", "voip")
+    }
+
+    fn firefox() -> Executable {
+        Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser")
+    }
+
+    /// A controller over a 10-host star with the Fig. 2 skype policy.
+    fn skype_controller() -> (IdentxxController, Vec<Ipv4Addr>) {
+        let (topology, _sw, _ctrl, hosts) = Topology::star(10, LinkProps::default());
+        let addrs: Vec<Ipv4Addr> = hosts
+            .iter()
+            .map(|h| topology.node(*h).unwrap().addr)
+            .collect();
+        let header = format!(
+            "table <server> {{ {} }}\ntable <lan> {{ 10.0.0.0/16 }}\nblock all\n",
+            addrs[0]
+        );
+        let skype_policy = "pass all with eq(@src[name], skype) with eq(@dst[name], skype) keep state\n";
+        let footer = "block all with eq(@src[name], skype) with lt(@src[version], 200)\nblock from any to <server> with eq(@src[name], skype)\n";
+        let config = ControllerConfig::new()
+            .with_control_file("00-local-header.control", header)
+            .with_control_file("50-skype.control", skype_policy)
+            .with_control_file("99-local-footer.control", footer);
+        let mut controller = IdentxxController::new(config)
+            .unwrap()
+            .with_network(NetworkMap::new(topology));
+        for addr in &addrs {
+            controller.register_daemon(Daemon::bare(Host::new(format!("host-{addr}"), *addr)));
+        }
+        (controller, addrs)
+    }
+
+    fn start_skype(controller: &mut IdentxxController, src: Ipv4Addr, dst: Ipv4Addr, version: i64) -> FiveTuple {
+        let flow = controller
+            .daemons_mut()
+            .get_mut(src)
+            .unwrap()
+            .host_mut()
+            .open_connection("alice", skype(version), 41000, dst, 80);
+        let pid = controller
+            .daemons_mut()
+            .get_mut(dst)
+            .unwrap()
+            .host_mut()
+            .spawn("bob", skype(version));
+        controller
+            .daemons_mut()
+            .get_mut(dst)
+            .unwrap()
+            .host_mut()
+            .listen(pid, identxx_proto::IpProtocol::Tcp, 80);
+        flow
+    }
+
+    #[test]
+    fn skype_to_skype_is_allowed_and_installed_along_path() {
+        let (mut controller, addrs) = skype_controller();
+        let flow = start_skype(&mut controller, addrs[3], addrs[4], 210);
+        let decision = controller.decide(&flow, 0);
+        assert!(decision.is_pass());
+        assert_eq!(decision.queries_issued, 2);
+        assert!(!decision.from_cache);
+        // Star topology: one switch, both directions → 2 flow mods.
+        assert_eq!(decision.flow_mods.len(), 2);
+        assert_eq!(controller.audit().len(), 1);
+        assert_eq!(
+            controller.audit().records()[0].src_app.as_deref(),
+            Some("skype")
+        );
+    }
+
+    #[test]
+    fn old_skype_and_skype_to_server_are_blocked() {
+        let (mut controller, addrs) = skype_controller();
+        // Old version: blocked by the footer rule.
+        let old_flow = start_skype(&mut controller, addrs[5], addrs[6], 150);
+        let decision = controller.decide(&old_flow, 0);
+        assert!(!decision.is_pass());
+        // Skype to the server table entry: blocked even with a new version.
+        let to_server = start_skype(&mut controller, addrs[7], addrs[0], 210);
+        let decision = controller.decide(&to_server, 0);
+        assert!(!decision.is_pass());
+        // A drop entry is installed at the first-hop switch.
+        assert_eq!(decision.flow_mods.len(), 1);
+    }
+
+    #[test]
+    fn non_skype_traffic_is_blocked_by_default_deny() {
+        let (mut controller, addrs) = skype_controller();
+        let flow = controller
+            .daemons_mut()
+            .get_mut(addrs[1])
+            .unwrap()
+            .host_mut()
+            .open_connection("bob", firefox(), 42000, addrs[2], 80);
+        let decision = controller.decide(&flow, 0);
+        assert!(!decision.is_pass());
+    }
+
+    #[test]
+    fn state_table_serves_repeat_flows_without_queries() {
+        let (mut controller, addrs) = skype_controller();
+        let flow = start_skype(&mut controller, addrs[3], addrs[4], 210);
+        let first = controller.decide(&flow, 0);
+        assert!(!first.from_cache);
+        let second = controller.decide(&flow, 10);
+        assert!(second.from_cache);
+        assert_eq!(second.queries_issued, 0);
+        assert!(second.is_pass());
+        // The reverse direction also hits the cache.
+        let reverse = controller.decide(&flow.reversed(), 20);
+        assert!(reverse.from_cache);
+        assert!((controller.audit().cache_hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabling_state_table_forces_requery() {
+        let (topology, _sw, _ctrl, hosts) = Topology::star(4, LinkProps::default());
+        let addrs: Vec<Ipv4Addr> = hosts
+            .iter()
+            .map(|h| topology.node(*h).unwrap().addr)
+            .collect();
+        let config = ControllerConfig::new()
+            .with_control_file("00.control", "block all\npass all with eq(@src[name], skype) keep state\n")
+            .without_state_table();
+        let mut controller = IdentxxController::new(config).unwrap();
+        for addr in &addrs {
+            controller.register_daemon(Daemon::bare(Host::new(format!("h{addr}"), *addr)));
+        }
+        let flow = controller
+            .daemons_mut()
+            .get_mut(addrs[0])
+            .unwrap()
+            .host_mut()
+            .open_connection("alice", skype(210), 41000, addrs[1], 80);
+        controller.decide(&flow, 0);
+        let second = controller.decide(&flow, 10);
+        assert!(!second.from_cache);
+        assert_eq!(second.queries_issued, 2);
+    }
+
+    #[test]
+    fn missing_daemon_fails_closed_under_default_deny() {
+        let (mut controller, addrs) = skype_controller();
+        // A flow from an address with no registered daemon.
+        let stranger = FiveTuple::tcp([192, 168, 99, 99], 1234, addrs[0], 80);
+        let decision = controller.decide(&stranger, 0);
+        assert!(!decision.is_pass());
+        assert_eq!(decision.queries_issued, 2);
+        assert!(decision.src_response.is_none());
+    }
+
+    #[test]
+    fn interceptor_answers_for_legacy_hosts() {
+        let (mut controller, addrs) = skype_controller();
+        // The destination host has no daemon: unregister it.
+        controller.daemons_mut().unregister(addrs[4]);
+        // But an interceptor answers on its behalf claiming skype.
+        controller.add_interceptor(Box::new(crate::intercept::StaticInterceptor::new(
+            "legacy",
+            vec![addrs[4]],
+            vec![("name".to_string(), "skype".to_string())],
+        )));
+        let flow = controller
+            .daemons_mut()
+            .get_mut(addrs[3])
+            .unwrap()
+            .host_mut()
+            .open_connection("alice", skype(210), 41000, addrs[4], 80);
+        let decision = controller.decide(&flow, 0);
+        assert!(decision.is_pass());
+        // Only the source daemon was actually queried.
+        assert_eq!(decision.queries_issued, 1);
+    }
+
+    #[test]
+    fn augmenter_sections_are_visible_to_policy() {
+        let (topology, _sw, _ctrl, hosts) = Topology::star(4, LinkProps::default());
+        let addrs: Vec<Ipv4Addr> = hosts
+            .iter()
+            .map(|h| topology.node(*h).unwrap().addr)
+            .collect();
+        let config = ControllerConfig::new().with_control_file(
+            "00.control",
+            "block all\npass all with eq(@dst[branch-accepts], 80)\n",
+        );
+        let mut controller = IdentxxController::new(config).unwrap();
+        for addr in &addrs {
+            controller.register_daemon(Daemon::bare(Host::new(format!("h{addr}"), *addr)));
+        }
+        controller.add_augmenter(Box::new(crate::intercept::PrefixAugmenter::new(
+            "branch",
+            Ipv4Addr::new(10, 0, 0, 0),
+            16,
+            vec![("branch-accepts".to_string(), "80".to_string())],
+        )));
+        let flow = FiveTuple::tcp(addrs[0], 40000, addrs[1], 80);
+        let decision = controller.decide(&flow, 0);
+        assert!(decision.is_pass());
+        assert_eq!(
+            decision.dst_response.unwrap().latest("branch-accepts"),
+            Some("80")
+        );
+    }
+
+    #[test]
+    fn policy_update_clears_cache_and_changes_decisions() {
+        let (mut controller, addrs) = skype_controller();
+        let flow = start_skype(&mut controller, addrs[3], addrs[4], 210);
+        assert!(controller.decide(&flow, 0).is_pass());
+        // The administrator revokes the skype delegation file entirely.
+        assert!(controller.remove_control_file("50-skype.control").unwrap());
+        let decision = controller.decide(&flow, 10);
+        assert!(!decision.is_pass());
+        assert!(!decision.from_cache, "cache must be cleared on policy change");
+        // Updating a file also recompiles.
+        controller
+            .update_control_file("50-skype.control", "pass all keep state\n")
+            .unwrap();
+        assert!(controller.decide(&flow, 20).is_pass());
+        // A malformed update is rejected and does not change the policy.
+        assert!(controller
+            .update_control_file("50-skype.control", "pass from\n")
+            .is_err());
+    }
+
+    #[test]
+    fn revocation_produces_delete_mods_and_clears_state() {
+        let (mut controller, addrs) = skype_controller();
+        let flow = start_skype(&mut controller, addrs[3], addrs[4], 210);
+        assert!(controller.decide(&flow, 0).is_pass());
+        assert_eq!(controller.state_table().len(), 1);
+        let mods = controller.revoke_where(|r| r.src_app.as_deref() == Some("skype"));
+        assert!(!mods.is_empty());
+        assert!(mods
+            .iter()
+            .all(|m| m.command == identxx_openflow::FlowModCommand::Delete));
+        assert_eq!(controller.state_table().len(), 0);
+        // Revoking something that never matched produces nothing.
+        assert!(controller
+            .revoke_where(|r| r.src_app.as_deref() == Some("nonexistent"))
+            .is_empty());
+    }
+
+    #[test]
+    fn compromised_controller_allows_everything() {
+        let (mut controller, addrs) = skype_controller();
+        controller.set_compromised(true);
+        assert!(controller.is_compromised());
+        let flow = FiveTuple::tcp(addrs[1], 1, addrs[0], 445);
+        let decision = controller.decide(&flow, 0);
+        assert!(decision.is_pass());
+        assert_eq!(decision.queries_issued, 0);
+    }
+
+    #[test]
+    fn packet_in_interface_matches_decide() {
+        let (mut controller, addrs) = skype_controller();
+        let flow = start_skype(&mut controller, addrs[3], addrs[4], 210);
+        let header = identxx_openflow::PacketHeader::from_flow(&flow, 1);
+        let pin = PacketIn {
+            switch: identxx_openflow::SwitchId(0),
+            header,
+            size: 1500,
+        };
+        let directive = controller.packet_in(&pin, 0);
+        assert!(directive.forward_packet);
+        assert!(!directive.flow_mods.is_empty());
+        assert_eq!(OpenFlowController::name(&controller), "ident++");
+    }
+
+    #[test]
+    fn forged_daemon_response_can_escalate_but_only_for_that_user() {
+        // §5.3: a compromised end-host can send false responses; it gains the
+        // network privileges its claims entitle it to, but the controller's
+        // audit log still attributes the flow to the claimed identity.
+        let (mut controller, addrs) = skype_controller();
+        controller
+            .daemons_mut()
+            .get_mut(addrs[8])
+            .unwrap()
+            .set_forged_response(Some(vec![
+                ("name".to_string(), "skype".to_string()),
+                ("version".to_string(), "210".to_string()),
+            ]));
+        // Destination really runs skype.
+        let pid = controller
+            .daemons_mut()
+            .get_mut(addrs[9])
+            .unwrap()
+            .host_mut()
+            .spawn("bob", skype(210));
+        controller
+            .daemons_mut()
+            .get_mut(addrs[9])
+            .unwrap()
+            .host_mut()
+            .listen(pid, identxx_proto::IpProtocol::Tcp, 80);
+        let forged_flow = FiveTuple::tcp(addrs[8], 50000, addrs[9], 80);
+        let decision = controller.decide(&forged_flow, 0);
+        // The forged claim of "skype" passes the skype policy…
+        assert!(decision.is_pass());
+        // …but the audit trail records exactly what was claimed, enabling
+        // later revocation of everything that host was allowed to do.
+        let revoked = controller.revoke_where(|r| r.flow.src_ip == addrs[8]);
+        assert!(!revoked.is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! Turning decisions into flow-table entries along the flow's path.
+//!
+//! "if controller approves, it installs entries along path for flow" (Fig. 1,
+//! step 4), and "The OpenFlow controller can insert entries in switches across
+//! the network preemptively so that this process is not repeated for every
+//! switch at which the packet arrives" (§3.1).
+//!
+//! [`NetworkMap`] binds the simulated topology to OpenFlow switch identities
+//! and port numbers so the controller can compute, for an approved flow, the
+//! exact `(switch, output port)` entries to install in both directions.
+
+use std::collections::BTreeMap;
+
+use identxx_netsim::{NodeId, NodeKind, RoutingTable, Topology};
+use identxx_openflow::{
+    FlowEntry, FlowMatch, FlowMod, MacAddr, OfAction, PortNo, SwitchId,
+};
+use identxx_proto::FiveTuple;
+
+/// The controller's view of the network: topology, routes, and the identity of
+/// each switch.
+#[derive(Debug, Clone)]
+pub struct NetworkMap {
+    topology: Topology,
+    routing: RoutingTable,
+    switch_ids: BTreeMap<NodeId, SwitchId>,
+}
+
+impl NetworkMap {
+    /// Builds the map from a topology. Every switch node is assigned a
+    /// datapath id equal to its node id.
+    pub fn new(topology: Topology) -> NetworkMap {
+        let routing = RoutingTable::build(&topology);
+        let switch_ids = topology
+            .nodes_of_kind(NodeKind::Switch)
+            .into_iter()
+            .map(|n| (n, SwitchId(n.0 as u64)))
+            .collect();
+        NetworkMap {
+            topology,
+            routing,
+            switch_ids,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The routing table.
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// The switch id of a topology node (if it is a switch).
+    pub fn switch_id(&self, node: NodeId) -> Option<SwitchId> {
+        self.switch_ids.get(&node).copied()
+    }
+
+    /// The topology node of a switch id.
+    pub fn switch_node(&self, id: SwitchId) -> Option<NodeId> {
+        self.switch_ids
+            .iter()
+            .find(|(_, sid)| **sid == id)
+            .map(|(n, _)| *n)
+    }
+
+    /// The port number on `node` that leads to `neighbour`: ports are numbered
+    /// 1.. in the order neighbours were attached (a fixed, deterministic
+    /// convention shared with the data-plane simulation).
+    pub fn port_toward(&self, node: NodeId, neighbour: NodeId) -> Option<PortNo> {
+        self.topology
+            .neighbours(node)
+            .iter()
+            .position(|(n, _)| *n == neighbour)
+            .map(|idx| (idx + 1) as PortNo)
+    }
+
+    /// The ordered `(switch, out_port)` hops a flow traverses from its source
+    /// host to its destination host. Returns `None` when either endpoint is
+    /// not a known host or the hosts are disconnected.
+    pub fn switch_hops(&self, flow: &FiveTuple) -> Option<Vec<(SwitchId, PortNo)>> {
+        let src = self.topology.node_by_addr(flow.src_ip)?.id;
+        let dst = self.topology.node_by_addr(flow.dst_ip)?.id;
+        let path = self.routing.path(src, dst)?;
+        let mut hops = Vec::new();
+        for window in path.windows(2) {
+            let (node, next) = (window[0], window[1]);
+            if let Some(switch_id) = self.switch_id(node) {
+                let port = self.port_toward(node, next)?;
+                hops.push((switch_id, port));
+            }
+        }
+        Some(hops)
+    }
+
+    /// The number of switches between the flow's endpoints.
+    pub fn path_switch_count(&self, flow: &FiveTuple) -> usize {
+        self.switch_hops(flow).map(|h| h.len()).unwrap_or(0)
+    }
+
+    /// Builds the `flow-mod`s that allow `flow` along its path **in both
+    /// directions** (forward entries toward the destination, reverse entries
+    /// toward the source), with the given timeouts.
+    pub fn allow_flow_mods(
+        &self,
+        flow: &FiveTuple,
+        priority: u16,
+        idle_timeout: u64,
+        hard_timeout: u64,
+    ) -> Vec<FlowMod> {
+        let mut mods = Vec::new();
+        for (direction_flow, _label) in [(*flow, "forward"), (flow.reversed(), "reverse")] {
+            if let Some(hops) = self.switch_hops(&direction_flow) {
+                for (switch, port) in hops {
+                    let entry = FlowEntry::new(
+                        FlowMatch::exact_five_tuple(&direction_flow),
+                        priority,
+                        OfAction::Output(port),
+                    )
+                    .with_idle_timeout(idle_timeout)
+                    .with_hard_timeout(hard_timeout);
+                    mods.push(FlowMod::add(switch, entry));
+                }
+            }
+        }
+        mods
+    }
+
+    /// Builds the `flow-mod` that drops `flow` at its first-hop switch (enough
+    /// to keep a denied flow's retries off the controller).
+    pub fn drop_flow_mods(
+        &self,
+        flow: &FiveTuple,
+        priority: u16,
+        idle_timeout: u64,
+    ) -> Vec<FlowMod> {
+        match self.switch_hops(flow) {
+            Some(hops) if !hops.is_empty() => {
+                let (switch, _) = hops[0];
+                let entry = FlowEntry::new(
+                    FlowMatch::exact_five_tuple(flow),
+                    priority,
+                    OfAction::Drop,
+                )
+                .with_idle_timeout(idle_timeout);
+                vec![FlowMod::add(switch, entry)]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// The MAC address the simulation derives for a host address (useful when
+    /// configuring switches' MAC-to-port maps consistently with this map).
+    pub fn mac_of(&self, addr: identxx_proto::Ipv4Addr) -> MacAddr {
+        MacAddr::from_ip(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_netsim::LinkProps;
+    use identxx_openflow::FlowModCommand;
+
+    fn chain_map(switches: usize) -> (NetworkMap, FiveTuple) {
+        let (topology, _controller, client, server, _switches) =
+            Topology::chain(switches, LinkProps::default());
+        let client_addr = topology.node(client).unwrap().addr;
+        let server_addr = topology.node(server).unwrap().addr;
+        let flow = FiveTuple::tcp(client_addr, 40000, server_addr, 80);
+        (NetworkMap::new(topology), flow)
+    }
+
+    #[test]
+    fn switch_hops_follow_the_chain() {
+        let (map, flow) = chain_map(3);
+        let hops = map.switch_hops(&flow).unwrap();
+        assert_eq!(hops.len(), 3);
+        assert_eq!(map.path_switch_count(&flow), 3);
+        // Reverse direction traverses the same number of switches.
+        assert_eq!(map.switch_hops(&flow.reversed()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn allow_mods_cover_both_directions_of_every_switch() {
+        let (map, flow) = chain_map(4);
+        let mods = map.allow_flow_mods(&flow, 100, 30_000_000, 0);
+        // 4 switches forward + 4 reverse.
+        assert_eq!(mods.len(), 8);
+        assert!(mods.iter().all(|m| m.command == FlowModCommand::Add));
+        let forward_matches = mods
+            .iter()
+            .filter(|m| {
+                m.entry.as_ref().unwrap().flow_match == FlowMatch::exact_five_tuple(&flow)
+            })
+            .count();
+        assert_eq!(forward_matches, 4);
+        // Every entry forwards (no drops).
+        assert!(mods
+            .iter()
+            .all(|m| m.entry.as_ref().unwrap().action != OfAction::Drop));
+        // Timeouts are propagated.
+        assert!(mods
+            .iter()
+            .all(|m| m.entry.as_ref().unwrap().idle_timeout == 30_000_000));
+    }
+
+    #[test]
+    fn drop_mods_target_only_first_hop() {
+        let (map, flow) = chain_map(5);
+        let mods = map.drop_flow_mods(&flow, 100, 10_000_000);
+        assert_eq!(mods.len(), 1);
+        let entry = mods[0].entry.as_ref().unwrap();
+        assert_eq!(entry.action, OfAction::Drop);
+        let first_hop = map.switch_hops(&flow).unwrap()[0].0;
+        assert_eq!(mods[0].switch, first_hop);
+    }
+
+    #[test]
+    fn unknown_endpoints_produce_no_mods() {
+        let (map, _) = chain_map(2);
+        let stranger = FiveTuple::tcp([9, 9, 9, 9], 1, [8, 8, 8, 8], 2);
+        assert!(map.switch_hops(&stranger).is_none());
+        assert!(map.allow_flow_mods(&stranger, 1, 0, 0).is_empty());
+        assert!(map.drop_flow_mods(&stranger, 1, 0).is_empty());
+        assert_eq!(map.path_switch_count(&stranger), 0);
+    }
+
+    #[test]
+    fn ports_are_stable_and_valid() {
+        let (map, flow) = chain_map(3);
+        let hops = map.switch_hops(&flow).unwrap();
+        for (switch, port) in hops {
+            assert!(port >= 1);
+            let node = map.switch_node(switch).unwrap();
+            assert!(map.topology().neighbours(node).len() >= port as usize);
+        }
+    }
+
+    #[test]
+    fn switch_id_round_trip() {
+        let (map, _) = chain_map(2);
+        for node in map.topology().nodes_of_kind(NodeKind::Switch) {
+            let sid = map.switch_id(node).unwrap();
+            assert_eq!(map.switch_node(sid), Some(node));
+        }
+        // Hosts do not have switch ids.
+        for node in map.topology().nodes_of_kind(NodeKind::Host) {
+            assert!(map.switch_id(node).is_none());
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Interception and augmentation of ident++ queries and responses.
+//!
+//! "ident++ response and query packets can be intercepted themselves by
+//! ident++-enabled firewalls. The firewalls can answer the queries themselves
+//! or can modify response packets to insert additional information" (§2), and
+//! "intercepted queries are not allowed to cause new queries. To respond to an
+//! intercepted query on behalf of an end-host, the controller spoofs the IP
+//! address of the end-host, sends a response itself, but does not forward the
+//! query. To augment an intercepted response with additional information, the
+//! controller inserts an empty line followed by the key-value pairs it wishes
+//! to add" (§3.4).
+//!
+//! Two hooks model this:
+//!
+//! * [`Interceptor`] answers queries on behalf of end-hosts (e.g. hosts with
+//!   no ident++ daemon — the "Incremental Benefit" case of §4, or a branch
+//!   gateway speaking for its whole site),
+//! * [`ResponseAugmenter`] appends a section to responses passing through
+//!   (e.g. a branch controller adding the rules its network will accept — the
+//!   "Network Collaboration" case of §4).
+
+use identxx_proto::{FiveTuple, Ipv4Addr, Response, Section};
+
+/// The direction of the end-host a query was addressed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryTarget {
+    /// The query was addressed to the flow's source host.
+    Source,
+    /// The query was addressed to the flow's destination host.
+    Destination,
+}
+
+/// Answers queries on behalf of end-hosts.
+pub trait Interceptor: Send {
+    /// If this interceptor speaks for `target_addr`, produce the spoofed
+    /// response for the query about `flow`; otherwise return `None` and the
+    /// query proceeds to the real daemon.
+    fn answer_for(
+        &mut self,
+        target_addr: Ipv4Addr,
+        flow: &FiveTuple,
+        target: QueryTarget,
+    ) -> Option<Response>;
+
+    /// Name for reporting/auditing.
+    fn name(&self) -> &str;
+}
+
+/// Appends sections to responses passing through the controller.
+pub trait ResponseAugmenter: Send {
+    /// Given the response for `flow` from the `target` side, optionally
+    /// return a section to append.
+    fn augment(
+        &mut self,
+        flow: &FiveTuple,
+        target: QueryTarget,
+        response: &Response,
+    ) -> Option<Section>;
+
+    /// Name for reporting/auditing.
+    fn name(&self) -> &str;
+}
+
+/// A simple interceptor that answers for a fixed set of addresses with a fixed
+/// set of key-value pairs — enough for the incremental-deployment experiments
+/// (hosts without daemons) and unit tests.
+pub struct StaticInterceptor {
+    /// Addresses this interceptor speaks for.
+    pub addresses: Vec<Ipv4Addr>,
+    /// Pairs returned for any query about those addresses.
+    pub pairs: Vec<(String, String)>,
+    name: String,
+}
+
+impl StaticInterceptor {
+    /// Creates a static interceptor.
+    pub fn new(
+        name: impl Into<String>,
+        addresses: Vec<Ipv4Addr>,
+        pairs: Vec<(String, String)>,
+    ) -> StaticInterceptor {
+        StaticInterceptor {
+            addresses,
+            pairs,
+            name: name.into(),
+        }
+    }
+}
+
+impl Interceptor for StaticInterceptor {
+    fn answer_for(
+        &mut self,
+        target_addr: Ipv4Addr,
+        flow: &FiveTuple,
+        _target: QueryTarget,
+    ) -> Option<Response> {
+        if !self.addresses.contains(&target_addr) {
+            return None;
+        }
+        let mut response = Response::new(*flow);
+        let mut section = Section::new();
+        for (k, v) in &self.pairs {
+            section.push(k, v.as_str());
+        }
+        response.push_section(section);
+        Some(response)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// An augmenter that appends a fixed section for flows whose destination falls
+/// in a prefix — the shape of the inter-branch collaboration example (§4).
+pub struct PrefixAugmenter {
+    /// Network prefix of the remote branch.
+    pub network: Ipv4Addr,
+    /// Prefix length.
+    pub prefix_len: u8,
+    /// Pairs to append (e.g. `branch-accepts: tcp 80 443` or a signed rule).
+    pub pairs: Vec<(String, String)>,
+    name: String,
+}
+
+impl PrefixAugmenter {
+    /// Creates a prefix-scoped augmenter.
+    pub fn new(
+        name: impl Into<String>,
+        network: Ipv4Addr,
+        prefix_len: u8,
+        pairs: Vec<(String, String)>,
+    ) -> PrefixAugmenter {
+        PrefixAugmenter {
+            network,
+            prefix_len,
+            pairs,
+            name: name.into(),
+        }
+    }
+}
+
+impl ResponseAugmenter for PrefixAugmenter {
+    fn augment(
+        &mut self,
+        flow: &FiveTuple,
+        target: QueryTarget,
+        _response: &Response,
+    ) -> Option<Section> {
+        // Only augment the destination-side response for flows headed into the
+        // branch's prefix.
+        if target != QueryTarget::Destination || !flow.dst_ip.in_prefix(self.network, self.prefix_len)
+        {
+            return None;
+        }
+        let mut section = Section::new();
+        for (k, v) in &self.pairs {
+            section.push(k, v.as_str());
+        }
+        Some(section)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([10, 1, 0, 5], 40000, [10, 2, 0, 7], 443)
+    }
+
+    #[test]
+    fn static_interceptor_answers_only_for_its_addresses() {
+        let mut interceptor = StaticInterceptor::new(
+            "legacy-hosts",
+            vec![Ipv4Addr::new(10, 2, 0, 7)],
+            vec![("name".to_string(), "legacy-service".to_string())],
+        );
+        assert_eq!(interceptor.name(), "legacy-hosts");
+        let answered = interceptor
+            .answer_for(Ipv4Addr::new(10, 2, 0, 7), &flow(), QueryTarget::Destination)
+            .unwrap();
+        assert_eq!(answered.latest("name"), Some("legacy-service"));
+        assert!(interceptor
+            .answer_for(Ipv4Addr::new(10, 1, 0, 5), &flow(), QueryTarget::Source)
+            .is_none());
+    }
+
+    #[test]
+    fn prefix_augmenter_scopes_to_destination_prefix() {
+        let mut augmenter = PrefixAugmenter::new(
+            "branch-b",
+            Ipv4Addr::new(10, 2, 0, 0),
+            16,
+            vec![("branch-accepts".to_string(), "443".to_string())],
+        );
+        assert_eq!(augmenter.name(), "branch-b");
+        let response = Response::new(flow());
+        let section = augmenter
+            .augment(&flow(), QueryTarget::Destination, &response)
+            .unwrap();
+        assert_eq!(section.get("branch-accepts").unwrap().as_str(), "443");
+        // Source-side responses are untouched.
+        assert!(augmenter
+            .augment(&flow(), QueryTarget::Source, &response)
+            .is_none());
+        // Flows to other prefixes are untouched.
+        let other = FiveTuple::tcp([10, 1, 0, 5], 40000, [10, 9, 0, 7], 443);
+        assert!(augmenter
+            .augment(&other, QueryTarget::Destination, &response)
+            .is_none());
+    }
+}

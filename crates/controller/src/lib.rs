@@ -1,0 +1,36 @@
+//! # identxx-controller — the ident++ OpenFlow controller
+//!
+//! "When an OpenFlow switch cannot find a match for a packet in its flow
+//! table, it sends the packet to the ident++ controller. When the controller
+//! receives the packet, it queries the source and destination ident++ daemons
+//! for additional information. The information is then stored in the `@src`
+//! and the `@dst` dictionaries. The controller then executes the rules that
+//! are stored in its configuration files" (§3.4).
+//!
+//! The crate provides:
+//!
+//! * [`config`] — the controller's configuration: `.control` files, trusted
+//!   public keys, named group lists, defaults,
+//! * [`querier`] — the directory of end-host daemons the controller queries,
+//! * [`intercept`] — interception and augmentation of queries/responses by
+//!   on-path controllers (answering on behalf of hosts, adding sections),
+//! * [`install`] — turning decisions into flow-table entries along the flow's
+//!   switch path,
+//! * [`audit`] — the audit log that makes delegation supervisable ("log and
+//!   audit the delegates' actions, and revoke the delegation if needed", §1),
+//! * [`controller`] — [`IdentxxController`] itself, which implements the
+//!   OpenFlow controller interface.
+
+pub mod audit;
+pub mod config;
+pub mod controller;
+pub mod install;
+pub mod intercept;
+pub mod querier;
+
+pub use audit::{AuditLog, AuditRecord};
+pub use config::ControllerConfig;
+pub use controller::{FlowDecision, IdentxxController};
+pub use install::NetworkMap;
+pub use intercept::{Interceptor, ResponseAugmenter};
+pub use querier::DaemonDirectory;

@@ -1,0 +1,166 @@
+//! The directory of end-host daemons the controller can query.
+//!
+//! In a deployment, the controller opens a TCP connection to port 783 on the
+//! flow's source and destination addresses (the `identxx-net` crate implements
+//! that transport). In the simulator the daemons live in the same process; the
+//! directory maps host addresses to their daemons and performs the query
+//! call, counting the messages exchanged so experiments can report query
+//! overhead.
+
+use std::collections::BTreeMap;
+
+use identxx_daemon::Daemon;
+use identxx_proto::{FiveTuple, Ipv4Addr, Query, Response};
+
+/// The set of end-host daemons reachable from the controller.
+#[derive(Debug, Default)]
+pub struct DaemonDirectory {
+    daemons: BTreeMap<Ipv4Addr, Daemon>,
+    queries_sent: u64,
+    responses_received: u64,
+}
+
+impl DaemonDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        DaemonDirectory::default()
+    }
+
+    /// Registers a daemon under its host's address. Replaces any previous
+    /// daemon for that address.
+    pub fn register(&mut self, daemon: Daemon) {
+        self.daemons.insert(daemon.host().addr, daemon);
+    }
+
+    /// Removes the daemon for an address.
+    pub fn unregister(&mut self, addr: Ipv4Addr) -> Option<Daemon> {
+        self.daemons.remove(&addr)
+    }
+
+    /// Access a daemon by address.
+    pub fn get(&self, addr: Ipv4Addr) -> Option<&Daemon> {
+        self.daemons.get(&addr)
+    }
+
+    /// Mutable access to a daemon by address (used by scenarios to start
+    /// applications, install configs, or compromise hosts mid-experiment).
+    pub fn get_mut(&mut self, addr: Ipv4Addr) -> Option<&mut Daemon> {
+        self.daemons.get_mut(&addr)
+    }
+
+    /// Queries the daemon at `addr` about `flow` with the given key hints.
+    ///
+    /// Returns `None` when no daemon is registered at the address, the daemon
+    /// is silent, or the daemon refuses the query; the controller's policy
+    /// must then cope with missing information.
+    pub fn query(&mut self, addr: Ipv4Addr, flow: &FiveTuple, keys: &[&str]) -> Option<Response> {
+        let daemon = self.daemons.get_mut(&addr)?;
+        let mut query = Query::new(*flow);
+        for k in keys {
+            query = query.with_key(k);
+        }
+        self.queries_sent += 1;
+        match daemon.answer(&query) {
+            Ok(Some(response)) => {
+                self.responses_received += 1;
+                Some(response)
+            }
+            Ok(None) | Err(_) => None,
+        }
+    }
+
+    /// Number of registered daemons.
+    pub fn len(&self) -> usize {
+        self.daemons.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.daemons.is_empty()
+    }
+
+    /// Total ident++ queries sent so far.
+    pub fn queries_sent(&self) -> u64 {
+        self.queries_sent
+    }
+
+    /// Total responses received so far.
+    pub fn responses_received(&self) -> u64 {
+        self.responses_received
+    }
+
+    /// Addresses of every registered daemon.
+    pub fn addresses(&self) -> Vec<Ipv4Addr> {
+        self.daemons.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_hostmodel::{Executable, Host};
+    use identxx_proto::well_known;
+
+    fn daemon_at(addr: [u8; 4]) -> Daemon {
+        Daemon::bare(Host::new(format!("h-{}", addr[3]), Ipv4Addr::from(addr)))
+    }
+
+    #[test]
+    fn register_query_and_count() {
+        let mut dir = DaemonDirectory::new();
+        let mut d = daemon_at([10, 0, 0, 1]);
+        let exe = Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser");
+        let flow = d
+            .host_mut()
+            .open_connection("alice", exe, 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        dir.register(d);
+        dir.register(daemon_at([10, 0, 0, 2]));
+        assert_eq!(dir.len(), 2);
+
+        let resp = dir
+            .query(Ipv4Addr::new(10, 0, 0, 1), &flow, &[well_known::USER_ID])
+            .unwrap();
+        assert_eq!(resp.latest(well_known::USER_ID), Some("alice"));
+        assert_eq!(dir.queries_sent(), 1);
+        assert_eq!(dir.responses_received(), 1);
+
+        // Unknown address: no query is even sent.
+        assert!(dir.query(Ipv4Addr::new(9, 9, 9, 9), &flow, &[]).is_none());
+        assert_eq!(dir.queries_sent(), 1);
+    }
+
+    #[test]
+    fn silent_daemons_count_as_unanswered_queries() {
+        let mut dir = DaemonDirectory::new();
+        let mut d = daemon_at([10, 0, 0, 1]);
+        d.set_silent(true);
+        dir.register(d);
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 2);
+        assert!(dir.query(Ipv4Addr::new(10, 0, 0, 1), &flow, &[]).is_none());
+        assert_eq!(dir.queries_sent(), 1);
+        assert_eq!(dir.responses_received(), 0);
+    }
+
+    #[test]
+    fn unregister_and_mutate() {
+        let mut dir = DaemonDirectory::new();
+        dir.register(daemon_at([10, 0, 0, 1]));
+        assert!(dir.get(Ipv4Addr::new(10, 0, 0, 1)).is_some());
+        dir.get_mut(Ipv4Addr::new(10, 0, 0, 1))
+            .unwrap()
+            .set_silent(true);
+        assert!(dir.get(Ipv4Addr::new(10, 0, 0, 1)).unwrap().is_silent());
+        assert!(dir.unregister(Ipv4Addr::new(10, 0, 0, 1)).is_some());
+        assert!(dir.is_empty());
+        assert!(dir.addresses().is_empty());
+    }
+
+    #[test]
+    fn query_about_unrelated_flow_returns_none() {
+        let mut dir = DaemonDirectory::new();
+        dir.register(daemon_at([10, 0, 0, 1]));
+        // This flow involves neither source nor destination 10.0.0.1.
+        let flow = FiveTuple::tcp([10, 0, 0, 7], 1, [10, 0, 0, 8], 2);
+        assert!(dir.query(Ipv4Addr::new(10, 0, 0, 1), &flow, &[]).is_none());
+    }
+}

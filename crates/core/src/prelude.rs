@@ -1,0 +1,13 @@
+//! Convenient re-exports for users of the ident++ reproduction.
+
+pub use identxx_controller::{ControllerConfig, FlowDecision, IdentxxController, NetworkMap};
+pub use identxx_daemon::{appconfig::signed_app_config, AppConfig, Daemon};
+pub use identxx_hostmodel::{Executable, Host, User};
+pub use identxx_netsim::{LinkProps, Topology, WorkloadConfig, WorkloadGenerator};
+pub use identxx_openflow::{FlowMatch, FlowTable, OfAction, Switch};
+pub use identxx_pf::{parse_ruleset, Decision, EvalContext, Verdict};
+pub use identxx_proto::{well_known, FiveTuple, IpProtocol, Ipv4Addr, Query, Response, Section};
+
+pub use crate::network::EnterpriseNetwork;
+pub use crate::scenario::{render_table, FlowOutcome, FlowSetupReport, ScenarioFlow};
+pub use crate::{firefox_app, skype_app};

@@ -1,0 +1,145 @@
+//! Result and reporting types shared by scenarios, examples and benchmarks.
+
+use identxx_pf::Decision;
+use identxx_proto::FiveTuple;
+
+/// A named flow inside a scenario, with the decision the paper's text says it
+/// should receive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioFlow {
+    /// Human-readable description ("skype → skype", "old skype → server", …).
+    pub description: String,
+    /// The 5-tuple.
+    pub flow: FiveTuple,
+    /// The decision the paper's prose expects for this flow.
+    pub expected: Decision,
+    /// The decision the implementation produced.
+    pub actual: Decision,
+}
+
+impl ScenarioFlow {
+    /// Whether the implementation matched the paper.
+    pub fn matches(&self) -> bool {
+        self.expected == self.actual
+    }
+}
+
+/// The outcome of delivering a flow's first packet through the simulated
+/// network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOutcome {
+    /// The flow.
+    pub flow: FiveTuple,
+    /// Whether the packet ultimately reached its destination host.
+    pub delivered: bool,
+    /// The controller's decision (None if the packet never reached the
+    /// controller, e.g. a pre-installed drop entry).
+    pub decision: Option<Decision>,
+    /// Whether the controller answered from its state table.
+    pub from_cache: bool,
+    /// ident++ queries issued for this packet.
+    pub queries_issued: u32,
+    /// Number of flow-table entries installed as a result.
+    pub entries_installed: usize,
+    /// Number of switches the packet traversed on the data path.
+    pub switches_traversed: usize,
+}
+
+/// The timed report of one flow setup (Fig. 1), produced by the event-driven
+/// simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSetupReport {
+    /// The flow being set up.
+    pub flow: FiveTuple,
+    /// The controller's decision.
+    pub decision: Decision,
+    /// Number of switches on the client→server path.
+    pub path_switches: usize,
+    /// Total setup latency: first packet sent → first packet arrives at the
+    /// destination (microseconds of simulated time).
+    pub setup_latency_us: u64,
+    /// Latency a subsequent packet of the same flow experiences (pure data
+    /// path, all switch tables populated).
+    pub cached_latency_us: u64,
+    /// Number of ident++ query/response message exchanges.
+    pub ident_exchanges: u32,
+    /// Number of OpenFlow control messages (packet-in + flow-mods).
+    pub openflow_messages: u32,
+}
+
+impl FlowSetupReport {
+    /// The multiplicative overhead of flow setup over the cached data path.
+    pub fn setup_overhead(&self) -> f64 {
+        if self.cached_latency_us == 0 {
+            return 0.0;
+        }
+        self.setup_latency_us as f64 / self.cached_latency_us as f64
+    }
+}
+
+/// Renders a list of scenario flows as an aligned text table (used by the
+/// examples to print paper-style summaries).
+pub fn render_table(flows: &[ScenarioFlow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44} {:>10} {:>10} {:>8}\n",
+        "flow", "expected", "actual", "match"
+    ));
+    for f in flows {
+        out.push_str(&format!(
+            "{:<44} {:>10} {:>10} {:>8}\n",
+            f.description,
+            format!("{:?}", f.expected),
+            format!("{:?}", f.actual),
+            if f.matches() { "yes" } else { "NO" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 80)
+    }
+
+    #[test]
+    fn scenario_flow_matching() {
+        let ok = ScenarioFlow {
+            description: "skype → skype".into(),
+            flow: flow(),
+            expected: Decision::Pass,
+            actual: Decision::Pass,
+        };
+        let bad = ScenarioFlow {
+            actual: Decision::Block,
+            ..ok.clone()
+        };
+        assert!(ok.matches());
+        assert!(!bad.matches());
+        let table = render_table(&[ok, bad]);
+        assert!(table.contains("skype → skype"));
+        assert!(table.contains("NO"));
+    }
+
+    #[test]
+    fn setup_overhead_computation() {
+        let report = FlowSetupReport {
+            flow: flow(),
+            decision: Decision::Pass,
+            path_switches: 3,
+            setup_latency_us: 1200,
+            cached_latency_us: 400,
+            ident_exchanges: 4,
+            openflow_messages: 7,
+        };
+        assert!((report.setup_overhead() - 3.0).abs() < 1e-9);
+        let degenerate = FlowSetupReport {
+            cached_latency_us: 0,
+            ..report
+        };
+        assert_eq!(degenerate.setup_overhead(), 0.0);
+    }
+}

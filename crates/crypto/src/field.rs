@@ -1,0 +1,163 @@
+//! Modular arithmetic over the 61-bit Mersenne prime `p = 2^61 - 1`.
+//!
+//! The toy Schnorr signature scheme in [`crate::schnorr`] works in the
+//! multiplicative group of this field. A 61-bit discrete-log group is far too
+//! small for real-world security; it is used here only so that signature
+//! creation, distribution, and verification — and in particular *tamper
+//! detection* for delegated rules — are exercised with real group arithmetic
+//! and no external dependencies. See `DESIGN.md` §2 for the substitution note.
+
+/// The field modulus: the Mersenne prime `2^61 - 1`.
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// The order of the multiplicative group, `p - 1`.
+pub const GROUP_ORDER: u64 = P - 1;
+
+/// A fixed generator of a large subgroup of `Z_p^*`.
+///
+/// 3 generates a subgroup of order dividing `p - 1`; for the purposes of the
+/// toy scheme any element of large order works.
+pub const GENERATOR: u64 = 3;
+
+/// Reduces an arbitrary `u64` modulo `p`.
+pub fn reduce(x: u64) -> u64 {
+    x % P
+}
+
+/// Modular addition.
+pub fn add(a: u64, b: u64) -> u64 {
+    let (a, b) = (reduce(a), reduce(b));
+    let s = a as u128 + b as u128;
+    (s % P as u128) as u64
+}
+
+/// Modular subtraction.
+pub fn sub(a: u64, b: u64) -> u64 {
+    let (a, b) = (reduce(a), reduce(b));
+    if a >= b {
+        a - b
+    } else {
+        a + P - b
+    }
+}
+
+/// Modular multiplication (via 128-bit intermediate).
+pub fn mul(a: u64, b: u64) -> u64 {
+    let prod = reduce(a) as u128 * reduce(b) as u128;
+    (prod % P as u128) as u64
+}
+
+/// Modular exponentiation `base^exp mod p` by square-and-multiply.
+pub fn pow(base: u64, mut exp: u64) -> u64 {
+    let mut base = reduce(base);
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat's little theorem (`a^(p-2) mod p`).
+///
+/// Returns `None` for zero, which has no inverse.
+pub fn inv(a: u64) -> Option<u64> {
+    let a = reduce(a);
+    if a == 0 {
+        None
+    } else {
+        Some(pow(a, P - 2))
+    }
+}
+
+/// Addition modulo the group order (used for Schnorr's `s = k + x*e`).
+pub fn add_order(a: u64, b: u64) -> u64 {
+    ((a as u128 + b as u128) % GROUP_ORDER as u128) as u64
+}
+
+/// Multiplication modulo the group order.
+pub fn mul_order(a: u64, b: u64) -> u64 {
+    ((a as u128 % GROUP_ORDER as u128) * (b as u128 % GROUP_ORDER as u128) % GROUP_ORDER as u128)
+        as u64
+}
+
+/// Subtraction modulo the group order.
+pub fn sub_order(a: u64, b: u64) -> u64 {
+    let a = a % GROUP_ORDER;
+    let b = b % GROUP_ORDER;
+    if a >= b {
+        a - b
+    } else {
+        a + GROUP_ORDER - b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_is_mersenne_61() {
+        assert_eq!(P, 2_305_843_009_213_693_951);
+    }
+
+    #[test]
+    fn add_sub_are_inverses() {
+        let a = 123_456_789_012_345;
+        let b = P - 5;
+        assert_eq!(sub(add(a, b), b), reduce(a));
+        assert_eq!(add(sub(a, b), b), reduce(a));
+        assert_eq!(add(P - 1, 1), 0);
+        assert_eq!(sub(0, 1), P - 1);
+    }
+
+    #[test]
+    fn mul_matches_naive_for_small_values() {
+        assert_eq!(mul(1000, 1000), 1_000_000);
+        assert_eq!(mul(P - 1, 2), P - 2); // (-1)*2 = -2
+        assert_eq!(mul(0, 12345), 0);
+    }
+
+    #[test]
+    fn pow_basic_identities() {
+        assert_eq!(pow(GENERATOR, 0), 1);
+        assert_eq!(pow(GENERATOR, 1), GENERATOR);
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+        // Fermat: a^(p-1) == 1 for a != 0.
+        for a in [2u64, 3, 65_537, P - 2] {
+            assert_eq!(pow(a, P - 1), 1, "fermat failed for {a}");
+        }
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        for a in [1u64, 2, 3, 999_983, P - 1] {
+            let ai = inv(a).unwrap();
+            assert_eq!(mul(a, ai), 1, "inverse failed for {a}");
+        }
+        assert_eq!(inv(0), None);
+        assert_eq!(inv(P), None); // reduces to zero
+    }
+
+    #[test]
+    fn pow_is_homomorphic() {
+        // g^(a+b) == g^a * g^b  (exponents mod group order)
+        let a = 987_654_321;
+        let b = 123_456_789;
+        assert_eq!(
+            pow(GENERATOR, add_order(a, b)),
+            mul(pow(GENERATOR, a), pow(GENERATOR, b))
+        );
+    }
+
+    #[test]
+    fn order_arithmetic_wraps() {
+        assert_eq!(add_order(GROUP_ORDER - 1, 2), 1);
+        assert_eq!(sub_order(0, 1), GROUP_ORDER - 1);
+        assert_eq!(mul_order(GROUP_ORDER - 1, GROUP_ORDER - 1), 1); // (-1)^2
+    }
+}

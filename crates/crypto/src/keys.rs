@@ -1,0 +1,207 @@
+//! Key pairs and the named public-key registry.
+//!
+//! Controller configuration files declare the public keys they trust with the
+//! PF+=2 `dict` construct, e.g. Fig. 5:
+//!
+//! ```text
+//! dict <pubkeys> { \
+//!     research : sk3ajf...fa932 \
+//!     admin    : a923jx...a12kz \
+//! }
+//! ```
+//!
+//! [`KeyRegistry`] is the in-memory form of that dictionary; the PF+=2
+//! evaluator resolves `@pubkeys[research]` against it (or against the literal
+//! hex value, when the dictionary stores the key material inline).
+
+use std::collections::BTreeMap;
+
+use crate::schnorr;
+use crate::sha256::{from_hex, sha256, to_hex};
+
+/// A secret (signing) key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey(pub(crate) u64);
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print secret key material.
+        write!(f, "SecretKey(..)")
+    }
+}
+
+/// A public (verification) key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PublicKey(pub(crate) u64);
+
+impl PublicKey {
+    /// Hex form, as stored in `.control` files.
+    pub fn to_hex(&self) -> String {
+        to_hex(&self.0.to_be_bytes())
+    }
+
+    /// Parses the hex form. Returns `None` for malformed input.
+    pub fn from_hex(s: &str) -> Option<PublicKey> {
+        let bytes = from_hex(s.trim())?;
+        if bytes.len() != 8 {
+            return None;
+        }
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&bytes);
+        Some(PublicKey(u64::from_be_bytes(w)))
+    }
+
+    /// The raw group element.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A signing key pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyPair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from a seed.
+    ///
+    /// Deterministic derivation keeps simulator runs and the paper-figure
+    /// scenarios reproducible; a production deployment would draw the secret
+    /// from a CSPRNG instead.
+    pub fn from_seed(seed: &[u8]) -> KeyPair {
+        let digest = sha256(&[b"identxx-keypair:", seed].concat());
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&digest[..8]);
+        let mut x = u64::from_be_bytes(w) % crate::field::GROUP_ORDER;
+        if x == 0 {
+            x = 1;
+        }
+        KeyPair {
+            secret: SecretKey(x),
+            public: PublicKey(schnorr::public_key(x)),
+        }
+    }
+
+    /// Builds a key pair from a raw secret scalar.
+    pub fn from_secret(x: u64) -> KeyPair {
+        let x = if x % crate::field::GROUP_ORDER == 0 {
+            1
+        } else {
+            x % crate::field::GROUP_ORDER
+        };
+        KeyPair {
+            secret: SecretKey(x),
+            public: PublicKey(schnorr::public_key(x)),
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs a raw message.
+    pub fn sign(&self, message: &[u8]) -> schnorr::Signature {
+        schnorr::sign(self.secret.0, message)
+    }
+}
+
+/// A named registry of trusted public keys (`dict <pubkeys> { … }`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KeyRegistry {
+    keys: BTreeMap<String, PublicKey>,
+}
+
+impl KeyRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        KeyRegistry::default()
+    }
+
+    /// Registers (or replaces) a named key.
+    pub fn insert(&mut self, name: impl Into<String>, key: PublicKey) {
+        self.keys.insert(name.into(), key);
+    }
+
+    /// Looks up a key by name.
+    pub fn get(&self, name: &str) -> Option<PublicKey> {
+        self.keys.get(name).copied()
+    }
+
+    /// Resolves a PF+=2 key argument: either the name of a registered key or
+    /// an inline hex-encoded public key.
+    pub fn resolve(&self, name_or_hex: &str) -> Option<PublicKey> {
+        self.get(name_or_hex)
+            .or_else(|| PublicKey::from_hex(name_or_hex))
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates over `(name, key)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, PublicKey)> {
+        self.keys.iter().map(|(n, k)| (n.as_str(), *k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_pair_is_deterministic_per_seed() {
+        let a = KeyPair::from_seed(b"research");
+        let b = KeyPair::from_seed(b"research");
+        let c = KeyPair::from_seed(b"admin");
+        assert_eq!(a, b);
+        assert_ne!(a.public(), c.public());
+    }
+
+    #[test]
+    fn public_key_hex_round_trip() {
+        let kp = KeyPair::from_seed(b"Secur");
+        let hex = kp.public().to_hex();
+        assert_eq!(PublicKey::from_hex(&hex), Some(kp.public()));
+        assert_eq!(PublicKey::from_hex("nothex"), None);
+        assert_eq!(PublicKey::from_hex("abcd"), None);
+    }
+
+    #[test]
+    fn registry_lookup_and_resolve() {
+        let research = KeyPair::from_seed(b"research");
+        let mut reg = KeyRegistry::new();
+        reg.insert("research", research.public());
+        assert_eq!(reg.get("research"), Some(research.public()));
+        assert_eq!(reg.get("admin"), None);
+        assert_eq!(reg.resolve("research"), Some(research.public()));
+        // Inline hex also resolves even if not registered by name.
+        let secur = KeyPair::from_seed(b"Secur");
+        assert_eq!(reg.resolve(&secur.public().to_hex()), Some(secur.public()));
+        assert_eq!(reg.resolve("unknown"), None);
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn secret_key_debug_does_not_leak() {
+        let kp = KeyPair::from_secret(123456);
+        let dbg = format!("{:?}", kp);
+        assert!(!dbg.contains("123456"));
+    }
+
+    #[test]
+    fn zero_secret_is_avoided() {
+        let kp = KeyPair::from_secret(0);
+        let msg = b"m";
+        assert!(schnorr::verify(kp.public().raw(), msg, &kp.sign(msg)));
+    }
+}

@@ -1,0 +1,52 @@
+//! # identxx-crypto — hashing and signatures for authenticated delegation
+//!
+//! The paper's PF+=2 language has a `verify` function: "verify tests if first
+//! argument is the correct signature for public key specified in second
+//! argument and data specified in remaining arguments" (§3.3). Combined with
+//! `allowed`, this enables **authenticated delegation**: users and third
+//! parties (such as the "Secur" security company of §4) sign the network
+//! requirements of an application together with its name and executable hash,
+//! and the controller enforces those requirements only if the signature
+//! verifies against a public key it has been configured to trust.
+//!
+//! The paper does not specify a signature scheme. This crate provides:
+//!
+//! * [`sha256`] — SHA-256 implemented from scratch and checked against the
+//!   FIPS 180-4 test vectors (used for executable hashes and as the signature
+//!   scheme's hash function),
+//! * [`hmac`] — HMAC-SHA256 (used for keyed integrity in the simulator),
+//! * [`field`] + [`schnorr`] — a *toy* Schnorr-style discrete-log signature
+//!   over the 61-bit Mersenne prime field. **This is not cryptographically
+//!   strong** (the field is far too small for real security); it exists so
+//!   that the `verify` code path, key distribution, and tamper detection are
+//!   exercised end to end without pulling in external crypto crates. The
+//!   substitution is recorded in `DESIGN.md` §2.
+//! * [`keys`] — key pairs and a named key registry mirroring the
+//!   `dict <pubkeys> { research : …, admin : … }` construct of Fig. 5/7,
+//! * [`signing`] — canonical encoding and signing of multi-part data (the
+//!   `(exe-hash, app-name, requirements)` bundles that `verify` checks).
+//!
+//! ## Example
+//!
+//! ```
+//! use identxx_crypto::{KeyPair, sign_bundle, verify_bundle};
+//!
+//! let researcher = KeyPair::from_seed(b"researcher key");
+//! let data = ["deadbeef", "research-app", "block all\npass all"];
+//! let sig = sign_bundle(&researcher, &data);
+//! assert!(verify_bundle(&sig, &researcher.public(), &data));
+//! let tampered = ["deadbeef", "research-app", "pass all"];
+//! assert!(!verify_bundle(&sig, &researcher.public(), &tampered));
+//! ```
+
+pub mod field;
+pub mod hmac;
+pub mod keys;
+pub mod schnorr;
+pub mod sha256;
+pub mod signing;
+
+pub use keys::{KeyPair, KeyRegistry, PublicKey, SecretKey};
+pub use schnorr::Signature;
+pub use sha256::{sha256, sha256_hex, Sha256};
+pub use signing::{sign_bundle, sign_bundle_hex, verify_bundle, verify_bundle_hex, CryptoError};

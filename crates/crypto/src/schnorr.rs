@@ -1,0 +1,180 @@
+//! A toy Schnorr-style signature scheme over the 61-bit Mersenne prime field.
+//!
+//! Scheme (all arithmetic in [`crate::field`]):
+//!
+//! * secret key `x ∈ [1, q)`, public key `y = g^x mod p` where `q = p - 1`,
+//! * sign(m): derive a per-message nonce `k = H(x ‖ m) mod q` (deterministic,
+//!   RFC-6979 style, so the simulator needs no CSPRNG at signing time),
+//!   `r = g^k`, challenge `e = H(r ‖ m) mod q`, `s = k + x·e mod q`,
+//! * verify(m, (e, s)): `r' = g^s · y^{-e}`, accept iff `H(r' ‖ m) mod q == e`.
+//!
+//! **Not secure for real use** — the group is only 61 bits — but the protocol
+//! structure, serialization, and tamper-rejection behaviour match a real
+//! deployment, which is what the ident++ `verify` function needs.
+
+use crate::field::{self, GENERATOR, GROUP_ORDER};
+use crate::sha256::{from_hex, sha256, to_hex};
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Signature {
+    /// The challenge.
+    pub e: u64,
+    /// The response.
+    pub s: u64,
+}
+
+impl Signature {
+    /// Serializes the signature as a hex string (as it appears in the
+    /// `req-sig` key of daemon configuration files).
+    pub fn to_hex(&self) -> String {
+        let mut bytes = Vec::with_capacity(16);
+        bytes.extend_from_slice(&self.e.to_be_bytes());
+        bytes.extend_from_slice(&self.s.to_be_bytes());
+        to_hex(&bytes)
+    }
+
+    /// Parses a signature from its hex form. Returns `None` for malformed
+    /// input (wrong length or non-hex characters).
+    pub fn from_hex(s: &str) -> Option<Signature> {
+        let bytes = from_hex(s.trim())?;
+        if bytes.len() != 16 {
+            return None;
+        }
+        let mut e = [0u8; 8];
+        let mut sv = [0u8; 8];
+        e.copy_from_slice(&bytes[..8]);
+        sv.copy_from_slice(&bytes[8..]);
+        Some(Signature {
+            e: u64::from_be_bytes(e),
+            s: u64::from_be_bytes(sv),
+        })
+    }
+}
+
+fn hash_to_scalar(parts: &[&[u8]]) -> u64 {
+    let mut buf = Vec::new();
+    for p in parts {
+        buf.extend_from_slice(&(p.len() as u64).to_be_bytes());
+        buf.extend_from_slice(p);
+    }
+    let digest = sha256(&buf);
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&digest[..8]);
+    u64::from_be_bytes(word) % GROUP_ORDER
+}
+
+/// Signs `message` with secret key `x`, returning the signature.
+pub fn sign(x: u64, message: &[u8]) -> Signature {
+    let x = x % GROUP_ORDER;
+    // Deterministic nonce bound to both the key and the message.
+    let mut k = hash_to_scalar(&[b"identxx-nonce", &x.to_be_bytes(), message]);
+    if k == 0 {
+        k = 1;
+    }
+    let r = field::pow(GENERATOR, k);
+    let e = hash_to_scalar(&[b"identxx-challenge", &r.to_be_bytes(), message]);
+    let s = field::add_order(k, field::mul_order(x, e));
+    Signature { e, s }
+}
+
+/// Verifies `signature` over `message` against public key `y = g^x`.
+pub fn verify(y: u64, message: &[u8], signature: &Signature) -> bool {
+    if signature.e >= GROUP_ORDER || signature.s >= GROUP_ORDER {
+        return false;
+    }
+    if y == 0 || y >= field::P {
+        return false;
+    }
+    // r' = g^s * y^{-e} = g^s * (y^e)^{-1}
+    let y_e = field::pow(y, signature.e);
+    let y_e_inv = match field::inv(y_e) {
+        Some(v) => v,
+        None => return false,
+    };
+    let r = field::mul(field::pow(GENERATOR, signature.s), y_e_inv);
+    let e = hash_to_scalar(&[b"identxx-challenge", &r.to_be_bytes(), message]);
+    e == signature.e
+}
+
+/// Derives the public key for secret key `x`.
+pub fn public_key(x: u64) -> u64 {
+    field::pow(GENERATOR, x % GROUP_ORDER)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let x = 0x1234_5678_9abc_def0 % GROUP_ORDER;
+        let y = public_key(x);
+        let msg = b"block all; pass with eq(@src[name], research-app)";
+        let sig = sign(x, msg);
+        assert!(verify(y, msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let x = 42_424_242;
+        let y = public_key(x);
+        let sig = sign(x, b"pass from research to research");
+        assert!(!verify(y, b"pass from research to production", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sig = sign(1111, b"message");
+        let other = public_key(2222);
+        assert!(!verify(other, b"message", &sig));
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let a = sign(777, b"same message");
+        let b = sign(777, b"same message");
+        assert_eq!(a, b);
+        let c = sign(777, b"different message");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let sig = sign(31337, b"hex me");
+        let hex = sig.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Signature::from_hex(&hex), Some(sig));
+        assert_eq!(Signature::from_hex("zz"), None);
+        assert_eq!(Signature::from_hex("abcd"), None);
+    }
+
+    #[test]
+    fn malformed_signature_values_rejected() {
+        let x = 5555;
+        let y = public_key(x);
+        let msg = b"msg";
+        let good = sign(x, msg);
+        let bad_e = Signature {
+            e: GROUP_ORDER,
+            s: good.s,
+        };
+        let bad_s = Signature {
+            e: good.e,
+            s: GROUP_ORDER + 1,
+        };
+        assert!(!verify(y, msg, &bad_e));
+        assert!(!verify(y, msg, &bad_s));
+        assert!(!verify(0, msg, &good));
+    }
+
+    #[test]
+    fn flipping_any_sig_component_rejects() {
+        let x = 90210;
+        let y = public_key(x);
+        let msg = b"conforms to Secur rules";
+        let sig = sign(x, msg);
+        assert!(!verify(y, msg, &Signature { e: sig.e ^ 1, s: sig.s }));
+        assert!(!verify(y, msg, &Signature { e: sig.e, s: sig.s ^ 1 }));
+    }
+}

@@ -1,0 +1,163 @@
+//! Signing of multi-part data bundles, as used by the PF+=2 `verify` function.
+//!
+//! The paper's `verify` call takes a signature, a public key, and a *list* of
+//! data items, e.g. Fig. 5:
+//!
+//! ```text
+//! with verify(@dst[req-sig], @pubkeys[research],
+//!             @dst[exe-hash], @dst[app-name], @dst[requirements])
+//! ```
+//!
+//! The signature must bind all of the data items together — otherwise an
+//! attacker could mix and match (say) the requirements of one application with
+//! the executable hash of another. [`canonical_encoding`] length-prefixes each
+//! item so the encoding is injective, and [`sign_bundle`]/[`verify_bundle`]
+//! sign and verify that encoding.
+
+use std::fmt;
+
+use crate::keys::{KeyPair, PublicKey};
+use crate::schnorr::{self, Signature};
+
+/// Errors from the signing helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The signature string could not be parsed.
+    MalformedSignature(String),
+    /// The public key string could not be parsed or resolved.
+    MalformedPublicKey(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MalformedSignature(s) => write!(f, "malformed signature: {s:?}"),
+            CryptoError::MalformedPublicKey(s) => write!(f, "malformed public key: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+/// Injective canonical encoding of a list of data items.
+///
+/// Each item is prefixed with its length so that `["ab", "c"]` and
+/// `["a", "bc"]` encode differently.
+pub fn canonical_encoding<S: AsRef<str>>(items: &[S]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"identxx-bundle-v1");
+    out.extend_from_slice(&(items.len() as u64).to_be_bytes());
+    for item in items {
+        let bytes = item.as_ref().as_bytes();
+        out.extend_from_slice(&(bytes.len() as u64).to_be_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+/// Signs a data bundle with a key pair.
+pub fn sign_bundle<S: AsRef<str>>(keypair: &KeyPair, items: &[S]) -> Signature {
+    keypair.sign(&canonical_encoding(items))
+}
+
+/// Signs a data bundle and returns the hex form (the value placed in the
+/// `req-sig` configuration key).
+pub fn sign_bundle_hex<S: AsRef<str>>(keypair: &KeyPair, items: &[S]) -> String {
+    sign_bundle(keypair, items).to_hex()
+}
+
+/// Verifies a signed data bundle.
+pub fn verify_bundle<S: AsRef<str>>(sig: &Signature, key: &PublicKey, items: &[S]) -> bool {
+    schnorr::verify(key.raw(), &canonical_encoding(items), sig)
+}
+
+/// Verifies a bundle where the signature and key are given in their textual
+/// (hex) wire/config form. Malformed inputs verify as `false` rather than
+/// erroring — a controller must treat unparseable attacker-supplied data as
+/// simply "not verified".
+pub fn verify_bundle_hex<S: AsRef<str>>(sig_hex: &str, key_hex: &str, items: &[S]) -> bool {
+    let sig = match Signature::from_hex(sig_hex) {
+        Some(s) => s,
+        None => return false,
+    };
+    let key = match PublicKey::from_hex(key_hex) {
+        Some(k) => k,
+        None => return false,
+    };
+    verify_bundle(&sig, &key, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn research_bundle() -> [&'static str; 3] {
+        [
+            "9f2c7a11deadbeef", // exe-hash
+            "research-app",
+            "block all\npass all with eq(@src[name], research-app) with eq(@dst[name], research-app)",
+        ]
+    }
+
+    #[test]
+    fn bundle_round_trip() {
+        let kp = KeyPair::from_seed(b"researcher-alice");
+        let sig = sign_bundle(&kp, &research_bundle());
+        assert!(verify_bundle(&sig, &kp.public(), &research_bundle()));
+    }
+
+    #[test]
+    fn any_modified_item_is_rejected() {
+        let kp = KeyPair::from_seed(b"researcher-alice");
+        let sig = sign_bundle(&kp, &research_bundle());
+        let mut tampered = research_bundle();
+        tampered[0] = "0000000000000000";
+        assert!(!verify_bundle(&sig, &kp.public(), &tampered));
+        let mut tampered = research_bundle();
+        tampered[1] = "evil-app";
+        assert!(!verify_bundle(&sig, &kp.public(), &tampered));
+        let mut tampered = research_bundle();
+        tampered[2] = "pass all";
+        assert!(!verify_bundle(&sig, &kp.public(), &tampered));
+    }
+
+    #[test]
+    fn item_boundaries_matter() {
+        // ["ab","c"] must not verify as ["a","bc"].
+        let kp = KeyPair::from_seed(b"boundary");
+        let sig = sign_bundle(&kp, &["ab", "c"]);
+        assert!(!verify_bundle(&sig, &kp.public(), &["a", "bc"]));
+        assert!(verify_bundle(&sig, &kp.public(), &["ab", "c"]));
+        // Differing item counts also matter.
+        let sig2 = sign_bundle(&kp, &["abc"]);
+        assert!(!verify_bundle(&sig2, &kp.public(), &["abc", ""]));
+    }
+
+    #[test]
+    fn hex_forms_verify() {
+        let kp = KeyPair::from_seed(b"Secur");
+        let items = ["cafebabe", "thunderbird", "block all\npass from any ..."];
+        let sig_hex = sign_bundle_hex(&kp, &items);
+        let key_hex = kp.public().to_hex();
+        assert!(verify_bundle_hex(&sig_hex, &key_hex, &items));
+        assert!(!verify_bundle_hex(&sig_hex, &key_hex, &["x", "y", "z"]));
+        assert!(!verify_bundle_hex("nothex", &key_hex, &items));
+        assert!(!verify_bundle_hex(&sig_hex, "nothex", &items));
+    }
+
+    #[test]
+    fn wrong_signer_is_rejected() {
+        let secur = KeyPair::from_seed(b"Secur");
+        let attacker = KeyPair::from_seed(b"attacker");
+        let items = ["cafebabe", "thunderbird", "pass all"];
+        let sig = sign_bundle(&attacker, &items);
+        assert!(!verify_bundle(&sig, &secur.public(), &items));
+    }
+
+    #[test]
+    fn canonical_encoding_is_prefixed_and_versioned() {
+        let enc = canonical_encoding(&["a"]);
+        assert!(enc.starts_with(b"identxx-bundle-v1"));
+        assert_ne!(canonical_encoding(&["a"]), canonical_encoding(&["a", ""]));
+    }
+}

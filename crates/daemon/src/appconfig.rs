@@ -1,0 +1,321 @@
+//! `@app` daemon configuration blocks.
+//!
+//! The daemon's configuration files (Fig. 3, 4 and 6 of the paper) consist of
+//! blocks keyed by executable path:
+//!
+//! ```text
+//! @app /usr/bin/skype {
+//!     name : skype
+//!     version : 210
+//!     vendor : skype.com
+//!     type : voip
+//!     requirements : \
+//!         pass from any port http \
+//!             with eq(@src[name], skype) \
+//!         pass from any port https \
+//!             with eq(@src[name], skype)
+//!     req-sig : 21oir...w3eda
+//! }
+//! ```
+//!
+//! A trailing backslash continues the value onto the next line (so the
+//! multi-rule `requirements` value stays a single key). The pairs of the block
+//! matching a flow's executable are added, in file order, to the daemon's
+//! response.
+
+use identxx_crypto::{sign_bundle_hex, KeyPair};
+use identxx_hostmodel::Executable;
+
+use crate::error::DaemonError;
+
+/// One `@app` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppConfig {
+    /// The executable path the block applies to.
+    pub exe_path: String,
+    /// The key-value pairs, in file order.
+    pub pairs: Vec<(String, String)>,
+}
+
+impl AppConfig {
+    /// Creates an empty block for an executable path.
+    pub fn new(exe_path: impl Into<String>) -> AppConfig {
+        AppConfig {
+            exe_path: exe_path.into(),
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Adds a pair (builder style).
+    pub fn with_pair(mut self, key: impl Into<String>, value: impl Into<String>) -> AppConfig {
+        self.pairs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks up the last value for a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Renders the block back into the configuration-file syntax.
+    pub fn render(&self) -> String {
+        let mut out = format!("@app {} {{\n", self.exe_path);
+        for (k, v) in &self.pairs {
+            if v.contains('\n') {
+                let folded = v.replace('\n', " \\\n    ");
+                out.push_str(&format!("{k} : \\\n    {folded}\n"));
+            } else {
+                out.push_str(&format!("{k} : {v}\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Parses every `@app` block from a configuration file's text.
+pub fn parse_app_configs(text: &str) -> Result<Vec<AppConfig>, DaemonError> {
+    // Fold line continuations first, tracking original line numbers.
+    let mut folded: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim_end();
+        let (content, continues) = match line.strip_suffix('\\') {
+            Some(rest) => (rest.trim_end(), true),
+            None => (line, false),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                if !content.trim().is_empty() {
+                    if !acc.is_empty() {
+                        acc.push('\n');
+                    }
+                    acc.push_str(content.trim_start());
+                }
+                if continues {
+                    pending = Some((start, acc));
+                } else {
+                    folded.push((start, acc));
+                }
+            }
+            None => {
+                if continues {
+                    pending = Some((line_no, content.to_string()));
+                } else {
+                    folded.push((line_no, content.to_string()));
+                }
+            }
+        }
+    }
+    if let Some((line, acc)) = pending {
+        folded.push((line, acc));
+    }
+
+    let mut configs = Vec::new();
+    let mut current: Option<AppConfig> = None;
+    for (line_no, line) in folded {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("@app") {
+            if current.is_some() {
+                return Err(DaemonError::BadConfig {
+                    line: line_no,
+                    message: "nested @app block".to_string(),
+                });
+            }
+            let rest = rest.trim();
+            let path = rest.trim_end_matches('{').trim();
+            if path.is_empty() || !rest.ends_with('{') {
+                return Err(DaemonError::BadConfig {
+                    line: line_no,
+                    message: "expected `@app <path> {`".to_string(),
+                });
+            }
+            current = Some(AppConfig::new(path));
+            continue;
+        }
+        if trimmed == "}" {
+            match current.take() {
+                Some(config) => configs.push(config),
+                None => {
+                    return Err(DaemonError::BadConfig {
+                        line: line_no,
+                        message: "unmatched '}'".to_string(),
+                    })
+                }
+            }
+            continue;
+        }
+        match current.as_mut() {
+            Some(config) => {
+                // `key : value` — the key never contains ':', values may.
+                let (key, value) = trimmed.split_once(':').ok_or(DaemonError::BadConfig {
+                    line: line_no,
+                    message: format!("expected `key : value`, found {trimmed:?}"),
+                })?;
+                config
+                    .pairs
+                    .push((key.trim().to_string(), value.trim().to_string()));
+            }
+            None => {
+                return Err(DaemonError::BadConfig {
+                    line: line_no,
+                    message: format!("text outside an @app block: {trimmed:?}"),
+                })
+            }
+        }
+    }
+    if current.is_some() {
+        return Err(DaemonError::BadConfig {
+            line: 0,
+            message: "unterminated @app block".to_string(),
+        });
+    }
+    Ok(configs)
+}
+
+/// Builds a *signed* `@app` block for an executable: the requirements are
+/// bound to the executable's name and content hash with the signer's key, as
+/// the research-application (Fig. 4) and Secur (Fig. 6) examples do.
+///
+/// `rule_maker` is recorded under the `rule-maker` key when given (the Secur
+/// pattern); the signature is always placed under `req-sig`.
+pub fn signed_app_config(
+    exe: &Executable,
+    requirements: &str,
+    signer: &KeyPair,
+    rule_maker: Option<&str>,
+) -> AppConfig {
+    let exe_hash = exe.content_hash();
+    let sig = sign_bundle_hex(signer, &[exe_hash.as_str(), exe.name.as_str(), requirements]);
+    let mut config = AppConfig::new(&exe.path)
+        .with_pair("name", &exe.name)
+        .with_pair("version", exe.version.to_string())
+        .with_pair("vendor", &exe.vendor)
+        .with_pair("type", &exe.app_type);
+    if let Some(maker) = rule_maker {
+        config = config.with_pair("rule-maker", maker);
+    }
+    config
+        .with_pair("requirements", requirements)
+        .with_pair("req-sig", sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_crypto::verify_bundle_hex;
+
+    const SKYPE_CONFIG: &str = r#"
+@app /usr/bin/skype {
+name : skype
+version : 210
+vendor : skype.com
+type : voip
+requirements : \
+pass from any port http \
+with eq(@src[name], skype) \
+pass from any port https \
+with eq(@src[name], skype)
+req-sig : 21oirw3eda
+}
+"#;
+
+    #[test]
+    fn parses_figure3_skype_block() {
+        let configs = parse_app_configs(SKYPE_CONFIG).unwrap();
+        assert_eq!(configs.len(), 1);
+        let skype = &configs[0];
+        assert_eq!(skype.exe_path, "/usr/bin/skype");
+        assert_eq!(skype.get("name"), Some("skype"));
+        assert_eq!(skype.get("version"), Some("210"));
+        assert_eq!(skype.get("type"), Some("voip"));
+        assert_eq!(skype.get("req-sig"), Some("21oirw3eda"));
+        let requirements = skype.get("requirements").unwrap();
+        assert!(requirements.contains("pass from any port http"));
+        assert!(requirements.contains("pass from any port https"));
+        // The folded requirements parse as PF+=2.
+        assert!(identxx_pf::parse_ruleset(requirements).is_ok());
+    }
+
+    #[test]
+    fn parses_multiple_blocks_and_comments() {
+        let text = r#"
+# research application policy
+@app /usr/bin/research-app {
+name : research-app
+requirements : block all
+}
+
+@app /usr/bin/thunderbird {
+name : thunderbird
+type : email-client
+rule-maker : Secur
+}
+"#;
+        let configs = parse_app_configs(text).unwrap();
+        assert_eq!(configs.len(), 2);
+        assert_eq!(configs[1].get("rule-maker"), Some("Secur"));
+    }
+
+    #[test]
+    fn malformed_blocks_are_rejected() {
+        assert!(parse_app_configs("@app {\n}").is_err());
+        assert!(parse_app_configs("@app /usr/bin/x\nname : x\n}").is_err());
+        assert!(parse_app_configs("@app /usr/bin/x {\nname x\n}").is_err());
+        assert!(parse_app_configs("name : x\n").is_err());
+        assert!(parse_app_configs("@app /usr/bin/x {\nname : x\n").is_err());
+        assert!(parse_app_configs("}").is_err());
+        assert!(parse_app_configs("@app /a {\n@app /b {\n}\n}").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_ok() {
+        assert_eq!(parse_app_configs("").unwrap().len(), 0);
+        assert_eq!(parse_app_configs("# only a comment\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let configs = parse_app_configs(SKYPE_CONFIG).unwrap();
+        let rendered = configs[0].render();
+        let reparsed = parse_app_configs(&rendered).unwrap();
+        assert_eq!(reparsed.len(), 1);
+        assert_eq!(reparsed[0].get("name"), Some("skype"));
+        assert_eq!(
+            reparsed[0].get("requirements").map(|r| r.replace('\n', " ")),
+            configs[0].get("requirements").map(|r| r.replace('\n', " "))
+        );
+    }
+
+    #[test]
+    fn signed_config_verifies_against_signer() {
+        let exe = Executable::new("/usr/bin/research-app", "research-app", 1, "lab", "research");
+        let researcher = KeyPair::from_seed(b"alice-research-key");
+        let requirements = "block all\npass all with eq(@src[name], research-app) with eq(@dst[name], research-app)";
+        let config = signed_app_config(&exe, requirements, &researcher, None);
+        assert_eq!(config.get("name"), Some("research-app"));
+        let sig = config.get("req-sig").unwrap();
+        assert!(verify_bundle_hex(
+            sig,
+            &researcher.public().to_hex(),
+            &[
+                exe.content_hash().as_str(),
+                "research-app",
+                requirements
+            ]
+        ));
+        // Rule-maker appears only when requested.
+        assert_eq!(config.get("rule-maker"), None);
+        let secur = KeyPair::from_seed(b"Secur");
+        let with_maker = signed_app_config(&exe, requirements, &secur, Some("Secur"));
+        assert_eq!(with_maker.get("rule-maker"), Some("Secur"));
+    }
+}

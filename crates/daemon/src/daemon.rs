@@ -1,0 +1,444 @@
+//! The ident++ daemon itself: query answering.
+
+use identxx_proto::{well_known, FiveTuple, Query, Response, Section};
+
+use identxx_hostmodel::{FlowOwner, Host};
+
+use crate::appconfig::{parse_app_configs, AppConfig};
+use crate::error::DaemonError;
+
+/// Whether the queried host is the source or the destination of the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryDirection {
+    /// The host originated the flow.
+    Source,
+    /// The host is (or would be) the receiver of the flow.
+    Destination,
+}
+
+/// The ident++ daemon running on one end-host.
+///
+/// The daemon owns the simulated [`Host`]; scenarios manipulate the host
+/// through [`Daemon::host_mut`] (spawning processes, opening connections,
+/// installing configuration files) and the controller queries the daemon with
+/// [`Daemon::answer`].
+#[derive(Debug, Clone)]
+pub struct Daemon {
+    host: Host,
+    app_configs: Vec<AppConfig>,
+    /// When set (compromised host), every query is answered with this exact
+    /// set of key-value pairs instead of the truth.
+    forged_pairs: Option<Vec<(String, String)>>,
+    /// When true the daemon simply does not answer (models a host with no
+    /// ident++ support, or a daemon killed by an attacker).
+    silent: bool,
+    /// Number of queries answered (for the experiments' accounting).
+    queries_answered: u64,
+}
+
+impl Daemon {
+    /// Creates a daemon for a host, loading `@app` blocks from every file in
+    /// the host's configuration store.
+    pub fn new(host: Host) -> Result<Daemon, DaemonError> {
+        let mut app_configs = Vec::new();
+        for (_, entry) in host.config.files() {
+            app_configs.extend(parse_app_configs(&entry.contents)?);
+        }
+        Ok(Daemon {
+            host,
+            app_configs,
+            forged_pairs: None,
+            silent: false,
+            queries_answered: 0,
+        })
+    }
+
+    /// Creates a daemon for a host with no configuration files.
+    pub fn bare(host: Host) -> Daemon {
+        Daemon {
+            host,
+            app_configs: Vec::new(),
+            forged_pairs: None,
+            silent: false,
+            queries_answered: 0,
+        }
+    }
+
+    /// Read access to the underlying host.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// Mutable access to the underlying host.
+    pub fn host_mut(&mut self) -> &mut Host {
+        &mut self.host
+    }
+
+    /// Adds an `@app` configuration block directly (equivalent to dropping a
+    /// file into `/etc/identxx/` or a user's `.identxx/` directory and
+    /// re-reading it).
+    pub fn add_app_config(&mut self, config: AppConfig) {
+        self.app_configs.push(config);
+    }
+
+    /// Reloads `@app` blocks from the host's configuration store, replacing
+    /// the currently loaded set.
+    pub fn reload_configs(&mut self) -> Result<(), DaemonError> {
+        let mut app_configs = Vec::new();
+        for (_, entry) in self.host.config.files() {
+            app_configs.extend(parse_app_configs(&entry.contents)?);
+        }
+        self.app_configs = app_configs;
+        Ok(())
+    }
+
+    /// The loaded `@app` blocks.
+    pub fn app_configs(&self) -> &[AppConfig] {
+        &self.app_configs
+    }
+
+    /// Makes the daemon return forged pairs for every query (a compromised
+    /// host, §5.3), or restores honesty with `None`.
+    pub fn set_forged_response(&mut self, pairs: Option<Vec<(String, String)>>) {
+        self.forged_pairs = pairs;
+    }
+
+    /// Makes the daemon stop answering queries entirely (no ident++ support or
+    /// daemon killed). The controller then has to decide with partial
+    /// information (§4 "Incremental Benefit").
+    pub fn set_silent(&mut self, silent: bool) {
+        self.silent = silent;
+    }
+
+    /// Whether this daemon answers queries at all.
+    pub fn is_silent(&self) -> bool {
+        self.silent
+    }
+
+    /// How many queries this daemon has answered.
+    pub fn queries_answered(&self) -> u64 {
+        self.queries_answered
+    }
+
+    /// Determines whether the queried flow involves this host and in which
+    /// role.
+    pub fn direction_for(&self, flow: &FiveTuple) -> Result<QueryDirection, DaemonError> {
+        if flow.src_ip == self.host.addr {
+            Ok(QueryDirection::Source)
+        } else if flow.dst_ip == self.host.addr {
+            Ok(QueryDirection::Destination)
+        } else {
+            Err(DaemonError::NotOurFlow)
+        }
+    }
+
+    /// Answers a query. Returns `Ok(None)` if the daemon is silent.
+    ///
+    /// The response always echoes the queried 5-tuple; its sections are, in
+    /// order: OS-derived facts, `@app` configuration pairs for the owning
+    /// executable, and dynamic pairs registered by the owning process. A
+    /// query about a flow the host cannot attribute to a process still gets a
+    /// (host-level) response — the controller learns the OS and patch level
+    /// but no user or application, and its policy decides what to do with the
+    /// missing information.
+    pub fn answer(&mut self, query: &Query) -> Result<Option<Response>, DaemonError> {
+        if self.silent {
+            return Ok(None);
+        }
+        let direction = self.direction_for(&query.flow)?;
+        self.queries_answered += 1;
+
+        let mut response = Response::new(query.flow);
+
+        if let Some(forged) = &self.forged_pairs {
+            let mut section = Section::new();
+            for (k, v) in forged {
+                section.push(k, v.as_str());
+            }
+            response.push_section(section);
+            return Ok(Some(response));
+        }
+
+        let owner = match direction {
+            QueryDirection::Source => self.host.owner_of_outbound(&query.flow),
+            QueryDirection::Destination => self.host.owner_of_inbound(&query.flow),
+        };
+
+        // Section 1: facts derived from the operating system.
+        let mut os_section = Section::new();
+        os_section.push(well_known::HOSTNAME, self.host.name.as_str());
+        os_section.push(well_known::OS, self.host.os.as_str());
+        os_section.push(well_known::OS_PATCH, self.host.patch_list());
+        if let Some(owner) = &owner {
+            os_section.push(well_known::USER_ID, owner.user.name.as_str());
+            os_section.push(well_known::GROUP_ID, owner.user.group_list());
+            os_section.push(well_known::PID, format!("{}", owner.pid.0));
+            os_section.push(well_known::APP_NAME, owner.exe.name.as_str());
+            // Some controller rules (Fig. 5/7) spell the key `app-name`.
+            os_section.push(well_known::APP_NAME_ALT, owner.exe.name.as_str());
+            os_section.push(well_known::EXE_PATH, owner.exe.path.as_str());
+            os_section.push(well_known::EXE_HASH, owner.exe.content_hash());
+            os_section.push(well_known::VERSION, owner.exe.version.to_string());
+            os_section.push(well_known::VENDOR, owner.exe.vendor.as_str());
+            os_section.push(well_known::APP_TYPE, owner.exe.app_type.as_str());
+        }
+        response.push_section(os_section);
+
+        // Section 2: `@app` configuration pairs for the owning executable.
+        if let Some(owner) = &owner {
+            let mut config_section = Section::new();
+            for config in self.configs_for(&owner.exe.path) {
+                for (k, v) in &config.pairs {
+                    config_section.push(k, v.as_str());
+                }
+            }
+            response.push_section(config_section);
+        }
+
+        // Section 3: dynamic pairs registered by the application at run time.
+        if let Some(owner) = &owner {
+            if !owner.dynamic_pairs.is_empty() {
+                let mut dyn_section = Section::new();
+                for (k, v) in &owner.dynamic_pairs {
+                    dyn_section.push(k, v.as_str());
+                }
+                response.push_section(dyn_section);
+            }
+        }
+
+        Ok(Some(response))
+    }
+
+    fn configs_for(&self, exe_path: &str) -> Vec<&AppConfig> {
+        self.app_configs
+            .iter()
+            .filter(|c| c.exe_path == exe_path)
+            .collect()
+    }
+
+    #[allow(dead_code)]
+    fn owner_for(&self, flow: &FiveTuple, direction: QueryDirection) -> Option<FlowOwner> {
+        match direction {
+            QueryDirection::Source => self.host.owner_of_outbound(flow),
+            QueryDirection::Destination => self.host.owner_of_inbound(flow),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_crypto::KeyPair;
+    use identxx_hostmodel::Executable;
+    use identxx_proto::{IpProtocol, Ipv4Addr};
+
+    fn skype() -> Executable {
+        Executable::new("/usr/bin/skype", "skype", 210, "skype.com", "voip")
+    }
+
+    fn host(addr: [u8; 4]) -> Host {
+        Host::new("h1", Ipv4Addr::from(addr))
+    }
+
+    #[test]
+    fn answers_source_queries_with_os_facts() {
+        let mut h = host([10, 0, 0, 1]);
+        h.install_patch("MS08-067");
+        let mut daemon = Daemon::bare(h);
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("alice", skype(), 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let query = Query::for_all_well_known(flow);
+        let response = daemon.answer(&query).unwrap().unwrap();
+        assert_eq!(response.latest(well_known::USER_ID), Some("alice"));
+        assert_eq!(response.latest(well_known::APP_NAME), Some("skype"));
+        assert_eq!(response.latest(well_known::APP_NAME_ALT), Some("skype"));
+        assert_eq!(response.latest(well_known::VERSION), Some("210"));
+        assert_eq!(response.latest(well_known::OS_PATCH), Some("MS08-067"));
+        assert_eq!(
+            response.latest(well_known::EXE_HASH),
+            Some(skype().content_hash().as_str())
+        );
+        assert_eq!(daemon.queries_answered(), 1);
+    }
+
+    #[test]
+    fn answers_destination_queries_for_listeners() {
+        let server = Executable::new(
+            "/windows/system32/services.exe",
+            "Server",
+            6,
+            "microsoft",
+            "file-service",
+        );
+        let mut daemon = Daemon::bare(host([10, 0, 0, 2]));
+        daemon.host_mut().run_service("system", server, 445);
+        // Flow from a remote client toward this host's port 445.
+        let flow = FiveTuple::tcp([10, 0, 0, 9], 51000, [10, 0, 0, 2], 445);
+        let response = daemon.answer(&Query::new(flow)).unwrap().unwrap();
+        assert_eq!(response.latest(well_known::USER_ID), Some("system"));
+        assert_eq!(response.latest(well_known::APP_NAME), Some("Server"));
+    }
+
+    #[test]
+    fn unknown_flow_still_gets_host_facts_but_no_user() {
+        let mut daemon = Daemon::bare(host([10, 0, 0, 2]));
+        let flow = FiveTuple::tcp([10, 0, 0, 9], 51000, [10, 0, 0, 2], 6666);
+        let response = daemon.answer(&Query::new(flow)).unwrap().unwrap();
+        assert_eq!(response.latest(well_known::HOSTNAME), Some("h1"));
+        assert_eq!(response.latest(well_known::USER_ID), None);
+        assert_eq!(response.latest(well_known::APP_NAME), None);
+    }
+
+    #[test]
+    fn rejects_queries_about_unrelated_flows() {
+        let mut daemon = Daemon::bare(host([10, 0, 0, 2]));
+        let flow = FiveTuple::tcp([10, 0, 0, 8], 1, [10, 0, 0, 9], 2);
+        assert_eq!(
+            daemon.answer(&Query::new(flow)),
+            Err(DaemonError::NotOurFlow)
+        );
+    }
+
+    #[test]
+    fn app_config_pairs_appear_in_their_own_section() {
+        let mut h = host([10, 0, 0, 1]);
+        h.config.write_admin(
+            "/etc/identxx/50-skype.conf",
+            "@app /usr/bin/skype {\nname : skype\nrequirements : block all\nreq-sig : abcd\n}\n",
+        );
+        let mut daemon = Daemon::new(h).unwrap();
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("alice", skype(), 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let response = daemon.answer(&Query::new(flow)).unwrap().unwrap();
+        assert_eq!(response.section_count(), 2);
+        assert_eq!(response.latest(well_known::REQUIREMENTS), Some("block all"));
+        assert_eq!(response.latest(well_known::REQ_SIG), Some("abcd"));
+        // The OS section and the config section both carry `name`.
+        assert_eq!(response.all(well_known::APP_NAME).len(), 2);
+    }
+
+    #[test]
+    fn config_for_other_executables_does_not_leak() {
+        let mut h = host([10, 0, 0, 1]);
+        h.config.write_admin(
+            "/etc/identxx/50-skype.conf",
+            "@app /usr/bin/skype {\nrequirements : block all\n}\n",
+        );
+        let mut daemon = Daemon::new(h).unwrap();
+        let firefox = Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser");
+        let flow = daemon.host_mut().open_connection(
+            "bob",
+            firefox,
+            40001,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
+        let response = daemon.answer(&Query::new(flow)).unwrap().unwrap();
+        assert_eq!(response.latest(well_known::REQUIREMENTS), None);
+    }
+
+    #[test]
+    fn dynamic_pairs_form_third_section() {
+        let mut daemon = Daemon::bare(host([10, 0, 0, 1]));
+        let pid = daemon.host_mut().spawn("alice", skype());
+        daemon
+            .host_mut()
+            .register_dynamic_pair(pid, "user-initiated", "true");
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+        daemon.host_mut().connect_flow(pid, flow);
+        let response = daemon.answer(&Query::new(flow)).unwrap().unwrap();
+        assert_eq!(response.latest(well_known::USER_INITIATED), Some("true"));
+        assert_eq!(response.section_count(), 2); // OS + dynamic (no app config)
+    }
+
+    #[test]
+    fn silent_daemon_does_not_answer() {
+        let mut daemon = Daemon::bare(host([10, 0, 0, 1]));
+        daemon.set_silent(true);
+        assert!(daemon.is_silent());
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+        assert_eq!(daemon.answer(&Query::new(flow)).unwrap(), None);
+        assert_eq!(daemon.queries_answered(), 0);
+    }
+
+    #[test]
+    fn forged_responses_replace_the_truth() {
+        let mut daemon = Daemon::bare(host([10, 0, 0, 1]));
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("mallory", skype(), 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        daemon.set_forged_response(Some(vec![
+            ("userID".to_string(), "system".to_string()),
+            ("name".to_string(), "Server".to_string()),
+        ]));
+        let response = daemon.answer(&Query::new(flow)).unwrap().unwrap();
+        assert_eq!(response.latest(well_known::USER_ID), Some("system"));
+        assert_eq!(response.latest(well_known::APP_NAME), Some("Server"));
+        assert_eq!(response.section_count(), 1);
+        // Restoring honesty brings the real answer back.
+        daemon.set_forged_response(None);
+        let response = daemon.answer(&Query::new(flow)).unwrap().unwrap();
+        assert_eq!(response.latest(well_known::USER_ID), Some("mallory"));
+    }
+
+    #[test]
+    fn signed_config_round_trip_through_daemon() {
+        let exe = Executable::new("/usr/bin/research-app", "research-app", 1, "lab", "research");
+        let alice_key = KeyPair::from_seed(b"alice");
+        let requirements = "block all\npass all with eq(@src[name], research-app)";
+        let config = crate::appconfig::signed_app_config(&exe, requirements, &alice_key, None);
+
+        let mut daemon = Daemon::bare(host([10, 0, 0, 5]));
+        daemon.add_app_config(config);
+        let flow = daemon.host_mut().open_connection(
+            "alice",
+            exe.clone(),
+            45000,
+            Ipv4Addr::new(10, 0, 0, 6),
+            7000,
+        );
+        let response = daemon.answer(&Query::new(flow)).unwrap().unwrap();
+        assert_eq!(response.latest(well_known::REQUIREMENTS), Some(requirements));
+        let sig = response.latest(well_known::REQ_SIG).unwrap();
+        assert!(identxx_crypto::verify_bundle_hex(
+            sig,
+            &alice_key.public().to_hex(),
+            &[exe.content_hash().as_str(), "research-app", requirements]
+        ));
+    }
+
+    #[test]
+    fn reload_configs_picks_up_new_files() {
+        let mut daemon = Daemon::bare(host([10, 0, 0, 1]));
+        assert!(daemon.app_configs().is_empty());
+        daemon.host_mut().config.write_user(
+            "alice",
+            "/home/alice/.identxx/app.conf",
+            "@app /usr/bin/skype {\nname : skype\n}\n",
+        );
+        daemon.reload_configs().unwrap();
+        assert_eq!(daemon.app_configs().len(), 1);
+        // A malformed file makes reload fail without changing behaviour of answer().
+        daemon
+            .host_mut()
+            .config
+            .write_admin("/etc/identxx/broken.conf", "@app {\n}");
+        assert!(daemon.reload_configs().is_err());
+    }
+
+    #[test]
+    fn udp_listener_resolution() {
+        let dns = Executable::new("/usr/sbin/dnsd", "dnsd", 2, "isc", "dns-server");
+        let mut daemon = Daemon::bare(host([10, 0, 0, 3]));
+        let pid = daemon.host_mut().spawn("system", dns);
+        daemon.host_mut().listen(pid, IpProtocol::Udp, 53);
+        let flow = FiveTuple::udp([10, 0, 0, 9], 53000, [10, 0, 0, 3], 53);
+        let response = daemon.answer(&Query::new(flow)).unwrap().unwrap();
+        assert_eq!(response.latest(well_known::APP_NAME), Some("dnsd"));
+    }
+}

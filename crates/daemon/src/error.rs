@@ -1,0 +1,43 @@
+//! Daemon error types.
+
+use std::fmt;
+
+/// Errors produced by the ident++ daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DaemonError {
+    /// A daemon configuration file (`@app` block) is malformed.
+    BadConfig { line: usize, message: String },
+    /// The queried flow does not involve this host at all (neither source nor
+    /// destination address matches).
+    NotOurFlow,
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::BadConfig { line, message } => {
+                write!(f, "bad daemon configuration at line {line}: {message}")
+            }
+            DaemonError::NotOurFlow => {
+                write!(f, "query is about a flow that does not involve this host")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DaemonError::BadConfig {
+            line: 4,
+            message: "missing '{'".to_string(),
+        };
+        assert!(e.to_string().contains("line 4"));
+        assert!(DaemonError::NotOurFlow.to_string().contains("not involve"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # identxx-daemon — the end-host ident++ daemon
+//!
+//! "End-hosts run a simple userspace ident++ daemon that responds with the
+//! key-value pairs to controller queries. The daemon can answer queries both
+//! when the end-host is the source and when it is a destination that has yet
+//! to accept a connection" (§3.5).
+//!
+//! The daemon assembles its response from three sources, each becoming a
+//! section of the response:
+//!
+//! 1. **The operating system**: the lsof-style lookup of the flow's process,
+//!    user, groups, executable hash/version/vendor, OS and patch level
+//!    (provided by `identxx-hostmodel`).
+//! 2. **Configuration files**: `@app` blocks keyed by executable path
+//!    (Fig. 3/4/6) supplying additional pairs such as signed `requirements`
+//!    and `req-sig`, written by users, administrators, software distributors,
+//!    or third parties.
+//! 3. **The application itself**: dynamic pairs registered at run time over a
+//!    local socket (e.g. a browser marking a flow as user-initiated).
+//!
+//! A compromised host (§5.3) controls its daemon and may return arbitrary
+//! forged responses; [`Daemon::set_forged_response`] models that capability
+//! for the security-analysis experiments.
+
+pub mod appconfig;
+pub mod daemon;
+pub mod error;
+
+pub use appconfig::{parse_app_configs, signed_app_config, AppConfig};
+pub use daemon::{Daemon, QueryDirection};
+pub use error::DaemonError;

@@ -1,0 +1,163 @@
+//! The host's ident++ configuration "filesystem".
+//!
+//! "Like the controller, the ident++ daemon has a number of configuration
+//! files residing in well known locations on the end-host. … Some
+//! configuration files can be modified by users to insert their inputs to the
+//! system, while others reside in the system's configuration directory (such
+//! as `/etc/identxx` for Linux) and are only modifiable by the local end-host
+//! administrator" (§3.5).
+//!
+//! [`ConfigFs`] stores those files in memory with their owner so tests can
+//! model the difference between an attacker with a user account and one with
+//! local administrator rights.
+
+use std::collections::BTreeMap;
+
+/// Who owns (and may modify) a configuration file.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ConfigOwner {
+    /// The local end-host administrator (`/etc/identxx/...`).
+    Admin,
+    /// A specific user (`~user/.identxx/...`).
+    User(String),
+}
+
+/// A configuration file with ownership metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigEntry {
+    /// File contents.
+    pub contents: String,
+    /// Owner.
+    pub owner: ConfigOwner,
+}
+
+/// The in-memory configuration store of one host.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfigFs {
+    files: BTreeMap<String, ConfigEntry>,
+}
+
+impl ConfigFs {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ConfigFs::default()
+    }
+
+    /// Writes an admin-owned file (e.g. `/etc/identxx/50-skype.conf`).
+    pub fn write_admin(&mut self, path: impl Into<String>, contents: impl Into<String>) {
+        self.files.insert(
+            path.into(),
+            ConfigEntry {
+                contents: contents.into(),
+                owner: ConfigOwner::Admin,
+            },
+        );
+    }
+
+    /// Writes a user-owned file (e.g. `~alice/.identxx/research-app.conf`).
+    pub fn write_user(
+        &mut self,
+        user: impl Into<String>,
+        path: impl Into<String>,
+        contents: impl Into<String>,
+    ) {
+        self.files.insert(
+            path.into(),
+            ConfigEntry {
+                contents: contents.into(),
+                owner: ConfigOwner::User(user.into()),
+            },
+        );
+    }
+
+    /// Attempts to overwrite a file as `actor`. Admin files can only be
+    /// modified by the admin (`actor == None` means acting as admin); a user
+    /// may only modify their own files. Returns whether the write happened.
+    pub fn try_overwrite(&mut self, actor: Option<&str>, path: &str, contents: &str) -> bool {
+        match self.files.get_mut(path) {
+            Some(entry) => {
+                let permitted = match (&entry.owner, actor) {
+                    (_, None) => true, // admin can touch everything
+                    (ConfigOwner::Admin, Some(_)) => false,
+                    (ConfigOwner::User(owner), Some(actor)) => owner == actor,
+                };
+                if permitted {
+                    entry.contents = contents.to_string();
+                }
+                permitted
+            }
+            None => false,
+        }
+    }
+
+    /// Reads a file's contents.
+    pub fn read(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(|e| e.contents.as_str())
+    }
+
+    /// Returns every file (path, contents) in path order.
+    pub fn files(&self) -> impl Iterator<Item = (&str, &ConfigEntry)> {
+        self.files.iter().map(|(p, e)| (p.as_str(), e))
+    }
+
+    /// Removes a file.
+    pub fn remove(&mut self, path: &str) -> bool {
+        self.files.remove(path).is_some()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read() {
+        let mut fs = ConfigFs::new();
+        fs.write_admin("/etc/identxx/00-base.conf", "name: base");
+        fs.write_user("alice", "/home/alice/.identxx/app.conf", "name: research-app");
+        assert_eq!(fs.read("/etc/identxx/00-base.conf"), Some("name: base"));
+        assert_eq!(fs.len(), 2);
+        assert!(!fs.is_empty());
+        assert!(fs.read("/nonexistent").is_none());
+        assert_eq!(fs.files().count(), 2);
+    }
+
+    #[test]
+    fn ownership_enforced_on_overwrite() {
+        let mut fs = ConfigFs::new();
+        fs.write_admin("/etc/identxx/00-base.conf", "admin content");
+        fs.write_user("alice", "/home/alice/.identxx/app.conf", "alice content");
+
+        // A user cannot modify admin files.
+        assert!(!fs.try_overwrite(Some("alice"), "/etc/identxx/00-base.conf", "evil"));
+        assert_eq!(fs.read("/etc/identxx/00-base.conf"), Some("admin content"));
+        // A user can modify their own file.
+        assert!(fs.try_overwrite(Some("alice"), "/home/alice/.identxx/app.conf", "updated"));
+        assert_eq!(fs.read("/home/alice/.identxx/app.conf"), Some("updated"));
+        // Another user cannot.
+        assert!(!fs.try_overwrite(Some("mallory"), "/home/alice/.identxx/app.conf", "evil"));
+        // The admin can modify anything.
+        assert!(fs.try_overwrite(None, "/home/alice/.identxx/app.conf", "admin edit"));
+        // Overwriting a missing file fails.
+        assert!(!fs.try_overwrite(None, "/missing", "x"));
+    }
+
+    #[test]
+    fn remove_files() {
+        let mut fs = ConfigFs::new();
+        fs.write_admin("/etc/identxx/a.conf", "x");
+        assert!(fs.remove("/etc/identxx/a.conf"));
+        assert!(!fs.remove("/etc/identxx/a.conf"));
+        assert!(fs.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Executable images.
+//!
+//! The daemon reports the hash and version of the executable behind a flow
+//! (`exe-hash`, `version` keys). In the simulator an executable's "contents"
+//! are synthesized deterministically from its path and version so that hashes
+//! are stable across runs, change when the version changes, and can be
+//! recomputed by signers (users, vendors, the "Secur" third party) when they
+//! sign requirement bundles.
+
+use identxx_crypto::sha256_hex;
+
+/// An executable image installed on a host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Executable {
+    /// Absolute path, e.g. `/usr/bin/skype` (configuration files are keyed by
+    /// this path, see Fig. 3).
+    pub path: String,
+    /// Short name, e.g. `skype`.
+    pub name: String,
+    /// Version number (integer, as in the paper's `lt(@src[version], 200)`).
+    pub version: i64,
+    /// Vendor string.
+    pub vendor: String,
+    /// Application type (`voip`, `email-client`, …).
+    pub app_type: String,
+}
+
+impl Executable {
+    /// Creates an executable description.
+    pub fn new(
+        path: impl Into<String>,
+        name: impl Into<String>,
+        version: i64,
+        vendor: impl Into<String>,
+        app_type: impl Into<String>,
+    ) -> Executable {
+        Executable {
+            path: path.into(),
+            name: name.into(),
+            version,
+            vendor: vendor.into(),
+            app_type: app_type.into(),
+        }
+    }
+
+    /// The synthetic image bytes (deterministic function of path + version).
+    pub fn image_bytes(&self) -> Vec<u8> {
+        format!("ELF-IMAGE:{}:{}:{}", self.path, self.name, self.version).into_bytes()
+    }
+
+    /// The content hash reported as `exe-hash`.
+    pub fn content_hash(&self) -> String {
+        sha256_hex(&self.image_bytes())
+    }
+
+    /// A tampered copy (same path/name/version metadata but different image
+    /// contents), used by tests that model a trojaned binary.
+    pub fn tampered(&self) -> TamperedExecutable {
+        TamperedExecutable { original: self.clone() }
+    }
+}
+
+/// An executable whose on-disk image no longer matches what was signed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TamperedExecutable {
+    original: Executable,
+}
+
+impl TamperedExecutable {
+    /// Metadata still claims to be the original.
+    pub fn claimed(&self) -> &Executable {
+        &self.original
+    }
+
+    /// The hash of the *actual* (tampered) image.
+    pub fn actual_hash(&self) -> String {
+        sha256_hex(&[self.original.image_bytes().as_slice(), b":backdoor"].concat())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_version_sensitive() {
+        let skype_210 = Executable::new("/usr/bin/skype", "skype", 210, "skype.com", "voip");
+        let skype_210_again = Executable::new("/usr/bin/skype", "skype", 210, "skype.com", "voip");
+        let skype_150 = Executable::new("/usr/bin/skype", "skype", 150, "skype.com", "voip");
+        assert_eq!(skype_210.content_hash(), skype_210_again.content_hash());
+        assert_ne!(skype_210.content_hash(), skype_150.content_hash());
+        assert_eq!(skype_210.content_hash().len(), 64);
+    }
+
+    #[test]
+    fn different_paths_hash_differently() {
+        let a = Executable::new("/usr/bin/a", "a", 1, "v", "t");
+        let b = Executable::new("/usr/bin/b", "a", 1, "v", "t");
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn tampered_image_has_different_hash_but_same_claims() {
+        let thunderbird =
+            Executable::new("/usr/bin/thunderbird", "thunderbird", 78, "mozilla", "email-client");
+        let tampered = thunderbird.tampered();
+        assert_eq!(tampered.claimed().name, "thunderbird");
+        assert_ne!(tampered.actual_hash(), thunderbird.content_hash());
+    }
+}

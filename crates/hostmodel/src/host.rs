@@ -1,0 +1,323 @@
+//! The simulated end-host: processes, sockets, users, and the lsof-style
+//! flow-to-owner lookup the ident++ daemon relies on.
+
+use identxx_proto::{FiveTuple, IpProtocol, Ipv4Addr};
+
+use crate::configfs::ConfigFs;
+use crate::exe::Executable;
+use crate::process::{Process, ProcessId, SocketBinding};
+use crate::user::{User, UserDb};
+
+/// The result of resolving a flow to its owning process, as the daemon's
+/// lsof-style lookup produces it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOwner {
+    /// The owning process id.
+    pub pid: ProcessId,
+    /// The user running the process.
+    pub user: User,
+    /// The executable image.
+    pub exe: Executable,
+    /// Dynamic pairs the process registered for this flow.
+    pub dynamic_pairs: Vec<(String, String)>,
+}
+
+/// A simulated end-host.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Host name.
+    pub name: String,
+    /// The host's IPv4 address.
+    pub addr: Ipv4Addr,
+    /// Operating-system identification (reported under the `os` key).
+    pub os: String,
+    /// Installed OS patches (reported under `os-patch`, space-separated).
+    pub os_patches: Vec<String>,
+    /// User database.
+    pub users: UserDb,
+    /// ident++ configuration files.
+    pub config: ConfigFs,
+    processes: Vec<Process>,
+    sockets: Vec<(ProcessId, SocketBinding)>,
+    next_pid: u32,
+    /// Whether the host (and therefore its ident++ daemon) is compromised;
+    /// used by the §5 security-analysis experiments.
+    compromised: bool,
+}
+
+impl Host {
+    /// Creates a host with default users and no processes.
+    pub fn new(name: impl Into<String>, addr: Ipv4Addr) -> Host {
+        Host {
+            name: name.into(),
+            addr,
+            os: "SimOS 1.0".to_string(),
+            os_patches: Vec::new(),
+            users: UserDb::with_defaults(),
+            config: ConfigFs::new(),
+            processes: Vec::new(),
+            sockets: Vec::new(),
+            next_pid: 100,
+            compromised: false,
+        }
+    }
+
+    /// Adds a user account.
+    pub fn add_user(&mut self, user: User) {
+        self.users.add(user);
+    }
+
+    /// Records an installed OS patch (e.g. `MS08-067`).
+    pub fn install_patch(&mut self, patch: impl Into<String>) {
+        self.os_patches.push(patch.into());
+    }
+
+    /// The space-separated patch list reported as `os-patch`.
+    pub fn patch_list(&self) -> String {
+        self.os_patches.join(" ")
+    }
+
+    /// Starts a process for `user` running `exe`, returning its pid.
+    /// Unknown users are created on the fly with a fresh uid (matching how a
+    /// lab machine would have local accounts).
+    pub fn spawn(&mut self, user: &str, exe: Executable) -> ProcessId {
+        if self.users.get(user).is_none() {
+            let uid = 1000 + self.processes.len() as u32;
+            self.users.add(User::new(user, uid, &["users"]));
+        }
+        let pid = ProcessId(self.next_pid);
+        self.next_pid += 1;
+        self.processes.push(Process::new(pid, user, exe));
+        pid
+    }
+
+    /// Registers a connected socket for a process: the process owns exactly
+    /// this outbound flow (and its reverse direction).
+    pub fn connect_flow(&mut self, pid: ProcessId, flow: FiveTuple) {
+        self.sockets.push((pid, SocketBinding::Connected { flow }));
+    }
+
+    /// Registers a listening socket for a process on `port`/`protocol`.
+    pub fn listen(&mut self, pid: ProcessId, protocol: IpProtocol, port: u16) {
+        self.sockets
+            .push((pid, SocketBinding::Listening { protocol, port }));
+    }
+
+    /// Lets a process register a dynamic key-value pair with the daemon (the
+    /// Unix-domain-socket mechanism of §3.5).
+    pub fn register_dynamic_pair(&mut self, pid: ProcessId, key: &str, value: &str) -> bool {
+        match self.processes.iter_mut().find(|p| p.pid == pid) {
+            Some(p) => {
+                p.register_pair(key, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Terminates a process, removing its sockets. Returns whether it existed.
+    pub fn kill(&mut self, pid: ProcessId) -> bool {
+        let existed = self.processes.iter().any(|p| p.pid == pid);
+        self.processes.retain(|p| p.pid != pid);
+        self.sockets.retain(|(owner, _)| *owner != pid);
+        existed
+    }
+
+    /// Marks the host as compromised (§5.3). A compromised host's daemon can
+    /// return arbitrary (attacker-chosen) responses; the daemon crate consults
+    /// this flag.
+    pub fn set_compromised(&mut self, compromised: bool) {
+        self.compromised = compromised;
+    }
+
+    /// Whether the host is compromised.
+    pub fn is_compromised(&self) -> bool {
+        self.compromised
+    }
+
+    /// The running processes.
+    pub fn processes(&self) -> &[Process] {
+        &self.processes
+    }
+
+    /// Looks up a process by pid.
+    pub fn process(&self, pid: ProcessId) -> Option<&Process> {
+        self.processes.iter().find(|p| p.pid == pid)
+    }
+
+    /// The lsof-style lookup for a flow *originating from* this host: which
+    /// process opened the connection described by `flow` (source = this host)?
+    pub fn owner_of_outbound(&self, flow: &FiveTuple) -> Option<FlowOwner> {
+        // Prefer exact connected sockets.
+        let pid = self
+            .sockets
+            .iter()
+            .find(|(_, b)| b.covers_outbound(flow))
+            .map(|(pid, _)| *pid)?;
+        self.owner_from_pid(pid)
+    }
+
+    /// The lsof-style lookup for a flow *arriving at* this host: which process
+    /// has accepted — or is listening and would accept — the flow?
+    pub fn owner_of_inbound(&self, flow: &FiveTuple) -> Option<FlowOwner> {
+        // Prefer a connected socket (already-accepted connection) over a
+        // listener, mirroring how lsof would show the established socket.
+        let connected = self
+            .sockets
+            .iter()
+            .find(|(_, b)| matches!(b, SocketBinding::Connected { .. }) && b.covers_inbound(flow))
+            .map(|(pid, _)| *pid);
+        let pid = match connected {
+            Some(pid) => pid,
+            None => self
+                .sockets
+                .iter()
+                .find(|(_, b)| b.covers_inbound(flow))
+                .map(|(pid, _)| *pid)?,
+        };
+        self.owner_from_pid(pid)
+    }
+
+    fn owner_from_pid(&self, pid: ProcessId) -> Option<FlowOwner> {
+        let process = self.process(pid)?;
+        let user = self
+            .users
+            .get(&process.user)
+            .cloned()
+            .unwrap_or_else(|| User::new(process.user.clone(), u32::MAX, &[]));
+        Some(FlowOwner {
+            pid,
+            user,
+            exe: process.exe.clone(),
+            dynamic_pairs: process.dynamic_pairs.clone(),
+        })
+    }
+
+    /// Convenience for scenarios: spawn a process, connect an outbound flow
+    /// from this host to `dst:dst_port`, and return the flow.
+    pub fn open_connection(
+        &mut self,
+        user: &str,
+        exe: Executable,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+    ) -> FiveTuple {
+        let pid = self.spawn(user, exe);
+        let flow = FiveTuple::tcp(self.addr, src_port, dst, dst_port);
+        self.connect_flow(pid, flow);
+        flow
+    }
+
+    /// Convenience for scenarios: spawn a process listening on a TCP port.
+    pub fn run_service(&mut self, user: &str, exe: Executable, port: u16) -> ProcessId {
+        let pid = self.spawn(user, exe);
+        self.listen(pid, IpProtocol::Tcp, port);
+        pid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skype() -> Executable {
+        Executable::new("/usr/bin/skype", "skype", 210, "skype.com", "voip")
+    }
+
+    fn server_service() -> Executable {
+        Executable::new("/windows/system32/services.exe", "Server", 6, "microsoft", "file-service")
+    }
+
+    fn host() -> Host {
+        Host::new("h1", Ipv4Addr::new(10, 0, 0, 1))
+    }
+
+    #[test]
+    fn outbound_lookup_finds_connecting_process() {
+        let mut h = host();
+        let flow = h.open_connection("alice", skype(), 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let owner = h.owner_of_outbound(&flow).unwrap();
+        assert_eq!(owner.user.name, "alice");
+        assert_eq!(owner.exe.name, "skype");
+        // A different flow is not owned.
+        let other = FiveTuple::tcp(h.addr, 40001, Ipv4Addr::new(10, 0, 0, 2), 80);
+        assert!(h.owner_of_outbound(&other).is_none());
+        // The reverse direction is not "outbound" from this host.
+        assert!(h.owner_of_outbound(&flow.reversed()).is_none());
+    }
+
+    #[test]
+    fn inbound_lookup_prefers_connected_over_listener() {
+        let mut h = host();
+        // The Server service listens on 445 as system.
+        h.run_service("system", server_service(), 445);
+        // alice also has an established connection on 445 from a peer.
+        let peer_flow = FiveTuple::tcp(h.addr, 445, Ipv4Addr::new(10, 0, 0, 9), 51000);
+        let alice_pid = h.spawn("alice", skype());
+        h.connect_flow(alice_pid, peer_flow);
+
+        // An arbitrary inbound flow to 445 resolves to the listener (system).
+        let inbound = FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 7), 52000, h.addr, 445);
+        assert_eq!(h.owner_of_inbound(&inbound).unwrap().user.name, "system");
+        // The specific established connection resolves to alice.
+        assert_eq!(
+            h.owner_of_inbound(&peer_flow.reversed()).unwrap().user.name,
+            "alice"
+        );
+    }
+
+    #[test]
+    fn unknown_flows_resolve_to_none() {
+        let h = host();
+        let flow = FiveTuple::tcp(h.addr, 1, Ipv4Addr::new(1, 1, 1, 1), 2);
+        assert!(h.owner_of_outbound(&flow).is_none());
+        assert!(h.owner_of_inbound(&flow.reversed()).is_none());
+    }
+
+    #[test]
+    fn dynamic_pairs_flow_through_owner() {
+        let mut h = host();
+        let pid = h.spawn("alice", skype());
+        assert!(h.register_dynamic_pair(pid, "user-initiated", "true"));
+        assert!(!h.register_dynamic_pair(ProcessId(9999), "x", "y"));
+        let flow = FiveTuple::tcp(h.addr, 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        h.connect_flow(pid, flow);
+        let owner = h.owner_of_outbound(&flow).unwrap();
+        assert_eq!(
+            owner.dynamic_pairs,
+            vec![("user-initiated".to_string(), "true".to_string())]
+        );
+    }
+
+    #[test]
+    fn kill_removes_process_and_sockets() {
+        let mut h = host();
+        let pid = h.run_service("system", server_service(), 445);
+        let inbound = FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 7), 52000, h.addr, 445);
+        assert!(h.owner_of_inbound(&inbound).is_some());
+        assert!(h.kill(pid));
+        assert!(!h.kill(pid));
+        assert!(h.owner_of_inbound(&inbound).is_none());
+        assert!(h.processes().is_empty());
+    }
+
+    #[test]
+    fn patches_and_compromise_flags() {
+        let mut h = host();
+        h.install_patch("MS08-067");
+        h.install_patch("MS09-001");
+        assert_eq!(h.patch_list(), "MS08-067 MS09-001");
+        assert!(!h.is_compromised());
+        h.set_compromised(true);
+        assert!(h.is_compromised());
+    }
+
+    #[test]
+    fn spawn_creates_unknown_users() {
+        let mut h = host();
+        assert!(h.users.get("mallory").is_none());
+        h.spawn("mallory", skype());
+        assert!(h.users.get("mallory").is_some());
+    }
+}

@@ -1,0 +1,29 @@
+//! # identxx-hostmodel — simulated end-hosts
+//!
+//! The ident++ daemon needs operating-system facilities the paper takes for
+//! granted: "The ident++ daemon uses the 5-tuple in the query packet to find
+//! the process ID and user ID associated with the flow using techniques
+//! similar to lsof. The daemon uses the process ID to find the file name of
+//! the process's executable image" (§3.5), plus configuration files under
+//! `/etc/identxx` and per-user directories, and a local socket on which
+//! applications register dynamic key-value pairs.
+//!
+//! Real hosts are not available to the reproduction, so this crate models
+//! them: users and groups, executable images (with content hashes computed by
+//! `identxx-crypto`), processes, socket bindings, an in-memory configuration
+//! filesystem with admin/user ownership, and the lsof-style 5-tuple lookup.
+//! The mapping is faithful enough that the daemon code in `identxx-daemon`
+//! would port to a real OS by replacing this crate's lookups with
+//! `/proc`-based ones.
+
+pub mod configfs;
+pub mod exe;
+pub mod host;
+pub mod process;
+pub mod user;
+
+pub use configfs::{ConfigFs, ConfigOwner};
+pub use exe::Executable;
+pub use host::{FlowOwner, Host};
+pub use process::{Process, ProcessId, SocketBinding};
+pub use user::{User, UserDb};

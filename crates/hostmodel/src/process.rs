@@ -1,0 +1,136 @@
+//! Processes and socket bindings.
+
+use identxx_proto::{FiveTuple, IpProtocol};
+
+use crate::exe::Executable;
+
+/// A process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub u32);
+
+/// A running process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Process {
+    /// The process id.
+    pub pid: ProcessId,
+    /// The login name of the user running the process.
+    pub user: String,
+    /// The executable image the process was started from.
+    pub exe: Executable,
+    /// Dynamic key-value pairs the application registered with the ident++
+    /// daemon over the local socket (§3.5: "The application can provide
+    /// key-value pairs to the ident++ daemon at run-time").
+    pub dynamic_pairs: Vec<(String, String)>,
+}
+
+impl Process {
+    /// Creates a process.
+    pub fn new(pid: ProcessId, user: impl Into<String>, exe: Executable) -> Process {
+        Process {
+            pid,
+            user: user.into(),
+            exe,
+            dynamic_pairs: Vec::new(),
+        }
+    }
+
+    /// Registers a dynamic key-value pair (e.g. a browser tagging a flow as
+    /// user-initiated).
+    pub fn register_pair(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.dynamic_pairs.push((key.into(), value.into()));
+    }
+}
+
+/// How a socket is bound to a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketBinding {
+    /// An active (connected) socket identified by the full local/remote
+    /// 4-tuple — the process initiated or accepted this exact flow.
+    Connected {
+        /// The flow as seen from this host (local = source).
+        flow: FiveTuple,
+    },
+    /// A listening socket bound to a local port: the process would receive
+    /// any flow addressed to this port/protocol. This is how the daemon
+    /// answers for "a destination that has yet to accept a connection" (§3.5).
+    Listening {
+        /// The protocol.
+        protocol: IpProtocol,
+        /// The local port.
+        port: u16,
+    },
+}
+
+impl SocketBinding {
+    /// Whether this binding covers the given flow *arriving at* the host
+    /// (i.e. the host is the flow's destination).
+    pub fn covers_inbound(&self, flow: &FiveTuple) -> bool {
+        match self {
+            SocketBinding::Connected { flow: bound } => {
+                // The bound flow is recorded from the host's perspective
+                // (host = source); an inbound packet matches its reverse.
+                bound.reversed() == *flow || *bound == *flow
+            }
+            SocketBinding::Listening { protocol, port } => {
+                *protocol == flow.protocol && *port == flow.dst_port
+            }
+        }
+    }
+
+    /// Whether this binding covers the given flow *originating from* the host
+    /// (i.e. the host is the flow's source).
+    pub fn covers_outbound(&self, flow: &FiveTuple) -> bool {
+        match self {
+            SocketBinding::Connected { flow: bound } => *bound == *flow,
+            SocketBinding::Listening { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exe() -> Executable {
+        Executable::new("/usr/bin/skype", "skype", 210, "skype.com", "voip")
+    }
+
+    #[test]
+    fn process_dynamic_pairs() {
+        let mut p = Process::new(ProcessId(100), "alice", exe());
+        assert!(p.dynamic_pairs.is_empty());
+        p.register_pair("user-initiated", "true");
+        assert_eq!(p.dynamic_pairs.len(), 1);
+        assert_eq!(p.user, "alice");
+        assert_eq!(p.exe.name, "skype");
+    }
+
+    #[test]
+    fn connected_binding_covers_both_directions() {
+        let outbound = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+        let binding = SocketBinding::Connected { flow: outbound };
+        assert!(binding.covers_outbound(&outbound));
+        assert!(!binding.covers_outbound(&outbound.reversed()));
+        // Inbound packets of the same connection (reverse direction) are covered.
+        assert!(binding.covers_inbound(&outbound.reversed()));
+        // A different flow is not.
+        let other = FiveTuple::tcp([10, 0, 0, 1], 40001, [10, 0, 0, 2], 80);
+        assert!(!binding.covers_outbound(&other));
+        assert!(!binding.covers_inbound(&other));
+    }
+
+    #[test]
+    fn listening_binding_covers_any_inbound_to_port() {
+        let binding = SocketBinding::Listening {
+            protocol: IpProtocol::Tcp,
+            port: 445,
+        };
+        let inbound = FiveTuple::tcp([10, 9, 9, 9], 51000, [10, 0, 0, 2], 445);
+        let wrong_port = FiveTuple::tcp([10, 9, 9, 9], 51000, [10, 0, 0, 2], 80);
+        let wrong_proto = FiveTuple::udp([10, 9, 9, 9], 51000, [10, 0, 0, 2], 445);
+        assert!(binding.covers_inbound(&inbound));
+        assert!(!binding.covers_inbound(&wrong_port));
+        assert!(!binding.covers_inbound(&wrong_proto));
+        assert!(!binding.covers_outbound(&inbound));
+    }
+}

@@ -1,0 +1,128 @@
+//! Users and groups on a simulated host.
+
+use std::collections::BTreeMap;
+
+/// A user account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct User {
+    /// Login name (the value of the `userID` key in ident++ responses).
+    pub name: String,
+    /// Numeric uid.
+    pub uid: u32,
+    /// Groups the user belongs to, primary group first (the `groupID` key is
+    /// the space-separated list).
+    pub groups: Vec<String>,
+}
+
+impl User {
+    /// Creates a user.
+    pub fn new(name: impl Into<String>, uid: u32, groups: &[&str]) -> User {
+        User {
+            name: name.into(),
+            uid,
+            groups: groups.iter().map(|g| g.to_string()).collect(),
+        }
+    }
+
+    /// The space-separated group list, as reported in responses.
+    pub fn group_list(&self) -> String {
+        self.groups.join(" ")
+    }
+
+    /// Whether the user is a member of `group`.
+    pub fn in_group(&self, group: &str) -> bool {
+        self.groups.iter().any(|g| g == group)
+    }
+
+    /// Whether this is the superuser.
+    pub fn is_root(&self) -> bool {
+        self.uid == 0
+    }
+}
+
+/// The user database of a host.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UserDb {
+    by_name: BTreeMap<String, User>,
+}
+
+impl UserDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        UserDb::default()
+    }
+
+    /// A database pre-populated with `root` and the well-known `system` user.
+    pub fn with_defaults() -> Self {
+        let mut db = UserDb::new();
+        db.add(User::new("root", 0, &["root", "wheel"]));
+        db.add(User::new("system", 1, &["system"]));
+        db
+    }
+
+    /// Adds (or replaces) a user.
+    pub fn add(&mut self, user: User) {
+        self.by_name.insert(user.name.clone(), user);
+    }
+
+    /// Looks up a user by name.
+    pub fn get(&self, name: &str) -> Option<&User> {
+        self.by_name.get(name)
+    }
+
+    /// Looks up a user by uid.
+    pub fn get_by_uid(&self, uid: u32) -> Option<&User> {
+        self.by_name.values().find(|u| u.uid == uid)
+    }
+
+    /// All members of a group.
+    pub fn members_of(&self, group: &str) -> Vec<&User> {
+        self.by_name.values().filter(|u| u.in_group(group)).collect()
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_groups_and_root() {
+        let alice = User::new("alice", 1001, &["users", "research"]);
+        assert_eq!(alice.group_list(), "users research");
+        assert!(alice.in_group("research"));
+        assert!(!alice.in_group("wheel"));
+        assert!(!alice.is_root());
+        assert!(User::new("root", 0, &["root"]).is_root());
+    }
+
+    #[test]
+    fn db_lookup_by_name_uid_and_group() {
+        let mut db = UserDb::with_defaults();
+        db.add(User::new("alice", 1001, &["users", "research"]));
+        db.add(User::new("bob", 1002, &["users"]));
+        assert_eq!(db.get("alice").unwrap().uid, 1001);
+        assert_eq!(db.get_by_uid(1002).unwrap().name, "bob");
+        assert!(db.get("carol").is_none());
+        assert_eq!(db.members_of("users").len(), 2);
+        assert_eq!(db.members_of("research").len(), 1);
+        assert_eq!(db.len(), 4);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn defaults_contain_system_user() {
+        let db = UserDb::with_defaults();
+        assert!(db.get("system").is_some());
+        assert!(db.get("root").unwrap().is_root());
+    }
+}

@@ -1,0 +1,56 @@
+//! The controller-side query client.
+
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use identxx_proto::{Query, Response, WireMessage};
+use tokio::net::TcpStream;
+use tokio::time::timeout;
+
+use crate::framing::{read_message, write_message};
+
+/// How long the controller waits for a daemon before concluding the host will
+/// not answer. A short bound matters: flow setup blocks on this round trip.
+pub const QUERY_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Sends `query` to the daemon at `addr` and waits for its response.
+///
+/// Returns `Ok(None)` when the daemon closes the connection without answering
+/// or does not answer within [`QUERY_TIMEOUT`] — the controller treats both as
+/// "no information from this end-host" and lets the policy decide.
+pub async fn query_daemon(addr: SocketAddr, query: Query) -> io::Result<Option<Response>> {
+    let attempt = async {
+        let mut stream = TcpStream::connect(addr).await?;
+        write_message(&mut stream, &WireMessage::Query(query)).await?;
+        let mut buf = BytesMut::new();
+        match read_message(&mut stream, &mut buf).await? {
+            Some(WireMessage::Response(response)) => Ok(Some(response)),
+            Some(WireMessage::Query(_)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "daemon sent a query instead of a response",
+            )),
+            None => Ok(None),
+        }
+    };
+    match timeout(QUERY_TIMEOUT, attempt).await {
+        Ok(result) => result,
+        Err(_elapsed) => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_proto::FiveTuple;
+
+    #[tokio::test]
+    async fn unreachable_daemon_is_an_error() {
+        // Port 1 on localhost is almost certainly closed; connect fails fast.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 2);
+        let result = query_daemon(addr, Query::new(flow)).await;
+        assert!(result.is_err() || result.unwrap().is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Async framing of ident++ wire messages over byte streams.
+
+use std::io;
+
+use bytes::BytesMut;
+use identxx_proto::{ProtoError, WireMessage};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+/// Upper bound on a single frame (header + body); anything larger is treated
+/// as a protocol violation and the connection is dropped.
+const MAX_FRAME: usize = 128 * 1024;
+
+fn proto_to_io(err: ProtoError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+}
+
+/// Reads one framed [`WireMessage`] from a stream. Returns `Ok(None)` on a
+/// clean end-of-stream before any bytes of a new frame were read.
+pub async fn read_message<R>(stream: &mut R, buf: &mut BytesMut) -> io::Result<Option<WireMessage>>
+where
+    R: AsyncReadExt + Unpin,
+{
+    loop {
+        if let Some((msg, used)) = WireMessage::decode(buf).map_err(proto_to_io)? {
+            let _ = buf.split_to(used);
+            return Ok(Some(msg));
+        }
+        if buf.len() > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds maximum size",
+            ));
+        }
+        let n = stream.read_buf(buf).await?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            ));
+        }
+    }
+}
+
+/// Writes one framed [`WireMessage`] to a stream.
+pub async fn write_message<W>(stream: &mut W, message: &WireMessage) -> io::Result<()>
+where
+    W: AsyncWriteExt + Unpin,
+{
+    stream.write_all(&message.encode()).await?;
+    stream.flush().await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_proto::{FiveTuple, Query, Response, Section};
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([10, 0, 0, 1], 50000, [10, 0, 0, 2], 80)
+    }
+
+    fn sample_response() -> Response {
+        let mut r = Response::new(flow());
+        let mut s = Section::new();
+        s.push("userID", "alice");
+        r.push_section(s);
+        r
+    }
+
+    #[tokio::test]
+    async fn round_trip_over_duplex_stream() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        let query = WireMessage::Query(Query::new(flow()).with_key("userID"));
+        let response = WireMessage::Response(sample_response());
+
+        write_message(&mut a, &query).await.unwrap();
+        write_message(&mut a, &response).await.unwrap();
+        drop(a);
+
+        let mut buf = BytesMut::new();
+        let first = read_message(&mut b, &mut buf).await.unwrap().unwrap();
+        let second = read_message(&mut b, &mut buf).await.unwrap().unwrap();
+        let third = read_message(&mut b, &mut buf).await.unwrap();
+        assert_eq!(first, query);
+        assert_eq!(second, response);
+        assert_eq!(third, None);
+    }
+
+    #[tokio::test]
+    async fn truncated_stream_is_an_error() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        let encoded = WireMessage::Response(sample_response()).encode();
+        // Send only half the frame and close.
+        tokio::io::AsyncWriteExt::write_all(&mut a, &encoded[..encoded.len() / 2])
+            .await
+            .unwrap();
+        drop(a);
+        let mut buf = BytesMut::new();
+        let err = read_message(&mut b, &mut buf).await.unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[tokio::test]
+    async fn garbage_is_invalid_data() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        tokio::io::AsyncWriteExt::write_all(&mut a, b"NOT-IDENT 1 2 3\nrubbish")
+            .await
+            .unwrap();
+        drop(a);
+        let mut buf = BytesMut::new();
+        let err = read_message(&mut b, &mut buf).await.unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

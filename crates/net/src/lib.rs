@@ -1,0 +1,20 @@
+//! # identxx-net — the ident++ wire protocol over real TCP sockets
+//!
+//! The simulator in the other crates exercises the whole control loop
+//! in-process. This crate is the deployment-shaped transport: an asynchronous
+//! TCP server that plays the role of the end-host ident++ daemon listening on
+//! its port (783 in a real deployment; tests bind an ephemeral localhost
+//! port), and a client the controller uses to query it. Messages are framed
+//! with [`identxx_proto::wire::WireMessage`], which carries the flow addresses
+//! explicitly because a TCP transport cannot recover them from spoofed IP
+//! headers the way the paper's raw-packet transport does.
+//!
+//! Built on tokio (see `DESIGN.md` §2 for the dependency justification).
+
+pub mod client;
+pub mod framing;
+pub mod server;
+
+pub use client::query_daemon;
+pub use framing::{read_message, write_message};
+pub use server::DaemonServer;

@@ -1,0 +1,185 @@
+//! The TCP ident++ daemon server.
+//!
+//! "End-hosts run an ident++ daemon as a server that receives queries on TCP
+//! port 783" (§2). [`DaemonServer`] wraps an [`identxx_daemon::Daemon`] behind
+//! a tokio TCP listener; each accepted connection may carry any number of
+//! queries, each answered with the daemon's response (or silently ignored if
+//! the daemon is configured silent — the querier's timeout handles that case,
+//! exactly as it would for a host with no daemon at all).
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use bytes::BytesMut;
+use identxx_daemon::Daemon;
+use identxx_proto::WireMessage;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::Mutex;
+
+use crate::framing::{read_message, write_message};
+
+/// A running daemon server.
+pub struct DaemonServer {
+    daemon: Arc<Mutex<Daemon>>,
+    local_addr: SocketAddr,
+    handle: tokio::task::JoinHandle<()>,
+}
+
+impl DaemonServer {
+    /// Binds to `bind_addr` (use port 0 for an ephemeral port in tests; a real
+    /// deployment uses [`identxx_proto::IDENTXX_PORT`]) and starts serving.
+    pub async fn start(daemon: Daemon, bind_addr: SocketAddr) -> io::Result<DaemonServer> {
+        let listener = TcpListener::bind(bind_addr).await?;
+        let local_addr = listener.local_addr()?;
+        let daemon = Arc::new(Mutex::new(daemon));
+        let accept_daemon = Arc::clone(&daemon);
+        let handle = tokio::spawn(async move {
+            loop {
+                match listener.accept().await {
+                    Ok((stream, _peer)) => {
+                        let connection_daemon = Arc::clone(&accept_daemon);
+                        tokio::spawn(async move {
+                            let _ = serve_connection(stream, connection_daemon).await;
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(DaemonServer {
+            daemon,
+            local_addr,
+            handle,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Access to the daemon behind the server (e.g. to start applications or
+    /// install configuration while the server runs).
+    pub fn daemon(&self) -> Arc<Mutex<Daemon>> {
+        Arc::clone(&self.daemon)
+    }
+
+    /// Stops the server.
+    pub fn shutdown(self) {
+        self.handle.abort();
+    }
+}
+
+async fn serve_connection(mut stream: TcpStream, daemon: Arc<Mutex<Daemon>>) -> io::Result<()> {
+    let mut buf = BytesMut::new();
+    while let Some(message) = read_message(&mut stream, &mut buf).await? {
+        if let WireMessage::Query(query) = message {
+            let answer = {
+                let mut daemon = daemon.lock().await;
+                daemon.answer(&query)
+            };
+            match answer {
+                Ok(Some(response)) => {
+                    write_message(&mut stream, &WireMessage::Response(response)).await?;
+                }
+                // Silent daemon or a query about a flow that is not ours:
+                // close the connection without answering, like a host with no
+                // daemon would simply not have the port open.
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_hostmodel::{Executable, Host};
+    use identxx_proto::{well_known, FiveTuple, Ipv4Addr, Query};
+
+    fn test_daemon() -> (Daemon, FiveTuple) {
+        let mut daemon = Daemon::bare(Host::new("h1", Ipv4Addr::new(10, 0, 0, 1)));
+        let exe = Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser");
+        let flow = daemon
+            .host_mut()
+            .open_connection("alice", exe, 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        (daemon, flow)
+    }
+
+    #[tokio::test]
+    async fn serves_queries_over_tcp() {
+        let (daemon, flow) = test_daemon();
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let response = crate::client::query_daemon(
+            server.local_addr(),
+            Query::new(flow).with_key(well_known::USER_ID),
+        )
+        .await
+        .unwrap()
+        .expect("daemon should answer");
+        assert_eq!(response.latest(well_known::USER_ID), Some("alice"));
+        assert_eq!(response.latest(well_known::APP_NAME), Some("firefox"));
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn multiple_queries_on_one_connection() {
+        let (daemon, flow) = test_daemon();
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut buf = BytesMut::new();
+        for _ in 0..3 {
+            write_message(&mut stream, &WireMessage::Query(Query::new(flow)))
+                .await
+                .unwrap();
+            let reply = read_message(&mut stream, &mut buf).await.unwrap().unwrap();
+            match reply {
+                WireMessage::Response(r) => {
+                    assert_eq!(r.latest(well_known::USER_ID), Some("alice"))
+                }
+                other => panic!("expected response, got {other:?}"),
+            }
+        }
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn silent_daemon_closes_without_answering() {
+        let (mut daemon, flow) = test_daemon();
+        daemon.set_silent(true);
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let result = crate::client::query_daemon(server.local_addr(), Query::new(flow))
+            .await
+            .unwrap();
+        assert!(result.is_none());
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn daemon_state_can_change_while_serving() {
+        let (daemon, flow) = test_daemon();
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        // Mark the daemon compromised mid-flight.
+        {
+            let daemon = server.daemon();
+            let mut daemon = daemon.lock().await;
+            daemon.set_forged_response(Some(vec![("userID".to_string(), "system".to_string())]));
+        }
+        let response = crate::client::query_daemon(server.local_addr(), Query::new(flow))
+            .await
+            .unwrap()
+            .unwrap();
+        assert_eq!(response.latest(well_known::USER_ID), Some("system"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,208 @@
+//! A generic discrete-event queue.
+//!
+//! The queue is a priority queue ordered by simulated time, with a sequence
+//! number to break ties deterministically (FIFO among simultaneous events).
+//! The simulation driver (in `identxx-controller` / the benchmarks) pops
+//! events, handles them, and schedules follow-up events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Duration, SimTime};
+
+/// An event scheduled for a point in simulated time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event queue with a simulated clock.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time. Events scheduled in the past
+    /// are clamped to the current time (they will be processed next).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: Duration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let scheduled = self.heap.pop()?;
+        self.now = scheduled.at;
+        self.processed += 1;
+        Some((scheduled.at, scheduled.event))
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Runs the queue to completion with a handler that may schedule further
+    /// events. Stops after `max_events` as a runaway guard and returns the
+    /// number of events processed by this call.
+    pub fn run<F>(&mut self, max_events: u64, mut handler: F) -> u64
+    where
+        F: FnMut(&mut EventQueue<E>, SimTime, E),
+    {
+        let mut count = 0;
+        while count < max_events {
+            let (at, event) = match self.pop() {
+                Some(x) => x,
+                None => break,
+            };
+            handler(self, at, event);
+            count += 1;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), "c");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(20), "b");
+        assert_eq!(q.pending(), 3);
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.now(), SimTime(20));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_in_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(5), 1);
+        q.schedule_at(SimTime(5), 2);
+        q.schedule_at(SimTime(5), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), "first");
+        q.pop();
+        q.schedule_after(Duration::from_micros(50), "second");
+        assert_eq!(q.pop(), Some((SimTime(150), "second")));
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), "first");
+        q.pop();
+        q.schedule_at(SimTime(10), "late");
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, SimTime(100));
+    }
+
+    #[test]
+    fn run_drives_cascading_events() {
+        // Each event schedules the next until 5 have run.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1), 0u32);
+        let processed = q.run(100, |q, _at, n| {
+            if n < 4 {
+                q.schedule_after(Duration::from_micros(10), n + 1);
+            }
+        });
+        assert_eq!(processed, 5);
+        assert_eq!(q.now(), SimTime(41));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn run_respects_max_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1), 0u32);
+        // An event that always reschedules itself would run forever.
+        let processed = q.run(50, |q, _at, n| {
+            q.schedule_after(Duration::from_micros(1), n + 1);
+        });
+        assert_eq!(processed, 50);
+        assert!(!q.is_empty());
+    }
+}

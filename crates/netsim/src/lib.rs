@@ -1,0 +1,40 @@
+//! # identxx-netsim — a discrete-event network simulation substrate
+//!
+//! The paper evaluates ident++ as a design running on an OpenFlow enterprise
+//! network; no testbed measurements are reported. To give the reproduction a
+//! quantitative footing we simulate the network: hosts and switches connected
+//! by links with configurable latency and loss, a deterministic discrete-event
+//! clock, shortest-path routing, synthetic enterprise workloads, and metric
+//! collection.
+//!
+//! The simulator is deliberately *flow- and control-plane-level*: data packets
+//! are not byte-accurate, but every control-plane interaction the paper
+//! describes (packet-in to the controller, ident++ queries to both end-hosts,
+//! flow-entry installation along the path, §2 Fig. 1) is simulated as timed
+//! events over the topology, which is what the flow-setup experiments measure.
+//!
+//! * [`time`] — simulated clock (microsecond ticks),
+//! * [`event`] — generic discrete-event queue,
+//! * [`topology`] — nodes, links, and topology builders (star, two-tier tree,
+//!   linear chains),
+//! * [`routing`] — shortest-path routing over the topology,
+//! * [`packet`] — flow-level packet/message descriptions,
+//! * [`workload`] — synthetic enterprise workload generation (application
+//!   mixes, users, flow arrival processes),
+//! * [`metrics`] — counters and latency histograms used by the experiments.
+
+pub mod event;
+pub mod metrics;
+pub mod packet;
+pub mod routing;
+pub mod time;
+pub mod topology;
+pub mod workload;
+
+pub use event::EventQueue;
+pub use metrics::{Counter, Histogram, MetricSet};
+pub use packet::{Packet, PacketKind};
+pub use routing::RoutingTable;
+pub use time::{Duration, SimTime};
+pub use topology::{LinkId, LinkProps, NodeId, NodeKind, Topology};
+pub use workload::{AppProfile, Flow, WorkloadConfig, WorkloadGenerator};

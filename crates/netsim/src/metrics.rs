@@ -1,0 +1,248 @@
+//! Counters and latency histograms for the experiments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A simple latency histogram that records every sample (the experiments
+/// record at most a few hundred thousand), and reports summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records a duration sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d.as_micros());
+        self.sorted = false;
+    }
+
+    /// Records a raw microsecond sample.
+    pub fn record_micros(&mut self, us: u64) {
+        self.samples.push(us);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean in microseconds (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Minimum sample in microseconds (0 if empty).
+    pub fn min(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Maximum sample in microseconds (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The `q`-quantile (0.0–1.0) in microseconds, by nearest-rank.
+    pub fn quantile(&mut self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[rank]
+    }
+
+    /// Median (p50) in microseconds.
+    pub fn median(&mut self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile in microseconds.
+    pub fn p99(&mut self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// A named collection of counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricSet {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricSet {
+    /// Creates an empty metric set.
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Increments a named counter (creating it if needed).
+    pub fn incr(&mut self, name: &str) {
+        self.counters.entry(name.to_string()).or_default().incr();
+    }
+
+    /// Adds to a named counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.counters.entry(name.to_string()).or_default().add(n);
+    }
+
+    /// Reads a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Records a latency sample under a name.
+    pub fn record(&mut self, name: &str, d: Duration) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(d);
+    }
+
+    /// Access to a histogram (if any samples were recorded).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Mutable access, e.g. to compute quantiles.
+    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+        self.histograms.get_mut(name)
+    }
+
+    /// Names of all counters.
+    pub fn counter_names(&self) -> Vec<&str> {
+        self.counters.keys().map(String::as_str).collect()
+    }
+}
+
+impl fmt::Display for MetricSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, counter) in &self.counters {
+            writeln!(f, "{name}: {}", counter.get())?;
+        }
+        for (name, hist) in &self.histograms {
+            writeln!(
+                f,
+                "{name}: n={} mean={:.1}us min={}us max={}us",
+                hist.count(),
+                hist.mean(),
+                hist.min(),
+                hist.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(5);
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            h.record_micros(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 50);
+        assert!((h.mean() - 30.0).abs() < 1e-9);
+        assert_eq!(h.median(), 30);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 50);
+        assert_eq!(h.p99(), 50);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.median(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_records_durations() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_millis(2));
+        assert_eq!(h.max(), 2_000);
+    }
+
+    #[test]
+    fn metric_set_counters_and_histograms() {
+        let mut m = MetricSet::new();
+        m.incr("flows");
+        m.incr("flows");
+        m.add("bytes", 100);
+        assert_eq!(m.counter("flows"), 2);
+        assert_eq!(m.counter("bytes"), 100);
+        assert_eq!(m.counter("missing"), 0);
+        m.record("setup-latency", Duration::from_micros(150));
+        m.record("setup-latency", Duration::from_micros(250));
+        assert_eq!(m.histogram("setup-latency").unwrap().count(), 2);
+        // Nearest-rank median of two samples rounds up to the larger one.
+        assert_eq!(m.histogram_mut("setup-latency").unwrap().median(), 250);
+        assert!(m.counter_names().contains(&"flows"));
+        let rendered = m.to_string();
+        assert!(rendered.contains("flows: 2"));
+        assert!(rendered.contains("setup-latency"));
+    }
+}

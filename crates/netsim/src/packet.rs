@@ -1,0 +1,127 @@
+//! Flow-level packet and control-message descriptions.
+//!
+//! The simulator is not byte-accurate; a [`Packet`] describes one message
+//! travelling through the network — a data packet belonging to an application
+//! flow, an ident++ query/response, or an OpenFlow control message — with
+//! enough metadata to drive the control-plane logic and account for latency.
+
+use identxx_proto::FiveTuple;
+
+/// The kind of message a packet carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketKind {
+    /// An application data packet (possibly the first packet of a flow).
+    Data,
+    /// An ident++ query from a controller to an end-host daemon.
+    IdentQuery,
+    /// An ident++ response from a daemon (or intercepting controller).
+    IdentResponse,
+    /// An OpenFlow `packet-in`: a switch forwarding an unmatched packet to the
+    /// controller.
+    OpenFlowPacketIn,
+    /// An OpenFlow `flow-mod`: the controller installing a flow-table entry.
+    OpenFlowFlowMod,
+}
+
+/// A simulated packet/message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The flow this packet belongs to (for control messages, the flow being
+    /// discussed).
+    pub flow: FiveTuple,
+    /// What the packet is.
+    pub kind: PacketKind,
+    /// Nominal size in bytes (used for byte counters; data packets default to
+    /// a full MTU, control messages to small sizes).
+    pub size: u32,
+}
+
+impl Packet {
+    /// A full-size data packet for a flow.
+    pub fn data(flow: FiveTuple) -> Packet {
+        Packet {
+            flow,
+            kind: PacketKind::Data,
+            size: 1500,
+        }
+    }
+
+    /// A data packet with explicit size.
+    pub fn data_sized(flow: FiveTuple, size: u32) -> Packet {
+        Packet {
+            flow,
+            kind: PacketKind::Data,
+            size,
+        }
+    }
+
+    /// An ident++ query about a flow.
+    pub fn ident_query(flow: FiveTuple) -> Packet {
+        Packet {
+            flow,
+            kind: PacketKind::IdentQuery,
+            size: 128,
+        }
+    }
+
+    /// An ident++ response about a flow, sized by the response text length.
+    pub fn ident_response(flow: FiveTuple, response_len: usize) -> Packet {
+        Packet {
+            flow,
+            kind: PacketKind::IdentResponse,
+            size: 64 + response_len as u32,
+        }
+    }
+
+    /// An OpenFlow packet-in carrying (the head of) a data packet.
+    pub fn packet_in(flow: FiveTuple) -> Packet {
+        Packet {
+            flow,
+            kind: PacketKind::OpenFlowPacketIn,
+            size: 256,
+        }
+    }
+
+    /// An OpenFlow flow-mod installing an entry for a flow.
+    pub fn flow_mod(flow: FiveTuple) -> Packet {
+        Packet {
+            flow,
+            kind: PacketKind::OpenFlowFlowMod,
+            size: 96,
+        }
+    }
+
+    /// Whether this is a control-plane message (not application data).
+    pub fn is_control(&self) -> bool {
+        !matches!(self.kind, PacketKind::Data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80)
+    }
+
+    #[test]
+    fn constructors_set_kind_and_size() {
+        assert_eq!(Packet::data(flow()).size, 1500);
+        assert_eq!(Packet::data_sized(flow(), 64).size, 64);
+        assert_eq!(Packet::ident_query(flow()).kind, PacketKind::IdentQuery);
+        let resp = Packet::ident_response(flow(), 500);
+        assert_eq!(resp.size, 564);
+        assert_eq!(Packet::packet_in(flow()).kind, PacketKind::OpenFlowPacketIn);
+        assert_eq!(Packet::flow_mod(flow()).kind, PacketKind::OpenFlowFlowMod);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(!Packet::data(flow()).is_control());
+        assert!(Packet::ident_query(flow()).is_control());
+        assert!(Packet::flow_mod(flow()).is_control());
+        assert!(Packet::packet_in(flow()).is_control());
+        assert!(Packet::ident_response(flow(), 10).is_control());
+    }
+}

@@ -1,0 +1,168 @@
+//! Shortest-path routing over a [`Topology`].
+//!
+//! The ident++ controller needs to know the switch path a flow traverses so
+//! it can "install entries along path for flow" (Fig. 1, step 4). The routing
+//! table computes hop-count shortest paths with BFS and caches them.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::topology::{NodeId, NodeKind, Topology};
+
+/// Precomputed shortest paths for a topology.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    /// `(src, dst) -> full node path (inclusive of both endpoints)`.
+    paths: HashMap<(NodeId, NodeId), Vec<NodeId>>,
+}
+
+impl RoutingTable {
+    /// Computes all-pairs shortest paths between every pair of nodes.
+    ///
+    /// Enterprise topologies here are small (tens to a few hundred nodes), so
+    /// BFS from every node is adequate and keeps the code simple.
+    pub fn build(topology: &Topology) -> RoutingTable {
+        let mut table = RoutingTable::default();
+        let node_ids: Vec<NodeId> = topology.nodes().map(|n| n.id).collect();
+        for &src in &node_ids {
+            let parents = bfs_parents(topology, src);
+            for &dst in &node_ids {
+                if let Some(path) = reconstruct_path(&parents, src, dst) {
+                    table.paths.insert((src, dst), path);
+                }
+            }
+        }
+        table
+    }
+
+    /// The full node path from `src` to `dst` (inclusive), if connected.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<&[NodeId]> {
+        self.paths.get(&(src, dst)).map(Vec::as_slice)
+    }
+
+    /// The switches along the path from `src` to `dst` (excluding the
+    /// endpoints), i.e. the devices that need flow-table entries installed.
+    pub fn switches_on_path(&self, topology: &Topology, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        self.path(src, dst)
+            .map(|p| {
+                p.iter()
+                    .copied()
+                    .filter(|n| {
+                        topology
+                            .node(*n)
+                            .map(|node| node.kind == NodeKind::Switch)
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of hops (links) between two nodes, if connected.
+    pub fn hop_count(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        self.path(src, dst).map(|p| p.len().saturating_sub(1))
+    }
+
+    /// Number of stored paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+fn bfs_parents(topology: &Topology, src: NodeId) -> BTreeMap<NodeId, NodeId> {
+    let mut parents = BTreeMap::new();
+    let mut visited = BTreeMap::new();
+    visited.insert(src, ());
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(node) = queue.pop_front() {
+        for (neighbour, _link) in topology.neighbours(node) {
+            if !visited.contains_key(neighbour) {
+                visited.insert(*neighbour, ());
+                parents.insert(*neighbour, node);
+                queue.push_back(*neighbour);
+            }
+        }
+    }
+    parents
+}
+
+fn reconstruct_path(
+    parents: &BTreeMap<NodeId, NodeId>,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut path = vec![dst];
+    let mut current = dst;
+    while current != src {
+        current = *parents.get(&current)?;
+        path.push(current);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkProps;
+
+    #[test]
+    fn paths_in_star_topology() {
+        let (t, switch, controller, hosts) = Topology::star(4, LinkProps::default());
+        let routes = RoutingTable::build(&t);
+        let path = routes.path(hosts[0], hosts[3]).unwrap();
+        assert_eq!(path, &[hosts[0], switch, hosts[3]]);
+        assert_eq!(routes.hop_count(hosts[0], hosts[3]), Some(2));
+        assert_eq!(routes.hop_count(hosts[0], controller), Some(2));
+        assert_eq!(
+            routes.switches_on_path(&t, hosts[0], hosts[3]),
+            vec![switch]
+        );
+        assert_eq!(routes.path(hosts[1], hosts[1]).unwrap(), &[hosts[1]]);
+    }
+
+    #[test]
+    fn paths_in_chain_topology() {
+        let (t, _controller, client, server, switches) =
+            Topology::chain(5, LinkProps::default());
+        let routes = RoutingTable::build(&t);
+        let path = routes.path(client, server).unwrap();
+        assert_eq!(path.len(), 7); // client + 5 switches + server
+        assert_eq!(routes.hop_count(client, server), Some(6));
+        assert_eq!(routes.switches_on_path(&t, client, server), switches);
+    }
+
+    #[test]
+    fn two_tier_routes_cross_edge_through_core() {
+        let (t, core, _controller, hosts) = Topology::two_tier(2, 2, LinkProps::default());
+        let routes = RoutingTable::build(&t);
+        // hosts[0] is on edge0, hosts[2] on edge1 — path must include core.
+        let path = routes.path(hosts[0], hosts[2]).unwrap();
+        assert!(path.contains(&core));
+        assert_eq!(path.len(), 5);
+        // Same-edge hosts do not traverse the core.
+        let path = routes.path(hosts[0], hosts[1]).unwrap();
+        assert!(!path.contains(&core));
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_path() {
+        let mut t = Topology::new();
+        let a = t.add_host("a", identxx_proto::Ipv4Addr::new(10, 0, 0, 1));
+        let b = t.add_host("b", identxx_proto::Ipv4Addr::new(10, 0, 0, 2));
+        let routes = RoutingTable::build(&t);
+        assert!(routes.path(a, b).is_none());
+        assert!(routes.hop_count(a, b).is_none());
+        assert!(!routes.is_empty()); // self-paths exist
+        assert_eq!(routes.path(a, a).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Simulated time.
+//!
+//! The simulator uses a 64-bit microsecond clock. All latencies in the
+//! experiments are expressed in these ticks, so results are deterministic and
+//! independent of the wall clock of the machine running the benchmarks.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the epoch (truncating).
+    pub fn as_millis(&self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Time elapsed since `earlier` (saturating at zero).
+    pub fn since(&self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000)
+    }
+
+    /// Constructs from seconds.
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000)
+    }
+
+    /// The duration in microseconds.
+    pub fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (possibly fractional) milliseconds.
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating multiplication by a count.
+    pub fn times(&self, n: u64) -> Duration {
+        Duration(self.0.saturating_mul(n))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::from_millis(2);
+        assert_eq!(t.as_micros(), 2_000);
+        assert_eq!(t.as_millis(), 2);
+        let t2 = t + Duration::from_micros(500);
+        assert_eq!((t2 - t).as_micros(), 500);
+        assert_eq!(t2.since(t).as_micros(), 500);
+        assert_eq!(t.since(t2), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(Duration::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(Duration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Duration::from_micros(7).times(3).as_micros(), 21);
+        assert!((Duration::from_micros(1500).as_millis_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Duration::from_micros(5).to_string(), "5us");
+        assert_eq!(Duration::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(Duration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimTime(42).to_string(), "42us");
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let huge = SimTime(u64::MAX);
+        assert_eq!((huge + Duration::from_secs(10)).0, u64::MAX);
+        assert_eq!(Duration(u64::MAX).times(2).0, u64::MAX);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(SimTime(5) < SimTime(6));
+        assert_eq!(SimTime(5).max(SimTime(9)), SimTime(9));
+    }
+}

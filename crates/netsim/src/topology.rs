@@ -1,0 +1,375 @@
+//! Network topology: hosts, switches, and the links between them.
+
+use std::collections::BTreeMap;
+
+use identxx_proto::Ipv4Addr;
+
+use crate::time::Duration;
+
+/// Identifier of a node in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a link in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// What kind of device a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An end-host (runs an ident++ daemon).
+    Host,
+    /// An OpenFlow switch (enforces flow-table decisions).
+    Switch,
+    /// The controller machine (runs the ident++ controller).
+    Controller,
+}
+
+/// A node in the topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The node's identifier.
+    pub id: NodeId,
+    /// The node kind.
+    pub kind: NodeKind,
+    /// Human-readable name (host names are also used by the host model).
+    pub name: String,
+    /// The node's IPv4 address (hosts and the controller; switches get one
+    /// too for management).
+    pub addr: Ipv4Addr,
+}
+
+/// Properties of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProps {
+    /// One-way propagation + processing latency.
+    pub latency: Duration,
+    /// Probability in `[0, 1]` that a packet traversing the link is dropped.
+    pub drop_probability: f64,
+}
+
+impl Default for LinkProps {
+    fn default() -> Self {
+        LinkProps {
+            latency: Duration::from_micros(50),
+            drop_probability: 0.0,
+        }
+    }
+}
+
+impl LinkProps {
+    /// A link with the given latency and no loss.
+    pub fn with_latency(latency: Duration) -> Self {
+        LinkProps {
+            latency,
+            drop_probability: 0.0,
+        }
+    }
+}
+
+/// A bidirectional link between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// The link's identifier.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Link properties (symmetric).
+    pub props: LinkProps,
+}
+
+/// A network topology: a set of nodes and bidirectional links.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: BTreeMap<NodeId, Node>,
+    links: Vec<Link>,
+    adjacency: BTreeMap<NodeId, Vec<(NodeId, LinkId)>>,
+    by_addr: BTreeMap<Ipv4Addr, NodeId>,
+    by_name: BTreeMap<String, NodeId>,
+    next_node: u32,
+    next_link: u32,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Adds a node and returns its identifier.
+    pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>, addr: Ipv4Addr) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        let name = name.into();
+        self.by_addr.insert(addr, id);
+        self.by_name.insert(name.clone(), id);
+        self.nodes.insert(
+            id,
+            Node {
+                id,
+                kind,
+                name,
+                addr,
+            },
+        );
+        self.adjacency.entry(id).or_default();
+        id
+    }
+
+    /// Convenience: adds a host.
+    pub fn add_host(&mut self, name: impl Into<String>, addr: Ipv4Addr) -> NodeId {
+        self.add_node(NodeKind::Host, name, addr)
+    }
+
+    /// Convenience: adds a switch. The switch is given a management address in
+    /// `10.255.0.0/16`.
+    pub fn add_switch(&mut self, name: impl Into<String>) -> NodeId {
+        let addr = Ipv4Addr::new(10, 255, (self.next_node >> 8) as u8, self.next_node as u8);
+        self.add_node(NodeKind::Switch, name, addr)
+    }
+
+    /// Convenience: adds the controller node with a management address.
+    pub fn add_controller(&mut self, name: impl Into<String>) -> NodeId {
+        let addr = Ipv4Addr::new(10, 254, (self.next_node >> 8) as u8, self.next_node as u8);
+        self.add_node(NodeKind::Controller, name, addr)
+    }
+
+    /// Connects two nodes with a link.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, props: LinkProps) -> LinkId {
+        assert!(self.nodes.contains_key(&a), "unknown node {a:?}");
+        assert!(self.nodes.contains_key(&b), "unknown node {b:?}");
+        let id = LinkId(self.next_link);
+        self.next_link += 1;
+        self.links.push(Link { id, a, b, props });
+        self.adjacency.entry(a).or_default().push((b, id));
+        self.adjacency.entry(b).or_default().push((a, id));
+        id
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// Looks up a node by its IPv4 address.
+    pub fn node_by_addr(&self, addr: Ipv4Addr) -> Option<&Node> {
+        self.by_addr.get(&addr).and_then(|id| self.nodes.get(id))
+    }
+
+    /// Looks up a node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<&Node> {
+        self.by_name.get(name).and_then(|id| self.nodes.get(id))
+    }
+
+    /// Looks up a link.
+    pub fn link(&self, id: LinkId) -> Option<&Link> {
+        self.links.iter().find(|l| l.id == id)
+    }
+
+    /// The link connecting two adjacent nodes, if any.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<&Link> {
+        self.adjacency
+            .get(&a)?
+            .iter()
+            .find(|(n, _)| *n == b)
+            .and_then(|(_, lid)| self.link(*lid))
+    }
+
+    /// Neighbours of a node with the connecting link ids.
+    pub fn neighbours(&self, id: NodeId) -> &[(NodeId, LinkId)] {
+        self.adjacency
+            .get(&id)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All nodes of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        self.nodes
+            .values()
+            .filter(|n| n.kind == kind)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total one-way latency along a node path (adjacent pairs must be
+    /// linked). Returns `None` if any hop is not connected.
+    pub fn path_latency(&self, path: &[NodeId]) -> Option<Duration> {
+        let mut total = Duration::ZERO;
+        for pair in path.windows(2) {
+            let link = self.link_between(pair[0], pair[1])?;
+            total += link.props.latency;
+        }
+        Some(total)
+    }
+
+    /// Builds a star topology: one switch in the middle, `host_count` hosts
+    /// attached, a controller attached to the switch. Host addresses are
+    /// `10.0.0.1 …`. Returns `(topology, switch, controller, hosts)`.
+    pub fn star(host_count: usize, link: LinkProps) -> (Topology, NodeId, NodeId, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let switch = t.add_switch("sw0");
+        let controller = t.add_controller("controller");
+        t.add_link(switch, controller, link);
+        let mut hosts = Vec::with_capacity(host_count);
+        for i in 0..host_count {
+            let addr = Ipv4Addr::new(10, 0, (i / 250) as u8, (i % 250 + 1) as u8);
+            let h = t.add_host(format!("h{i}"), addr);
+            t.add_link(h, switch, link);
+            hosts.push(h);
+        }
+        (t, switch, controller, hosts)
+    }
+
+    /// Builds a two-tier (aggregation/edge) enterprise tree: `edge_switches`
+    /// edge switches each with `hosts_per_edge` hosts, all edge switches
+    /// connected to a core switch, and the controller attached to the core.
+    /// Returns `(topology, core, controller, hosts)`.
+    pub fn two_tier(
+        edge_switches: usize,
+        hosts_per_edge: usize,
+        link: LinkProps,
+    ) -> (Topology, NodeId, NodeId, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let core = t.add_switch("core");
+        let controller = t.add_controller("controller");
+        t.add_link(core, controller, link);
+        let mut hosts = Vec::new();
+        for e in 0..edge_switches {
+            let edge = t.add_switch(format!("edge{e}"));
+            t.add_link(edge, core, link);
+            for h in 0..hosts_per_edge {
+                let idx = e * hosts_per_edge + h;
+                let addr = Ipv4Addr::new(10, (e + 1) as u8, (h / 250) as u8, (h % 250 + 1) as u8);
+                let host = t.add_host(format!("h{idx}"), addr);
+                t.add_link(host, edge, link);
+                hosts.push(host);
+            }
+        }
+        (t, core, controller, hosts)
+    }
+
+    /// Builds a linear chain of `switch_count` switches with one host at each
+    /// end and the controller attached to the first switch. Used by the
+    /// flow-setup experiment to vary path length. Returns
+    /// `(topology, controller, client, server, switches)`.
+    pub fn chain(
+        switch_count: usize,
+        link: LinkProps,
+    ) -> (Topology, NodeId, NodeId, NodeId, Vec<NodeId>) {
+        assert!(switch_count >= 1, "chain needs at least one switch");
+        let mut t = Topology::new();
+        let mut switches = Vec::with_capacity(switch_count);
+        for i in 0..switch_count {
+            let s = t.add_switch(format!("sw{i}"));
+            if let Some(prev) = switches.last() {
+                t.add_link(*prev, s, link);
+            }
+            switches.push(s);
+        }
+        let controller = t.add_controller("controller");
+        t.add_link(controller, switches[0], link);
+        let client = t.add_host("client", Ipv4Addr::new(10, 0, 0, 1));
+        let server = t.add_host("server", Ipv4Addr::new(10, 0, 1, 1));
+        t.add_link(client, switches[0], link);
+        t.add_link(server, *switches.last().unwrap(), link);
+        (t, controller, client, server, switches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_nodes_and_links() {
+        let mut t = Topology::new();
+        let a = t.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
+        let b = t.add_host("b", Ipv4Addr::new(10, 0, 0, 2));
+        let s = t.add_switch("s");
+        t.add_link(a, s, LinkProps::default());
+        t.add_link(b, s, LinkProps::default());
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(t.node(a).unwrap().name, "a");
+        assert_eq!(t.node_by_addr(Ipv4Addr::new(10, 0, 0, 2)).unwrap().id, b);
+        assert_eq!(t.node_by_name("s").unwrap().kind, NodeKind::Switch);
+        assert_eq!(t.neighbours(s).len(), 2);
+        assert!(t.link_between(a, s).is_some());
+        assert!(t.link_between(a, b).is_none());
+    }
+
+    #[test]
+    fn star_topology_shape() {
+        let (t, switch, controller, hosts) = Topology::star(10, LinkProps::default());
+        assert_eq!(hosts.len(), 10);
+        assert_eq!(t.node_count(), 12);
+        assert_eq!(t.link_count(), 11);
+        assert_eq!(t.neighbours(switch).len(), 11);
+        assert_eq!(t.node(controller).unwrap().kind, NodeKind::Controller);
+        assert_eq!(t.nodes_of_kind(NodeKind::Host).len(), 10);
+    }
+
+    #[test]
+    fn two_tier_topology_shape() {
+        let (t, core, _controller, hosts) = Topology::two_tier(4, 5, LinkProps::default());
+        assert_eq!(hosts.len(), 20);
+        // core + controller + 4 edge + 20 hosts
+        assert_eq!(t.node_count(), 26);
+        // controller-core + 4 core-edge + 20 host-edge
+        assert_eq!(t.link_count(), 25);
+        assert_eq!(t.neighbours(core).len(), 5);
+        // Host addresses are unique.
+        let mut addrs: Vec<_> = hosts
+            .iter()
+            .map(|h| t.node(*h).unwrap().addr)
+            .collect();
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 20);
+    }
+
+    #[test]
+    fn chain_topology_shape_and_latency() {
+        let props = LinkProps::with_latency(Duration::from_micros(100));
+        let (t, controller, client, server, switches) = Topology::chain(3, props);
+        assert_eq!(switches.len(), 3);
+        // client -> sw0 -> sw1 -> sw2 -> server = 4 links
+        let path = vec![client, switches[0], switches[1], switches[2], server];
+        assert_eq!(t.path_latency(&path).unwrap().as_micros(), 400);
+        // Controller hangs off sw0.
+        assert!(t.link_between(controller, switches[0]).is_some());
+        // Disconnected pairs yield None.
+        assert_eq!(t.path_latency(&[client, server]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn linking_unknown_node_panics() {
+        let mut t = Topology::new();
+        let a = t.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
+        t.add_link(a, NodeId(999), LinkProps::default());
+    }
+}

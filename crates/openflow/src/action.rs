@@ -1,0 +1,40 @@
+//! Flow-table actions.
+//!
+//! "These actions include dropping the packet, forwarding it on a particular
+//! port or number of ports, or sending the packet to the OpenFlow controller"
+//! (§3.1).
+
+use crate::match_fields::PortNo;
+
+/// An action applied to packets matching a flow entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OfAction {
+    /// Drop the packet.
+    Drop,
+    /// Forward out of a specific port.
+    Output(PortNo),
+    /// Flood out of every port except the ingress port.
+    Flood,
+    /// Encapsulate and send to the controller.
+    SendToController,
+}
+
+impl OfAction {
+    /// Whether the action forwards the packet onwards in the data plane.
+    pub fn forwards(&self) -> bool {
+        matches!(self, OfAction::Output(_) | OfAction::Flood)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_classification() {
+        assert!(OfAction::Output(3).forwards());
+        assert!(OfAction::Flood.forwards());
+        assert!(!OfAction::Drop.forwards());
+        assert!(!OfAction::SendToController.forwards());
+    }
+}

@@ -1,0 +1,108 @@
+//! The controller-side interface.
+//!
+//! A controller implementation (the ident++ controller in
+//! `identxx-controller`, or the Ethane-style / port-based baselines in
+//! `identxx-baselines`) receives `packet-in` events and answers with
+//! directives: flow-mods to install on switches and whether to release or
+//! drop the triggering packet.
+
+use crate::messages::{FlowMod, PacketIn};
+
+/// What the controller wants done in response to a `packet-in`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ControllerDirective {
+    /// Flow-table entries to install (possibly on several switches along the
+    /// path, as Fig. 1 step 4 describes).
+    pub flow_mods: Vec<FlowMod>,
+    /// Whether the packet that triggered the `packet-in` should be released
+    /// toward its destination (`true`) or dropped (`false`).
+    pub forward_packet: bool,
+}
+
+impl ControllerDirective {
+    /// A directive that drops the packet and installs nothing.
+    pub fn drop() -> ControllerDirective {
+        ControllerDirective {
+            flow_mods: Vec::new(),
+            forward_packet: false,
+        }
+    }
+
+    /// A directive that forwards the packet and installs the given flow mods.
+    pub fn allow(flow_mods: Vec<FlowMod>) -> ControllerDirective {
+        ControllerDirective {
+            flow_mods,
+            forward_packet: true,
+        }
+    }
+
+    /// A directive that drops the packet but still installs flow mods (e.g. a
+    /// drop entry so subsequent packets of the denied flow do not keep hitting
+    /// the controller).
+    pub fn deny_with(flow_mods: Vec<FlowMod>) -> ControllerDirective {
+        ControllerDirective {
+            flow_mods,
+            forward_packet: false,
+        }
+    }
+}
+
+/// The interface every controller implementation provides.
+pub trait OpenFlowController {
+    /// Handles a `packet-in` at simulated time `now` (microseconds).
+    fn packet_in(&mut self, event: &PacketIn, now: u64) -> ControllerDirective;
+
+    /// A human-readable name for reporting.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::OfAction;
+    use crate::flow_table::FlowEntry;
+    use crate::match_fields::{FlowMatch, PacketHeader};
+    use crate::messages::SwitchId;
+    use identxx_proto::FiveTuple;
+
+    /// A controller that allows everything — used to validate the trait shape.
+    struct AllowAll;
+
+    impl OpenFlowController for AllowAll {
+        fn packet_in(&mut self, event: &PacketIn, _now: u64) -> ControllerDirective {
+            let entry = FlowEntry::new(
+                FlowMatch::exact_five_tuple(&event.header.five_tuple()),
+                10,
+                OfAction::Flood,
+            );
+            ControllerDirective::allow(vec![FlowMod::add(event.switch, entry)])
+        }
+        fn name(&self) -> &str {
+            "allow-all"
+        }
+    }
+
+    #[test]
+    fn directive_constructors() {
+        assert!(!ControllerDirective::drop().forward_packet);
+        assert!(ControllerDirective::allow(vec![]).forward_packet);
+        let deny = ControllerDirective::deny_with(vec![]);
+        assert!(!deny.forward_packet);
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 80);
+        let pin = PacketIn {
+            switch: SwitchId(1),
+            header: PacketHeader::from_flow(&flow, 1),
+            size: 100,
+        };
+        let mut c: Box<dyn OpenFlowController> = Box::new(AllowAll);
+        let directive = c.packet_in(&pin, 0);
+        assert_eq!(c.name(), "allow-all");
+        assert!(directive.forward_packet);
+        assert_eq!(directive.flow_mods.len(), 1);
+        assert_eq!(directive.flow_mods[0].switch, SwitchId(1));
+    }
+}

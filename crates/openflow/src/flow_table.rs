@@ -1,0 +1,333 @@
+//! The switch flow table.
+//!
+//! "The flow table in an OpenFlow switch maps from the 10-tuple definition of
+//! a flow to an action to be taken on packets belonging to that flow" (§3.1).
+//! Entries carry a priority (higher wins), hit counters, and idle/hard
+//! timeouts so cached controller decisions eventually expire.
+
+use crate::action::OfAction;
+use crate::match_fields::{FlowMatch, PacketHeader};
+
+/// One flow-table entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEntry {
+    /// The match fields.
+    pub flow_match: FlowMatch,
+    /// Priority; among entries that match a packet the highest priority wins,
+    /// ties broken by match specificity then insertion order.
+    pub priority: u16,
+    /// The action to apply.
+    pub action: OfAction,
+    /// Remove the entry if it is not hit for this many microseconds
+    /// (0 = no idle timeout).
+    pub idle_timeout: u64,
+    /// Remove the entry this many microseconds after installation
+    /// (0 = no hard timeout).
+    pub hard_timeout: u64,
+    /// Time the entry was installed.
+    pub installed_at: u64,
+    /// Time of the most recent hit.
+    pub last_hit: u64,
+    /// Number of packets that matched.
+    pub packet_count: u64,
+    /// Number of bytes that matched.
+    pub byte_count: u64,
+}
+
+impl FlowEntry {
+    /// Creates an entry with no timeouts.
+    pub fn new(flow_match: FlowMatch, priority: u16, action: OfAction) -> FlowEntry {
+        FlowEntry {
+            flow_match,
+            priority,
+            action,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            installed_at: 0,
+            last_hit: 0,
+            packet_count: 0,
+            byte_count: 0,
+        }
+    }
+
+    /// Sets the idle timeout (builder style).
+    pub fn with_idle_timeout(mut self, micros: u64) -> FlowEntry {
+        self.idle_timeout = micros;
+        self
+    }
+
+    /// Sets the hard timeout (builder style).
+    pub fn with_hard_timeout(mut self, micros: u64) -> FlowEntry {
+        self.hard_timeout = micros;
+        self
+    }
+
+    /// Whether the entry has expired at time `now`.
+    pub fn expired(&self, now: u64) -> bool {
+        if self.hard_timeout > 0 && now >= self.installed_at.saturating_add(self.hard_timeout) {
+            return true;
+        }
+        if self.idle_timeout > 0 {
+            let reference = self.last_hit.max(self.installed_at);
+            if now >= reference.saturating_add(self.idle_timeout) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Aggregate statistics of a flow table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Number of entries currently installed.
+    pub entries: usize,
+    /// Lookups that hit an entry.
+    pub hits: u64,
+    /// Lookups that missed (and would go to the controller).
+    pub misses: u64,
+    /// Entries removed by expiry.
+    pub expired: u64,
+}
+
+impl TableStats {
+    /// Hit ratio in `[0,1]` (0 when there have been no lookups).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A flow table.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    stats: TableStats,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Installs an entry at time `now`. An identical match at the same
+    /// priority replaces the existing entry (as an OpenFlow `MODIFY` would).
+    pub fn install(&mut self, mut entry: FlowEntry, now: u64) {
+        entry.installed_at = now;
+        entry.last_hit = now;
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.flow_match == entry.flow_match && e.priority == entry.priority)
+        {
+            *existing = entry;
+        } else {
+            self.entries.push(entry);
+        }
+        self.stats.entries = self.entries.len();
+    }
+
+    /// Removes entries matching a predicate, returning how many were removed.
+    pub fn remove_where<F: Fn(&FlowEntry) -> bool>(&mut self, pred: F) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !pred(e));
+        self.stats.entries = self.entries.len();
+        before - self.entries.len()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats.entries = 0;
+    }
+
+    /// Looks up the action for a packet header at time `now`, updating
+    /// counters. Returns `None` on a table miss.
+    pub fn lookup(&mut self, header: &PacketHeader, size: u32, now: u64) -> Option<OfAction> {
+        self.expire(now);
+        let best = self
+            .entries
+            .iter_mut()
+            .filter(|e| e.flow_match.matches(header))
+            .max_by_key(|e| (e.priority, e.flow_match.specificity()));
+        match best {
+            Some(entry) => {
+                entry.packet_count += 1;
+                entry.byte_count += size as u64;
+                entry.last_hit = now;
+                self.stats.hits += 1;
+                Some(entry.action)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Non-mutating peek at the action that would apply (no counter updates).
+    pub fn peek(&self, header: &PacketHeader) -> Option<OfAction> {
+        self.entries
+            .iter()
+            .filter(|e| e.flow_match.matches(header))
+            .max_by_key(|e| (e.priority, e.flow_match.specificity()))
+            .map(|e| e.action)
+    }
+
+    /// Removes expired entries.
+    pub fn expire(&mut self, now: u64) {
+        let before = self.entries.len();
+        self.entries.retain(|e| !e.expired(now));
+        let removed = before - self.entries.len();
+        self.stats.expired += removed as u64;
+        self.stats.entries = self.entries.len();
+    }
+
+    /// The entries currently installed.
+    pub fn entries(&self) -> &[FlowEntry] {
+        &self.entries
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_proto::FiveTuple;
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([10, 0, 0, 1], 43210, [10, 0, 0, 2], 80)
+    }
+
+    fn header() -> PacketHeader {
+        PacketHeader::from_flow(&flow(), 1)
+    }
+
+    #[test]
+    fn miss_then_install_then_hit() {
+        let mut table = FlowTable::new();
+        assert_eq!(table.lookup(&header(), 100, 0), None);
+        table.install(
+            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(2)),
+            0,
+        );
+        assert_eq!(table.lookup(&header(), 100, 1), Some(OfAction::Output(2)));
+        let stats = table.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(table.entries()[0].packet_count, 1);
+        assert_eq!(table.entries()[0].byte_count, 100);
+    }
+
+    #[test]
+    fn priority_wins_over_specificity_order() {
+        let mut table = FlowTable::new();
+        table.install(
+            FlowEntry::new(FlowMatch::wildcard(), 100, OfAction::Drop),
+            0,
+        );
+        table.install(
+            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(5)),
+            0,
+        );
+        // The wildcard drop has higher priority, so it wins.
+        assert_eq!(table.lookup(&header(), 1, 0), Some(OfAction::Drop));
+    }
+
+    #[test]
+    fn specificity_breaks_priority_ties() {
+        let mut table = FlowTable::new();
+        table.install(FlowEntry::new(FlowMatch::wildcard(), 10, OfAction::Drop), 0);
+        table.install(
+            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(5)),
+            0,
+        );
+        assert_eq!(table.lookup(&header(), 1, 0), Some(OfAction::Output(5)));
+    }
+
+    #[test]
+    fn reinstalling_same_match_replaces() {
+        let mut table = FlowTable::new();
+        let m = FlowMatch::exact_five_tuple(&flow());
+        table.install(FlowEntry::new(m, 10, OfAction::Drop), 0);
+        table.install(FlowEntry::new(m, 10, OfAction::Output(1)), 5);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.lookup(&header(), 1, 6), Some(OfAction::Output(1)));
+    }
+
+    #[test]
+    fn hard_timeout_expires_entries() {
+        let mut table = FlowTable::new();
+        table.install(
+            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(1))
+                .with_hard_timeout(1_000),
+            0,
+        );
+        assert!(table.lookup(&header(), 1, 500).is_some());
+        assert!(table.lookup(&header(), 1, 1_000).is_none());
+        assert_eq!(table.stats().expired, 1);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_resets_on_hits() {
+        let mut table = FlowTable::new();
+        table.install(
+            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(1))
+                .with_idle_timeout(1_000),
+            0,
+        );
+        // Keep hitting it every 800us — it must stay alive.
+        assert!(table.lookup(&header(), 1, 800).is_some());
+        assert!(table.lookup(&header(), 1, 1_600).is_some());
+        // Now leave it idle past the timeout.
+        assert!(table.lookup(&header(), 1, 2_700).is_none());
+    }
+
+    #[test]
+    fn remove_where_and_clear() {
+        let mut table = FlowTable::new();
+        table.install(
+            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Drop),
+            0,
+        );
+        table.install(FlowEntry::new(FlowMatch::dst_port(22), 5, OfAction::Output(1)), 0);
+        assert_eq!(table.remove_where(|e| e.action == OfAction::Drop), 1);
+        assert_eq!(table.len(), 1);
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.stats().entries, 0);
+    }
+
+    #[test]
+    fn peek_does_not_change_counters() {
+        let mut table = FlowTable::new();
+        table.install(
+            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(2)),
+            0,
+        );
+        assert_eq!(table.peek(&header()), Some(OfAction::Output(2)));
+        assert_eq!(table.stats().hits, 0);
+        assert_eq!(table.entries()[0].packet_count, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # identxx-openflow — an OpenFlow-style switching substrate
+//!
+//! The paper assumes an OpenFlow network (§3.1): switches keep a flow table
+//! mapping a 10-tuple flow description to an action; packets that match no
+//! entry are encapsulated and sent to the controller (`packet-in`); the
+//! controller makes a decision and installs entries (`flow-mod`) in switches
+//! across the network so the decision is cached on the data path.
+//!
+//! This crate implements that abstraction in software:
+//!
+//! * [`match_fields`] — the 10-tuple packet header and wildcard match,
+//! * [`action`] — forwarding actions,
+//! * [`flow_table`] — priority/wildcard flow tables with counters and
+//!   timeouts,
+//! * [`switch`] — the switch model (lookup → action or packet-in),
+//! * [`messages`] — controller⇄switch protocol messages,
+//! * [`controller`] — the trait a controller implementation (the ident++
+//!   controller, or the Ethane-style baseline) plugs into.
+//!
+//! The 10-tuple is a superset of ident++'s 5-tuple flow definition, which is
+//! why the ident++ controller can drive OpenFlow switches directly.
+
+pub mod action;
+pub mod controller;
+pub mod flow_table;
+pub mod match_fields;
+pub mod messages;
+pub mod switch;
+
+pub use action::OfAction;
+pub use controller::{ControllerDirective, OpenFlowController};
+pub use flow_table::{FlowEntry, FlowTable, TableStats};
+pub use match_fields::{FlowMatch, MacAddr, PacketHeader, PortNo};
+pub use messages::{FlowMod, FlowModCommand, PacketIn, SwitchId};
+pub use switch::{ForwardingResult, Switch};

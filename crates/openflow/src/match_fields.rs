@@ -1,0 +1,300 @@
+//! The OpenFlow 10-tuple: concrete packet headers and wildcard matches.
+//!
+//! "OpenFlow defines a flow as a 10-tuple {Ingress port, MAC source and
+//! destination addresses, Ethernet type, VLAN identifier, IP source and
+//! destination addresses, IP protocol, transport source and destination
+//! ports}" (§3.1).
+
+use identxx_proto::{FiveTuple, IpProtocol, Ipv4Addr};
+
+/// A switch port number.
+pub type PortNo = u16;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct MacAddr(pub u64);
+
+impl MacAddr {
+    /// Derives a deterministic MAC from an IPv4 address (the simulator's
+    /// hosts have locally administered addresses `02:00:xx:xx:xx:xx`).
+    pub fn from_ip(ip: Ipv4Addr) -> MacAddr {
+        MacAddr(0x0200_0000_0000 | ip.to_u32() as u64)
+    }
+
+    /// The broadcast MAC address.
+    pub const BROADCAST: MacAddr = MacAddr(0xffff_ffff_ffff);
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[2], b[3], b[4], b[5], b[6], b[7]
+        )
+    }
+}
+
+/// The EtherType for IPv4.
+pub const ETH_TYPE_IPV4: u16 = 0x0800;
+
+/// A concrete packet header as seen by a switch: the 10-tuple values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketHeader {
+    /// Switch port the packet arrived on.
+    pub in_port: PortNo,
+    /// Source MAC.
+    pub eth_src: MacAddr,
+    /// Destination MAC.
+    pub eth_dst: MacAddr,
+    /// EtherType.
+    pub eth_type: u16,
+    /// VLAN identifier (0 = untagged).
+    pub vlan_id: u16,
+    /// IPv4 source address.
+    pub ip_src: Ipv4Addr,
+    /// IPv4 destination address.
+    pub ip_dst: Ipv4Addr,
+    /// IP protocol.
+    pub ip_proto: IpProtocol,
+    /// Transport source port.
+    pub tp_src: u16,
+    /// Transport destination port.
+    pub tp_dst: u16,
+}
+
+impl PacketHeader {
+    /// Builds a header for a packet of `flow` arriving on `in_port`, deriving
+    /// MAC addresses from the IP addresses.
+    pub fn from_flow(flow: &FiveTuple, in_port: PortNo) -> PacketHeader {
+        PacketHeader {
+            in_port,
+            eth_src: MacAddr::from_ip(flow.src_ip),
+            eth_dst: MacAddr::from_ip(flow.dst_ip),
+            eth_type: ETH_TYPE_IPV4,
+            vlan_id: 0,
+            ip_src: flow.src_ip,
+            ip_dst: flow.dst_ip,
+            ip_proto: flow.protocol,
+            tp_src: flow.src_port,
+            tp_dst: flow.dst_port,
+        }
+    }
+
+    /// The ident++ 5-tuple of this packet.
+    pub fn five_tuple(&self) -> FiveTuple {
+        FiveTuple::new(
+            self.ip_src,
+            self.tp_src,
+            self.ip_dst,
+            self.tp_dst,
+            self.ip_proto,
+        )
+    }
+}
+
+/// A 10-tuple match where every field is optionally wildcarded.
+///
+/// `None` means "match anything" for that field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FlowMatch {
+    /// Ingress port.
+    pub in_port: Option<PortNo>,
+    /// Source MAC.
+    pub eth_src: Option<MacAddr>,
+    /// Destination MAC.
+    pub eth_dst: Option<MacAddr>,
+    /// EtherType.
+    pub eth_type: Option<u16>,
+    /// VLAN id.
+    pub vlan_id: Option<u16>,
+    /// IPv4 source.
+    pub ip_src: Option<Ipv4Addr>,
+    /// IPv4 destination.
+    pub ip_dst: Option<Ipv4Addr>,
+    /// IP protocol.
+    pub ip_proto: Option<IpProtocol>,
+    /// Transport source port.
+    pub tp_src: Option<u16>,
+    /// Transport destination port.
+    pub tp_dst: Option<u16>,
+}
+
+impl FlowMatch {
+    /// A match with every field wildcarded (matches everything).
+    pub fn wildcard() -> FlowMatch {
+        FlowMatch::default()
+    }
+
+    /// An exact match on the 5-tuple of a flow, wildcarding the layer-2
+    /// fields and ingress port — this is what the ident++ controller installs,
+    /// since its flow definition is the 5-tuple.
+    pub fn exact_five_tuple(flow: &FiveTuple) -> FlowMatch {
+        FlowMatch {
+            eth_type: Some(ETH_TYPE_IPV4),
+            ip_src: Some(flow.src_ip),
+            ip_dst: Some(flow.dst_ip),
+            ip_proto: Some(flow.protocol),
+            tp_src: Some(flow.src_port),
+            tp_dst: Some(flow.dst_port),
+            ..FlowMatch::default()
+        }
+    }
+
+    /// An exact match on every field of a concrete header (Ethane-style,
+    /// including ingress port and MACs).
+    pub fn exact_header(header: &PacketHeader) -> FlowMatch {
+        FlowMatch {
+            in_port: Some(header.in_port),
+            eth_src: Some(header.eth_src),
+            eth_dst: Some(header.eth_dst),
+            eth_type: Some(header.eth_type),
+            vlan_id: Some(header.vlan_id),
+            ip_src: Some(header.ip_src),
+            ip_dst: Some(header.ip_dst),
+            ip_proto: Some(header.ip_proto),
+            tp_src: Some(header.tp_src),
+            tp_dst: Some(header.tp_dst),
+        }
+    }
+
+    /// A match on destination transport port only (a classic port-based
+    /// firewall rule shape).
+    pub fn dst_port(port: u16) -> FlowMatch {
+        FlowMatch {
+            eth_type: Some(ETH_TYPE_IPV4),
+            tp_dst: Some(port),
+            ..FlowMatch::default()
+        }
+    }
+
+    /// Whether this match covers `header`.
+    pub fn matches(&self, header: &PacketHeader) -> bool {
+        fn field<T: PartialEq>(want: &Option<T>, got: &T) -> bool {
+            match want {
+                Some(w) => w == got,
+                None => true,
+            }
+        }
+        field(&self.in_port, &header.in_port)
+            && field(&self.eth_src, &header.eth_src)
+            && field(&self.eth_dst, &header.eth_dst)
+            && field(&self.eth_type, &header.eth_type)
+            && field(&self.vlan_id, &header.vlan_id)
+            && field(&self.ip_src, &header.ip_src)
+            && field(&self.ip_dst, &header.ip_dst)
+            && field(&self.ip_proto, &header.ip_proto)
+            && field(&self.tp_src, &header.tp_src)
+            && field(&self.tp_dst, &header.tp_dst)
+    }
+
+    /// Number of non-wildcarded fields (used to prefer more specific entries
+    /// when priorities tie).
+    pub fn specificity(&self) -> u32 {
+        let mut n = 0;
+        if self.in_port.is_some() {
+            n += 1;
+        }
+        if self.eth_src.is_some() {
+            n += 1;
+        }
+        if self.eth_dst.is_some() {
+            n += 1;
+        }
+        if self.eth_type.is_some() {
+            n += 1;
+        }
+        if self.vlan_id.is_some() {
+            n += 1;
+        }
+        if self.ip_src.is_some() {
+            n += 1;
+        }
+        if self.ip_dst.is_some() {
+            n += 1;
+        }
+        if self.ip_proto.is_some() {
+            n += 1;
+        }
+        if self.tp_src.is_some() {
+            n += 1;
+        }
+        if self.tp_dst.is_some() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([10, 0, 0, 1], 43210, [10, 0, 0, 2], 80)
+    }
+
+    #[test]
+    fn header_round_trips_five_tuple() {
+        let h = PacketHeader::from_flow(&flow(), 3);
+        assert_eq!(h.five_tuple(), flow());
+        assert_eq!(h.in_port, 3);
+        assert_eq!(h.eth_type, ETH_TYPE_IPV4);
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let h = PacketHeader::from_flow(&flow(), 1);
+        assert!(FlowMatch::wildcard().matches(&h));
+        assert_eq!(FlowMatch::wildcard().specificity(), 0);
+    }
+
+    #[test]
+    fn exact_five_tuple_matching() {
+        let m = FlowMatch::exact_five_tuple(&flow());
+        let hit = PacketHeader::from_flow(&flow(), 7);
+        let miss_port = PacketHeader::from_flow(
+            &FiveTuple::tcp([10, 0, 0, 1], 43210, [10, 0, 0, 2], 443),
+            7,
+        );
+        let miss_reverse = PacketHeader::from_flow(&flow().reversed(), 7);
+        assert!(m.matches(&hit));
+        assert!(!m.matches(&miss_port));
+        assert!(!m.matches(&miss_reverse));
+        // Ingress port is wildcarded so any port matches.
+        let other_port = PacketHeader::from_flow(&flow(), 99);
+        assert!(m.matches(&other_port));
+        assert_eq!(m.specificity(), 6);
+    }
+
+    #[test]
+    fn exact_header_matching_includes_port_and_macs() {
+        let h = PacketHeader::from_flow(&flow(), 4);
+        let m = FlowMatch::exact_header(&h);
+        assert!(m.matches(&h));
+        let mut other = h;
+        other.in_port = 5;
+        assert!(!m.matches(&other));
+        assert_eq!(m.specificity(), 10);
+    }
+
+    #[test]
+    fn dst_port_match_is_port_based() {
+        let m = FlowMatch::dst_port(80);
+        let web = PacketHeader::from_flow(&flow(), 1);
+        let skype_on_80 =
+            PacketHeader::from_flow(&FiveTuple::tcp([10, 0, 0, 9], 999, [10, 9, 9, 9], 80), 1);
+        let ssh = PacketHeader::from_flow(&FiveTuple::tcp([10, 0, 0, 1], 999, [10, 0, 0, 2], 22), 1);
+        assert!(m.matches(&web));
+        assert!(m.matches(&skype_on_80)); // cannot tell skype from web!
+        assert!(!m.matches(&ssh));
+    }
+
+    #[test]
+    fn mac_formatting_and_derivation() {
+        let mac = MacAddr::from_ip(Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(mac.to_string(), "02:00:0a:00:00:01");
+        assert_ne!(mac, MacAddr::BROADCAST);
+    }
+}

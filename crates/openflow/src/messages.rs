@@ -1,0 +1,112 @@
+//! Controller ⇄ switch protocol messages.
+
+use crate::action::OfAction;
+use crate::flow_table::FlowEntry;
+use crate::match_fields::{FlowMatch, PacketHeader};
+
+/// Identifier of a switch (its datapath id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwitchId(pub u64);
+
+/// A `packet-in`: a switch forwarding a packet that matched no flow-table
+/// entry (or one whose action is `SendToController`) to the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketIn {
+    /// The switch that sent the packet.
+    pub switch: SwitchId,
+    /// The packet header.
+    pub header: PacketHeader,
+    /// Packet size in bytes.
+    pub size: u32,
+}
+
+/// A `flow-mod` command type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowModCommand {
+    /// Add (or replace) an entry.
+    Add,
+    /// Delete entries matching the given match.
+    Delete,
+}
+
+/// A `flow-mod`: the controller installing or removing flow-table entries on a
+/// switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowMod {
+    /// The target switch.
+    pub switch: SwitchId,
+    /// Add or delete.
+    pub command: FlowModCommand,
+    /// The entry to add (for `Add`).
+    pub entry: Option<FlowEntry>,
+    /// The match to delete (for `Delete`).
+    pub delete_match: Option<FlowMatch>,
+}
+
+impl FlowMod {
+    /// An add command.
+    pub fn add(switch: SwitchId, entry: FlowEntry) -> FlowMod {
+        FlowMod {
+            switch,
+            command: FlowModCommand::Add,
+            entry: Some(entry),
+            delete_match: None,
+        }
+    }
+
+    /// A delete command for entries with the given match.
+    pub fn delete(switch: SwitchId, flow_match: FlowMatch) -> FlowMod {
+        FlowMod {
+            switch,
+            command: FlowModCommand::Delete,
+            entry: None,
+            delete_match: Some(flow_match),
+        }
+    }
+}
+
+/// A `packet-out`: the controller instructing a switch to emit a specific
+/// packet with an action (used to release the buffered first packet of a flow
+/// after a decision is made).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketOut {
+    /// The target switch.
+    pub switch: SwitchId,
+    /// The packet header to act on.
+    pub header: PacketHeader,
+    /// The action to apply.
+    pub action: OfAction,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_proto::FiveTuple;
+
+    #[test]
+    fn flow_mod_constructors() {
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 2);
+        let entry = FlowEntry::new(FlowMatch::exact_five_tuple(&flow), 1, OfAction::Drop);
+        let add = FlowMod::add(SwitchId(7), entry.clone());
+        assert_eq!(add.command, FlowModCommand::Add);
+        assert_eq!(add.entry, Some(entry));
+        assert!(add.delete_match.is_none());
+
+        let del = FlowMod::delete(SwitchId(7), FlowMatch::exact_five_tuple(&flow));
+        assert_eq!(del.command, FlowModCommand::Delete);
+        assert!(del.entry.is_none());
+        assert!(del.delete_match.is_some());
+    }
+
+    #[test]
+    fn packet_in_carries_header() {
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 2);
+        let pin = PacketIn {
+            switch: SwitchId(3),
+            header: PacketHeader::from_flow(&flow, 9),
+            size: 1500,
+        };
+        assert_eq!(pin.header.five_tuple(), flow);
+        assert_eq!(pin.switch, SwitchId(3));
+    }
+}

@@ -1,0 +1,240 @@
+//! The software OpenFlow switch.
+//!
+//! "An arriving packet that does not match any of the entries in the flow
+//! table is encapsulated and sent to the OpenFlow controller for inspection"
+//! (§3.1). The switch model applies its flow table to each packet and either
+//! forwards, drops, or produces a [`PacketIn`] for the controller.
+
+use std::collections::BTreeMap;
+
+use crate::action::OfAction;
+use crate::flow_table::{FlowEntry, FlowTable};
+use crate::match_fields::{MacAddr, PacketHeader, PortNo};
+use crate::messages::{FlowMod, FlowModCommand, PacketIn, SwitchId};
+
+/// The result of a switch processing one packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForwardingResult {
+    /// Forward out of the given port.
+    Forwarded(PortNo),
+    /// Flood out of every port except the ingress.
+    Flooded,
+    /// Dropped by an explicit drop entry.
+    Dropped,
+    /// No matching entry — the packet is sent to the controller.
+    SentToController(PacketIn),
+}
+
+/// A software OpenFlow switch.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    /// The switch's datapath id.
+    id: SwitchId,
+    /// The flow table.
+    table: FlowTable,
+    /// Learned/configured mapping from destination MAC to output port, used
+    /// to pick the output port when the controller says "forward along the
+    /// path" (the simulator configures this from the topology).
+    mac_ports: BTreeMap<MacAddr, PortNo>,
+    /// Whether the switch has been compromised (used by the §5 security
+    /// analysis experiments): a compromised switch forwards everything and
+    /// never consults the controller.
+    compromised: bool,
+}
+
+impl Switch {
+    /// Creates a switch with an empty flow table.
+    pub fn new(id: SwitchId) -> Switch {
+        Switch {
+            id,
+            table: FlowTable::new(),
+            mac_ports: BTreeMap::new(),
+            compromised: false,
+        }
+    }
+
+    /// The switch id.
+    pub fn id(&self) -> SwitchId {
+        self.id
+    }
+
+    /// Configures which port leads to a MAC address.
+    pub fn set_mac_port(&mut self, mac: MacAddr, port: PortNo) {
+        self.mac_ports.insert(mac, port);
+    }
+
+    /// The port leading to a MAC, if known.
+    pub fn port_for_mac(&self, mac: MacAddr) -> Option<PortNo> {
+        self.mac_ports.get(&mac).copied()
+    }
+
+    /// Marks the switch as compromised (§5.2): all traffic passes unchecked.
+    pub fn set_compromised(&mut self, compromised: bool) {
+        self.compromised = compromised;
+    }
+
+    /// Whether the switch is compromised.
+    pub fn is_compromised(&self) -> bool {
+        self.compromised
+    }
+
+    /// Read access to the flow table.
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Mutable access to the flow table (used by tests and the controller's
+    /// direct-install path in the simulator).
+    pub fn table_mut(&mut self) -> &mut FlowTable {
+        &mut self.table
+    }
+
+    /// Applies a `flow-mod` from the controller at time `now`.
+    pub fn apply_flow_mod(&mut self, flow_mod: &FlowMod, now: u64) {
+        debug_assert_eq!(flow_mod.switch, self.id, "flow-mod routed to wrong switch");
+        match flow_mod.command {
+            FlowModCommand::Add => {
+                if let Some(entry) = &flow_mod.entry {
+                    self.table.install(entry.clone(), now);
+                }
+            }
+            FlowModCommand::Delete => {
+                if let Some(m) = flow_mod.delete_match {
+                    self.table.remove_where(|e| e.flow_match == m);
+                }
+            }
+        }
+    }
+
+    /// Processes one packet arriving at the switch at time `now`.
+    pub fn process(&mut self, header: &PacketHeader, size: u32, now: u64) -> ForwardingResult {
+        if self.compromised {
+            // A compromised switch lets everything through without consulting
+            // its table or the controller (§5.2).
+            return match self.port_for_mac(header.eth_dst) {
+                Some(port) => ForwardingResult::Forwarded(port),
+                None => ForwardingResult::Flooded,
+            };
+        }
+        match self.table.lookup(header, size, now) {
+            Some(OfAction::Drop) => ForwardingResult::Dropped,
+            Some(OfAction::Output(port)) => ForwardingResult::Forwarded(port),
+            Some(OfAction::Flood) => ForwardingResult::Flooded,
+            Some(OfAction::SendToController) | None => {
+                ForwardingResult::SentToController(PacketIn {
+                    switch: self.id,
+                    header: *header,
+                    size,
+                })
+            }
+        }
+    }
+
+    /// Convenience used by controllers that decide to allow a flow: install an
+    /// exact-match forwarding entry toward the destination MAC's port, or a
+    /// drop entry.
+    pub fn install_decision(&mut self, entry: FlowEntry, now: u64) {
+        self.table.install(entry, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::match_fields::FlowMatch;
+    use identxx_proto::FiveTuple;
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([10, 0, 0, 1], 43210, [10, 0, 0, 2], 80)
+    }
+
+    fn header() -> PacketHeader {
+        PacketHeader::from_flow(&flow(), 1)
+    }
+
+    #[test]
+    fn table_miss_goes_to_controller() {
+        let mut sw = Switch::new(SwitchId(1));
+        match sw.process(&header(), 100, 0) {
+            ForwardingResult::SentToController(pin) => {
+                assert_eq!(pin.switch, SwitchId(1));
+                assert_eq!(pin.header.five_tuple(), flow());
+            }
+            other => panic!("expected packet-in, got {other:?}"),
+        }
+        assert_eq!(sw.table().stats().misses, 1);
+    }
+
+    #[test]
+    fn flow_mod_add_then_forward_and_drop() {
+        let mut sw = Switch::new(SwitchId(1));
+        let allow = FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(7));
+        sw.apply_flow_mod(&FlowMod::add(SwitchId(1), allow), 0);
+        assert_eq!(sw.process(&header(), 64, 1), ForwardingResult::Forwarded(7));
+
+        let reverse = flow().reversed();
+        let drop = FlowEntry::new(FlowMatch::exact_five_tuple(&reverse), 10, OfAction::Drop);
+        sw.apply_flow_mod(&FlowMod::add(SwitchId(1), drop), 2);
+        let rev_header = PacketHeader::from_flow(&reverse, 2);
+        assert_eq!(sw.process(&rev_header, 64, 3), ForwardingResult::Dropped);
+    }
+
+    #[test]
+    fn flow_mod_delete_removes_entries() {
+        let mut sw = Switch::new(SwitchId(1));
+        let m = FlowMatch::exact_five_tuple(&flow());
+        sw.apply_flow_mod(&FlowMod::add(SwitchId(1), FlowEntry::new(m, 10, OfAction::Output(7))), 0);
+        assert_eq!(sw.table().len(), 1);
+        sw.apply_flow_mod(&FlowMod::delete(SwitchId(1), m), 1);
+        assert_eq!(sw.table().len(), 0);
+        assert!(matches!(
+            sw.process(&header(), 64, 2),
+            ForwardingResult::SentToController(_)
+        ));
+    }
+
+    #[test]
+    fn send_to_controller_action_behaves_like_miss() {
+        let mut sw = Switch::new(SwitchId(2));
+        sw.install_decision(
+            FlowEntry::new(FlowMatch::wildcard(), 1, OfAction::SendToController),
+            0,
+        );
+        assert!(matches!(
+            sw.process(&header(), 64, 1),
+            ForwardingResult::SentToController(_)
+        ));
+    }
+
+    #[test]
+    fn flood_action() {
+        let mut sw = Switch::new(SwitchId(2));
+        sw.install_decision(FlowEntry::new(FlowMatch::wildcard(), 1, OfAction::Flood), 0);
+        assert_eq!(sw.process(&header(), 64, 1), ForwardingResult::Flooded);
+    }
+
+    #[test]
+    fn compromised_switch_bypasses_policy() {
+        let mut sw = Switch::new(SwitchId(3));
+        // Policy says drop everything.
+        sw.install_decision(FlowEntry::new(FlowMatch::wildcard(), 100, OfAction::Drop), 0);
+        assert_eq!(sw.process(&header(), 64, 1), ForwardingResult::Dropped);
+        // After compromise the drop rule is ignored.
+        sw.set_compromised(true);
+        assert!(sw.is_compromised());
+        sw.set_mac_port(MacAddr::from_ip(flow().dst_ip), 4);
+        assert_eq!(sw.process(&header(), 64, 2), ForwardingResult::Forwarded(4));
+        // Unknown destination floods.
+        let other = PacketHeader::from_flow(&FiveTuple::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2), 1);
+        assert_eq!(sw.process(&other, 64, 3), ForwardingResult::Flooded);
+    }
+
+    #[test]
+    fn mac_port_learning_lookup() {
+        let mut sw = Switch::new(SwitchId(4));
+        let mac = MacAddr::from_ip(flow().dst_ip);
+        assert_eq!(sw.port_for_mac(mac), None);
+        sw.set_mac_port(mac, 9);
+        assert_eq!(sw.port_for_mac(mac), Some(9));
+    }
+}

@@ -1,0 +1,230 @@
+//! Abstract syntax tree for PF+=2.
+
+use std::collections::BTreeMap;
+
+use identxx_proto::Ipv4Addr;
+
+use crate::dict::Dict;
+use crate::table::Table;
+
+/// Rule action. Only `pass` and `block` are defined by the paper ("Currently,
+/// only two are defined: pass and block", §3.3); `log` is mentioned as unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Allow the flow.
+    Pass,
+    /// Deny the flow.
+    Block,
+}
+
+impl Action {
+    /// The PF keyword for this action.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Action::Pass => "pass",
+            Action::Block => "block",
+        }
+    }
+}
+
+/// An address specification appearing in a rule endpoint or a table entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AddrSpec {
+    /// `any` — matches every address.
+    Any,
+    /// A reference to a named table, e.g. `<mail-server>`.
+    Table(String),
+    /// A single host address.
+    Host(Ipv4Addr),
+    /// A CIDR network, e.g. `192.168.0.0/24`.
+    Cidr {
+        /// The network address.
+        network: Ipv4Addr,
+        /// The prefix length (0–32).
+        prefix_len: u8,
+    },
+}
+
+/// A port specification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PortSpec {
+    /// A single numeric port.
+    Number(u16),
+    /// An inclusive port range `lo:hi`.
+    Range(u16, u16),
+    /// A named service (`http`, `smtp`, …) resolved through
+    /// [`crate::services`] at evaluation time.
+    Named(String),
+}
+
+/// One side (`from` or `to`) of a rule's packet filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endpoint {
+    /// Whether the address match is negated (`!<int_hosts>`).
+    pub negate: bool,
+    /// The address specification.
+    pub addr: AddrSpec,
+    /// Optional port constraint (`port 80`, `port http`).
+    pub port: Option<PortSpec>,
+}
+
+impl Endpoint {
+    /// The `any` endpoint (matches everything).
+    pub fn any() -> Self {
+        Endpoint {
+            negate: false,
+            addr: AddrSpec::Any,
+            port: None,
+        }
+    }
+}
+
+/// An argument to a `with` function call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FnArg {
+    /// `@dict[key]` or `*@dict[key]` — `dict` is `src`, `dst`, or the name of
+    /// a `dict` definition. With `concat` set the values of every response
+    /// section are concatenated (the `*` prefix).
+    DictRef {
+        /// Whether the `*` concatenation prefix was used.
+        concat: bool,
+        /// The dictionary name (`src`, `dst`, or a user-defined dict).
+        dict: String,
+        /// The key to look up.
+        key: String,
+    },
+    /// `$name` — a macro reference.
+    MacroRef(String),
+    /// A bare word or quoted string literal.
+    Literal(String),
+}
+
+/// A boolean function call introduced by `with`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnCall {
+    /// The function name (`eq`, `member`, `verify`, …).
+    pub name: String,
+    /// The arguments.
+    pub args: Vec<FnArg>,
+    /// Source line of the call (for diagnostics).
+    pub line: usize,
+}
+
+/// A single PF+=2 rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// `pass` or `block`.
+    pub action: Action,
+    /// Whether the `quick` keyword was present (stop at first match).
+    pub quick: bool,
+    /// Optional IP-protocol constraint (`proto tcp`).
+    pub proto: Option<identxx_proto::IpProtocol>,
+    /// The `from` endpoint (`None` means `any`, as in `pass all`).
+    pub from: Option<Endpoint>,
+    /// The `to` endpoint (`None` means `any`).
+    pub to: Option<Endpoint>,
+    /// All `with` predicates attached to the rule (conjunction).
+    pub withs: Vec<FnCall>,
+    /// Whether `keep state` was present.
+    pub keep_state: bool,
+    /// Source line the rule started on.
+    pub line: usize,
+}
+
+impl Rule {
+    /// Creates a bare `pass all` / `block all` rule.
+    pub fn simple(action: Action) -> Self {
+        Rule {
+            action,
+            quick: false,
+            proto: None,
+            from: None,
+            to: None,
+            withs: Vec::new(),
+            keep_state: false,
+            line: 0,
+        }
+    }
+}
+
+/// A parsed PF+=2 configuration: definitions plus an ordered rule list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleSet {
+    /// Named address tables.
+    pub tables: BTreeMap<String, Table>,
+    /// Named dictionaries.
+    pub dicts: BTreeMap<String, Dict>,
+    /// Macros (name → replacement text).
+    pub macros: BTreeMap<String, String>,
+    /// Rules in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> Self {
+        RuleSet::default()
+    }
+
+    /// Merges another rule set after this one, as the controller does when
+    /// concatenating `.control` files: "The files are read in alphabetical
+    /// order and their contents are concatenated" (§3.4).
+    ///
+    /// Later definitions override earlier ones with the same name; rules are
+    /// appended (so later files' rules can override earlier files' rules under
+    /// last-match semantics).
+    pub fn merge(&mut self, other: RuleSet) {
+        self.tables.extend(other.tables);
+        self.dicts.extend(other.dicts);
+        self.macros.extend(other.macros);
+        self.rules.extend(other.rules);
+    }
+
+    /// Total number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the rule set contains no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_keywords() {
+        assert_eq!(Action::Pass.keyword(), "pass");
+        assert_eq!(Action::Block.keyword(), "block");
+    }
+
+    #[test]
+    fn endpoint_any_matches_shape() {
+        let e = Endpoint::any();
+        assert!(!e.negate);
+        assert_eq!(e.addr, AddrSpec::Any);
+        assert!(e.port.is_none());
+    }
+
+    #[test]
+    fn merge_appends_rules_and_overrides_definitions() {
+        let mut a = RuleSet::new();
+        a.macros.insert("allowed".into(), "{ http }".into());
+        a.rules.push(Rule::simple(Action::Block));
+
+        let mut b = RuleSet::new();
+        b.macros.insert("allowed".into(), "{ http ssh }".into());
+        b.rules.push(Rule::simple(Action::Pass));
+
+        a.merge(b);
+        assert_eq!(a.rules.len(), 2);
+        assert_eq!(a.macros["allowed"], "{ http ssh }");
+        assert_eq!(a.rules[0].action, Action::Block);
+        assert_eq!(a.rules[1].action, Action::Pass);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! PF+=2 `dict` definitions.
+//!
+//! "The dict keyword allows the definition of dictionaries" (§3.3). The
+//! paper's examples use dictionaries to hold trusted public keys (Fig. 5 and
+//! Fig. 7), which `with verify(…, @pubkeys[research], …)` then references.
+
+use std::collections::BTreeMap;
+
+/// A named dictionary mapping string keys to string values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dict {
+    entries: BTreeMap<String, String>,
+}
+
+impl Dict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dict::default()
+    }
+
+    /// Creates a dictionary from `(key, value)` pairs.
+    pub fn from_pairs<K: Into<String>, V: Into<String>>(
+        pairs: impl IntoIterator<Item = (K, V)>,
+    ) -> Self {
+        let mut d = Dict::new();
+        for (k, v) in pairs {
+            d.insert(k, v);
+        }
+        d
+    }
+
+    /// Inserts (or replaces) an entry.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.entries.insert(key.into(), value.into());
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut d = Dict::new();
+        d.insert("research", "sk3ajffa932");
+        d.insert("admin", "a923jxa12kz");
+        assert_eq!(d.get("research"), Some("sk3ajffa932"));
+        assert_eq!(d.get("missing"), None);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn from_pairs_and_iteration_order() {
+        let d = Dict::from_pairs([("b", "2"), ("a", "1")]);
+        let collected: Vec<_> = d.iter().collect();
+        assert_eq!(collected, vec![("a", "1"), ("b", "2")]);
+    }
+
+    #[test]
+    fn reinsert_overrides() {
+        let mut d = Dict::new();
+        d.insert("k", "old");
+        d.insert("k", "new");
+        assert_eq!(d.get("k"), Some("new"));
+        assert_eq!(d.len(), 1);
+    }
+}

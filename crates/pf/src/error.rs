@@ -1,0 +1,105 @@
+//! Parse- and evaluation-time errors for PF+=2.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing, or evaluating PF+=2 policy text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfError {
+    /// A lexical error (bad character, unterminated string).
+    Lex { line: usize, message: String },
+    /// A syntax error.
+    Parse { line: usize, message: String },
+    /// A reference to an undefined table.
+    UndefinedTable(String),
+    /// A reference to an undefined dictionary.
+    UndefinedDict(String),
+    /// A reference to an undefined macro.
+    UndefinedMacro(String),
+    /// A call to an unknown function.
+    UnknownFunction(String),
+    /// A function was called with the wrong number of arguments.
+    BadArity {
+        function: String,
+        expected: String,
+        got: usize,
+    },
+    /// A malformed address or network in a table or rule.
+    BadAddress(String),
+    /// A malformed port specification.
+    BadPort(String),
+    /// `allowed()` recursion exceeded the configured depth limit.
+    RecursionLimit,
+}
+
+impl PfError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        PfError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for lex errors.
+    pub fn lex(line: usize, message: impl Into<String>) -> Self {
+        PfError::Lex {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            PfError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            PfError::UndefinedTable(t) => write!(f, "undefined table <{t}>"),
+            PfError::UndefinedDict(d) => write!(f, "undefined dictionary <{d}>"),
+            PfError::UndefinedMacro(m) => write!(f, "undefined macro ${m}"),
+            PfError::UnknownFunction(name) => write!(f, "unknown function {name}"),
+            PfError::BadArity {
+                function,
+                expected,
+                got,
+            } => write!(
+                f,
+                "function {function} expects {expected} arguments, got {got}"
+            ),
+            PfError::BadAddress(a) => write!(f, "malformed address: {a:?}"),
+            PfError::BadPort(p) => write!(f, "malformed port: {p:?}"),
+            PfError::RecursionLimit => write!(f, "allowed() recursion limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for PfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_numbers() {
+        let e = PfError::parse(7, "expected endpoint");
+        assert!(e.to_string().contains("line 7"));
+        let e = PfError::lex(3, "unterminated string");
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn display_for_semantic_errors() {
+        assert!(PfError::UndefinedTable("lan".into())
+            .to_string()
+            .contains("<lan>"));
+        assert!(PfError::UnknownFunction("frob".into())
+            .to_string()
+            .contains("frob"));
+        let arity = PfError::BadArity {
+            function: "eq".into(),
+            expected: "2".into(),
+            got: 3,
+        };
+        assert!(arity.to_string().contains("eq"));
+    }
+}

@@ -1,0 +1,810 @@
+//! The PF+=2 evaluator.
+//!
+//! Evaluation follows PF semantics: rules are considered in order and the
+//! **last matching rule** determines the decision, unless a matching rule
+//! carries the `quick` keyword, in which case evaluation stops immediately
+//! (§3.3). A rule matches a flow when its protocol, `from` and `to`
+//! constraints match the 5-tuple *and* every `with` predicate evaluates to
+//! true over the `@src`/`@dst` dictionaries built from the ident++ responses.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use identxx_crypto::{verify_bundle_hex, KeyRegistry};
+use identxx_proto::{FiveTuple, Response};
+
+use crate::ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet};
+use crate::functions::{numeric_cmp, parse_list_literal, FunctionRegistry};
+use crate::parser::parse_ruleset;
+use crate::services::resolve_port;
+
+/// The outcome of a policy evaluation for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// The flow is allowed.
+    Pass,
+    /// The flow is denied.
+    Block,
+}
+
+impl Decision {
+    /// Converts a rule action into a decision.
+    pub fn from_action(action: Action) -> Decision {
+        match action {
+            Action::Pass => Decision::Pass,
+            Action::Block => Decision::Block,
+        }
+    }
+
+    /// Whether the decision allows the flow.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Decision::Pass)
+    }
+}
+
+/// The full verdict of an evaluation, including bookkeeping useful for
+/// benchmarking and auditing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// The decision.
+    pub decision: Decision,
+    /// The index (into `RuleSet::rules`) of the rule that determined the
+    /// decision, or `None` if no rule matched and the default applied.
+    pub matched_rule: Option<usize>,
+    /// Source line of the deciding rule.
+    pub matched_line: Option<usize>,
+    /// Whether the deciding rule requested `keep state`.
+    pub keep_state: bool,
+    /// Whether evaluation was cut short by a `quick` rule.
+    pub quick: bool,
+    /// How many rules were examined (matched or not).
+    pub rules_evaluated: usize,
+}
+
+/// Maximum nesting depth for the `allowed()` function.
+///
+/// Requirements supplied by end-hosts may themselves contain `allowed()`
+/// calls; an attacker must not be able to recurse the controller to death.
+pub const MAX_ALLOWED_DEPTH: usize = 4;
+
+/// Evaluation context: the rule set plus everything referenced from it.
+#[derive(Clone)]
+pub struct EvalContext<'a> {
+    ruleset: &'a RuleSet,
+    src: Option<&'a Response>,
+    dst: Option<&'a Response>,
+    key_registry: KeyRegistry,
+    named_lists: BTreeMap<String, Vec<String>>,
+    functions: FunctionRegistry,
+    default_decision: Decision,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Creates a context for a rule set with no responses attached.
+    ///
+    /// The default decision (when no rule matches) is `Pass`, matching PF; the
+    /// paper's configurations always start with an explicit `block all`.
+    pub fn new(ruleset: &'a RuleSet) -> Self {
+        EvalContext {
+            ruleset,
+            src: None,
+            dst: None,
+            key_registry: KeyRegistry::new(),
+            named_lists: BTreeMap::new(),
+            functions: FunctionRegistry::new(),
+            default_decision: Decision::Pass,
+        }
+    }
+
+    /// Attaches the `@src` and `@dst` responses.
+    pub fn with_responses(mut self, src: &'a Response, dst: &'a Response) -> Self {
+        self.src = Some(src);
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Attaches only a source response (e.g. when the destination daemon did
+    /// not answer).
+    pub fn with_src_response(mut self, src: &'a Response) -> Self {
+        self.src = Some(src);
+        self
+    }
+
+    /// Attaches only a destination response.
+    pub fn with_dst_response(mut self, dst: &'a Response) -> Self {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Sets the decision applied when no rule matches.
+    pub fn with_default(mut self, default: Decision) -> Self {
+        self.default_decision = default;
+        self
+    }
+
+    /// Attaches a registry of trusted public keys for `verify` (in addition
+    /// to keys stored inline in `dict` definitions).
+    pub fn with_key_registry(mut self, registry: KeyRegistry) -> Self {
+        self.key_registry = registry;
+        self
+    }
+
+    /// Defines a named list usable as the second argument of `member` (e.g.
+    /// the `users` group of §3.3's example).
+    pub fn with_named_list(mut self, name: impl Into<String>, members: Vec<String>) -> Self {
+        self.named_lists.insert(name.into(), members);
+        self
+    }
+
+    /// Attaches user-defined functions.
+    pub fn with_functions(mut self, functions: FunctionRegistry) -> Self {
+        self.functions = functions;
+        self
+    }
+
+    /// The rule set this context evaluates.
+    pub fn ruleset(&self) -> &RuleSet {
+        self.ruleset
+    }
+
+    /// Evaluates the policy for `flow`, returning the full verdict.
+    pub fn evaluate(&self, flow: &FiveTuple) -> Verdict {
+        self.evaluate_rules(&self.ruleset.rules, flow, 0)
+    }
+
+    /// Evaluates an arbitrary rule list in this context (used by `allowed()`
+    /// for delegated requirement rule sets).
+    fn evaluate_rules(&self, rules: &[Rule], flow: &FiveTuple, depth: usize) -> Verdict {
+        let mut verdict = Verdict {
+            decision: self.default_decision,
+            matched_rule: None,
+            matched_line: None,
+            keep_state: false,
+            quick: false,
+            rules_evaluated: 0,
+        };
+        for (idx, rule) in rules.iter().enumerate() {
+            verdict.rules_evaluated += 1;
+            if self.rule_matches(rule, flow, depth) {
+                verdict.decision = Decision::from_action(rule.action);
+                verdict.matched_rule = Some(idx);
+                verdict.matched_line = Some(rule.line);
+                verdict.keep_state = rule.keep_state;
+                if rule.quick {
+                    verdict.quick = true;
+                    break;
+                }
+            }
+        }
+        verdict
+    }
+
+    fn rule_matches(&self, rule: &Rule, flow: &FiveTuple, depth: usize) -> bool {
+        if let Some(proto) = rule.proto {
+            if proto != flow.protocol {
+                return false;
+            }
+        }
+        if let Some(from) = &rule.from {
+            if !self.endpoint_matches(from, flow.src_ip, flow.src_port) {
+                return false;
+            }
+        }
+        if let Some(to) = &rule.to {
+            if !self.endpoint_matches(to, flow.dst_ip, flow.dst_port) {
+                return false;
+            }
+        }
+        rule.withs
+            .iter()
+            .all(|call| self.call_matches(call, flow, depth))
+    }
+
+    fn endpoint_matches(
+        &self,
+        endpoint: &Endpoint,
+        addr: identxx_proto::Ipv4Addr,
+        port: u16,
+    ) -> bool {
+        let addr_match = match &endpoint.addr {
+            AddrSpec::Any => true,
+            AddrSpec::Host(h) => *h == addr,
+            AddrSpec::Cidr {
+                network,
+                prefix_len,
+            } => addr.in_prefix(*network, *prefix_len),
+            AddrSpec::Table(name) => match self.ruleset.tables.get(name) {
+                Some(table) => table.contains(addr, &self.ruleset.tables),
+                None => false,
+            },
+        };
+        let addr_match = if endpoint.negate { !addr_match } else { addr_match };
+        if !addr_match {
+            return false;
+        }
+        match &endpoint.port {
+            None => true,
+            Some(PortSpec::Number(p)) => port == *p,
+            Some(PortSpec::Range(lo, hi)) => port >= *lo && port <= *hi,
+            Some(PortSpec::Named(name)) => match resolve_port(name) {
+                Some(p) => port == p,
+                None => false,
+            },
+        }
+    }
+
+    /// Resolves a function argument to a string value, or `None` if the
+    /// referenced information is absent.
+    fn resolve_arg(&self, arg: &FnArg) -> Option<String> {
+        match arg {
+            FnArg::Literal(text) => Some(text.clone()),
+            FnArg::MacroRef(name) => self.ruleset.macros.get(name).cloned(),
+            FnArg::DictRef { concat, dict, key } => match dict.as_str() {
+                "src" => self.lookup_response(self.src, key, *concat),
+                "dst" => self.lookup_response(self.dst, key, *concat),
+                other => self
+                    .ruleset
+                    .dicts
+                    .get(other)
+                    .and_then(|d| d.get(key))
+                    .map(str::to_string),
+            },
+        }
+    }
+
+    fn lookup_response(
+        &self,
+        response: Option<&Response>,
+        key: &str,
+        concat: bool,
+    ) -> Option<String> {
+        let response = response?;
+        if concat {
+            response.concatenated(key)
+        } else {
+            response.latest(key).map(str::to_string)
+        }
+    }
+
+    /// Resolves the *list* form of an argument, used by `member`.
+    ///
+    /// Resolution order: a context-provided named list, a macro, a table
+    /// (entries rendered as text), and finally the resolved value itself split
+    /// as a whitespace/brace list.
+    fn resolve_list(&self, arg: &FnArg) -> Vec<String> {
+        if let FnArg::Literal(name) = arg {
+            if let Some(list) = self.named_lists.get(name) {
+                return list.clone();
+            }
+            if let Some(macro_text) = self.ruleset.macros.get(name) {
+                return parse_list_literal(macro_text);
+            }
+            if let Some(table) = self.ruleset.tables.get(name) {
+                return table
+                    .entries()
+                    .iter()
+                    .map(|e| format!("{e:?}"))
+                    .collect();
+            }
+        }
+        match self.resolve_arg(arg) {
+            Some(text) => parse_list_literal(&text),
+            None => Vec::new(),
+        }
+    }
+
+    fn call_matches(&self, call: &FnCall, flow: &FiveTuple, depth: usize) -> bool {
+        match call.name.as_str() {
+            "eq" | "ne" | "gt" | "lt" | "gte" | "lte" => {
+                if call.args.len() != 2 {
+                    return false;
+                }
+                let a = self.resolve_arg(&call.args[0]);
+                let b = self.resolve_arg(&call.args[1]);
+                let (a, b) = match (a, b) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return false,
+                };
+                match call.name.as_str() {
+                    "eq" => a == b,
+                    "ne" => a != b,
+                    name => match numeric_cmp(&a, &b) {
+                        Some(ord) => match name {
+                            "gt" => ord == Ordering::Greater,
+                            "lt" => ord == Ordering::Less,
+                            "gte" => ord != Ordering::Less,
+                            "lte" => ord != Ordering::Greater,
+                            _ => false,
+                        },
+                        None => false,
+                    },
+                }
+            }
+            "exists" => {
+                // exists(@src[key]) — true when the key is present at all.
+                call.args.len() == 1 && self.resolve_arg(&call.args[0]).is_some()
+            }
+            "member" => {
+                if call.args.len() != 2 {
+                    return false;
+                }
+                let value = match self.resolve_arg(&call.args[0]) {
+                    Some(v) => v,
+                    None => return false,
+                };
+                let list = self.resolve_list(&call.args[1]);
+                if list.is_empty() {
+                    return false;
+                }
+                // The first argument may itself be a multi-valued list (e.g. a
+                // user belonging to several groups).
+                value
+                    .split_whitespace()
+                    .any(|v| list.iter().any(|m| m == v))
+            }
+            "includes" => {
+                if call.args.len() != 2 {
+                    return false;
+                }
+                let haystack = match self.resolve_arg(&call.args[0]) {
+                    Some(v) => v,
+                    None => return false,
+                };
+                let needle = match self.resolve_arg(&call.args[1]) {
+                    Some(v) => v,
+                    None => return false,
+                };
+                haystack.split_whitespace().any(|item| item == needle)
+            }
+            "allowed" => {
+                if call.args.len() != 1 || depth >= MAX_ALLOWED_DEPTH {
+                    return false;
+                }
+                let requirements = match self.resolve_arg(&call.args[0]) {
+                    Some(v) => v,
+                    None => return false,
+                };
+                let sub_ruleset = match parse_ruleset(&requirements) {
+                    Ok(rs) => rs,
+                    // Malformed delegated rules never grant access.
+                    Err(_) => return false,
+                };
+                // The delegated rule set is evaluated with the same responses
+                // and trusted keys but its *own* tables/dicts/macros.
+                let sub_ctx = EvalContext {
+                    ruleset: &sub_ruleset,
+                    src: self.src,
+                    dst: self.dst,
+                    key_registry: self.key_registry.clone(),
+                    named_lists: self.named_lists.clone(),
+                    functions: self.functions.clone(),
+                    default_decision: self.default_decision,
+                };
+                sub_ctx
+                    .evaluate_rules(&sub_ruleset.rules, flow, depth + 1)
+                    .decision
+                    .is_pass()
+            }
+            "verify" => {
+                if call.args.len() < 3 {
+                    return false;
+                }
+                let sig = match self.resolve_arg(&call.args[0]) {
+                    Some(v) => v,
+                    None => return false,
+                };
+                let key_text = match self.resolve_arg(&call.args[1]) {
+                    Some(v) => v,
+                    None => return false,
+                };
+                // The key may be raw hex (from a dict) or the name of a key in
+                // the trusted-key registry.
+                let key_hex = match self.key_registry.resolve(&key_text) {
+                    Some(k) => k.to_hex(),
+                    None => key_text,
+                };
+                let mut data = Vec::with_capacity(call.args.len() - 2);
+                for arg in &call.args[2..] {
+                    match self.resolve_arg(arg) {
+                        Some(v) => data.push(v),
+                        None => return false,
+                    }
+                }
+                verify_bundle_hex(&sig, &key_hex, &data)
+            }
+            other => match self.functions.get(other) {
+                Some(f) => {
+                    let resolved: Vec<Option<String>> =
+                        call.args.iter().map(|a| self.resolve_arg(a)).collect();
+                    f(&resolved)
+                }
+                // Unknown functions never match: an administrator typo must
+                // fail closed for `pass` rules.
+                None => false,
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for EvalContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalContext")
+            .field("rules", &self.ruleset.rules.len())
+            .field("has_src", &self.src.is_some())
+            .field("has_dst", &self.dst.is_some())
+            .field("default", &self.default_decision)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_crypto::{sign_bundle_hex, KeyPair};
+    use identxx_proto::Section;
+
+    fn response_with(flow: FiveTuple, pairs: &[(&str, &str)]) -> Response {
+        let mut r = Response::new(flow);
+        let mut s = Section::new();
+        for (k, v) in pairs {
+            s.push(*k, *v);
+        }
+        r.push_section(s);
+        r
+    }
+
+    fn flow_to_server() -> FiveTuple {
+        FiveTuple::tcp([192, 168, 0, 10], 50123, [192, 168, 1, 1], 445)
+    }
+
+    #[test]
+    fn last_match_wins() {
+        let rs = parse_ruleset("block all\npass all\n").unwrap();
+        let ctx = EvalContext::new(&rs);
+        let v = ctx.evaluate(&flow_to_server());
+        assert_eq!(v.decision, Decision::Pass);
+        assert_eq!(v.matched_rule, Some(1));
+        assert_eq!(v.rules_evaluated, 2);
+    }
+
+    #[test]
+    fn quick_stops_evaluation() {
+        let rs = parse_ruleset("block quick all\npass all\n").unwrap();
+        let ctx = EvalContext::new(&rs);
+        let v = ctx.evaluate(&flow_to_server());
+        assert_eq!(v.decision, Decision::Block);
+        assert!(v.quick);
+        assert_eq!(v.rules_evaluated, 1);
+    }
+
+    #[test]
+    fn default_applies_when_nothing_matches() {
+        let rs = parse_ruleset("block from 10.9.9.9 to any\n").unwrap();
+        let ctx = EvalContext::new(&rs);
+        assert_eq!(ctx.evaluate(&flow_to_server()).decision, Decision::Pass);
+        let ctx = EvalContext::new(&rs).with_default(Decision::Block);
+        assert_eq!(ctx.evaluate(&flow_to_server()).decision, Decision::Block);
+    }
+
+    #[test]
+    fn endpoint_table_and_negation() {
+        let rs = parse_ruleset(
+            "table <lan> { 192.168.0.0/24 }\nblock all\npass from <lan> to !<lan>\n",
+        )
+        .unwrap();
+        let ctx = EvalContext::new(&rs);
+        // lan -> outside: pass
+        let outbound = FiveTuple::tcp([192, 168, 0, 10], 1000, [8, 8, 8, 8], 443);
+        assert_eq!(ctx.evaluate(&outbound).decision, Decision::Pass);
+        // lan -> lan: the negated `to` does not match, so block.
+        let internal = FiveTuple::tcp([192, 168, 0, 10], 1000, [192, 168, 0, 20], 443);
+        assert_eq!(ctx.evaluate(&internal).decision, Decision::Block);
+        // outside -> outside: `from` does not match, block.
+        let external = FiveTuple::tcp([8, 8, 8, 8], 1000, [9, 9, 9, 9], 443);
+        assert_eq!(ctx.evaluate(&external).decision, Decision::Block);
+    }
+
+    #[test]
+    fn port_constraints() {
+        let rs = parse_ruleset("block all\npass from any to any port http\n").unwrap();
+        let ctx = EvalContext::new(&rs);
+        let web = FiveTuple::tcp([1, 1, 1, 1], 999, [2, 2, 2, 2], 80);
+        let ssh = FiveTuple::tcp([1, 1, 1, 1], 999, [2, 2, 2, 2], 22);
+        assert_eq!(ctx.evaluate(&web).decision, Decision::Pass);
+        assert_eq!(ctx.evaluate(&ssh).decision, Decision::Block);
+
+        let rs = parse_ruleset("block all\npass from any to any port 1000:2000\n").unwrap();
+        let ctx = EvalContext::new(&rs);
+        let in_range = FiveTuple::tcp([1, 1, 1, 1], 999, [2, 2, 2, 2], 1500);
+        let out_of_range = FiveTuple::tcp([1, 1, 1, 1], 999, [2, 2, 2, 2], 2500);
+        assert_eq!(ctx.evaluate(&in_range).decision, Decision::Pass);
+        assert_eq!(ctx.evaluate(&out_of_range).decision, Decision::Block);
+    }
+
+    #[test]
+    fn proto_constraint() {
+        let rs = parse_ruleset("block all\npass proto udp from any to any\n").unwrap();
+        let ctx = EvalContext::new(&rs);
+        let udp = FiveTuple::udp([1, 1, 1, 1], 53, [2, 2, 2, 2], 53);
+        let tcp = FiveTuple::tcp([1, 1, 1, 1], 53, [2, 2, 2, 2], 53);
+        assert_eq!(ctx.evaluate(&udp).decision, Decision::Pass);
+        assert_eq!(ctx.evaluate(&tcp).decision, Decision::Block);
+    }
+
+    #[test]
+    fn eq_and_numeric_predicates() {
+        let rs = parse_ruleset(
+            "block all\npass all with eq(@src[name], skype) with gte(@src[version], 200)\n",
+        )
+        .unwrap();
+        let flow = flow_to_server();
+        let new_skype = response_with(flow, &[("name", "skype"), ("version", "210")]);
+        let old_skype = response_with(flow, &[("name", "skype"), ("version", "150")]);
+        let firefox = response_with(flow, &[("name", "firefox"), ("version", "300")]);
+        let dst = Response::new(flow);
+
+        let ctx = EvalContext::new(&rs).with_responses(&new_skype, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+        let ctx = EvalContext::new(&rs).with_responses(&old_skype, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+        let ctx = EvalContext::new(&rs).with_responses(&firefox, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+
+    #[test]
+    fn missing_information_fails_closed() {
+        let rs = parse_ruleset("block all\npass all with eq(@src[name], skype)\n").unwrap();
+        let flow = flow_to_server();
+        // No responses attached at all.
+        let ctx = EvalContext::new(&rs);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+        // Response present but key missing.
+        let src = response_with(flow, &[("userID", "alice")]);
+        let dst = Response::new(flow);
+        let ctx = EvalContext::new(&rs).with_responses(&src, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+
+    #[test]
+    fn member_with_macro_and_named_list() {
+        let rs = parse_ruleset(
+            "allowed = \"{ http ssh }\"\nblock all\npass all with member(@src[name], $allowed)\n",
+        )
+        .unwrap();
+        let flow = flow_to_server();
+        let http = response_with(flow, &[("name", "http")]);
+        let skype = response_with(flow, &[("name", "skype")]);
+        let dst = Response::new(flow);
+        let ctx = EvalContext::new(&rs).with_responses(&http, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+        let ctx = EvalContext::new(&rs).with_responses(&skype, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+
+        // member(@src[groupID], users) with a named list provided by the
+        // controller configuration.
+        let rs = parse_ruleset("block all\npass all with member(@src[groupID], users)\n").unwrap();
+        let alice = response_with(flow, &[("groupID", "users wheel")]);
+        let guest = response_with(flow, &[("groupID", "guests")]);
+        let ctx = EvalContext::new(&rs)
+            .with_responses(&alice, &dst)
+            .with_named_list("users", vec!["users".to_string()]);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+        let ctx = EvalContext::new(&rs)
+            .with_responses(&guest, &dst)
+            .with_named_list("users", vec!["users".to_string()]);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+
+    #[test]
+    fn includes_checks_list_values() {
+        let rs = parse_ruleset(
+            "block all\npass all with includes(@dst[os-patch], MS08-067)\n",
+        )
+        .unwrap();
+        let flow = flow_to_server();
+        let src = Response::new(flow);
+        let patched = response_with(flow, &[("os-patch", "MS08-001 MS08-067 MS09-001")]);
+        let unpatched = response_with(flow, &[("os-patch", "MS08-001")]);
+        let ctx = EvalContext::new(&rs).with_responses(&src, &patched);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+        let ctx = EvalContext::new(&rs).with_responses(&src, &unpatched);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+
+    #[test]
+    fn latest_section_value_is_used_and_star_concatenates() {
+        let rs_latest = parse_ruleset("block all\npass all with eq(@src[site], branch-b)\n").unwrap();
+        let rs_concat =
+            parse_ruleset("block all\npass all with eq(*@src[site], branch-a branch-b)\n").unwrap();
+        let flow = flow_to_server();
+        let mut src = Response::new(flow);
+        let mut s1 = Section::new();
+        s1.push("site", "branch-a");
+        src.push_section(s1);
+        let mut s2 = Section::new();
+        s2.push("site", "branch-b");
+        src.push_section(s2);
+        let dst = Response::new(flow);
+
+        let ctx = EvalContext::new(&rs_latest).with_responses(&src, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+        let ctx = EvalContext::new(&rs_concat).with_responses(&src, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+    }
+
+    #[test]
+    fn allowed_evaluates_delegated_requirements() {
+        let rs = parse_ruleset("block all\npass all with allowed(@dst[requirements])\n").unwrap();
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 9999, [10, 0, 0, 2], 7000);
+        let src = Response::new(flow);
+        // Requirements that allow only port 7000.
+        let good = response_with(
+            flow,
+            &[("requirements", "block all\npass from any to any port 7000")],
+        );
+        let bad = response_with(
+            flow,
+            &[("requirements", "block all\npass from any to any port 22")],
+        );
+        let malformed = response_with(flow, &[("requirements", "pass from !!!")]);
+        let ctx = EvalContext::new(&rs).with_responses(&src, &good);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+        let ctx = EvalContext::new(&rs).with_responses(&src, &bad);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+        let ctx = EvalContext::new(&rs).with_responses(&src, &malformed);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+
+    #[test]
+    fn allowed_recursion_is_bounded() {
+        // Requirements that themselves call allowed() on the same key recurse;
+        // the evaluator must terminate and fail closed.
+        let rs = parse_ruleset("block all\npass all with allowed(@dst[requirements])\n").unwrap();
+        let flow = flow_to_server();
+        let src = Response::new(flow);
+        let recursive = response_with(
+            flow,
+            &[(
+                "requirements",
+                "block all\npass all with allowed(@dst[requirements])",
+            )],
+        );
+        let ctx = EvalContext::new(&rs).with_responses(&src, &recursive);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+
+    #[test]
+    fn verify_checks_signatures_from_dict_keys() {
+        let research = KeyPair::from_seed(b"research-group-key");
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 9999, [10, 0, 0, 2], 7000);
+        let requirements = "block all\npass from any to any port 7000";
+        let exe_hash = "9f86d081884c7d65";
+        let sig = sign_bundle_hex(&research, &[exe_hash, "research-app", requirements]);
+
+        let policy = format!(
+            "dict <pubkeys> {{ research : {} }}\nblock all\npass all \\\n  with verify(@dst[req-sig], @pubkeys[research], @dst[exe-hash], @dst[app-name], @dst[requirements])\n",
+            research.public().to_hex()
+        );
+        let rs = parse_ruleset(&policy).unwrap();
+        let src = Response::new(flow);
+        let good = response_with(
+            flow,
+            &[
+                ("req-sig", sig.as_str()),
+                ("exe-hash", exe_hash),
+                ("app-name", "research-app"),
+                ("requirements", requirements),
+            ],
+        );
+        let ctx = EvalContext::new(&rs).with_responses(&src, &good);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+
+        // Tampering with the requirements invalidates the signature.
+        let tampered = response_with(
+            flow,
+            &[
+                ("req-sig", sig.as_str()),
+                ("exe-hash", exe_hash),
+                ("app-name", "research-app"),
+                ("requirements", "pass all"),
+            ],
+        );
+        let ctx = EvalContext::new(&rs).with_responses(&src, &tampered);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+
+        // A signature from an untrusted key is rejected.
+        let attacker = KeyPair::from_seed(b"attacker");
+        let forged = sign_bundle_hex(&attacker, &[exe_hash, "research-app", requirements]);
+        let forged_resp = response_with(
+            flow,
+            &[
+                ("req-sig", forged.as_str()),
+                ("exe-hash", exe_hash),
+                ("app-name", "research-app"),
+                ("requirements", requirements),
+            ],
+        );
+        let ctx = EvalContext::new(&rs).with_responses(&src, &forged_resp);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+
+    #[test]
+    fn verify_resolves_registry_names() {
+        let secur = KeyPair::from_seed(b"Secur");
+        let flow = flow_to_server();
+        let data = ["cafebabe", "thunderbird", "block all\npass all"];
+        let sig = sign_bundle_hex(&secur, &data);
+        let rs = parse_ruleset(
+            "block all\npass all with verify(@src[req-sig], Secur, @src[exe-hash], @src[app-name], @src[requirements])\n",
+        )
+        .unwrap();
+        let src = response_with(
+            flow,
+            &[
+                ("req-sig", sig.as_str()),
+                ("exe-hash", "cafebabe"),
+                ("app-name", "thunderbird"),
+                ("requirements", "block all\npass all"),
+            ],
+        );
+        let dst = Response::new(flow);
+        let mut registry = KeyRegistry::new();
+        registry.insert("Secur", secur.public());
+        let ctx = EvalContext::new(&rs)
+            .with_responses(&src, &dst)
+            .with_key_registry(registry);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+
+        // Without the registry the name cannot be resolved.
+        let ctx = EvalContext::new(&rs).with_responses(&src, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+
+    #[test]
+    fn unknown_function_fails_closed_but_user_functions_work() {
+        let rs = parse_ruleset("block all\npass all with business-hours()\n").unwrap();
+        let flow = flow_to_server();
+        let ctx = EvalContext::new(&rs);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+
+        let mut funcs = FunctionRegistry::new();
+        funcs.register("business-hours", |_args| true);
+        let ctx = EvalContext::new(&rs).with_functions(funcs);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+    }
+
+    #[test]
+    fn exists_predicate() {
+        let rs = parse_ruleset("block all\npass all with exists(@src[user-initiated])\n").unwrap();
+        let flow = flow_to_server();
+        let clicked = response_with(flow, &[("user-initiated", "true")]);
+        let background = response_with(flow, &[("name", "updater")]);
+        let dst = Response::new(flow);
+        let ctx = EvalContext::new(&rs).with_responses(&clicked, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+        let ctx = EvalContext::new(&rs).with_responses(&background, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+
+    #[test]
+    fn keep_state_is_reported() {
+        let rs = parse_ruleset("block all\npass from any to any port 80 keep state\n").unwrap();
+        let ctx = EvalContext::new(&rs);
+        let web = FiveTuple::tcp([1, 1, 1, 1], 999, [2, 2, 2, 2], 80);
+        let v = ctx.evaluate(&web);
+        assert!(v.keep_state);
+        assert_eq!(v.decision, Decision::Pass);
+        let other = FiveTuple::tcp([1, 1, 1, 1], 999, [2, 2, 2, 2], 81);
+        assert!(!ctx.evaluate(&other).keep_state);
+    }
+
+    #[test]
+    fn wrong_arity_fails_closed() {
+        let rs = parse_ruleset("block all\npass all with eq(@src[name])\n").unwrap();
+        let flow = flow_to_server();
+        let src = response_with(flow, &[("name", "skype")]);
+        let dst = Response::new(flow);
+        let ctx = EvalContext::new(&rs).with_responses(&src, &dst);
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+}

@@ -1,0 +1,177 @@
+//! Function predicates used in `with` clauses.
+//!
+//! The paper predefines `eq`, `gt`, `lt`, `gte`, `lte`, `member`, `allowed`
+//! and `verify` (§3.3) and uses `includes` in Fig. 8. "Functions are
+//! user-definable and new functions can be added" — the [`FunctionRegistry`]
+//! holds such user-defined predicates; the predefined ones are implemented in
+//! [`crate::eval`] because they need access to the evaluation context
+//! (`allowed` re-enters the evaluator, `verify` needs the trusted-key
+//! registry).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A user-defined predicate.
+///
+/// The function receives the already-resolved arguments: `None` means the
+/// referenced key was absent from the response (or the macro/dict was
+/// undefined). By convention predicates should return `false` when required
+/// information is missing.
+pub type UserFunction = Arc<dyn Fn(&[Option<String>]) -> bool + Send + Sync>;
+
+/// A registry of user-defined functions, keyed by name.
+///
+/// Predefined function names cannot be overridden: the security semantics of
+/// `verify`/`allowed` must not be silently replaced by configuration.
+#[derive(Clone, Default)]
+pub struct FunctionRegistry {
+    functions: BTreeMap<String, UserFunction>,
+}
+
+/// Names of the built-in functions (not overridable).
+pub const BUILTIN_NAMES: &[&str] = &[
+    "eq", "ne", "gt", "lt", "gte", "lte", "member", "includes", "allowed", "verify", "exists",
+];
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        FunctionRegistry::default()
+    }
+
+    /// Registers a user function. Returns `false` (and does not register) if
+    /// the name collides with a built-in.
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F) -> bool
+    where
+        F: Fn(&[Option<String>]) -> bool + Send + Sync + 'static,
+    {
+        let name = name.into();
+        if BUILTIN_NAMES.contains(&name.as_str()) {
+            return false;
+        }
+        self.functions.insert(name, Arc::new(f));
+        true
+    }
+
+    /// Looks up a user function.
+    pub fn get(&self, name: &str) -> Option<&UserFunction> {
+        self.functions.get(name)
+    }
+
+    /// Whether `name` is a built-in function.
+    pub fn is_builtin(name: &str) -> bool {
+        BUILTIN_NAMES.contains(&name)
+    }
+
+    /// Number of registered user functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether no user functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+impl std::fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionRegistry")
+            .field("functions", &self.functions.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Splits a whitespace- (and optionally brace-) delimited list literal into
+/// its elements: `"{ http ssh }"` → `["http", "ssh"]`.
+///
+/// This is how macro values are interpreted when used as the list argument of
+/// `member` (Fig. 2: `member(@src[name], $allowed)` with
+/// `allowed = "{ http ssh }"`).
+pub fn parse_list_literal(text: &str) -> Vec<String> {
+    text.split(|c: char| c.is_whitespace() || c == ',')
+        .map(|t| t.trim_matches(|c| c == '{' || c == '}' || c == ','))
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Numeric comparison used by `gt`/`lt`/`gte`/`lte`.
+///
+/// Both operands must parse as signed integers; otherwise the comparison is
+/// `None` (and the predicate is false). Version strings like `2.1.0` do not
+/// parse — the paper's example uses integer versions (`lt(@src[version],
+/// 200)`).
+pub fn numeric_cmp(a: &str, b: &str) -> Option<std::cmp::Ordering> {
+    let a: i64 = a.trim().parse().ok()?;
+    let b: i64 = b.trim().parse().ok()?;
+    Some(a.cmp(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_registers_and_rejects_builtins() {
+        let mut reg = FunctionRegistry::new();
+        assert!(reg.register("is-business-hours", |_args| true));
+        assert!(!reg.register("verify", |_args| true));
+        assert!(!reg.register("eq", |_args| true));
+        assert!(reg.get("is-business-hours").is_some());
+        assert!(reg.get("verify").is_none());
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn user_function_receives_resolved_args() {
+        let mut reg = FunctionRegistry::new();
+        reg.register("first-is-alice", |args: &[Option<String>]| {
+            args.first()
+                .and_then(|a| a.as_deref())
+                .map(|v| v == "alice")
+                .unwrap_or(false)
+        });
+        let f = reg.get("first-is-alice").unwrap();
+        assert!(f(&[Some("alice".to_string())]));
+        assert!(!f(&[Some("bob".to_string())]));
+        assert!(!f(&[None]));
+        assert!(!f(&[]));
+    }
+
+    #[test]
+    fn list_literal_parsing() {
+        assert_eq!(parse_list_literal("{ http ssh }"), vec!["http", "ssh"]);
+        assert_eq!(parse_list_literal("http ssh"), vec!["http", "ssh"]);
+        assert_eq!(parse_list_literal("{http,ssh}"), vec!["http", "ssh"]);
+        assert_eq!(parse_list_literal(""), Vec::<String>::new());
+        assert_eq!(parse_list_literal("  {  }  "), Vec::<String>::new());
+        assert_eq!(parse_list_literal("single"), vec!["single"]);
+    }
+
+    #[test]
+    fn numeric_comparison() {
+        use std::cmp::Ordering::*;
+        assert_eq!(numeric_cmp("100", "200"), Some(Less));
+        assert_eq!(numeric_cmp("210", "200"), Some(Greater));
+        assert_eq!(numeric_cmp("200", "200"), Some(Equal));
+        assert_eq!(numeric_cmp(" 7 ", "7"), Some(Equal));
+        assert_eq!(numeric_cmp("2.1.0", "200"), None);
+        assert_eq!(numeric_cmp("abc", "200"), None);
+    }
+
+    #[test]
+    fn builtin_names_are_known() {
+        assert!(FunctionRegistry::is_builtin("verify"));
+        assert!(FunctionRegistry::is_builtin("allowed"));
+        assert!(!FunctionRegistry::is_builtin("frobnicate"));
+    }
+
+    #[test]
+    fn debug_lists_function_names() {
+        let mut reg = FunctionRegistry::new();
+        reg.register("custom", |_| true);
+        assert!(format!("{reg:?}").contains("custom"));
+    }
+}

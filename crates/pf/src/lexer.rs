@@ -1,0 +1,397 @@
+//! Lexer for PF+=2 policy text.
+//!
+//! The lexer performs three preprocessing steps that match how PF reads its
+//! configuration:
+//!
+//! 1. `#` comments run to the end of the line (except inside quoted strings),
+//! 2. a trailing `\` folds the next line onto the current one (line
+//!    continuations — used heavily in the paper's examples),
+//! 3. the remaining text is tokenized; newlines are treated as ordinary
+//!    whitespace (rule boundaries are recovered syntactically by the parser).
+//!
+//! Every token records the (1-based) source line it started on so errors can
+//! point back at the offending configuration line.
+
+use crate::error::PfError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// A bare word: keyword, identifier, address, number, or key text.
+    Word(String),
+    /// A quoted string (quotes removed).
+    Str(String),
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `!`
+    Bang,
+    /// `=`
+    Equals,
+    /// `@`
+    At,
+    /// `$`
+    Dollar,
+    /// `*`
+    Star,
+}
+
+/// A token plus the source line it started on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number in the original (pre-continuation-folding) text.
+    pub line: usize,
+}
+
+/// Characters that terminate a bare word.
+fn is_word_char(c: char) -> bool {
+    !c.is_whitespace() && !"<>{}()[],:!=@$*\"#".contains(c)
+}
+
+/// Tokenizes PF+=2 source text.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>, PfError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '\\' => {
+                // Line continuation: a backslash followed (possibly after
+                // spaces) by a newline. A backslash anywhere else is part of a
+                // word (e.g. inside opaque signature material).
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j] == ' ' || chars[j] == '\t' || chars[j] == '\r')
+                {
+                    j += 1;
+                }
+                if j < chars.len() && chars[j] == '\n' {
+                    line += 1;
+                    i = j + 1;
+                } else if j >= chars.len() {
+                    i = j;
+                } else {
+                    // Treat as the start of a word.
+                    let start_line = line;
+                    let mut word = String::from('\\');
+                    i += 1;
+                    while i < chars.len() && is_word_char(chars[i]) {
+                        word.push(chars[i]);
+                        i += 1;
+                    }
+                    tokens.push(SpannedTok {
+                        tok: Tok::Word(word),
+                        line: start_line,
+                    });
+                }
+            }
+            '#' => {
+                // Comment to end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= chars.len() {
+                        return Err(PfError::lex(start_line, "unterminated string"));
+                    }
+                    let c = chars[i];
+                    if c == '"' {
+                        i += 1;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    // A backslash-newline inside a string is a continuation.
+                    if c == '\\' && i + 1 < chars.len() && chars[i + 1] == '\n' {
+                        line += 1;
+                        i += 2;
+                        continue;
+                    }
+                    s.push(c);
+                    i += 1;
+                }
+                tokens.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
+            }
+            '<' => {
+                tokens.push(SpannedTok { tok: Tok::Lt, line });
+                i += 1;
+            }
+            '>' => {
+                tokens.push(SpannedTok { tok: Tok::Gt, line });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::LBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::RBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::LBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::RBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::Comma,
+                    line,
+                });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::Colon,
+                    line,
+                });
+                i += 1;
+            }
+            '!' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::Bang,
+                    line,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::Equals,
+                    line,
+                });
+                i += 1;
+            }
+            '@' => {
+                tokens.push(SpannedTok { tok: Tok::At, line });
+                i += 1;
+            }
+            '$' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::Dollar,
+                    line,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(SpannedTok {
+                    tok: Tok::Star,
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                let start_line = line;
+                let mut word = String::new();
+                while i < chars.len() && is_word_char(chars[i]) {
+                    word.push(chars[i]);
+                    i += 1;
+                }
+                if word.is_empty() {
+                    return Err(PfError::lex(line, format!("unexpected character {c:?}")));
+                }
+                tokens.push(SpannedTok {
+                    tok: Tok::Word(word),
+                    line: start_line,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(input: &str) -> Vec<Tok> {
+        tokenize(input).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_rule() {
+        let toks = words("block all");
+        assert_eq!(
+            toks,
+            vec![Tok::Word("block".into()), Tok::Word("all".into())]
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let toks = words("# default deny\nblock all # everything\n");
+        assert_eq!(
+            toks,
+            vec![Tok::Word("block".into()), Tok::Word("all".into())]
+        );
+    }
+
+    #[test]
+    fn line_continuations_fold() {
+        let toks = words("pass from any \\\n  to <mail-server> \\\n  keep state");
+        assert_eq!(toks.len(), 9);
+        assert_eq!(toks[0], Tok::Word("pass".into()));
+        assert_eq!(toks[8], Tok::Word("state".into()));
+    }
+
+    #[test]
+    fn table_syntax_tokens() {
+        let toks = words("table <mail-server> {192.168.42.32}");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Word("table".into()),
+                Tok::Lt,
+                Tok::Word("mail-server".into()),
+                Tok::Gt,
+                Tok::LBrace,
+                Tok::Word("192.168.42.32".into()),
+                Tok::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn dict_reference_tokens() {
+        let toks = words("eq(@src[app-name], pine)");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Word("eq".into()),
+                Tok::LParen,
+                Tok::At,
+                Tok::Word("src".into()),
+                Tok::LBracket,
+                Tok::Word("app-name".into()),
+                Tok::RBracket,
+                Tok::Comma,
+                Tok::Word("pine".into()),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn star_and_dollar_and_bang() {
+        let toks = words("*@src[userID] $allowed !<int_hosts>");
+        assert_eq!(toks[0], Tok::Star);
+        assert_eq!(toks[1], Tok::At);
+        assert!(toks.contains(&Tok::Dollar));
+        assert!(toks.contains(&Tok::Bang));
+    }
+
+    #[test]
+    fn quoted_strings() {
+        let toks = words("allowed = \"{ http ssh }\"");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Word("allowed".into()),
+                Tok::Equals,
+                Tok::Str("{ http ssh }".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_line() {
+        let err = tokenize("x = \"oops").unwrap_err();
+        assert!(matches!(err, PfError::Lex { line: 1, .. }));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = tokenize("block all\npass all\n\nblock all\n").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[4].line, 4);
+    }
+
+    #[test]
+    fn cidr_and_version_numbers_are_words() {
+        let toks = words("192.168.0.0/24 200");
+        assert_eq!(
+            toks,
+            vec![Tok::Word("192.168.0.0/24".into()), Tok::Word("200".into())]
+        );
+    }
+
+    #[test]
+    fn comment_inside_string_is_preserved() {
+        let toks = words("m = \"a # not a comment\"");
+        assert_eq!(toks[2], Tok::Str("a # not a comment".into()));
+    }
+
+    #[test]
+    fn hash_mid_word_starts_comment() {
+        // Matches PF behaviour: `#` introduces a comment wherever it appears
+        // outside a string.
+        let toks = words("abc#def\nxyz");
+        assert_eq!(toks, vec![Tok::Word("abc".into()), Tok::Word("xyz".into())]);
+    }
+}

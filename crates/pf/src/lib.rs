@@ -1,0 +1,63 @@
+//! # identxx-pf — the PF+=2 policy language
+//!
+//! PF+=2 is the paper's extension of OpenBSD's PF packet-filter language
+//! (§3.3). It keeps PF's structure — rules read top-down, the **last matching
+//! rule wins**, `quick` short-circuits — and its vocabulary of `table`s,
+//! macros, `pass`/`block`, `from`/`to`, `port` and `keep state`, and adds:
+//!
+//! * the `dict` keyword for named dictionaries (e.g. trusted public keys),
+//! * the `with` keyword introducing boolean function predicates over the
+//!   `@src`/`@dst` dictionaries built from ident++ responses,
+//! * `@src[key]`/`@dst[key]` indexing (latest value) and `*@src[key]`
+//!   (concatenation of all sections' values),
+//! * the built-in functions `eq`, `gt`, `lt`, `gte`, `lte`, `member`,
+//!   `includes`, `allowed` and `verify`, plus user-definable functions.
+//!
+//! The crate contains a lexer, parser, AST, and evaluator for the language
+//! subset exercised by every configuration file shown in the paper
+//! (Figures 2–8), together with the `keep state` state table.
+//!
+//! ## Example
+//!
+//! ```
+//! use identxx_pf::{parse_ruleset, EvalContext, Decision};
+//! use identxx_proto::{FiveTuple, Response, Section, well_known};
+//!
+//! let policy = r#"
+//! table <server> { 192.168.1.1 }
+//! block all
+//! pass from any to <server> port 80 with eq(@src[name], firefox) keep state
+//! "#;
+//! let ruleset = parse_ruleset(policy).unwrap();
+//!
+//! let flow = FiveTuple::tcp([10, 0, 0, 5], 50000, [192, 168, 1, 1], 80);
+//! let mut src = Response::new(flow);
+//! let mut s = Section::new();
+//! s.push(well_known::APP_NAME, "firefox");
+//! src.push_section(s);
+//! let dst = Response::new(flow);
+//!
+//! let ctx = EvalContext::new(&ruleset).with_responses(&src, &dst);
+//! let verdict = ctx.evaluate(&flow);
+//! assert_eq!(verdict.decision, Decision::Pass);
+//! assert!(verdict.keep_state);
+//! ```
+
+pub mod ast;
+pub mod dict;
+pub mod error;
+pub mod eval;
+pub mod functions;
+pub mod lexer;
+pub mod parser;
+pub mod ruleset;
+pub mod services;
+pub mod state;
+pub mod table;
+
+pub use ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet};
+pub use error::PfError;
+pub use eval::{Decision, EvalContext, Verdict};
+pub use parser::parse_ruleset;
+pub use ruleset::{ConfigFile, ConfigSet};
+pub use state::{StateEntry, StateTable};

@@ -1,0 +1,709 @@
+//! Recursive-descent parser for PF+=2.
+//!
+//! The parser accepts the language subset used by every configuration file in
+//! the paper (Figures 2–8): `table`, `dict`, and macro definitions, and
+//! `pass`/`block` rules with `quick`, `proto`, `from`/`to` endpoints
+//! (including `!` negation, table references and `port` constraints), `with`
+//! function predicates, and `keep state`.
+//!
+//! Newlines are not significant; rule boundaries are recovered from the
+//! keywords that can start a new item (`pass`, `block`, `table`, `dict`, or a
+//! macro assignment).
+
+use identxx_proto::IpProtocol;
+
+use crate::ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet};
+use crate::dict::Dict;
+use crate::error::PfError;
+use crate::lexer::{tokenize, SpannedTok, Tok};
+use crate::table::{parse_addr_spec, Table, TableEntry};
+
+/// Parses a complete PF+=2 configuration.
+pub fn parse_ruleset(input: &str) -> Result<RuleSet, PfError> {
+    let tokens = tokenize(input)?;
+    Parser::new(tokens).parse()
+}
+
+struct Parser {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<SpannedTok>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + offset).map(|t| &t.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Tok, what: &str) -> Result<(), PfError> {
+        let line = self.line();
+        match self.next() {
+            Some(ref t) if t == expected => Ok(()),
+            Some(t) => Err(PfError::parse(
+                line,
+                format!("expected {what}, found {t:?}"),
+            )),
+            None => Err(PfError::parse(line, format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_word(&mut self, what: &str) -> Result<String, PfError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Word(w)) => Ok(w),
+            Some(t) => Err(PfError::parse(
+                line,
+                format!("expected {what}, found {t:?}"),
+            )),
+            None => Err(PfError::parse(line, format!("expected {what}, found end of input"))),
+        }
+    }
+
+    /// Parses `<name>`.
+    fn angle_name(&mut self) -> Result<String, PfError> {
+        self.expect(&Tok::Lt, "'<'")?;
+        let name = self.expect_word("a name")?;
+        self.expect(&Tok::Gt, "'>'")?;
+        Ok(name)
+    }
+
+    fn parse(mut self) -> Result<RuleSet, PfError> {
+        let mut rs = RuleSet::new();
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Word(w) if w == "table" => {
+                    self.next();
+                    let (name, table) = self.parse_table()?;
+                    rs.tables.insert(name, table);
+                }
+                Tok::Word(w) if w == "dict" => {
+                    self.next();
+                    let (name, dict) = self.parse_dict()?;
+                    rs.dicts.insert(name, dict);
+                }
+                Tok::Word(w) if w == "pass" || w == "block" => {
+                    let rule = self.parse_rule()?;
+                    rs.rules.push(rule);
+                }
+                Tok::Word(_) if matches!(self.peek_at(1), Some(Tok::Equals)) => {
+                    let name = self.expect_word("macro name")?;
+                    self.next(); // '='
+                    let line = self.line();
+                    let value = match self.next() {
+                        Some(Tok::Str(s)) => s,
+                        Some(Tok::Word(w)) => w,
+                        other => {
+                            return Err(PfError::parse(
+                                line,
+                                format!("expected macro value, found {other:?}"),
+                            ))
+                        }
+                    };
+                    rs.macros.insert(name, value);
+                }
+                other => {
+                    return Err(PfError::parse(
+                        self.line(),
+                        format!("expected a definition or rule, found {other:?}"),
+                    ));
+                }
+            }
+        }
+        Ok(rs)
+    }
+
+    /// `table <name> { entries }` (the `table` keyword is already consumed).
+    fn parse_table(&mut self) -> Result<(String, Table), PfError> {
+        let name = self.angle_name()?;
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut table = Table::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.next();
+                    break;
+                }
+                Some(Tok::Lt) => {
+                    let referenced = self.angle_name()?;
+                    table.push(TableEntry::TableRef(referenced));
+                }
+                Some(Tok::Word(_)) => {
+                    let word = self.expect_word("an address")?;
+                    table.push(TableEntry::parse_addr(&word)?);
+                }
+                Some(Tok::Comma) => {
+                    self.next(); // commas between entries are tolerated
+                }
+                other => {
+                    return Err(PfError::parse(
+                        self.line(),
+                        format!("unexpected token in table body: {other:?}"),
+                    ));
+                }
+            }
+        }
+        Ok((name, table))
+    }
+
+    /// `dict <name> { key : value ... }` (the `dict` keyword already consumed).
+    fn parse_dict(&mut self) -> Result<(String, Dict), PfError> {
+        let name = self.angle_name()?;
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut dict = Dict::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.next();
+                    break;
+                }
+                Some(Tok::Word(_)) => {
+                    let key = self.expect_word("a dictionary key")?;
+                    self.expect(&Tok::Colon, "':'")?;
+                    let line = self.line();
+                    let value = match self.next() {
+                        Some(Tok::Word(w)) => w,
+                        Some(Tok::Str(s)) => s,
+                        other => {
+                            return Err(PfError::parse(
+                                line,
+                                format!("expected dictionary value, found {other:?}"),
+                            ))
+                        }
+                    };
+                    dict.insert(key, value);
+                }
+                Some(Tok::Comma) => {
+                    self.next();
+                }
+                other => {
+                    return Err(PfError::parse(
+                        self.line(),
+                        format!("unexpected token in dict body: {other:?}"),
+                    ));
+                }
+            }
+        }
+        Ok((name, dict))
+    }
+
+    /// True if the current token begins a new top-level item, i.e. the current
+    /// rule has ended.
+    fn at_item_boundary(&self) -> bool {
+        match self.peek() {
+            None => true,
+            Some(Tok::Word(w)) => match w.as_str() {
+                "pass" | "block" | "table" | "dict" => true,
+                // A macro assignment (`name = ...`) also starts a new item.
+                _ => matches!(self.peek_at(1), Some(Tok::Equals)),
+            },
+            _ => false,
+        }
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, PfError> {
+        let line = self.line();
+        let action_word = self.expect_word("an action")?;
+        let action = match action_word.as_str() {
+            "pass" => Action::Pass,
+            "block" => Action::Block,
+            other => {
+                return Err(PfError::parse(line, format!("unknown action {other:?}")));
+            }
+        };
+
+        let mut rule = Rule {
+            action,
+            quick: false,
+            proto: None,
+            from: None,
+            to: None,
+            withs: Vec::new(),
+            keep_state: false,
+            line,
+        };
+
+        while !self.at_item_boundary() {
+            let clause_line = self.line();
+            match self.peek() {
+                Some(Tok::Word(w)) => match w.as_str() {
+                    "quick" => {
+                        self.next();
+                        rule.quick = true;
+                    }
+                    "all" => {
+                        self.next();
+                        rule.from = Some(Endpoint::any());
+                        rule.to = Some(Endpoint::any());
+                    }
+                    "proto" => {
+                        self.next();
+                        let proto_word = self.expect_word("a protocol")?;
+                        rule.proto = Some(proto_word.parse::<IpProtocol>().map_err(|_| {
+                            PfError::parse(clause_line, format!("unknown protocol {proto_word:?}"))
+                        })?);
+                    }
+                    "from" => {
+                        self.next();
+                        rule.from = Some(self.parse_endpoint()?);
+                    }
+                    "to" => {
+                        self.next();
+                        rule.to = Some(self.parse_endpoint()?);
+                    }
+                    "with" => {
+                        self.next();
+                        rule.withs.push(self.parse_fncall()?);
+                    }
+                    "keep" => {
+                        self.next();
+                        let state_word = self.expect_word("'state'")?;
+                        if state_word != "state" {
+                            return Err(PfError::parse(
+                                clause_line,
+                                format!("expected 'state' after 'keep', found {state_word:?}"),
+                            ));
+                        }
+                        rule.keep_state = true;
+                    }
+                    other => {
+                        return Err(PfError::parse(
+                            clause_line,
+                            format!("unexpected keyword {other:?} in rule"),
+                        ));
+                    }
+                },
+                other => {
+                    return Err(PfError::parse(
+                        clause_line,
+                        format!("unexpected token {other:?} in rule"),
+                    ));
+                }
+            }
+        }
+        Ok(rule)
+    }
+
+    /// `[!] (any | <table> | addr | cidr) [port P]`
+    fn parse_endpoint(&mut self) -> Result<Endpoint, PfError> {
+        let mut negate = false;
+        if matches!(self.peek(), Some(Tok::Bang)) {
+            self.next();
+            negate = true;
+        }
+        let line = self.line();
+        let addr = match self.peek() {
+            Some(Tok::Lt) => {
+                let name = self.angle_name()?;
+                AddrSpec::Table(name)
+            }
+            Some(Tok::Word(w)) if w == "any" => {
+                self.next();
+                AddrSpec::Any
+            }
+            Some(Tok::Word(_)) => {
+                let word = self.expect_word("an address")?;
+                parse_addr_spec(&word)?
+            }
+            other => {
+                return Err(PfError::parse(
+                    line,
+                    format!("expected an endpoint address, found {other:?}"),
+                ));
+            }
+        };
+
+        let mut port = None;
+        if let Some(Tok::Word(w)) = self.peek() {
+            if w == "port" {
+                self.next();
+                port = Some(self.parse_port_spec()?);
+            }
+        }
+
+        Ok(Endpoint { negate, addr, port })
+    }
+
+    fn parse_port_spec(&mut self) -> Result<PortSpec, PfError> {
+        let line = self.line();
+        let word = self.expect_word("a port")?;
+        // A range is written `lo:hi`; the lexer splits it into
+        // Word(lo) Colon Word(hi).
+        if matches!(self.peek(), Some(Tok::Colon)) {
+            self.next();
+            let hi_word = self.expect_word("the upper bound of a port range")?;
+            let lo: u16 = word
+                .parse()
+                .map_err(|_| PfError::parse(line, format!("bad port range {word}:{hi_word}")))?;
+            let hi: u16 = hi_word
+                .parse()
+                .map_err(|_| PfError::parse(line, format!("bad port range {word}:{hi_word}")))?;
+            if lo > hi {
+                return Err(PfError::parse(
+                    line,
+                    format!("inverted port range {word}:{hi_word}"),
+                ));
+            }
+            return Ok(PortSpec::Range(lo, hi));
+        }
+        if let Ok(n) = word.parse::<u16>() {
+            return Ok(PortSpec::Number(n));
+        }
+        // A token that is purely numeric but does not fit a u16 is an error
+        // rather than a (nonexistent) service name.
+        if word.chars().all(|c| c.is_ascii_digit()) {
+            return Err(PfError::parse(line, format!("port {word} out of range")));
+        }
+        Ok(PortSpec::Named(word))
+    }
+
+    /// `name(arg, arg, ...)`
+    fn parse_fncall(&mut self) -> Result<FnCall, PfError> {
+        let line = self.line();
+        let name = self.expect_word("a function name")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let mut args = Vec::new();
+        if matches!(self.peek(), Some(Tok::RParen)) {
+            self.next();
+            return Ok(FnCall { name, args, line });
+        }
+        loop {
+            args.push(self.parse_fnarg()?);
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => {
+                    return Err(PfError::parse(
+                        line,
+                        format!("expected ',' or ')' in call to {name}, found {other:?}"),
+                    ));
+                }
+            }
+        }
+        Ok(FnCall { name, args, line })
+    }
+
+    fn parse_fnarg(&mut self) -> Result<FnArg, PfError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::Star) => {
+                self.next();
+                self.expect(&Tok::At, "'@' after '*'")?;
+                self.parse_dictref(true)
+            }
+            Some(Tok::At) => {
+                self.next();
+                self.parse_dictref(false)
+            }
+            Some(Tok::Dollar) => {
+                self.next();
+                let name = self.expect_word("a macro name")?;
+                Ok(FnArg::MacroRef(name))
+            }
+            Some(Tok::Str(_)) => {
+                if let Some(Tok::Str(s)) = self.next() {
+                    Ok(FnArg::Literal(s))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Tok::Word(_)) => {
+                // Consecutive bare words form a single space-joined literal
+                // (e.g. `eq(*@src[site], branch-a branch-b)`).
+                let mut literal = self.expect_word("an argument")?;
+                while let Some(Tok::Word(_)) = self.peek() {
+                    let next = self.expect_word("an argument")?;
+                    literal.push(' ');
+                    literal.push_str(&next);
+                }
+                Ok(FnArg::Literal(literal))
+            }
+            other => Err(PfError::parse(
+                line,
+                format!("expected a function argument, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Parses `dictname[key]` (the `@` and optional `*` are already consumed).
+    fn parse_dictref(&mut self, concat: bool) -> Result<FnArg, PfError> {
+        let dict = self.expect_word("a dictionary name")?;
+        self.expect(&Tok::LBracket, "'['")?;
+        let key = self.expect_word("a key")?;
+        self.expect(&Tok::RBracket, "']'")?;
+        Ok(FnArg::DictRef { concat, dict, key })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_intro_example() {
+        // The illustrative rule set from §3.3.
+        let input = r#"
+table <mail-server> {192.168.42.32}
+block all
+pass from any \
+    with member(@src[groupID], users) \
+    with eq(@src[app-name], pine) \
+    to <mail-server> \
+    with eq(@dst[userID], smtp)
+"#;
+        let rs = parse_ruleset(input).unwrap();
+        assert_eq!(rs.tables.len(), 1);
+        assert_eq!(rs.rules.len(), 2);
+        assert_eq!(rs.rules[0].action, Action::Block);
+        let pass = &rs.rules[1];
+        assert_eq!(pass.action, Action::Pass);
+        assert_eq!(pass.withs.len(), 3);
+        assert_eq!(pass.withs[0].name, "member");
+        assert_eq!(
+            pass.to.as_ref().unwrap().addr,
+            AddrSpec::Table("mail-server".into())
+        );
+    }
+
+    #[test]
+    fn parses_figure2_header_file() {
+        let input = r#"
+table <server> { 192.168.1.1 }
+table <lan> { 192.168.0.0/24 }
+table <int_hosts> { <lan> <server> }
+allowed = "{ http ssh }" # a macro of apps
+
+# default deny
+block all
+
+# allow connections outbound
+pass from <int_hosts> \
+    to !<int_hosts> \
+    keep state
+
+# allow all traffic from approved apps
+pass from <int_hosts> \
+    to <int_hosts> \
+    with member(@src[name], $allowed) \
+    keep state
+"#;
+        let rs = parse_ruleset(input).unwrap();
+        assert_eq!(rs.tables.len(), 3);
+        assert_eq!(rs.macros["allowed"], "{ http ssh }");
+        assert_eq!(rs.rules.len(), 3);
+        assert!(rs.rules[1].to.as_ref().unwrap().negate);
+        assert!(rs.rules[1].keep_state);
+        assert_eq!(rs.rules[2].withs[0].args[1], FnArg::MacroRef("allowed".into()));
+    }
+
+    #[test]
+    fn parses_figure2_skype_file() {
+        let input = r#"
+table <skype_update> { 123.123.123.0/24 }
+# skype to skype allowed
+pass all \
+    with eq(@src[name], skype) \
+    with eq(@dst[name], skype)
+
+# skype update feature
+pass from any \
+    to <skype_update> port 80 \
+    with eq(@src[name], skype) \
+    keep state
+"#;
+        let rs = parse_ruleset(input).unwrap();
+        assert_eq!(rs.rules.len(), 2);
+        let all_rule = &rs.rules[0];
+        assert_eq!(all_rule.from, Some(Endpoint::any()));
+        assert_eq!(all_rule.to, Some(Endpoint::any()));
+        let update_rule = &rs.rules[1];
+        assert_eq!(
+            update_rule.to.as_ref().unwrap().port,
+            Some(PortSpec::Number(80))
+        );
+        assert!(update_rule.keep_state);
+    }
+
+    #[test]
+    fn parses_figure2_footer_file() {
+        let input = r#"
+# no really old versions of skype
+block all \
+    with eq(@src[name], skype) \
+    with lt(@src[version], 200)
+# no skype to server
+block from any \
+    to <server> \
+    with eq(@src[name], skype)
+"#;
+        let rs = parse_ruleset(input).unwrap();
+        assert_eq!(rs.rules.len(), 2);
+        assert_eq!(rs.rules[0].withs[1].name, "lt");
+        assert_eq!(rs.rules[1].action, Action::Block);
+    }
+
+    #[test]
+    fn parses_figure5_research_delegation() {
+        let input = r#"
+dict <pubkeys> { \
+    research : sk3ajffa932 \
+    admin : a923jxa12kz \
+}
+pass from <research-machines> \
+    with member(@src[groupID], research) \
+    to !<production-machines> \
+    with member(@dst[groupID], research) \
+    with allowed(@dst[requirements]) \
+    with verify(@dst[req-sig], \
+        @pubkeys[research], \
+        @dst[exe-hash], \
+        @dst[app-name], \
+        @dst[requirements])
+"#;
+        let rs = parse_ruleset(input).unwrap();
+        assert_eq!(rs.dicts["pubkeys"].get("research"), Some("sk3ajffa932"));
+        assert_eq!(rs.rules.len(), 1);
+        let rule = &rs.rules[0];
+        assert_eq!(rule.withs.len(), 4);
+        let verify = &rule.withs[3];
+        assert_eq!(verify.name, "verify");
+        assert_eq!(verify.args.len(), 5);
+        assert_eq!(
+            verify.args[1],
+            FnArg::DictRef {
+                concat: false,
+                dict: "pubkeys".into(),
+                key: "research".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_figure8_conficker_rule() {
+        let input = r#"
+# default block everything
+block all
+# only allow "system" users in the LAN
+pass from <lan> \
+    with eq(@src[userID], system) \
+    to <lan> \
+    with eq(@dst[userID], system) \
+    with eq(@dst[name], Server) \
+    with includes(@dst[os-patch], MS08-067)
+"#;
+        let rs = parse_ruleset(input).unwrap();
+        assert_eq!(rs.rules.len(), 2);
+        assert_eq!(rs.rules[1].withs.len(), 4);
+        assert_eq!(rs.rules[1].withs[3].name, "includes");
+    }
+
+    #[test]
+    fn parses_star_concatenation_reference() {
+        let input = "pass all with eq(*@src[userID], alice)";
+        let rs = parse_ruleset(input).unwrap();
+        assert_eq!(
+            rs.rules[0].withs[0].args[0],
+            FnArg::DictRef {
+                concat: true,
+                dict: "src".into(),
+                key: "userID".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_quick_and_proto_and_port_ranges() {
+        let input = "block quick proto tcp from any port 1:1023 to any";
+        let rs = parse_ruleset(input).unwrap();
+        let rule = &rs.rules[0];
+        assert!(rule.quick);
+        assert_eq!(rule.proto, Some(IpProtocol::Tcp));
+        assert_eq!(
+            rule.from.as_ref().unwrap().port,
+            Some(PortSpec::Range(1, 1023))
+        );
+    }
+
+    #[test]
+    fn parses_named_port() {
+        let input = "pass from any port http with eq(@src[name], skype)";
+        let rs = parse_ruleset(input).unwrap();
+        assert_eq!(
+            rs.rules[0].from.as_ref().unwrap().port,
+            Some(PortSpec::Named("http".into()))
+        );
+    }
+
+    #[test]
+    fn parses_host_address_endpoint() {
+        let input = "pass from 10.1.2.3 to 10.0.0.0/8";
+        let rs = parse_ruleset(input).unwrap();
+        let rule = &rs.rules[0];
+        assert!(matches!(rule.from.as_ref().unwrap().addr, AddrSpec::Host(_)));
+        assert!(matches!(
+            rule.to.as_ref().unwrap().addr,
+            AddrSpec::Cidr { prefix_len: 8, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_ruleset("pass from").is_err());
+        assert!(parse_ruleset("allow all").is_err());
+        assert!(parse_ruleset("pass keep going").is_err());
+        assert!(parse_ruleset("table <x> 10.0.0.1 }").is_err());
+        assert!(parse_ruleset("pass from any port 99999").is_err());
+        assert!(parse_ruleset("pass from any port 10:5 to any").is_err());
+        assert!(parse_ruleset("pass with eq(@src[name] skype)").is_err());
+        assert!(parse_ruleset("block all with ()").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let input = "block all\npass from\n";
+        match parse_ruleset(input) {
+            Err(PfError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_ruleset() {
+        let rs = parse_ruleset("  \n# nothing but comments\n").unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn zero_arg_function_call_parses() {
+        let rs = parse_ruleset("pass all with always()").unwrap();
+        assert!(rs.rules[0].withs[0].args.is_empty());
+    }
+
+    #[test]
+    fn macro_definitions_with_word_value() {
+        let rs = parse_ruleset("webport = 80\npass from any to any port 80").unwrap();
+        assert_eq!(rs.macros["webport"], "80");
+    }
+}

@@ -1,0 +1,221 @@
+//! Controller configuration files (`.control`) and their concatenation.
+//!
+//! "The controller's configuration files reside in a well known location and
+//! have the `.control` extension. The files are read in alphabetical order and
+//! their contents are concatenated. Some of these configuration files can be
+//! written by the administrator, while others can be provided by application
+//! developers or third-party security companies" (§3.4).
+//!
+//! [`ConfigSet`] models that directory as an in-memory collection so the
+//! simulator does not need a real filesystem, but it can also be loaded from a
+//! directory on disk.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::ast::RuleSet;
+use crate::error::PfError;
+use crate::parser::parse_ruleset;
+
+/// A single named configuration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigFile {
+    /// File name, e.g. `00-local-header.control`. Ordering is by this name.
+    pub name: String,
+    /// The PF+=2 source text.
+    pub contents: String,
+}
+
+impl ConfigFile {
+    /// Creates a configuration file entry.
+    pub fn new(name: impl Into<String>, contents: impl Into<String>) -> Self {
+        ConfigFile {
+            name: name.into(),
+            contents: contents.into(),
+        }
+    }
+}
+
+/// An ordered set of `.control` files.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfigSet {
+    files: BTreeMap<String, String>,
+}
+
+impl ConfigSet {
+    /// Creates an empty configuration set.
+    pub fn new() -> Self {
+        ConfigSet::default()
+    }
+
+    /// Adds (or replaces) a configuration file. Only files whose name ends in
+    /// `.control` participate in [`ConfigSet::compile`]; others are retained
+    /// but ignored, mirroring a directory that may contain unrelated files.
+    pub fn add(&mut self, file: ConfigFile) {
+        self.files.insert(file.name, file.contents);
+    }
+
+    /// Convenience: add a file by name and contents.
+    pub fn add_file(&mut self, name: impl Into<String>, contents: impl Into<String>) {
+        self.add(ConfigFile::new(name, contents));
+    }
+
+    /// Removes a file by name, returning whether it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.files.remove(name).is_some()
+    }
+
+    /// Loads every `*.control` file from a directory on disk.
+    pub fn load_dir(path: &Path) -> std::io::Result<ConfigSet> {
+        let mut set = ConfigSet::new();
+        for entry in std::fs::read_dir(path)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().to_string();
+            if entry.file_type()?.is_file() && name.ends_with(".control") {
+                let contents = std::fs::read_to_string(entry.path())?;
+                set.add_file(name, contents);
+            }
+        }
+        Ok(set)
+    }
+
+    /// The names of the `.control` files in load (alphabetical) order.
+    pub fn control_file_names(&self) -> Vec<&str> {
+        self.files
+            .keys()
+            .filter(|n| n.ends_with(".control"))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Concatenates the `.control` files in alphabetical order and parses the
+    /// result into a single [`RuleSet`].
+    pub fn compile(&self) -> Result<RuleSet, PfError> {
+        let mut combined = RuleSet::new();
+        for (name, contents) in &self.files {
+            if !name.ends_with(".control") {
+                continue;
+            }
+            let parsed = parse_ruleset(contents)?;
+            combined.merge(parsed);
+        }
+        Ok(combined)
+    }
+
+    /// The concatenated source text (useful for auditing what the controller
+    /// actually evaluates).
+    pub fn concatenated_source(&self) -> String {
+        let mut out = String::new();
+        for (name, contents) in &self.files {
+            if !name.ends_with(".control") {
+                continue;
+            }
+            out.push_str(&format!("# ---- {name} ----\n"));
+            out.push_str(contents);
+            if !contents.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Number of stored files (including non-`.control` ones).
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Action;
+
+    #[test]
+    fn files_compile_in_alphabetical_order() {
+        let mut set = ConfigSet::new();
+        // Inserted out of order on purpose.
+        set.add_file("99-local-footer.control", "block from any to <server>\n");
+        set.add_file(
+            "00-local-header.control",
+            "table <server> { 192.168.1.1 }\nblock all\n",
+        );
+        set.add_file("50-skype.control", "pass all with eq(@src[name], skype)\n");
+
+        assert_eq!(
+            set.control_file_names(),
+            vec![
+                "00-local-header.control",
+                "50-skype.control",
+                "99-local-footer.control"
+            ]
+        );
+        let rs = set.compile().unwrap();
+        assert_eq!(rs.rules.len(), 3);
+        // Order of rules follows file order: header's block, skype pass, footer block.
+        assert_eq!(rs.rules[0].action, Action::Block);
+        assert_eq!(rs.rules[1].action, Action::Pass);
+        assert_eq!(rs.rules[2].action, Action::Block);
+        assert!(rs.tables.contains_key("server"));
+    }
+
+    #[test]
+    fn non_control_files_are_ignored() {
+        let mut set = ConfigSet::new();
+        set.add_file("readme.txt", "this is not a policy");
+        set.add_file("10-policy.control", "block all\n");
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.control_file_names(), vec!["10-policy.control"]);
+        let rs = set.compile().unwrap();
+        assert_eq!(rs.rules.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let mut set = ConfigSet::new();
+        set.add_file("10-bad.control", "pass from\n");
+        assert!(set.compile().is_err());
+    }
+
+    #[test]
+    fn remove_and_replace() {
+        let mut set = ConfigSet::new();
+        set.add_file("50-skype.control", "pass all\n");
+        assert!(set.remove("50-skype.control"));
+        assert!(!set.remove("50-skype.control"));
+        assert!(set.is_empty());
+        set.add_file("50-skype.control", "block all\n");
+        set.add_file("50-skype.control", "pass all\n");
+        assert_eq!(set.len(), 1);
+        let rs = set.compile().unwrap();
+        assert_eq!(rs.rules[0].action, Action::Pass);
+    }
+
+    #[test]
+    fn concatenated_source_annotates_file_names() {
+        let mut set = ConfigSet::new();
+        set.add_file("00-a.control", "block all");
+        set.add_file("10-b.control", "pass all\n");
+        let src = set.concatenated_source();
+        assert!(src.contains("# ---- 00-a.control ----"));
+        assert!(src.contains("# ---- 10-b.control ----"));
+        // Still parseable as a whole.
+        assert!(parse_ruleset(&src).is_ok());
+    }
+
+    #[test]
+    fn load_dir_reads_control_files() {
+        let dir = std::env::temp_dir().join(format!("identxx-pf-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("00-a.control"), "block all\n").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not policy").unwrap();
+        let set = ConfigSet::load_dir(&dir).unwrap();
+        assert_eq!(set.control_file_names(), vec!["00-a.control"]);
+        assert_eq!(set.compile().unwrap().rules.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! Well-known service-name → port mappings.
+//!
+//! PF allows ports to be written by service name (`port http`, `from any port
+//! http`, see Fig. 3's requirements). This module provides the subset of
+//! `/etc/services` the paper's examples and our workloads need, plus a
+//! fallback numeric parse.
+
+/// Resolves a service name or numeric string to a port number.
+pub fn resolve_port(token: &str) -> Option<u16> {
+    if let Ok(n) = token.parse::<u16>() {
+        return Some(n);
+    }
+    let port = match token.to_ascii_lowercase().as_str() {
+        "ftp-data" => 20,
+        "ftp" => 21,
+        "ssh" => 22,
+        "telnet" => 23,
+        "smtp" => 25,
+        "dns" | "domain" => 53,
+        "http" | "www" => 80,
+        "kerberos" => 88,
+        "pop3" => 110,
+        "ident" | "auth" => 113,
+        "ntp" => 123,
+        "imap" => 143,
+        "snmp" => 161,
+        "ldap" => 389,
+        "https" => 443,
+        "smb" | "microsoft-ds" => 445,
+        "smtps" => 465,
+        "syslog" => 514,
+        "submission" => 587,
+        "ldaps" => 636,
+        "identxx" => 783,
+        "imaps" => 993,
+        "pop3s" => 995,
+        "mysql" => 3306,
+        "rdp" => 3389,
+        "postgresql" | "postgres" => 5432,
+        "vnc" => 5900,
+        "http-alt" => 8080,
+        _ => return None,
+    };
+    Some(port)
+}
+
+/// Returns the conventional service name for a port, if one is known (used by
+/// workload generators and reporting).
+pub fn service_name(port: u16) -> Option<&'static str> {
+    Some(match port {
+        20 => "ftp-data",
+        21 => "ftp",
+        22 => "ssh",
+        23 => "telnet",
+        25 => "smtp",
+        53 => "dns",
+        80 => "http",
+        88 => "kerberos",
+        110 => "pop3",
+        113 => "ident",
+        123 => "ntp",
+        143 => "imap",
+        161 => "snmp",
+        389 => "ldap",
+        443 => "https",
+        445 => "smb",
+        465 => "smtps",
+        514 => "syslog",
+        587 => "submission",
+        636 => "ldaps",
+        783 => "identxx",
+        993 => "imaps",
+        995 => "pop3s",
+        3306 => "mysql",
+        3389 => "rdp",
+        5432 => "postgresql",
+        5900 => "vnc",
+        8080 => "http-alt",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_ports_pass_through() {
+        assert_eq!(resolve_port("80"), Some(80));
+        assert_eq!(resolve_port("65535"), Some(65535));
+        assert_eq!(resolve_port("65536"), None);
+    }
+
+    #[test]
+    fn named_services_resolve() {
+        assert_eq!(resolve_port("http"), Some(80));
+        assert_eq!(resolve_port("HTTP"), Some(80));
+        assert_eq!(resolve_port("https"), Some(443));
+        assert_eq!(resolve_port("smtp"), Some(25));
+        assert_eq!(resolve_port("ssh"), Some(22));
+        assert_eq!(resolve_port("identxx"), Some(783));
+        assert_eq!(resolve_port("nosuchservice"), None);
+    }
+
+    #[test]
+    fn names_round_trip_for_known_ports() {
+        for name in ["http", "https", "smtp", "ssh", "dns", "smb"] {
+            let port = resolve_port(name).unwrap();
+            assert_eq!(service_name(port), Some(name));
+        }
+        assert_eq!(service_name(4), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! The `keep state` state table.
+//!
+//! When a rule with `keep state` passes a flow, PF records the flow so that
+//! subsequent packets — in either direction — are admitted without
+//! re-evaluating the rule set. In an ident++/OpenFlow deployment the flow
+//! table in the switches plays this caching role for the data path; the
+//! controller still keeps its own state table so that the *reverse* flow's
+//! first packet (which misses the switch cache) does not trigger a fresh
+//! ident++ query cycle.
+
+use std::collections::HashMap;
+
+use identxx_proto::FiveTuple;
+
+use crate::eval::Decision;
+
+/// A single state entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateEntry {
+    /// The decision cached for this flow.
+    pub decision: Decision,
+    /// Simulation/wall-clock time (in arbitrary ticks) the entry was created.
+    pub created_at: u64,
+    /// Time after which the entry is no longer valid.
+    pub expires_at: u64,
+    /// How many packets/lookups have hit this entry.
+    pub hits: u64,
+}
+
+/// A state table keyed by the canonical (direction-independent) 5-tuple.
+#[derive(Debug, Clone, Default)]
+pub struct StateTable {
+    entries: HashMap<FiveTuple, StateEntry>,
+    /// Lifetime given to new entries, in ticks.
+    ttl: u64,
+}
+
+/// Default state lifetime in ticks (the simulator uses microseconds, so this
+/// is 60 seconds).
+pub const DEFAULT_STATE_TTL: u64 = 60_000_000;
+
+impl StateTable {
+    /// Creates a state table with the default TTL.
+    pub fn new() -> Self {
+        StateTable {
+            entries: HashMap::new(),
+            ttl: DEFAULT_STATE_TTL,
+        }
+    }
+
+    /// Creates a state table with a specific TTL (in ticks).
+    pub fn with_ttl(ttl: u64) -> Self {
+        StateTable {
+            entries: HashMap::new(),
+            ttl,
+        }
+    }
+
+    /// Records state for a flow at time `now`.
+    pub fn insert(&mut self, flow: &FiveTuple, decision: Decision, now: u64) {
+        self.entries.insert(
+            flow.canonical(),
+            StateEntry {
+                decision,
+                created_at: now,
+                expires_at: now.saturating_add(self.ttl),
+                hits: 0,
+            },
+        );
+    }
+
+    /// Looks up state for a flow (either direction) at time `now`, counting a
+    /// hit. Expired entries are removed lazily and reported as misses.
+    pub fn lookup(&mut self, flow: &FiveTuple, now: u64) -> Option<StateEntry> {
+        let key = flow.canonical();
+        match self.entries.get_mut(&key) {
+            Some(entry) if entry.expires_at > now => {
+                entry.hits += 1;
+                Some(*entry)
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Non-mutating check whether valid state exists for the flow.
+    pub fn contains(&self, flow: &FiveTuple, now: u64) -> bool {
+        self.entries
+            .get(&flow.canonical())
+            .map(|e| e.expires_at > now)
+            .unwrap_or(false)
+    }
+
+    /// Removes state for a flow (revocation).
+    pub fn remove(&mut self, flow: &FiveTuple) -> bool {
+        self.entries.remove(&flow.canonical()).is_some()
+    }
+
+    /// Removes every expired entry, returning how many were purged.
+    pub fn purge_expired(&mut self, now: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.expires_at > now);
+        before - self.entries.len()
+    }
+
+    /// Removes all entries (e.g. when policy changes and cached decisions may
+    /// no longer be valid).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of (possibly expired) entries currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80)
+    }
+
+    #[test]
+    fn insert_and_lookup_both_directions() {
+        let mut table = StateTable::new();
+        table.insert(&flow(), Decision::Pass, 0);
+        assert!(table.lookup(&flow(), 10).is_some());
+        assert!(table.lookup(&flow().reversed(), 10).is_some());
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut table = StateTable::with_ttl(100);
+        table.insert(&flow(), Decision::Pass, 0);
+        assert!(table.lookup(&flow(), 99).is_some());
+        assert!(table.lookup(&flow(), 100).is_none());
+        // Expired lookup removed the entry lazily.
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn hits_are_counted() {
+        let mut table = StateTable::new();
+        table.insert(&flow(), Decision::Pass, 0);
+        table.lookup(&flow(), 1);
+        table.lookup(&flow(), 2);
+        let e = table.lookup(&flow(), 3).unwrap();
+        assert_eq!(e.hits, 3);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut table = StateTable::new();
+        table.insert(&flow(), Decision::Pass, 0);
+        assert!(table.remove(&flow().reversed()));
+        assert!(!table.remove(&flow()));
+        table.insert(&flow(), Decision::Block, 0);
+        table.clear();
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn purge_expired_counts() {
+        let mut table = StateTable::with_ttl(10);
+        table.insert(&flow(), Decision::Pass, 0);
+        let other = FiveTuple::tcp([10, 0, 0, 3], 1, [10, 0, 0, 4], 2);
+        table.insert(&other, Decision::Pass, 100);
+        assert_eq!(table.purge_expired(50), 1);
+        assert_eq!(table.len(), 1);
+        assert!(table.contains(&other, 105));
+        assert!(!table.contains(&other, 200));
+    }
+
+    #[test]
+    fn block_decisions_can_be_cached_too() {
+        let mut table = StateTable::new();
+        table.insert(&flow(), Decision::Block, 0);
+        assert_eq!(table.lookup(&flow(), 1).unwrap().decision, Decision::Block);
+    }
+}

@@ -1,0 +1,259 @@
+//! PF `table` definitions: named sets of addresses and networks.
+//!
+//! Tables may nest (Fig. 2: `table <int_hosts> { <lan> <server> }`), so
+//! membership resolution follows table references with a cycle guard.
+
+use std::collections::BTreeMap;
+
+use identxx_proto::Ipv4Addr;
+
+use crate::ast::AddrSpec;
+use crate::error::PfError;
+
+/// An entry of a table: an address, a network, or a reference to another
+/// table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TableEntry {
+    /// A single host address.
+    Host(Ipv4Addr),
+    /// A CIDR network.
+    Cidr {
+        /// Network address.
+        network: Ipv4Addr,
+        /// Prefix length.
+        prefix_len: u8,
+    },
+    /// A reference to another named table.
+    TableRef(String),
+}
+
+impl TableEntry {
+    /// Parses a table entry token: `192.168.1.1`, `192.168.0.0/24`. Table
+    /// references are produced by the parser from `<name>` syntax, not here.
+    pub fn parse_addr(token: &str) -> Result<TableEntry, PfError> {
+        parse_addr_spec(token).map(|spec| match spec {
+            AddrSpec::Host(a) => TableEntry::Host(a),
+            AddrSpec::Cidr {
+                network,
+                prefix_len,
+            } => TableEntry::Cidr {
+                network,
+                prefix_len,
+            },
+            // parse_addr_spec never returns Any/Table for plain tokens.
+            _ => unreachable!("parse_addr_spec returned non-address for token"),
+        })
+    }
+}
+
+/// Parses an address token into an [`AddrSpec`] (host or CIDR).
+pub fn parse_addr_spec(token: &str) -> Result<AddrSpec, PfError> {
+    if let Some((net, len)) = token.split_once('/') {
+        let network: Ipv4Addr = net
+            .parse()
+            .map_err(|_| PfError::BadAddress(token.to_string()))?;
+        let prefix_len: u8 = len
+            .parse()
+            .map_err(|_| PfError::BadAddress(token.to_string()))?;
+        if prefix_len > 32 {
+            return Err(PfError::BadAddress(token.to_string()));
+        }
+        Ok(AddrSpec::Cidr {
+            network,
+            prefix_len,
+        })
+    } else {
+        let host: Ipv4Addr = token
+            .parse()
+            .map_err(|_| PfError::BadAddress(token.to_string()))?;
+        Ok(AddrSpec::Host(host))
+    }
+}
+
+/// A named table: an ordered set of entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    entries: Vec<TableEntry>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Creates a table from entries.
+    pub fn from_entries(entries: Vec<TableEntry>) -> Self {
+        Table { entries }
+    }
+
+    /// Adds an entry.
+    pub fn push(&mut self, entry: TableEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The entries of the table.
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// Tests whether `addr` belongs to this table, resolving nested table
+    /// references through `all_tables`. Unknown referenced tables are treated
+    /// as empty (PF loads tables dynamically, so a missing table is not a
+    /// match failure for the whole rule set); reference cycles terminate.
+    pub fn contains(
+        &self,
+        addr: Ipv4Addr,
+        all_tables: &BTreeMap<String, Table>,
+    ) -> bool {
+        let mut visiting: Vec<&str> = Vec::new();
+        self.contains_inner(addr, all_tables, &mut visiting)
+    }
+
+    fn contains_inner<'a>(
+        &'a self,
+        addr: Ipv4Addr,
+        all_tables: &'a BTreeMap<String, Table>,
+        visiting: &mut Vec<&'a str>,
+    ) -> bool {
+        for entry in &self.entries {
+            match entry {
+                TableEntry::Host(h) => {
+                    if *h == addr {
+                        return true;
+                    }
+                }
+                TableEntry::Cidr {
+                    network,
+                    prefix_len,
+                } => {
+                    if addr.in_prefix(*network, *prefix_len) {
+                        return true;
+                    }
+                }
+                TableEntry::TableRef(name) => {
+                    if visiting.iter().any(|v| v == name) {
+                        continue; // cycle guard
+                    }
+                    if let Some(inner) = all_tables.get(name.as_str()) {
+                        visiting.push(name);
+                        let hit = inner.contains_inner(addr, all_tables, visiting);
+                        visiting.pop();
+                        if hit {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of (direct) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables_fixture() -> BTreeMap<String, Table> {
+        let mut tables = BTreeMap::new();
+        tables.insert(
+            "server".to_string(),
+            Table::from_entries(vec![TableEntry::Host(Ipv4Addr::new(192, 168, 1, 1))]),
+        );
+        tables.insert(
+            "lan".to_string(),
+            Table::from_entries(vec![TableEntry::Cidr {
+                network: Ipv4Addr::new(192, 168, 0, 0),
+                prefix_len: 24,
+            }]),
+        );
+        tables.insert(
+            "int_hosts".to_string(),
+            Table::from_entries(vec![
+                TableEntry::TableRef("lan".to_string()),
+                TableEntry::TableRef("server".to_string()),
+            ]),
+        );
+        tables
+    }
+
+    #[test]
+    fn host_and_cidr_membership() {
+        let tables = tables_fixture();
+        let lan = &tables["lan"];
+        assert!(lan.contains(Ipv4Addr::new(192, 168, 0, 55), &tables));
+        assert!(!lan.contains(Ipv4Addr::new(192, 168, 1, 55), &tables));
+        let server = &tables["server"];
+        assert!(server.contains(Ipv4Addr::new(192, 168, 1, 1), &tables));
+        assert!(!server.contains(Ipv4Addr::new(192, 168, 1, 2), &tables));
+    }
+
+    #[test]
+    fn nested_table_membership() {
+        let tables = tables_fixture();
+        let int_hosts = &tables["int_hosts"];
+        assert!(int_hosts.contains(Ipv4Addr::new(192, 168, 0, 9), &tables));
+        assert!(int_hosts.contains(Ipv4Addr::new(192, 168, 1, 1), &tables));
+        assert!(!int_hosts.contains(Ipv4Addr::new(10, 0, 0, 1), &tables));
+    }
+
+    #[test]
+    fn missing_table_reference_is_empty() {
+        let tables = tables_fixture();
+        let t = Table::from_entries(vec![TableEntry::TableRef("nonexistent".to_string())]);
+        assert!(!t.contains(Ipv4Addr::new(1, 2, 3, 4), &tables));
+    }
+
+    #[test]
+    fn reference_cycles_terminate() {
+        let mut tables = BTreeMap::new();
+        tables.insert(
+            "a".to_string(),
+            Table::from_entries(vec![
+                TableEntry::TableRef("b".to_string()),
+                TableEntry::Host(Ipv4Addr::new(10, 0, 0, 1)),
+            ]),
+        );
+        tables.insert(
+            "b".to_string(),
+            Table::from_entries(vec![TableEntry::TableRef("a".to_string())]),
+        );
+        assert!(tables["a"].contains(Ipv4Addr::new(10, 0, 0, 1), &tables));
+        assert!(!tables["b"].contains(Ipv4Addr::new(99, 0, 0, 1), &tables));
+    }
+
+    #[test]
+    fn parse_addr_entries() {
+        assert_eq!(
+            TableEntry::parse_addr("192.168.42.32").unwrap(),
+            TableEntry::Host(Ipv4Addr::new(192, 168, 42, 32))
+        );
+        assert_eq!(
+            TableEntry::parse_addr("123.123.123.0/24").unwrap(),
+            TableEntry::Cidr {
+                network: Ipv4Addr::new(123, 123, 123, 0),
+                prefix_len: 24
+            }
+        );
+        assert!(TableEntry::parse_addr("10.0.0.0/64").is_err());
+        assert!(TableEntry::parse_addr("hostname").is_err());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let t = Table::new();
+        assert!(t.is_empty());
+        let t = tables_fixture()["int_hosts"].clone();
+        assert_eq!(t.len(), 2);
+    }
+}

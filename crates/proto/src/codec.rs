@@ -1,0 +1,308 @@
+//! Text codec for the paper's wire format.
+//!
+//! §3.2 of the paper defines the body of query and response packets:
+//!
+//! ```text
+//! <PROTO> <SRC PORT> <DST PORT>
+//! <key 0>
+//! <key 1>
+//! ...
+//! ```
+//!
+//! for a query, and
+//!
+//! ```text
+//! <PROTO> <SRC PORT> <DST PORT>
+//! <key 0>: <value 0>
+//! <key 1>: <value 1>
+//!
+//! <key n>: <value n>
+//! ...
+//! ```
+//!
+//! for a response (sections separated by empty lines). The flow's IP
+//! addresses are *not* part of the body: "The flow's source and destination IP
+//! addresses can then be obtained from the query's IP header" — so the decode
+//! functions take a [`FlowAddresses`] argument that the transport layer
+//! recovered, and the [`crate::wire`] module provides an envelope that carries
+//! them explicitly for transports (like TCP) where header spoofing is not
+//! possible.
+//!
+//! Values may span multiple logical lines in configuration files (using `\`
+//! continuations); on the wire embedded newlines are escaped as the two-byte
+//! sequence `\n` so a value always occupies exactly one line.
+
+use crate::error::ProtoError;
+use crate::fivetuple::{FiveTuple, FlowAddresses, IpProtocol};
+use crate::keys::Key;
+use crate::query::Query;
+use crate::response::{Response, Section};
+
+/// Maximum accepted size of a single encoded message, in bytes.
+///
+/// Responses carry free-form text supplied by end-hosts which the controller
+/// must treat as untrusted; a size cap bounds the memory a malicious daemon
+/// can make the controller allocate.
+pub const MAX_MESSAGE_SIZE: usize = 64 * 1024;
+
+fn escape_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n").replace('\r', "\\r")
+}
+
+fn unescape_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn encode_header(flow: &FiveTuple) -> String {
+    format!(
+        "{} {} {}",
+        flow.protocol.keyword(),
+        flow.src_port,
+        flow.dst_port
+    )
+}
+
+fn decode_header(line: &str, addrs: FlowAddresses) -> Result<FiveTuple, ProtoError> {
+    let mut parts = line.split_whitespace();
+    let proto = parts
+        .next()
+        .ok_or_else(|| ProtoError::BadHeader(line.to_string()))?
+        .parse::<IpProtocol>()?;
+    let src_port = parts
+        .next()
+        .ok_or_else(|| ProtoError::BadHeader(line.to_string()))?
+        .parse::<u16>()
+        .map_err(|_| ProtoError::BadPort(line.to_string()))?;
+    let dst_port = parts
+        .next()
+        .ok_or_else(|| ProtoError::BadHeader(line.to_string()))?
+        .parse::<u16>()
+        .map_err(|_| ProtoError::BadPort(line.to_string()))?;
+    if parts.next().is_some() {
+        return Err(ProtoError::BadHeader(line.to_string()));
+    }
+    Ok(FiveTuple::new(
+        addrs.src, src_port, addrs.dst, dst_port, proto,
+    ))
+}
+
+/// Encodes a query body.
+pub fn encode_query(query: &Query) -> String {
+    let mut out = encode_header(&query.flow);
+    out.push('\n');
+    for key in query.keys() {
+        out.push_str(key.as_str());
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes a query body given the flow addresses recovered by the transport.
+pub fn decode_query(text: &str, addrs: FlowAddresses) -> Result<Query, ProtoError> {
+    check_size(text)?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(ProtoError::Truncated)?;
+    let flow = decode_header(header, addrs)?;
+    let mut query = Query::new(flow);
+    for line in lines {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        query.push_key(Key::new(line)?);
+    }
+    Ok(query)
+}
+
+/// Encodes a response body.
+pub fn encode_response(response: &Response) -> String {
+    let mut out = encode_header(&response.flow);
+    out.push('\n');
+    for (i, section) in response.sections().iter().enumerate() {
+        if i > 0 {
+            out.push('\n'); // blank line separates sections
+        }
+        for kv in section.pairs() {
+            out.push_str(kv.key.as_str());
+            out.push_str(": ");
+            out.push_str(&escape_value(kv.value.as_str()));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Decodes a response body given the flow addresses recovered by the
+/// transport.
+pub fn decode_response(text: &str, addrs: FlowAddresses) -> Result<Response, ProtoError> {
+    check_size(text)?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(ProtoError::Truncated)?;
+    let flow = decode_header(header, addrs)?;
+    let mut response = Response::new(flow);
+    let mut current = Section::new();
+    for line in lines {
+        let line = line.trim_end_matches(['\r']);
+        if line.trim().is_empty() {
+            // Section boundary.
+            if !current.is_empty() {
+                response.push_section(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| ProtoError::BadKeyValue(line.to_string()))?;
+        let key = Key::new(key.trim())?;
+        // The encoder writes exactly one space after the colon; strip only
+        // that one so values with leading whitespace survive the round trip.
+        let value = unescape_value(value.strip_prefix(' ').unwrap_or(value));
+        current.push_pair(crate::keys::KeyValue {
+            key,
+            value: value.into(),
+        });
+    }
+    if !current.is_empty() {
+        response.push_section(current);
+    }
+    Ok(response)
+}
+
+fn check_size(text: &str) -> Result<(), ProtoError> {
+    if text.len() > MAX_MESSAGE_SIZE {
+        Err(ProtoError::TooLarge {
+            size: text.len(),
+            limit: MAX_MESSAGE_SIZE,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::well_known;
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([192, 168, 0, 5], 40321, [192, 168, 1, 1], 445)
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = Query::new(flow())
+            .with_key(well_known::USER_ID)
+            .with_key(well_known::APP_NAME)
+            .with_key(well_known::OS_PATCH);
+        let text = encode_query(&q);
+        assert!(text.starts_with("tcp 40321 445\n"));
+        let decoded = decode_query(&text, flow().addresses()).unwrap();
+        assert_eq!(decoded, q);
+    }
+
+    #[test]
+    fn empty_query_round_trip() {
+        let q = Query::new(flow());
+        let decoded = decode_query(&encode_query(&q), flow().addresses()).unwrap();
+        assert_eq!(decoded, q);
+    }
+
+    #[test]
+    fn response_round_trip_with_sections() {
+        let mut r = Response::new(flow());
+        let mut s1 = Section::new();
+        s1.push(well_known::USER_ID, "system");
+        s1.push(well_known::APP_NAME, "Server");
+        s1.push(well_known::OS_PATCH, "MS08-067 MS09-001");
+        r.push_section(s1);
+        let mut s2 = Section::new();
+        s2.push("audited-by", "controller-7");
+        r.push_section(s2);
+
+        let text = encode_response(&r);
+        let decoded = decode_response(&text, flow().addresses()).unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(decoded.section_count(), 2);
+    }
+
+    #[test]
+    fn response_values_with_newlines_round_trip() {
+        // The `requirements` value in the paper's Fig. 4 is a multi-line PF
+        // rule set; it must survive the wire intact.
+        let requirements = "block all\npass all \\\n  with eq(@src[name], research-app)";
+        let mut r = Response::new(flow());
+        let mut s = Section::new();
+        s.push(well_known::REQUIREMENTS, requirements);
+        r.push_section(s);
+        let text = encode_response(&r);
+        // One header + one key-value line: newlines must be escaped.
+        assert_eq!(text.lines().count(), 2);
+        let decoded = decode_response(&text, flow().addresses()).unwrap();
+        assert_eq!(decoded.latest(well_known::REQUIREMENTS), Some(requirements));
+    }
+
+    #[test]
+    fn decode_rejects_bad_header() {
+        assert!(decode_response("tcp 1\nname: x\n", flow().addresses()).is_err());
+        assert!(decode_response("tcp one two\nname: x\n", flow().addresses()).is_err());
+        assert!(decode_response("", flow().addresses()).is_err());
+        assert!(decode_query("frob 1 2 3\n", flow().addresses()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_missing_colon() {
+        let r = decode_response("tcp 1 2\nnocolonhere\n", flow().addresses());
+        assert!(matches!(r, Err(ProtoError::BadKeyValue(_))));
+    }
+
+    #[test]
+    fn decode_rejects_oversized_message() {
+        let mut big = String::from("tcp 1 2\n");
+        while big.len() <= MAX_MESSAGE_SIZE {
+            big.push_str("k: v\n");
+        }
+        assert!(matches!(
+            decode_response(&big, flow().addresses()),
+            Err(ProtoError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_blank_lines_do_not_create_empty_sections() {
+        let text = "tcp 1 2\na: 1\n\n\n\nb: 2\n";
+        let r = decode_response(text, flow().addresses()).unwrap();
+        assert_eq!(r.section_count(), 2);
+    }
+
+    #[test]
+    fn value_escaping_round_trips_backslashes() {
+        assert_eq!(unescape_value(&escape_value("a\\b\nc\rd")), "a\\b\nc\rd");
+        assert_eq!(unescape_value("trailing\\"), "trailing\\");
+        assert_eq!(unescape_value("\\q"), "\\q");
+    }
+
+    #[test]
+    fn header_uses_flow_ports_and_protocol() {
+        let f = FiveTuple::udp([1, 2, 3, 4], 53, [5, 6, 7, 8], 9999);
+        let q = Query::new(f);
+        assert!(encode_query(&q).starts_with("udp 53 9999"));
+    }
+}

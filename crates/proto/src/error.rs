@@ -1,0 +1,70 @@
+//! Error types for protocol parsing and framing.
+
+use std::fmt;
+
+/// Errors produced while parsing or framing ident++ protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// An IPv4 address string could not be parsed.
+    BadAddress(String),
+    /// An IP protocol keyword or number could not be parsed.
+    BadProtocol(String),
+    /// A port number could not be parsed.
+    BadPort(String),
+    /// The first line of a query/response (the `<PROTO> <SRC PORT> <DST PORT>`
+    /// header) is malformed.
+    BadHeader(String),
+    /// A key-value line does not contain the `:` separator.
+    BadKeyValue(String),
+    /// A key contains characters that are not allowed on the wire.
+    BadKey(String),
+    /// The message was empty or truncated.
+    Truncated,
+    /// A wire envelope frame was malformed.
+    BadFrame(String),
+    /// The message exceeds the maximum size accepted by the codec.
+    TooLarge { size: usize, limit: usize },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::BadAddress(s) => write!(f, "invalid IPv4 address: {s:?}"),
+            ProtoError::BadProtocol(s) => write!(f, "invalid IP protocol: {s:?}"),
+            ProtoError::BadPort(s) => write!(f, "invalid port number: {s:?}"),
+            ProtoError::BadHeader(s) => write!(f, "malformed message header: {s:?}"),
+            ProtoError::BadKeyValue(s) => write!(f, "malformed key-value line: {s:?}"),
+            ProtoError::BadKey(s) => write!(f, "invalid key: {s:?}"),
+            ProtoError::Truncated => write!(f, "message is empty or truncated"),
+            ProtoError::BadFrame(s) => write!(f, "malformed wire frame: {s}"),
+            ProtoError::TooLarge { size, limit } => {
+                write!(f, "message of {size} bytes exceeds limit of {limit} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtoError::BadAddress("1.2.3".into());
+        assert!(e.to_string().contains("1.2.3"));
+        let e = ProtoError::TooLarge {
+            size: 100,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ProtoError>();
+    }
+}

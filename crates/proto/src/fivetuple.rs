@@ -1,0 +1,415 @@
+//! Flow identification: IPv4 addresses, IP protocols, and the 5-tuple.
+//!
+//! ident++ defines a flow as the 5-tuple `{IP source, IP destination,
+//! IP protocol, transport source port, transport destination port}` (§2 of the
+//! paper). OpenFlow's 10-tuple (see `identxx-openflow`) is a superset of this
+//! definition.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ProtoError;
+
+/// An IPv4 address.
+///
+/// A small, `Copy`, dependency-free IPv4 address type. We deliberately do not
+/// use `std::net::Ipv4Addr` everywhere so that the simulator can treat
+/// addresses as plain `u32` values with cheap prefix arithmetic, but
+/// conversions to and from the standard type are provided.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr(0);
+    /// The limited broadcast address `255.255.255.255`.
+    pub const BROADCAST: Ipv4Addr = Ipv4Addr(u32::MAX);
+
+    /// Builds an address from four octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Returns the four octets of the address.
+    pub const fn octets(&self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// Returns the raw 32-bit representation.
+    pub const fn to_u32(&self) -> u32 {
+        self.0
+    }
+
+    /// True if `self` falls inside `network/prefix_len`.
+    ///
+    /// A prefix length of 0 matches every address; 32 requires equality.
+    pub fn in_prefix(&self, network: Ipv4Addr, prefix_len: u8) -> bool {
+        if prefix_len == 0 {
+            return true;
+        }
+        let prefix_len = prefix_len.min(32);
+        let mask: u32 = if prefix_len == 32 {
+            u32::MAX
+        } else {
+            !(u32::MAX >> prefix_len)
+        };
+        (self.0 & mask) == (network.0 & mask)
+    }
+}
+
+impl From<[u8; 4]> for Ipv4Addr {
+    fn from(o: [u8; 4]) -> Self {
+        Ipv4Addr::new(o[0], o[1], o[2], o[3])
+    }
+}
+
+impl From<u32> for Ipv4Addr {
+    fn from(v: u32) -> Self {
+        Ipv4Addr(v)
+    }
+}
+
+impl From<std::net::Ipv4Addr> for Ipv4Addr {
+    fn from(a: std::net::Ipv4Addr) -> Self {
+        Ipv4Addr::from(a.octets())
+    }
+}
+
+impl From<Ipv4Addr> for std::net::Ipv4Addr {
+    fn from(a: Ipv4Addr) -> Self {
+        let o = a.octets();
+        std::net::Ipv4Addr::new(o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Ipv4Addr {
+    type Err = ProtoError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('.');
+        let mut octets = [0u8; 4];
+        for octet in octets.iter_mut() {
+            let part = parts
+                .next()
+                .ok_or_else(|| ProtoError::BadAddress(s.to_string()))?;
+            *octet = part
+                .parse::<u8>()
+                .map_err(|_| ProtoError::BadAddress(s.to_string()))?;
+        }
+        if parts.next().is_some() {
+            return Err(ProtoError::BadAddress(s.to_string()));
+        }
+        Ok(Ipv4Addr::from(octets))
+    }
+}
+
+/// IP protocol numbers relevant to ident++.
+///
+/// The paper's flow definition only distinguishes TCP and UDP but the protocol
+/// field is carried verbatim, so unknown protocol numbers are preserved in
+/// [`IpProtocol::Other`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum IpProtocol {
+    /// Internet Control Message Protocol (protocol number 1).
+    Icmp,
+    /// Transmission Control Protocol (protocol number 6).
+    Tcp,
+    /// User Datagram Protocol (protocol number 17).
+    Udp,
+    /// Any other protocol, identified by its IANA protocol number.
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// The IANA protocol number.
+    pub const fn number(&self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(n) => *n,
+        }
+    }
+
+    /// Builds a protocol from its IANA number, canonicalizing the well-known
+    /// values.
+    pub const fn from_number(n: u8) -> Self {
+        match n {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+
+    /// The keyword used on the wire and in PF+=2 (`tcp`, `udp`, `icmp`, or the
+    /// decimal protocol number).
+    pub fn keyword(&self) -> String {
+        match self {
+            IpProtocol::Icmp => "icmp".to_string(),
+            IpProtocol::Tcp => "tcp".to_string(),
+            IpProtocol::Udp => "udp".to_string(),
+            IpProtocol::Other(n) => n.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.keyword())
+    }
+}
+
+impl FromStr for IpProtocol {
+    type Err = ProtoError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tcp" => Ok(IpProtocol::Tcp),
+            "udp" => Ok(IpProtocol::Udp),
+            "icmp" => Ok(IpProtocol::Icmp),
+            other => other
+                .parse::<u8>()
+                .map(IpProtocol::from_number)
+                .map_err(|_| ProtoError::BadProtocol(s.to_string())),
+        }
+    }
+}
+
+/// The source/destination address pair of a flow.
+///
+/// In the paper's transport the addresses are recovered from the IP header of
+/// the query packet (the controller spoofs the flow's destination address as
+/// the query source). When ident++ messages are carried over a real TCP
+/// connection this information must be carried out of band, which is what this
+/// type represents.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct FlowAddresses {
+    /// The flow's source IPv4 address.
+    pub src: Ipv4Addr,
+    /// The flow's destination IPv4 address.
+    pub dst: Ipv4Addr,
+}
+
+impl FlowAddresses {
+    /// Creates a new address pair.
+    pub fn new(src: impl Into<Ipv4Addr>, dst: impl Into<Ipv4Addr>) -> Self {
+        FlowAddresses {
+            src: src.into(),
+            dst: dst.into(),
+        }
+    }
+
+    /// Swaps source and destination (the reverse direction of the flow).
+    pub fn reversed(&self) -> Self {
+        FlowAddresses {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+}
+
+/// The ident++ 5-tuple flow identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// IP protocol.
+    pub protocol: IpProtocol,
+    /// Transport-layer source port (0 for protocols without ports).
+    pub src_port: u16,
+    /// Transport-layer destination port (0 for protocols without ports).
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// Creates a new 5-tuple.
+    pub fn new(
+        src_ip: impl Into<Ipv4Addr>,
+        src_port: u16,
+        dst_ip: impl Into<Ipv4Addr>,
+        dst_port: u16,
+        protocol: IpProtocol,
+    ) -> Self {
+        FiveTuple {
+            src_ip: src_ip.into(),
+            dst_ip: dst_ip.into(),
+            protocol,
+            src_port,
+            dst_port,
+        }
+    }
+
+    /// Convenience constructor for a TCP flow.
+    pub fn tcp(
+        src_ip: impl Into<Ipv4Addr>,
+        src_port: u16,
+        dst_ip: impl Into<Ipv4Addr>,
+        dst_port: u16,
+    ) -> Self {
+        FiveTuple::new(src_ip, src_port, dst_ip, dst_port, IpProtocol::Tcp)
+    }
+
+    /// Convenience constructor for a UDP flow.
+    pub fn udp(
+        src_ip: impl Into<Ipv4Addr>,
+        src_port: u16,
+        dst_ip: impl Into<Ipv4Addr>,
+        dst_port: u16,
+    ) -> Self {
+        FiveTuple::new(src_ip, src_port, dst_ip, dst_port, IpProtocol::Udp)
+    }
+
+    /// The address pair of this flow.
+    pub fn addresses(&self) -> FlowAddresses {
+        FlowAddresses {
+            src: self.src_ip,
+            dst: self.dst_ip,
+        }
+    }
+
+    /// The flow in the opposite direction (addresses and ports swapped).
+    ///
+    /// Stateful rules (`keep state` in PF+=2) admit reverse-direction traffic
+    /// of an allowed flow, which is expressed in terms of this value.
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            protocol: self.protocol,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// A canonical (direction-independent) form of the flow, useful as a map
+    /// key when both directions should share an entry.
+    pub fn canonical(&self) -> FiveTuple {
+        let fwd = (self.src_ip, self.src_port);
+        let rev = (self.dst_ip, self.dst_port);
+        if fwd <= rev {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{}",
+            self.protocol, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_octets_round_trip() {
+        let a = Ipv4Addr::new(192, 168, 42, 32);
+        assert_eq!(a.octets(), [192, 168, 42, 32]);
+        assert_eq!(a.to_string(), "192.168.42.32");
+        assert_eq!("192.168.42.32".parse::<Ipv4Addr>().unwrap(), a);
+    }
+
+    #[test]
+    fn ipv4_parse_rejects_garbage() {
+        assert!("192.168.1".parse::<Ipv4Addr>().is_err());
+        assert!("192.168.1.1.1".parse::<Ipv4Addr>().is_err());
+        assert!("300.1.1.1".parse::<Ipv4Addr>().is_err());
+        assert!("a.b.c.d".parse::<Ipv4Addr>().is_err());
+        assert!("".parse::<Ipv4Addr>().is_err());
+    }
+
+    #[test]
+    fn prefix_membership() {
+        let net = Ipv4Addr::new(192, 168, 0, 0);
+        assert!(Ipv4Addr::new(192, 168, 0, 17).in_prefix(net, 24));
+        assert!(Ipv4Addr::new(192, 168, 0, 255).in_prefix(net, 24));
+        assert!(!Ipv4Addr::new(192, 168, 1, 17).in_prefix(net, 24));
+        assert!(Ipv4Addr::new(192, 168, 1, 17).in_prefix(net, 16));
+        assert!(Ipv4Addr::new(8, 8, 8, 8).in_prefix(net, 0));
+        assert!(Ipv4Addr::new(192, 168, 0, 0).in_prefix(net, 32));
+        assert!(!Ipv4Addr::new(192, 168, 0, 1).in_prefix(net, 32));
+    }
+
+    #[test]
+    fn prefix_len_saturates_at_32() {
+        let net = Ipv4Addr::new(10, 0, 0, 1);
+        assert!(Ipv4Addr::new(10, 0, 0, 1).in_prefix(net, 200));
+        assert!(!Ipv4Addr::new(10, 0, 0, 2).in_prefix(net, 200));
+    }
+
+    #[test]
+    fn std_conversion_round_trips() {
+        let ours = Ipv4Addr::new(10, 1, 2, 3);
+        let std: std::net::Ipv4Addr = ours.into();
+        assert_eq!(std.octets(), [10, 1, 2, 3]);
+        assert_eq!(Ipv4Addr::from(std), ours);
+    }
+
+    #[test]
+    fn protocol_numbers() {
+        assert_eq!(IpProtocol::Tcp.number(), 6);
+        assert_eq!(IpProtocol::Udp.number(), 17);
+        assert_eq!(IpProtocol::Icmp.number(), 1);
+        assert_eq!(IpProtocol::from_number(6), IpProtocol::Tcp);
+        assert_eq!(IpProtocol::from_number(47), IpProtocol::Other(47));
+        assert_eq!(IpProtocol::Other(47).number(), 47);
+    }
+
+    #[test]
+    fn protocol_parse() {
+        assert_eq!("tcp".parse::<IpProtocol>().unwrap(), IpProtocol::Tcp);
+        assert_eq!("TCP".parse::<IpProtocol>().unwrap(), IpProtocol::Tcp);
+        assert_eq!("udp".parse::<IpProtocol>().unwrap(), IpProtocol::Udp);
+        assert_eq!("47".parse::<IpProtocol>().unwrap(), IpProtocol::Other(47));
+        assert!("sctp!".parse::<IpProtocol>().is_err());
+    }
+
+    #[test]
+    fn five_tuple_reverse_is_involution() {
+        let ft = FiveTuple::tcp([10, 0, 0, 1], 43211, [10, 0, 0, 2], 80);
+        assert_eq!(ft.reversed().reversed(), ft);
+        assert_ne!(ft.reversed(), ft);
+        assert_eq!(ft.reversed().src_port, 80);
+        assert_eq!(ft.reversed().dst_ip, Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn five_tuple_canonical_is_direction_independent() {
+        let ft = FiveTuple::tcp([10, 0, 0, 9], 5000, [10, 0, 0, 2], 80);
+        assert_eq!(ft.canonical(), ft.reversed().canonical());
+    }
+
+    #[test]
+    fn five_tuple_display() {
+        let ft = FiveTuple::udp([192, 168, 1, 1], 53, [192, 168, 1, 2], 5353);
+        assert_eq!(ft.to_string(), "udp 192.168.1.1:53 -> 192.168.1.2:5353");
+    }
+}

@@ -1,0 +1,308 @@
+//! Keys and values carried in ident++ responses.
+//!
+//! ident++ does not constrain the key vocabulary: "These pairs are mostly
+//! free-form and ident++ does not constrain the types that can be used" (§1).
+//! The paper does name a number of keys it expects to be commonly used, and
+//! those are collected in [`well_known`]. Administrators, users and
+//! application developers may define their own.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+use crate::error::ProtoError;
+
+/// Well-known key names used throughout the paper's examples.
+pub mod well_known {
+    /// The user ID of the user that initiated (source) or would receive
+    /// (destination) the flow.
+    pub const USER_ID: &str = "userID";
+    /// The group ID(s) of that user.
+    pub const GROUP_ID: &str = "groupID";
+    /// The short application name (`name` in the `@app` configuration blocks).
+    pub const APP_NAME: &str = "name";
+    /// Alias used in some controller rules (`app-name`).
+    pub const APP_NAME_ALT: &str = "app-name";
+    /// Hash of the executable image backing the flow's process.
+    pub const EXE_HASH: &str = "exe-hash";
+    /// Application version.
+    pub const VERSION: &str = "version";
+    /// Application vendor.
+    pub const VENDOR: &str = "vendor";
+    /// Application type (e.g. `voip`, `email-client`).
+    pub const APP_TYPE: &str = "type";
+    /// PF+=2 rules the end-host/user/third party wants enforced on its behalf.
+    pub const REQUIREMENTS: &str = "requirements";
+    /// Signature over (exe-hash, app-name, requirements).
+    pub const REQ_SIG: &str = "req-sig";
+    /// The identity of the third party that authored the requirements.
+    pub const RULE_MAKER: &str = "rule-maker";
+    /// Operating-system patch level (e.g. `MS08-067`), used by the Conficker
+    /// example (Fig. 8).
+    pub const OS_PATCH: &str = "os-patch";
+    /// Operating system name/version.
+    pub const OS: &str = "os";
+    /// The process ID associated with the flow on the answering host.
+    pub const PID: &str = "pid";
+    /// The full path of the executable image.
+    pub const EXE_PATH: &str = "exe-path";
+    /// Human-readable host name of the answering end-host.
+    pub const HOSTNAME: &str = "hostname";
+    /// Whether the flow was initiated by an explicit user action (e.g. a mouse
+    /// click in a browser) — provided dynamically by applications.
+    pub const USER_INITIATED: &str = "user-initiated";
+
+    /// All well-known keys (useful for building "ask for everything" queries).
+    pub const ALL: &[&str] = &[
+        USER_ID,
+        GROUP_ID,
+        APP_NAME,
+        EXE_HASH,
+        VERSION,
+        VENDOR,
+        APP_TYPE,
+        REQUIREMENTS,
+        REQ_SIG,
+        RULE_MAKER,
+        OS_PATCH,
+        OS,
+        PID,
+        EXE_PATH,
+        HOSTNAME,
+        USER_INITIATED,
+    ];
+}
+
+/// A key in an ident++ response.
+///
+/// Keys are free-form tokens. To keep the line-oriented wire format
+/// unambiguous a key may not contain `:`/newline characters or leading or
+/// trailing whitespace; [`Key::new`] enforces this.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(String);
+
+impl Key {
+    /// Creates a key, validating that it is representable on the wire.
+    pub fn new(name: impl Into<String>) -> Result<Self, ProtoError> {
+        let name = name.into();
+        if !Self::is_valid(&name) {
+            return Err(ProtoError::BadKey(name));
+        }
+        Ok(Key(name))
+    }
+
+    /// Creates a key without validation. Panics (in debug builds) if the key
+    /// is not valid; intended for string literals.
+    pub fn literal(name: &str) -> Self {
+        debug_assert!(Self::is_valid(name), "invalid key literal: {name:?}");
+        Key(name.to_string())
+    }
+
+    /// Whether `name` is a syntactically valid key.
+    pub fn is_valid(name: &str) -> bool {
+        !name.is_empty()
+            && name.len() <= 256
+            && !name.contains(':')
+            && !name.contains('\n')
+            && !name.contains('\r')
+            && name.trim() == name
+    }
+
+    /// The key text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({})", self.0)
+    }
+}
+
+impl Borrow<str> for Key {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Key {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::str::FromStr for Key {
+    type Err = ProtoError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Key::new(s)
+    }
+}
+
+impl PartialEq<str> for Key {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Key {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+/// A value in an ident++ response.
+///
+/// Values are free-form text. Newlines inside values are escaped on the wire
+/// (the paper's examples use `\`-continuation for multi-line `requirements`
+/// values; our codec folds continuations back into a single value).
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Value(String);
+
+impl Value {
+    /// Creates a value from text.
+    pub fn new(text: impl Into<String>) -> Self {
+        Value(text.into())
+    }
+
+    /// The value text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Attempts to interpret the value as a signed integer (used by the
+    /// numeric comparison functions `gt`, `lt`, `gte`, `lte` in PF+=2).
+    pub fn as_i64(&self) -> Option<i64> {
+        self.0.trim().parse::<i64>().ok()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Value({})", self.0)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::new(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value(v.to_string())
+    }
+}
+
+impl AsRef<str> for Value {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+/// A single key-value pair.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct KeyValue {
+    /// The key.
+    pub key: Key,
+    /// The value.
+    pub value: Value,
+}
+
+impl KeyValue {
+    /// Creates a pair from anything convertible to a key and value.
+    pub fn new(key: impl AsRef<str>, value: impl Into<Value>) -> Result<Self, ProtoError> {
+        Ok(KeyValue {
+            key: Key::new(key.as_ref())?,
+            value: value.into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_keys() {
+        assert!(Key::new("userID").is_ok());
+        assert!(Key::new("exe-hash").is_ok());
+        assert!(Key::new("os patch level").is_ok()); // inner spaces are fine
+        assert!(Key::new("x").is_ok());
+    }
+
+    #[test]
+    fn invalid_keys() {
+        assert!(Key::new("").is_err());
+        assert!(Key::new("a:b").is_err());
+        assert!(Key::new("a\nb").is_err());
+        assert!(Key::new(" padded").is_err());
+        assert!(Key::new("padded ").is_err());
+        assert!(Key::new("x".repeat(300)).is_err());
+    }
+
+    #[test]
+    fn key_comparisons() {
+        let k = Key::new("userID").unwrap();
+        assert_eq!(k, "userID");
+        assert_eq!(k.as_str(), "userID");
+        assert_eq!(k.to_string(), "userID");
+    }
+
+    #[test]
+    fn value_numeric_interpretation() {
+        assert_eq!(Value::new("210").as_i64(), Some(210));
+        assert_eq!(Value::new(" -3 ").as_i64(), Some(-3));
+        assert_eq!(Value::new("2.1.0").as_i64(), None);
+        assert_eq!(Value::new("skype").as_i64(), None);
+        assert_eq!(Value::from(42).as_i64(), Some(42));
+    }
+
+    #[test]
+    fn well_known_keys_are_valid() {
+        for k in well_known::ALL {
+            assert!(Key::is_valid(k), "well-known key {k} must be valid");
+        }
+    }
+
+    #[test]
+    fn key_value_constructor_validates() {
+        assert!(KeyValue::new("name", "skype").is_ok());
+        assert!(KeyValue::new("bad:key", "x").is_err());
+    }
+}

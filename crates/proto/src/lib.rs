@@ -1,0 +1,60 @@
+//! # identxx-proto — the ident++ wire protocol
+//!
+//! This crate implements the query/response protocol described in §2 and §3.2
+//! of *"Delegating Network Security with More Information"* (Naous et al.,
+//! WREN'09). The protocol is a richer, more flexible descendant of the
+//! Identification Protocol (RFC 1413):
+//!
+//! * A **query** carries a flow's 5-tuple and a list of *key hints* the
+//!   controller is interested in.
+//! * A **response** carries the same 5-tuple and a list of key-value pairs
+//!   split into blank-line-delimited **sections**. Each section corresponds to
+//!   a different information source (the user, the application, the local
+//!   administrator, or an on-path controller that augmented the response).
+//!
+//! The crate provides:
+//!
+//! * [`FiveTuple`], [`IpProtocol`] — flow identification,
+//! * [`Key`], [`Value`], [`well_known`] — the key-value vocabulary,
+//! * [`Query`], [`Response`], [`Section`] — protocol messages,
+//! * [`codec`] — text serialization / parsing of the paper's wire format,
+//! * [`wire`] — a framed envelope used when the messages travel over a real
+//!   TCP connection (where, unlike the paper's raw-IP transport, the flow
+//!   addresses cannot be recovered from the IP header and must be carried
+//!   explicitly).
+//!
+//! ## Example
+//!
+//! ```
+//! use identxx_proto::{FiveTuple, Query, Response, Section, well_known};
+//!
+//! let flow = FiveTuple::tcp([10, 0, 0, 1], 43211, [10, 0, 0, 2], 80);
+//! let query = Query::new(flow).with_key(well_known::USER_ID).with_key(well_known::APP_NAME);
+//! assert_eq!(query.keys().len(), 2);
+//!
+//! let mut response = Response::new(flow);
+//! let mut section = Section::new();
+//! section.push(well_known::USER_ID, "alice");
+//! section.push(well_known::APP_NAME, "firefox");
+//! response.push_section(section);
+//!
+//! assert_eq!(response.latest(well_known::APP_NAME), Some("firefox"));
+//! let text = identxx_proto::codec::encode_response(&response);
+//! let parsed = identxx_proto::codec::decode_response(&text, flow.addresses()).unwrap();
+//! assert_eq!(parsed, response);
+//! ```
+
+pub mod codec;
+pub mod error;
+pub mod fivetuple;
+pub mod keys;
+pub mod query;
+pub mod response;
+pub mod wire;
+
+pub use error::ProtoError;
+pub use fivetuple::{FiveTuple, FlowAddresses, IpProtocol, Ipv4Addr};
+pub use keys::{well_known, Key, KeyValue, Value};
+pub use query::Query;
+pub use response::{Response, Section};
+pub use wire::{WireMessage, IDENTXX_PORT};

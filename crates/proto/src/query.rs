@@ -1,0 +1,96 @@
+//! ident++ query messages.
+
+use crate::fivetuple::FiveTuple;
+use crate::keys::Key;
+
+/// An ident++ query.
+///
+/// A query asks the ident++ daemon on an end-host (or an on-path controller
+/// intercepting the query) for information about a flow. The flow is
+/// identified by its 5-tuple; the listed keys are only a *hint* — "The list of
+/// keys in the query packet only provide a hint for what the controller needs.
+/// The response may contain additional unsolicited key-value pairs" (§3.2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Query {
+    /// The flow this query is about.
+    pub flow: FiveTuple,
+    /// The keys the querier is interested in (a hint, possibly empty).
+    keys: Vec<Key>,
+}
+
+impl Query {
+    /// Creates a query about `flow` with no key hints.
+    pub fn new(flow: FiveTuple) -> Self {
+        Query {
+            flow,
+            keys: Vec::new(),
+        }
+    }
+
+    /// Creates a query asking for every well-known key.
+    pub fn for_all_well_known(flow: FiveTuple) -> Self {
+        let mut q = Query::new(flow);
+        for k in crate::keys::well_known::ALL {
+            q.keys.push(Key::literal(k));
+        }
+        q
+    }
+
+    /// Adds a key hint (builder style). Invalid keys are silently skipped —
+    /// hints are advisory and must never make a query unsendable.
+    pub fn with_key(mut self, key: &str) -> Self {
+        if let Ok(k) = Key::new(key) {
+            self.keys.push(k);
+        }
+        self
+    }
+
+    /// Adds a key hint in place.
+    pub fn push_key(&mut self, key: Key) {
+        self.keys.push(key);
+    }
+
+    /// The key hints carried by this query.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Whether a particular key was requested.
+    pub fn requests(&self, key: &str) -> bool {
+        self.keys.iter().any(|k| k.as_str() == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::well_known;
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([10, 0, 0, 1], 4000, [10, 0, 0, 2], 80)
+    }
+
+    #[test]
+    fn builder_accumulates_keys() {
+        let q = Query::new(flow())
+            .with_key(well_known::USER_ID)
+            .with_key(well_known::APP_NAME);
+        assert_eq!(q.keys().len(), 2);
+        assert!(q.requests(well_known::USER_ID));
+        assert!(!q.requests(well_known::EXE_HASH));
+    }
+
+    #[test]
+    fn invalid_hints_are_skipped() {
+        let q = Query::new(flow()).with_key("bad:key").with_key("ok");
+        assert_eq!(q.keys().len(), 1);
+        assert!(q.requests("ok"));
+    }
+
+    #[test]
+    fn all_well_known_query() {
+        let q = Query::for_all_well_known(flow());
+        assert_eq!(q.keys().len(), well_known::ALL.len());
+        assert!(q.requests(well_known::REQ_SIG));
+    }
+}

@@ -1,0 +1,295 @@
+//! ident++ response messages: sections of key-value pairs.
+
+use crate::fivetuple::FiveTuple;
+use crate::keys::{Key, KeyValue, Value};
+
+/// One section of an ident++ response.
+///
+/// "The list is broken up into sections delineated by empty lines. New
+/// sections correspond to key-value pairs from different sources" (§3.2) — a
+/// section may come from the user, the application, the local administrator,
+/// or an on-path controller augmenting the response.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Section {
+    pairs: Vec<KeyValue>,
+}
+
+impl Section {
+    /// Creates an empty section.
+    pub fn new() -> Self {
+        Section::default()
+    }
+
+    /// Creates a section from an iterator of `(key, value)` string pairs,
+    /// skipping pairs whose key is invalid.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, &'a str)>) -> Self {
+        let mut s = Section::new();
+        for (k, v) in pairs {
+            s.push(k, v);
+        }
+        s
+    }
+
+    /// Appends a key-value pair. Invalid keys are skipped (a daemon must never
+    /// fail to answer because one configuration entry is malformed) and the
+    /// skip is indicated by the `bool` return.
+    pub fn push(&mut self, key: impl AsRef<str>, value: impl Into<Value>) -> bool {
+        match Key::new(key.as_ref()) {
+            Ok(k) => {
+                self.pairs.push(KeyValue {
+                    key: k,
+                    value: value.into(),
+                });
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Appends an already-validated pair.
+    pub fn push_pair(&mut self, pair: KeyValue) {
+        self.pairs.push(pair);
+    }
+
+    /// The pairs in this section, in insertion order.
+    pub fn pairs(&self) -> &[KeyValue] {
+        &self.pairs
+    }
+
+    /// The last value recorded for `key` in this section, if any.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|kv| kv.key.as_str() == key)
+            .map(|kv| &kv.value)
+    }
+
+    /// Whether the section carries no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of pairs in the section.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// An ident++ response: the flow's 5-tuple plus a list of sections.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Response {
+    /// The flow this response describes.
+    pub flow: FiveTuple,
+    sections: Vec<Section>,
+}
+
+impl Response {
+    /// Creates a response with no sections.
+    pub fn new(flow: FiveTuple) -> Self {
+        Response {
+            flow,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section. Empty sections are dropped (they would be invisible
+    /// on the wire anyway, since sections are blank-line delimited).
+    pub fn push_section(&mut self, section: Section) {
+        if !section.is_empty() {
+            self.sections.push(section);
+        }
+    }
+
+    /// Builder-style [`Response::push_section`].
+    pub fn with_section(mut self, section: Section) -> Self {
+        self.push_section(section);
+        self
+    }
+
+    /// The sections of the response, oldest (originating end-host) first.
+    ///
+    /// Controllers augmenting a response append sections at the end, so later
+    /// sections are "closer" to the querier and considered more trusted.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// The **latest** value for `key` across all sections.
+    ///
+    /// "indexing the dictionaries will give the latest value added to the
+    /// response. The latest value is the most trusted (though not necessarily
+    /// the most trustworthy) because a controller can overwrite or modify any
+    /// responses that it sees" (§3.3). This is the semantics of `@src[key]` /
+    /// `@dst[key]` in PF+=2.
+    pub fn latest(&self, key: &str) -> Option<&str> {
+        self.sections
+            .iter()
+            .rev()
+            .find_map(|s| s.get(key))
+            .map(Value::as_str)
+    }
+
+    /// Every value recorded for `key`, in section order (oldest first).
+    pub fn all(&self, key: &str) -> Vec<&str> {
+        self.sections
+            .iter()
+            .flat_map(|s| s.pairs())
+            .filter(|kv| kv.key.as_str() == key)
+            .map(|kv| kv.value.as_str())
+            .collect()
+    }
+
+    /// The concatenation of every value for `key` across all sections,
+    /// separated by a single space.
+    ///
+    /// This is the semantics of `*@src[key]` in PF+=2: "returns a
+    /// concatenation of the values in all sections of the response packet. The
+    /// concatenated value can be used to check if a series of endorsements
+    /// (such as a network path) was followed or if a value changed between
+    /// networks" (§3.3).
+    pub fn concatenated(&self, key: &str) -> Option<String> {
+        let all = self.all(key);
+        if all.is_empty() {
+            None
+        } else {
+            Some(all.join(" "))
+        }
+    }
+
+    /// All keys present anywhere in the response (deduplicated, first-seen
+    /// order).
+    pub fn keys(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for s in &self.sections {
+            for kv in s.pairs() {
+                if !seen.contains(&kv.key.as_str()) {
+                    seen.push(kv.key.as_str());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of sections.
+    pub fn section_count(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Whether the response carries no information at all.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Total number of key-value pairs across all sections.
+    pub fn pair_count(&self) -> usize {
+        self.sections.iter().map(Section::len).sum()
+    }
+
+    /// Augments the response in place, as an on-path controller does: "the
+    /// controller inserts an empty line followed by the key-value pairs it
+    /// wishes to add" (§3.4). This is simply an appended section.
+    pub fn augment(&mut self, section: Section) {
+        self.push_section(section);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::well_known;
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([10, 0, 0, 1], 4000, [10, 0, 0, 2], 80)
+    }
+
+    fn sample() -> Response {
+        let mut r = Response::new(flow());
+        let mut s1 = Section::new();
+        s1.push(well_known::USER_ID, "alice");
+        s1.push(well_known::APP_NAME, "skype");
+        s1.push(well_known::VERSION, "210");
+        r.push_section(s1);
+        let mut s2 = Section::new();
+        s2.push(well_known::USER_ID, "branch-gw");
+        s2.push("site", "barcelona");
+        r.push_section(s2);
+        r
+    }
+
+    #[test]
+    fn latest_prefers_last_section() {
+        let r = sample();
+        assert_eq!(r.latest(well_known::USER_ID), Some("branch-gw"));
+        assert_eq!(r.latest(well_known::APP_NAME), Some("skype"));
+        assert_eq!(r.latest("missing"), None);
+    }
+
+    #[test]
+    fn latest_prefers_last_pair_within_section() {
+        let mut r = Response::new(flow());
+        let mut s = Section::new();
+        s.push("k", "first");
+        s.push("k", "second");
+        r.push_section(s);
+        assert_eq!(r.latest("k"), Some("second"));
+    }
+
+    #[test]
+    fn concatenated_joins_all_sections() {
+        let r = sample();
+        assert_eq!(
+            r.concatenated(well_known::USER_ID).as_deref(),
+            Some("alice branch-gw")
+        );
+        assert_eq!(r.concatenated("missing"), None);
+        assert_eq!(r.concatenated("site").as_deref(), Some("barcelona"));
+    }
+
+    #[test]
+    fn empty_sections_are_dropped() {
+        let mut r = Response::new(flow());
+        r.push_section(Section::new());
+        assert!(r.is_empty());
+        assert_eq!(r.section_count(), 0);
+    }
+
+    #[test]
+    fn augmentation_appends_section() {
+        let mut r = sample();
+        let before = r.section_count();
+        let mut extra = Section::new();
+        extra.push("branch-accepts", "tcp 80 443");
+        r.augment(extra);
+        assert_eq!(r.section_count(), before + 1);
+        assert_eq!(r.latest("branch-accepts"), Some("tcp 80 443"));
+    }
+
+    #[test]
+    fn keys_are_deduplicated_in_order() {
+        let r = sample();
+        let keys = r.keys();
+        assert_eq!(
+            keys,
+            vec![
+                well_known::USER_ID,
+                well_known::APP_NAME,
+                well_known::VERSION,
+                "site"
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_keys_are_skipped_by_push() {
+        let mut s = Section::new();
+        assert!(!s.push("bad:key", "x"));
+        assert!(s.push("good", "x"));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn pair_count_sums_sections() {
+        assert_eq!(sample().pair_count(), 5);
+    }
+}

@@ -1,0 +1,221 @@
+//! Framed wire envelope for carrying ident++ messages over byte streams.
+//!
+//! The paper transports queries and responses as raw IP packets whose headers
+//! carry the flow addresses (the querying controller even spoofs the flow's
+//! destination address as the query source, §3.2). When the protocol runs
+//! over an ordinary TCP connection — as the reference `identd`-style daemon on
+//! port 783 does — the flow addresses must be carried explicitly. This module
+//! defines that envelope:
+//!
+//! ```text
+//! IDENT++/1 <QUERY|RESPONSE> <flow-src-ip> <flow-dst-ip> <body-length>\n
+//! <body bytes...>
+//! ```
+//!
+//! The body is exactly the paper's text format as produced by [`crate::codec`].
+
+use crate::codec;
+use crate::error::ProtoError;
+use crate::fivetuple::{FlowAddresses, Ipv4Addr};
+use crate::query::Query;
+use crate::response::Response;
+
+/// The TCP port the ident++ daemon listens on (§2: "end-hosts run an ident++
+/// daemon as a server that receives queries on TCP port 783").
+pub const IDENTXX_PORT: u16 = 783;
+
+/// Protocol magic / version token at the start of every frame.
+pub const MAGIC: &str = "IDENT++/1";
+
+/// A framed ident++ message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireMessage {
+    /// A query from a controller to an end-host (or intercepting controller).
+    Query(Query),
+    /// A response from an end-host or on-path controller.
+    Response(Response),
+}
+
+impl WireMessage {
+    /// The flow addresses carried in the envelope.
+    pub fn addresses(&self) -> FlowAddresses {
+        match self {
+            WireMessage::Query(q) => q.flow.addresses(),
+            WireMessage::Response(r) => r.flow.addresses(),
+        }
+    }
+
+    /// Encodes the message into a self-delimiting frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, body, addrs) = match self {
+            WireMessage::Query(q) => ("QUERY", codec::encode_query(q), q.flow.addresses()),
+            WireMessage::Response(r) => {
+                ("RESPONSE", codec::encode_response(r), r.flow.addresses())
+            }
+        };
+        let header = format!(
+            "{MAGIC} {kind} {} {} {}\n",
+            addrs.src,
+            addrs.dst,
+            body.len()
+        );
+        let mut out = Vec::with_capacity(header.len() + body.len());
+        out.extend_from_slice(header.as_bytes());
+        out.extend_from_slice(body.as_bytes());
+        out
+    }
+
+    /// Attempts to decode one frame from the start of `buf`.
+    ///
+    /// Returns `Ok(None)` if the buffer does not yet contain a complete frame
+    /// (the caller should read more bytes), or `Ok(Some((message, consumed)))`
+    /// with the number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<Option<(WireMessage, usize)>, ProtoError> {
+        let newline = match buf.iter().position(|&b| b == b'\n') {
+            Some(p) => p,
+            None => {
+                // Guard against a header that never terminates.
+                if buf.len() > 512 {
+                    return Err(ProtoError::BadFrame("unterminated frame header".into()));
+                }
+                return Ok(None);
+            }
+        };
+        let header = std::str::from_utf8(&buf[..newline])
+            .map_err(|_| ProtoError::BadFrame("header is not UTF-8".into()))?;
+        let mut parts = header.split_whitespace();
+        let magic = parts.next().unwrap_or_default();
+        if magic != MAGIC {
+            return Err(ProtoError::BadFrame(format!("bad magic {magic:?}")));
+        }
+        let kind = parts
+            .next()
+            .ok_or_else(|| ProtoError::BadFrame("missing message kind".into()))?;
+        let src: Ipv4Addr = parts
+            .next()
+            .ok_or_else(|| ProtoError::BadFrame("missing source address".into()))?
+            .parse()?;
+        let dst: Ipv4Addr = parts
+            .next()
+            .ok_or_else(|| ProtoError::BadFrame("missing destination address".into()))?
+            .parse()?;
+        let len: usize = parts
+            .next()
+            .ok_or_else(|| ProtoError::BadFrame("missing body length".into()))?
+            .parse()
+            .map_err(|_| ProtoError::BadFrame("bad body length".into()))?;
+        if parts.next().is_some() {
+            return Err(ProtoError::BadFrame("trailing tokens in header".into()));
+        }
+        if len > codec::MAX_MESSAGE_SIZE {
+            return Err(ProtoError::TooLarge {
+                size: len,
+                limit: codec::MAX_MESSAGE_SIZE,
+            });
+        }
+        let body_start = newline + 1;
+        if buf.len() < body_start + len {
+            return Ok(None);
+        }
+        let body = std::str::from_utf8(&buf[body_start..body_start + len])
+            .map_err(|_| ProtoError::BadFrame("body is not UTF-8".into()))?;
+        let addrs = FlowAddresses { src, dst };
+        let msg = match kind {
+            "QUERY" => WireMessage::Query(codec::decode_query(body, addrs)?),
+            "RESPONSE" => WireMessage::Response(codec::decode_response(body, addrs)?),
+            other => return Err(ProtoError::BadFrame(format!("unknown kind {other:?}"))),
+        };
+        Ok(Some((msg, body_start + len)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fivetuple::FiveTuple;
+    use crate::keys::well_known;
+    use crate::response::Section;
+
+    fn flow() -> FiveTuple {
+        FiveTuple::tcp([10, 9, 8, 7], 50000, [10, 1, 1, 1], 25)
+    }
+
+    fn sample_response() -> Response {
+        let mut r = Response::new(flow());
+        let mut s = Section::new();
+        s.push(well_known::USER_ID, "alice");
+        s.push(well_known::APP_NAME, "thunderbird");
+        r.push_section(s);
+        r
+    }
+
+    #[test]
+    fn query_frame_round_trip() {
+        let msg = WireMessage::Query(Query::new(flow()).with_key(well_known::USER_ID));
+        let bytes = msg.encode();
+        let (decoded, used) = WireMessage::decode(&bytes).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn response_frame_round_trip() {
+        let msg = WireMessage::Response(sample_response());
+        let bytes = msg.encode();
+        let (decoded, used) = WireMessage::decode(&bytes).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more_data() {
+        let msg = WireMessage::Response(sample_response());
+        let bytes = msg.encode();
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert_eq!(WireMessage::decode(&bytes[..cut]).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_sequentially() {
+        let q = WireMessage::Query(Query::new(flow()));
+        let r = WireMessage::Response(sample_response());
+        let mut bytes = q.encode();
+        bytes.extend_from_slice(&r.encode());
+        let (first, used) = WireMessage::decode(&bytes).unwrap().unwrap();
+        assert_eq!(first, q);
+        let (second, used2) = WireMessage::decode(&bytes[used..]).unwrap().unwrap();
+        assert_eq!(second, r);
+        assert_eq!(used + used2, bytes.len());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_kind() {
+        assert!(WireMessage::decode(b"NOPE QUERY 1.1.1.1 2.2.2.2 0\n").is_err());
+        assert!(WireMessage::decode(b"IDENT++/1 FROB 1.1.1.1 2.2.2.2 0\n").is_err());
+        assert!(WireMessage::decode(b"IDENT++/1 QUERY 1.1.1.1 2.2.2.2 huge\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_declared_length() {
+        let hdr = format!("IDENT++/1 QUERY 1.1.1.1 2.2.2.2 {}\n", usize::MAX / 2);
+        assert!(matches!(
+            WireMessage::decode(hdr.as_bytes()),
+            Err(ProtoError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unterminated_header_eventually() {
+        let junk = vec![b'x'; 1024];
+        assert!(WireMessage::decode(&junk).is_err());
+        // A short prefix without newline is just "need more data".
+        assert_eq!(WireMessage::decode(&junk[..100]).unwrap(), None);
+    }
+
+    #[test]
+    fn addresses_come_from_envelope() {
+        let msg = WireMessage::Query(Query::new(flow()));
+        assert_eq!(msg.addresses(), flow().addresses());
+    }
+}

@@ -1,0 +1,62 @@
+//! The deployment-shaped transport: an ident++ daemon served over a real TCP
+//! socket (tokio) and a controller-side client querying it, exactly as a
+//! firewall would query port 783 on an end-host.
+//!
+//! Run with: `cargo run --example live_daemon`
+
+use identxx::daemon::Daemon;
+use identxx::hostmodel::{Executable, Host};
+use identxx::net::{query_daemon, DaemonServer};
+use identxx::prelude::*;
+
+#[tokio::main(flavor = "current_thread")]
+async fn main() {
+    // The end-host: alice runs thunderbird toward a mail server.
+    let mut daemon = Daemon::bare(Host::new("laptop-alice", Ipv4Addr::new(10, 0, 0, 7)));
+    let thunderbird =
+        Executable::new("/usr/bin/thunderbird", "thunderbird", 78, "mozilla", "email-client");
+    let flow = daemon.host_mut().open_connection(
+        "alice",
+        thunderbird,
+        40123,
+        Ipv4Addr::new(10, 0, 0, 25),
+        25,
+    );
+
+    // In a deployment the daemon binds 0.0.0.0:783; the example uses an
+    // ephemeral localhost port so it can run unprivileged.
+    let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .expect("bind daemon server");
+    println!("ident++ daemon listening on {}", server.local_addr());
+
+    // The controller side: query the daemon about the flow.
+    let query = Query::new(flow)
+        .with_key(well_known::USER_ID)
+        .with_key(well_known::APP_NAME)
+        .with_key(well_known::EXE_HASH);
+    let response = query_daemon(server.local_addr(), query)
+        .await
+        .expect("query should not error")
+        .expect("daemon should answer");
+
+    println!("response for {flow}:");
+    for section in response.sections() {
+        println!("  --- section ---");
+        for pair in section.pairs() {
+            println!("  {}: {}", pair.key, pair.value);
+        }
+    }
+
+    // Feed the response into a PF+=2 policy, exactly as the controller would.
+    let policy = parse_ruleset(
+        "block all\npass all with eq(@src[name], thunderbird) with eq(@src[userID], alice)\n",
+    )
+    .unwrap();
+    let verdict = EvalContext::new(&policy)
+        .with_src_response(&response)
+        .evaluate(&flow);
+    println!("\npolicy verdict for the flow: {:?}", verdict.decision);
+
+    server.shutdown();
+}

@@ -1,0 +1,50 @@
+//! # identxx — a reproduction of "Delegating Network Security with More Information"
+//!
+//! This is the umbrella crate of the workspace: it re-exports every component
+//! of the ident++ reproduction (Naous, Stutsman, Mazières, McKeown, Zeldovich —
+//! WREN/SIGCOMM 2009) so applications can depend on a single crate.
+//!
+//! * [`proto`] — the ident++ query/response wire protocol,
+//! * [`crypto`] — hashing and the toy signature scheme behind `verify`,
+//! * [`pf`] — the PF+=2 policy language (lexer, parser, evaluator, state),
+//! * [`netsim`] — the discrete-event network simulation substrate,
+//! * [`openflow`] — the OpenFlow-style switching substrate,
+//! * [`hostmodel`] — simulated end-hosts (users, processes, sockets, configs),
+//! * [`daemon`] — the end-host ident++ daemon,
+//! * [`controller`] — the ident++ OpenFlow controller,
+//! * [`baselines`] — vanilla firewall / Ethane / distributed-firewall
+//!   comparison points,
+//! * [`net`] — the tokio TCP transport for the wire protocol,
+//! * [`core`] — the high-level [`core::EnterpriseNetwork`] API and the
+//!   executable reproductions of the paper's Figures 2–8.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! substitutions, and `EXPERIMENTS.md` for the experiment index and results.
+
+pub use identxx_baselines as baselines;
+pub use identxx_controller as controller;
+pub use identxx_core as core;
+pub use identxx_crypto as crypto;
+pub use identxx_daemon as daemon;
+pub use identxx_hostmodel as hostmodel;
+pub use identxx_net as net;
+pub use identxx_netsim as netsim;
+pub use identxx_openflow as openflow;
+pub use identxx_pf as pf;
+pub use identxx_proto as proto;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use identxx_core::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_high_level_api() {
+        use crate::prelude::*;
+        let policy = "block all\npass all with eq(@src[name], firefox) keep state\n";
+        let net = EnterpriseNetwork::star(3, policy).unwrap();
+        assert_eq!(net.host_addrs().len(), 3);
+    }
+}

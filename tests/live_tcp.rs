@@ -1,0 +1,99 @@
+//! End-to-end test over real TCP sockets: ident++ daemons served by tokio,
+//! queried by a controller-side client, with the responses fed into the PF+=2
+//! policy — the deployment-shaped path of the system.
+
+use identxx::daemon::Daemon;
+use identxx::hostmodel::{Executable, Host};
+use identxx::net::{query_daemon, DaemonServer};
+use identxx::prelude::*;
+
+#[tokio::test]
+async fn controller_queries_both_ends_over_tcp_and_enforces_policy() {
+    // Source host: alice runs skype.
+    let mut src_daemon = Daemon::bare(Host::new("laptop", Ipv4Addr::new(10, 0, 0, 1)));
+    let flow = src_daemon.host_mut().open_connection(
+        "alice",
+        Executable::new("/usr/bin/skype", "skype", 210, "skype.com", "voip"),
+        40321,
+        Ipv4Addr::new(10, 0, 0, 2),
+        34000,
+    );
+    // Destination host: bob's machine also runs skype, listening.
+    let mut dst_daemon = Daemon::bare(Host::new("desktop", Ipv4Addr::new(10, 0, 0, 2)));
+    let pid = dst_daemon.host_mut().spawn(
+        "bob",
+        Executable::new("/usr/bin/skype", "skype", 210, "skype.com", "voip"),
+    );
+    dst_daemon.host_mut().listen(pid, IpProtocol::Tcp, 34000);
+
+    let src_server = DaemonServer::start(src_daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+    let dst_server = DaemonServer::start(dst_daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+
+    // The controller queries both ends (over real sockets).
+    let src_resp = query_daemon(src_server.local_addr(), Query::for_all_well_known(flow))
+        .await
+        .unwrap()
+        .expect("source daemon answers");
+    let dst_resp = query_daemon(dst_server.local_addr(), Query::for_all_well_known(flow))
+        .await
+        .unwrap()
+        .expect("destination daemon answers");
+    assert_eq!(src_resp.latest(well_known::USER_ID), Some("alice"));
+    assert_eq!(dst_resp.latest(well_known::USER_ID), Some("bob"));
+
+    // The Fig. 2 skype rule evaluated over the live responses.
+    let policy = parse_ruleset(
+        "block all\npass all with eq(@src[name], skype) with eq(@dst[name], skype)\n",
+    )
+    .unwrap();
+    let verdict = EvalContext::new(&policy)
+        .with_responses(&src_resp, &dst_resp)
+        .evaluate(&flow);
+    assert_eq!(verdict.decision, Decision::Pass);
+
+    // A flow toward a port nobody listens on yields no application identity on
+    // the destination side, so the same policy blocks it.
+    let other_flow = FiveTuple::tcp([10, 0, 0, 1], 40999, [10, 0, 0, 2], 9999);
+    let other_dst = query_daemon(dst_server.local_addr(), Query::new(other_flow))
+        .await
+        .unwrap()
+        .expect("daemon answers with host facts");
+    assert_eq!(other_dst.latest(well_known::APP_NAME), None);
+    let verdict = EvalContext::new(&policy)
+        .with_responses(&src_resp, &other_dst)
+        .evaluate(&other_flow);
+    assert_eq!(verdict.decision, Decision::Block);
+
+    src_server.shutdown();
+    dst_server.shutdown();
+}
+
+#[tokio::test]
+async fn concurrent_queries_are_served() {
+    let mut daemon = Daemon::bare(Host::new("server", Ipv4Addr::new(10, 0, 0, 5)));
+    let exe = Executable::new("/usr/sbin/httpd", "httpd", 2, "apache", "web-server");
+    let pid = daemon.host_mut().spawn("www", exe);
+    daemon.host_mut().listen(pid, IpProtocol::Tcp, 80);
+    let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+    let addr = server.local_addr();
+
+    let mut handles = Vec::new();
+    for i in 0..16u16 {
+        let flow = FiveTuple::tcp([10, 0, 1, (i % 250) as u8 + 1], 41000 + i, [10, 0, 0, 5], 80);
+        handles.push(tokio::spawn(async move {
+            query_daemon(addr, Query::new(flow)).await.unwrap().unwrap()
+        }));
+    }
+    for handle in handles {
+        let response = handle.await.unwrap();
+        assert_eq!(response.latest(well_known::APP_NAME), Some("httpd"));
+        assert_eq!(response.latest(well_known::USER_ID), Some("www"));
+    }
+    server.shutdown();
+}

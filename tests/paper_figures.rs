@@ -1,0 +1,135 @@
+//! Integration tests reproducing the paper's figures end to end
+//! (daemon → controller → PF+=2 → OpenFlow installation).
+
+use identxx::core::figures::{
+    figure2_skype, figure45_research, figure67_secur, figure8_conficker,
+};
+use identxx::core::scenario::render_table;
+use identxx::prelude::*;
+
+#[test]
+fn figure1_flow_setup_sequence() {
+    // Fig. 1: packet-in → ident++ queries to both ends → decision → entries
+    // installed along the path → packet proceeds to destination.
+    let policy = "block all\npass all with eq(@src[name], firefox) keep state\n";
+    let config = ControllerConfig::new().with_control_file("00.control", policy);
+    let mut net = EnterpriseNetwork::chain(3, config).unwrap();
+    let client = Ipv4Addr::new(10, 0, 0, 1);
+    let server = Ipv4Addr::new(10, 0, 1, 1);
+    let flow = net.start_app(client, server, 80, "alice", firefox_app());
+
+    // Step 1-2: first packet misses and reaches the controller.
+    let outcome = net.deliver_first_packet(&flow, 0);
+    assert!(outcome.delivered, "approved packet must reach the server");
+    // Step 3: both ends were queried.
+    assert_eq!(outcome.queries_issued, 2);
+    // Step 4: entries were installed along the path, in both directions, on
+    // all three switches.
+    assert_eq!(outcome.entries_installed, 6);
+    assert_eq!(outcome.switches_traversed, 3);
+
+    // The installed entries serve the reverse direction without another
+    // packet-in.
+    let audit_before = net.controller().audit().len();
+    let reverse = net.deliver_first_packet(&flow.reversed(), 50);
+    assert!(reverse.delivered);
+    assert_eq!(net.controller().audit().len(), audit_before);
+
+    // The timed simulation reports a setup latency strictly larger than the
+    // cached data-path latency, dominated by the ident++ round trips.
+    let fresh = net.start_app(client, server, 8080, "alice", firefox_app());
+    let report = net.simulate_flow_setup(&fresh).unwrap();
+    assert_eq!(report.decision, Decision::Pass);
+    assert!(report.setup_latency_us > report.cached_latency_us);
+    assert_eq!(report.ident_exchanges, 4);
+    assert!(report.openflow_messages >= 1 + 6);
+}
+
+#[test]
+fn figure2_and_3_skype_policy() {
+    let scenario = figure2_skype();
+    assert!(
+        scenario.all_match(),
+        "figure 2/3 decisions diverge from the paper:\n{}",
+        render_table(&scenario.flows)
+    );
+    // The three .control files were concatenated in alphabetical order.
+    assert_eq!(
+        scenario
+            .network
+            .controller()
+            .config()
+            .control_files
+            .control_file_names(),
+        vec![
+            "00-local-header.control",
+            "50-skype.control",
+            "99-local-footer.control"
+        ]
+    );
+}
+
+#[test]
+fn figure4_and_5_research_delegation() {
+    let scenario = figure45_research();
+    assert!(
+        scenario.all_match(),
+        "figure 4/5 decisions diverge from the paper:\n{}",
+        render_table(&scenario.flows)
+    );
+}
+
+#[test]
+fn figure6_and_7_secur_trust_delegation() {
+    let scenario = figure67_secur();
+    assert!(
+        scenario.all_match(),
+        "figure 6/7 decisions diverge from the paper:\n{}",
+        render_table(&scenario.flows)
+    );
+    // The audit log records which decisions relied on Secur's rules, so the
+    // administrator can later revoke that trust.
+    assert!(scenario
+        .network
+        .controller()
+        .audit()
+        .by_rule_maker("Secur")
+        .count() >= 1);
+}
+
+#[test]
+fn figure8_conficker_mitigation() {
+    let scenario = figure8_conficker();
+    assert!(
+        scenario.all_match(),
+        "figure 8 decisions diverge from the paper:\n{}",
+        render_table(&scenario.flows)
+    );
+}
+
+#[test]
+fn revoking_the_secur_delegation_blocks_future_flows() {
+    // §1: the administrator can "override, audit, and revoke the delegation
+    // when necessary". Remove Secur's .control file and previously allowed
+    // thunderbird traffic stops.
+    let mut scenario = figure67_secur();
+    let allowed_before: Vec<_> = scenario
+        .flows
+        .iter()
+        .filter(|f| f.actual == Decision::Pass)
+        .map(|f| f.flow)
+        .collect();
+    assert!(!allowed_before.is_empty());
+    scenario
+        .network
+        .controller_mut()
+        .remove_control_file("30-secur.control")
+        .unwrap();
+    for flow in allowed_before {
+        assert_eq!(
+            scenario.network.decide(&flow).verdict.decision,
+            Decision::Block,
+            "flow {flow} should be blocked after revoking Secur's rules"
+        );
+    }
+}

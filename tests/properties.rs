@@ -1,0 +1,201 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: protocol round-trips, PF+=2 evaluation invariants, flow-table
+//! matching against a reference matcher, state-table symmetry, and signature
+//! unforgeability under mutation.
+
+use proptest::prelude::*;
+
+use identxx::crypto::{sign_bundle, verify_bundle, KeyPair};
+use identxx::openflow::{FlowEntry, FlowMatch, FlowTable, OfAction, PacketHeader};
+use identxx::pf::{parse_ruleset, Decision, EvalContext, StateTable};
+use identxx::prelude::*;
+use identxx::proto::codec;
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_protocol() -> impl Strategy<Value = IpProtocol> {
+    prop_oneof![
+        Just(IpProtocol::Tcp),
+        Just(IpProtocol::Udp),
+        Just(IpProtocol::Icmp),
+        any::<u8>().prop_map(IpProtocol::from_number),
+    ]
+}
+
+fn arb_flow() -> impl Strategy<Value = FiveTuple> {
+    (arb_ip(), any::<u16>(), arb_ip(), any::<u16>(), arb_protocol())
+        .prop_map(|(src, sp, dst, dp, proto)| FiveTuple::new(src, sp, dst, dp, proto))
+}
+
+/// Keys valid on the wire: non-empty printable tokens without ':' or newlines.
+fn arb_key() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_-]{0,24}"
+}
+
+/// Values: printable-ish text possibly containing spaces, newlines, and
+/// backslashes (which must survive escaping).
+fn arb_value() -> impl Strategy<Value = String> {
+    "[ -~\n\\\\]{0,60}"
+}
+
+fn arb_section() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((arb_key(), arb_value()), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn response_codec_round_trips(flow in arb_flow(), sections in prop::collection::vec(arb_section(), 0..4)) {
+        let mut response = Response::new(flow);
+        for section_pairs in &sections {
+            let mut section = Section::new();
+            for (k, v) in section_pairs {
+                section.push(k, v.as_str());
+            }
+            response.push_section(section);
+        }
+        let text = codec::encode_response(&response);
+        let decoded = codec::decode_response(&text, flow.addresses()).unwrap();
+        // Values survive the wire exactly, except trailing whitespace on a
+        // value line (trimmed by the line-oriented format) — compare through
+        // the accessor used by the policy engine.
+        prop_assert_eq!(decoded.section_count(), response.section_count());
+        for key in response.keys() {
+            let sent: Vec<String> = response.all(key).iter().map(|v| v.trim_end().to_string()).collect();
+            let got: Vec<String> = decoded.all(key).iter().map(|v| v.trim_end().to_string()).collect();
+            prop_assert_eq!(sent, got, "key {}", key);
+        }
+    }
+
+    #[test]
+    fn query_codec_round_trips(flow in arb_flow(), keys in prop::collection::vec(arb_key(), 0..10)) {
+        let mut query = Query::new(flow);
+        for k in &keys {
+            query = query.with_key(k);
+        }
+        let text = codec::encode_query(&query);
+        let decoded = codec::decode_query(&text, flow.addresses()).unwrap();
+        prop_assert_eq!(decoded, query);
+    }
+
+    #[test]
+    fn five_tuple_reverse_and_canonical_invariants(flow in arb_flow()) {
+        prop_assert_eq!(flow.reversed().reversed(), flow);
+        prop_assert_eq!(flow.canonical(), flow.reversed().canonical());
+        prop_assert_eq!(flow.canonical().canonical(), flow.canonical());
+    }
+
+    #[test]
+    fn adding_a_non_matching_rule_never_changes_the_decision(
+        flow in arb_flow(),
+        port in 1u16..65535,
+    ) {
+        // Base policy decides something about the flow.
+        let base = parse_ruleset("block all\npass all with eq(@src[name], firefox)\n").unwrap();
+        let mut src = Response::new(flow);
+        let mut s = Section::new();
+        s.push("name", "firefox");
+        src.push_section(s);
+        let dst = Response::new(flow);
+        let base_decision = EvalContext::new(&base).with_responses(&src, &dst).evaluate(&flow).decision;
+
+        // Append a rule that cannot match this flow (different destination port).
+        prop_assume!(port != flow.dst_port);
+        let extended_text = format!(
+            "block all\npass all with eq(@src[name], firefox)\nblock from any to any port {port}\n"
+        );
+        let extended = parse_ruleset(&extended_text).unwrap();
+        let new_decision = EvalContext::new(&extended).with_responses(&src, &dst).evaluate(&flow).decision;
+        prop_assert_eq!(base_decision, new_decision);
+    }
+
+    #[test]
+    fn quick_rule_short_circuits(flow in arb_flow(), extra_rules in 1usize..50) {
+        let mut policy = String::from("pass quick all\n");
+        for i in 0..extra_rules {
+            policy.push_str(&format!("block all with eq(@src[name], app-{i})\n"));
+        }
+        let rs = parse_ruleset(&policy).unwrap();
+        let verdict = EvalContext::new(&rs).evaluate(&flow);
+        prop_assert_eq!(verdict.decision, Decision::Pass);
+        prop_assert!(verdict.quick);
+        prop_assert_eq!(verdict.rules_evaluated, 1);
+    }
+
+    #[test]
+    fn flow_table_exact_entry_matches_only_its_flow(flow in arb_flow(), other in arb_flow()) {
+        let mut table = FlowTable::new();
+        table.install(FlowEntry::new(FlowMatch::exact_five_tuple(&flow), 10, OfAction::Output(1)), 0);
+        let hit = table.peek(&PacketHeader::from_flow(&flow, 1));
+        prop_assert_eq!(hit, Some(OfAction::Output(1)));
+        let other_hit = table.peek(&PacketHeader::from_flow(&other, 1));
+        if other == flow {
+            prop_assert_eq!(other_hit, Some(OfAction::Output(1)));
+        } else {
+            prop_assert_eq!(other_hit, None);
+        }
+    }
+
+    #[test]
+    fn flow_table_agrees_with_reference_matcher(
+        flows in prop::collection::vec(arb_flow(), 1..20),
+        probe in arb_flow(),
+    ) {
+        // Install exact entries for every flow; the table must report a hit
+        // exactly when a linear scan over the set would.
+        let mut table = FlowTable::new();
+        for f in &flows {
+            table.install(FlowEntry::new(FlowMatch::exact_five_tuple(f), 10, OfAction::Output(1)), 0);
+        }
+        let table_hit = table.peek(&PacketHeader::from_flow(&probe, 1)).is_some();
+        let reference_hit = flows.iter().any(|f| *f == probe);
+        prop_assert_eq!(table_hit, reference_hit);
+    }
+
+    #[test]
+    fn state_table_is_direction_symmetric(flow in arb_flow(), now in 0u64..1_000_000) {
+        let mut state = StateTable::new();
+        state.insert(&flow, Decision::Pass, now);
+        prop_assert!(state.contains(&flow, now + 1));
+        prop_assert!(state.contains(&flow.reversed(), now + 1));
+        state.remove(&flow.reversed());
+        prop_assert!(!state.contains(&flow, now + 1));
+    }
+
+    #[test]
+    fn signatures_reject_any_mutation(
+        seed in prop::collection::vec(any::<u8>(), 1..16),
+        items in prop::collection::vec("[ -~]{0,40}", 1..4),
+        mutate_index in any::<prop::sample::Index>(),
+    ) {
+        let keypair = KeyPair::from_seed(&seed);
+        let sig = sign_bundle(&keypair, &items);
+        prop_assert!(verify_bundle(&sig, &keypair.public(), &items));
+
+        // Mutate one item; verification must fail.
+        let idx = mutate_index.index(items.len());
+        let mut tampered = items.clone();
+        tampered[idx] = format!("{}!", tampered[idx]);
+        prop_assert!(!verify_bundle(&sig, &keypair.public(), &tampered));
+
+        // A different key must also fail.
+        let other = KeyPair::from_seed(b"someone else entirely");
+        prop_assume!(other.public() != keypair.public());
+        prop_assert!(!verify_bundle(&sig, &other.public(), &items));
+    }
+
+    #[test]
+    fn sha256_hex_is_stable_and_collision_free_on_distinct_inputs(
+        a in prop::collection::vec(any::<u8>(), 0..200),
+        b in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let ha = identxx::crypto::sha256_hex(&a);
+        prop_assert_eq!(ha.clone(), identxx::crypto::sha256_hex(&a));
+        if a != b {
+            prop_assert_ne!(ha, identxx::crypto::sha256_hex(&b));
+        }
+    }
+}

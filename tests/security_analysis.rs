@@ -1,0 +1,150 @@
+//! §5 security analysis: what an attacker gains by compromising each component
+//! of an ident++-protected network, compared against the baselines' failure
+//! modes.
+
+use identxx::baselines::{DistributedFirewall, FlowClassifier};
+use identxx::hostmodel::Executable;
+use identxx::prelude::*;
+
+const POLICY: &str = "\
+block all
+pass all with eq(@src[userID], system) with eq(@src[name], backupd) keep state
+pass all with eq(@src[name], firefox) keep state
+";
+
+fn network(hosts: usize) -> EnterpriseNetwork {
+    EnterpriseNetwork::star_with_config(
+        hosts,
+        ControllerConfig::new().with_control_file("00.control", POLICY),
+    )
+    .unwrap()
+}
+
+fn malware() -> Executable {
+    Executable::new("/tmp/worm", "worm", 1, "unknown", "worm")
+}
+
+#[test]
+fn uncompromised_network_blocks_the_attacker() {
+    let mut net = network(6);
+    let hosts = net.host_addrs();
+    let flow = net.start_app(hosts[0], hosts[1], 445, "mallory", malware());
+    assert!(!net.decide(&flow).is_pass());
+    assert!(!net.deliver_first_packet(&flow, 0).delivered);
+}
+
+#[test]
+fn compromised_controller_disables_all_protection() {
+    // §5.1: "If the controller is compromised, an attacker can disable all
+    // protection in the network."
+    let mut net = network(6);
+    let hosts = net.host_addrs();
+    net.controller_mut().set_compromised(true);
+    let flow = net.start_app(hosts[0], hosts[1], 445, "mallory", malware());
+    assert!(net.decide(&flow).is_pass());
+}
+
+#[test]
+fn compromised_switch_passes_traffic_but_not_other_switches() {
+    // §5.2: compromising a single switch disables the protection it affords,
+    // but other switches keep enforcing.
+    let config = ControllerConfig::new().with_control_file("00.control", POLICY);
+    let mut net = EnterpriseNetwork::chain(3, config).unwrap();
+    let client = Ipv4Addr::new(10, 0, 0, 1);
+    let server = Ipv4Addr::new(10, 0, 1, 1);
+
+    // With only the first switch compromised, the packet is forwarded there
+    // without consulting the controller, but the next (honest) switch misses,
+    // asks the controller, and the flow is blocked.
+    let first_switch = *net.switches().keys().next().unwrap();
+    net.switch_mut(first_switch).unwrap().set_compromised(true);
+    let flow = net.start_app(client, server, 445, "mallory", malware());
+    let outcome = net.deliver_first_packet(&flow, 0);
+    assert!(!outcome.delivered);
+
+    // With every switch on the path compromised the worm flow sails through —
+    // the data plane no longer enforces anything.
+    let all: Vec<_> = net.switches().keys().copied().collect();
+    for id in all {
+        net.switch_mut(id).unwrap().set_compromised(true);
+    }
+    let flow2 = net.start_app(client, server, 446, "mallory", malware());
+    assert!(net.deliver_first_packet(&flow2, 10).delivered);
+}
+
+#[test]
+fn compromised_end_host_gains_only_what_its_claims_grant() {
+    // §5.3: a compromised end-host controls its daemon and can send false
+    // responses — it gains the privileges of whatever it claims to be, but
+    // other accounts/hosts are not affected and the audit trail persists.
+    let mut net = network(8);
+    let hosts = net.host_addrs();
+    // The attacker's daemon claims to be the system backup service.
+    net.daemon_mut(hosts[0]).unwrap().set_forged_response(Some(vec![
+        ("userID".to_string(), "system".to_string()),
+        ("name".to_string(), "backupd".to_string()),
+    ]));
+    let forged = FiveTuple::tcp(hosts[0], 50000, hosts[1], 445);
+    assert!(net.decide(&forged).is_pass(), "forged identity is accepted (first line of defense only)");
+
+    // Another (honest) host running the worm is still blocked: one compromise
+    // does not become a network-wide bypass.
+    let honest_flow = net.start_app(hosts[2], hosts[1], 445, "mallory", malware());
+    assert!(!net.decide(&honest_flow).is_pass());
+
+    // The administrator can revoke everything the compromised host was
+    // granted once the compromise is discovered.
+    let revoked = net
+        .controller_mut()
+        .revoke_where(|r| r.flow.src_ip == hosts[0]);
+    assert!(!revoked.is_empty());
+}
+
+#[test]
+fn compromised_user_application_is_confined_to_that_user() {
+    // §5.4: "compromising one user account does not allow the attacker to
+    // abuse another user's privileges". Policy: only alice may use the
+    // reporting tool toward the finance server.
+    let policy = "block all\npass all with eq(@src[userID], alice) with eq(@src[name], reporter) keep state\n";
+    let mut net = EnterpriseNetwork::star_with_config(
+        6,
+        ControllerConfig::new().with_control_file("00.control", policy),
+    )
+    .unwrap();
+    let hosts = net.host_addrs();
+    let reporter = Executable::new("/usr/bin/reporter", "reporter", 2, "corp", "reporting");
+
+    // A process compromised while running under bob's account can masquerade
+    // as the reporter application, but it still reports bob's user id (the
+    // daemon derives it from the process table, not from the application).
+    let bob_flow = net.start_app(hosts[1], hosts[0], 9000, "bob", reporter.clone());
+    assert!(!net.decide(&bob_flow).is_pass());
+
+    // alice's own use is unaffected.
+    let alice_flow = net.start_app(hosts[2], hosts[0], 9000, "alice", reporter);
+    assert!(net.decide(&alice_flow).is_pass());
+}
+
+#[test]
+fn distributed_firewall_comparison_loses_everything_on_receiver_compromise() {
+    // §6: "a compromised end-host effectively has no protection" under
+    // distributed firewalls, whereas ident++ keeps enforcement in the network.
+    let mut dfw = DistributedFirewall::new();
+    let victim = Ipv4Addr::new(10, 0, 0, 2);
+    dfw.manage_host(victim, &[80]);
+    let attack = FiveTuple::tcp([10, 0, 0, 9], 1, victim, 445);
+    assert!(!dfw.allow(&attack));
+    dfw.set_compromised(victim, true);
+    assert!(dfw.allow(&attack), "distributed firewall collapses with its host");
+
+    // ident++: compromising the victim does not change what the *network*
+    // lets the attacker send to it (the policy here blocks the worm port for
+    // everyone regardless of what the victim's daemon says).
+    let mut net = network(6);
+    let hosts = net.host_addrs();
+    net.daemon_mut(hosts[1])
+        .unwrap()
+        .set_forged_response(Some(vec![("name".to_string(), "backupd".to_string())]));
+    let flow = net.start_app(hosts[0], hosts[1], 445, "mallory", malware());
+    assert!(!net.decide(&flow).is_pass());
+}
