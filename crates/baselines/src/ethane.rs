@@ -195,7 +195,10 @@ mod tests {
     #[test]
     fn bindings_can_be_updated() {
         let mut c = controller();
-        assert_eq!(c.binding(Ipv4Addr::new(10, 0, 0, 9)).unwrap().group, "employees");
+        assert_eq!(
+            c.binding(Ipv4Addr::new(10, 0, 0, 9)).unwrap().group,
+            "employees"
+        );
         assert!(c.unbind(Ipv4Addr::new(10, 0, 0, 9)).is_some());
         assert!(c.binding(Ipv4Addr::new(10, 0, 0, 9)).is_none());
         // After unbinding, the host is unregistered and denied.

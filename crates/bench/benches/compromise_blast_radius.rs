@@ -28,7 +28,13 @@ fn build_network(hosts: usize) -> EnterpriseNetwork {
         ControllerConfig::new().with_control_file("00.control", POLICY),
     )
     .unwrap();
-    let server_exe = Executable::new("/win/services.exe", "Server", 6, "microsoft", "file-service");
+    let server_exe = Executable::new(
+        "/win/services.exe",
+        "Server",
+        6,
+        "microsoft",
+        "file-service",
+    );
     for addr in net.host_addrs() {
         net.run_service(addr, "system", server_exe.clone(), SENSITIVE_PORT);
     }
@@ -69,7 +75,10 @@ fn print_blast_radius_table() {
     let host_count = 20;
     let total_victims = host_count - 1;
     println!("\n# E6: blast radius after compromise (victims reachable on port {SENSITIVE_PORT}, out of {total_victims})");
-    println!("{:<42} {:>10} {:>14}", "scenario", "ident++", "distributed-fw");
+    println!(
+        "{:<42} {:>10} {:>14}",
+        "scenario", "ident++", "distributed-fw"
+    );
 
     // Distributed firewall baseline: every host enforces "only port 22 from
     // anywhere" (i.e. the sensitive port is closed); a compromised receiver
@@ -108,10 +117,12 @@ fn print_blast_radius_table() {
     // Scenario 2: one end-host compromised (attacker's own machine, daemon
     // forges responses claiming to be the backup service).
     let mut net = build_network(host_count);
-    net.daemon_mut(attacker).unwrap().set_forged_response(Some(vec![
-        ("userID".to_string(), "system".to_string()),
-        ("name".to_string(), "backupd".to_string()),
-    ]));
+    net.daemon_mut(attacker)
+        .unwrap()
+        .set_forged_response(Some(vec![
+            ("userID".to_string(), "system".to_string()),
+            ("name".to_string(), "backupd".to_string()),
+        ]));
     let mut dfw = build_dfw(&[attacker]);
     println!(
         "{:<42} {:>10} {:>14}",
@@ -125,10 +136,9 @@ fn print_blast_radius_table() {
     // network still blocks the attacker's flows to everyone.
     let victim = hosts[1];
     let mut net = build_network(host_count);
-    net.daemon_mut(victim).unwrap().set_forged_response(Some(vec![(
-        "name".to_string(),
-        "Server".to_string(),
-    )]));
+    net.daemon_mut(victim)
+        .unwrap()
+        .set_forged_response(Some(vec![("name".to_string(), "Server".to_string())]));
     let mut dfw = build_dfw(&[victim]);
     println!(
         "{:<42} {:>10} {:>14}",
@@ -155,7 +165,13 @@ fn print_blast_radius_table() {
                 .daemon_mut(attacker)
                 .unwrap()
                 .host_mut()
-                .open_connection("mallory", malware.clone(), 52000 + i as u16, *victim, SENSITIVE_PORT);
+                .open_connection(
+                    "mallory",
+                    malware.clone(),
+                    52000 + i as u16,
+                    *victim,
+                    SENSITIVE_PORT,
+                );
             if net.deliver_first_packet(&flow, 0).delivered {
                 reached += 1;
             }

@@ -36,7 +36,8 @@ fn bench_crypto(c: &mut Criterion) {
     // allowed(), compared to a plain eq() decision.
     let flow = FiveTuple::tcp([10, 0, 0, 1], 45000, [10, 0, 0, 2], 7000);
     let requirements = "block all\npass from any to any port 7000";
-    let sig = identxx_crypto::sign_bundle_hex(&keypair, &["cafebabe", "research-app", requirements]);
+    let sig =
+        identxx_crypto::sign_bundle_hex(&keypair, &["cafebabe", "research-app", requirements]);
     let mut dst = Response::new(flow);
     let mut s = Section::new();
     s.push("exe-hash", "cafebabe");

@@ -36,15 +36,25 @@ fn bench_policy_scaling(c: &mut Criterion) {
     let (src, dst) = responses(flow);
 
     println!("\n# E8a: rules evaluated per decision vs policy size (last-match vs quick)");
-    println!("{:>8} {:>18} {:>18}", "rules", "evaluated(last)", "evaluated(quick)");
+    println!(
+        "{:>8} {:>18} {:>18}",
+        "rules", "evaluated(last)", "evaluated(quick)"
+    );
     for n in [10usize, 100, 1_000, 10_000] {
         let last = parse_ruleset(&build_policy(n, false)).unwrap();
         let quick = parse_ruleset(&build_policy(n, true)).unwrap();
-        let v_last = EvalContext::new(&last).with_responses(&src, &dst).evaluate(&flow);
-        let v_quick = EvalContext::new(&quick).with_responses(&src, &dst).evaluate(&flow);
+        let v_last = EvalContext::new(&last)
+            .with_responses(&src, &dst)
+            .evaluate(&flow);
+        let v_quick = EvalContext::new(&quick)
+            .with_responses(&src, &dst)
+            .evaluate(&flow);
         assert_eq!(v_last.decision, Decision::Pass);
         assert_eq!(v_quick.decision, Decision::Pass);
-        println!("{:>8} {:>18} {:>18}", n, v_last.rules_evaluated, v_quick.rules_evaluated);
+        println!(
+            "{:>8} {:>18} {:>18}",
+            n, v_last.rules_evaluated, v_quick.rules_evaluated
+        );
     }
 
     let mut group = c.benchmark_group("policy_evaluation");

@@ -34,12 +34,16 @@ fn bench_codec(c: &mut Criterion) {
     for pairs in [8usize, 32, 128] {
         let response = sample_response(pairs);
         let text = codec::encode_response(&response);
-        group.bench_with_input(BenchmarkId::new("encode_response", pairs), &pairs, |b, _| {
-            b.iter(|| codec::encode_response(&response))
-        });
-        group.bench_with_input(BenchmarkId::new("decode_response", pairs), &pairs, |b, _| {
-            b.iter(|| codec::decode_response(&text, flow.addresses()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode_response", pairs),
+            &pairs,
+            |b, _| b.iter(|| codec::encode_response(&response)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_response", pairs),
+            &pairs,
+            |b, _| b.iter(|| codec::decode_response(&text, flow.addresses()).unwrap()),
+        );
     }
     group.finish();
 

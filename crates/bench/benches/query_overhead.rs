@@ -41,11 +41,7 @@ fn run_workload(flow_count: usize, locality: f64, seed: u64) -> (f64, u64, usize
         net.decide(&flow.five_tuple);
     }
     let audit = net.controller().audit();
-    (
-        audit.cache_hit_ratio(),
-        audit.total_queries(),
-        flows.len(),
-    )
+    (audit.cache_hit_ratio(), audit.total_queries(), flows.len())
 }
 
 fn bench_query_overhead(c: &mut Criterion) {

@@ -64,7 +64,11 @@ impl ControllerConfig {
     }
 
     /// Adds a trusted public key by name (builder style).
-    pub fn with_trusted_key(mut self, name: impl Into<String>, key: identxx_crypto::PublicKey) -> Self {
+    pub fn with_trusted_key(
+        mut self,
+        name: impl Into<String>,
+        key: identxx_crypto::PublicKey,
+    ) -> Self {
         self.trusted_keys.insert(name, key);
         self
     }

@@ -3,9 +3,7 @@
 use identxx_pf::{Decision, EvalContext, PfError, RuleSet, StateTable, Verdict};
 use identxx_proto::{well_known, FiveTuple, Response};
 
-use identxx_openflow::{
-    ControllerDirective, FlowMod, OpenFlowController, PacketIn,
-};
+use identxx_openflow::{ControllerDirective, FlowMod, OpenFlowController, PacketIn};
 
 use crate::audit::{AuditLog, AuditRecord};
 use crate::config::ControllerConfig;
@@ -326,7 +324,7 @@ impl IdentxxController {
             dst_app: latest(&dst_response, well_known::APP_NAME),
             rule_maker: latest(&src_response, well_known::RULE_MAKER)
                 .or_else(|| latest(&dst_response, well_known::RULE_MAKER)),
-            queries_issued: queries_issued as u32,
+            queries_issued,
         });
 
         FlowDecision {
@@ -335,7 +333,7 @@ impl IdentxxController {
             src_response,
             dst_response,
             from_cache: false,
-            queries_issued: queries_issued as u32,
+            queries_issued,
             flow_mods,
         }
     }
@@ -458,7 +456,8 @@ mod tests {
             "table <server> {{ {} }}\ntable <lan> {{ 10.0.0.0/16 }}\nblock all\n",
             addrs[0]
         );
-        let skype_policy = "pass all with eq(@src[name], skype) with eq(@dst[name], skype) keep state\n";
+        let skype_policy =
+            "pass all with eq(@src[name], skype) with eq(@dst[name], skype) keep state\n";
         let footer = "block all with eq(@src[name], skype) with lt(@src[version], 200)\nblock from any to <server> with eq(@src[name], skype)\n";
         let config = ControllerConfig::new()
             .with_control_file("00-local-header.control", header)
@@ -473,7 +472,12 @@ mod tests {
         (controller, addrs)
     }
 
-    fn start_skype(controller: &mut IdentxxController, src: Ipv4Addr, dst: Ipv4Addr, version: i64) -> FiveTuple {
+    fn start_skype(
+        controller: &mut IdentxxController,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        version: i64,
+    ) -> FiveTuple {
         let flow = controller
             .daemons_mut()
             .get_mut(src)
@@ -564,7 +568,10 @@ mod tests {
             .map(|h| topology.node(*h).unwrap().addr)
             .collect();
         let config = ControllerConfig::new()
-            .with_control_file("00.control", "block all\npass all with eq(@src[name], skype) keep state\n")
+            .with_control_file(
+                "00.control",
+                "block all\npass all with eq(@src[name], skype) keep state\n",
+            )
             .without_state_table();
         let mut controller = IdentxxController::new(config).unwrap();
         for addr in &addrs {
@@ -655,7 +662,10 @@ mod tests {
         assert!(controller.remove_control_file("50-skype.control").unwrap());
         let decision = controller.decide(&flow, 10);
         assert!(!decision.is_pass());
-        assert!(!decision.from_cache, "cache must be cleared on policy change");
+        assert!(
+            !decision.from_cache,
+            "cache must be cleared on policy change"
+        );
         // Updating a file also recompiles.
         controller
             .update_control_file("50-skype.control", "pass all keep state\n")

@@ -12,9 +12,7 @@
 use std::collections::BTreeMap;
 
 use identxx_netsim::{NodeId, NodeKind, RoutingTable, Topology};
-use identxx_openflow::{
-    FlowEntry, FlowMatch, FlowMod, MacAddr, OfAction, PortNo, SwitchId,
-};
+use identxx_openflow::{FlowEntry, FlowMatch, FlowMod, MacAddr, OfAction, PortNo, SwitchId};
 use identxx_proto::FiveTuple;
 
 /// The controller's view of the network: topology, routes, and the identity of
@@ -139,12 +137,9 @@ impl NetworkMap {
         match self.switch_hops(flow) {
             Some(hops) if !hops.is_empty() => {
                 let (switch, _) = hops[0];
-                let entry = FlowEntry::new(
-                    FlowMatch::exact_five_tuple(flow),
-                    priority,
-                    OfAction::Drop,
-                )
-                .with_idle_timeout(idle_timeout);
+                let entry =
+                    FlowEntry::new(FlowMatch::exact_five_tuple(flow), priority, OfAction::Drop)
+                        .with_idle_timeout(idle_timeout);
                 vec![FlowMod::add(switch, entry)]
             }
             _ => Vec::new(),
@@ -192,9 +187,7 @@ mod tests {
         assert!(mods.iter().all(|m| m.command == FlowModCommand::Add));
         let forward_matches = mods
             .iter()
-            .filter(|m| {
-                m.entry.as_ref().unwrap().flow_match == FlowMatch::exact_five_tuple(&flow)
-            })
+            .filter(|m| m.entry.as_ref().unwrap().flow_match == FlowMatch::exact_five_tuple(&flow))
             .count();
         assert_eq!(forward_matches, 4);
         // Every entry forwards (no drops).

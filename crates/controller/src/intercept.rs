@@ -149,7 +149,8 @@ impl ResponseAugmenter for PrefixAugmenter {
     ) -> Option<Section> {
         // Only augment the destination-side response for flows headed into the
         // branch's prefix.
-        if target != QueryTarget::Destination || !flow.dst_ip.in_prefix(self.network, self.prefix_len)
+        if target != QueryTarget::Destination
+            || !flow.dst_ip.in_prefix(self.network, self.prefix_len)
         {
             return None;
         }
@@ -182,7 +183,11 @@ mod tests {
         );
         assert_eq!(interceptor.name(), "legacy-hosts");
         let answered = interceptor
-            .answer_for(Ipv4Addr::new(10, 2, 0, 7), &flow(), QueryTarget::Destination)
+            .answer_for(
+                Ipv4Addr::new(10, 2, 0, 7),
+                &flow(),
+                QueryTarget::Destination,
+            )
             .unwrap();
         assert_eq!(answered.latest("name"), Some("legacy-service"));
         assert!(interceptor

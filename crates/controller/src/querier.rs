@@ -110,9 +110,9 @@ mod tests {
         let mut dir = DaemonDirectory::new();
         let mut d = daemon_at([10, 0, 0, 1]);
         let exe = Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser");
-        let flow = d
-            .host_mut()
-            .open_connection("alice", exe, 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let flow =
+            d.host_mut()
+                .open_connection("alice", exe, 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
         dir.register(d);
         dir.register(daemon_at([10, 0, 0, 2]));
         assert_eq!(dir.len(), 2);

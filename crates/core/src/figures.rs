@@ -91,7 +91,8 @@ pub fn figure2_skype() -> FigureScenario {
     // Note: the installed version is reported by the OS lookup (it differs
     // per host), so the static configuration carries only version-independent
     // pairs; a later section would otherwise shadow the real version.
-    let skype_daemon_conf = "@app /usr/bin/skype {\nname : skype\nvendor : skype.com\ntype : voip\n}\n";
+    let skype_daemon_conf =
+        "@app /usr/bin/skype {\nname : skype\nvendor : skype.com\ntype : voip\n}\n";
     for addr in &hosts[1..] {
         let daemon = network.daemon_mut(*addr).unwrap();
         daemon
@@ -106,36 +107,78 @@ pub fn figure2_skype() -> FigureScenario {
     // Outbound browsing to the Internet: allowed by the outbound rule.
     let firefox = crate::firefox_app();
     let f = network.start_app(hosts[1], internet, 443, "alice", firefox);
-    check(&mut network, &mut flows, "firefox → internet:443 (outbound)", f, Decision::Pass);
+    check(
+        &mut network,
+        &mut flows,
+        "firefox → internet:443 (outbound)",
+        f,
+        Decision::Pass,
+    );
 
     // An approved internal app ("http" is in the $allowed macro).
     let http_app = Executable::new("/usr/bin/http", "http", 2, "apache.org", "web-server");
     let f = network.start_app(hosts[2], hosts[3], 8080, "bob", http_app);
-    check(&mut network, &mut flows, "http app → internal host (approved apps)", f, Decision::Pass);
+    check(
+        &mut network,
+        &mut flows,
+        "http app → internal host (approved apps)",
+        f,
+        Decision::Pass,
+    );
 
     // Skype to skype between two LAN hosts.
     network.run_service(hosts[4], "carol", skype_app(210), 34000);
     let f = network.start_app(hosts[3], hosts[4], 34000, "bob", skype_app(210));
-    check(&mut network, &mut flows, "skype → skype (both ends current)", f, Decision::Pass);
+    check(
+        &mut network,
+        &mut flows,
+        "skype → skype (both ends current)",
+        f,
+        Decision::Pass,
+    );
 
     // Skype contacting its update server on port 80.
     let f = network.start_app(hosts[3], update_server, 80, "bob", skype_app(210));
-    check(&mut network, &mut flows, "skype → update server:80", f, Decision::Pass);
+    check(
+        &mut network,
+        &mut flows,
+        "skype → update server:80",
+        f,
+        Decision::Pass,
+    );
 
     // An old skype version is refused even to another skype.
     network.run_service(hosts[5], "dave", skype_app(210), 34000);
     let f = network.start_app(hosts[6], hosts[5], 34000, "erin", skype_app(150));
-    check(&mut network, &mut flows, "old skype (v150) → skype", f, Decision::Block);
+    check(
+        &mut network,
+        &mut flows,
+        "old skype (v150) → skype",
+        f,
+        Decision::Block,
+    );
 
     // Skype must never reach the protected server.
     network.run_service(hosts[0], "system", skype_app(210), 80);
     let f = network.start_app(hosts[3], hosts[0], 80, "bob", skype_app(210));
-    check(&mut network, &mut flows, "skype → <server>", f, Decision::Block);
+    check(
+        &mut network,
+        &mut flows,
+        "skype → <server>",
+        f,
+        Decision::Block,
+    );
 
     // A random unapproved application between internal hosts is blocked.
     let p2p = Executable::new("/usr/bin/p2p", "p2p", 1, "unknown", "p2p");
     let f = network.start_app(hosts[6], hosts[7], 9999, "erin", p2p);
-    check(&mut network, &mut flows, "unapproved app → internal host", f, Decision::Block);
+    check(
+        &mut network,
+        &mut flows,
+        "unapproved app → internal host",
+        f,
+        Decision::Block,
+    );
 
     FigureScenario {
         name: "Figures 2–3: Skype policy".to_string(),
@@ -178,8 +221,13 @@ pub fn figure45_research() -> FigureScenario {
     let mut network = EnterpriseNetwork::star_with_config(6, config).unwrap();
     let hosts = network.host_addrs();
 
-    let research_exe =
-        Executable::new("/usr/bin/research-app", "research-app", 1, "lab", "research");
+    let research_exe = Executable::new(
+        "/usr/bin/research-app",
+        "research-app",
+        1,
+        "lab",
+        "research",
+    );
     // Figure 4: the research application only talks to itself.
     let requirements = "block all\n\
                         pass all \\\n    with eq(@src[name], research-app) \\\n    with eq(@dst[name], research-app)";
@@ -190,7 +238,9 @@ pub fn figure45_research() -> FigureScenario {
     {
         let daemon = network.daemon_mut(hosts[5]).unwrap();
         daemon.host_mut().add_user(identxx_hostmodel::User::new(
-            "carol", 1003, &["users", "research"],
+            "carol",
+            1003,
+            &["users", "research"],
         ));
         daemon.add_app_config(signed.clone());
         let pid = daemon.host_mut().spawn("carol", research_exe.clone());
@@ -203,7 +253,9 @@ pub fn figure45_research() -> FigureScenario {
     {
         let daemon = network.daemon_mut(hosts[4]).unwrap();
         daemon.host_mut().add_user(identxx_hostmodel::User::new(
-            "carol", 1003, &["users", "research"],
+            "carol",
+            1003,
+            &["users", "research"],
         ));
         daemon.add_app_config(signed.clone());
         let pid = daemon.host_mut().spawn("carol", research_exe.clone());
@@ -216,7 +268,9 @@ pub fn figure45_research() -> FigureScenario {
     {
         let daemon = network.daemon_mut(hosts[0]).unwrap();
         daemon.host_mut().add_user(identxx_hostmodel::User::new(
-            "alice", 1001, &["users", "research"],
+            "alice",
+            1001,
+            &["users", "research"],
         ));
     }
 
@@ -225,28 +279,34 @@ pub fn figure45_research() -> FigureScenario {
     // 1. research-app → research-app on a research machine: allowed.
     {
         let daemon = network.daemon_mut(hosts[0]).unwrap();
-        let flow = daemon.host_mut().open_connection(
-            "alice",
-            research_exe.clone(),
-            45000,
-            hosts[5],
-            7000,
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("alice", research_exe.clone(), 45000, hosts[5], 7000);
+        check(
+            &mut network,
+            &mut flows,
+            "research-app → research machine (signed reqs)",
+            flow,
+            Decision::Pass,
         );
-        check(&mut network, &mut flows, "research-app → research machine (signed reqs)", flow, Decision::Pass);
     }
 
     // 2. The same application toward a production machine: blocked by the
     //    administrator's coarse constraint, regardless of the delegation.
     {
         let daemon = network.daemon_mut(hosts[0]).unwrap();
-        let flow = daemon.host_mut().open_connection(
-            "alice",
-            research_exe.clone(),
-            45001,
-            hosts[4],
-            7000,
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("alice", research_exe.clone(), 45001, hosts[4], 7000);
+        check(
+            &mut network,
+            &mut flows,
+            "research-app → production machine",
+            flow,
+            Decision::Block,
         );
-        check(&mut network, &mut flows, "research-app → production machine", flow, Decision::Block);
     }
 
     // 3. A non-researcher running the same app: blocked (groupID check).
@@ -255,14 +315,17 @@ pub fn figure45_research() -> FigureScenario {
         daemon
             .host_mut()
             .add_user(identxx_hostmodel::User::new("bob", 1002, &["users"]));
-        let flow = daemon.host_mut().open_connection(
-            "bob",
-            research_exe.clone(),
-            45002,
-            hosts[5],
-            7000,
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("bob", research_exe.clone(), 45002, hosts[5], 7000);
+        check(
+            &mut network,
+            &mut flows,
+            "non-researcher runs research-app",
+            flow,
+            Decision::Block,
         );
-        check(&mut network, &mut flows, "non-researcher runs research-app", flow, Decision::Block);
     }
 
     // 4. A different app whose flow the signed requirements do not allow:
@@ -270,16 +333,21 @@ pub fn figure45_research() -> FigureScenario {
     {
         let daemon = network.daemon_mut(hosts[2]).unwrap();
         daemon.host_mut().add_user(identxx_hostmodel::User::new(
-            "dana", 1004, &["users", "research"],
-        ));
-        let flow = daemon.host_mut().open_connection(
             "dana",
-            crate::firefox_app(),
-            45003,
-            hosts[5],
-            7000,
+            1004,
+            &["users", "research"],
+        ));
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("dana", crate::firefox_app(), 45003, hosts[5], 7000);
+        check(
+            &mut network,
+            &mut flows,
+            "firefox → research machine (reqs disallow)",
+            flow,
+            Decision::Block,
         );
-        check(&mut network, &mut flows, "firefox → research machine (reqs disallow)", flow, Decision::Block);
     }
 
     // 5. Requirements signed by the wrong key: verify() fails.
@@ -287,28 +355,35 @@ pub fn figure45_research() -> FigureScenario {
         let forged = signed_app_config(&research_exe, requirements, &attacker_key, None);
         let daemon = network.daemon_mut(hosts[3]).unwrap();
         daemon.host_mut().add_user(identxx_hostmodel::User::new(
-            "eve", 1005, &["users", "research"],
+            "eve",
+            1005,
+            &["users", "research"],
         ));
         // The destination this time is a research host whose config carries
         // the forged signature.
         let dst_daemon = network.daemon_mut(hosts[1]).unwrap();
         dst_daemon.add_app_config(forged);
         dst_daemon.host_mut().add_user(identxx_hostmodel::User::new(
-            "carol", 1003, &["users", "research"],
+            "carol",
+            1003,
+            &["users", "research"],
         ));
         let pid = dst_daemon.host_mut().spawn("carol", research_exe.clone());
         dst_daemon
             .host_mut()
             .listen(pid, identxx_proto::IpProtocol::Tcp, 7000);
         let daemon = network.daemon_mut(hosts[3]).unwrap();
-        let flow = daemon.host_mut().open_connection(
-            "eve",
-            research_exe.clone(),
-            45004,
-            hosts[1],
-            7000,
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("eve", research_exe.clone(), 45004, hosts[1], 7000);
+        check(
+            &mut network,
+            &mut flows,
+            "requirements signed by untrusted key",
+            flow,
+            Decision::Block,
         );
-        check(&mut network, &mut flows, "requirements signed by untrusted key", flow, Decision::Block);
     }
 
     FigureScenario {
@@ -346,8 +421,13 @@ pub fn figure67_secur() -> FigureScenario {
     let mut network = EnterpriseNetwork::star_with_config(6, config).unwrap();
     let hosts = network.host_addrs();
 
-    let thunderbird =
-        Executable::new("/usr/bin/thunderbird", "thunderbird", 78, "mozilla", "email-client");
+    let thunderbird = Executable::new(
+        "/usr/bin/thunderbird",
+        "thunderbird",
+        78,
+        "mozilla",
+        "email-client",
+    );
     // Figure 6: thunderbird may only talk to email servers.
     let requirements = "block all\n\
                         pass from any \\\n    with eq(@src[name], thunderbird) \\\n    to any \\\n    with eq(@dst[type], email-server)";
@@ -369,7 +449,13 @@ pub fn figure67_secur() -> FigureScenario {
             daemon
                 .host_mut()
                 .open_connection("alice", thunderbird.clone(), 46000, hosts[1], 25);
-        check(&mut network, &mut flows, "thunderbird (Secur rules) → email server", flow, Decision::Pass);
+        check(
+            &mut network,
+            &mut flows,
+            "thunderbird (Secur rules) → email server",
+            flow,
+            Decision::Pass,
+        );
     }
 
     // 2. thunderbird → web server: Secur's rules do not allow it.
@@ -379,7 +465,13 @@ pub fn figure67_secur() -> FigureScenario {
             daemon
                 .host_mut()
                 .open_connection("alice", thunderbird.clone(), 46001, hosts[2], 80);
-        check(&mut network, &mut flows, "thunderbird → web server (reqs disallow)", flow, Decision::Block);
+        check(
+            &mut network,
+            &mut flows,
+            "thunderbird → web server (reqs disallow)",
+            flow,
+            Decision::Block,
+        );
     }
 
     // 3. An application with rules "from Secur" but signed by someone else.
@@ -391,20 +483,29 @@ pub fn figure67_secur() -> FigureScenario {
             daemon
                 .host_mut()
                 .open_connection("mallory", thunderbird.clone(), 46002, hosts[1], 25);
-        check(&mut network, &mut flows, "forged Secur signature", flow, Decision::Block);
+        check(
+            &mut network,
+            &mut flows,
+            "forged Secur signature",
+            flow,
+            Decision::Block,
+        );
     }
 
     // 4. An application without any Secur configuration: blocked by default.
     {
         let daemon = network.daemon_mut(hosts[4]).unwrap();
-        let flow = daemon.host_mut().open_connection(
-            "bob",
-            crate::firefox_app(),
-            46003,
-            hosts[1],
-            25,
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("bob", crate::firefox_app(), 46003, hosts[1], 25);
+        check(
+            &mut network,
+            &mut flows,
+            "unapproved app → email server",
+            flow,
+            Decision::Block,
         );
-        check(&mut network, &mut flows, "unapproved app → email server", flow, Decision::Block);
     }
 
     FigureScenario {
@@ -448,19 +549,33 @@ pub fn figure8_conficker() -> FigureScenario {
         .install_patch("MS08-067");
     network.run_service(hosts[2], "system", server_exe.clone(), 445);
 
-    let system_client =
-        Executable::new("/windows/system32/svchost.exe", "svchost", 3, "microsoft", "system");
+    let system_client = Executable::new(
+        "/windows/system32/svchost.exe",
+        "svchost",
+        3,
+        "microsoft",
+        "system",
+    );
 
     let mut flows = Vec::new();
 
     // 1. System user on a LAN host → patched Server service: allowed.
     {
         let daemon = network.daemon_mut(hosts[3]).unwrap();
-        let flow =
-            daemon
-                .host_mut()
-                .open_connection("system", system_client.clone(), 47000, hosts[1], 445);
-        check(&mut network, &mut flows, "system → Server (patched host)", flow, Decision::Pass);
+        let flow = daemon.host_mut().open_connection(
+            "system",
+            system_client.clone(),
+            47000,
+            hosts[1],
+            445,
+        );
+        check(
+            &mut network,
+            &mut flows,
+            "system → Server (patched host)",
+            flow,
+            Decision::Pass,
+        );
     }
 
     // 2. Ordinary user → Server service: blocked.
@@ -470,23 +585,44 @@ pub fn figure8_conficker() -> FigureScenario {
             daemon
                 .host_mut()
                 .open_connection("alice", system_client.clone(), 47001, hosts[1], 445);
-        check(&mut network, &mut flows, "ordinary user → Server", flow, Decision::Block);
+        check(
+            &mut network,
+            &mut flows,
+            "ordinary user → Server",
+            flow,
+            Decision::Block,
+        );
     }
 
     // 3. System user → unpatched host: blocked (the Conficker vector).
     {
         let daemon = network.daemon_mut(hosts[4]).unwrap();
-        let flow =
-            daemon
-                .host_mut()
-                .open_connection("system", system_client.clone(), 47002, hosts[2], 445);
-        check(&mut network, &mut flows, "system → Server (unpatched host)", flow, Decision::Block);
+        let flow = daemon.host_mut().open_connection(
+            "system",
+            system_client.clone(),
+            47002,
+            hosts[2],
+            445,
+        );
+        check(
+            &mut network,
+            &mut flows,
+            "system → Server (unpatched host)",
+            flow,
+            Decision::Block,
+        );
     }
 
     // 4. The Internet at large → Server service: blocked (not in <lan>).
     {
         let internet_flow = FiveTuple::tcp([203, 0, 113, 50], 55000, hosts[1], 445);
-        check(&mut network, &mut flows, "internet → Server", internet_flow, Decision::Block);
+        check(
+            &mut network,
+            &mut flows,
+            "internet → Server",
+            internet_flow,
+            Decision::Block,
+        );
     }
 
     FigureScenario {

@@ -98,7 +98,10 @@ impl EnterpriseNetwork {
 
     /// A linear chain of `switch_count` switches with one client and one
     /// server host (used to vary path length in the flow-setup experiment).
-    pub fn chain(switch_count: usize, config: ControllerConfig) -> Result<EnterpriseNetwork, PfError> {
+    pub fn chain(
+        switch_count: usize,
+        config: ControllerConfig,
+    ) -> Result<EnterpriseNetwork, PfError> {
         let (topology, _c, _client, _server, _switches) =
             Topology::chain(switch_count, LinkProps::default());
         EnterpriseNetwork::from_topology(topology, config)
@@ -306,7 +309,10 @@ impl EnterpriseNetwork {
         let topo = self.map.topology();
         let src_node = topo.node_by_addr(flow.src_ip)?.id;
         let dst_node = topo.node_by_addr(flow.dst_ip)?.id;
-        let controller_node = topo.nodes_of_kind(NodeKind::Controller).into_iter().next()?;
+        let controller_node = topo
+            .nodes_of_kind(NodeKind::Controller)
+            .into_iter()
+            .next()?;
         let path = self.map.routing().path(src_node, dst_node)?.to_vec();
         if path.len() < 2 {
             return None;
@@ -316,8 +322,7 @@ impl EnterpriseNetwork {
 
         // One-way latencies derived from the topology.
         let client_to_first_switch = topo.path_latency(&path[..2])?;
-        let full_path = topo.path_latency(&path)?
-            + SWITCH_PROCESSING.times(path_switches as u64);
+        let full_path = topo.path_latency(&path)? + SWITCH_PROCESSING.times(path_switches as u64);
         let first_switch_to_controller = self
             .map
             .routing()
@@ -333,8 +338,8 @@ impl EnterpriseNetwork {
             .routing()
             .path(controller_node, dst_node)
             .and_then(|p| topo.path_latency(p))?;
-        let first_switch_to_server = topo.path_latency(&path[1..])?
-            + SWITCH_PROCESSING.times(path_switches as u64);
+        let first_switch_to_server =
+            topo.path_latency(&path[1..])? + SWITCH_PROCESSING.times(path_switches as u64);
 
         // The controller's actual decision (drives rule-evaluation cost and
         // the number of flow-mods to install).
@@ -372,7 +377,10 @@ impl EnterpriseNetwork {
         // Drive the phases through the event queue so the timing logic is the
         // discrete-event simulation, not ad-hoc arithmetic.
         let mut queue: EventQueue<Phase> = EventQueue::new();
-        queue.schedule_after(client_to_first_switch + SWITCH_PROCESSING, Phase::PacketAtFirstSwitch);
+        queue.schedule_after(
+            client_to_first_switch + SWITCH_PROCESSING,
+            Phase::PacketAtFirstSwitch,
+        );
         let mut setup_latency = 0u64;
         let mut decision_kind = decision.verdict.decision;
         queue.run(64, |queue, at, phase| match phase {

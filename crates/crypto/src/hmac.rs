@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn rfc4231_case_6_long_key() {
         let key = [0xaa; 131];
-        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let mac = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             to_hex(&mac),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -114,7 +117,11 @@ mod tests {
             b"pass from any to any port 22",
             &mac
         ));
-        assert!(!verify_hmac(b"wrong-key", b"pass from any to any port 443", &mac));
+        assert!(!verify_hmac(
+            b"wrong-key",
+            b"pass from any to any port 443",
+            &mac
+        ));
         assert!(!verify_hmac(b"branch-shared-key", b"msg", &mac[..16]));
     }
 }

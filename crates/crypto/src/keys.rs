@@ -86,7 +86,7 @@ impl KeyPair {
 
     /// Builds a key pair from a raw secret scalar.
     pub fn from_secret(x: u64) -> KeyPair {
-        let x = if x % crate::field::GROUP_ORDER == 0 {
+        let x = if x.is_multiple_of(crate::field::GROUP_ORDER) {
             1
         } else {
             x % crate::field::GROUP_ORDER

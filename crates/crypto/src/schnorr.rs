@@ -174,7 +174,21 @@ mod tests {
         let y = public_key(x);
         let msg = b"conforms to Secur rules";
         let sig = sign(x, msg);
-        assert!(!verify(y, msg, &Signature { e: sig.e ^ 1, s: sig.s }));
-        assert!(!verify(y, msg, &Signature { e: sig.e, s: sig.s ^ 1 }));
+        assert!(!verify(
+            y,
+            msg,
+            &Signature {
+                e: sig.e ^ 1,
+                s: sig.s
+            }
+        ));
+        assert!(!verify(
+            y,
+            msg,
+            &Signature {
+                e: sig.e,
+                s: sig.s ^ 1
+            }
+        ));
     }
 }

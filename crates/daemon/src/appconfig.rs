@@ -194,7 +194,10 @@ pub fn signed_app_config(
     rule_maker: Option<&str>,
 ) -> AppConfig {
     let exe_hash = exe.content_hash();
-    let sig = sign_bundle_hex(signer, &[exe_hash.as_str(), exe.name.as_str(), requirements]);
+    let sig = sign_bundle_hex(
+        signer,
+        &[exe_hash.as_str(), exe.name.as_str(), requirements],
+    );
     let mut config = AppConfig::new(&exe.path)
         .with_pair("name", &exe.name)
         .with_pair("version", exe.version.to_string())
@@ -290,14 +293,22 @@ rule-maker : Secur
         assert_eq!(reparsed.len(), 1);
         assert_eq!(reparsed[0].get("name"), Some("skype"));
         assert_eq!(
-            reparsed[0].get("requirements").map(|r| r.replace('\n', " ")),
+            reparsed[0]
+                .get("requirements")
+                .map(|r| r.replace('\n', " ")),
             configs[0].get("requirements").map(|r| r.replace('\n', " "))
         );
     }
 
     #[test]
     fn signed_config_verifies_against_signer() {
-        let exe = Executable::new("/usr/bin/research-app", "research-app", 1, "lab", "research");
+        let exe = Executable::new(
+            "/usr/bin/research-app",
+            "research-app",
+            1,
+            "lab",
+            "research",
+        );
         let researcher = KeyPair::from_seed(b"alice-research-key");
         let requirements = "block all\npass all with eq(@src[name], research-app) with eq(@dst[name], research-app)";
         let config = signed_app_config(&exe, requirements, &researcher, None);
@@ -306,11 +317,7 @@ rule-maker : Secur
         assert!(verify_bundle_hex(
             sig,
             &researcher.public().to_hex(),
-            &[
-                exe.content_hash().as_str(),
-                "research-app",
-                requirements
-            ]
+            &[exe.content_hash().as_str(), "research-app", requirements]
         ));
         // Rule-maker appears only when requested.
         assert_eq!(config.get("rule-maker"), None);

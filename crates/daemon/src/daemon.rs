@@ -245,10 +245,13 @@ mod tests {
         let mut h = host([10, 0, 0, 1]);
         h.install_patch("MS08-067");
         let mut daemon = Daemon::bare(h);
-        let flow =
-            daemon
-                .host_mut()
-                .open_connection("alice", skype(), 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let flow = daemon.host_mut().open_connection(
+            "alice",
+            skype(),
+            40000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
         let query = Query::for_all_well_known(flow);
         let response = daemon.answer(&query).unwrap().unwrap();
         assert_eq!(response.latest(well_known::USER_ID), Some("alice"));
@@ -309,10 +312,13 @@ mod tests {
             "@app /usr/bin/skype {\nname : skype\nrequirements : block all\nreq-sig : abcd\n}\n",
         );
         let mut daemon = Daemon::new(h).unwrap();
-        let flow =
-            daemon
-                .host_mut()
-                .open_connection("alice", skype(), 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let flow = daemon.host_mut().open_connection(
+            "alice",
+            skype(),
+            40000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
         let response = daemon.answer(&Query::new(flow)).unwrap().unwrap();
         assert_eq!(response.section_count(), 2);
         assert_eq!(response.latest(well_known::REQUIREMENTS), Some("block all"));
@@ -368,10 +374,13 @@ mod tests {
     #[test]
     fn forged_responses_replace_the_truth() {
         let mut daemon = Daemon::bare(host([10, 0, 0, 1]));
-        let flow =
-            daemon
-                .host_mut()
-                .open_connection("mallory", skype(), 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let flow = daemon.host_mut().open_connection(
+            "mallory",
+            skype(),
+            40000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
         daemon.set_forged_response(Some(vec![
             ("userID".to_string(), "system".to_string()),
             ("name".to_string(), "Server".to_string()),
@@ -388,7 +397,13 @@ mod tests {
 
     #[test]
     fn signed_config_round_trip_through_daemon() {
-        let exe = Executable::new("/usr/bin/research-app", "research-app", 1, "lab", "research");
+        let exe = Executable::new(
+            "/usr/bin/research-app",
+            "research-app",
+            1,
+            "lab",
+            "research",
+        );
         let alice_key = KeyPair::from_seed(b"alice");
         let requirements = "block all\npass all with eq(@src[name], research-app)";
         let config = crate::appconfig::signed_app_config(&exe, requirements, &alice_key, None);
@@ -403,7 +418,10 @@ mod tests {
             7000,
         );
         let response = daemon.answer(&Query::new(flow)).unwrap().unwrap();
-        assert_eq!(response.latest(well_known::REQUIREMENTS), Some(requirements));
+        assert_eq!(
+            response.latest(well_known::REQUIREMENTS),
+            Some(requirements)
+        );
         let sig = response.latest(well_known::REQ_SIG).unwrap();
         assert!(identxx_crypto::verify_bundle_hex(
             sig,

@@ -124,7 +124,11 @@ mod tests {
     fn write_and_read() {
         let mut fs = ConfigFs::new();
         fs.write_admin("/etc/identxx/00-base.conf", "name: base");
-        fs.write_user("alice", "/home/alice/.identxx/app.conf", "name: research-app");
+        fs.write_user(
+            "alice",
+            "/home/alice/.identxx/app.conf",
+            "name: research-app",
+        );
         assert_eq!(fs.read("/etc/identxx/00-base.conf"), Some("name: base"));
         assert_eq!(fs.len(), 2);
         assert!(!fs.is_empty());

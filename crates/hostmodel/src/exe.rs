@@ -56,7 +56,9 @@ impl Executable {
     /// A tampered copy (same path/name/version metadata but different image
     /// contents), used by tests that model a trojaned binary.
     pub fn tampered(&self) -> TamperedExecutable {
-        TamperedExecutable { original: self.clone() }
+        TamperedExecutable {
+            original: self.clone(),
+        }
     }
 }
 
@@ -101,8 +103,13 @@ mod tests {
 
     #[test]
     fn tampered_image_has_different_hash_but_same_claims() {
-        let thunderbird =
-            Executable::new("/usr/bin/thunderbird", "thunderbird", 78, "mozilla", "email-client");
+        let thunderbird = Executable::new(
+            "/usr/bin/thunderbird",
+            "thunderbird",
+            78,
+            "mozilla",
+            "email-client",
+        );
         let tampered = thunderbird.tampered();
         assert_eq!(tampered.claimed().name, "thunderbird");
         assert_ne!(tampered.actual_hash(), thunderbird.content_hash());

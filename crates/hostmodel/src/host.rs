@@ -226,7 +226,13 @@ mod tests {
     }
 
     fn server_service() -> Executable {
-        Executable::new("/windows/system32/services.exe", "Server", 6, "microsoft", "file-service")
+        Executable::new(
+            "/windows/system32/services.exe",
+            "Server",
+            6,
+            "microsoft",
+            "file-service",
+        )
     }
 
     fn host() -> Host {

@@ -77,7 +77,10 @@ impl UserDb {
 
     /// All members of a group.
     pub fn members_of(&self, group: &str) -> Vec<&User> {
-        self.by_name.values().filter(|u| u.in_group(group)).collect()
+        self.by_name
+            .values()
+            .filter(|u| u.in_group(group))
+            .collect()
     }
 
     /// Number of users.

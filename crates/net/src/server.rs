@@ -35,16 +35,11 @@ impl DaemonServer {
         let daemon = Arc::new(Mutex::new(daemon));
         let accept_daemon = Arc::clone(&daemon);
         let handle = tokio::spawn(async move {
-            loop {
-                match listener.accept().await {
-                    Ok((stream, _peer)) => {
-                        let connection_daemon = Arc::clone(&accept_daemon);
-                        tokio::spawn(async move {
-                            let _ = serve_connection(stream, connection_daemon).await;
-                        });
-                    }
-                    Err(_) => break,
-                }
+            while let Ok((stream, _peer)) = listener.accept().await {
+                let connection_daemon = Arc::clone(&accept_daemon);
+                tokio::spawn(async move {
+                    let _ = serve_connection(stream, connection_daemon).await;
+                });
             }
         });
         Ok(DaemonServer {
@@ -102,9 +97,10 @@ mod tests {
     fn test_daemon() -> (Daemon, FiveTuple) {
         let mut daemon = Daemon::bare(Host::new("h1", Ipv4Addr::new(10, 0, 0, 1)));
         let exe = Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser");
-        let flow = daemon
-            .host_mut()
-            .open_connection("alice", exe, 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("alice", exe, 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
         (daemon, flow)
     }
 

@@ -131,8 +131,7 @@ mod tests {
 
     #[test]
     fn paths_in_chain_topology() {
-        let (t, _controller, client, server, switches) =
-            Topology::chain(5, LinkProps::default());
+        let (t, _controller, client, server, switches) = Topology::chain(5, LinkProps::default());
         let routes = RoutingTable::build(&t);
         let path = routes.path(client, server).unwrap();
         assert_eq!(path.len(), 7); // client + 5 switches + server

@@ -179,10 +179,7 @@ impl Topology {
 
     /// Neighbours of a node with the connecting link ids.
     pub fn neighbours(&self, id: NodeId) -> &[(NodeId, LinkId)] {
-        self.adjacency
-            .get(&id)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.adjacency.get(&id).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// All nodes.
@@ -342,10 +339,7 @@ mod tests {
         assert_eq!(t.link_count(), 25);
         assert_eq!(t.neighbours(core).len(), 5);
         // Host addresses are unique.
-        let mut addrs: Vec<_> = hosts
-            .iter()
-            .map(|h| t.node(*h).unwrap().addr)
-            .collect();
+        let mut addrs: Vec<_> = hosts.iter().map(|h| t.node(*h).unwrap().addr).collect();
         addrs.sort();
         addrs.dedup();
         assert_eq!(addrs.len(), 20);

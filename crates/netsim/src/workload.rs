@@ -167,7 +167,13 @@ impl WorkloadGenerator {
     }
 
     fn pick_app(&mut self) -> usize {
-        let total: u32 = self.config.apps.iter().map(|a| a.weight).sum::<u32>().max(1);
+        let total: u32 = self
+            .config
+            .apps
+            .iter()
+            .map(|a| a.weight)
+            .sum::<u32>()
+            .max(1);
         let mut pick = self.rng.gen_range(0..total);
         for (i, app) in self.config.apps.iter().enumerate() {
             if pick < app.weight {
@@ -179,7 +185,8 @@ impl WorkloadGenerator {
     }
 
     fn next_flow(&mut self, start: SimTime) -> Flow {
-        let reuse = !self.history.is_empty() && self.rng.gen_bool(self.config.locality.clamp(0.0, 1.0));
+        let reuse =
+            !self.history.is_empty() && self.rng.gen_bool(self.config.locality.clamp(0.0, 1.0));
         let (src, dst, app_idx) = if reuse {
             let idx = self.rng.gen_range(0..self.history.len());
             self.history[idx]
@@ -199,7 +206,8 @@ impl WorkloadGenerator {
             combo
         };
         let app = self.config.apps[app_idx].clone();
-        let (user, groups) = self.config.users[self.rng.gen_range(0..self.config.users.len())].clone();
+        let (user, groups) =
+            self.config.users[self.rng.gen_range(0..self.config.users.len())].clone();
         let src_port = self.rng.gen_range(10_000..60_000);
         let packets = self.rng.gen_range(4..200);
         let bytes = packets as u64 * self.rng.gen_range(200..1400) as u64;
@@ -220,7 +228,9 @@ mod tests {
     use super::*;
 
     fn hosts(n: usize) -> Vec<Ipv4Addr> {
-        (0..n).map(|i| Ipv4Addr::new(10, 0, 0, (i + 1) as u8)).collect()
+        (0..n)
+            .map(|i| Ipv4Addr::new(10, 0, 0, (i + 1) as u8))
+            .collect()
     }
 
     #[test]
@@ -246,7 +256,8 @@ mod tests {
     #[test]
     fn src_and_dst_differ_and_come_from_host_set() {
         let hs = hosts(20);
-        let flows = WorkloadGenerator::new(WorkloadConfig::enterprise(hs.clone(), 300, 1)).generate();
+        let flows =
+            WorkloadGenerator::new(WorkloadConfig::enterprise(hs.clone(), 300, 1)).generate();
         for f in &flows {
             assert!(hs.contains(&f.five_tuple.src_ip));
             assert!(hs.contains(&f.five_tuple.dst_ip));

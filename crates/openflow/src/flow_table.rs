@@ -227,7 +227,11 @@ mod tests {
         let mut table = FlowTable::new();
         assert_eq!(table.lookup(&header(), 100, 0), None);
         table.install(
-            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(2)),
+            FlowEntry::new(
+                FlowMatch::exact_five_tuple(&flow()),
+                10,
+                OfAction::Output(2),
+            ),
             0,
         );
         assert_eq!(table.lookup(&header(), 100, 1), Some(OfAction::Output(2)));
@@ -247,7 +251,11 @@ mod tests {
             0,
         );
         table.install(
-            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(5)),
+            FlowEntry::new(
+                FlowMatch::exact_five_tuple(&flow()),
+                10,
+                OfAction::Output(5),
+            ),
             0,
         );
         // The wildcard drop has higher priority, so it wins.
@@ -259,7 +267,11 @@ mod tests {
         let mut table = FlowTable::new();
         table.install(FlowEntry::new(FlowMatch::wildcard(), 10, OfAction::Drop), 0);
         table.install(
-            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(5)),
+            FlowEntry::new(
+                FlowMatch::exact_five_tuple(&flow()),
+                10,
+                OfAction::Output(5),
+            ),
             0,
         );
         assert_eq!(table.lookup(&header(), 1, 0), Some(OfAction::Output(5)));
@@ -279,8 +291,12 @@ mod tests {
     fn hard_timeout_expires_entries() {
         let mut table = FlowTable::new();
         table.install(
-            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(1))
-                .with_hard_timeout(1_000),
+            FlowEntry::new(
+                FlowMatch::exact_five_tuple(&flow()),
+                10,
+                OfAction::Output(1),
+            )
+            .with_hard_timeout(1_000),
             0,
         );
         assert!(table.lookup(&header(), 1, 500).is_some());
@@ -293,8 +309,12 @@ mod tests {
     fn idle_timeout_resets_on_hits() {
         let mut table = FlowTable::new();
         table.install(
-            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(1))
-                .with_idle_timeout(1_000),
+            FlowEntry::new(
+                FlowMatch::exact_five_tuple(&flow()),
+                10,
+                OfAction::Output(1),
+            )
+            .with_idle_timeout(1_000),
             0,
         );
         // Keep hitting it every 800us — it must stay alive.
@@ -311,7 +331,10 @@ mod tests {
             FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Drop),
             0,
         );
-        table.install(FlowEntry::new(FlowMatch::dst_port(22), 5, OfAction::Output(1)), 0);
+        table.install(
+            FlowEntry::new(FlowMatch::dst_port(22), 5, OfAction::Output(1)),
+            0,
+        );
         assert_eq!(table.remove_where(|e| e.action == OfAction::Drop), 1);
         assert_eq!(table.len(), 1);
         table.clear();
@@ -323,7 +346,11 @@ mod tests {
     fn peek_does_not_change_counters() {
         let mut table = FlowTable::new();
         table.install(
-            FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(2)),
+            FlowEntry::new(
+                FlowMatch::exact_five_tuple(&flow()),
+                10,
+                OfAction::Output(2),
+            ),
             0,
         );
         assert_eq!(table.peek(&header()), Some(OfAction::Output(2)));

@@ -254,10 +254,8 @@ mod tests {
     fn exact_five_tuple_matching() {
         let m = FlowMatch::exact_five_tuple(&flow());
         let hit = PacketHeader::from_flow(&flow(), 7);
-        let miss_port = PacketHeader::from_flow(
-            &FiveTuple::tcp([10, 0, 0, 1], 43210, [10, 0, 0, 2], 443),
-            7,
-        );
+        let miss_port =
+            PacketHeader::from_flow(&FiveTuple::tcp([10, 0, 0, 1], 43210, [10, 0, 0, 2], 443), 7);
         let miss_reverse = PacketHeader::from_flow(&flow().reversed(), 7);
         assert!(m.matches(&hit));
         assert!(!m.matches(&miss_port));
@@ -285,7 +283,8 @@ mod tests {
         let web = PacketHeader::from_flow(&flow(), 1);
         let skype_on_80 =
             PacketHeader::from_flow(&FiveTuple::tcp([10, 0, 0, 9], 999, [10, 9, 9, 9], 80), 1);
-        let ssh = PacketHeader::from_flow(&FiveTuple::tcp([10, 0, 0, 1], 999, [10, 0, 0, 2], 22), 1);
+        let ssh =
+            PacketHeader::from_flow(&FiveTuple::tcp([10, 0, 0, 1], 999, [10, 0, 0, 2], 22), 1);
         assert!(m.matches(&web));
         assert!(m.matches(&skype_on_80)); // cannot tell skype from web!
         assert!(!m.matches(&ssh));

@@ -168,7 +168,11 @@ mod tests {
     #[test]
     fn flow_mod_add_then_forward_and_drop() {
         let mut sw = Switch::new(SwitchId(1));
-        let allow = FlowEntry::new(FlowMatch::exact_five_tuple(&flow()), 10, OfAction::Output(7));
+        let allow = FlowEntry::new(
+            FlowMatch::exact_five_tuple(&flow()),
+            10,
+            OfAction::Output(7),
+        );
         sw.apply_flow_mod(&FlowMod::add(SwitchId(1), allow), 0);
         assert_eq!(sw.process(&header(), 64, 1), ForwardingResult::Forwarded(7));
 
@@ -183,7 +187,10 @@ mod tests {
     fn flow_mod_delete_removes_entries() {
         let mut sw = Switch::new(SwitchId(1));
         let m = FlowMatch::exact_five_tuple(&flow());
-        sw.apply_flow_mod(&FlowMod::add(SwitchId(1), FlowEntry::new(m, 10, OfAction::Output(7))), 0);
+        sw.apply_flow_mod(
+            &FlowMod::add(SwitchId(1), FlowEntry::new(m, 10, OfAction::Output(7))),
+            0,
+        );
         assert_eq!(sw.table().len(), 1);
         sw.apply_flow_mod(&FlowMod::delete(SwitchId(1), m), 1);
         assert_eq!(sw.table().len(), 0);
@@ -217,7 +224,10 @@ mod tests {
     fn compromised_switch_bypasses_policy() {
         let mut sw = Switch::new(SwitchId(3));
         // Policy says drop everything.
-        sw.install_decision(FlowEntry::new(FlowMatch::wildcard(), 100, OfAction::Drop), 0);
+        sw.install_decision(
+            FlowEntry::new(FlowMatch::wildcard(), 100, OfAction::Drop),
+            0,
+        );
         assert_eq!(sw.process(&header(), 64, 1), ForwardingResult::Dropped);
         // After compromise the drop rule is ignored.
         sw.set_compromised(true);

@@ -218,7 +218,11 @@ impl<'a> EvalContext<'a> {
                 None => false,
             },
         };
-        let addr_match = if endpoint.negate { !addr_match } else { addr_match };
+        let addr_match = if endpoint.negate {
+            !addr_match
+        } else {
+            addr_match
+        };
         if !addr_match {
             return false;
         }
@@ -280,11 +284,7 @@ impl<'a> EvalContext<'a> {
                 return parse_list_literal(macro_text);
             }
             if let Some(table) = self.ruleset.tables.get(name) {
-                return table
-                    .entries()
-                    .iter()
-                    .map(|e| format!("{e:?}"))
-                    .collect();
+                return table.entries().iter().map(|e| format!("{e:?}")).collect();
             }
         }
         match self.resolve_arg(arg) {
@@ -488,10 +488,9 @@ mod tests {
 
     #[test]
     fn endpoint_table_and_negation() {
-        let rs = parse_ruleset(
-            "table <lan> { 192.168.0.0/24 }\nblock all\npass from <lan> to !<lan>\n",
-        )
-        .unwrap();
+        let rs =
+            parse_ruleset("table <lan> { 192.168.0.0/24 }\nblock all\npass from <lan> to !<lan>\n")
+                .unwrap();
         let ctx = EvalContext::new(&rs);
         // lan -> outside: pass
         let outbound = FiveTuple::tcp([192, 168, 0, 10], 1000, [8, 8, 8, 8], 443);
@@ -597,10 +596,8 @@ mod tests {
 
     #[test]
     fn includes_checks_list_values() {
-        let rs = parse_ruleset(
-            "block all\npass all with includes(@dst[os-patch], MS08-067)\n",
-        )
-        .unwrap();
+        let rs =
+            parse_ruleset("block all\npass all with includes(@dst[os-patch], MS08-067)\n").unwrap();
         let flow = flow_to_server();
         let src = Response::new(flow);
         let patched = response_with(flow, &[("os-patch", "MS08-001 MS08-067 MS09-001")]);
@@ -613,7 +610,8 @@ mod tests {
 
     #[test]
     fn latest_section_value_is_used_and_star_concatenates() {
-        let rs_latest = parse_ruleset("block all\npass all with eq(@src[site], branch-b)\n").unwrap();
+        let rs_latest =
+            parse_ruleset("block all\npass all with eq(@src[site], branch-b)\n").unwrap();
         let rs_concat =
             parse_ruleset("block all\npass all with eq(*@src[site], branch-a branch-b)\n").unwrap();
         let flow = flow_to_server();

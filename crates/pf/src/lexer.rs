@@ -89,8 +89,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>, PfError> {
                 // spaces) by a newline. A backslash anywhere else is part of a
                 // word (e.g. inside opaque signature material).
                 let mut j = i + 1;
-                while j < chars.len() && (chars[j] == ' ' || chars[j] == '\t' || chars[j] == '\r')
-                {
+                while j < chars.len() && (chars[j] == ' ' || chars[j] == '\t' || chars[j] == '\r') {
                     j += 1;
                 }
                 if j < chars.len() && chars[j] == '\n' {
@@ -270,7 +269,11 @@ mod tests {
     use super::*;
 
     fn words(input: &str) -> Vec<Tok> {
-        tokenize(input).unwrap().into_iter().map(|t| t.tok).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl Parser {
                 line,
                 format!("expected {what}, found {t:?}"),
             )),
-            None => Err(PfError::parse(line, format!("expected {what}, found end of input"))),
+            None => Err(PfError::parse(
+                line,
+                format!("expected {what}, found end of input"),
+            )),
         }
     }
 
@@ -78,7 +81,10 @@ impl Parser {
                 line,
                 format!("expected {what}, found {t:?}"),
             )),
-            None => Err(PfError::parse(line, format!("expected {what}, found end of input"))),
+            None => Err(PfError::parse(
+                line,
+                format!("expected {what}, found end of input"),
+            )),
         }
     }
 
@@ -515,7 +521,10 @@ pass from <int_hosts> \
         assert_eq!(rs.rules.len(), 3);
         assert!(rs.rules[1].to.as_ref().unwrap().negate);
         assert!(rs.rules[1].keep_state);
-        assert_eq!(rs.rules[2].withs[0].args[1], FnArg::MacroRef("allowed".into()));
+        assert_eq!(
+            rs.rules[2].withs[0].args[1],
+            FnArg::MacroRef("allowed".into())
+        );
     }
 
     #[test]
@@ -661,7 +670,10 @@ pass from <lan> \
         let input = "pass from 10.1.2.3 to 10.0.0.0/8";
         let rs = parse_ruleset(input).unwrap();
         let rule = &rs.rules[0];
-        assert!(matches!(rule.from.as_ref().unwrap().addr, AddrSpec::Host(_)));
+        assert!(matches!(
+            rule.from.as_ref().unwrap().addr,
+            AddrSpec::Host(_)
+        ));
         assert!(matches!(
             rule.to.as_ref().unwrap().addr,
             AddrSpec::Cidr { prefix_len: 8, .. }

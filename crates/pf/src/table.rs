@@ -101,11 +101,7 @@ impl Table {
     /// references through `all_tables`. Unknown referenced tables are treated
     /// as empty (PF loads tables dynamically, so a missing table is not a
     /// match failure for the whole rule set); reference cycles terminate.
-    pub fn contains(
-        &self,
-        addr: Ipv4Addr,
-        all_tables: &BTreeMap<String, Table>,
-    ) -> bool {
+    pub fn contains(&self, addr: Ipv4Addr, all_tables: &BTreeMap<String, Table>) -> bool {
         let mut visiting: Vec<&str> = Vec::new();
         self.contains_inner(addr, all_tables, &mut visiting)
     }

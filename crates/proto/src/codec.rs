@@ -46,7 +46,9 @@ use crate::response::{Response, Section};
 pub const MAX_MESSAGE_SIZE: usize = 64 * 1024;
 
 fn escape_value(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('\n', "\\n").replace('\r', "\\r")
+    v.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
 }
 
 fn unescape_value(v: &str) -> String {

@@ -49,9 +49,7 @@ impl WireMessage {
     pub fn encode(&self) -> Vec<u8> {
         let (kind, body, addrs) = match self {
             WireMessage::Query(q) => ("QUERY", codec::encode_query(q), q.flow.addresses()),
-            WireMessage::Response(r) => {
-                ("RESPONSE", codec::encode_response(r), r.flow.addresses())
-            }
+            WireMessage::Response(r) => ("RESPONSE", codec::encode_response(r), r.flow.addresses()),
         };
         let header = format!(
             "{MAGIC} {kind} {} {} {}\n",

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --example branch_collaboration`
 
-use identxx::controller::{ControllerConfig, IdentxxController, NetworkMap};
 use identxx::controller::intercept::{PrefixAugmenter, StaticInterceptor};
+use identxx::controller::{ControllerConfig, IdentxxController, NetworkMap};
 use identxx::prelude::*;
 
 fn main() {
@@ -71,7 +71,10 @@ pass from 10.1.0.0/16 to <branch-b> with includes(@dst[branch-accepts], 443) kee
         .host_mut()
         .open_connection("alice", firefox_app(), 40001, branch_b[1], 445);
     let decision = controller.decide(&smb, 10);
-    println!("smb to branch B:   {:?} (filtered at the source branch)", decision.verdict.decision);
+    println!(
+        "smb to branch B:   {:?} (filtered at the source branch)",
+        decision.verdict.decision
+    );
 
     // Local branch-A traffic is unaffected.
     let local = controller
@@ -80,7 +83,10 @@ pass from 10.1.0.0/16 to <branch-b> with includes(@dst[branch-accepts], 443) kee
         .unwrap()
         .host_mut()
         .open_connection("bob", firefox_app(), 40002, branch_a[2], 8080);
-    println!("local branch-A flow: {:?}", controller.decide(&local, 20).verdict.decision);
+    println!(
+        "local branch-A flow: {:?}",
+        controller.decide(&local, 20).verdict.decision
+    );
 
     println!(
         "\naudit: {} decisions, {} allowed, {} blocked",

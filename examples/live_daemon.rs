@@ -13,8 +13,13 @@ use identxx::prelude::*;
 async fn main() {
     // The end-host: alice runs thunderbird toward a mail server.
     let mut daemon = Daemon::bare(Host::new("laptop-alice", Ipv4Addr::new(10, 0, 0, 7)));
-    let thunderbird =
-        Executable::new("/usr/bin/thunderbird", "thunderbird", 78, "mozilla", "email-client");
+    let thunderbird = Executable::new(
+        "/usr/bin/thunderbird",
+        "thunderbird",
+        78,
+        "mozilla",
+        "email-client",
+    );
     let flow = daemon.host_mut().open_connection(
         "alice",
         thunderbird,

@@ -18,7 +18,10 @@ pass all with eq(@src[name], skype) with eq(@dst[name], skype) keep state
 
     let mut net = EnterpriseNetwork::star(8, policy).expect("policy should parse");
     let hosts = net.host_addrs();
-    println!("enterprise with {} hosts behind one OpenFlow switch", hosts.len());
+    println!(
+        "enterprise with {} hosts behind one OpenFlow switch",
+        hosts.len()
+    );
     println!("policy:\n{policy}");
 
     // alice browses the web from hosts[0] to a server on hosts[1].
@@ -26,7 +29,11 @@ pass all with eq(@src[name], skype) with eq(@dst[name], skype) keep state
     let outcome = net.deliver_first_packet(&browse, 0);
     println!(
         "firefox {:>}  decision={:?} queries={} entries_installed={} delivered={}",
-        browse, outcome.decision.unwrap(), outcome.queries_issued, outcome.entries_installed, outcome.delivered
+        browse,
+        outcome.decision.unwrap(),
+        outcome.queries_issued,
+        outcome.entries_installed,
+        outcome.delivered
     );
 
     // Skype disguises itself on port 80 toward a host that does NOT run skype.
@@ -34,7 +41,9 @@ pass all with eq(@src[name], skype) with eq(@dst[name], skype) keep state
     let outcome = net.deliver_first_packet(&sneaky, 10);
     println!(
         "skype   {:>}  decision={:?} delivered={}   <- same port as the browser, different fate",
-        sneaky, outcome.decision.unwrap(), outcome.delivered
+        sneaky,
+        outcome.decision.unwrap(),
+        outcome.delivered
     );
 
     // Skype to a real skype peer is fine.
@@ -43,12 +52,16 @@ pass all with eq(@src[name], skype) with eq(@dst[name], skype) keep state
     let outcome = net.deliver_first_packet(&voip, 20);
     println!(
         "skype   {:>}  decision={:?} delivered={}",
-        voip, outcome.decision.unwrap(), outcome.delivered
+        voip,
+        outcome.decision.unwrap(),
+        outcome.delivered
     );
 
     // The timed Fig. 1 flow-setup sequence for a brand-new flow.
     let fresh = net.start_app(hosts[4], hosts[5], 80, "dave", firefox_app());
-    let report = net.simulate_flow_setup(&fresh).expect("flow endpoints are known");
+    let report = net
+        .simulate_flow_setup(&fresh)
+        .expect("flow endpoints are known");
     println!(
         "\nflow setup (Fig. 1): {} switches on path, setup latency {}us, cached latency {}us ({}x), \
          {} ident++ messages, {} OpenFlow messages",
@@ -61,7 +74,10 @@ pass all with eq(@src[name], skype) with eq(@dst[name], skype) keep state
     );
 
     // The audit log shows who did what — the basis for supervised delegation.
-    println!("\naudit log ({} decisions):", net.controller().audit().len());
+    println!(
+        "\naudit log ({} decisions):",
+        net.controller().audit().len()
+    );
     for record in net.controller().audit().records() {
         println!(
             "  t={:<6} {:<40} {:?} (user={:?} app={:?} cache={})",

@@ -1,0 +1,68 @@
+//! Workspace smoke test: every example under `examples/` must compile, and
+//! `quickstart` must run to completion — the same guarantees CI enforces
+//! with `cargo build --examples` / `cargo run --example quickstart`, kept
+//! here so a plain `cargo test` catches example rot too.
+//!
+//! The nested cargo invocations share the outer build's target directory;
+//! cargo's own locking serializes them safely and the second build is
+//! incremental.
+
+use std::path::Path;
+use std::process::Command;
+
+/// The six scenarios shipped with the workspace; update when adding one.
+const EXAMPLES: [&str; 6] = [
+    "branch_collaboration",
+    "conficker_mitigation",
+    "live_daemon",
+    "quickstart",
+    "research_delegation",
+    "skype_policy",
+];
+
+fn cargo() -> Command {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
+    cmd
+}
+
+#[test]
+fn example_list_matches_examples_dir() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut found: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    found.sort();
+    assert_eq!(found, EXAMPLES, "EXAMPLES constant is out of date");
+}
+
+#[test]
+fn all_examples_compile() {
+    let status = cargo()
+        .args(["build", "--examples"])
+        .status()
+        .expect("cargo build --examples spawns");
+    assert!(status.success(), "cargo build --examples failed");
+}
+
+#[test]
+fn quickstart_example_runs() {
+    let output = cargo()
+        .args(["run", "--example", "quickstart"])
+        .output()
+        .expect("cargo run --example quickstart spawns");
+    assert!(
+        output.status.success(),
+        "quickstart failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("audit log"),
+        "quickstart output missing the audit log section:\n{stdout}"
+    );
+}

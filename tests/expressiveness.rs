@@ -25,9 +25,8 @@ fn score_mechanisms(flow_count: usize, seed: u64) -> (IntentScore, IntentScore, 
     )
     .unwrap();
     let hosts = net.host_addrs();
-    let flows =
-        WorkloadGenerator::new(WorkloadConfig::enterprise(hosts.clone(), flow_count, seed))
-            .generate();
+    let flows = WorkloadGenerator::new(WorkloadConfig::enterprise(hosts.clone(), flow_count, seed))
+        .generate();
 
     let mut vanilla = VanillaFirewall::enterprise_default(Ipv4Addr::new(10, 0, 0, 0), 16);
     vanilla.add_rule(identxx::baselines::PortRule::allow_port(7000));
@@ -44,8 +43,11 @@ fn score_mechanisms(flow_count: usize, seed: u64) -> (IntentScore, IntentScore, 
         });
     }
 
-    let (mut identxx, mut vanilla_score, mut ethane_score) =
-        (IntentScore::default(), IntentScore::default(), IntentScore::default());
+    let (mut identxx, mut vanilla_score, mut ethane_score) = (
+        IntentScore::default(),
+        IntentScore::default(),
+        IntentScore::default(),
+    );
     for flow in &flows {
         let exe = Executable::new(
             format!("/usr/bin/{}", flow.app.name),
@@ -58,7 +60,10 @@ fn score_mechanisms(flow_count: usize, seed: u64) -> (IntentScore, IntentScore, 
         let pid = daemon.host_mut().spawn(&flow.user, exe);
         daemon.host_mut().connect_flow(pid, flow.five_tuple);
 
-        identxx.record(flow.app.intended_allowed, net.decide(&flow.five_tuple).is_pass());
+        identxx.record(
+            flow.app.intended_allowed,
+            net.decide(&flow.five_tuple).is_pass(),
+        );
         vanilla_score.record(flow.app.intended_allowed, vanilla.allow(&flow.five_tuple));
         ethane_score.record(flow.app.intended_allowed, ethane.allow(&flow.five_tuple));
     }
@@ -71,12 +76,22 @@ fn identxx_matches_intent_better_than_port_and_binding_baselines() {
 
     // ident++ makes essentially no mistakes on this workload: every decision
     // is based on the actual application identity.
-    assert!(identxx.accuracy() > 0.99, "ident++ accuracy {}", identxx.accuracy());
-    assert_eq!(identxx.false_allow, 0, "ident++ must not admit unwanted applications");
+    assert!(
+        identxx.accuracy() > 0.99,
+        "ident++ accuracy {}",
+        identxx.accuracy()
+    );
+    assert_eq!(
+        identxx.false_allow, 0,
+        "ident++ must not admit unwanted applications"
+    );
 
     // The baselines cannot separate the port-80 applications, so they leak
     // the unwanted ones through (false allows) — the Skype-vs-Web problem.
-    assert!(vanilla.false_allow > 0, "the port firewall should leak disguised apps");
+    assert!(
+        vanilla.false_allow > 0,
+        "the port firewall should leak disguised apps"
+    );
     assert!(ethane.false_allow > 0, "ethane should leak disguised apps");
     assert!(identxx.accuracy() > vanilla.accuracy());
     assert!(identxx.accuracy() > ethane.accuracy());
@@ -88,7 +103,10 @@ fn identxx_matches_intent_better_than_port_and_binding_baselines() {
 fn results_are_stable_across_seeds() {
     for seed in [1u64, 2, 3] {
         let (identxx, vanilla, _) = score_mechanisms(300, seed);
-        assert!(identxx.false_allow_rate() < vanilla.false_allow_rate(), "seed {seed}");
+        assert!(
+            identxx.false_allow_rate() < vanilla.false_allow_rate(),
+            "seed {seed}"
+        );
     }
 }
 

@@ -35,7 +35,10 @@ fn host_without_daemon_can_still_be_covered_by_interception() {
 
     // A policy that needs destination facts fails closed without a daemon…
     net.controller_mut()
-        .update_control_file("00.control", "block all\npass all with eq(@dst[name], httpd)\n")
+        .update_control_file(
+            "00.control",
+            "block all\npass all with eq(@dst[name], httpd)\n",
+        )
         .unwrap();
     let flow2 = net.start_app(hosts[0], hosts[1], 80, "alice", firefox_app());
     assert!(!net.decide(&flow2).is_pass());
@@ -95,7 +98,13 @@ fn tampered_executable_invalidates_delegation() {
     // with the same name and version has a different exe-hash, so verify()
     // rejects the delegation.
     let research_key = identxx::crypto::KeyPair::from_seed(b"research");
-    let genuine = Executable::new("/usr/bin/research-app", "research-app", 1, "lab", "research");
+    let genuine = Executable::new(
+        "/usr/bin/research-app",
+        "research-app",
+        1,
+        "lab",
+        "research",
+    );
     let requirements = "block all\npass all with eq(@src[name], research-app)";
     let signed = signed_app_config(&genuine, requirements, &research_key, None);
 
@@ -117,7 +126,13 @@ fn tampered_executable_invalidates_delegation() {
     // Trojaned binary at the same path: the OS reports a different hash
     // (simulated as a different version ⇒ different image), so the same
     // signed requirements no longer verify.
-    let trojaned = Executable::new("/usr/bin/research-app", "research-app", 2, "lab", "research");
+    let trojaned = Executable::new(
+        "/usr/bin/research-app",
+        "research-app",
+        2,
+        "lab",
+        "research",
+    );
     {
         let daemon = net.daemon_mut(hosts[2]).unwrap();
         daemon.add_app_config(signed);

@@ -85,7 +85,12 @@ async fn concurrent_queries_are_served() {
 
     let mut handles = Vec::new();
     for i in 0..16u16 {
-        let flow = FiveTuple::tcp([10, 0, 1, (i % 250) as u8 + 1], 41000 + i, [10, 0, 0, 5], 80);
+        let flow = FiveTuple::tcp(
+            [10, 0, 1, (i % 250) as u8 + 1],
+            41000 + i,
+            [10, 0, 0, 5],
+            80,
+        );
         handles.push(tokio::spawn(async move {
             query_daemon(addr, Query::new(flow)).await.unwrap().unwrap()
         }));

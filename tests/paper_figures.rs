@@ -1,9 +1,7 @@
 //! Integration tests reproducing the paper's figures end to end
 //! (daemon → controller → PF+=2 → OpenFlow installation).
 
-use identxx::core::figures::{
-    figure2_skype, figure45_research, figure67_secur, figure8_conficker,
-};
+use identxx::core::figures::{figure2_skype, figure45_research, figure67_secur, figure8_conficker};
 use identxx::core::scenario::render_table;
 use identxx::prelude::*;
 
@@ -42,7 +40,8 @@ fn figure1_flow_setup_sequence() {
     assert_eq!(report.decision, Decision::Pass);
     assert!(report.setup_latency_us > report.cached_latency_us);
     assert_eq!(report.ident_exchanges, 4);
-    assert!(report.openflow_messages >= 1 + 6);
+    // One packet-in plus a flow-mod per switch on the 6-switch path.
+    assert!(report.openflow_messages >= 7);
 }
 
 #[test]
@@ -89,12 +88,15 @@ fn figure6_and_7_secur_trust_delegation() {
     );
     // The audit log records which decisions relied on Secur's rules, so the
     // administrator can later revoke that trust.
-    assert!(scenario
-        .network
-        .controller()
-        .audit()
-        .by_rule_maker("Secur")
-        .count() >= 1);
+    assert!(
+        scenario
+            .network
+            .controller()
+            .audit()
+            .by_rule_maker("Secur")
+            .count()
+            >= 1
+    );
 }
 
 #[test]

@@ -25,7 +25,13 @@ fn arb_protocol() -> impl Strategy<Value = IpProtocol> {
 }
 
 fn arb_flow() -> impl Strategy<Value = FiveTuple> {
-    (arb_ip(), any::<u16>(), arb_ip(), any::<u16>(), arb_protocol())
+    (
+        arb_ip(),
+        any::<u16>(),
+        arb_ip(),
+        any::<u16>(),
+        arb_protocol(),
+    )
         .prop_map(|(src, sp, dst, dp, proto)| FiveTuple::new(src, sp, dst, dp, proto))
 }
 
@@ -151,7 +157,7 @@ proptest! {
             table.install(FlowEntry::new(FlowMatch::exact_five_tuple(f), 10, OfAction::Output(1)), 0);
         }
         let table_hit = table.peek(&PacketHeader::from_flow(&probe, 1)).is_some();
-        let reference_hit = flows.iter().any(|f| *f == probe);
+        let reference_hit = flows.contains(&probe);
         prop_assert_eq!(table_hit, reference_hit);
     }
 

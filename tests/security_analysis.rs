@@ -80,12 +80,17 @@ fn compromised_end_host_gains_only_what_its_claims_grant() {
     let mut net = network(8);
     let hosts = net.host_addrs();
     // The attacker's daemon claims to be the system backup service.
-    net.daemon_mut(hosts[0]).unwrap().set_forged_response(Some(vec![
-        ("userID".to_string(), "system".to_string()),
-        ("name".to_string(), "backupd".to_string()),
-    ]));
+    net.daemon_mut(hosts[0])
+        .unwrap()
+        .set_forged_response(Some(vec![
+            ("userID".to_string(), "system".to_string()),
+            ("name".to_string(), "backupd".to_string()),
+        ]));
     let forged = FiveTuple::tcp(hosts[0], 50000, hosts[1], 445);
-    assert!(net.decide(&forged).is_pass(), "forged identity is accepted (first line of defense only)");
+    assert!(
+        net.decide(&forged).is_pass(),
+        "forged identity is accepted (first line of defense only)"
+    );
 
     // Another (honest) host running the worm is still blocked: one compromise
     // does not become a network-wide bypass.
@@ -135,7 +140,10 @@ fn distributed_firewall_comparison_loses_everything_on_receiver_compromise() {
     let attack = FiveTuple::tcp([10, 0, 0, 9], 1, victim, 445);
     assert!(!dfw.allow(&attack));
     dfw.set_compromised(victim, true);
-    assert!(dfw.allow(&attack), "distributed firewall collapses with its host");
+    assert!(
+        dfw.allow(&attack),
+        "distributed firewall collapses with its host"
+    );
 
     // ident++: compromising the victim does not change what the *network*
     // lets the attacker send to it (the policy here blocks the worm port for

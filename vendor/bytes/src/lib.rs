@@ -1,0 +1,112 @@
+//! A hermetic, API-compatible stand-in for the parts of the `bytes` crate
+//! this workspace uses. The real crate is a crates.io dependency; this
+//! workspace builds without network access, so the subset `identxx-net`
+//! needs (`BytesMut` as a growable read buffer) is implemented here over a
+//! plain `Vec<u8>`. See DESIGN.md §2 for the substitution policy.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer supporting cheap-enough front consumption.
+///
+/// Unlike the real `BytesMut` this is not reference-counted and `split_to`
+/// copies; the protocol frames involved are small (≤128 KiB) and the
+/// workspace only uses it as a read-accumulation buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Appends `extend` to the end of the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.inner.extend_from_slice(extend);
+    }
+
+    /// Removes and returns the first `at` bytes, keeping the rest.
+    ///
+    /// Panics when `at > len`, matching the real crate.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.inner.len(), "split_to out of bounds");
+        let rest = self.inner.split_off(at);
+        let head = std::mem::replace(&mut self.inner, rest);
+        BytesMut { inner: head }
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(slice: &[u8]) -> BytesMut {
+        BytesMut {
+            inner: slice.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_to_consumes_front() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"hello world");
+        let head = buf.split_to(6);
+        assert_eq!(&head[..], b"hello ");
+        assert_eq!(&buf[..], b"world");
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn deref_exposes_slice() {
+        let mut buf = BytesMut::with_capacity(8);
+        assert!(buf.is_empty());
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(&*buf, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Hermetic stand-in for the parts of `proptest` this workspace uses.
+//!
+//! The real proptest is a crates.io dev-dependency; this workspace builds
+//! without network access, so the subset `tests/properties.rs` needs is
+//! implemented here: composable strategies (`any`, ranges, regex-like
+//! string patterns, tuples, `prop_map`, `Just`, unions, collections), the
+//! `proptest!` test-definition macro, and the `prop_assert*` / `prop_assume`
+//! family. Failing inputs are reported but *not shrunk* — shrinking is the
+//! main capability deliberately left out. See DESIGN.md §2.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Differences from real proptest: no persistence of failing seeds and no
+/// shrinking; the RNG seed is derived deterministically from the test name,
+/// so failures reproduce run-to-run.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    (@config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(16).max(16);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng); )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                            panic!(
+                                "property {} falsified after {} passing case(s): {}",
+                                stringify!($name), accepted, message
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    accepted >= config.cases,
+                    "property {} rejected too many inputs ({} accepted of {} attempts)",
+                    stringify!($name), accepted, attempts
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// A uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    left, right, format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left != right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Discards the current test case (does not count toward the case budget)
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in 0usize..3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn mapped_values_follow(x in (0u8..100).prop_map(|v| v as u32 * 2)) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!(x < 200);
+        }
+
+        #[test]
+        fn string_pattern_obeys_charset(s in "[a-c]{1,5}") {
+            prop_assert!(!s.is_empty() && s.len() <= 5, "bad len: {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn vectors_obey_size(v in prop::collection::vec(0u8..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(x in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn assume_discards_without_failing(x in 0u8..10) {
+            prop_assume!(x != 5);
+            prop_assert_ne!(x, 5);
+        }
+
+        #[test]
+        fn index_is_in_range(idx in any::<prop::sample::Index>(), len in 1usize..9) {
+            prop_assert!(idx.index(len) < len);
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u8..4, "[x-z]")) {
+            prop_assert!(pair.0 < 4);
+            prop_assert_eq!(pair.1.len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        // No #[test] meta on the inner fn: it is invoked directly below.
+        proptest! {
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 200);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,20 @@
+//! Sampling helpers (`prop::sample`).
+
+/// An index into a collection whose size is unknown at generation time;
+/// resolved against a concrete length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    pub(crate) fn new(raw: usize) -> Index {
+        Index { raw }
+    }
+
+    /// Resolves against a collection of `len` elements; `len` must be > 0.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        self.raw % len
+    }
+}

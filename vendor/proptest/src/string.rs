@@ -1,0 +1,133 @@
+//! The regex subset backing `&str` strategies.
+//!
+//! Supported syntax — exactly what the workspace's patterns need:
+//! character classes with ranges and `\`-escapes (`[a-zA-Z0-9_-]`,
+//! `[ -~\n\\]`), literal characters, and `{m}` / `{m,n}` repetition.
+//! Anything else (alternation, groups, `*`/`+`/`?`) is rejected loudly
+//! rather than mis-generated.
+
+use crate::test_runner::TestRng;
+
+/// A parsed pattern: a sequence of repeated character choices.
+pub struct Pattern {
+    atoms: Vec<Atom>,
+}
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+impl Pattern {
+    /// Parses `pattern`, panicking on unsupported syntax.
+    pub fn parse(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = read_char(&chars, &mut i);
+                        let is_range =
+                            i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']';
+                        if is_range {
+                            i += 1;
+                            let hi = read_char(&chars, &mut i);
+                            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                            set.extend(lo..=hi);
+                        } else {
+                            set.push(lo);
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                    i += 1; // consume ']'
+                    assert!(!set.is_empty(), "empty class in {pattern:?}");
+                    set
+                }
+                '*' | '+' | '?' | '(' | ')' | '|' => {
+                    panic!(
+                        "unsupported regex syntax {:?} in pattern {pattern:?}",
+                        chars[i]
+                    )
+                }
+                _ => vec![read_char(&chars, &mut i)],
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                parse_repeat(&chars, &mut i, pattern)
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom { choices, min, max });
+        }
+        Pattern { atoms }
+    }
+
+    /// Draws one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Reads one (possibly escaped) character, advancing `i`.
+fn read_char(chars: &[char], i: &mut usize) -> char {
+    let c = chars[*i];
+    *i += 1;
+    if c != '\\' {
+        return c;
+    }
+    let escaped = chars[*i];
+    *i += 1;
+    match escaped {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+/// Parses `{m}` or `{m,n}` starting at `i` (which points at `{`).
+fn parse_repeat(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    *i += 1; // consume '{'
+    let mut digits = String::new();
+    let mut min: Option<usize> = None;
+    loop {
+        assert!(*i < chars.len(), "unterminated repetition in {pattern:?}");
+        match chars[*i] {
+            '}' => {
+                *i += 1;
+                let last: usize = digits
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition count in {pattern:?}"));
+                return match min {
+                    Some(m) => (m, last),
+                    None => (last, last),
+                };
+            }
+            ',' => {
+                min = Some(
+                    digits
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repetition count in {pattern:?}")),
+                );
+                digits.clear();
+                *i += 1;
+            }
+            d if d.is_ascii_digit() => {
+                digits.push(d);
+                *i += 1;
+            }
+            other => panic!("unexpected {other:?} in repetition of {pattern:?}"),
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! A hermetic, API-compatible stand-in for the parts of the `rand` crate
+//! this workspace uses: `StdRng` seeded with `seed_from_u64`, and
+//! `Rng::{gen_range, gen_bool}` over integer ranges. The workload generator
+//! only needs a deterministic, well-mixed PRNG — cryptographic quality is
+//! explicitly *not* required there (seeds are experiment parameters).
+//!
+//! The generator is xoshiro256** seeded via SplitMix64, the same
+//! construction the real `rand` ecosystem popularized. See DESIGN.md §2 for
+//! the substitution policy.
+
+pub mod rngs {
+    /// A deterministic xoshiro256** generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = (self.s[1].wrapping_mul(5)).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding support, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // SplitMix64 to fill the xoshiro state, as recommended by its authors.
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open `low..high` range.
+pub trait SampleUniform: Copy {
+    fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut StdRng, low: $t, high: $t) -> $t {
+                assert!(low < high, "gen_range called with an empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Modulo bias is negligible for the small spans the workload
+                // generator uses (all ≪ 2^32) and irrelevant to determinism.
+                let offset = (rng.next_u64() as u128) % span;
+                (low as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Draws a value uniformly from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T;
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 bits of precision, like the real implementation's f64 path.
+        let draw = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        draw < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u32> = (0..16).map(|_| a.gen_range(0..1_000_000)).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.gen_range(0..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u16..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Hermetic stand-in for the `tokio-macros` proc-macro crate.
+//!
+//! Expands `#[tokio::main]` and `#[tokio::test]` on an `async fn` into a
+//! plain `fn` that drives the body with `tokio::runtime::block_on`. Flavor
+//! arguments (`#[tokio::main(flavor = "current_thread")]`) are accepted and
+//! ignored — the vendored runtime has a single flavor.
+//!
+//! Implemented with token-string surgery instead of `syn`/`quote` (which
+//! are unavailable offline): the attribute's input is a single `async fn`
+//! item, so locating the `async` keyword and the body block textually is
+//! reliable.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    transform(item, false)
+}
+
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    transform(item, true)
+}
+
+fn transform(item: TokenStream, is_test: bool) -> TokenStream {
+    let src = item.to_string();
+    let Some(async_pos) = find_async_fn(&src) else {
+        panic!("#[tokio::main]/#[tokio::test] may only be applied to an `async fn`");
+    };
+    // Everything before `async` (attributes, doc comments, visibility) is
+    // preserved; the `async` keyword itself is dropped.
+    let prefix = &src[..async_pos];
+    let after_async = src[async_pos..].strip_prefix("async").unwrap();
+    // The body is the outermost brace block; the signature (name, args,
+    // return type) is everything up to it. A return type cannot contain a
+    // bare `{`, so the first `{` after the signature opens the body.
+    let brace = after_async.find('{').expect("async fn has no body block");
+    let signature = &after_async[..brace];
+    let body = &after_async[brace..];
+    let test_attr = if is_test { "#[test]\n" } else { "" };
+    let out =
+        format!("{test_attr}{prefix}{signature} {{ tokio::runtime::block_on(async move {body}) }}");
+    out.parse().expect("generated fn failed to re-parse")
+}
+
+/// Byte offset of the `async` keyword that introduces the function, skipping
+/// anything inside attribute brackets or string literals in doc attributes.
+fn find_async_fn(src: &str) -> Option<usize> {
+    let bytes = src.as_bytes();
+    let mut depth = 0usize; // inside #[...] attribute groups
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' => depth += 1,
+            b']' => depth = depth.saturating_sub(1),
+            b'a' if depth == 0
+                && src[i..].starts_with("async")
+                && src[i + 5..].trim_start().starts_with("fn")
+                && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric() && bytes[i - 1] != b'_') =>
+            {
+                return Some(i);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}

@@ -1,0 +1,505 @@
+//! Hermetic stand-in for the parts of `tokio` this workspace uses.
+//!
+//! The real tokio is a crates.io dependency; this workspace builds without
+//! network access, so the subset `identxx-net` and its tests need is
+//! implemented here with the simplest semantics that are still honest:
+//!
+//! * [`runtime::block_on`] — a poll loop with a parking waker,
+//! * [`spawn`] — one OS thread per task (futures here block in I/O, so a
+//!   cooperative scheduler would deadlock; threads match the semantics),
+//! * [`net`] — `TcpListener` / `TcpStream` over blocking std sockets,
+//! * [`io`] — `AsyncReadExt` / `AsyncWriteExt` and an in-memory [`io::duplex`],
+//! * [`sync::Mutex`] — an async-`lock` façade over `std::sync::Mutex`,
+//! * [`time::timeout`] — deadline checked between polls (it cannot preempt a
+//!   blocking read; callers in this workspace never need that),
+//! * `#[tokio::main]` / `#[tokio::test]` re-exported from the vendored
+//!   `tokio-macros`.
+//!
+//! See DESIGN.md §2 for the substitution policy and its limits.
+
+pub use tokio_macros::{main, test};
+
+pub mod runtime {
+    use std::future::Future;
+    use std::pin::pin;
+    use std::sync::Arc;
+    use std::task::{Context, Poll, Wake, Waker};
+    use std::thread::{self, Thread};
+    use std::time::Duration;
+
+    struct ThreadWaker(Thread);
+
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+
+    /// Drives a future to completion on the calling thread.
+    ///
+    /// Parks between polls with a short timeout as a backstop: the I/O types
+    /// in this vendored runtime complete synchronously inside `poll`, so
+    /// `Pending` only arises from [`crate::time::timeout`] racing a deadline.
+    pub fn block_on<F: Future>(future: F) -> F::Output {
+        let mut future = pin!(future);
+        let waker = Waker::from(Arc::new(ThreadWaker(thread::current())));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(value) => return value,
+                Poll::Pending => thread::park_timeout(Duration::from_millis(1)),
+            }
+        }
+    }
+}
+
+pub mod task {
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::mpsc;
+    use std::task::{Context, Poll};
+
+    /// Error returned when a spawned task panicked before producing a value.
+    #[derive(Debug)]
+    pub struct JoinError;
+
+    impl fmt::Display for JoinError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "spawned task panicked")
+        }
+    }
+
+    impl std::error::Error for JoinError {}
+
+    /// Handle to a task spawned with [`crate::spawn`].
+    pub struct JoinHandle<T> {
+        pub(crate) rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Requests cancellation. The vendored runtime runs each task on its
+        /// own OS thread and cannot interrupt one blocked in I/O; the thread
+        /// is detached and exits with the process. Tasks in this workspace
+        /// that get aborted (accept loops) hold no resources that outlive it.
+        pub fn abort(&self) {}
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            // Blocking recv: awaiting a join handle is a terminal wait and
+            // the producing task runs on its own thread.
+            Poll::Ready(self.rx.recv().map_err(|_| JoinError))
+        }
+    }
+}
+
+/// Spawns a future onto its own OS thread, driven by [`runtime::block_on`].
+pub fn spawn<F>(future: F) -> task::JoinHandle<F::Output>
+where
+    F: std::future::Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let value = runtime::block_on(future);
+        let _ = tx.send(value);
+    });
+    task::JoinHandle { rx }
+}
+
+pub mod net {
+    use std::io;
+    use std::net::SocketAddr;
+
+    /// Async façade over a blocking `std::net::TcpListener`.
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        /// Binds to `addr`.
+        pub async fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+            Ok(TcpListener {
+                inner: std::net::TcpListener::bind(addr)?,
+            })
+        }
+
+        /// Accepts one connection (blocking inside `poll`).
+        pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (stream, peer) = self.inner.accept()?;
+            Ok((TcpStream { inner: stream }, peer))
+        }
+
+        /// The bound local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    /// Async façade over a blocking `std::net::TcpStream`.
+    pub struct TcpStream {
+        inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Connects to `addr`.
+        pub async fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+            Ok(TcpStream {
+                inner: std::net::TcpStream::connect(addr)?,
+            })
+        }
+
+        pub(crate) fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            use std::io::Read;
+            self.inner.read(buf)
+        }
+
+        pub(crate) fn write_all_bytes(&mut self, data: &[u8]) -> io::Result<()> {
+            use std::io::Write;
+            self.inner.write_all(data)
+        }
+
+        pub(crate) fn flush_bytes(&mut self) -> io::Result<()> {
+            use std::io::Write;
+            self.inner.flush()
+        }
+    }
+}
+
+pub mod io {
+    use std::collections::VecDeque;
+    use std::io;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    use bytes::BytesMut;
+
+    const READ_CHUNK: usize = 4096;
+
+    /// The `read_buf` subset of tokio's `AsyncReadExt`.
+    #[allow(async_fn_in_trait)]
+    pub trait AsyncReadExt {
+        /// Reads some bytes, appending them to `buf`; returns how many
+        /// (0 means end of stream).
+        async fn read_buf(&mut self, buf: &mut BytesMut) -> io::Result<usize>;
+    }
+
+    /// The `write_all`/`flush` subset of tokio's `AsyncWriteExt`.
+    #[allow(async_fn_in_trait)]
+    pub trait AsyncWriteExt {
+        /// Writes all of `data`.
+        async fn write_all(&mut self, data: &[u8]) -> io::Result<()>;
+        /// Flushes buffered writes.
+        async fn flush(&mut self) -> io::Result<()>;
+    }
+
+    impl AsyncReadExt for crate::net::TcpStream {
+        async fn read_buf(&mut self, buf: &mut BytesMut) -> io::Result<usize> {
+            let mut chunk = [0u8; READ_CHUNK];
+            let n = self.read_some(&mut chunk)?;
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(n)
+        }
+    }
+
+    impl AsyncWriteExt for crate::net::TcpStream {
+        async fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+            self.write_all_bytes(data)
+        }
+
+        async fn flush(&mut self) -> io::Result<()> {
+            self.flush_bytes()
+        }
+    }
+
+    /// One direction of an in-memory pipe.
+    #[derive(Default)]
+    struct Pipe {
+        state: Mutex<PipeState>,
+        readable: Condvar,
+    }
+
+    #[derive(Default)]
+    struct PipeState {
+        buf: VecDeque<u8>,
+        closed: bool,
+    }
+
+    impl Pipe {
+        fn write(&self, data: &[u8]) {
+            let mut state = self.state.lock().unwrap();
+            state.buf.extend(data.iter().copied());
+            self.readable.notify_all();
+        }
+
+        fn close(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.closed = true;
+            self.readable.notify_all();
+        }
+
+        fn read(&self, out: &mut BytesMut) -> usize {
+            let mut state = self.state.lock().unwrap();
+            loop {
+                if !state.buf.is_empty() {
+                    let n = state.buf.len().min(READ_CHUNK);
+                    for byte in state.buf.drain(..n) {
+                        out.extend_from_slice(&[byte]);
+                    }
+                    return n;
+                }
+                if state.closed {
+                    return 0;
+                }
+                state = self.readable.wait(state).unwrap();
+            }
+        }
+    }
+
+    /// One end of an in-memory, bidirectional stream created by [`duplex`].
+    pub struct DuplexStream {
+        read: Arc<Pipe>,
+        write: Arc<Pipe>,
+    }
+
+    impl Drop for DuplexStream {
+        fn drop(&mut self) {
+            // Dropping an end closes both directions, like the real type:
+            // the peer observes EOF after draining buffered bytes.
+            self.write.close();
+            self.read.close();
+        }
+    }
+
+    /// Creates an in-memory bidirectional channel. `_max_buf_size` is
+    /// accepted for API compatibility; the vendored pipe is unbounded, which
+    /// only makes writers complete sooner.
+    pub fn duplex(_max_buf_size: usize) -> (DuplexStream, DuplexStream) {
+        let ab = Arc::new(Pipe::default());
+        let ba = Arc::new(Pipe::default());
+        (
+            DuplexStream {
+                read: Arc::clone(&ba),
+                write: Arc::clone(&ab),
+            },
+            DuplexStream {
+                read: ab,
+                write: ba,
+            },
+        )
+    }
+
+    impl AsyncReadExt for DuplexStream {
+        async fn read_buf(&mut self, buf: &mut BytesMut) -> io::Result<usize> {
+            Ok(self.read.read(buf))
+        }
+    }
+
+    impl AsyncWriteExt for DuplexStream {
+        async fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+            self.write.write(data);
+            Ok(())
+        }
+
+        async fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+}
+
+pub mod sync {
+    use std::ops::{Deref, DerefMut};
+
+    /// Async façade over `std::sync::Mutex`. `lock` blocks the thread
+    /// instead of yielding; the critical sections in this workspace are
+    /// short and never await while holding the guard.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Wraps `value`.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Acquires the lock.
+        pub async fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard {
+                inner: self
+                    .inner
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            }
+        }
+    }
+
+    /// Guard returned by [`Mutex::lock`].
+    pub struct MutexGuard<'a, T> {
+        inner: std::sync::MutexGuard<'a, T>,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+}
+
+pub mod time {
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`timeout`] when the deadline passes first.
+    #[derive(Debug)]
+    pub struct Elapsed;
+
+    impl fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+
+    /// Future returned by [`timeout`].
+    pub struct Timeout<F> {
+        future: F,
+        deadline: Instant,
+    }
+
+    impl<F: Future> Future for Timeout<F> {
+        type Output = Result<F::Output, Elapsed>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            // Safety: `future` is never moved out of `this`; the projection
+            // is the standard manual pin-projection pattern.
+            let this = unsafe { self.get_unchecked_mut() };
+            let future = unsafe { Pin::new_unchecked(&mut this.future) };
+            match future.poll(cx) {
+                Poll::Ready(value) => Poll::Ready(Ok(value)),
+                Poll::Pending if Instant::now() >= this.deadline => Poll::Ready(Err(Elapsed)),
+                Poll::Pending => {
+                    cx.waker().wake_by_ref();
+                    Poll::Pending
+                }
+            }
+        }
+    }
+
+    /// Bounds `future` by `duration`. The deadline is only checked between
+    /// polls: the vendored I/O blocks inside `poll`, so a timeout cannot
+    /// preempt a stuck read — callers in this workspace rely on peers either
+    /// answering or closing the connection.
+    pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+        Timeout {
+            future,
+            deadline: Instant::now() + duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bytes::BytesMut;
+
+    use crate::io::{duplex, AsyncReadExt, AsyncWriteExt};
+    use crate::runtime::block_on;
+
+    #[test]
+    fn block_on_returns_value() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let handle = crate::spawn(async { 7u32 });
+        assert_eq!(block_on(handle).unwrap(), 7);
+    }
+
+    #[test]
+    fn duplex_round_trip_and_eof() {
+        block_on(async {
+            let (mut a, mut b) = duplex(64);
+            a.write_all(b"ping").await.unwrap();
+            a.flush().await.unwrap();
+            drop(a);
+            let mut buf = BytesMut::new();
+            let n = b.read_buf(&mut buf).await.unwrap();
+            assert_eq!(n, 4);
+            assert_eq!(&buf[..], b"ping");
+            assert_eq!(b.read_buf(&mut buf).await.unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn tcp_echo_over_loopback() {
+        block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0".parse().unwrap())
+                .await
+                .unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (mut stream, _) = listener.accept().await.unwrap();
+                let mut buf = BytesMut::new();
+                while stream.read_buf(&mut buf).await.unwrap() > 0 {
+                    if buf.len() >= 5 {
+                        break;
+                    }
+                }
+                stream.write_all(&buf).await.unwrap();
+            });
+            let mut client = crate::net::TcpStream::connect(addr).await.unwrap();
+            client.write_all(b"hello").await.unwrap();
+            let mut buf = BytesMut::new();
+            while buf.len() < 5 {
+                assert!(client.read_buf(&mut buf).await.unwrap() > 0);
+            }
+            assert_eq!(&buf[..], b"hello");
+            server.await.unwrap();
+        });
+    }
+
+    #[test]
+    fn timeout_elapses_on_pending_future() {
+        use std::time::Duration;
+        let forever = std::future::pending::<()>();
+        let result = block_on(crate::time::timeout(Duration::from_millis(20), forever));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn timeout_passes_through_ready_future() {
+        use std::time::Duration;
+        let result = block_on(crate::time::timeout(Duration::from_secs(5), async { 3 }));
+        assert_eq!(result.unwrap(), 3);
+    }
+
+    #[test]
+    fn async_mutex_guards_data() {
+        block_on(async {
+            let lock = crate::sync::Mutex::new(1u32);
+            {
+                let mut guard = lock.lock().await;
+                *guard += 1;
+            }
+            assert_eq!(*lock.lock().await, 2);
+        });
+    }
+}
