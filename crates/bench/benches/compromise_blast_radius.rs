@@ -2,210 +2,19 @@
 //! reaches after compromising each component, under ident++ versus the
 //! distributed-firewall baseline.
 //!
-//! The metric is the *blast radius*: out of all (victim, sensitive-port)
-//! pairs the policy is supposed to protect, how many can the attacker now
-//! reach?
+//! The per-scenario blast-radius table is printed by
+//! `cargo run --release -p identxx-bench --bin scenarios e6`; this bench
+//! only measures the scan.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use identxx_baselines::{DistributedFirewall, FlowClassifier};
-use identxx_controller::ControllerConfig;
-use identxx_core::EnterpriseNetwork;
-use identxx_hostmodel::Executable;
-use identxx_proto::{FiveTuple, Ipv4Addr};
-
-const SENSITIVE_PORT: u16 = 445;
-
-/// ident++ policy: only the backup application run by the system user may
-/// reach the file service.
-const POLICY: &str = "\
-block all
-pass all with eq(@src[userID], system) with eq(@src[name], backupd) with eq(@dst[name], Server) keep state
-";
-
-fn build_network(hosts: usize) -> EnterpriseNetwork {
-    let mut net = EnterpriseNetwork::star_with_config(
-        hosts,
-        ControllerConfig::new().with_control_file("00.control", POLICY),
-    )
-    .unwrap();
-    let server_exe = Executable::new(
-        "/win/services.exe",
-        "Server",
-        6,
-        "microsoft",
-        "file-service",
-    );
-    for addr in net.host_addrs() {
-        net.run_service(addr, "system", server_exe.clone(), SENSITIVE_PORT);
-    }
-    net
-}
-
-/// Counts how many victims the attacker at `attacker` can reach on the
-/// sensitive port after the given compromise scenario.
-fn identxx_blast_radius(net: &mut EnterpriseNetwork, attacker: Ipv4Addr) -> usize {
-    let malware = Executable::new("/tmp/conficker", "conficker", 1, "unknown", "worm");
-    let victims: Vec<Ipv4Addr> = net
-        .host_addrs()
-        .into_iter()
-        .filter(|a| *a != attacker)
-        .collect();
-    let mut reached = 0;
-    for (i, victim) in victims.iter().enumerate() {
-        let flow = {
-            match net.daemon_mut(attacker) {
-                Some(daemon) => daemon.host_mut().open_connection(
-                    "mallory",
-                    malware.clone(),
-                    48000 + i as u16,
-                    *victim,
-                    SENSITIVE_PORT,
-                ),
-                None => FiveTuple::tcp(attacker, 48000 + i as u16, *victim, SENSITIVE_PORT),
-            }
-        };
-        if net.decide(&flow).is_pass() {
-            reached += 1;
-        }
-    }
-    reached
-}
-
-fn print_blast_radius_table() {
-    let host_count = 20;
-    let total_victims = host_count - 1;
-    println!("\n# E6: blast radius after compromise (victims reachable on port {SENSITIVE_PORT}, out of {total_victims})");
-    println!(
-        "{:<42} {:>10} {:>14}",
-        "scenario", "ident++", "distributed-fw"
-    );
-
-    // Distributed firewall baseline: every host enforces "only port 22 from
-    // anywhere" (i.e. the sensitive port is closed); a compromised receiver
-    // stops enforcing.
-    let build_dfw = |compromised: &[Ipv4Addr]| {
-        let mut dfw = DistributedFirewall::new();
-        let net = build_network(host_count);
-        for addr in net.host_addrs() {
-            dfw.manage_host(addr, &[22]);
-        }
-        for addr in compromised {
-            dfw.set_compromised(*addr, true);
-        }
-        dfw
-    };
-    let dfw_radius = |dfw: &mut DistributedFirewall, attacker: Ipv4Addr, hosts: &[Ipv4Addr]| {
-        hosts
-            .iter()
-            .filter(|v| **v != attacker)
-            .filter(|v| dfw.allow(&FiveTuple::tcp(attacker, 48000, **v, SENSITIVE_PORT)))
-            .count()
-    };
-
-    // Scenario 1: no compromise.
-    let mut net = build_network(host_count);
-    let hosts = net.host_addrs();
-    let attacker = hosts[0];
-    let mut dfw = build_dfw(&[]);
-    println!(
-        "{:<42} {:>10} {:>14}",
-        "baseline (no compromise)",
-        identxx_blast_radius(&mut net, attacker),
-        dfw_radius(&mut dfw, attacker, &hosts)
-    );
-
-    // Scenario 2: one end-host compromised (attacker's own machine, daemon
-    // forges responses claiming to be the backup service).
-    let mut net = build_network(host_count);
-    net.daemon_mut(attacker)
-        .unwrap()
-        .set_forged_response(Some(vec![
-            ("userID".to_string(), "system".to_string()),
-            ("name".to_string(), "backupd".to_string()),
-        ]));
-    let mut dfw = build_dfw(&[attacker]);
-    println!(
-        "{:<42} {:>10} {:>14}",
-        "attacker's end-host compromised",
-        identxx_blast_radius(&mut net, attacker),
-        dfw_radius(&mut dfw, attacker, &hosts)
-    );
-
-    // Scenario 3: one *other* end-host (a victim) compromised. Under the
-    // distributed firewall that victim is now wide open; under ident++ the
-    // network still blocks the attacker's flows to everyone.
-    let victim = hosts[1];
-    let mut net = build_network(host_count);
-    net.daemon_mut(victim)
-        .unwrap()
-        .set_forged_response(Some(vec![("name".to_string(), "Server".to_string())]));
-    let mut dfw = build_dfw(&[victim]);
-    println!(
-        "{:<42} {:>10} {:>14}",
-        "one victim end-host compromised",
-        identxx_blast_radius(&mut net, attacker),
-        dfw_radius(&mut dfw, attacker, &hosts)
-    );
-
-    // Scenario 4: a switch is compromised (ident++/OpenFlow): the single
-    // switch in the star stops enforcing — everything behind it is reachable,
-    // matching §5.2's "compromising a single ident++-enabled switch can
-    // disable the protection it affords".
-    let mut net = build_network(host_count);
-    let switch_ids: Vec<_> = net.switches().keys().copied().collect();
-    for id in switch_ids {
-        net.switch_mut(id).unwrap().set_compromised(true);
-    }
-    let data_plane_reached = {
-        let hosts = net.host_addrs();
-        let malware = Executable::new("/tmp/conficker", "conficker", 1, "unknown", "worm");
-        let mut reached = 0;
-        for (i, victim) in hosts.iter().skip(1).enumerate() {
-            let flow = net
-                .daemon_mut(attacker)
-                .unwrap()
-                .host_mut()
-                .open_connection(
-                    "mallory",
-                    malware.clone(),
-                    52000 + i as u16,
-                    *victim,
-                    SENSITIVE_PORT,
-                );
-            if net.deliver_first_packet(&flow, 0).delivered {
-                reached += 1;
-            }
-        }
-        reached
-    };
-    let mut dfw = build_dfw(&[]); // distributed firewalls do not depend on switches
-    println!(
-        "{:<42} {:>10} {:>14}",
-        "switch compromised (data plane)",
-        data_plane_reached,
-        dfw_radius(&mut dfw, attacker, &hosts)
-    );
-
-    // Scenario 5: the controller itself is compromised — total loss, as §5.1
-    // concedes.
-    let mut net = build_network(host_count);
-    net.controller_mut().set_compromised(true);
-    let mut dfw = build_dfw(&[]);
-    println!(
-        "{:<42} {:>10} {:>14}",
-        "controller compromised",
-        identxx_blast_radius(&mut net, attacker),
-        dfw_radius(&mut dfw, attacker, &hosts)
-    );
-}
+use identxx_bench::scenarios::{blast_network, identxx_blast_radius};
 
 fn bench_blast_radius(c: &mut Criterion) {
-    print_blast_radius_table();
     let mut group = c.benchmark_group("compromise_blast_radius");
     group.sample_size(10);
     group.bench_function("scan_20_hosts_identxx", |b| {
         b.iter_batched(
-            || build_network(20),
+            || blast_network(20),
             |mut net| {
                 let attacker = net.host_addrs()[0];
                 identxx_blast_radius(&mut net, attacker)

@@ -1,115 +1,18 @@
 //! Experiment E7: expressiveness / collateral damage.
 //!
 //! The paper's motivating claim (§1) is that port-based policies are too
-//! coarse: "the administrator may wish to deny Skype access to an important
-//! webserver but is unable to because Skype and Web traffic both use
-//! destination port 80". This bench runs the same annotated workload through
-//! the ident++ controller, a vanilla port firewall, and an Ethane-style
-//! controller, and scores each against the administrator's intent.
+//! coarse. The intent-vs-decision scenario table is printed by
+//! `cargo run --release -p identxx-bench --bin scenarios e7`; this bench
+//! only measures the comparison loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use identxx_baselines::common::IntentScore;
-use identxx_baselines::{EthaneController, EthanePolicy, FlowClassifier, VanillaFirewall};
-use identxx_controller::ControllerConfig;
-use identxx_core::EnterpriseNetwork;
-use identxx_hostmodel::Executable;
-use identxx_netsim::workload::{WorkloadConfig, WorkloadGenerator};
-use identxx_proto::Ipv4Addr;
-
-/// The administrator's intent, expressed in ident++ terms: allow known-good
-/// applications (current skype, browsers, mail, ssh, Server, research-app),
-/// block old skype and unknown applications.
-const IDENTXX_POLICY: &str = "\
-block all
-pass all with eq(@src[name], firefox) keep state
-pass all with eq(@src[name], skype) with gte(@src[version], 200) keep state
-pass all with eq(@src[name], thunderbird) keep state
-pass all with eq(@src[name], ssh) keep state
-pass all with eq(@src[name], Server) keep state
-pass all with eq(@src[name], research-app) keep state
-";
-
-fn run_comparison(flow_count: usize, seed: u64) -> Vec<(String, IntentScore)> {
-    let mut net = EnterpriseNetwork::star_with_config(
-        20,
-        ControllerConfig::new().with_control_file("00.control", IDENTXX_POLICY),
-    )
-    .unwrap();
-    let hosts = net.host_addrs();
-    let workload =
-        WorkloadGenerator::new(WorkloadConfig::enterprise(hosts.clone(), flow_count, seed))
-            .generate();
-
-    // Baselines: the port firewall allows the ports the good applications
-    // need; Ethane binds every host to the "employees" group and allows
-    // employee traffic on those same ports.
-    let mut vanilla = VanillaFirewall::enterprise_default(Ipv4Addr::new(10, 0, 0, 0), 16);
-    vanilla.add_rule(identxx_baselines::PortRule::allow_port(7000)); // research app port
-    let mut ethane = EthaneController::new();
-    for addr in &hosts {
-        ethane.bind(*addr, format!("host-{addr}"), "employees");
-    }
-    for port in [80u16, 443, 25, 22, 445, 7000] {
-        ethane.add_rule(EthanePolicy {
-            src_group: Some("employees".into()),
-            dst_group: Some("employees".into()),
-            dst_port: Some(port),
-            allow: true,
-        });
-    }
-
-    let mut identxx_score = IntentScore::default();
-    let mut vanilla_score = IntentScore::default();
-    let mut ethane_score = IntentScore::default();
-
-    for flow in &workload {
-        // Stage the real application on the source host so the daemon reports
-        // the truth.
-        let exe = Executable::new(
-            format!("/usr/bin/{}", flow.app.name),
-            flow.app.name.replace("-old", ""),
-            flow.app.version,
-            "vendor",
-            &flow.app.app_type,
-        );
-        {
-            let daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
-            let pid = daemon.host_mut().spawn(&flow.user, exe);
-            daemon.host_mut().connect_flow(pid, flow.five_tuple);
-        }
-        let decision = net.decide(&flow.five_tuple).verdict.decision.is_pass();
-        identxx_score.record(flow.app.intended_allowed, decision);
-        vanilla_score.record(flow.app.intended_allowed, vanilla.allow(&flow.five_tuple));
-        ethane_score.record(flow.app.intended_allowed, ethane.allow(&flow.five_tuple));
-    }
-
-    vec![
-        ("ident++".to_string(), identxx_score),
-        ("vanilla-firewall".to_string(), vanilla_score),
-        ("ethane".to_string(), ethane_score),
-    ]
-}
+use identxx_bench::scenarios::run_expressiveness_comparison;
 
 fn bench_expressiveness(c: &mut Criterion) {
-    println!("\n# E7: decisions vs administrator intent (1000 flows, enterprise mix)");
-    println!(
-        "{:<18} {:>10} {:>14} {:>14}",
-        "mechanism", "accuracy", "false-allow", "false-block"
-    );
-    for (name, score) in run_comparison(1_000, 7) {
-        println!(
-            "{:<18} {:>9.1}% {:>13.1}% {:>13.1}%",
-            name,
-            score.accuracy() * 100.0,
-            score.false_allow_rate() * 100.0,
-            score.false_block_rate() * 100.0
-        );
-    }
-
     let mut group = c.benchmark_group("expressiveness");
     group.sample_size(10);
     group.bench_function("identxx_vs_baselines_200_flows", |b| {
-        b.iter(|| run_comparison(200, 11));
+        b.iter(|| run_expressiveness_comparison(200, 11));
     });
     group.finish();
 }

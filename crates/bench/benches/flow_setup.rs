@@ -1,51 +1,17 @@
-//! Experiment E1 (Fig. 1): flow-setup cost as a function of path length, and
-//! the rule-cache ablation.
+//! Experiment E1 (Fig. 1): flow-setup cost as a function of path length, the
+//! rule-cache ablation, and the controller-side compiled-vs-interpreted
+//! evaluation comparison.
 //!
-//! For each path length the bench measures the wall-clock cost of the
-//! controller's decision cycle, and also prints the *simulated* setup latency
-//! (queries + evaluation + installation) versus the cached data-path latency,
-//! which is the series the paper's Fig. 1 design implies.
+//! The simulated-latency scenario table is printed by
+//! `cargo run --release -p identxx-bench --bin scenarios e1`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use identxx_controller::ControllerConfig;
-use identxx_core::{firefox_app, EnterpriseNetwork};
-use identxx_proto::Ipv4Addr;
-
-fn policy() -> ControllerConfig {
-    ControllerConfig::new().with_control_file(
-        "00.control",
-        "block all\npass all with eq(@src[name], firefox) keep state\n",
-    )
-}
-
-fn setup_network(switches: usize) -> (EnterpriseNetwork, identxx_proto::FiveTuple) {
-    let mut net = EnterpriseNetwork::chain(switches, policy()).unwrap();
-    let client = Ipv4Addr::new(10, 0, 0, 1);
-    let server = Ipv4Addr::new(10, 0, 1, 1);
-    let flow = net.start_app(client, server, 80, "alice", firefox_app());
-    (net, flow)
-}
+use identxx_bench::scenarios::{flow_setup_network, flow_setup_policy, scaling_policy};
+use identxx_controller::{ControllerConfig, IdentxxController};
+use identxx_core::EnterpriseNetwork;
+use identxx_proto::{FiveTuple, Ipv4Addr, Response, Section};
 
 fn bench_flow_setup(c: &mut Criterion) {
-    println!("\n# E1: simulated flow-setup latency vs path length (Fig. 1 sequence)");
-    println!(
-        "{:>8} {:>16} {:>16} {:>10} {:>8} {:>8}",
-        "switches", "setup_us(sim)", "cached_us(sim)", "overhead", "ident", "openflow"
-    );
-    for switches in [1usize, 2, 4, 8, 16] {
-        let (mut net, flow) = setup_network(switches);
-        let report = net.simulate_flow_setup(&flow).unwrap();
-        println!(
-            "{:>8} {:>16} {:>16} {:>10.1} {:>8} {:>8}",
-            switches,
-            report.setup_latency_us,
-            report.cached_latency_us,
-            report.setup_overhead(),
-            report.ident_exchanges,
-            report.openflow_messages
-        );
-    }
-
     let mut group = c.benchmark_group("flow_setup_decision");
     for switches in [1usize, 4, 16] {
         group.bench_with_input(
@@ -53,7 +19,7 @@ fn bench_flow_setup(c: &mut Criterion) {
             &switches,
             |b, &switches| {
                 b.iter_batched(
-                    || setup_network(switches),
+                    || flow_setup_network(switches),
                     |(mut net, flow)| net.deliver_first_packet(&flow, 0),
                     criterion::BatchSize::SmallInput,
                 );
@@ -66,22 +32,47 @@ fn bench_flow_setup(c: &mut Criterion) {
     // table.
     let mut group = c.benchmark_group("rule_cache_ablation");
     group.bench_function("with_state_table", |b| {
-        let (mut net, flow) = setup_network(4);
+        let (mut net, flow) = flow_setup_network(4);
         net.decide(&flow);
         b.iter(|| net.decide(&flow));
     });
     group.bench_function("without_state_table", |b| {
-        let mut net = EnterpriseNetwork::chain(4, policy().without_state_table()).unwrap();
+        let mut net =
+            EnterpriseNetwork::chain(4, flow_setup_policy().without_state_table()).unwrap();
         let flow = net.start_app(
             Ipv4Addr::new(10, 0, 0, 1),
             Ipv4Addr::new(10, 0, 1, 1),
             80,
             "alice",
-            firefox_app(),
+            identxx_core::firefox_app(),
         );
         net.decide(&flow);
         b.iter(|| net.decide(&flow));
     });
+    group.finish();
+
+    // The policy-evaluation step of the flow-setup pipeline in isolation:
+    // the controller's compiled fast path against the reference interpreter,
+    // at growing policy sizes.
+    let mut group = c.benchmark_group("controller_evaluation");
+    let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+    let mut src = Response::new(flow);
+    let mut section = Section::new();
+    section.push("name", "firefox");
+    src.push_section(section);
+    let dst = Response::new(flow);
+    for n in [10usize, 100, 1_000] {
+        let controller = IdentxxController::new(
+            ControllerConfig::new().with_control_file("00.control", scaling_policy(n, false)),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, _| {
+            b.iter(|| controller.evaluate_only(&flow, Some(&src), Some(&dst)));
+        });
+        group.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
+            b.iter(|| controller.evaluate_interpreted(&flow, Some(&src), Some(&dst)));
+        });
+    }
     group.finish();
 }
 

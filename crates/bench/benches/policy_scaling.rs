@@ -1,73 +1,52 @@
-//! Experiment E8a: controller decision cost versus policy size, and the
-//! `quick` short-circuit ablation.
+//! Experiment E8a: controller decision cost versus policy size — the
+//! interpreter (last-match and `quick`) against the compiled evaluator.
+//!
+//! The scenario table (rules examined per decision) is printed by
+//! `cargo run --release -p identxx-bench --bin scenarios e8a`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use identxx_pf::{parse_ruleset, Decision, EvalContext};
-use identxx_proto::{FiveTuple, Response, Section};
-
-/// Builds a policy with `n` non-matching application rules followed by one
-/// matching rule. With `quick` the matching rule ends evaluation early when it
-/// is placed first instead.
-fn build_policy(n: usize, quick_first: bool) -> String {
-    let mut policy = String::from("block all\n");
-    if quick_first {
-        policy.push_str("pass quick all with eq(@src[name], firefox)\n");
-    }
-    for i in 0..n {
-        policy.push_str(&format!("pass all with eq(@src[name], app-{i})\n"));
-    }
-    if !quick_first {
-        policy.push_str("pass all with eq(@src[name], firefox)\n");
-    }
-    policy
-}
-
-fn responses(flow: FiveTuple) -> (Response, Response) {
-    let mut src = Response::new(flow);
-    let mut s = Section::new();
-    s.push("name", "firefox");
-    s.push("userID", "alice");
-    src.push_section(s);
-    (src, Response::new(flow))
-}
+use identxx_bench::scenarios::{scaling_policy, scaling_responses};
+use identxx_pf::{parse_ruleset, CompiledPolicy, EvalContext, PolicyCompiler};
+use identxx_proto::FiveTuple;
 
 fn bench_policy_scaling(c: &mut Criterion) {
     let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
-    let (src, dst) = responses(flow);
+    let (src, dst) = scaling_responses(flow);
 
-    println!("\n# E8a: rules evaluated per decision vs policy size (last-match vs quick)");
-    println!(
-        "{:>8} {:>18} {:>18}",
-        "rules", "evaluated(last)", "evaluated(quick)"
-    );
-    for n in [10usize, 100, 1_000, 10_000] {
-        let last = parse_ruleset(&build_policy(n, false)).unwrap();
-        let quick = parse_ruleset(&build_policy(n, true)).unwrap();
-        let v_last = EvalContext::new(&last)
-            .with_responses(&src, &dst)
-            .evaluate(&flow);
-        let v_quick = EvalContext::new(&quick)
-            .with_responses(&src, &dst)
-            .evaluate(&flow);
-        assert_eq!(v_last.decision, Decision::Pass);
-        assert_eq!(v_quick.decision, Decision::Pass);
-        println!(
-            "{:>8} {:>18} {:>18}",
-            n, v_last.rules_evaluated, v_quick.rules_evaluated
-        );
-    }
-
+    // Interpreted vs compiled, side by side, at each policy size. The
+    // compiled numbers are the acceptance series for the PF+=2 compilation
+    // pass (≥ 5× at 1000 rules).
     let mut group = c.benchmark_group("policy_evaluation");
     for n in [10usize, 100, 1_000, 10_000] {
-        let ruleset = parse_ruleset(&build_policy(n, false)).unwrap();
-        group.bench_with_input(BenchmarkId::new("last_match", n), &n, |b, _| {
+        let ruleset = parse_ruleset(&scaling_policy(n, false)).unwrap();
+        group.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
             let ctx = EvalContext::new(&ruleset).with_responses(&src, &dst);
             b.iter(|| ctx.evaluate(&flow));
         });
-        let quick_ruleset = parse_ruleset(&build_policy(n, true)).unwrap();
-        group.bench_with_input(BenchmarkId::new("quick", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, _| {
+            let compiled = CompiledPolicy::compile(&ruleset);
+            b.iter(|| compiled.evaluate(&flow, Some(&src), Some(&dst)));
+        });
+        let quick_ruleset = parse_ruleset(&scaling_policy(n, true)).unwrap();
+        group.bench_with_input(BenchmarkId::new("interpreted_quick", n), &n, |b, _| {
             let ctx = EvalContext::new(&quick_ruleset).with_responses(&src, &dst);
             b.iter(|| ctx.evaluate(&flow));
+        });
+        group.bench_with_input(BenchmarkId::new("compiled_quick", n), &n, |b, _| {
+            let compiled = CompiledPolicy::compile(&quick_ruleset);
+            b.iter(|| compiled.evaluate(&flow, Some(&src), Some(&dst)));
+        });
+    }
+    group.finish();
+
+    // The cost of compilation itself (amortized over a policy's lifetime; the
+    // controller recompiles only when a `.control` file changes).
+    let mut group = c.benchmark_group("policy_compilation");
+    group.sample_size(20);
+    for n in [100usize, 1_000] {
+        let ruleset = parse_ruleset(&scaling_policy(n, false)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| PolicyCompiler::new().compile(&ruleset));
         });
     }
     group.finish();
@@ -75,7 +54,7 @@ fn bench_policy_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy_parsing");
     group.sample_size(20);
     for n in [100usize, 1_000] {
-        let text = build_policy(n, false);
+        let text = scaling_policy(n, false);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| parse_ruleset(&text).unwrap());
         });

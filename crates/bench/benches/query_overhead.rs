@@ -1,66 +1,14 @@
 //! Experiment E8b: ident++ query overhead per new flow, and the effect of
 //! workload locality on the controller's rule cache.
+//!
+//! The locality-sweep scenario table is printed by
+//! `cargo run --release -p identxx-bench --bin scenarios e8b`; this bench
+//! only measures the workload loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use identxx_controller::ControllerConfig;
-use identxx_core::EnterpriseNetwork;
-use identxx_hostmodel::Executable;
-use identxx_netsim::workload::{WorkloadConfig, WorkloadGenerator};
-
-const POLICY: &str = "\
-block all
-pass all with eq(@src[name], firefox) keep state
-pass all with eq(@src[name], skype) with gte(@src[version], 200) keep state
-pass all with eq(@src[name], thunderbird) keep state
-pass all with eq(@src[name], ssh) keep state
-pass all with eq(@src[name], Server) keep state
-pass all with eq(@src[name], research-app) keep state
-";
-
-fn run_workload(flow_count: usize, locality: f64, seed: u64) -> (f64, u64, usize) {
-    let mut net = EnterpriseNetwork::star_with_config(
-        20,
-        ControllerConfig::new().with_control_file("00.control", POLICY),
-    )
-    .unwrap();
-    let hosts = net.host_addrs();
-    let mut config = WorkloadConfig::enterprise(hosts, flow_count, seed);
-    config.locality = locality;
-    let flows = WorkloadGenerator::new(config).generate();
-    for flow in &flows {
-        let exe = Executable::new(
-            format!("/usr/bin/{}", flow.app.name),
-            flow.app.name.replace("-old", ""),
-            flow.app.version,
-            "vendor",
-            &flow.app.app_type,
-        );
-        let daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
-        let pid = daemon.host_mut().spawn(&flow.user, exe);
-        daemon.host_mut().connect_flow(pid, flow.five_tuple);
-        net.decide(&flow.five_tuple);
-    }
-    let audit = net.controller().audit();
-    (audit.cache_hit_ratio(), audit.total_queries(), flows.len())
-}
+use identxx_bench::scenarios::run_query_workload;
 
 fn bench_query_overhead(c: &mut Criterion) {
-    println!("\n# E8b: ident++ queries per flow vs workload locality (2000 flows)");
-    println!(
-        "{:>10} {:>16} {:>16} {:>16}",
-        "locality", "cache-hit-ratio", "total queries", "queries/flow"
-    );
-    for locality in [0.0f64, 0.25, 0.5, 0.75, 0.9] {
-        let (hit_ratio, queries, flows) = run_workload(2_000, locality, 13);
-        println!(
-            "{:>10.2} {:>15.1}% {:>16} {:>16.2}",
-            locality,
-            hit_ratio * 100.0,
-            queries,
-            queries as f64 / flows as f64
-        );
-    }
-
     let mut group = c.benchmark_group("query_overhead");
     group.sample_size(10);
     for locality in [0.0f64, 0.9] {
@@ -68,7 +16,7 @@ fn bench_query_overhead(c: &mut Criterion) {
             BenchmarkId::new("workload_500_flows", format!("locality_{locality}")),
             &locality,
             |b, &locality| {
-                b.iter(|| run_workload(500, locality, 29));
+                b.iter(|| run_query_workload(500, locality, 29));
             },
         );
     }

@@ -1,0 +1,33 @@
+//! Prints the experiment scenario tables (E1, E6, E7, E8a, E8b) that used to
+//! be side effects of `cargo bench`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p identxx-bench --bin scenarios            # all tables
+//! cargo run --release -p identxx-bench --bin scenarios e6 e8a    # a subset
+//! ```
+
+use identxx_bench::scenarios;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec!["e1", "e6", "e7", "e8a", "e8b"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for experiment in selected {
+        match experiment {
+            "e1" => scenarios::print_e1(),
+            "e6" => scenarios::print_e6(),
+            "e7" => scenarios::print_e7(),
+            "e8a" => scenarios::print_e8a(),
+            "e8b" => scenarios::print_e8b(),
+            other => {
+                eprintln!("unknown experiment {other:?}; expected e1, e6, e7, e8a, e8b, or all");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,1 +1,7 @@
-//! Benchmark-only crate: all content lives in `benches/`. See EXPERIMENTS.md for the experiment index.
+//! Benchmark crate: `benches/` holds the criterion measurements (pure
+//! timing, no scenario tables); [`scenarios`] holds the shared fixtures and
+//! the printable experiment tables consumed by the `scenarios` binary
+//! (`cargo run --release -p identxx-bench --bin scenarios`). See
+//! EXPERIMENTS.md for the experiment index.
+
+pub mod scenarios;

@@ -1,0 +1,473 @@
+//! Scenario fixtures and printable experiment tables.
+//!
+//! The criterion benches under `benches/` used to print the E1/E6/E7/E8a/E8b
+//! scenario tables as a side effect, which made `cargo bench` part
+//! measurement, part report. The fixtures now live here, shared by two
+//! consumers:
+//!
+//! * the `scenarios` binary (`cargo run --release -p identxx-bench --bin
+//!   scenarios [e1|e6|e7|e8a|e8b|all]`) prints the tables,
+//! * the benches reuse the same fixtures for pure measurement.
+
+use identxx_baselines::common::IntentScore;
+use identxx_baselines::{
+    DistributedFirewall, EthaneController, EthanePolicy, FlowClassifier, VanillaFirewall,
+};
+use identxx_controller::ControllerConfig;
+use identxx_core::{firefox_app, EnterpriseNetwork};
+use identxx_hostmodel::Executable;
+use identxx_netsim::workload::{WorkloadConfig, WorkloadGenerator};
+use identxx_pf::{parse_ruleset, CompiledPolicy, Decision, EvalContext};
+use identxx_proto::{FiveTuple, Ipv4Addr, Response, Section};
+
+// ---------------------------------------------------------------------------
+// E1: flow-setup latency vs path length
+// ---------------------------------------------------------------------------
+
+/// The default single-rule policy used by the flow-setup experiment.
+pub fn flow_setup_policy() -> ControllerConfig {
+    ControllerConfig::new().with_control_file(
+        "00.control",
+        "block all\npass all with eq(@src[name], firefox) keep state\n",
+    )
+}
+
+/// A chain network of `switches` switches with one firefox flow staged.
+pub fn flow_setup_network(switches: usize) -> (EnterpriseNetwork, FiveTuple) {
+    let mut net = EnterpriseNetwork::chain(switches, flow_setup_policy()).unwrap();
+    let client = Ipv4Addr::new(10, 0, 0, 1);
+    let server = Ipv4Addr::new(10, 0, 1, 1);
+    let flow = net.start_app(client, server, 80, "alice", firefox_app());
+    (net, flow)
+}
+
+/// Prints the E1 table: simulated flow-setup latency vs path length (the
+/// Fig. 1 sequence).
+pub fn print_e1() {
+    println!("\n# E1: simulated flow-setup latency vs path length (Fig. 1 sequence)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10} {:>8} {:>8}",
+        "switches", "setup_us(sim)", "cached_us(sim)", "overhead", "ident", "openflow"
+    );
+    for switches in [1usize, 2, 4, 8, 16] {
+        let (mut net, flow) = flow_setup_network(switches);
+        let report = net.simulate_flow_setup(&flow).unwrap();
+        println!(
+            "{:>8} {:>16} {:>16} {:>10.1} {:>8} {:>8}",
+            switches,
+            report.setup_latency_us,
+            report.cached_latency_us,
+            report.setup_overhead(),
+            report.ident_exchanges,
+            report.openflow_messages
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E6: compromise blast radius
+// ---------------------------------------------------------------------------
+
+const SENSITIVE_PORT: u16 = 445;
+
+/// ident++ policy for E6: only the backup application run by the system user
+/// may reach the file service.
+const BLAST_POLICY: &str = "\
+block all
+pass all with eq(@src[userID], system) with eq(@src[name], backupd) with eq(@dst[name], Server) keep state
+";
+
+/// Builds the E6 star network with the file service on every host.
+pub fn blast_network(hosts: usize) -> EnterpriseNetwork {
+    let mut net = EnterpriseNetwork::star_with_config(
+        hosts,
+        ControllerConfig::new().with_control_file("00.control", BLAST_POLICY),
+    )
+    .unwrap();
+    let server_exe = Executable::new(
+        "/win/services.exe",
+        "Server",
+        6,
+        "microsoft",
+        "file-service",
+    );
+    for addr in net.host_addrs() {
+        net.run_service(addr, "system", server_exe.clone(), SENSITIVE_PORT);
+    }
+    net
+}
+
+/// Counts how many victims the attacker at `attacker` can reach on the
+/// sensitive port.
+pub fn identxx_blast_radius(net: &mut EnterpriseNetwork, attacker: Ipv4Addr) -> usize {
+    let malware = Executable::new("/tmp/conficker", "conficker", 1, "unknown", "worm");
+    let victims: Vec<Ipv4Addr> = net
+        .host_addrs()
+        .into_iter()
+        .filter(|a| *a != attacker)
+        .collect();
+    let mut reached = 0;
+    for (i, victim) in victims.iter().enumerate() {
+        let flow = {
+            match net.daemon_mut(attacker) {
+                Some(daemon) => daemon.host_mut().open_connection(
+                    "mallory",
+                    malware.clone(),
+                    48000 + i as u16,
+                    *victim,
+                    SENSITIVE_PORT,
+                ),
+                None => FiveTuple::tcp(attacker, 48000 + i as u16, *victim, SENSITIVE_PORT),
+            }
+        };
+        if net.decide(&flow).is_pass() {
+            reached += 1;
+        }
+    }
+    reached
+}
+
+/// Prints the E6 table: blast radius per compromise scenario, ident++ vs the
+/// distributed-firewall baseline.
+pub fn print_e6() {
+    let host_count = 20;
+    let total_victims = host_count - 1;
+    println!("\n# E6: blast radius after compromise (victims reachable on port {SENSITIVE_PORT}, out of {total_victims})");
+    println!(
+        "{:<42} {:>10} {:>14}",
+        "scenario", "ident++", "distributed-fw"
+    );
+
+    // Distributed firewall baseline: every host enforces "only port 22 from
+    // anywhere" (i.e. the sensitive port is closed); a compromised receiver
+    // stops enforcing.
+    let build_dfw = |compromised: &[Ipv4Addr]| {
+        let mut dfw = DistributedFirewall::new();
+        let net = blast_network(host_count);
+        for addr in net.host_addrs() {
+            dfw.manage_host(addr, &[22]);
+        }
+        for addr in compromised {
+            dfw.set_compromised(*addr, true);
+        }
+        dfw
+    };
+    let dfw_radius = |dfw: &mut DistributedFirewall, attacker: Ipv4Addr, hosts: &[Ipv4Addr]| {
+        hosts
+            .iter()
+            .filter(|v| **v != attacker)
+            .filter(|v| dfw.allow(&FiveTuple::tcp(attacker, 48000, **v, SENSITIVE_PORT)))
+            .count()
+    };
+
+    // Scenario 1: no compromise.
+    let mut net = blast_network(host_count);
+    let hosts = net.host_addrs();
+    let attacker = hosts[0];
+    let mut dfw = build_dfw(&[]);
+    println!(
+        "{:<42} {:>10} {:>14}",
+        "baseline (no compromise)",
+        identxx_blast_radius(&mut net, attacker),
+        dfw_radius(&mut dfw, attacker, &hosts)
+    );
+
+    // Scenario 2: one end-host compromised (attacker's own machine, daemon
+    // forges responses claiming to be the backup service).
+    let mut net = blast_network(host_count);
+    net.daemon_mut(attacker)
+        .unwrap()
+        .set_forged_response(Some(vec![
+            ("userID".to_string(), "system".to_string()),
+            ("name".to_string(), "backupd".to_string()),
+        ]));
+    let mut dfw = build_dfw(&[attacker]);
+    println!(
+        "{:<42} {:>10} {:>14}",
+        "attacker's end-host compromised",
+        identxx_blast_radius(&mut net, attacker),
+        dfw_radius(&mut dfw, attacker, &hosts)
+    );
+
+    // Scenario 3: one *other* end-host (a victim) compromised. Under the
+    // distributed firewall that victim is now wide open; under ident++ the
+    // network still blocks the attacker's flows to everyone.
+    let victim = hosts[1];
+    let mut net = blast_network(host_count);
+    net.daemon_mut(victim)
+        .unwrap()
+        .set_forged_response(Some(vec![("name".to_string(), "Server".to_string())]));
+    let mut dfw = build_dfw(&[victim]);
+    println!(
+        "{:<42} {:>10} {:>14}",
+        "one victim end-host compromised",
+        identxx_blast_radius(&mut net, attacker),
+        dfw_radius(&mut dfw, attacker, &hosts)
+    );
+
+    // Scenario 4: a switch is compromised (ident++/OpenFlow): the single
+    // switch in the star stops enforcing — everything behind it is reachable,
+    // matching §5.2's "compromising a single ident++-enabled switch can
+    // disable the protection it affords".
+    let mut net = blast_network(host_count);
+    let switch_ids: Vec<_> = net.switches().keys().copied().collect();
+    for id in switch_ids {
+        net.switch_mut(id).unwrap().set_compromised(true);
+    }
+    let data_plane_reached = {
+        let hosts = net.host_addrs();
+        let malware = Executable::new("/tmp/conficker", "conficker", 1, "unknown", "worm");
+        let mut reached = 0;
+        for (i, victim) in hosts.iter().skip(1).enumerate() {
+            let flow = net
+                .daemon_mut(attacker)
+                .unwrap()
+                .host_mut()
+                .open_connection(
+                    "mallory",
+                    malware.clone(),
+                    52000 + i as u16,
+                    *victim,
+                    SENSITIVE_PORT,
+                );
+            if net.deliver_first_packet(&flow, 0).delivered {
+                reached += 1;
+            }
+        }
+        reached
+    };
+    let mut dfw = build_dfw(&[]); // distributed firewalls do not depend on switches
+    println!(
+        "{:<42} {:>10} {:>14}",
+        "switch compromised (data plane)",
+        data_plane_reached,
+        dfw_radius(&mut dfw, attacker, &hosts)
+    );
+
+    // Scenario 5: the controller itself is compromised — total loss, as §5.1
+    // concedes.
+    let mut net = blast_network(host_count);
+    net.controller_mut().set_compromised(true);
+    let mut dfw = build_dfw(&[]);
+    println!(
+        "{:<42} {:>10} {:>14}",
+        "controller compromised",
+        identxx_blast_radius(&mut net, attacker),
+        dfw_radius(&mut dfw, attacker, &hosts)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// E7: expressiveness / collateral damage
+// ---------------------------------------------------------------------------
+
+/// The administrator's intent, expressed in ident++ terms: allow known-good
+/// applications (current skype, browsers, mail, ssh, Server, research-app),
+/// block old skype and unknown applications. Shared by the E7
+/// (expressiveness) and E8b (query overhead) experiments, which run the same
+/// enterprise workload against the same policy.
+const ALLOW_KNOWN_APPS_POLICY: &str = "\
+block all
+pass all with eq(@src[name], firefox) keep state
+pass all with eq(@src[name], skype) with gte(@src[version], 200) keep state
+pass all with eq(@src[name], thunderbird) keep state
+pass all with eq(@src[name], ssh) keep state
+pass all with eq(@src[name], Server) keep state
+pass all with eq(@src[name], research-app) keep state
+";
+
+/// Runs the annotated workload through ident++, a vanilla port firewall, and
+/// an Ethane-style controller, scoring each against the administrator's
+/// intent.
+pub fn run_expressiveness_comparison(flow_count: usize, seed: u64) -> Vec<(String, IntentScore)> {
+    let mut net = EnterpriseNetwork::star_with_config(
+        20,
+        ControllerConfig::new().with_control_file("00.control", ALLOW_KNOWN_APPS_POLICY),
+    )
+    .unwrap();
+    let hosts = net.host_addrs();
+    let workload =
+        WorkloadGenerator::new(WorkloadConfig::enterprise(hosts.clone(), flow_count, seed))
+            .generate();
+
+    // Baselines: the port firewall allows the ports the good applications
+    // need; Ethane binds every host to the "employees" group and allows
+    // employee traffic on those same ports.
+    let mut vanilla = VanillaFirewall::enterprise_default(Ipv4Addr::new(10, 0, 0, 0), 16);
+    vanilla.add_rule(identxx_baselines::PortRule::allow_port(7000)); // research app port
+    let mut ethane = EthaneController::new();
+    for addr in &hosts {
+        ethane.bind(*addr, format!("host-{addr}"), "employees");
+    }
+    for port in [80u16, 443, 25, 22, 445, 7000] {
+        ethane.add_rule(EthanePolicy {
+            src_group: Some("employees".into()),
+            dst_group: Some("employees".into()),
+            dst_port: Some(port),
+            allow: true,
+        });
+    }
+
+    let mut identxx_score = IntentScore::default();
+    let mut vanilla_score = IntentScore::default();
+    let mut ethane_score = IntentScore::default();
+
+    for flow in &workload {
+        // Stage the real application on the source host so the daemon reports
+        // the truth.
+        let exe = Executable::new(
+            format!("/usr/bin/{}", flow.app.name),
+            flow.app.name.replace("-old", ""),
+            flow.app.version,
+            "vendor",
+            &flow.app.app_type,
+        );
+        {
+            let daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
+            let pid = daemon.host_mut().spawn(&flow.user, exe);
+            daemon.host_mut().connect_flow(pid, flow.five_tuple);
+        }
+        let decision = net.decide(&flow.five_tuple).verdict.decision.is_pass();
+        identxx_score.record(flow.app.intended_allowed, decision);
+        vanilla_score.record(flow.app.intended_allowed, vanilla.allow(&flow.five_tuple));
+        ethane_score.record(flow.app.intended_allowed, ethane.allow(&flow.five_tuple));
+    }
+
+    vec![
+        ("ident++".to_string(), identxx_score),
+        ("vanilla-firewall".to_string(), vanilla_score),
+        ("ethane".to_string(), ethane_score),
+    ]
+}
+
+/// Prints the E7 table: decisions vs administrator intent.
+pub fn print_e7() {
+    println!("\n# E7: decisions vs administrator intent (1000 flows, enterprise mix)");
+    println!(
+        "{:<18} {:>10} {:>14} {:>14}",
+        "mechanism", "accuracy", "false-allow", "false-block"
+    );
+    for (name, score) in run_expressiveness_comparison(1_000, 7) {
+        println!(
+            "{:<18} {:>9.1}% {:>13.1}% {:>13.1}%",
+            name,
+            score.accuracy() * 100.0,
+            score.false_allow_rate() * 100.0,
+            score.false_block_rate() * 100.0
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E8a: policy scaling
+// ---------------------------------------------------------------------------
+
+/// Builds a policy with `n` non-matching application rules followed by one
+/// matching rule. With `quick` the matching rule ends evaluation early when
+/// it is placed first instead.
+pub fn scaling_policy(n: usize, quick_first: bool) -> String {
+    let mut policy = String::from("block all\n");
+    if quick_first {
+        policy.push_str("pass quick all with eq(@src[name], firefox)\n");
+    }
+    for i in 0..n {
+        policy.push_str(&format!("pass all with eq(@src[name], app-{i})\n"));
+    }
+    if !quick_first {
+        policy.push_str("pass all with eq(@src[name], firefox)\n");
+    }
+    policy
+}
+
+/// The firefox src response (and an empty dst response) the scaling
+/// experiment evaluates against.
+pub fn scaling_responses(flow: FiveTuple) -> (Response, Response) {
+    let mut src = Response::new(flow);
+    let mut s = Section::new();
+    s.push("name", "firefox");
+    s.push("userID", "alice");
+    src.push_section(s);
+    (src, Response::new(flow))
+}
+
+/// Prints the E8a table: rules examined per decision vs policy size, for
+/// last-match, `quick`, and the compiled evaluator.
+pub fn print_e8a() {
+    let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+    let (src, dst) = scaling_responses(flow);
+    println!("\n# E8a: rules evaluated per decision vs policy size (last-match vs quick)");
+    println!(
+        "{:>8} {:>18} {:>18} {:>18}",
+        "rules", "evaluated(last)", "evaluated(quick)", "evaluated(compiled)"
+    );
+    for n in [10usize, 100, 1_000, 10_000] {
+        let last = parse_ruleset(&scaling_policy(n, false)).unwrap();
+        let quick = parse_ruleset(&scaling_policy(n, true)).unwrap();
+        let v_last = EvalContext::new(&last)
+            .with_responses(&src, &dst)
+            .evaluate(&flow);
+        let v_quick = EvalContext::new(&quick)
+            .with_responses(&src, &dst)
+            .evaluate(&flow);
+        let v_compiled = CompiledPolicy::compile(&last).evaluate(&flow, Some(&src), Some(&dst));
+        assert_eq!(v_last.decision, Decision::Pass);
+        assert_eq!(v_quick.decision, Decision::Pass);
+        assert_eq!(v_compiled.decision, Decision::Pass);
+        println!(
+            "{:>8} {:>18} {:>18} {:>18}",
+            n, v_last.rules_evaluated, v_quick.rules_evaluated, v_compiled.rules_evaluated
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E8b: query overhead vs workload locality
+// ---------------------------------------------------------------------------
+
+/// Runs `flow_count` flows at a given locality and returns
+/// `(cache_hit_ratio, total_queries, flows)`.
+pub fn run_query_workload(flow_count: usize, locality: f64, seed: u64) -> (f64, u64, usize) {
+    let mut net = EnterpriseNetwork::star_with_config(
+        20,
+        ControllerConfig::new().with_control_file("00.control", ALLOW_KNOWN_APPS_POLICY),
+    )
+    .unwrap();
+    let hosts = net.host_addrs();
+    let mut config = WorkloadConfig::enterprise(hosts, flow_count, seed);
+    config.locality = locality;
+    let flows = WorkloadGenerator::new(config).generate();
+    for flow in &flows {
+        let exe = Executable::new(
+            format!("/usr/bin/{}", flow.app.name),
+            flow.app.name.replace("-old", ""),
+            flow.app.version,
+            "vendor",
+            &flow.app.app_type,
+        );
+        let daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
+        let pid = daemon.host_mut().spawn(&flow.user, exe);
+        daemon.host_mut().connect_flow(pid, flow.five_tuple);
+        net.decide(&flow.five_tuple);
+    }
+    let audit = net.controller().audit();
+    (audit.cache_hit_ratio(), audit.total_queries(), flows.len())
+}
+
+/// Prints the E8b table: ident++ queries per flow vs workload locality.
+pub fn print_e8b() {
+    println!("\n# E8b: ident++ queries per flow vs workload locality (2000 flows)");
+    println!(
+        "{:>10} {:>16} {:>16} {:>16}",
+        "locality", "cache-hit-ratio", "total queries", "queries/flow"
+    );
+    for locality in [0.0f64, 0.25, 0.5, 0.75, 0.9] {
+        let (hit_ratio, queries, flows) = run_query_workload(2_000, locality, 13);
+        println!(
+            "{:>10.2} {:>15.1}% {:>16} {:>16.2}",
+            locality,
+            hit_ratio * 100.0,
+            queries,
+            queries as f64 / flows as f64
+        );
+    }
+}

@@ -1,6 +1,8 @@
 //! The ident++ controller.
 
-use identxx_pf::{Decision, EvalContext, PfError, RuleSet, StateTable, Verdict};
+use identxx_pf::{
+    CompiledPolicy, Decision, EvalContext, PfError, PolicyCompiler, RuleSet, StateTable, Verdict,
+};
 use identxx_proto::{well_known, FiveTuple, Response};
 
 use identxx_openflow::{ControllerDirective, FlowMod, OpenFlowController, PacketIn};
@@ -60,6 +62,9 @@ impl FlowDecision {
 pub struct IdentxxController {
     config: ControllerConfig,
     ruleset: RuleSet,
+    /// The ruleset lowered into its allocation-free evaluation form; rebuilt
+    /// whenever a `.control` file changes.
+    compiled: CompiledPolicy,
     daemons: DaemonDirectory,
     network: Option<NetworkMap>,
     state: StateTable,
@@ -75,9 +80,11 @@ impl IdentxxController {
     /// files.
     pub fn new(config: ControllerConfig) -> Result<IdentxxController, PfError> {
         let ruleset = config.compile()?;
+        let compiled = Self::compile_policy(&config, &ruleset);
         Ok(IdentxxController {
             config,
             ruleset,
+            compiled,
             daemons: DaemonDirectory::new(),
             network: None,
             state: StateTable::new(),
@@ -111,9 +118,26 @@ impl IdentxxController {
         &mut self.daemons
     }
 
-    /// The compiled policy.
+    /// Lowers a parsed ruleset into the evaluation-ready form, carrying the
+    /// configuration's default decision, trusted keys, and named lists.
+    fn compile_policy(config: &ControllerConfig, ruleset: &RuleSet) -> CompiledPolicy {
+        let mut compiler = PolicyCompiler::new()
+            .with_default(config.default_decision)
+            .with_key_registry(config.trusted_keys.clone());
+        for (name, members) in &config.named_lists {
+            compiler = compiler.with_named_list(name.clone(), members.clone());
+        }
+        compiler.compile(ruleset)
+    }
+
+    /// The parsed policy.
     pub fn ruleset(&self) -> &RuleSet {
         &self.ruleset
+    }
+
+    /// The policy in its compiled (allocation-free evaluation) form.
+    pub fn compiled_policy(&self) -> &CompiledPolicy {
+        &self.compiled
     }
 
     /// The controller configuration.
@@ -162,6 +186,7 @@ impl IdentxxController {
     ) -> Result<(), PfError> {
         self.config.control_files.add_file(name, contents);
         self.ruleset = self.config.compile()?;
+        self.compiled = Self::compile_policy(&self.config, &self.ruleset);
         self.state.clear();
         Ok(())
     }
@@ -172,6 +197,7 @@ impl IdentxxController {
         let removed = self.config.control_files.remove(name);
         if removed {
             self.ruleset = self.config.compile()?;
+            self.compiled = Self::compile_policy(&self.config, &self.ruleset);
             self.state.clear();
         }
         Ok(removed)
@@ -208,9 +234,26 @@ impl IdentxxController {
     }
 
     /// Evaluates the policy for a flow given already-collected responses,
-    /// without touching daemons, cache, or audit log. Used by benchmarks and
-    /// by `allowed()`-style re-checks.
+    /// without touching daemons, cache, or audit log. Used on the flow-setup
+    /// path, by benchmarks, and by `allowed()`-style re-checks.
+    ///
+    /// This runs against the compiled policy — the allocation-free fast
+    /// path. [`IdentxxController::evaluate_interpreted`] runs the reference
+    /// interpreter over the same configuration.
     pub fn evaluate_only(
+        &self,
+        flow: &FiveTuple,
+        src: Option<&Response>,
+        dst: Option<&Response>,
+    ) -> Verdict {
+        self.compiled.evaluate(flow, src, dst)
+    }
+
+    /// Evaluates the same policy through the AST interpreter (the reference
+    /// oracle the compiled form is property-tested against). Benchmarks use
+    /// this to measure the compiled speedup; production paths should prefer
+    /// [`IdentxxController::evaluate_only`].
+    pub fn evaluate_interpreted(
         &self,
         flow: &FiveTuple,
         src: Option<&Response>,
@@ -720,6 +763,28 @@ mod tests {
         assert!(directive.forward_packet);
         assert!(!directive.flow_mods.is_empty());
         assert_eq!(OpenFlowController::name(&controller), "ident++");
+    }
+
+    #[test]
+    fn compiled_and_interpreted_evaluation_agree() {
+        let (mut controller, addrs) = skype_controller();
+        let flow = start_skype(&mut controller, addrs[3], addrs[4], 210);
+        let decision = controller.decide(&flow, 0);
+        assert!(decision.is_pass());
+        let compiled = controller.evaluate_only(
+            &flow,
+            decision.src_response.as_ref(),
+            decision.dst_response.as_ref(),
+        );
+        let interpreted = controller.evaluate_interpreted(
+            &flow,
+            decision.src_response.as_ref(),
+            decision.dst_response.as_ref(),
+        );
+        assert_eq!(compiled.decision, interpreted.decision);
+        assert_eq!(compiled.matched_rule, interpreted.matched_rule);
+        assert_eq!(compiled.keep_state, interpreted.keep_state);
+        assert!(controller.compiled_policy().compiled_rule_count() >= 1);
     }
 
     #[test]

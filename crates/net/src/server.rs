@@ -9,7 +9,9 @@
 
 use std::io;
 use std::net::SocketAddr;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 use bytes::BytesMut;
 use identxx_daemon::Daemon;
@@ -24,6 +26,12 @@ pub struct DaemonServer {
     daemon: Arc<Mutex<Daemon>>,
     local_addr: SocketAddr,
     handle: tokio::task::JoinHandle<()>,
+    /// Cleared by [`DaemonServer::shutdown`]; the accept loop exits when it
+    /// observes the flag after waking from `accept`.
+    running: Arc<AtomicBool>,
+    /// Signalled (by drop or send) when the accept loop has exited and the
+    /// listener socket is closed.
+    stopped: mpsc::Receiver<()>,
 }
 
 impl DaemonServer {
@@ -34,18 +42,37 @@ impl DaemonServer {
         let local_addr = listener.local_addr()?;
         let daemon = Arc::new(Mutex::new(daemon));
         let accept_daemon = Arc::clone(&daemon);
+        let running = Arc::new(AtomicBool::new(true));
+        let accept_running = Arc::clone(&running);
+        let (stopped_tx, stopped) = mpsc::channel();
         let handle = tokio::spawn(async move {
-            while let Ok((stream, _peer)) = listener.accept().await {
-                let connection_daemon = Arc::clone(&accept_daemon);
-                tokio::spawn(async move {
-                    let _ = serve_connection(stream, connection_daemon).await;
-                });
+            while accept_running.load(Ordering::Acquire) {
+                match listener.accept().await {
+                    Ok((stream, _peer)) => {
+                        // A post-shutdown wake-up is the poison pill (or a
+                        // late client): don't serve it, just exit.
+                        if !accept_running.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let connection_daemon = Arc::clone(&accept_daemon);
+                        tokio::spawn(async move {
+                            let _ = serve_connection(stream, connection_daemon).await;
+                        });
+                    }
+                    Err(_) => break,
+                }
             }
+            // Close the listening socket *before* signalling, so `shutdown`
+            // returning guarantees the port no longer accepts connections.
+            drop(listener);
+            drop(stopped_tx);
         });
         Ok(DaemonServer {
             daemon,
             local_addr,
             handle,
+            running,
+            stopped,
         })
     }
 
@@ -60,8 +87,28 @@ impl DaemonServer {
         Arc::clone(&self.daemon)
     }
 
-    /// Stops the server.
+    /// Stops the server and waits (bounded) for the accept loop to exit.
+    ///
+    /// The vendored runtime cannot cancel a task blocked in `accept`, so the
+    /// shutdown protocol is cooperative: clear the running flag, then poke
+    /// the listener with a poison-pill connection so `accept` returns and the
+    /// loop observes the flag, closes the listener, and exits. In-flight
+    /// per-connection tasks finish serving independently.
+    ///
+    /// This blocks the calling thread, which is fine on the vendored runtime
+    /// (thread-per-task) and on real tokio's multi-thread runtime (the
+    /// feature set the manifest requests): the accept task progresses on
+    /// another thread. On a `current_thread` runtime it would stall for the
+    /// full timeout before falling back to `abort` — call through
+    /// `spawn_blocking` there.
     pub fn shutdown(self) {
+        self.running.store(false, Ordering::Release);
+        // Poison pill: unblock the accept loop. A failure means the listener
+        // is already gone, which is fine.
+        let _ = std::net::TcpStream::connect(self.local_addr);
+        // Wait for the loop to drop the listener (sender disconnects). Bound
+        // the wait so a wedged runtime cannot hang the caller.
+        let _ = self.stopped.recv_timeout(Duration::from_secs(5));
         self.handle.abort();
     }
 }
@@ -157,6 +204,27 @@ mod tests {
             .unwrap();
         assert!(result.is_none());
         server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn shutdown_closes_listener_and_stops_accept_thread() {
+        let (daemon, flow) = test_daemon();
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let addr = server.local_addr();
+        // The server answers while running.
+        let response = crate::client::query_daemon(addr, Query::new(flow))
+            .await
+            .unwrap();
+        assert!(response.is_some());
+        // Shutdown returns only after the accept loop exited and dropped the
+        // listener, so the port must refuse new connections afterwards.
+        server.shutdown();
+        assert!(
+            std::net::TcpStream::connect(addr).is_err(),
+            "listener socket should be closed after shutdown"
+        );
     }
 
     #[tokio::test]

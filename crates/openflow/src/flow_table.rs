@@ -5,8 +5,12 @@
 //! Entries carry a priority (higher wins), hit counters, and idle/hard
 //! timeouts so cached controller decisions eventually expire.
 
+use std::collections::HashMap;
+
+use identxx_proto::IpProtocol;
+
 use crate::action::OfAction;
-use crate::match_fields::{FlowMatch, PacketHeader};
+use crate::match_fields::{FlowMatch, PacketHeader, ETH_TYPE_IPV4};
 
 /// One flow-table entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,11 +106,72 @@ impl TableStats {
     }
 }
 
+/// The hash key for entries that are exact 5-tuple matches (the shape the
+/// ident++ controller installs): IPv4 src/dst, protocol, transport ports.
+type ExactKey = (u32, u32, IpProtocol, u16, u16);
+
+/// Returns the exact-match key of an entry whose match is precisely
+/// [`FlowMatch::exact_five_tuple`] — IPv4 EtherType plus the 5-tuple fields
+/// set, everything else wildcarded. Any other shape is scanned linearly.
+fn exact_key(m: &FlowMatch) -> Option<ExactKey> {
+    if m.eth_type != Some(ETH_TYPE_IPV4)
+        || m.in_port.is_some()
+        || m.eth_src.is_some()
+        || m.eth_dst.is_some()
+        || m.vlan_id.is_some()
+    {
+        return None;
+    }
+    match (m.ip_src, m.ip_dst, m.ip_proto, m.tp_src, m.tp_dst) {
+        (Some(src), Some(dst), Some(proto), Some(sp), Some(dp)) => {
+            Some((src.to_u32(), dst.to_u32(), proto, sp, dp))
+        }
+        _ => None,
+    }
+}
+
+/// The earliest instant at which `entry` could expire, or `u64::MAX` if it
+/// carries no timeouts. Idle deadlines only move later (hits refresh
+/// `last_hit`), so this is a valid lower bound for expiry scans.
+fn expiry_deadline(entry: &FlowEntry) -> u64 {
+    let mut deadline = u64::MAX;
+    if entry.hard_timeout > 0 {
+        deadline = deadline.min(entry.installed_at.saturating_add(entry.hard_timeout));
+    }
+    if entry.idle_timeout > 0 {
+        let reference = entry.last_hit.max(entry.installed_at);
+        deadline = deadline.min(reference.saturating_add(entry.idle_timeout));
+    }
+    deadline
+}
+
 /// A flow table.
-#[derive(Debug, Clone, Default)]
+///
+/// Entries whose match is an exact 5-tuple (the common case: the controller
+/// installs one per allowed flow) are indexed in a hash map so a lookup costs
+/// one hash probe; only wildcard-bearing entries are scanned linearly.
+#[derive(Debug, Clone)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
+    /// Indices (into `entries`) of exact-5-tuple entries, by key.
+    exact: HashMap<ExactKey, Vec<usize>>,
+    /// Indices of entries with any other match shape.
+    wild: Vec<usize>,
+    /// Lower bound on the next expiry; expiry scans are skipped before it.
+    next_expiry: u64,
     stats: TableStats,
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        FlowTable {
+            entries: Vec::new(),
+            exact: HashMap::new(),
+            wild: Vec::new(),
+            next_expiry: u64::MAX,
+            stats: TableStats::default(),
+        }
+    }
 }
 
 impl FlowTable {
@@ -120,14 +185,49 @@ impl FlowTable {
     pub fn install(&mut self, mut entry: FlowEntry, now: u64) {
         entry.installed_at = now;
         entry.last_hit = now;
-        if let Some(existing) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.flow_match == entry.flow_match && e.priority == entry.priority)
-        {
-            *existing = entry;
-        } else {
-            self.entries.push(entry);
+        self.next_expiry = self.next_expiry.min(expiry_deadline(&entry));
+        // Duplicate detection goes through the index too: exact entries with
+        // the same key have identical matches by construction, so only the
+        // priority needs comparing; wildcard shapes scan the wild list only.
+        let key = exact_key(&entry.flow_match);
+        let existing = match &key {
+            Some(key) => self.exact.get(key).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .copied()
+                    .find(|&i| self.entries[i].priority == entry.priority)
+            }),
+            None => self.wild.iter().copied().find(|&i| {
+                let e = &self.entries[i];
+                e.flow_match == entry.flow_match && e.priority == entry.priority
+            }),
+        };
+        match existing {
+            // Same match, same priority: the index entry stays valid.
+            Some(index) => self.entries[index] = entry,
+            None => {
+                let index = self.entries.len();
+                match key {
+                    Some(key) => self.exact.entry(key).or_default().push(index),
+                    None => self.wild.push(index),
+                }
+                self.entries.push(entry);
+            }
+        }
+        self.stats.entries = self.entries.len();
+    }
+
+    /// Rebuilds the exact/wildcard index after entries were removed.
+    fn reindex(&mut self) {
+        self.exact.clear();
+        self.wild.clear();
+        self.next_expiry = u64::MAX;
+        for (index, entry) in self.entries.iter().enumerate() {
+            match exact_key(&entry.flow_match) {
+                Some(key) => self.exact.entry(key).or_default().push(index),
+                None => self.wild.push(index),
+            }
+            self.next_expiry = self.next_expiry.min(expiry_deadline(entry));
         }
         self.stats.entries = self.entries.len();
     }
@@ -136,27 +236,66 @@ impl FlowTable {
     pub fn remove_where<F: Fn(&FlowEntry) -> bool>(&mut self, pred: F) -> usize {
         let before = self.entries.len();
         self.entries.retain(|e| !pred(e));
-        self.stats.entries = self.entries.len();
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.reindex();
+        }
+        removed
     }
 
     /// Removes every entry.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.exact.clear();
+        self.wild.clear();
+        self.next_expiry = u64::MAX;
         self.stats.entries = 0;
+    }
+
+    /// Finds the best-matching live entry for a header: highest priority,
+    /// ties broken by specificity then insertion order (entry indices are
+    /// insertion-ordered, so the max over `(priority, specificity, index)`
+    /// reproduces the historical linear scan exactly).
+    fn best_match(&self, header: &PacketHeader) -> Option<usize> {
+        let mut best: Option<(u16, u32, usize)> = None;
+        let mut consider = |index: usize, specificity: u32| {
+            let candidate = (self.entries[index].priority, specificity, index);
+            if best.map(|b| candidate > b).unwrap_or(true) {
+                best = Some(candidate);
+            }
+        };
+        if header.eth_type == ETH_TYPE_IPV4 {
+            let key = (
+                header.ip_src.to_u32(),
+                header.ip_dst.to_u32(),
+                header.ip_proto,
+                header.tp_src,
+                header.tp_dst,
+            );
+            if let Some(bucket) = self.exact.get(&key) {
+                for &index in bucket {
+                    // Key equality implies the match covers the header; the
+                    // exact-5-tuple shape always has specificity 6.
+                    consider(index, 6);
+                }
+            }
+        }
+        for &index in &self.wild {
+            let entry = &self.entries[index];
+            if entry.flow_match.matches(header) {
+                consider(index, entry.flow_match.specificity());
+            }
+        }
+        best.map(|(_, _, index)| index)
     }
 
     /// Looks up the action for a packet header at time `now`, updating
     /// counters. Returns `None` on a table miss.
     pub fn lookup(&mut self, header: &PacketHeader, size: u32, now: u64) -> Option<OfAction> {
         self.expire(now);
-        let best = self
-            .entries
-            .iter_mut()
-            .filter(|e| e.flow_match.matches(header))
-            .max_by_key(|e| (e.priority, e.flow_match.specificity()));
-        match best {
-            Some(entry) => {
+        match self.best_match(header) {
+            Some(index) => {
+                let entry = &mut self.entries[index];
                 entry.packet_count += 1;
                 entry.byte_count += size as u64;
                 entry.last_hit = now;
@@ -172,20 +311,23 @@ impl FlowTable {
 
     /// Non-mutating peek at the action that would apply (no counter updates).
     pub fn peek(&self, header: &PacketHeader) -> Option<OfAction> {
-        self.entries
-            .iter()
-            .filter(|e| e.flow_match.matches(header))
-            .max_by_key(|e| (e.priority, e.flow_match.specificity()))
-            .map(|e| e.action)
+        self.best_match(header).map(|i| self.entries[i].action)
     }
 
-    /// Removes expired entries.
+    /// Removes expired entries. Skipped entirely while `now` is below the
+    /// earliest possible deadline, so tables of timeout-free entries never
+    /// pay a scan.
     pub fn expire(&mut self, now: u64) {
+        if now < self.next_expiry {
+            return;
+        }
         let before = self.entries.len();
         self.entries.retain(|e| !e.expired(now));
         let removed = before - self.entries.len();
         self.stats.expired += removed as u64;
-        self.stats.entries = self.entries.len();
+        // Reindex even when nothing was removed: an idle-refreshed entry has
+        // pushed its deadline later and the bound must be recomputed.
+        self.reindex();
     }
 
     /// The entries currently installed.

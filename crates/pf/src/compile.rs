@@ -1,0 +1,1328 @@
+//! The PF+=2 policy compiler: an allocation-free fast path for flow setup.
+//!
+//! The interpreter in [`crate::eval`] walks the AST for every flow: it
+//! re-resolves named ports, chases nested table references with a cycle
+//! guard, and allocates a fresh `String` for every predicate argument. That
+//! cost sits on the controller's *per-flow* critical path (§3.4 of the paper
+//! puts query + evaluation + install on every flow setup), so this module
+//! compiles a parsed [`RuleSet`] once into a [`CompiledPolicy`]:
+//!
+//! * named ports are pre-resolved to `u16`,
+//! * table trees are flattened into sorted host/CIDR sets answered by binary
+//!   search (no recursion, no cycle guard at evaluation time),
+//! * string literals, macro values, and dict lookups are interned into a
+//!   symbol table so predicates compare borrowed `&str`s instead of
+//!   allocating,
+//! * rules are bucketed by IP protocol (and truncated at an unconditional
+//!   `quick` rule) so evaluation only examines candidate rules.
+//!
+//! The compiled evaluator is **decision-equivalent** to the interpreter —
+//! `tests/compiled_equivalence.rs` proves it by property test against the
+//! interpreter as the reference oracle. The interpreter remains in use for
+//! `allowed()` sub-rule sets, which arrive at evaluation time inside
+//! responses and therefore cannot be compiled ahead of time.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use identxx_crypto::{verify_bundle_hex, KeyRegistry};
+use identxx_proto::{FiveTuple, IpProtocol, Ipv4Addr, Response};
+
+use crate::ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet};
+use crate::eval::{Decision, EvalContext, EvalCore, Verdict, MAX_ALLOWED_DEPTH};
+use crate::functions::{list_items, numeric_cmp, FunctionRegistry};
+use crate::parser::parse_ruleset;
+use crate::services::resolve_port;
+use crate::table::{Table, TableEntry};
+
+/// An interned string id. Comparing two symbols interned from the same
+/// [`CompiledPolicy`] is an integer compare; resolving one is an index.
+pub type Sym = u32;
+
+/// The policy-wide string interner.
+#[derive(Debug, Default)]
+struct SymbolTable {
+    strings: Vec<String>,
+    index: HashMap<String, Sym>,
+}
+
+impl SymbolTable {
+    fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let sym = self.strings.len() as Sym;
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), sym);
+        sym
+    }
+
+    fn get(&self, sym: Sym) -> &str {
+        &self.strings[sym as usize]
+    }
+}
+
+/// A flattened address set: every host and network reachable from a table,
+/// nested references already resolved.
+///
+/// Hosts are a sorted `u32` vector (binary search). Networks are grouped by
+/// mask; within a group the masked network addresses are sorted, so a lookup
+/// is one mask + binary search per distinct prefix length (≤ 33).
+#[derive(Debug, Default)]
+struct FlatSet {
+    hosts: Vec<u32>,
+    cidrs: Vec<(u32, Vec<u32>)>,
+}
+
+impl FlatSet {
+    fn contains(&self, addr: u32) -> bool {
+        if self.hosts.binary_search(&addr).is_ok() {
+            return true;
+        }
+        self.cidrs
+            .iter()
+            .any(|(mask, nets)| nets.binary_search(&(addr & mask)).is_ok())
+    }
+}
+
+/// Mask for a prefix length, mirroring `Ipv4Addr::in_prefix` exactly
+/// (lengths above 32 behave as 32; 0 matches everything).
+fn prefix_mask(prefix_len: u8) -> u32 {
+    match prefix_len.min(32) {
+        0 => 0,
+        32 => u32::MAX,
+        n => !(u32::MAX >> n),
+    }
+}
+
+/// Flattens a table (following nested references, each table visited once)
+/// into a [`FlatSet`]. Missing referenced tables are treated as empty, as the
+/// interpreter does.
+fn flatten_table(root: &Table, all: &BTreeMap<String, Table>) -> FlatSet {
+    let mut hosts: Vec<u32> = Vec::new();
+    let mut by_mask: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    root.visit_flattened(all, |entry| match entry {
+        TableEntry::Host(h) => hosts.push(h.to_u32()),
+        TableEntry::Cidr {
+            network,
+            prefix_len,
+        } => {
+            let mask = prefix_mask(*prefix_len);
+            by_mask
+                .entry(mask)
+                .or_default()
+                .push(network.to_u32() & mask);
+        }
+        TableEntry::TableRef(_) => {}
+    });
+    hosts.sort_unstable();
+    hosts.dedup();
+    let cidrs = by_mask
+        .into_iter()
+        .map(|(mask, mut nets)| {
+            nets.sort_unstable();
+            nets.dedup();
+            (mask, nets)
+        })
+        .collect();
+    FlatSet { hosts, cidrs }
+}
+
+/// A compiled address specification.
+#[derive(Debug, Clone, Copy)]
+enum CAddr {
+    Any,
+    Host(u32),
+    Cidr {
+        net: u32,
+        mask: u32,
+    },
+    /// Index into [`CompiledPolicy::sets`].
+    Set(usize),
+}
+
+/// A compiled port constraint. Named services are resolved at compile time;
+/// an unresolvable name can never match (fail closed, as the interpreter).
+#[derive(Debug, Clone, Copy)]
+enum CPort {
+    Any,
+    Eq(u16),
+    Range(u16, u16),
+    Never,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CEndpoint {
+    negate: bool,
+    addr: CAddr,
+    port: CPort,
+}
+
+/// Which response a `@src[..]`/`@dst[..]` reference reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Side {
+    Src,
+    Dst,
+}
+
+/// How many distinct `(side, key)` response references are memoized per
+/// evaluation in a stack-allocated cache. Policies referencing more distinct
+/// keys stay correct — the overflow references just resolve on every use.
+const RESP_SLOTS: usize = 16;
+
+/// Slot id meaning "not memoized".
+const NO_SLOT: u16 = u16::MAX;
+
+/// A compiled predicate argument. Macro references and user-dict lookups are
+/// resolved at compile time (the rule set is immutable once compiled), so at
+/// evaluation time only response lookups remain dynamic.
+#[derive(Debug, Clone)]
+enum CArg {
+    /// A literal / macro value / dict value, interned.
+    Lit(Sym),
+    /// An undefined macro or dict reference: always resolves to "absent".
+    Missing,
+    /// `@src[key]` / `@dst[key]` (or the `*`-concatenated forms). `slot`
+    /// memoizes the `latest(key)` lookup across a whole evaluation: a
+    /// 1000-rule policy referencing `@src[name]` walks the response once,
+    /// not a thousand times.
+    Resp {
+        side: Side,
+        key: Sym,
+        concat: bool,
+        slot: u16,
+    },
+}
+
+/// The list argument of `member`, pre-resolved where possible.
+#[derive(Debug, Clone)]
+enum CList {
+    /// Named list, macro list, table rendering, or literal — fully known at
+    /// compile time.
+    Static(Vec<String>),
+    /// A response reference whose value is split at evaluation time.
+    Dynamic(CArg),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Gt,
+    Lt,
+    Gte,
+    Lte,
+}
+
+/// A compiled `with` predicate.
+#[derive(Debug, Clone)]
+enum CPred {
+    /// `eq(@resp[key], literal)` — the overwhelmingly common predicate shape
+    /// (every application rule in the paper's figures) — specialised to one
+    /// memoized lookup and one string compare.
+    EqRespLit {
+        side: Side,
+        key: Sym,
+        slot: u16,
+        lit: Sym,
+    },
+    Cmp {
+        op: CmpOp,
+        a: CArg,
+        b: CArg,
+    },
+    Exists(CArg),
+    Member {
+        value: CArg,
+        list: CList,
+    },
+    Includes {
+        haystack: CArg,
+        needle: CArg,
+    },
+    Allowed(CArg),
+    Verify {
+        sig: CArg,
+        key: CArg,
+        data: Vec<CArg>,
+    },
+    User {
+        name: Sym,
+        args: Vec<CArg>,
+    },
+    /// Unknown function or wrong arity: fails closed.
+    Never,
+}
+
+/// A compiled rule.
+#[derive(Debug)]
+struct CRule {
+    /// Index into the source `RuleSet::rules` (reported in verdicts).
+    index: usize,
+    line: usize,
+    action: Action,
+    quick: bool,
+    keep_state: bool,
+    from: Option<CEndpoint>,
+    to: Option<CEndpoint>,
+    preds: Vec<CPred>,
+}
+
+/// Builder for [`CompiledPolicy`], mirroring [`EvalContext`]'s configuration
+/// surface. Everything attached here is baked into the compiled form, so
+/// attach named lists / keys / functions *before* calling [`compile`].
+///
+/// [`compile`]: PolicyCompiler::compile
+#[derive(Default)]
+pub struct PolicyCompiler {
+    core: EvalCore,
+}
+
+impl PolicyCompiler {
+    /// Creates a compiler with the interpreter's defaults (default decision
+    /// `Pass`, empty registries).
+    pub fn new() -> Self {
+        PolicyCompiler::default()
+    }
+
+    /// Sets the decision applied when no rule matches.
+    pub fn with_default(mut self, default: Decision) -> Self {
+        self.core.default_decision = default;
+        self
+    }
+
+    /// Attaches trusted public keys for `verify`.
+    pub fn with_key_registry(mut self, registry: KeyRegistry) -> Self {
+        self.core.key_registry = registry;
+        self
+    }
+
+    /// Defines a named list usable as the second argument of `member`.
+    pub fn with_named_list(mut self, name: impl Into<String>, members: Vec<String>) -> Self {
+        self.core.named_lists.insert(name.into(), members);
+        self
+    }
+
+    /// Attaches user-defined functions.
+    pub fn with_functions(mut self, functions: FunctionRegistry) -> Self {
+        self.core.functions = functions;
+        self
+    }
+
+    /// Compiles `ruleset` into its evaluation-ready form.
+    pub fn compile(self, ruleset: &RuleSet) -> CompiledPolicy {
+        Compilation {
+            ruleset,
+            core: Arc::new(self.core),
+            symbols: SymbolTable::default(),
+            sets: Vec::new(),
+            set_index: HashMap::new(),
+            resp_slots: HashMap::new(),
+        }
+        .run()
+    }
+}
+
+/// Transient state while lowering a rule set.
+struct Compilation<'a> {
+    ruleset: &'a RuleSet,
+    core: Arc<EvalCore>,
+    symbols: SymbolTable,
+    sets: Vec<FlatSet>,
+    set_index: HashMap<String, usize>,
+    resp_slots: HashMap<(Side, Sym), u16>,
+}
+
+impl<'a> Compilation<'a> {
+    fn run(mut self) -> CompiledPolicy {
+        // An unconditional `quick` rule ends every evaluation: rules after it
+        // are unreachable and are dropped from the compiled form entirely.
+        let mut rules: Vec<CRule> = Vec::new();
+        for (index, rule) in self.ruleset.rules.iter().enumerate() {
+            rules.push(self.compile_rule(index, rule));
+            if rule.quick && rule_is_unconditional(rule) {
+                break;
+            }
+        }
+
+        // Dually, rules *before* an unconditional non-quick rule can never
+        // decide a flow (the unconditional rule always matches later under
+        // last-match-wins) — as long as no quick rule precedes it. Skip them.
+        let mut floor = 0;
+        for (pos, crule) in rules.iter().enumerate() {
+            let source = &self.ruleset.rules[crule.index];
+            if source.quick {
+                break;
+            }
+            if rule_is_unconditional(source) {
+                floor = pos;
+            }
+        }
+
+        // Bucket by protocol: a rule with `proto p` is only a candidate for
+        // flows with protocol p; a rule without `proto` is a candidate for
+        // every flow.
+        let mut wildcard: Vec<u32> = Vec::new();
+        let mut proto_buckets: Vec<(IpProtocol, Vec<u32>)> = Vec::new();
+        for (pos, rule) in rules.iter().enumerate().skip(floor) {
+            match self.ruleset.rules[rule.index].proto {
+                None => {
+                    wildcard.push(pos as u32);
+                    for (_, bucket) in proto_buckets.iter_mut() {
+                        bucket.push(pos as u32);
+                    }
+                }
+                Some(p) => {
+                    if !proto_buckets.iter().any(|(bp, _)| *bp == p) {
+                        // New protocol: start its bucket from the wildcard
+                        // rules seen so far (they are candidates for it too).
+                        proto_buckets.push((p, wildcard.clone()));
+                    }
+                    for (bp, bucket) in proto_buckets.iter_mut() {
+                        if *bp == p {
+                            bucket.push(pos as u32);
+                        }
+                    }
+                }
+            }
+        }
+
+        CompiledPolicy {
+            symbols: self.symbols,
+            sets: self.sets,
+            rules,
+            wildcard,
+            proto_buckets,
+            core: self.core,
+            source_rules: self.ruleset.rules.len(),
+        }
+    }
+
+    fn compile_rule(&mut self, index: usize, rule: &Rule) -> CRule {
+        // An endpoint that matches every address and port (e.g. the `all`
+        // keyword's `any`) is compiled away entirely.
+        fn simplify(endpoint: Option<CEndpoint>) -> Option<CEndpoint> {
+            endpoint.filter(|e| {
+                e.negate || !matches!(e.addr, CAddr::Any) || !matches!(e.port, CPort::Any)
+            })
+        }
+        let from = simplify(rule.from.as_ref().map(|e| self.compile_endpoint(e)));
+        let to = simplify(rule.to.as_ref().map(|e| self.compile_endpoint(e)));
+        CRule {
+            index,
+            line: rule.line,
+            action: rule.action,
+            quick: rule.quick,
+            keep_state: rule.keep_state,
+            from,
+            to,
+            preds: rule.withs.iter().map(|c| self.compile_call(c)).collect(),
+        }
+    }
+
+    fn compile_endpoint(&mut self, endpoint: &Endpoint) -> CEndpoint {
+        let addr = match &endpoint.addr {
+            AddrSpec::Any => CAddr::Any,
+            AddrSpec::Host(h) => CAddr::Host(h.to_u32()),
+            AddrSpec::Cidr {
+                network,
+                prefix_len,
+            } => {
+                let mask = prefix_mask(*prefix_len);
+                CAddr::Cidr {
+                    net: network.to_u32() & mask,
+                    mask,
+                }
+            }
+            AddrSpec::Table(name) => CAddr::Set(self.set_for(name)),
+        };
+        let port = match &endpoint.port {
+            None => CPort::Any,
+            Some(PortSpec::Number(p)) => CPort::Eq(*p),
+            Some(PortSpec::Range(lo, hi)) => CPort::Range(*lo, *hi),
+            Some(PortSpec::Named(name)) => match resolve_port(name) {
+                Some(p) => CPort::Eq(p),
+                None => CPort::Never,
+            },
+        };
+        CEndpoint {
+            negate: endpoint.negate,
+            addr,
+            port,
+        }
+    }
+
+    /// Flattens (once) and returns the set index for a table name. An unknown
+    /// table compiles to an empty set — never matches, as in the interpreter.
+    fn set_for(&mut self, name: &str) -> usize {
+        if let Some(&idx) = self.set_index.get(name) {
+            return idx;
+        }
+        let set = match self.ruleset.tables.get(name) {
+            Some(table) => flatten_table(table, &self.ruleset.tables),
+            None => FlatSet::default(),
+        };
+        let idx = self.sets.len();
+        self.sets.push(set);
+        self.set_index.insert(name.to_string(), idx);
+        idx
+    }
+
+    /// Assigns (or reuses) a memoization slot for a `(side, key)` response
+    /// reference; references beyond the stack cache's capacity get
+    /// [`NO_SLOT`] and resolve uncached.
+    fn slot_for(&mut self, side: Side, key: Sym) -> u16 {
+        if let Some(&slot) = self.resp_slots.get(&(side, key)) {
+            return slot;
+        }
+        let slot = if self.resp_slots.len() < RESP_SLOTS {
+            self.resp_slots.len() as u16
+        } else {
+            NO_SLOT
+        };
+        self.resp_slots.insert((side, key), slot);
+        slot
+    }
+
+    fn compile_arg(&mut self, arg: &FnArg) -> CArg {
+        match arg {
+            FnArg::Literal(text) => CArg::Lit(self.symbols.intern(text)),
+            FnArg::MacroRef(name) => match self.ruleset.macros.get(name) {
+                Some(value) => CArg::Lit(self.symbols.intern(value)),
+                None => CArg::Missing,
+            },
+            FnArg::DictRef { concat, dict, key } => match dict.as_str() {
+                side @ ("src" | "dst") => {
+                    let side = if side == "src" { Side::Src } else { Side::Dst };
+                    let key = self.symbols.intern(key);
+                    CArg::Resp {
+                        side,
+                        key,
+                        concat: *concat,
+                        slot: self.slot_for(side, key),
+                    }
+                }
+                other => match self.ruleset.dicts.get(other).and_then(|d| d.get(key)) {
+                    Some(value) => CArg::Lit(self.symbols.intern(value)),
+                    None => CArg::Missing,
+                },
+            },
+        }
+    }
+
+    /// Compiles the list argument of `member`, mirroring the interpreter's
+    /// resolution order (named list, macro, table rendering, literal split).
+    fn compile_list(&mut self, arg: &FnArg) -> CList {
+        if let FnArg::Literal(name) = arg {
+            if let Some(list) = self.core.named_lists.get(name) {
+                return CList::Static(list.clone());
+            }
+            if let Some(macro_text) = self.ruleset.macros.get(name) {
+                return CList::Static(list_items(macro_text).map(str::to_string).collect());
+            }
+            if let Some(table) = self.ruleset.tables.get(name) {
+                return CList::Static(table.entries().iter().map(|e| format!("{e:?}")).collect());
+            }
+        }
+        match self.compile_arg(arg) {
+            CArg::Lit(sym) => CList::Static(
+                list_items(self.symbols.get(sym))
+                    .map(str::to_string)
+                    .collect(),
+            ),
+            CArg::Missing => CList::Static(Vec::new()),
+            dynamic @ CArg::Resp { .. } => CList::Dynamic(dynamic),
+        }
+    }
+
+    fn compile_call(&mut self, call: &FnCall) -> CPred {
+        let args = &call.args;
+        match call.name.as_str() {
+            "eq" | "ne" | "gt" | "lt" | "gte" | "lte" => {
+                if args.len() != 2 {
+                    return CPred::Never;
+                }
+                let op = match call.name.as_str() {
+                    "eq" => CmpOp::Eq,
+                    "ne" => CmpOp::Ne,
+                    "gt" => CmpOp::Gt,
+                    "lt" => CmpOp::Lt,
+                    "gte" => CmpOp::Gte,
+                    _ => CmpOp::Lte,
+                };
+                let a = self.compile_arg(&args[0]);
+                let b = self.compile_arg(&args[1]);
+                if op == CmpOp::Eq {
+                    // eq is symmetric: specialise both argument orders.
+                    let pair = match (&a, &b) {
+                        (
+                            CArg::Resp {
+                                side,
+                                key,
+                                concat: false,
+                                slot,
+                            },
+                            CArg::Lit(lit),
+                        )
+                        | (
+                            CArg::Lit(lit),
+                            CArg::Resp {
+                                side,
+                                key,
+                                concat: false,
+                                slot,
+                            },
+                        ) => Some((*side, *key, *slot, *lit)),
+                        _ => None,
+                    };
+                    if let Some((side, key, slot, lit)) = pair {
+                        return CPred::EqRespLit {
+                            side,
+                            key,
+                            slot,
+                            lit,
+                        };
+                    }
+                }
+                CPred::Cmp { op, a, b }
+            }
+            "exists" => {
+                if args.len() != 1 {
+                    return CPred::Never;
+                }
+                CPred::Exists(self.compile_arg(&args[0]))
+            }
+            "member" => {
+                if args.len() != 2 {
+                    return CPred::Never;
+                }
+                CPred::Member {
+                    value: self.compile_arg(&args[0]),
+                    list: self.compile_list(&args[1]),
+                }
+            }
+            "includes" => {
+                if args.len() != 2 {
+                    return CPred::Never;
+                }
+                CPred::Includes {
+                    haystack: self.compile_arg(&args[0]),
+                    needle: self.compile_arg(&args[1]),
+                }
+            }
+            "allowed" => {
+                if args.len() != 1 {
+                    return CPred::Never;
+                }
+                CPred::Allowed(self.compile_arg(&args[0]))
+            }
+            "verify" => {
+                if args.len() < 3 {
+                    return CPred::Never;
+                }
+                CPred::Verify {
+                    sig: self.compile_arg(&args[0]),
+                    key: self.compile_arg(&args[1]),
+                    data: args[2..].iter().map(|a| self.compile_arg(a)).collect(),
+                }
+            }
+            other => {
+                if self.core.functions.get(other).is_some() {
+                    CPred::User {
+                        name: self.symbols.intern(other),
+                        args: args.iter().map(|a| self.compile_arg(a)).collect(),
+                    }
+                } else {
+                    // Unknown functions fail closed, exactly as the
+                    // interpreter treats an administrator typo.
+                    CPred::Never
+                }
+            }
+        }
+    }
+}
+
+/// Whether a rule matches every flow regardless of headers and responses.
+fn rule_is_unconditional(rule: &Rule) -> bool {
+    fn ep_any(ep: &Option<Endpoint>) -> bool {
+        match ep {
+            None => true,
+            Some(e) => !e.negate && e.addr == AddrSpec::Any && e.port.is_none(),
+        }
+    }
+    rule.proto.is_none() && rule.withs.is_empty() && ep_any(&rule.from) && ep_any(&rule.to)
+}
+
+/// A rule set lowered into its evaluation-ready form. Build one with
+/// [`CompiledPolicy::compile`] or, when keys / named lists / user functions /
+/// a non-default decision are involved, via [`PolicyCompiler`].
+pub struct CompiledPolicy {
+    symbols: SymbolTable,
+    sets: Vec<FlatSet>,
+    rules: Vec<CRule>,
+    /// Candidate rule positions for flows whose protocol matches no bucket.
+    wildcard: Vec<u32>,
+    /// Candidate rule positions per protocol that appears in the policy.
+    proto_buckets: Vec<(IpProtocol, Vec<u32>)>,
+    core: Arc<EvalCore>,
+    source_rules: usize,
+}
+
+impl CompiledPolicy {
+    /// Compiles a rule set with default configuration (default decision
+    /// `Pass`, no keys / lists / user functions).
+    pub fn compile(ruleset: &RuleSet) -> CompiledPolicy {
+        PolicyCompiler::new().compile(ruleset)
+    }
+
+    /// Number of rules in the source rule set.
+    pub fn source_rule_count(&self) -> usize {
+        self.source_rules
+    }
+
+    /// Number of rules retained after dead-rule elimination.
+    pub fn compiled_rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Evaluates the policy for `flow` against optional src/dst responses.
+    ///
+    /// Decision-equivalent to [`EvalContext::evaluate`] over the same rule
+    /// set and configuration. `Verdict::rules_evaluated` counts *candidate*
+    /// rules examined, which is the quantity the compiled form optimises and
+    /// may be lower than the interpreter's count.
+    pub fn evaluate(
+        &self,
+        flow: &FiveTuple,
+        src: Option<&Response>,
+        dst: Option<&Response>,
+    ) -> Verdict {
+        EvalRun {
+            policy: self,
+            src,
+            dst,
+            slots: [None; RESP_SLOTS],
+        }
+        .evaluate(flow)
+    }
+
+    fn candidates(&self, protocol: IpProtocol) -> &[u32] {
+        for (p, bucket) in &self.proto_buckets {
+            if *p == protocol {
+                return bucket;
+            }
+        }
+        &self.wildcard
+    }
+
+    fn endpoint_matches(&self, endpoint: &CEndpoint, addr: Ipv4Addr, port: u16) -> bool {
+        let addr = addr.to_u32();
+        let addr_match = match endpoint.addr {
+            CAddr::Any => true,
+            CAddr::Host(h) => h == addr,
+            CAddr::Cidr { net, mask } => (addr & mask) == net,
+            CAddr::Set(idx) => self.sets[idx].contains(addr),
+        };
+        if addr_match == endpoint.negate {
+            return false;
+        }
+        match endpoint.port {
+            CPort::Any => true,
+            CPort::Eq(p) => port == p,
+            CPort::Range(lo, hi) => port >= lo && port <= hi,
+            CPort::Never => false,
+        }
+    }
+}
+
+/// One evaluation of a compiled policy: the policy, the responses, and the
+/// stack-allocated response-lookup memo. Everything lives on the stack — the
+/// steady-state path performs no heap allocation.
+struct EvalRun<'e> {
+    policy: &'e CompiledPolicy,
+    src: Option<&'e Response>,
+    dst: Option<&'e Response>,
+    /// Memoized `latest(key)` results per compile-time slot: `None` =
+    /// unresolved, `Some(None)` = key absent, `Some(Some(v))` = present.
+    slots: [Option<Option<&'e str>>; RESP_SLOTS],
+}
+
+impl<'e> EvalRun<'e> {
+    fn evaluate(&mut self, flow: &FiveTuple) -> Verdict {
+        let policy = self.policy;
+        let mut verdict = Verdict {
+            decision: policy.core.default_decision,
+            matched_rule: None,
+            matched_line: None,
+            keep_state: false,
+            quick: false,
+            rules_evaluated: 0,
+        };
+        for &pos in policy.candidates(flow.protocol) {
+            let rule = &policy.rules[pos as usize];
+            verdict.rules_evaluated += 1;
+            if self.rule_matches(rule, flow) {
+                verdict.decision = Decision::from_action(rule.action);
+                verdict.matched_rule = Some(rule.index);
+                verdict.matched_line = Some(rule.line);
+                verdict.keep_state = rule.keep_state;
+                if rule.quick {
+                    verdict.quick = true;
+                    break;
+                }
+            }
+        }
+        verdict
+    }
+
+    fn rule_matches(&mut self, rule: &CRule, flow: &FiveTuple) -> bool {
+        // The protocol constraint is already enforced by bucketing.
+        if let Some(from) = &rule.from {
+            if !self
+                .policy
+                .endpoint_matches(from, flow.src_ip, flow.src_port)
+            {
+                return false;
+            }
+        }
+        if let Some(to) = &rule.to {
+            if !self.policy.endpoint_matches(to, flow.dst_ip, flow.dst_port) {
+                return false;
+            }
+        }
+        rule.preds.iter().all(|p| self.pred_matches(p, flow, 0))
+    }
+
+    /// The memoized `latest(key)` lookup behind `@src[..]`/`@dst[..]`.
+    fn latest(&mut self, side: Side, key: Sym, slot: u16) -> Option<&'e str> {
+        let cache = (slot as usize) < RESP_SLOTS;
+        if cache {
+            if let Some(resolved) = self.slots[slot as usize] {
+                return resolved;
+            }
+        }
+        let response = match side {
+            Side::Src => self.src,
+            Side::Dst => self.dst,
+        };
+        let value = response.and_then(|r| r.latest(self.policy.symbols.get(key)));
+        if cache {
+            self.slots[slot as usize] = Some(value);
+        }
+        value
+    }
+
+    /// Resolves an argument to a string view. Only `*`-concatenated response
+    /// references allocate (they must join sections); everything else borrows
+    /// from the symbol table or the response.
+    fn resolve(&mut self, arg: &CArg) -> Option<Cow<'e, str>> {
+        match arg {
+            CArg::Lit(sym) => Some(Cow::Borrowed(self.policy.symbols.get(*sym))),
+            CArg::Missing => None,
+            CArg::Resp {
+                side,
+                key,
+                concat,
+                slot,
+            } => {
+                if *concat {
+                    let response = match side {
+                        Side::Src => self.src?,
+                        Side::Dst => self.dst?,
+                    };
+                    response
+                        .concatenated(self.policy.symbols.get(*key))
+                        .map(Cow::Owned)
+                } else {
+                    self.latest(*side, *key, *slot).map(Cow::Borrowed)
+                }
+            }
+        }
+    }
+
+    fn pred_matches(&mut self, pred: &CPred, flow: &FiveTuple, depth: usize) -> bool {
+        match pred {
+            CPred::EqRespLit {
+                side,
+                key,
+                slot,
+                lit,
+            } => match self.latest(*side, *key, *slot) {
+                Some(value) => value == self.policy.symbols.get(*lit),
+                None => false,
+            },
+            CPred::Cmp { op, a, b } => {
+                let (a, b) = match (self.resolve(a), self.resolve(b)) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return false,
+                };
+                match op {
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                    ordered => match numeric_cmp(&a, &b) {
+                        Some(ord) => match ordered {
+                            CmpOp::Gt => ord == Ordering::Greater,
+                            CmpOp::Lt => ord == Ordering::Less,
+                            CmpOp::Gte => ord != Ordering::Less,
+                            CmpOp::Lte => ord != Ordering::Greater,
+                            CmpOp::Eq | CmpOp::Ne => unreachable!(),
+                        },
+                        None => false,
+                    },
+                }
+            }
+            CPred::Exists(arg) => match arg {
+                // `*@x[k]` concatenates something iff `@x[k]` has a latest
+                // value, so presence never needs the joined string.
+                CArg::Lit(_) => true,
+                CArg::Missing => false,
+                CArg::Resp {
+                    side, key, slot, ..
+                } => self.latest(*side, *key, *slot).is_some(),
+            },
+            CPred::Member { value, list } => {
+                let value = match self.resolve(value) {
+                    Some(v) => v,
+                    None => return false,
+                };
+                match list {
+                    CList::Static(items) => {
+                        !items.is_empty()
+                            && value
+                                .split_whitespace()
+                                .any(|v| items.iter().any(|m| m == v))
+                    }
+                    CList::Dynamic(arg) => {
+                        let text = match self.resolve(arg) {
+                            Some(t) => t,
+                            None => return false,
+                        };
+                        let mut items = list_items(&text).peekable();
+                        if items.peek().is_none() {
+                            return false;
+                        }
+                        value
+                            .split_whitespace()
+                            .any(|v| list_items(&text).any(|m| m == v))
+                    }
+                }
+            }
+            CPred::Includes { haystack, needle } => {
+                let (haystack, needle) = match (self.resolve(haystack), self.resolve(needle)) {
+                    (Some(h), Some(n)) => (h, n),
+                    _ => return false,
+                };
+                haystack.split_whitespace().any(|item| item == &*needle)
+            }
+            CPred::Allowed(arg) => {
+                if depth >= MAX_ALLOWED_DEPTH {
+                    return false;
+                }
+                let requirements = match self.resolve(arg) {
+                    Some(r) => r,
+                    None => return false,
+                };
+                let sub_ruleset = match parse_ruleset(&requirements) {
+                    Ok(rs) => rs,
+                    // Malformed delegated rules never grant access.
+                    Err(_) => return false,
+                };
+                // Delegated rule sets arrive inside responses and cannot be
+                // compiled ahead of time: hand them to the interpreter, which
+                // shares this policy's core via the `Arc`.
+                EvalContext::from_parts(
+                    &sub_ruleset,
+                    self.src,
+                    self.dst,
+                    Arc::clone(&self.policy.core),
+                )
+                .evaluate_at_depth(flow, depth + 1)
+                .decision
+                .is_pass()
+            }
+            CPred::Verify { sig, key, data } => {
+                let sig = match self.resolve(sig) {
+                    Some(s) => s,
+                    None => return false,
+                };
+                let key_text = match self.resolve(key) {
+                    Some(k) => k,
+                    None => return false,
+                };
+                let key_hex = match self.policy.core.key_registry.resolve(&key_text) {
+                    Some(k) => k.to_hex(),
+                    None => key_text.into_owned(),
+                };
+                let mut items: Vec<Cow<'_, str>> = Vec::with_capacity(data.len());
+                for arg in data {
+                    match self.resolve(arg) {
+                        Some(v) => items.push(v),
+                        None => return false,
+                    }
+                }
+                verify_bundle_hex(&sig, &key_hex, &items)
+            }
+            CPred::User { name, args } => {
+                match self
+                    .policy
+                    .core
+                    .functions
+                    .get(self.policy.symbols.get(*name))
+                {
+                    Some(f) => {
+                        let resolved: Vec<Option<String>> = args
+                            .iter()
+                            .map(|a| self.resolve(a).map(Cow::into_owned))
+                            .collect();
+                        f(&resolved)
+                    }
+                    None => false,
+                }
+            }
+            CPred::Never => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for CompiledPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledPolicy")
+            .field("source_rules", &self.source_rules)
+            .field("compiled_rules", &self.rules.len())
+            .field("symbols", &self.symbols.strings.len())
+            .field("sets", &self.sets.len())
+            .field("proto_buckets", &self.proto_buckets.len())
+            .field("default", &self.core.default_decision)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_proto::Section;
+
+    fn response_with(flow: FiveTuple, pairs: &[(&str, &str)]) -> Response {
+        let mut r = Response::new(flow);
+        let mut s = Section::new();
+        for (k, v) in pairs {
+            s.push(*k, *v);
+        }
+        r.push_section(s);
+        r
+    }
+
+    fn assert_equivalent(
+        policy: &str,
+        flow: &FiveTuple,
+        src: Option<&Response>,
+        dst: Option<&Response>,
+    ) {
+        let rs = parse_ruleset(policy).unwrap();
+        let mut ctx = EvalContext::new(&rs);
+        if let Some(src) = src {
+            ctx = ctx.with_src_response(src);
+        }
+        if let Some(dst) = dst {
+            ctx = ctx.with_dst_response(dst);
+        }
+        let interpreted = ctx.evaluate(flow);
+        let compiled = CompiledPolicy::compile(&rs).evaluate(flow, src, dst);
+        assert_eq!(compiled.decision, interpreted.decision, "policy: {policy}");
+        assert_eq!(compiled.matched_rule, interpreted.matched_rule);
+        assert_eq!(compiled.matched_line, interpreted.matched_line);
+        assert_eq!(compiled.keep_state, interpreted.keep_state);
+        assert_eq!(compiled.quick, interpreted.quick);
+    }
+
+    #[test]
+    fn last_match_and_quick_semantics() {
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+        assert_equivalent("block all\npass all\n", &flow, None, None);
+        assert_equivalent("block quick all\npass all\n", &flow, None, None);
+        assert_equivalent("pass all\nblock from 9.9.9.9 to any\n", &flow, None, None);
+    }
+
+    #[test]
+    fn unconditional_quick_truncates_compiled_rules() {
+        let rs = parse_ruleset("block all\npass quick all\nblock all\nblock all\n").unwrap();
+        let compiled = CompiledPolicy::compile(&rs);
+        assert_eq!(compiled.source_rule_count(), 4);
+        assert_eq!(compiled.compiled_rule_count(), 2);
+        let flow = FiveTuple::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
+        let v = compiled.evaluate(&flow, None, None);
+        assert_eq!(v.decision, Decision::Pass);
+        assert!(v.quick);
+    }
+
+    #[test]
+    fn dead_prefix_rules_are_skipped() {
+        // The final `block all` overrides everything before it; the compiled
+        // policy must both skip the dead prefix and still report the correct
+        // matched rule.
+        let rs = parse_ruleset(
+            "pass from 1.2.3.4 to any\npass all\nblock all\npass from 5.6.7.8 to any\n",
+        )
+        .unwrap();
+        let compiled = CompiledPolicy::compile(&rs);
+        let flow = FiveTuple::tcp([9, 9, 9, 9], 1, [8, 8, 8, 8], 2);
+        let v = compiled.evaluate(&flow, None, None);
+        assert_eq!(v.decision, Decision::Block);
+        assert_eq!(v.matched_rule, Some(2));
+        // Only the floor rule onward is examined.
+        assert_eq!(v.rules_evaluated, 2);
+        let interpreted = EvalContext::new(&rs).evaluate(&flow);
+        assert_eq!(v.decision, interpreted.decision);
+        assert_eq!(v.matched_rule, interpreted.matched_rule);
+    }
+
+    #[test]
+    fn protocol_buckets_skip_non_candidates() {
+        let mut policy = String::from("block all\n");
+        for i in 0..50 {
+            policy.push_str(&format!(
+                "pass proto udp from any to any port {}\n",
+                1000 + i
+            ));
+        }
+        policy.push_str("pass proto tcp from any to any port 80\n");
+        let rs = parse_ruleset(&policy).unwrap();
+        let compiled = CompiledPolicy::compile(&rs);
+        let tcp = FiveTuple::tcp([1, 1, 1, 1], 999, [2, 2, 2, 2], 80);
+        let v = compiled.evaluate(&tcp, None, None);
+        assert_eq!(v.decision, Decision::Pass);
+        // block all + the single tcp rule: the 50 udp rules are never touched.
+        assert_eq!(v.rules_evaluated, 2);
+        let interpreted = EvalContext::new(&rs).evaluate(&tcp);
+        assert_eq!(v.decision, interpreted.decision);
+        assert_eq!(v.matched_rule, interpreted.matched_rule);
+        // A UDP flow sees the udp bucket.
+        let udp = FiveTuple::udp([1, 1, 1, 1], 999, [2, 2, 2, 2], 1003);
+        assert_eq!(
+            compiled.evaluate(&udp, None, None).decision,
+            EvalContext::new(&rs).evaluate(&udp).decision
+        );
+        // A protocol that appears nowhere uses the wildcard bucket.
+        let icmp = FiveTuple::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            0,
+            Ipv4Addr::new(2, 2, 2, 2),
+            0,
+            IpProtocol::Icmp,
+        );
+        assert_eq!(
+            compiled.evaluate(&icmp, None, None).decision,
+            EvalContext::new(&rs).evaluate(&icmp).decision
+        );
+    }
+
+    #[test]
+    fn tables_flatten_with_nesting_and_cycles() {
+        let policy = "table <server> { 192.168.1.1 }\n\
+                      table <lan> { 192.168.0.0/24 }\n\
+                      table <all> { <lan> <server> <all> <missing> }\n\
+                      block all\n\
+                      pass from <all> to !<all>\n";
+        for (src, dst) in [
+            ([192u8, 168, 0, 10], [8u8, 8, 8, 8]),
+            ([192, 168, 0, 10], [192, 168, 1, 1]),
+            ([8, 8, 8, 8], [9, 9, 9, 9]),
+            ([192, 168, 1, 1], [1, 1, 1, 1]),
+        ] {
+            let flow = FiveTuple::tcp(src, 1000, dst, 443);
+            assert_equivalent(policy, &flow, None, None);
+        }
+    }
+
+    #[test]
+    fn named_ports_and_ranges_compile() {
+        let flow_http = FiveTuple::tcp([1, 1, 1, 1], 999, [2, 2, 2, 2], 80);
+        let flow_ssh = FiveTuple::tcp([1, 1, 1, 1], 999, [2, 2, 2, 2], 22);
+        for policy in [
+            "block all\npass from any to any port http\n",
+            "block all\npass from any to any port 1000:2000\n",
+            "block all\npass from any to any port nosuchservice\n",
+        ] {
+            assert_equivalent(policy, &flow_http, None, None);
+            assert_equivalent(policy, &flow_ssh, None, None);
+        }
+    }
+
+    #[test]
+    fn predicates_match_interpreter() {
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+        let src = response_with(
+            flow,
+            &[
+                ("name", "skype"),
+                ("version", "210"),
+                ("groupID", "users wheel"),
+                ("os-patch", "MS08-001 MS08-067"),
+            ],
+        );
+        let dst = Response::new(flow);
+        for policy in [
+            "block all\npass all with eq(@src[name], skype)\n",
+            "block all\npass all with ne(@src[name], firefox)\n",
+            "block all\npass all with gte(@src[version], 200)\n",
+            "block all\npass all with lt(@src[version], 200)\n",
+            "block all\npass all with exists(@src[name])\n",
+            "block all\npass all with exists(@src[nope])\n",
+            "block all\npass all with exists(*@src[name])\n",
+            "block all\npass all with includes(@src[os-patch], MS08-067)\n",
+            "block all\npass all with includes(@src[os-patch], MS09-001)\n",
+            "apps = \"{ skype http }\"\nblock all\npass all with member(@src[name], $apps)\n",
+            "block all\npass all with member(@src[groupID], wheel)\n",
+            "block all\npass all with eq(@src[name])\n",
+            "block all\npass all with frobnicate(@src[name])\n",
+            "dict <d> { k : skype }\nblock all\npass all with eq(@src[name], @d[k])\n",
+            "block all\npass all with eq(@src[name], @d[missing])\n",
+            "block all\npass all with eq($undefined, skype)\n",
+        ] {
+            assert_equivalent(policy, &flow, Some(&src), Some(&dst));
+        }
+    }
+
+    #[test]
+    fn compiler_builder_matches_context_builders() {
+        let rs = parse_ruleset("block all\npass all with member(@src[groupID], users)\n").unwrap();
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+        let src = response_with(flow, &[("groupID", "users")]);
+        let dst = Response::new(flow);
+        let compiled = PolicyCompiler::new()
+            .with_named_list("users", vec!["users".to_string()])
+            .compile(&rs);
+        let interpreted = EvalContext::new(&rs)
+            .with_named_list("users", vec!["users".to_string()])
+            .with_responses(&src, &dst)
+            .evaluate(&flow);
+        let v = compiled.evaluate(&flow, Some(&src), Some(&dst));
+        assert_eq!(v.decision, interpreted.decision);
+        assert_eq!(v.decision, Decision::Pass);
+
+        // Default decision plumbs through.
+        let empty = parse_ruleset("").unwrap();
+        let blocked = PolicyCompiler::new()
+            .with_default(Decision::Block)
+            .compile(&empty);
+        assert_eq!(
+            blocked.evaluate(&flow, None, None).decision,
+            Decision::Block
+        );
+    }
+
+    #[test]
+    fn allowed_delegation_uses_interpreter_oracle() {
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 9999, [10, 0, 0, 2], 7000);
+        let src = Response::new(flow);
+        let good = response_with(
+            flow,
+            &[("requirements", "block all\npass from any to any port 7000")],
+        );
+        let bad = response_with(
+            flow,
+            &[("requirements", "block all\npass from any to any port 22")],
+        );
+        let malformed = response_with(flow, &[("requirements", "pass from !!!")]);
+        let recursive = response_with(
+            flow,
+            &[(
+                "requirements",
+                "block all\npass all with allowed(@dst[requirements])",
+            )],
+        );
+        let policy = "block all\npass all with allowed(@dst[requirements])\n";
+        for dst in [&good, &bad, &malformed, &recursive] {
+            assert_equivalent(policy, &flow, Some(&src), Some(dst));
+        }
+    }
+
+    #[test]
+    fn verify_matches_interpreter() {
+        use identxx_crypto::{sign_bundle_hex, KeyPair};
+        let research = KeyPair::from_seed(b"research-group-key");
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 9999, [10, 0, 0, 2], 7000);
+        let requirements = "block all\npass from any to any port 7000";
+        let sig = sign_bundle_hex(&research, &["hash", "app", requirements]);
+        let policy = format!(
+            "dict <pubkeys> {{ research : {} }}\nblock all\npass all with verify(@dst[req-sig], @pubkeys[research], @dst[exe-hash], @dst[app-name], @dst[requirements])\n",
+            research.public().to_hex()
+        );
+        let src = Response::new(flow);
+        let good = response_with(
+            flow,
+            &[
+                ("req-sig", sig.as_str()),
+                ("exe-hash", "hash"),
+                ("app-name", "app"),
+                ("requirements", requirements),
+            ],
+        );
+        let tampered = response_with(
+            flow,
+            &[
+                ("req-sig", sig.as_str()),
+                ("exe-hash", "hash"),
+                ("app-name", "app"),
+                ("requirements", "pass all"),
+            ],
+        );
+        for dst in [&good, &tampered] {
+            assert_equivalent(&policy, &flow, Some(&src), Some(dst));
+        }
+        let rs = parse_ruleset(&policy).unwrap();
+        assert_eq!(
+            CompiledPolicy::compile(&rs)
+                .evaluate(&flow, Some(&src), Some(&good))
+                .decision,
+            Decision::Pass
+        );
+    }
+
+    #[test]
+    fn user_functions_compile() {
+        let rs = parse_ruleset("block all\npass all with business-hours()\n").unwrap();
+        let flow = FiveTuple::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
+        let mut funcs = FunctionRegistry::new();
+        funcs.register("business-hours", |_args| true);
+        let compiled = PolicyCompiler::new().with_functions(funcs).compile(&rs);
+        assert_eq!(
+            compiled.evaluate(&flow, None, None).decision,
+            Decision::Pass
+        );
+        // Without the registration the call fails closed.
+        let bare = CompiledPolicy::compile(&rs);
+        assert_eq!(bare.evaluate(&flow, None, None).decision, Decision::Block);
+    }
+
+    #[test]
+    fn concat_and_latest_semantics() {
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+        let mut src = Response::new(flow);
+        let mut s1 = Section::new();
+        s1.push("site", "branch-a");
+        src.push_section(s1);
+        let mut s2 = Section::new();
+        s2.push("site", "branch-b");
+        src.push_section(s2);
+        let dst = Response::new(flow);
+        for policy in [
+            "block all\npass all with eq(@src[site], branch-b)\n",
+            "block all\npass all with eq(*@src[site], branch-a branch-b)\n",
+            "block all\npass all with eq(*@src[site], branch-a)\n",
+        ] {
+            assert_equivalent(policy, &flow, Some(&src), Some(&dst));
+        }
+    }
+
+    #[test]
+    fn debug_formats() {
+        let rs = parse_ruleset("block all\n").unwrap();
+        let compiled = CompiledPolicy::compile(&rs);
+        let rendered = format!("{compiled:?}");
+        assert!(rendered.contains("CompiledPolicy"));
+        assert!(rendered.contains("compiled_rules"));
+    }
+}

@@ -9,6 +9,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use identxx_crypto::{verify_bundle_hex, KeyRegistry};
 use identxx_proto::{FiveTuple, Response};
@@ -67,16 +68,45 @@ pub struct Verdict {
 /// calls; an attacker must not be able to recurse the controller to death.
 pub const MAX_ALLOWED_DEPTH: usize = 4;
 
+/// The shareable part of an evaluation context: everything a rule set may
+/// reference that is neither the rule set itself nor the per-flow responses.
+///
+/// `allowed()` re-enters the evaluator for delegated requirement rule sets;
+/// keeping this state behind an [`Arc`] lets each recursion (and the compiled
+/// evaluator in [`crate::compile`]) share it instead of deep-cloning the key
+/// registry, named lists, and function registry per call.
+#[derive(Clone)]
+pub(crate) struct EvalCore {
+    pub(crate) key_registry: KeyRegistry,
+    pub(crate) named_lists: BTreeMap<String, Vec<String>>,
+    pub(crate) functions: FunctionRegistry,
+    pub(crate) default_decision: Decision,
+}
+
+impl EvalCore {
+    pub(crate) fn new() -> Self {
+        EvalCore {
+            key_registry: KeyRegistry::new(),
+            named_lists: BTreeMap::new(),
+            functions: FunctionRegistry::new(),
+            default_decision: Decision::Pass,
+        }
+    }
+}
+
+impl Default for EvalCore {
+    fn default() -> Self {
+        EvalCore::new()
+    }
+}
+
 /// Evaluation context: the rule set plus everything referenced from it.
 #[derive(Clone)]
 pub struct EvalContext<'a> {
     ruleset: &'a RuleSet,
     src: Option<&'a Response>,
     dst: Option<&'a Response>,
-    key_registry: KeyRegistry,
-    named_lists: BTreeMap<String, Vec<String>>,
-    functions: FunctionRegistry,
-    default_decision: Decision,
+    core: Arc<EvalCore>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -89,10 +119,23 @@ impl<'a> EvalContext<'a> {
             ruleset,
             src: None,
             dst: None,
-            key_registry: KeyRegistry::new(),
-            named_lists: BTreeMap::new(),
-            functions: FunctionRegistry::new(),
-            default_decision: Decision::Pass,
+            core: Arc::new(EvalCore::new()),
+        }
+    }
+
+    /// Builds a context over an already-shared core (used by the compiled
+    /// evaluator when `allowed()` falls back to the interpreter).
+    pub(crate) fn from_parts(
+        ruleset: &'a RuleSet,
+        src: Option<&'a Response>,
+        dst: Option<&'a Response>,
+        core: Arc<EvalCore>,
+    ) -> Self {
+        EvalContext {
+            ruleset,
+            src,
+            dst,
+            core,
         }
     }
 
@@ -118,27 +161,29 @@ impl<'a> EvalContext<'a> {
 
     /// Sets the decision applied when no rule matches.
     pub fn with_default(mut self, default: Decision) -> Self {
-        self.default_decision = default;
+        Arc::make_mut(&mut self.core).default_decision = default;
         self
     }
 
     /// Attaches a registry of trusted public keys for `verify` (in addition
     /// to keys stored inline in `dict` definitions).
     pub fn with_key_registry(mut self, registry: KeyRegistry) -> Self {
-        self.key_registry = registry;
+        Arc::make_mut(&mut self.core).key_registry = registry;
         self
     }
 
     /// Defines a named list usable as the second argument of `member` (e.g.
     /// the `users` group of §3.3's example).
     pub fn with_named_list(mut self, name: impl Into<String>, members: Vec<String>) -> Self {
-        self.named_lists.insert(name.into(), members);
+        Arc::make_mut(&mut self.core)
+            .named_lists
+            .insert(name.into(), members);
         self
     }
 
     /// Attaches user-defined functions.
     pub fn with_functions(mut self, functions: FunctionRegistry) -> Self {
-        self.functions = functions;
+        Arc::make_mut(&mut self.core).functions = functions;
         self
     }
 
@@ -152,11 +197,17 @@ impl<'a> EvalContext<'a> {
         self.evaluate_rules(&self.ruleset.rules, flow, 0)
     }
 
+    /// Evaluates starting at a given `allowed()` nesting depth (used by the
+    /// compiled evaluator, which delegates sub-rule sets to the interpreter).
+    pub(crate) fn evaluate_at_depth(&self, flow: &FiveTuple, depth: usize) -> Verdict {
+        self.evaluate_rules(&self.ruleset.rules, flow, depth)
+    }
+
     /// Evaluates an arbitrary rule list in this context (used by `allowed()`
     /// for delegated requirement rule sets).
     fn evaluate_rules(&self, rules: &[Rule], flow: &FiveTuple, depth: usize) -> Verdict {
         let mut verdict = Verdict {
-            decision: self.default_decision,
+            decision: self.core.default_decision,
             matched_rule: None,
             matched_line: None,
             keep_state: false,
@@ -277,7 +328,7 @@ impl<'a> EvalContext<'a> {
     /// as a whitespace/brace list.
     fn resolve_list(&self, arg: &FnArg) -> Vec<String> {
         if let FnArg::Literal(name) = arg {
-            if let Some(list) = self.named_lists.get(name) {
+            if let Some(list) = self.core.named_lists.get(name) {
                 return list.clone();
             }
             if let Some(macro_text) = self.ruleset.macros.get(name) {
@@ -370,15 +421,14 @@ impl<'a> EvalContext<'a> {
                     Err(_) => return false,
                 };
                 // The delegated rule set is evaluated with the same responses
-                // and trusted keys but its *own* tables/dicts/macros.
+                // and trusted keys but its *own* tables/dicts/macros. The
+                // shared core is an `Arc`, so recursion costs one refcount
+                // bump instead of cloning registries and lists.
                 let sub_ctx = EvalContext {
                     ruleset: &sub_ruleset,
                     src: self.src,
                     dst: self.dst,
-                    key_registry: self.key_registry.clone(),
-                    named_lists: self.named_lists.clone(),
-                    functions: self.functions.clone(),
-                    default_decision: self.default_decision,
+                    core: Arc::clone(&self.core),
                 };
                 sub_ctx
                     .evaluate_rules(&sub_ruleset.rules, flow, depth + 1)
@@ -399,7 +449,7 @@ impl<'a> EvalContext<'a> {
                 };
                 // The key may be raw hex (from a dict) or the name of a key in
                 // the trusted-key registry.
-                let key_hex = match self.key_registry.resolve(&key_text) {
+                let key_hex = match self.core.key_registry.resolve(&key_text) {
                     Some(k) => k.to_hex(),
                     None => key_text,
                 };
@@ -412,7 +462,7 @@ impl<'a> EvalContext<'a> {
                 }
                 verify_bundle_hex(&sig, &key_hex, &data)
             }
-            other => match self.functions.get(other) {
+            other => match self.core.functions.get(other) {
                 Some(f) => {
                     let resolved: Vec<Option<String>> =
                         call.args.iter().map(|a| self.resolve_arg(a)).collect();
@@ -432,7 +482,7 @@ impl std::fmt::Debug for EvalContext<'_> {
             .field("rules", &self.ruleset.rules.len())
             .field("has_src", &self.src.is_some())
             .field("has_dst", &self.dst.is_some())
-            .field("default", &self.default_decision)
+            .field("default", &self.core.default_decision)
             .finish()
     }
 }

@@ -82,6 +82,19 @@ impl std::fmt::Debug for FunctionRegistry {
     }
 }
 
+/// Iterates over the elements of a whitespace- (and optionally brace-)
+/// delimited list literal without allocating: `"{ http ssh }"` yields
+/// `"http"`, `"ssh"`.
+///
+/// This is the borrowed core of [`parse_list_literal`]; the compiled
+/// evaluator uses it directly so `member` over a response value performs no
+/// per-evaluation allocation.
+pub fn list_items(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| c.is_whitespace() || c == ',')
+        .map(|t| t.trim_matches(|c| c == '{' || c == '}' || c == ','))
+        .filter(|t| !t.is_empty())
+}
+
 /// Splits a whitespace- (and optionally brace-) delimited list literal into
 /// its elements: `"{ http ssh }"` → `["http", "ssh"]`.
 ///
@@ -89,11 +102,7 @@ impl std::fmt::Debug for FunctionRegistry {
 /// `member` (Fig. 2: `member(@src[name], $allowed)` with
 /// `allowed = "{ http ssh }"`).
 pub fn parse_list_literal(text: &str) -> Vec<String> {
-    text.split(|c: char| c.is_whitespace() || c == ',')
-        .map(|t| t.trim_matches(|c| c == '{' || c == '}' || c == ','))
-        .filter(|t| !t.is_empty())
-        .map(str::to_string)
-        .collect()
+    list_items(text).map(str::to_string).collect()
 }
 
 /// Numeric comparison used by `gt`/`lt`/`gte`/`lte`.

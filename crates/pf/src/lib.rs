@@ -44,6 +44,7 @@
 //! ```
 
 pub mod ast;
+pub mod compile;
 pub mod dict;
 pub mod error;
 pub mod eval;
@@ -56,6 +57,7 @@ pub mod state;
 pub mod table;
 
 pub use ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet};
+pub use compile::{CompiledPolicy, PolicyCompiler};
 pub use error::PfError;
 pub use eval::{Decision, EvalContext, Verdict};
 pub use parser::parse_ruleset;

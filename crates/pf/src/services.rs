@@ -5,43 +5,53 @@
 //! `/etc/services` the paper's examples and our workloads need, plus a
 //! fallback numeric parse.
 
+/// The known service-name → port table. Matched case-insensitively without
+/// allocating (no per-call lowercased copy of the token).
+const SERVICES: &[(&str, u16)] = &[
+    ("ftp-data", 20),
+    ("ftp", 21),
+    ("ssh", 22),
+    ("telnet", 23),
+    ("smtp", 25),
+    ("dns", 53),
+    ("domain", 53),
+    ("http", 80),
+    ("www", 80),
+    ("kerberos", 88),
+    ("pop3", 110),
+    ("ident", 113),
+    ("auth", 113),
+    ("ntp", 123),
+    ("imap", 143),
+    ("snmp", 161),
+    ("ldap", 389),
+    ("https", 443),
+    ("smb", 445),
+    ("microsoft-ds", 445),
+    ("smtps", 465),
+    ("syslog", 514),
+    ("submission", 587),
+    ("ldaps", 636),
+    ("identxx", 783),
+    ("imaps", 993),
+    ("pop3s", 995),
+    ("mysql", 3306),
+    ("rdp", 3389),
+    ("postgresql", 5432),
+    ("postgres", 5432),
+    ("vnc", 5900),
+    ("http-alt", 8080),
+];
+
 /// Resolves a service name or numeric string to a port number.
 pub fn resolve_port(token: &str) -> Option<u16> {
     if let Ok(n) = token.parse::<u16>() {
         return Some(n);
     }
-    let port = match token.to_ascii_lowercase().as_str() {
-        "ftp-data" => 20,
-        "ftp" => 21,
-        "ssh" => 22,
-        "telnet" => 23,
-        "smtp" => 25,
-        "dns" | "domain" => 53,
-        "http" | "www" => 80,
-        "kerberos" => 88,
-        "pop3" => 110,
-        "ident" | "auth" => 113,
-        "ntp" => 123,
-        "imap" => 143,
-        "snmp" => 161,
-        "ldap" => 389,
-        "https" => 443,
-        "smb" | "microsoft-ds" => 445,
-        "smtps" => 465,
-        "syslog" => 514,
-        "submission" => 587,
-        "ldaps" => 636,
-        "identxx" => 783,
-        "imaps" => 993,
-        "pop3s" => 995,
-        "mysql" => 3306,
-        "rdp" => 3389,
-        "postgresql" | "postgres" => 5432,
-        "vnc" => 5900,
-        "http-alt" => 8080,
-        _ => return None,
-    };
-    Some(port)
+    SERVICES
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case(token))
+        .map(|&(_, port)| port)
 }
 
 /// Returns the conventional service name for a port, if one is known (used by

@@ -145,6 +145,36 @@ impl Table {
         false
     }
 
+    /// Visits every non-reference entry reachable from this table, following
+    /// nested table references. Each referenced table is visited at most once
+    /// (so cycles terminate) and missing tables are skipped, mirroring the
+    /// semantics of [`Table::contains`]. The policy compiler uses this to
+    /// flatten table trees into binary-searchable address sets.
+    pub fn visit_flattened<'a, F: FnMut(&'a TableEntry)>(
+        &'a self,
+        all_tables: &'a BTreeMap<String, Table>,
+        mut visit: F,
+    ) {
+        let mut visited: Vec<&Table> = Vec::new();
+        let mut stack: Vec<&Table> = vec![self];
+        while let Some(table) = stack.pop() {
+            if visited.iter().any(|t| std::ptr::eq(*t, table)) {
+                continue;
+            }
+            visited.push(table);
+            for entry in &table.entries {
+                match entry {
+                    TableEntry::TableRef(name) => {
+                        if let Some(inner) = all_tables.get(name.as_str()) {
+                            stack.push(inner);
+                        }
+                    }
+                    concrete => visit(concrete),
+                }
+            }
+        }
+    }
+
     /// Number of (direct) entries.
     pub fn len(&self) -> usize {
         self.entries.len()

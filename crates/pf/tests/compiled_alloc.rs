@@ -1,0 +1,128 @@
+//! Proves the acceptance criterion that steady-state compiled evaluation is
+//! allocation-free for rules without `allowed()` / dynamic-list predicates.
+//!
+//! The whole test binary runs under a counting global allocator; the single
+//! test warms the evaluation path, then asserts that a burst of evaluations
+//! performs zero heap allocations. This file must keep exactly one `#[test]`
+//! so no concurrent test can pollute the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use identxx_pf::{parse_ruleset, CompiledPolicy, Decision, PolicyCompiler};
+use identxx_proto::{FiveTuple, Response, Section};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// A policy exercising every fast-path feature at once: tables (nested),
+/// CIDR and host endpoints, named and numeric ports, protocol constraints,
+/// and the comparison / existence / membership / inclusion predicates over
+/// literals, macros, dict values, and response keys.
+const POLICY: &str = "\
+table <server> { 192.168.1.1 }
+table <lan> { 192.168.0.0/24 10.0.0.0/8 }
+table <internal> { <lan> <server> }
+apps = \"{ skype firefox }\"
+dict <meta> { owner : alice }
+block all
+pass proto tcp from <lan> to any port http with eq(@src[name], firefox) keep state
+pass proto tcp from <internal> to <server> port 1000:2000 with member(@src[name], $apps)
+pass all with eq(@src[name], skype) with gte(@src[version], 200)
+pass all with exists(@src[user-initiated]) with includes(@dst[os-patch], MS08-067)
+pass all with eq(@src[userID], @meta[owner]) with member(@src[groupID], admins)
+block proto udp from any to any port 53 with ne(@src[name], resolver)
+";
+
+fn response(flow: FiveTuple, pairs: &[(&str, &str)]) -> Response {
+    let mut r = Response::new(flow);
+    let mut s = Section::new();
+    for (k, v) in pairs {
+        s.push(*k, *v);
+    }
+    r.push_section(s);
+    r
+}
+
+#[test]
+fn steady_state_compiled_evaluation_does_not_allocate() {
+    let ruleset = parse_ruleset(POLICY).unwrap();
+    let compiled: CompiledPolicy = PolicyCompiler::new()
+        .with_named_list("admins", vec!["admins".to_string(), "wheel".to_string()])
+        .compile(&ruleset);
+
+    let flows = [
+        FiveTuple::tcp([192, 168, 0, 10], 40000, [8, 8, 8, 8], 80),
+        FiveTuple::tcp([192, 168, 0, 10], 40001, [192, 168, 1, 1], 1500),
+        FiveTuple::tcp([10, 1, 2, 3], 40002, [10, 4, 5, 6], 443),
+        FiveTuple::udp([10, 1, 2, 3], 5353, [9, 9, 9, 9], 53),
+        FiveTuple::tcp([172, 16, 0, 1], 1, [172, 16, 0, 2], 22),
+    ];
+    let src = response(
+        flows[0],
+        &[
+            ("name", "skype"),
+            ("version", "210"),
+            ("userID", "alice"),
+            ("groupID", "wheel staff"),
+            ("user-initiated", "true"),
+        ],
+    );
+    let dst = response(
+        flows[0],
+        &[("os-patch", "MS08-001 MS08-067"), ("name", "skype")],
+    );
+
+    // Warm up (and sanity-check the decisions the loop will reproduce).
+    let mut expected = Vec::new();
+    for flow in &flows {
+        let verdict = compiled.evaluate(flow, Some(&src), Some(&dst));
+        expected.push(verdict.decision);
+    }
+    assert!(expected.contains(&Decision::Pass));
+    assert!(expected.contains(&Decision::Block));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut passes = 0u64;
+    for _ in 0..10_000 {
+        for (flow, want) in flows.iter().zip(&expected) {
+            let verdict = compiled.evaluate(flow, Some(&src), Some(&dst));
+            assert!(verdict.decision == *want);
+            if verdict.decision.is_pass() {
+                passes += 1;
+            }
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(std::hint::black_box(passes) > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "compiled evaluation allocated on the steady-state path"
+    );
+}

@@ -1,0 +1,274 @@
+//! Property test: the compiled PF+=2 evaluator is decision-equivalent to the
+//! AST interpreter.
+//!
+//! Randomized rule sets (tables, macros, dicts, protocol constraints,
+//! negated endpoints, named/numeric/range ports, the full predicate
+//! vocabulary, `quick` and `keep state`) are evaluated over randomized flows
+//! and responses through both `EvalContext` (the reference oracle) and
+//! `CompiledPolicy`. Every field of the verdict except `rules_evaluated`
+//! must agree — the compiled form is allowed (indeed, expected) to examine
+//! fewer rules, but never to decide differently or attribute the decision
+//! to a different rule.
+
+use proptest::prelude::*;
+
+use identxx::pf::{parse_ruleset, EvalContext, PolicyCompiler};
+use identxx::proto::{FiveTuple, IpProtocol, Ipv4Addr, Response, Section};
+
+/// A small address pool so random endpoints and random flows actually
+/// collide: mixed hosts inside and outside the generated tables/CIDRs.
+const ADDRS: [[u8; 4]; 6] = [
+    [192, 168, 0, 10],
+    [192, 168, 0, 77],
+    [192, 168, 1, 1],
+    [10, 0, 0, 5],
+    [10, 9, 9, 9],
+    [8, 8, 8, 8],
+];
+
+/// Ports drawn so that `port 80`, `port http`, and `port 1000:2000` rules
+/// all have both hits and misses.
+const PORTS: [u16; 6] = [80, 443, 22, 1500, 2500, 7000];
+
+/// Response values: app names, group lists, versions (numeric and not).
+const VALUES: [&str; 8] = [
+    "skype",
+    "firefox",
+    "resolver",
+    "users wheel",
+    "guests",
+    "210",
+    "150",
+    "2.1.0",
+];
+
+const KEYS: [&str; 5] = ["name", "version", "groupID", "userID", "os-patch"];
+
+fn arb_addr_token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0usize..ADDRS.len()).prop_map(|i| {
+            let a = ADDRS[i];
+            format!("{}.{}.{}.{}", a[0], a[1], a[2], a[3])
+        }),
+        Just("192.168.0.0/24".to_string()),
+        Just("10.0.0.0/8".to_string()),
+    ]
+}
+
+/// One endpoint: `any`, a host/CIDR, or a table reference (sometimes to a
+/// missing table), optionally negated, with an optional port constraint.
+fn arb_endpoint() -> impl Strategy<Value = String> {
+    let addr = prop_oneof![
+        Just("any".to_string()),
+        arb_addr_token(),
+        Just("<lan>".to_string()),
+        Just("<all>".to_string()),
+        Just("<missing>".to_string()),
+    ];
+    let port = prop_oneof![
+        Just(String::new()),
+        Just(" port 80".to_string()),
+        Just(" port http".to_string()),
+        Just(" port nosuchservice".to_string()),
+        Just(" port 1000:2000".to_string()),
+    ];
+    (any::<bool>(), addr, port).prop_map(|(negate, addr, port)| {
+        let bang = if negate { "!" } else { "" };
+        format!("{bang}{addr}{port}")
+    })
+}
+
+fn arb_arg() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0usize..KEYS.len(), any::<bool>(), any::<bool>()).prop_map(|(k, dst, concat)| {
+            let star = if concat { "*" } else { "" };
+            let side = if dst { "dst" } else { "src" };
+            format!("{star}@{side}[{}]", KEYS[k])
+        }),
+        (0usize..VALUES.len()).prop_map(|v| VALUES[v].to_string()),
+        Just("$apps".to_string()),
+        Just("$undefined".to_string()),
+        Just("@meta[owner]".to_string()),
+        Just("@meta[missing]".to_string()),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = String> {
+    let cmp = (
+        prop_oneof![
+            Just("eq"),
+            Just("ne"),
+            Just("gt"),
+            Just("lt"),
+            Just("gte"),
+            Just("lte"),
+        ],
+        arb_arg(),
+        arb_arg(),
+    )
+        .prop_map(|(op, a, b)| format!("{op}({a}, {b})"));
+    let exists = arb_arg().prop_map(|a| format!("exists({a})"));
+    let member = (
+        arb_arg(),
+        prop_oneof![
+            Just("$apps".to_string()),
+            Just("users".to_string()),
+            Just("lan".to_string()),
+            arb_arg(),
+        ],
+    )
+        .prop_map(|(v, l)| format!("member({v}, {l})"));
+    let includes = (arb_arg(), arb_arg()).prop_map(|(h, n)| format!("includes({h}, {n})"));
+    let bad = prop_oneof![
+        Just("eq(@src[name])".to_string()),
+        Just("frobnicate(@src[name])".to_string()),
+    ];
+    prop_oneof![cmp, exists, member, includes, bad]
+}
+
+fn arb_rule() -> impl Strategy<Value = String> {
+    let proto = prop_oneof![
+        Just(String::new()),
+        Just(" proto tcp".to_string()),
+        Just(" proto udp".to_string()),
+        Just(" proto icmp".to_string()),
+    ];
+    let preds = prop::collection::vec(arb_predicate(), 0..3);
+    (
+        any::<bool>(),
+        // Keep `quick` rare so most rule sets exercise last-match-wins.
+        (0u8..10).prop_map(|q| q == 0),
+        proto,
+        prop_oneof![Just(None), (arb_endpoint(), arb_endpoint()).prop_map(Some)],
+        preds,
+        any::<bool>(),
+    )
+        .prop_map(|(pass, quick, proto, endpoints, preds, keep)| {
+            let mut rule = String::from(if pass { "pass" } else { "block" });
+            if quick {
+                rule.push_str(" quick");
+            }
+            rule.push_str(&proto);
+            match endpoints {
+                None => rule.push_str(" all"),
+                Some((from, to)) => {
+                    rule.push_str(" from ");
+                    rule.push_str(&from);
+                    rule.push_str(" to ");
+                    rule.push_str(&to);
+                }
+            }
+            for pred in preds {
+                rule.push_str(" with ");
+                rule.push_str(&pred);
+            }
+            if keep {
+                rule.push_str(" keep state");
+            }
+            rule
+        })
+}
+
+fn arb_ruleset_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_rule(), 1..8).prop_map(|rules| {
+        let mut text = String::from(
+            "table <server> { 192.168.1.1 }\n\
+             table <lan> { 192.168.0.0/24 }\n\
+             table <all> { <lan> <server> <all> }\n\
+             apps = \"{ skype firefox }\"\n\
+             dict <meta> { owner : alice }\n",
+        );
+        for rule in rules {
+            text.push_str(&rule);
+            text.push('\n');
+        }
+        text
+    })
+}
+
+fn arb_flow() -> impl Strategy<Value = FiveTuple> {
+    (
+        0usize..ADDRS.len(),
+        0usize..ADDRS.len(),
+        0usize..PORTS.len(),
+        0usize..PORTS.len(),
+        prop_oneof![
+            Just(IpProtocol::Tcp),
+            Just(IpProtocol::Udp),
+            Just(IpProtocol::Icmp),
+            Just(IpProtocol::Other(47)),
+        ],
+    )
+        .prop_map(|(s, d, sp, dp, proto)| {
+            FiveTuple::new(
+                Ipv4Addr::from(ADDRS[s]),
+                PORTS[sp],
+                Ipv4Addr::from(ADDRS[d]),
+                PORTS[dp],
+                proto,
+            )
+        })
+}
+
+/// A response: 0–2 sections of random key/value pairs (two sections exercise
+/// `latest` vs `*`-concatenation), or no response at all.
+fn arb_response(flow: FiveTuple) -> impl Strategy<Value = Option<Response>> {
+    let section = prop::collection::vec((0usize..KEYS.len(), 0usize..VALUES.len()), 1..4);
+    prop_oneof![
+        Just(None),
+        prop::collection::vec(section, 0..3).prop_map(move |sections| {
+            let mut response = Response::new(flow);
+            for pairs in sections {
+                let mut s = Section::new();
+                for (k, v) in pairs {
+                    s.push(KEYS[k], VALUES[v]);
+                }
+                response.push_section(s);
+            }
+            Some(response)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compiled_policy_is_decision_equivalent_to_interpreter(
+        text in arb_ruleset_text(),
+        flow in arb_flow(),
+        seed in any::<u32>(),
+    ) {
+        let ruleset = parse_ruleset(&text).unwrap();
+
+        // Derive the responses from an inner generator so every case also
+        // varies the response shapes.
+        let mut rng = proptest::test_runner::TestRng::deterministic(&format!("responses-{seed}"));
+        let src = arb_response(flow).generate(&mut rng);
+        let dst = arb_response(flow).generate(&mut rng);
+
+        let mut ctx = EvalContext::new(&ruleset)
+            .with_named_list("users", vec!["users".to_string()]);
+        if let Some(src) = &src {
+            ctx = ctx.with_src_response(src);
+        }
+        if let Some(dst) = &dst {
+            ctx = ctx.with_dst_response(dst);
+        }
+        let interpreted = ctx.evaluate(&flow);
+
+        let compiled = PolicyCompiler::new()
+            .with_named_list("users", vec!["users".to_string()])
+            .compile(&ruleset)
+            .evaluate(&flow, src.as_ref(), dst.as_ref());
+
+        prop_assert_eq!(compiled.decision, interpreted.decision, "ruleset:\n{}", text);
+        prop_assert_eq!(compiled.matched_rule, interpreted.matched_rule, "ruleset:\n{}", text);
+        prop_assert_eq!(compiled.matched_line, interpreted.matched_line, "ruleset:\n{}", text);
+        prop_assert_eq!(compiled.keep_state, interpreted.keep_state, "ruleset:\n{}", text);
+        prop_assert_eq!(compiled.quick, interpreted.quick, "ruleset:\n{}", text);
+        // The compiled form may skip non-candidate rules but never examines
+        // more than the interpreter.
+        prop_assert!(compiled.rules_evaluated <= interpreted.rules_evaluated);
+    }
+}
