@@ -1,12 +1,27 @@
-//! Experiment E8b: ident++ query overhead per new flow, and the effect of
-//! workload locality on the controller's rule cache.
+//! Experiment E8b: ident++ query overhead per new flow — the effect of
+//! workload locality on the controller's rule cache, and the wall-clock cost
+//! of querying both flow ends over real TCP.
 //!
 //! The locality-sweep scenario table is printed by
 //! `cargo run --release -p identxx-bench --bin scenarios e8b`; this bench
-//! only measures the workload loop.
+//! measures the workload loop and the network query plane. The
+//! `dual_end/*` group is the acceptance measurement for the concurrent
+//! query plane: with the same per-daemon artificial latency, the concurrent
+//! backend must finish in ≈ max of the two round trips where the serial
+//! reference pays their sum.
+
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use identxx_bench::scenarios::run_query_workload;
+use identxx_controller::backend::{NetworkBackend, QueryBackend};
+use identxx_controller::intercept::QueryTarget;
+use identxx_daemon::Daemon;
+use identxx_hostmodel::{Executable, Host};
+use identxx_net::{DaemonServer, QueryClient};
+use identxx_proto::{FiveTuple, Ipv4Addr, Query};
 
 fn bench_query_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_overhead");
@@ -23,5 +38,83 @@ fn bench_query_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_overhead);
+/// Starts a daemon server on its own thread (leaked for the bench's
+/// lifetime) and returns the socket address it listens on.
+fn spawn_server(daemon: Daemon) -> SocketAddr {
+    #[tokio::main(flavor = "multi_thread")]
+    async fn serve(daemon: Daemon, tx: mpsc::Sender<SocketAddr>) {
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .expect("bind bench daemon server");
+        tx.send(server.local_addr()).expect("report bench address");
+        std::future::pending::<()>().await
+    }
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || serve(daemon, tx));
+    rx.recv().expect("bench daemon server failed to start")
+}
+
+/// Per-daemon artificial latency: large enough that the max-vs-sum
+/// difference dominates loopback noise, small enough to keep the bench fast.
+const DAEMON_DELAY: Duration = Duration::from_millis(2);
+
+fn staged_flow() -> (Daemon, Daemon, FiveTuple) {
+    let src_ip = Ipv4Addr::new(10, 0, 0, 1);
+    let dst_ip = Ipv4Addr::new(10, 0, 0, 2);
+    let mut src = Daemon::bare(Host::new("bench-src", src_ip));
+    src.set_response_delay_micros(DAEMON_DELAY.as_micros() as u64);
+    let exe = Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser");
+    let flow = src
+        .host_mut()
+        .open_connection("alice", exe, 40123, dst_ip, 80);
+    let mut dst = Daemon::bare(Host::new("bench-dst", dst_ip));
+    dst.set_response_delay_micros(DAEMON_DELAY.as_micros() as u64);
+    let httpd = Executable::new("/usr/sbin/httpd", "httpd", 2, "apache", "web-server");
+    let pid = dst.host_mut().spawn("www", httpd);
+    dst.host_mut()
+        .listen(pid, identxx_proto::IpProtocol::Tcp, 80);
+    (src, dst, flow)
+}
+
+fn bench_dual_end_network(c: &mut Criterion) {
+    let (src_daemon, dst_daemon, flow) = staged_flow();
+    let src_addr = spawn_server(src_daemon);
+    let dst_addr = spawn_server(dst_daemon);
+
+    let mut group = c.benchmark_group("dual_end");
+    group.sample_size(10);
+
+    // The concurrent query plane: both ends resolved by one backend call
+    // against a shared deadline — wall time ≈ max(rtt_src, rtt_dst).
+    let mut backend = NetworkBackend::new()
+        .with_budget(Duration::from_secs(2))
+        .with_endpoint(flow.src_ip, src_addr)
+        .with_endpoint(flow.dst_ip, dst_addr);
+    group.bench_function("concurrent_backend", |b| {
+        b.iter(|| {
+            let responses = backend.query_flow(
+                &flow,
+                &[QueryTarget::Source, QueryTarget::Destination],
+                &["userID", "name"],
+            );
+            assert!(responses.src.is_some() && responses.dst.is_some());
+        });
+    });
+
+    // The serial reference: the same two round trips, one after the other,
+    // on the same pooled-client transport — wall time ≈ rtt_src + rtt_dst.
+    let mut src_client = QueryClient::new(src_addr);
+    let mut dst_client = QueryClient::new(dst_addr);
+    group.bench_function("serial_reference", |b| {
+        b.iter(|| {
+            let query = Query::new(flow).with_key("userID").with_key("name");
+            let src = src_client.query(&query, Duration::from_secs(2)).unwrap();
+            let dst = dst_client.query(&query, Duration::from_secs(2)).unwrap();
+            assert!(src.is_some() && dst.is_some());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_overhead, bench_dual_end_network);
 criterion_main!(benches);

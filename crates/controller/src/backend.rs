@@ -1,0 +1,609 @@
+//! The controller's pluggable query plane.
+//!
+//! The paper's central mechanism is the controller querying *both* end-hosts
+//! for flow context at setup time (§3.2). How those queries travel is a
+//! deployment decision, not a policy one: the simulator answers them
+//! in-process, a deployment opens TCP connections to port 783 on each end,
+//! and tests inject failures. [`QueryBackend`] is the seam between the two
+//! concerns — [`IdentxxController`](crate::IdentxxController) asks one
+//! question ("resolve this flow's ends") and the backend decides transport,
+//! concurrency, and timeout handling, reporting uniform [`BackendStats`].
+//!
+//! Three implementations ship:
+//!
+//! * [`InProcessBackend`] — wraps the [`DaemonDirectory`] of simulated
+//!   daemons; the simulator path, behaviour-identical to the controller's
+//!   historical hard-wired directory.
+//! * [`NetworkBackend`] — real TCP via `identxx-net`, querying the source
+//!   and destination ends **concurrently** with one shared deadline and a
+//!   pooled connection per host.
+//! * [`RecordingBackend`] — a scriptable test double that records every
+//!   query for failure-injection and audit tests.
+//!
+//! ## Contract
+//!
+//! One [`QueryBackend::query_flow`] call resolves every requested target of
+//! one flow. For each target the backend must either produce a response or
+//! silently yield `None` — transport failures (timeout, refused connection,
+//! silent daemon, no daemon at all) are *not* errors, because the paper's
+//! controller must "cope with missing information" and let the policy
+//! decide. Every requested target counts as one query sent; each `None`
+//! counts as unanswered. Backends never interpret responses: interception,
+//! augmentation, and policy evaluation stay controller-side.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use identxx_net::QueryClient;
+use identxx_proto::{FiveTuple, Ipv4Addr, Query, Response};
+
+use crate::intercept::QueryTarget;
+use crate::querier::DaemonDirectory;
+
+/// Per-backend transport counters, uniform across implementations so
+/// experiments can compare transports like for like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackendStats {
+    /// Queries sent (one per requested target per `query_flow` call).
+    pub queries_sent: u64,
+    /// Queries that produced a response.
+    pub responses_received: u64,
+    /// Queries that produced no response: a network timeout, a refused or
+    /// closed connection, a silent daemon, or no daemon at all. The
+    /// controller cannot distinguish these cases (§4 "Incremental Benefit"),
+    /// so the stats do not either.
+    pub timeouts: u64,
+}
+
+/// The responses gathered for one flow, at most one per end.
+#[derive(Debug, Clone, Default)]
+pub struct FlowResponses {
+    /// Response from the flow's source host, if that end was requested and
+    /// answered.
+    pub src: Option<Response>,
+    /// Response from the flow's destination host, if that end was requested
+    /// and answered.
+    pub dst: Option<Response>,
+    /// How many queries the backend sent for this call (one per requested
+    /// target, whether or not it was answered).
+    pub queries_issued: u32,
+}
+
+impl FlowResponses {
+    /// The response slot for a target.
+    pub fn get(&self, target: QueryTarget) -> Option<&Response> {
+        match target {
+            QueryTarget::Source => self.src.as_ref(),
+            QueryTarget::Destination => self.dst.as_ref(),
+        }
+    }
+
+    fn set(&mut self, target: QueryTarget, response: Option<Response>) {
+        match target {
+            QueryTarget::Source => self.src = response,
+            QueryTarget::Destination => self.dst = response,
+        }
+    }
+}
+
+/// A transport that resolves ident++ queries for both ends of a flow.
+pub trait QueryBackend: Send {
+    /// Resolves the requested `targets` of `flow` in one call, with `keys`
+    /// as the advisory hint list (§3.2). The backend decides how: serially
+    /// in-process, concurrently over TCP, or from a script. Targets not in
+    /// `targets` are left `None` and do not count as queries.
+    fn query_flow(
+        &mut self,
+        flow: &FiveTuple,
+        targets: &[QueryTarget],
+        keys: &[&str],
+    ) -> FlowResponses;
+
+    /// Transport counters accumulated since construction.
+    fn stats(&self) -> BackendStats;
+
+    /// Backend name for reports and debugging.
+    fn name(&self) -> &str;
+
+    /// Downcast support (e.g. the simulator reaching the in-process daemon
+    /// directory behind the trait).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+// ---------------------------------------------------------------------------
+// In-process backend
+// ---------------------------------------------------------------------------
+
+/// The simulator's query plane: daemons live in the same process, reached
+/// through a [`DaemonDirectory`]. Queries are answered synchronously; a
+/// missing, silent, or refusing daemon is an unanswered query, exactly what
+/// the same host would look like over the network.
+#[derive(Debug, Default)]
+pub struct InProcessBackend {
+    directory: DaemonDirectory,
+    stats: BackendStats,
+}
+
+impl InProcessBackend {
+    /// Creates a backend with an empty daemon directory.
+    pub fn new() -> InProcessBackend {
+        InProcessBackend::default()
+    }
+
+    /// Creates a backend over an existing directory.
+    pub fn with_directory(directory: DaemonDirectory) -> InProcessBackend {
+        InProcessBackend {
+            directory,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// The daemon directory.
+    pub fn directory(&self) -> &DaemonDirectory {
+        &self.directory
+    }
+
+    /// Mutable access to the daemon directory (scenarios use this to start
+    /// applications, install configs, or compromise hosts mid-experiment).
+    pub fn directory_mut(&mut self) -> &mut DaemonDirectory {
+        &mut self.directory
+    }
+}
+
+impl QueryBackend for InProcessBackend {
+    fn query_flow(
+        &mut self,
+        flow: &FiveTuple,
+        targets: &[QueryTarget],
+        keys: &[&str],
+    ) -> FlowResponses {
+        let mut responses = FlowResponses::default();
+        for &target in targets {
+            let addr = target_addr(flow, target);
+            self.stats.queries_sent += 1;
+            responses.queries_issued += 1;
+            let answer = self.directory.query(addr, flow, keys);
+            match &answer {
+                Some(_) => self.stats.responses_received += 1,
+                None => self.stats.timeouts += 1,
+            }
+            responses.set(target, answer);
+        }
+        responses
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn name(&self) -> &str {
+        "in-process"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Network backend
+// ---------------------------------------------------------------------------
+
+/// Default per-decision query budget, shared by both ends: matching the
+/// transport-level [`identxx_net::client::QUERY_TIMEOUT`], because flow
+/// setup blocks on the slower of the two round trips.
+pub const DEFAULT_QUERY_BUDGET: Duration = Duration::from_secs(2);
+
+/// The deployment-shaped query plane: each end-host's daemon is a TCP
+/// endpoint (port 783 in a real deployment), queried through `identxx-net`.
+///
+/// The two ends of a flow are queried **concurrently**, each on its own
+/// pooled connection, against one *shared* absolute deadline — so the wall
+/// time a flow setup spends on queries is the maximum of the two round
+/// trips, not their sum, mirroring Fig. 1's parallel step 3.
+pub struct NetworkBackend {
+    endpoints: BTreeMap<Ipv4Addr, SocketAddr>,
+    clients: BTreeMap<Ipv4Addr, QueryClient>,
+    budget: Duration,
+    stats: BackendStats,
+}
+
+impl NetworkBackend {
+    /// Creates a backend with no known endpoints and the default budget.
+    pub fn new() -> NetworkBackend {
+        NetworkBackend {
+            endpoints: BTreeMap::new(),
+            clients: BTreeMap::new(),
+            budget: DEFAULT_QUERY_BUDGET,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// Sets the shared per-decision query budget (builder style).
+    pub fn with_budget(mut self, budget: Duration) -> NetworkBackend {
+        self.budget = budget;
+        self
+    }
+
+    /// Maps a host address to the socket address its daemon listens on
+    /// (builder style). In a real deployment this is `host:783`; tests bind
+    /// ephemeral localhost ports.
+    pub fn with_endpoint(mut self, host: Ipv4Addr, endpoint: SocketAddr) -> NetworkBackend {
+        self.register_endpoint(host, endpoint);
+        self
+    }
+
+    /// Maps (or remaps) a host address to its daemon's socket address.
+    pub fn register_endpoint(&mut self, host: Ipv4Addr, endpoint: SocketAddr) {
+        self.endpoints.insert(host, endpoint);
+        // A remap invalidates any pooled connection to the old endpoint.
+        self.clients.remove(&host);
+    }
+
+    /// The shared per-decision query budget.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// The registered endpoint for a host, if any.
+    pub fn endpoint(&self, host: Ipv4Addr) -> Option<SocketAddr> {
+        self.endpoints.get(&host).copied()
+    }
+
+    /// Queries one end on its pooled client, creating the client on first
+    /// use. `None` covers every no-information case: unknown host, refused
+    /// connection, timeout, silent daemon.
+    fn query_one(
+        clients: &mut BTreeMap<Ipv4Addr, QueryClient>,
+        endpoints: &BTreeMap<Ipv4Addr, SocketAddr>,
+        addr: Ipv4Addr,
+        query: Query,
+        deadline: Instant,
+    ) -> Option<Response> {
+        let endpoint = endpoints.get(&addr)?;
+        let client = clients
+            .entry(addr)
+            .or_insert_with(|| QueryClient::new(*endpoint));
+        client.query_deadline(&query, deadline).ok().flatten()
+    }
+}
+
+impl Default for NetworkBackend {
+    fn default() -> Self {
+        NetworkBackend::new()
+    }
+}
+
+impl QueryBackend for NetworkBackend {
+    fn query_flow(
+        &mut self,
+        flow: &FiveTuple,
+        targets: &[QueryTarget],
+        keys: &[&str],
+    ) -> FlowResponses {
+        let deadline = Instant::now() + self.budget;
+        let mut query = Query::new(*flow);
+        for k in keys {
+            query = query.with_key(k);
+        }
+
+        let mut responses = FlowResponses {
+            queries_issued: targets.len() as u32,
+            ..FlowResponses::default()
+        };
+        self.stats.queries_sent += targets.len() as u64;
+
+        if let [first, rest @ ..] = targets {
+            // Each concurrent query needs exclusive use of its host's pooled
+            // client; lift the extra targets' clients out of the map, run
+            // them on scoped threads, and run the first target inline.
+            let extra: Vec<(QueryTarget, Ipv4Addr, QueryClient)> = rest
+                .iter()
+                .filter_map(|&target| {
+                    let addr = target_addr(flow, target);
+                    let endpoint = self.endpoints.get(&addr)?;
+                    let client = self
+                        .clients
+                        .remove(&addr)
+                        .unwrap_or_else(|| QueryClient::new(*endpoint));
+                    Some((target, addr, client))
+                })
+                .collect();
+
+            let extra_results = std::thread::scope(|scope| {
+                let handles: Vec<_> = extra
+                    .into_iter()
+                    .map(|(target, addr, mut client)| {
+                        let query = query.clone();
+                        scope.spawn(move || {
+                            let response = client.query_deadline(&query, deadline).ok().flatten();
+                            (target, addr, client, response)
+                        })
+                    })
+                    .collect();
+                // While the other ends are in flight, query the first end on
+                // this thread — the dual-end case costs max, not sum.
+                let first_response = Self::query_one(
+                    &mut self.clients,
+                    &self.endpoints,
+                    target_addr(flow, *first),
+                    query.clone(),
+                    deadline,
+                );
+                responses.set(*first, first_response);
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("query thread panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (target, addr, client, response) in extra_results {
+                self.clients.insert(addr, client);
+                responses.set(target, response);
+            }
+        }
+
+        for &target in targets {
+            match responses.get(target) {
+                Some(_) => self.stats.responses_received += 1,
+                None => self.stats.timeouts += 1,
+            }
+        }
+        responses
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn name(&self) -> &str {
+        "network"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for NetworkBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkBackend")
+            .field("endpoints", &self.endpoints.len())
+            .field("pooled", &self.clients.len())
+            .field("budget", &self.budget)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording backend
+// ---------------------------------------------------------------------------
+
+/// How the [`RecordingBackend`] behaves for one host.
+#[derive(Debug, Clone)]
+pub enum ScriptedAnswer {
+    /// Answer every query with these key-value pairs.
+    Answer(Vec<(String, String)>),
+    /// Never answer (a silent daemon or a timeout).
+    Silent,
+}
+
+/// One recorded `query_flow` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedQuery {
+    /// The flow queried about.
+    pub flow: FiveTuple,
+    /// The requested targets, in request order.
+    pub targets: Vec<QueryTarget>,
+    /// The advisory key hints.
+    pub keys: Vec<String>,
+}
+
+/// A scriptable test double: answers from a per-host script (hosts with no
+/// script are unreachable) and records every call, so failure-injection and
+/// audit tests can assert exactly what the controller asked for.
+#[derive(Debug, Default)]
+pub struct RecordingBackend {
+    script: BTreeMap<Ipv4Addr, ScriptedAnswer>,
+    log: Vec<RecordedQuery>,
+    stats: BackendStats,
+}
+
+impl RecordingBackend {
+    /// Creates a backend where every host is unreachable.
+    pub fn new() -> RecordingBackend {
+        RecordingBackend::default()
+    }
+
+    /// Scripts a host to answer with fixed pairs (builder style).
+    pub fn with_answer(mut self, host: Ipv4Addr, pairs: Vec<(String, String)>) -> RecordingBackend {
+        self.script.insert(host, ScriptedAnswer::Answer(pairs));
+        self
+    }
+
+    /// Scripts a host to be silent (builder style).
+    pub fn with_silent(mut self, host: Ipv4Addr) -> RecordingBackend {
+        self.script.insert(host, ScriptedAnswer::Silent);
+        self
+    }
+
+    /// Every `query_flow` call made so far, in order.
+    pub fn recorded(&self) -> &[RecordedQuery] {
+        &self.log
+    }
+}
+
+impl QueryBackend for RecordingBackend {
+    fn query_flow(
+        &mut self,
+        flow: &FiveTuple,
+        targets: &[QueryTarget],
+        keys: &[&str],
+    ) -> FlowResponses {
+        self.log.push(RecordedQuery {
+            flow: *flow,
+            targets: targets.to_vec(),
+            keys: keys.iter().map(|k| k.to_string()).collect(),
+        });
+        let mut responses = FlowResponses::default();
+        for &target in targets {
+            self.stats.queries_sent += 1;
+            responses.queries_issued += 1;
+            let answer = match self.script.get(&target_addr(flow, target)) {
+                Some(ScriptedAnswer::Answer(pairs)) => {
+                    let mut response = Response::new(*flow);
+                    let mut section = identxx_proto::Section::new();
+                    for (k, v) in pairs {
+                        section.push(k, v.as_str());
+                    }
+                    response.push_section(section);
+                    Some(response)
+                }
+                Some(ScriptedAnswer::Silent) | None => None,
+            };
+            match &answer {
+                Some(_) => self.stats.responses_received += 1,
+                None => self.stats.timeouts += 1,
+            }
+            responses.set(target, answer);
+        }
+        responses
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn name(&self) -> &str {
+        "recording"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The host address a target resolves to for a flow.
+fn target_addr(flow: &FiveTuple, target: QueryTarget) -> Ipv4Addr {
+    match target {
+        QueryTarget::Source => flow.src_ip,
+        QueryTarget::Destination => flow.dst_ip,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_daemon::Daemon;
+    use identxx_hostmodel::{Executable, Host};
+    use identxx_proto::well_known;
+
+    const BOTH_ENDS: &[QueryTarget] = &[QueryTarget::Source, QueryTarget::Destination];
+
+    fn staged_directory() -> (DaemonDirectory, FiveTuple) {
+        let mut directory = DaemonDirectory::new();
+        let mut src = Daemon::bare(Host::new("src", Ipv4Addr::new(10, 0, 0, 1)));
+        let exe = Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser");
+        let flow =
+            src.host_mut()
+                .open_connection("alice", exe, 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        directory.register(src);
+        directory.register(Daemon::bare(Host::new("dst", Ipv4Addr::new(10, 0, 0, 2))));
+        (directory, flow)
+    }
+
+    #[test]
+    fn in_process_backend_resolves_both_ends_and_counts() {
+        let (directory, flow) = staged_directory();
+        let mut backend = InProcessBackend::with_directory(directory);
+        let responses = backend.query_flow(&flow, BOTH_ENDS, &[well_known::USER_ID]);
+        assert_eq!(responses.queries_issued, 2);
+        assert_eq!(
+            responses.src.as_ref().unwrap().latest(well_known::USER_ID),
+            Some("alice")
+        );
+        assert!(responses.dst.is_some());
+        assert_eq!(backend.stats().queries_sent, 2);
+        assert_eq!(backend.stats().responses_received, 2);
+        assert_eq!(backend.stats().timeouts, 0);
+        assert_eq!(backend.name(), "in-process");
+    }
+
+    #[test]
+    fn in_process_backend_counts_missing_daemons_as_unanswered() {
+        let (directory, _) = staged_directory();
+        let mut backend = InProcessBackend::with_directory(directory);
+        let stranger = FiveTuple::tcp([192, 168, 9, 9], 1, [10, 0, 0, 2], 80);
+        let responses = backend.query_flow(&stranger, BOTH_ENDS, &[]);
+        assert!(responses.src.is_none());
+        assert!(responses.dst.is_some());
+        assert_eq!(responses.queries_issued, 2);
+        assert_eq!(backend.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn in_process_backend_honours_target_selection() {
+        let (directory, flow) = staged_directory();
+        let mut backend = InProcessBackend::with_directory(directory);
+        let responses = backend.query_flow(&flow, &[QueryTarget::Destination], &[]);
+        assert!(responses.src.is_none());
+        assert!(responses.dst.is_some());
+        assert_eq!(responses.queries_issued, 1);
+        assert_eq!(backend.stats().queries_sent, 1);
+    }
+
+    #[test]
+    fn recording_backend_scripts_and_records() {
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+        let mut backend = RecordingBackend::new()
+            .with_answer(
+                Ipv4Addr::new(10, 0, 0, 1),
+                vec![("name".to_string(), "skype".to_string())],
+            )
+            .with_silent(Ipv4Addr::new(10, 0, 0, 2));
+        let responses = backend.query_flow(&flow, BOTH_ENDS, &["name"]);
+        assert_eq!(responses.src.unwrap().latest("name"), Some("skype"));
+        assert!(responses.dst.is_none());
+        assert_eq!(backend.stats().queries_sent, 2);
+        assert_eq!(backend.stats().responses_received, 1);
+        assert_eq!(backend.stats().timeouts, 1);
+        assert_eq!(backend.recorded().len(), 1);
+        assert_eq!(backend.recorded()[0].flow, flow);
+        assert_eq!(backend.recorded()[0].targets, BOTH_ENDS.to_vec());
+        assert_eq!(backend.recorded()[0].keys, vec!["name".to_string()]);
+        // Unscripted host: unreachable.
+        let other = FiveTuple::tcp([10, 0, 0, 9], 1, [10, 0, 0, 1], 2);
+        let responses = backend.query_flow(&other, &[QueryTarget::Source], &[]);
+        assert!(responses.src.is_none());
+        assert_eq!(backend.recorded().len(), 2);
+    }
+
+    #[test]
+    fn network_backend_unknown_endpoint_is_unanswered() {
+        let mut backend = NetworkBackend::new().with_budget(Duration::from_millis(100));
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+        let responses = backend.query_flow(&flow, BOTH_ENDS, &[]);
+        assert!(responses.src.is_none());
+        assert!(responses.dst.is_none());
+        assert_eq!(responses.queries_issued, 2);
+        assert_eq!(backend.stats().timeouts, 2);
+        assert_eq!(backend.name(), "network");
+    }
+}

@@ -1,7 +1,7 @@
 //! Controller configuration.
 
 use identxx_crypto::KeyRegistry;
-use identxx_pf::{ConfigSet, Decision, PfError, RuleSet};
+use identxx_pf::{CacheGranularity, ConfigSet, Decision, PfError, RuleSet};
 
 /// Everything the controller needs besides the live network: its `.control`
 /// policy files, the public keys it trusts for `verify`, the named group
@@ -27,6 +27,11 @@ pub struct ControllerConfig {
     /// the ident++ query cycle (the "rule cache" of §2). Disabling it is the
     /// ablation used in the flow-setup experiment.
     pub use_state_table: bool,
+    /// How much of the 5-tuple keys a state-table entry. The exact-tuple
+    /// default only serves literal repeats; host-pair(+service-port) keys
+    /// let the cache warm under workloads with ephemeral source ports
+    /// (the E8b locality sweep).
+    pub cache_granularity: CacheGranularity,
     /// Whether to install a drop entry for denied flows (so follow-up packets
     /// of a denied flow do not hit the controller again).
     pub install_drop_entries: bool,
@@ -42,6 +47,7 @@ impl Default for ControllerConfig {
             flow_idle_timeout: 30_000_000, // 30 s
             flow_hard_timeout: 0,
             use_state_table: true,
+            cache_granularity: CacheGranularity::ExactFiveTuple,
             install_drop_entries: true,
         }
     }
@@ -88,6 +94,12 @@ impl ControllerConfig {
     /// Disables the controller-side state table (ablation).
     pub fn without_state_table(mut self) -> Self {
         self.use_state_table = false;
+        self
+    }
+
+    /// Sets the state-table key granularity (builder style).
+    pub fn with_cache_granularity(mut self, granularity: CacheGranularity) -> Self {
+        self.cache_granularity = granularity;
         self
     }
 

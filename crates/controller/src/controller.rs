@@ -8,6 +8,7 @@ use identxx_proto::{well_known, FiveTuple, Response};
 use identxx_openflow::{ControllerDirective, FlowMod, OpenFlowController, PacketIn};
 
 use crate::audit::{AuditLog, AuditRecord};
+use crate::backend::{BackendStats, InProcessBackend, QueryBackend};
 use crate::config::ControllerConfig;
 use crate::install::NetworkMap;
 use crate::intercept::{Interceptor, QueryTarget, ResponseAugmenter};
@@ -57,7 +58,7 @@ impl FlowDecision {
     }
 }
 
-/// The ident++ controller: policy, daemon directory, optional network map,
+/// The ident++ controller: policy, query backend, optional network map,
 /// state table, interceptors/augmenters, and the audit log.
 pub struct IdentxxController {
     config: ControllerConfig,
@@ -65,7 +66,9 @@ pub struct IdentxxController {
     /// The ruleset lowered into its allocation-free evaluation form; rebuilt
     /// whenever a `.control` file changes.
     compiled: CompiledPolicy,
-    daemons: DaemonDirectory,
+    /// The query plane: how (and over what transport) the controller reaches
+    /// the end-host daemons. Defaults to [`InProcessBackend`].
+    backend: Box<dyn QueryBackend>,
     network: Option<NetworkMap>,
     state: StateTable,
     audit: AuditLog,
@@ -81,13 +84,14 @@ impl IdentxxController {
     pub fn new(config: ControllerConfig) -> Result<IdentxxController, PfError> {
         let ruleset = config.compile()?;
         let compiled = Self::compile_policy(&config, &ruleset);
+        let state = StateTable::new().with_granularity(config.cache_granularity);
         Ok(IdentxxController {
             config,
             ruleset,
             compiled,
-            daemons: DaemonDirectory::new(),
+            backend: Box::new(InProcessBackend::new()),
             network: None,
-            state: StateTable::new(),
+            state,
             audit: AuditLog::new(),
             interceptors: Vec::new(),
             augmenters: Vec::new(),
@@ -102,20 +106,67 @@ impl IdentxxController {
         self
     }
 
-    /// Registers an end-host daemon.
+    /// Replaces the query backend (builder style): e.g. a
+    /// [`crate::backend::NetworkBackend`] to query real daemons over TCP, or
+    /// a [`crate::backend::RecordingBackend`] in tests.
+    pub fn with_backend(mut self, backend: Box<dyn QueryBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The query backend.
+    pub fn backend(&self) -> &dyn QueryBackend {
+        self.backend.as_ref()
+    }
+
+    /// Mutable access to the query backend (e.g. to register endpoints on a
+    /// network backend while the controller runs).
+    pub fn backend_mut(&mut self) -> &mut dyn QueryBackend {
+        self.backend.as_mut()
+    }
+
+    /// The backend's transport counters (queries sent / answered / not).
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.stats()
+    }
+
+    /// Registers an end-host daemon with the in-process backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the controller runs over a different backend — network
+    /// deployments register daemon endpoints on the
+    /// [`crate::backend::NetworkBackend`] instead.
     pub fn register_daemon(&mut self, daemon: identxx_daemon::Daemon) {
-        self.daemons.register(daemon);
+        self.daemons_mut().register(daemon);
     }
 
-    /// Access to the daemon directory.
+    /// Access to the in-process backend's daemon directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the controller runs over a different backend; simulator
+    /// scenarios (the only callers) always use the in-process default.
     pub fn daemons(&self) -> &DaemonDirectory {
-        &self.daemons
+        self.backend
+            .as_any()
+            .downcast_ref::<InProcessBackend>()
+            .expect("daemons(): controller is not using the in-process backend")
+            .directory()
     }
 
-    /// Mutable access to the daemon directory (scenarios use this to start
-    /// applications or compromise hosts).
+    /// Mutable access to the in-process backend's daemon directory (scenarios
+    /// use this to start applications or compromise hosts).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the controller runs over a different backend.
     pub fn daemons_mut(&mut self) -> &mut DaemonDirectory {
-        &mut self.daemons
+        self.backend
+            .as_any_mut()
+            .downcast_mut::<InProcessBackend>()
+            .expect("daemons_mut(): controller is not using the in-process backend")
+            .directory_mut()
     }
 
     /// Lowers a parsed ruleset into the evaluation-ready form, carrying the
@@ -339,10 +390,45 @@ impl IdentxxController {
             }
         }
 
-        // 2. Query both ends (or let interceptors answer).
-        let (src_response, src_queries) = self.obtain_response(flow, QueryTarget::Source);
-        let (dst_response, dst_queries) = self.obtain_response(flow, QueryTarget::Destination);
-        let queries_issued = src_queries + dst_queries;
+        // 2. Resolve both ends in one backend call (interceptors answer
+        // first; an intercepted query is never forwarded, §3.4).
+        let mut src_response = self.intercepted_response(flow, QueryTarget::Source);
+        let mut dst_response = self.intercepted_response(flow, QueryTarget::Destination);
+        let mut targets = [QueryTarget::Source; 2];
+        let mut target_count = 0;
+        if src_response.is_none() {
+            targets[target_count] = QueryTarget::Source;
+            target_count += 1;
+        }
+        if dst_response.is_none() {
+            targets[target_count] = QueryTarget::Destination;
+            target_count += 1;
+        }
+        // Nothing to resolve when interceptors answered for both ends — the
+        // backend is not consulted at all (and a recording backend logs no
+        // spurious zero-target call).
+        let queries_issued = if target_count > 0 {
+            let queried =
+                self.backend
+                    .query_flow(flow, &targets[..target_count], DEFAULT_QUERY_KEYS);
+            if src_response.is_none() {
+                src_response = queried.src;
+            }
+            if dst_response.is_none() {
+                dst_response = queried.dst;
+            }
+            queried.queries_issued
+        } else {
+            0
+        };
+        // Augment whatever responses exist with sections from on-path
+        // controllers.
+        if let Some(r) = src_response.as_mut() {
+            self.augment_response(flow, QueryTarget::Source, r);
+        }
+        if let Some(r) = dst_response.as_mut() {
+            self.augment_response(flow, QueryTarget::Destination, r);
+        }
 
         // 3. Evaluate the policy.
         let verdict = self.evaluate_only(flow, src_response.as_ref(), dst_response.as_ref());
@@ -381,44 +467,25 @@ impl IdentxxController {
         }
     }
 
-    /// Obtains (via interception or a daemon query) the response from one side
-    /// of the flow, applying augmenters. Returns the response and the number
-    /// of queries actually sent to daemons.
-    fn obtain_response(
-        &mut self,
-        flow: &FiveTuple,
-        target: QueryTarget,
-    ) -> (Option<Response>, u32) {
+    /// Lets interceptors answer a query on behalf of one end; `Some` means
+    /// the query must not be forwarded to the backend.
+    fn intercepted_response(&mut self, flow: &FiveTuple, target: QueryTarget) -> Option<Response> {
         let addr = match target {
             QueryTarget::Source => flow.src_ip,
             QueryTarget::Destination => flow.dst_ip,
         };
-        // Interceptors answer first; an intercepted query is not forwarded.
-        let mut response = None;
-        for interceptor in &mut self.interceptors {
-            if let Some(r) = interceptor.answer_for(addr, flow, target) {
-                response = Some(r);
-                break;
+        self.interceptors
+            .iter_mut()
+            .find_map(|interceptor| interceptor.answer_for(addr, flow, target))
+    }
+
+    /// Applies every augmenter to one end's response in registration order.
+    fn augment_response(&mut self, flow: &FiveTuple, target: QueryTarget, response: &mut Response) {
+        for augmenter in &mut self.augmenters {
+            if let Some(section) = augmenter.augment(flow, target, response) {
+                response.augment(section);
             }
         }
-        let mut queries = 0;
-        if response.is_none() {
-            queries = 1;
-            response = self.daemons.query(addr, flow, DEFAULT_QUERY_KEYS);
-            if response.is_none() {
-                // The daemon did not answer; no response to augment.
-                return (None, queries);
-            }
-        }
-        // Augment the response with sections from on-path controllers.
-        if let Some(r) = response.as_mut() {
-            for augmenter in &mut self.augmenters {
-                if let Some(section) = augmenter.augment(flow, target, r) {
-                    r.augment(section);
-                }
-            }
-        }
-        (response, queries)
     }
 
     fn mods_for(&self, flow: &FiveTuple, decision: Decision) -> Vec<FlowMod> {
@@ -465,7 +532,7 @@ impl std::fmt::Debug for IdentxxController {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IdentxxController")
             .field("rules", &self.ruleset.rules.len())
-            .field("daemons", &self.daemons.len())
+            .field("backend", &self.backend.name())
             .field("audited", &self.audit.len())
             .field("compromised", &self.compromised)
             .finish()

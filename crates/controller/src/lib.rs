@@ -11,7 +11,11 @@
 //!
 //! * [`config`] — the controller's configuration: `.control` files, trusted
 //!   public keys, named group lists, defaults,
-//! * [`querier`] — the directory of end-host daemons the controller queries,
+//! * [`backend`] — the pluggable query plane ([`QueryBackend`]): in-process
+//!   daemons for the simulator, concurrent dual-end TCP queries for
+//!   deployments, a recording double for tests,
+//! * [`querier`] — the directory of in-process daemons behind
+//!   [`backend::InProcessBackend`],
 //! * [`intercept`] — interception and augmentation of queries/responses by
 //!   on-path controllers (answering on behalf of hosts, adding sections),
 //! * [`install`] — turning decisions into flow-table entries along the flow's
@@ -22,6 +26,7 @@
 //!   OpenFlow controller interface.
 
 pub mod audit;
+pub mod backend;
 pub mod config;
 pub mod controller;
 pub mod install;
@@ -29,8 +34,11 @@ pub mod intercept;
 pub mod querier;
 
 pub use audit::{AuditLog, AuditRecord};
+pub use backend::{
+    BackendStats, FlowResponses, InProcessBackend, NetworkBackend, QueryBackend, RecordingBackend,
+};
 pub use config::ControllerConfig;
 pub use controller::{FlowDecision, IdentxxController};
 pub use install::NetworkMap;
-pub use intercept::{Interceptor, ResponseAugmenter};
+pub use intercept::{Interceptor, QueryTarget, ResponseAugmenter};
 pub use querier::DaemonDirectory;

@@ -2,10 +2,11 @@
 //!
 //! In a deployment, the controller opens a TCP connection to port 783 on the
 //! flow's source and destination addresses (the `identxx-net` crate implements
-//! that transport). In the simulator the daemons live in the same process; the
-//! directory maps host addresses to their daemons and performs the query
-//! call, counting the messages exchanged so experiments can report query
-//! overhead.
+//! that transport). In the simulator the daemons live in the same process;
+//! the directory maps host addresses to their daemons and performs the query
+//! call on behalf of [`crate::backend::InProcessBackend`], which counts the
+//! messages exchanged (as [`crate::backend::BackendStats`]) so experiments
+//! can report query overhead uniformly across transports.
 
 use std::collections::BTreeMap;
 
@@ -16,8 +17,6 @@ use identxx_proto::{FiveTuple, Ipv4Addr, Query, Response};
 #[derive(Debug, Default)]
 pub struct DaemonDirectory {
     daemons: BTreeMap<Ipv4Addr, Daemon>,
-    queries_sent: u64,
-    responses_received: u64,
 }
 
 impl DaemonDirectory {
@@ -52,19 +51,16 @@ impl DaemonDirectory {
     ///
     /// Returns `None` when no daemon is registered at the address, the daemon
     /// is silent, or the daemon refuses the query; the controller's policy
-    /// must then cope with missing information.
+    /// must then cope with missing information. Accounting lives in the
+    /// backend driving this directory, not here.
     pub fn query(&mut self, addr: Ipv4Addr, flow: &FiveTuple, keys: &[&str]) -> Option<Response> {
         let daemon = self.daemons.get_mut(&addr)?;
         let mut query = Query::new(*flow);
         for k in keys {
             query = query.with_key(k);
         }
-        self.queries_sent += 1;
         match daemon.answer(&query) {
-            Ok(Some(response)) => {
-                self.responses_received += 1;
-                Some(response)
-            }
+            Ok(Some(response)) => Some(response),
             Ok(None) | Err(_) => None,
         }
     }
@@ -77,16 +73,6 @@ impl DaemonDirectory {
     /// Whether the directory is empty.
     pub fn is_empty(&self) -> bool {
         self.daemons.is_empty()
-    }
-
-    /// Total ident++ queries sent so far.
-    pub fn queries_sent(&self) -> u64 {
-        self.queries_sent
-    }
-
-    /// Total responses received so far.
-    pub fn responses_received(&self) -> u64 {
-        self.responses_received
     }
 
     /// Addresses of every registered daemon.
@@ -106,7 +92,7 @@ mod tests {
     }
 
     #[test]
-    fn register_query_and_count() {
+    fn register_and_query() {
         let mut dir = DaemonDirectory::new();
         let mut d = daemon_at([10, 0, 0, 1]);
         let exe = Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser");
@@ -121,24 +107,19 @@ mod tests {
             .query(Ipv4Addr::new(10, 0, 0, 1), &flow, &[well_known::USER_ID])
             .unwrap();
         assert_eq!(resp.latest(well_known::USER_ID), Some("alice"));
-        assert_eq!(dir.queries_sent(), 1);
-        assert_eq!(dir.responses_received(), 1);
 
-        // Unknown address: no query is even sent.
+        // Unknown address: no daemon to ask.
         assert!(dir.query(Ipv4Addr::new(9, 9, 9, 9), &flow, &[]).is_none());
-        assert_eq!(dir.queries_sent(), 1);
     }
 
     #[test]
-    fn silent_daemons_count_as_unanswered_queries() {
+    fn silent_daemons_do_not_answer() {
         let mut dir = DaemonDirectory::new();
         let mut d = daemon_at([10, 0, 0, 1]);
         d.set_silent(true);
         dir.register(d);
         let flow = FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 2);
         assert!(dir.query(Ipv4Addr::new(10, 0, 0, 1), &flow, &[]).is_none());
-        assert_eq!(dir.queries_sent(), 1);
-        assert_eq!(dir.responses_received(), 0);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Convenient re-exports for users of the ident++ reproduction.
 
-pub use identxx_controller::{ControllerConfig, FlowDecision, IdentxxController, NetworkMap};
+pub use identxx_controller::{
+    BackendStats, ControllerConfig, FlowDecision, IdentxxController, InProcessBackend,
+    NetworkBackend, NetworkMap, QueryBackend, QueryTarget, RecordingBackend,
+};
 pub use identxx_daemon::{appconfig::signed_app_config, AppConfig, Daemon};
 pub use identxx_hostmodel::{Executable, Host, User};
 pub use identxx_netsim::{LinkProps, Topology, WorkloadConfig, WorkloadGenerator};

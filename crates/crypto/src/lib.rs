@@ -11,7 +11,7 @@
 //!
 //! The paper does not specify a signature scheme. This crate provides:
 //!
-//! * [`sha256`] — SHA-256 implemented from scratch and checked against the
+//! * [`mod@sha256`] — SHA-256 implemented from scratch and checked against the
 //!   FIPS 180-4 test vectors (used for executable hashes and as the signature
 //!   scheme's hash function),
 //! * [`hmac`] — HMAC-SHA256 (used for keyed integrity in the simulator),

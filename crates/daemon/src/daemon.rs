@@ -32,6 +32,11 @@ pub struct Daemon {
     /// When true the daemon simply does not answer (models a host with no
     /// ident++ support, or a daemon killed by an attacker).
     silent: bool,
+    /// Artificial per-answer latency, honoured by transports that model time
+    /// (the TCP server sleeps this long before writing the response; the
+    /// in-process path ignores it). Used by the query-overhead experiments
+    /// to make round-trip costs visible.
+    response_delay_micros: u64,
     /// Number of queries answered (for the experiments' accounting).
     queries_answered: u64,
 }
@@ -49,6 +54,7 @@ impl Daemon {
             app_configs,
             forged_pairs: None,
             silent: false,
+            response_delay_micros: 0,
             queries_answered: 0,
         })
     }
@@ -60,6 +66,7 @@ impl Daemon {
             app_configs: Vec::new(),
             forged_pairs: None,
             silent: false,
+            response_delay_micros: 0,
             queries_answered: 0,
         }
     }
@@ -113,6 +120,18 @@ impl Daemon {
     /// Whether this daemon answers queries at all.
     pub fn is_silent(&self) -> bool {
         self.silent
+    }
+
+    /// Sets an artificial latency (microseconds) added before each answer by
+    /// transports that model time, such as the `DaemonServer` in
+    /// `identxx-net`.
+    pub fn set_response_delay_micros(&mut self, micros: u64) {
+        self.response_delay_micros = micros;
+    }
+
+    /// The artificial per-answer latency in microseconds (0 = answer at once).
+    pub fn response_delay_micros(&self) -> u64 {
+        self.response_delay_micros
     }
 
     /// How many queries this daemon has answered.

@@ -2,14 +2,14 @@
 
 use std::io;
 use std::net::SocketAddr;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use identxx_proto::{Query, Response, WireMessage};
 use tokio::net::TcpStream;
 use tokio::time::timeout;
 
-use crate::framing::{read_message, write_message};
+use crate::framing::{read_message, read_message_deadline, write_message, write_message_blocking};
 
 /// How long the controller waits for a daemon before concluding the host will
 /// not answer. A short bound matters: flow setup blocks on this round trip.
@@ -40,10 +40,168 @@ pub async fn query_daemon(addr: SocketAddr, query: Query) -> io::Result<Option<R
     }
 }
 
+/// A synchronous, connection-reusing client for one daemon endpoint.
+///
+/// The controller's flow-setup path queries the same hosts over and over; a
+/// fresh TCP handshake per query would double every round trip. `QueryClient`
+/// keeps the connection from the previous query open (the [`DaemonServer`]
+/// serves any number of queries per connection) and transparently reconnects
+/// once when a pooled connection turns out to have gone stale.
+///
+/// Timeouts are absolute deadlines enforced by the OS (`set_read_timeout`),
+/// so a daemon that accepts the connection and then stalls cannot hold the
+/// controller past its budget — unlike a polled async timeout over blocking
+/// sockets, which cannot preempt a blocked read (the vendored runtime's
+/// documented limit). `NetworkBackend` in `identxx-controller` drives one of
+/// these per flow end, concurrently, with a shared deadline.
+///
+/// [`DaemonServer`]: crate::server::DaemonServer
+#[derive(Debug)]
+pub struct QueryClient {
+    addr: SocketAddr,
+    stream: Option<std::net::TcpStream>,
+    buf: BytesMut,
+}
+
+impl QueryClient {
+    /// Creates a client for the daemon at `addr`. No connection is opened
+    /// until the first query.
+    pub fn new(addr: SocketAddr) -> QueryClient {
+        QueryClient {
+            addr,
+            stream: None,
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// The daemon endpoint this client queries.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a pooled connection is currently open.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Sends `query` and waits for the daemon's response, giving the whole
+    /// exchange (connect included) until `deadline`.
+    ///
+    /// Returns `Ok(None)` when the daemon does not answer in budget, closes
+    /// the connection without answering (a silent daemon), or the budget was
+    /// already exhausted; `Err` when the host is unreachable (e.g. nothing
+    /// listens on the port). The controller treats both as "no information
+    /// from this end-host".
+    pub fn query_deadline(
+        &mut self,
+        query: &Query,
+        deadline: Instant,
+    ) -> io::Result<Option<Response>> {
+        // One transparent retry: a pooled connection may have been closed by
+        // the server since the last query; only a *reused* connection earns
+        // the second attempt, so fresh-connection failures surface directly.
+        for _ in 0..2 {
+            let reused = self.stream.is_some();
+            match self.attempt(query, deadline) {
+                Ok(outcome) => return Ok(outcome),
+                Err(err) if reused => {
+                    self.disconnect();
+                    let _ = err;
+                }
+                Err(err) => {
+                    self.disconnect();
+                    return Err(err);
+                }
+            }
+        }
+        unreachable!("second attempt always runs on a fresh connection")
+    }
+
+    /// [`QueryClient::query_deadline`] with a relative timeout.
+    pub fn query(&mut self, query: &Query, budget: Duration) -> io::Result<Option<Response>> {
+        self.query_deadline(query, Instant::now() + budget)
+    }
+
+    /// Drops the pooled connection (the next query reconnects).
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+        self.buf.clear();
+    }
+
+    fn attempt(&mut self, query: &Query, deadline: Instant) -> io::Result<Option<Response>> {
+        let Some(remaining) = deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+        else {
+            // Budget exhausted before we could even send: no answer.
+            return Ok(None);
+        };
+        let reused = self.stream.is_some();
+        if self.stream.is_none() {
+            self.buf.clear();
+            self.stream = Some(std::net::TcpStream::connect_timeout(&self.addr, remaining)?);
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        // The OS enforces the remaining budget on every blocking call; the
+        // read path re-arms it per syscall (`read_message_deadline`) so a
+        // peer trickling bytes cannot stretch the frame past the deadline.
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+            .unwrap_or(Duration::from_micros(1));
+        stream.set_write_timeout(Some(remaining))?;
+        write_message_blocking(stream, &WireMessage::Query(query.clone()))?;
+        match read_message_deadline(stream, &mut self.buf, deadline) {
+            Ok(Some(WireMessage::Response(response))) => Ok(Some(response)),
+            Ok(Some(WireMessage::Query(_))) => {
+                self.disconnect();
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "daemon sent a query instead of a response",
+                ))
+            }
+            Ok(None) => {
+                // Clean close without an answer. On a fresh connection this
+                // is the silent-daemon shape: "no information from this
+                // end-host". On a reused one the server may simply have
+                // dropped the pooled connection — report it as an error so
+                // the caller's single retry reconnects.
+                self.disconnect();
+                if reused {
+                    Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "pooled connection closed without answering",
+                    ))
+                } else {
+                    Ok(None)
+                }
+            }
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Deadline passed mid-read. A late response could still
+                // arrive on this socket, so it cannot be pooled.
+                self.disconnect();
+                Ok(None)
+            }
+            Err(err) => {
+                self.disconnect();
+                Err(err)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use identxx_proto::FiveTuple;
+    use crate::server::DaemonServer;
+    use identxx_daemon::Daemon;
+    use identxx_hostmodel::{Executable, Host};
+    use identxx_proto::{well_known, FiveTuple, Ipv4Addr};
 
     #[tokio::test]
     async fn unreachable_daemon_is_an_error() {
@@ -52,5 +210,167 @@ mod tests {
         let flow = FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 2);
         let result = query_daemon(addr, Query::new(flow)).await;
         assert!(result.is_err() || result.unwrap().is_none());
+    }
+
+    fn test_daemon() -> (Daemon, FiveTuple) {
+        let mut daemon = Daemon::bare(Host::new("h1", Ipv4Addr::new(10, 0, 0, 1)));
+        let exe = Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser");
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("alice", exe, 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        (daemon, flow)
+    }
+
+    #[tokio::test]
+    async fn query_client_reuses_one_connection() {
+        let (daemon, flow) = test_daemon();
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut client = QueryClient::new(server.local_addr());
+        assert!(!client.is_connected());
+        for _ in 0..3 {
+            let response = client
+                .query(&Query::new(flow), Duration::from_secs(2))
+                .unwrap()
+                .expect("daemon answers");
+            assert_eq!(response.latest(well_known::USER_ID), Some("alice"));
+        }
+        assert!(client.is_connected(), "connection should be pooled");
+        assert_eq!(server.queries_served(), 3);
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn query_client_reconnects_after_stale_pooled_connection() {
+        // A raw server that closes every connection after one response, so
+        // the client's pooled connection is *guaranteed* stale on the second
+        // query and the transparent-retry path must actually run (a
+        // `DaemonServer` restart can't force this: its in-flight connection
+        // tasks keep serving across shutdown).
+        let (_, flow) = test_daemon();
+        let mut response = Response::new(flow);
+        let mut section = identxx_proto::Section::new();
+        section.push("userID", "alice");
+        response.push_section(section);
+        let frame = WireMessage::Response(response).encode();
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let connections_served = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let server_connections = std::sync::Arc::clone(&connections_served);
+        std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            for _ in 0..2 {
+                let (mut peer, _) = listener.accept().unwrap();
+                let mut sink = [0u8; 1024];
+                let _ = peer.read(&mut sink); // the query
+                                              // Count before answering: the client may assert the moment
+                                              // it has read the response.
+                server_connections.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                peer.write_all(&frame).unwrap();
+                let _ = peer.flush();
+                // Dropping `peer` closes the connection: the pooled client
+                // socket is now stale.
+            }
+        });
+
+        let mut client = QueryClient::new(addr);
+        assert!(client
+            .query(&Query::new(flow), Duration::from_secs(2))
+            .unwrap()
+            .is_some());
+        assert!(client.is_connected());
+        let second = client
+            .query(&Query::new(flow), Duration::from_secs(2))
+            .unwrap();
+        assert!(second.is_some(), "retry must reconnect and succeed");
+        assert_eq!(
+            connections_served.load(std::sync::atomic::Ordering::SeqCst),
+            2,
+            "the second answer must have come over a fresh connection"
+        );
+    }
+
+    #[tokio::test]
+    async fn query_client_times_out_instead_of_hanging() {
+        let (mut daemon, flow) = test_daemon();
+        // 300 ms of artificial daemon latency against a 50 ms budget.
+        daemon.set_response_delay_micros(300_000);
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut client = QueryClient::new(server.local_addr());
+        let started = Instant::now();
+        let result = client
+            .query(&Query::new(flow), Duration::from_millis(50))
+            .unwrap();
+        assert!(result.is_none(), "late answer must be treated as absent");
+        assert!(
+            started.elapsed() < Duration::from_millis(250),
+            "the deadline must preempt the read"
+        );
+        assert!(!client.is_connected(), "timed-out socket cannot be pooled");
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn query_client_deadline_defeats_byte_trickling() {
+        // A hostile peer that sends one byte per almost-timeout: the
+        // per-syscall read timeout alone would restart on every byte, so the
+        // deadline must be re-armed with the *remaining* budget each read.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            use std::io::{Read, Write};
+            let mut sink = [0u8; 256];
+            let _ = peer.read(&mut sink); // swallow the query
+            loop {
+                if peer.write_all(b"I").is_err() {
+                    return; // client gave up and closed
+                }
+                let _ = peer.flush();
+                std::thread::sleep(Duration::from_millis(60));
+            }
+        });
+        let mut client = QueryClient::new(addr);
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 2);
+        let started = Instant::now();
+        let result = client
+            .query(&Query::new(flow), Duration::from_millis(150))
+            .unwrap();
+        assert!(result.is_none(), "a trickled frame is not an answer");
+        assert!(
+            started.elapsed() < Duration::from_millis(600),
+            "trickling must not stretch the budget (elapsed {:?})",
+            started.elapsed()
+        );
+        assert!(!client.is_connected());
+    }
+
+    #[tokio::test]
+    async fn query_client_unreachable_endpoint_is_an_error() {
+        let mut client = QueryClient::new("127.0.0.1:1".parse().unwrap());
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 2);
+        assert!(client
+            .query(&Query::new(flow), Duration::from_millis(200))
+            .is_err());
+    }
+
+    #[tokio::test]
+    async fn query_client_silent_daemon_is_no_answer() {
+        let (mut daemon, flow) = test_daemon();
+        daemon.set_silent(true);
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut client = QueryClient::new(server.local_addr());
+        let result = client
+            .query(&Query::new(flow), Duration::from_secs(2))
+            .unwrap();
+        assert!(result.is_none());
+        server.shutdown();
     }
 }

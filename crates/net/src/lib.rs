@@ -15,6 +15,6 @@ pub mod client;
 pub mod framing;
 pub mod server;
 
-pub use client::query_daemon;
-pub use framing::{read_message, write_message};
+pub use client::{query_daemon, QueryClient};
+pub use framing::{read_message, read_message_deadline, write_message, write_message_blocking};
 pub use server::DaemonServer;

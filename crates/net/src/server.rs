@@ -9,7 +9,7 @@
 
 use std::io;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
@@ -32,6 +32,10 @@ pub struct DaemonServer {
     /// Signalled (by drop or send) when the accept loop has exited and the
     /// listener socket is closed.
     stopped: mpsc::Receiver<()>,
+    /// Total queries answered across all connections (concurrent queries
+    /// from a controller's dual-end fan-out land on separate connections,
+    /// so per-connection counters would under-report).
+    queries_served: Arc<AtomicU64>,
 }
 
 impl DaemonServer {
@@ -44,6 +48,8 @@ impl DaemonServer {
         let accept_daemon = Arc::clone(&daemon);
         let running = Arc::new(AtomicBool::new(true));
         let accept_running = Arc::clone(&running);
+        let queries_served = Arc::new(AtomicU64::new(0));
+        let accept_queries = Arc::clone(&queries_served);
         let (stopped_tx, stopped) = mpsc::channel();
         let handle = tokio::spawn(async move {
             while accept_running.load(Ordering::Acquire) {
@@ -55,8 +61,10 @@ impl DaemonServer {
                             break;
                         }
                         let connection_daemon = Arc::clone(&accept_daemon);
+                        let connection_queries = Arc::clone(&accept_queries);
                         tokio::spawn(async move {
-                            let _ = serve_connection(stream, connection_daemon).await;
+                            let _ = serve_connection(stream, connection_daemon, connection_queries)
+                                .await;
                         });
                     }
                     Err(_) => break,
@@ -73,7 +81,15 @@ impl DaemonServer {
             handle,
             running,
             stopped,
+            queries_served,
         })
+    }
+
+    /// Total queries answered since the server started, across every
+    /// connection (a controller querying both flow ends concurrently opens
+    /// one connection per end).
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::Relaxed)
     }
 
     /// The address the server is listening on.
@@ -113,16 +129,30 @@ impl DaemonServer {
     }
 }
 
-async fn serve_connection(mut stream: TcpStream, daemon: Arc<Mutex<Daemon>>) -> io::Result<()> {
+async fn serve_connection(
+    mut stream: TcpStream,
+    daemon: Arc<Mutex<Daemon>>,
+    queries_served: Arc<AtomicU64>,
+) -> io::Result<()> {
     let mut buf = BytesMut::new();
     while let Some(message) = read_message(&mut stream, &mut buf).await? {
         if let WireMessage::Query(query) = message {
-            let answer = {
+            // Answer under the lock, but model the host's processing latency
+            // *outside* it, so concurrent queries to the same daemon (and of
+            // course to different daemons) overlap their delays.
+            let (answer, delay_micros) = {
                 let mut daemon = daemon.lock().await;
-                daemon.answer(&query)
+                (daemon.answer(&query), daemon.response_delay_micros())
             };
             match answer {
                 Ok(Some(response)) => {
+                    if delay_micros > 0 {
+                        // A plain blocking sleep: this connection's task owns
+                        // its thread on the vendored runtime, and the delay
+                        // knob is an experiment feature, not a hot path.
+                        std::thread::sleep(Duration::from_micros(delay_micros));
+                    }
+                    queries_served.fetch_add(1, Ordering::Relaxed);
                     write_message(&mut stream, &WireMessage::Response(response)).await?;
                 }
                 // Silent daemon or a query about a flow that is not ours:

@@ -33,7 +33,6 @@ use identxx_proto::{FiveTuple, IpProtocol, Ipv4Addr, Response};
 use crate::ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet};
 use crate::eval::{Decision, EvalContext, EvalCore, Verdict, MAX_ALLOWED_DEPTH};
 use crate::functions::{list_items, numeric_cmp, FunctionRegistry};
-use crate::parser::parse_ruleset;
 use crate::services::resolve_port;
 use crate::table::{Table, TableEntry};
 
@@ -687,6 +686,12 @@ impl CompiledPolicy {
         self.rules.len()
     }
 
+    /// How many times `allowed()` actually invoked the parser on a delegated
+    /// requirement string (repeats are served from the shared memo).
+    pub fn requirements_parsed(&self) -> u64 {
+        self.core.requirements.parse_count()
+    }
+
     /// Evaluates the policy for `flow` against optional src/dst responses.
     ///
     /// Decision-equivalent to [`EvalContext::evaluate`] over the same rule
@@ -924,16 +929,17 @@ impl<'e> EvalRun<'e> {
                     Some(r) => r,
                     None => return false,
                 };
-                let sub_ruleset = match parse_ruleset(&requirements) {
-                    Ok(rs) => rs,
+                let sub_ruleset = match self.policy.core.requirements.parse(&requirements) {
+                    Some(rs) => rs,
                     // Malformed delegated rules never grant access.
-                    Err(_) => return false,
+                    None => return false,
                 };
                 // Delegated rule sets arrive inside responses and cannot be
                 // compiled ahead of time: hand them to the interpreter, which
-                // shares this policy's core via the `Arc`.
+                // shares this policy's core (and its requirement-parse memo)
+                // via the `Arc`.
                 EvalContext::from_parts(
-                    &sub_ruleset,
+                    sub_ruleset.as_ref(),
                     self.src,
                     self.dst,
                     Arc::clone(&self.policy.core),
@@ -1002,6 +1008,7 @@ impl std::fmt::Debug for CompiledPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parser::parse_ruleset;
     use identxx_proto::Section;
 
     fn response_with(flow: FiveTuple, pairs: &[(&str, &str)]) -> Response {
@@ -1237,6 +1244,30 @@ mod tests {
         for dst in [&good, &bad, &malformed, &recursive] {
             assert_equivalent(policy, &flow, Some(&src), Some(dst));
         }
+    }
+
+    #[test]
+    fn compiled_allowed_memoizes_requirement_parsing() {
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 9999, [10, 0, 0, 2], 7000);
+        let src = Response::new(flow);
+        let dst = response_with(
+            flow,
+            &[("requirements", "block all\npass from any to any port 7000")],
+        );
+        let rs = parse_ruleset("block all\npass all with allowed(@dst[requirements])\n").unwrap();
+        let compiled = CompiledPolicy::compile(&rs);
+        assert_eq!(compiled.requirements_parsed(), 0);
+        for _ in 0..8 {
+            assert_eq!(
+                compiled.evaluate(&flow, Some(&src), Some(&dst)).decision,
+                Decision::Pass
+            );
+        }
+        assert_eq!(
+            compiled.requirements_parsed(),
+            1,
+            "a repeated requirement string must parse exactly once"
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! true over the `@src`/`@dst` dictionaries built from the ident++ responses.
 
 use std::cmp::Ordering;
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 
 use identxx_crypto::{verify_bundle_hex, KeyRegistry};
 use identxx_proto::{FiveTuple, Response};
@@ -68,6 +69,63 @@ pub struct Verdict {
 /// calls; an attacker must not be able to recurse the controller to death.
 pub const MAX_ALLOWED_DEPTH: usize = 4;
 
+/// Upper bound on distinct requirement strings the memo retains.
+///
+/// Requirement text arrives inside end-host responses, which a compromised
+/// host controls (the same threat [`MAX_ALLOWED_DEPTH`] bounds): an attacker
+/// answering every flow with a unique requirements string must not be able
+/// to grow controller memory without limit. A full memo keeps serving hits
+/// for the strings it already holds and parses everything else statelessly —
+/// the pre-memoization behaviour, slower but bounded.
+pub const MAX_CACHED_REQUIREMENTS: usize = 1024;
+
+/// A memo of parsed delegated-requirement rule sets, keyed by the exact
+/// requirement text.
+///
+/// `allowed()` receives its rule set *inside a response*, so it cannot be
+/// compiled ahead of time — but delegation-heavy policies evaluate the same
+/// requirement string for every flow of an application, and parsing it anew
+/// each time puts the parser on the flow-setup hot path. The cache stores the
+/// parse result (including failures, so malformed requirements are not
+/// re-parsed either) behind a mutex, holding at most
+/// [`MAX_CACHED_REQUIREMENTS`] entries; both the interpreter and the
+/// compiled evaluator consult it through the shared [`EvalCore`].
+#[derive(Default)]
+pub(crate) struct RequirementCache {
+    parsed: Mutex<HashMap<String, Option<Arc<RuleSet>>>>,
+    /// How many cache misses actually invoked the parser (telemetry for the
+    /// parse-once guarantee).
+    parses: AtomicU64,
+}
+
+impl RequirementCache {
+    /// Parses `requirements`, serving repeats from the memo. `None` means the
+    /// text does not parse — malformed delegated rules never grant access.
+    pub(crate) fn parse(&self, requirements: &str) -> Option<Arc<RuleSet>> {
+        let mut parsed = self.parsed.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(hit) = parsed.get(requirements) {
+            return hit.clone();
+        }
+        self.parses.fetch_add(1, AtomicOrdering::Relaxed);
+        let result = parse_ruleset(requirements).ok().map(Arc::new);
+        if parsed.len() < MAX_CACHED_REQUIREMENTS {
+            parsed.insert(requirements.to_string(), result.clone());
+        }
+        result
+    }
+
+    /// Number of times the parser actually ran.
+    pub(crate) fn parse_count(&self) -> u64 {
+        self.parses.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Number of distinct requirement strings currently memoized.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.parsed.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
 /// The shareable part of an evaluation context: everything a rule set may
 /// reference that is neither the rule set itself nor the per-flow responses.
 ///
@@ -81,6 +139,9 @@ pub(crate) struct EvalCore {
     pub(crate) named_lists: BTreeMap<String, Vec<String>>,
     pub(crate) functions: FunctionRegistry,
     pub(crate) default_decision: Decision,
+    /// Shared across clones (the cache is keyed by requirement text alone, so
+    /// a core tweaked via a builder can still reuse earlier parses).
+    pub(crate) requirements: Arc<RequirementCache>,
 }
 
 impl EvalCore {
@@ -90,6 +151,7 @@ impl EvalCore {
             named_lists: BTreeMap::new(),
             functions: FunctionRegistry::new(),
             default_decision: Decision::Pass,
+            requirements: Arc::new(RequirementCache::default()),
         }
     }
 }
@@ -190,6 +252,13 @@ impl<'a> EvalContext<'a> {
     /// The rule set this context evaluates.
     pub fn ruleset(&self) -> &RuleSet {
         self.ruleset
+    }
+
+    /// How many times `allowed()` actually invoked the parser on a delegated
+    /// requirement string. Repeats of the same text are served from a memo,
+    /// so this stays at 1 however many flows carry the same requirements.
+    pub fn requirements_parsed(&self) -> u64 {
+        self.core.requirements.parse_count()
     }
 
     /// Evaluates the policy for `flow`, returning the full verdict.
@@ -415,17 +484,18 @@ impl<'a> EvalContext<'a> {
                     Some(v) => v,
                     None => return false,
                 };
-                let sub_ruleset = match parse_ruleset(&requirements) {
-                    Ok(rs) => rs,
+                let sub_ruleset = match self.core.requirements.parse(&requirements) {
+                    Some(rs) => rs,
                     // Malformed delegated rules never grant access.
-                    Err(_) => return false,
+                    None => return false,
                 };
                 // The delegated rule set is evaluated with the same responses
                 // and trusted keys but its *own* tables/dicts/macros. The
                 // shared core is an `Arc`, so recursion costs one refcount
-                // bump instead of cloning registries and lists.
+                // bump instead of cloning registries and lists, and repeated
+                // requirement strings skip the parser entirely.
                 let sub_ctx = EvalContext {
-                    ruleset: &sub_ruleset,
+                    ruleset: sub_ruleset.as_ref(),
                     src: self.src,
                     dst: self.dst,
                     core: Arc::clone(&self.core),
@@ -701,6 +771,69 @@ mod tests {
         assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
         let ctx = EvalContext::new(&rs).with_responses(&src, &malformed);
         assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+
+    #[test]
+    fn repeated_requirements_parse_once() {
+        let rs = parse_ruleset("block all\npass all with allowed(@dst[requirements])\n").unwrap();
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 9999, [10, 0, 0, 2], 7000);
+        let src = Response::new(flow);
+        let dst = response_with(
+            flow,
+            &[("requirements", "block all\npass from any to any port 7000")],
+        );
+        let ctx = EvalContext::new(&rs).with_responses(&src, &dst);
+        assert_eq!(ctx.requirements_parsed(), 0);
+        for _ in 0..10 {
+            assert_eq!(ctx.evaluate(&flow).decision, Decision::Pass);
+        }
+        assert_eq!(ctx.requirements_parsed(), 1, "same text must parse once");
+        // A different requirement string is a fresh parse…
+        let other = response_with(
+            flow,
+            &[("requirements", "block all\npass from any to any port 22")],
+        );
+        let ctx2 = EvalContext {
+            ruleset: ctx.ruleset,
+            src: Some(&src),
+            dst: Some(&other),
+            core: Arc::clone(&ctx.core),
+        };
+        assert_eq!(ctx2.evaluate(&flow).decision, Decision::Block);
+        assert_eq!(ctx2.requirements_parsed(), 2);
+        // …and malformed text is parsed (and rejected) exactly once too.
+        let malformed = response_with(flow, &[("requirements", "pass from !!!")]);
+        let ctx3 = EvalContext {
+            dst: Some(&malformed),
+            ..ctx2.clone()
+        };
+        assert_eq!(ctx3.evaluate(&flow).decision, Decision::Block);
+        assert_eq!(ctx3.evaluate(&flow).decision, Decision::Block);
+        assert_eq!(ctx3.requirements_parsed(), 3);
+    }
+
+    #[test]
+    fn requirement_memo_is_bounded_against_hostile_responses() {
+        // A compromised host answering every flow with a unique requirements
+        // string must not grow the memo without limit: past the cap, new
+        // strings are parsed statelessly while cached ones keep hitting.
+        let core = EvalCore::new();
+        for i in 0..MAX_CACHED_REQUIREMENTS + 50 {
+            let unique = format!("block all\npass from any to any port {}\n", 1 + (i % 60000));
+            core.requirements.parse(&unique);
+        }
+        assert!(core.requirements.len() <= MAX_CACHED_REQUIREMENTS);
+        // Beyond the cap a novel string re-parses on every evaluation…
+        let uncached = "block all\npass from any to any port 61234\n";
+        let before = core.requirements.parse_count();
+        core.requirements.parse(uncached);
+        core.requirements.parse(uncached);
+        assert_eq!(core.requirements.parse_count(), before + 2);
+        // …while an already-cached string still parses zero times.
+        let cached = "block all\npass from any to any port 1\n";
+        let before = core.requirements.parse_count();
+        assert!(core.requirements.parse(cached).is_some());
+        assert_eq!(core.requirements.parse_count(), before);
     }
 
     #[test]

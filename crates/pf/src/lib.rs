@@ -62,4 +62,4 @@ pub use error::PfError;
 pub use eval::{Decision, EvalContext, Verdict};
 pub use parser::parse_ruleset;
 pub use ruleset::{ConfigFile, ConfigSet};
-pub use state::{StateEntry, StateTable};
+pub use state::{CacheGranularity, StateEntry, StateTable};

@@ -14,6 +14,90 @@ use identxx_proto::FiveTuple;
 
 use crate::eval::Decision;
 
+/// How much of the 5-tuple the state table keys its entries by.
+///
+/// The paper's controller caches *rules*, not flows: "the controller may
+/// cache the rules and apply them to future flows" (§3.4). An exact
+/// 5-tuple key only ever matches a retransmission of the same flow — a
+/// client that reconnects from a fresh source port misses every time, so
+/// workloads with ephemeral ports see 2.00 queries/flow regardless of
+/// locality (the E8b failure mode). Coarser keys trade a little precision
+/// (the cached decision is reused for any flow between the same hosts /
+/// service) for a cache that actually warms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheGranularity {
+    /// Key by the canonical 5-tuple: only an identical flow (either
+    /// direction) hits. The conservative default.
+    #[default]
+    ExactFiveTuple,
+    /// Key by the host pair, protocol, and the *destination* port of the
+    /// decided direction — the service side — with the source (ephemeral)
+    /// port erased. A client reconnecting from a new ephemeral port to the
+    /// same service hits the cached decision; a flow to a different port on
+    /// the same host does not. No port-magnitude heuristic is involved:
+    /// the service port is simply the `dst_port` of the flow that was
+    /// decided. Because this key is direction-dependent, decided flows are
+    /// *also* recorded under their exact canonical tuple, so the reverse
+    /// flow's first packet still hits without a mirrored-key lookup (a
+    /// mirrored lookup would let a fresh flow whose ephemeral source port
+    /// happens to equal a cached service port alias an unrelated entry).
+    HostPairDstPort,
+    /// Key by the unordered host pair and protocol alone. Any flow between
+    /// the two hosts shares one entry.
+    HostPair,
+}
+
+impl CacheGranularity {
+    /// Reduces a flow to the map key for this granularity. The key is itself
+    /// a (possibly port-erased) `FiveTuple` so the table never needs a
+    /// second key type.
+    ///
+    /// For [`CacheGranularity::HostPairDstPort`] the key preserves the
+    /// flow's direction (client side first, service port kept on the
+    /// destination); the table keeps reverse traffic working by recording
+    /// decided flows under [`CacheGranularity::secondary_key`] as well.
+    pub fn key(&self, flow: &FiveTuple) -> FiveTuple {
+        match self {
+            CacheGranularity::ExactFiveTuple => flow.canonical(),
+            CacheGranularity::HostPairDstPort => {
+                let mut key = *flow;
+                key.src_port = 0;
+                key
+            }
+            CacheGranularity::HostPair => {
+                // Order the hosts by address so both directions reduce to
+                // the same key.
+                let mut key = if flow.src_ip <= flow.dst_ip {
+                    *flow
+                } else {
+                    flow.reversed()
+                };
+                key.src_port = 0;
+                key.dst_port = 0;
+                key
+            }
+        }
+    }
+
+    /// A second, exact key decided flows are also recorded under when the
+    /// primary key is direction-dependent.
+    ///
+    /// The service-port-preserving key cannot serve the reverse flow's
+    /// first packet (the reverse tuple carries the service port on its
+    /// source side), and looking entries up under a *mirrored* coarse key
+    /// would be unsound: a fresh flow whose ephemeral source port equals a
+    /// previously cached service port between the same hosts would be
+    /// served that unrelated service's decision. Recording the exact
+    /// canonical tuple as well keeps genuine reverse traffic hitting while
+    /// never aliasing across services.
+    pub fn secondary_key(&self, flow: &FiveTuple) -> Option<FiveTuple> {
+        match self {
+            CacheGranularity::ExactFiveTuple | CacheGranularity::HostPair => None,
+            CacheGranularity::HostPairDstPort => Some(flow.canonical()),
+        }
+    }
+}
+
 /// A single state entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StateEntry {
@@ -27,12 +111,15 @@ pub struct StateEntry {
     pub hits: u64,
 }
 
-/// A state table keyed by the canonical (direction-independent) 5-tuple.
+/// A state table keyed by a canonical (direction-independent) reduction of
+/// the 5-tuple, as chosen by its [`CacheGranularity`].
 #[derive(Debug, Clone, Default)]
 pub struct StateTable {
     entries: HashMap<FiveTuple, StateEntry>,
     /// Lifetime given to new entries, in ticks.
     ttl: u64,
+    /// How much of the 5-tuple keys an entry.
+    granularity: CacheGranularity,
 }
 
 /// Default state lifetime in ticks (the simulator uses microseconds, so this
@@ -45,6 +132,7 @@ impl StateTable {
         StateTable {
             entries: HashMap::new(),
             ttl: DEFAULT_STATE_TTL,
+            granularity: CacheGranularity::default(),
         }
     }
 
@@ -53,50 +141,96 @@ impl StateTable {
         StateTable {
             entries: HashMap::new(),
             ttl,
+            granularity: CacheGranularity::default(),
         }
     }
 
-    /// Records state for a flow at time `now`.
+    /// Sets the key granularity (builder style). Changing granularity on a
+    /// populated table would orphan existing entries, so this clears it.
+    pub fn with_granularity(mut self, granularity: CacheGranularity) -> Self {
+        self.entries.clear();
+        self.granularity = granularity;
+        self
+    }
+
+    /// The key granularity in effect.
+    pub fn granularity(&self) -> CacheGranularity {
+        self.granularity
+    }
+
+    /// Records state for a flow at time `now`, under the granularity's key
+    /// and (when that key is direction-dependent) the exact canonical tuple
+    /// too, so the reverse flow's first packet hits.
     pub fn insert(&mut self, flow: &FiveTuple, decision: Decision, now: u64) {
-        self.entries.insert(
-            flow.canonical(),
-            StateEntry {
-                decision,
-                created_at: now,
-                expires_at: now.saturating_add(self.ttl),
-                hits: 0,
-            },
-        );
+        let entry = StateEntry {
+            decision,
+            created_at: now,
+            expires_at: now.saturating_add(self.ttl),
+            hits: 0,
+        };
+        self.entries.insert(self.granularity.key(flow), entry);
+        if let Some(secondary) = self.granularity.secondary_key(flow) {
+            self.entries.insert(secondary, entry);
+        }
     }
 
     /// Looks up state for a flow (either direction) at time `now`, counting a
     /// hit. Expired entries are removed lazily and reported as misses.
     pub fn lookup(&mut self, flow: &FiveTuple, now: u64) -> Option<StateEntry> {
-        let key = flow.canonical();
-        match self.entries.get_mut(&key) {
-            Some(entry) if entry.expires_at > now => {
-                entry.hits += 1;
-                Some(*entry)
+        let keys = [
+            Some(self.granularity.key(flow)),
+            self.granularity.secondary_key(flow),
+        ];
+        for key in keys.into_iter().flatten() {
+            match self.entries.get_mut(&key) {
+                Some(entry) if entry.expires_at > now => {
+                    entry.hits += 1;
+                    return Some(*entry);
+                }
+                Some(_) => {
+                    self.entries.remove(&key);
+                }
+                None => {}
             }
-            Some(_) => {
-                self.entries.remove(&key);
-                None
-            }
-            None => None,
         }
+        None
     }
 
     /// Non-mutating check whether valid state exists for the flow.
     pub fn contains(&self, flow: &FiveTuple, now: u64) -> bool {
-        self.entries
-            .get(&flow.canonical())
-            .map(|e| e.expires_at > now)
-            .unwrap_or(false)
+        let keys = [
+            Some(self.granularity.key(flow)),
+            self.granularity.secondary_key(flow),
+        ];
+        keys.into_iter()
+            .flatten()
+            .any(|key| self.entries.get(&key).map(|e| e.expires_at > now) == Some(true))
     }
 
-    /// Removes state for a flow (revocation).
+    /// Removes state for a flow, under every key it may have been recorded
+    /// with — **in either direction** (revocation).
+    ///
+    /// Revocation must fail safe: an entry that survives because the caller
+    /// held the reverse-direction tuple would keep serving a revoked `Pass`,
+    /// so for direction-dependent granularities the mirrored coarse key is
+    /// removed too. This is deliberately aggressive — it may also drop a
+    /// same-hosts entry whose service port equals this flow's source port,
+    /// which merely costs that service one fresh query cycle.
     pub fn remove(&mut self, flow: &FiveTuple) -> bool {
-        self.entries.remove(&flow.canonical()).is_some()
+        let reversed = flow.reversed();
+        let keys = [
+            Some(self.granularity.key(flow)),
+            self.granularity.secondary_key(flow),
+            match self.granularity {
+                CacheGranularity::ExactFiveTuple | CacheGranularity::HostPair => None,
+                CacheGranularity::HostPairDstPort => Some(self.granularity.key(&reversed)),
+            },
+        ];
+        let mut removed = false;
+        for key in keys.into_iter().flatten() {
+            removed |= self.entries.remove(&key).is_some();
+        }
+        removed
     }
 
     /// Removes every expired entry, returning how many were purged.
@@ -181,6 +315,113 @@ mod tests {
         assert_eq!(table.len(), 1);
         assert!(table.contains(&other, 105));
         assert!(!table.contains(&other, 200));
+    }
+
+    #[test]
+    fn host_pair_dst_port_granularity_survives_fresh_source_ports() {
+        let mut table = StateTable::new().with_granularity(CacheGranularity::HostPairDstPort);
+        table.insert(&flow(), Decision::Pass, 0);
+        // Same client/server/service, new ephemeral port: hits.
+        let reconnect = FiveTuple::tcp([10, 0, 0, 1], 51723, [10, 0, 0, 2], 80);
+        assert!(table.lookup(&reconnect, 1).is_some());
+        // The decided flow's reverse direction hits via the exact secondary
+        // entry.
+        assert!(table.lookup(&flow().reversed(), 2).is_some());
+        // Different service port: misses.
+        let other_service = FiveTuple::tcp([10, 0, 0, 1], 51724, [10, 0, 0, 2], 443);
+        assert!(table.lookup(&other_service, 3).is_none());
+        // Different destination host: misses.
+        let other_host = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 9], 80);
+        assert!(table.lookup(&other_host, 4).is_none());
+        // One decided flow = the coarse entry plus the exact-tuple entry.
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn host_pair_dst_port_key_is_the_service_port_not_the_smaller_port() {
+        let mut table = StateTable::new().with_granularity(CacheGranularity::HostPairDstPort);
+        // The service port (34000) is numerically *above* the client's
+        // ephemeral port: the key must still be the destination port.
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 32768, [10, 0, 0, 2], 34000);
+        table.insert(&flow, Decision::Pass, 0);
+        let reconnect = FiveTuple::tcp([10, 0, 0, 1], 32769, [10, 0, 0, 2], 34000);
+        assert!(table.lookup(&reconnect, 1).is_some());
+        assert!(table.lookup(&flow.reversed(), 2).is_some());
+
+        // A cached decision for one service must never serve a *different*
+        // destination port, whatever the port magnitudes: here both flows
+        // share the source port 2000 (below both destination ports), which
+        // a min-port key would have collided into one entry.
+        let mut table = StateTable::new().with_granularity(CacheGranularity::HostPairDstPort);
+        let first = FiveTuple::tcp([10, 0, 0, 1], 2000, [10, 0, 0, 2], 8080);
+        table.insert(&first, Decision::Pass, 0);
+        let other_service = FiveTuple::tcp([10, 0, 0, 1], 2000, [10, 0, 0, 2], 9090);
+        assert!(
+            table.lookup(&other_service, 1).is_none(),
+            "a different service must never be served another service's cached decision"
+        );
+    }
+
+    #[test]
+    fn host_pair_dst_port_never_aliases_via_mirrored_source_ports() {
+        // A fresh flow whose *ephemeral source port* happens to equal a
+        // previously cached service port between the same hosts must not be
+        // served that unrelated entry (a mirrored-key lookup would).
+        let mut table = StateTable::new().with_granularity(CacheGranularity::HostPairDstPort);
+        let service_flow = FiveTuple::tcp([10, 0, 0, 2], 51000, [10, 0, 0, 1], 34000);
+        table.insert(&service_flow, Decision::Block, 0);
+        // A's new connection to B's port 80, unluckily from source port
+        // 34000 — a different flow entirely.
+        let unlucky = FiveTuple::tcp([10, 0, 0, 1], 34000, [10, 0, 0, 2], 80);
+        assert!(
+            table.lookup(&unlucky, 1).is_none(),
+            "source-port coincidence must not alias another service's entry"
+        );
+    }
+
+    #[test]
+    fn host_pair_dst_port_revocation_works_from_either_direction() {
+        // A cache-served reverse flow is audited with the reversed tuple;
+        // revocation called with that tuple must still kill the coarse
+        // service entry (a surviving entry would keep serving a revoked
+        // Pass — the fail-unsafe direction).
+        let mut table = StateTable::new().with_granularity(CacheGranularity::HostPairDstPort);
+        table.insert(&flow(), Decision::Pass, 0);
+        assert!(table.remove(&flow().reversed()));
+        let reconnect = FiveTuple::tcp([10, 0, 0, 1], 51723, [10, 0, 0, 2], 80);
+        assert!(
+            table.lookup(&reconnect, 1).is_none(),
+            "revocation from the reverse tuple must remove the coarse entry"
+        );
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn host_pair_granularity_ignores_ports_entirely() {
+        let mut table = StateTable::new().with_granularity(CacheGranularity::HostPair);
+        table.insert(&flow(), Decision::Pass, 0);
+        let other_service = FiveTuple::tcp([10, 0, 0, 2], 9999, [10, 0, 0, 1], 22);
+        assert!(table.lookup(&other_service, 1).is_some());
+        // Same ports, different pair: misses.
+        let other_pair = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 3], 80);
+        assert!(table.lookup(&other_pair, 2).is_none());
+    }
+
+    #[test]
+    fn exact_granularity_still_misses_on_fresh_source_ports() {
+        let mut table = StateTable::new();
+        assert_eq!(table.granularity(), CacheGranularity::ExactFiveTuple);
+        table.insert(&flow(), Decision::Pass, 0);
+        let reconnect = FiveTuple::tcp([10, 0, 0, 1], 51723, [10, 0, 0, 2], 80);
+        assert!(table.lookup(&reconnect, 1).is_none());
+    }
+
+    #[test]
+    fn changing_granularity_clears_entries() {
+        let mut table = StateTable::new();
+        table.insert(&flow(), Decision::Pass, 0);
+        table = table.with_granularity(CacheGranularity::HostPair);
+        assert!(table.is_empty());
     }
 
     #[test]

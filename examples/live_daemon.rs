@@ -1,18 +1,23 @@
-//! The deployment-shaped transport: an ident++ daemon served over a real TCP
-//! socket (tokio) and a controller-side client querying it, exactly as a
-//! firewall would query port 783 on an end-host.
+//! The deployment-shaped control loop: two ident++ daemons served over real
+//! TCP sockets (tokio), and a full `IdentxxController` flow-setup decision
+//! driven through the `NetworkBackend` — both flow ends queried
+//! concurrently, exactly as a controller would query port 783 on the hosts.
 //!
 //! Run with: `cargo run --example live_daemon`
 
+use std::time::{Duration, Instant};
+
 use identxx::daemon::Daemon;
 use identxx::hostmodel::{Executable, Host};
-use identxx::net::{query_daemon, DaemonServer};
+use identxx::net::DaemonServer;
 use identxx::prelude::*;
 
 #[tokio::main(flavor = "current_thread")]
 async fn main() {
-    // The end-host: alice runs thunderbird toward a mail server.
-    let mut daemon = Daemon::bare(Host::new("laptop-alice", Ipv4Addr::new(10, 0, 0, 7)));
+    // The client end-host: alice runs thunderbird toward the mail server.
+    let laptop_ip = Ipv4Addr::new(10, 0, 0, 7);
+    let server_ip = Ipv4Addr::new(10, 0, 0, 25);
+    let mut laptop = Daemon::bare(Host::new("laptop-alice", laptop_ip));
     let thunderbird = Executable::new(
         "/usr/bin/thunderbird",
         "thunderbird",
@@ -20,48 +25,80 @@ async fn main() {
         "mozilla",
         "email-client",
     );
-    let flow = daemon.host_mut().open_connection(
-        "alice",
-        thunderbird,
-        40123,
-        Ipv4Addr::new(10, 0, 0, 25),
-        25,
-    );
+    let flow = laptop
+        .host_mut()
+        .open_connection("alice", thunderbird, 40123, server_ip, 25);
 
-    // In a deployment the daemon binds 0.0.0.0:783; the example uses an
-    // ephemeral localhost port so it can run unprivileged.
-    let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+    // The server end-host: the SMTP service listens on port 25.
+    let mut mailhost = Daemon::bare(Host::new("mail-server", server_ip));
+    let smtpd = Executable::new("/usr/sbin/smtpd", "smtpd", 4, "openbsd", "mail-server");
+    let pid = mailhost.host_mut().spawn("mailsys", smtpd);
+    mailhost.host_mut().listen(pid, IpProtocol::Tcp, 25);
+
+    // In a deployment each daemon binds 0.0.0.0:783; the example uses
+    // ephemeral localhost ports so it can run unprivileged.
+    let laptop_server = DaemonServer::start(laptop, "127.0.0.1:0".parse().unwrap())
         .await
-        .expect("bind daemon server");
-    println!("ident++ daemon listening on {}", server.local_addr());
-
-    // The controller side: query the daemon about the flow.
-    let query = Query::new(flow)
-        .with_key(well_known::USER_ID)
-        .with_key(well_known::APP_NAME)
-        .with_key(well_known::EXE_HASH);
-    let response = query_daemon(server.local_addr(), query)
+        .expect("bind laptop daemon server");
+    let mail_server = DaemonServer::start(mailhost, "127.0.0.1:0".parse().unwrap())
         .await
-        .expect("query should not error")
-        .expect("daemon should answer");
+        .expect("bind mail daemon server");
+    println!("laptop daemon listening on {}", laptop_server.local_addr());
+    println!("mail   daemon listening on {}", mail_server.local_addr());
 
-    println!("response for {flow}:");
-    for section in response.sections() {
-        println!("  --- section ---");
-        for pair in section.pairs() {
-            println!("  {}: {}", pair.key, pair.value);
+    // The controller: a PF+=2 policy over a TCP query plane that resolves
+    // both flow ends concurrently under one 2 s budget.
+    let policy = "block all\n\
+                  pass all with eq(@src[name], thunderbird) with eq(@src[userID], alice) \
+                  with eq(@dst[name], smtpd) keep state\n";
+    let backend = NetworkBackend::new()
+        .with_budget(Duration::from_secs(2))
+        .with_endpoint(laptop_ip, laptop_server.local_addr())
+        .with_endpoint(server_ip, mail_server.local_addr());
+    let mut controller = IdentxxController::new(
+        ControllerConfig::new().with_control_file("00-mail.control", policy),
+    )
+    .expect("compile policy")
+    .with_backend(Box::new(backend));
+
+    // The full flow-setup decision, over real sockets.
+    let started = Instant::now();
+    let decision = controller.decide(&flow, 0);
+    let elapsed = started.elapsed();
+    println!("\nflow {flow}");
+    for (side, response) in [
+        ("@src", decision.src_response.as_ref()),
+        ("@dst", decision.dst_response.as_ref()),
+    ] {
+        let Some(response) = response else {
+            println!("  {side}: (no response)");
+            continue;
+        };
+        println!("  {side}:");
+        for section in response.sections() {
+            println!("    --- section ---");
+            for pair in section.pairs() {
+                println!("    {}: {}", pair.key, pair.value);
+            }
         }
     }
+    println!(
+        "\nverdict: {:?} (matched line {:?}, {} concurrent queries, {:?} wall time)",
+        decision.verdict.decision, decision.verdict.matched_line, decision.queries_issued, elapsed
+    );
 
-    // Feed the response into a PF+=2 policy, exactly as the controller would.
-    let policy = parse_ruleset(
-        "block all\npass all with eq(@src[name], thunderbird) with eq(@src[userID], alice)\n",
-    )
-    .unwrap();
-    let verdict = EvalContext::new(&policy)
-        .with_src_response(&response)
-        .evaluate(&flow);
-    println!("\npolicy verdict for the flow: {:?}", verdict.decision);
+    // The repeat decision hits the controller's state table: zero queries.
+    let cached = controller.decide(&flow, 10);
+    println!(
+        "repeat decision: {:?} (from_cache: {}, queries: {})",
+        cached.verdict.decision, cached.from_cache, cached.queries_issued
+    );
+    let stats = controller.backend_stats();
+    println!(
+        "backend stats: {} sent / {} answered / {} unanswered",
+        stats.queries_sent, stats.responses_received, stats.timeouts
+    );
 
-    server.shutdown();
+    laptop_server.shutdown();
+    mail_server.shutdown();
 }

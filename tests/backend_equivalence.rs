@@ -1,0 +1,221 @@
+//! Backend equivalence: the `InProcessBackend` (simulator) and the
+//! `NetworkBackend` (loopback TCP daemons) must produce identical
+//! `FlowDecision` verdicts, query counts, and transport stats for the same
+//! scenario — including silent, refusing, and unreachable daemons. This is
+//! the contract that makes the simulator's results transferable to the
+//! deployment-shaped transport.
+
+use std::time::Duration;
+
+use identxx::daemon::Daemon;
+use identxx::hostmodel::{Executable, Host};
+use identxx::net::DaemonServer;
+use identxx::prelude::*;
+
+const POLICY: &str = "\
+block all
+pass all with eq(@src[name], firefox) keep state
+pass all with eq(@src[name], skype) with eq(@dst[name], skype) keep state
+";
+
+fn firefox() -> Executable {
+    Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser")
+}
+
+fn skype() -> Executable {
+    Executable::new("/usr/bin/skype", "skype", 210, "skype.com", "voip")
+}
+
+struct Scenario {
+    /// The daemons, staged identically for both backends.
+    daemons: Vec<Daemon>,
+    /// The flows to decide, in order (some repeat to exercise the cache).
+    flows: Vec<FiveTuple>,
+}
+
+/// Builds the shared scenario:
+///
+/// * h1 (10.0.0.1): alice runs firefox and skype — answers normally,
+/// * h2 (10.0.0.2): bob runs a listening skype — answers normally,
+/// * h3 (10.0.0.3): silent daemon (no ident++ support),
+/// * h4 (10.0.0.4): daemon exists but is unreachable (unregistered
+///   in-process; dead TCP endpoint over the network),
+/// * 192.168.9.9: no daemon at all (refused / unknown host).
+fn scenario() -> Scenario {
+    let h1 = Ipv4Addr::new(10, 0, 0, 1);
+    let h2 = Ipv4Addr::new(10, 0, 0, 2);
+    let h3 = Ipv4Addr::new(10, 0, 0, 3);
+    let h4 = Ipv4Addr::new(10, 0, 0, 4);
+
+    let mut d1 = Daemon::bare(Host::new("h1", h1));
+    let firefox_flow = d1
+        .host_mut()
+        .open_connection("alice", firefox(), 41000, h2, 80);
+    let skype_flow = d1
+        .host_mut()
+        .open_connection("alice", skype(), 41001, h2, 34000);
+    let to_silent = d1
+        .host_mut()
+        .open_connection("alice", skype(), 41002, h3, 34000);
+
+    let mut d2 = Daemon::bare(Host::new("h2", h2));
+    let pid = d2.host_mut().spawn("bob", skype());
+    d2.host_mut().listen(pid, IpProtocol::Tcp, 34000);
+
+    let mut d3 = Daemon::bare(Host::new("h3", h3));
+    d3.set_silent(true);
+    // A flow *from* the silent host: its daemon would know the answer but
+    // never gives it.
+    let from_silent = FiveTuple::tcp(h3, 41003, h2, 80);
+
+    let d4 = Daemon::bare(Host::new("h4", h4));
+    let to_unreachable = FiveTuple::tcp(h1, 41004, h4, 80);
+
+    let stranger = FiveTuple::tcp([192, 168, 9, 9], 1234, h2, 80);
+
+    Scenario {
+        daemons: vec![d1, d2, d3, d4],
+        flows: vec![
+            firefox_flow,
+            firefox_flow, // repeat: cache hit, zero queries
+            skype_flow,   // needs both ends
+            to_silent,    // destination never answers
+            from_silent,  // source never answers → fail closed
+            to_unreachable,
+            stranger,
+            skype_flow, // repeat after other traffic: still cached
+        ],
+    }
+}
+
+/// Collapses a decision to its comparable facts.
+fn digest(d: &FlowDecision) -> (Decision, Option<usize>, bool, u32, bool, bool) {
+    (
+        d.verdict.decision,
+        d.verdict.matched_line,
+        d.from_cache,
+        d.queries_issued,
+        d.src_response.is_some(),
+        d.dst_response.is_some(),
+    )
+}
+
+#[tokio::test]
+async fn in_process_and_network_backends_decide_identically() {
+    let scenario_a = scenario();
+    let scenario_b = scenario();
+
+    // In-process controller: daemons registered directly.
+    let config = ControllerConfig::new().with_control_file("00.control", POLICY);
+    let mut in_process = IdentxxController::new(config.clone()).unwrap();
+    for daemon in scenario_a.daemons {
+        // h4 stays unregistered: the unreachable-host case.
+        if daemon.host().addr != Ipv4Addr::new(10, 0, 0, 4) {
+            in_process.register_daemon(daemon);
+        }
+    }
+
+    // Network controller: the same daemons behind loopback TCP servers. h4's
+    // endpoint points at a port nothing listens on (server started, address
+    // taken, then shut down) — the wire-level unreachable host.
+    let mut servers = Vec::new();
+    let mut backend = NetworkBackend::new().with_budget(Duration::from_millis(500));
+    for daemon in scenario_b.daemons {
+        let addr = daemon.host().addr;
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        backend.register_endpoint(addr, server.local_addr());
+        if addr == Ipv4Addr::new(10, 0, 0, 4) {
+            server.shutdown(); // leaves a dead endpoint behind
+        } else {
+            servers.push(server);
+        }
+    }
+    let mut network = IdentxxController::new(config)
+        .unwrap()
+        .with_backend(Box::new(backend));
+
+    for (i, flow) in scenario_a.flows.iter().enumerate() {
+        let now = (i as u64) * 10;
+        let a = in_process.decide(flow, now);
+        let b = network.decide(flow, now);
+        assert_eq!(
+            digest(&a),
+            digest(&b),
+            "decision {i} diverged between backends for {flow}"
+        );
+    }
+
+    // The transports did the same amount of work…
+    assert_eq!(in_process.backend_stats(), network.backend_stats());
+    // …and recorded the same audit trail.
+    assert_eq!(in_process.audit().len(), network.audit().len());
+    for (a, b) in in_process
+        .audit()
+        .records()
+        .iter()
+        .zip(network.audit().records())
+    {
+        assert_eq!(a, b, "audit records diverged between backends");
+    }
+
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+#[tokio::test]
+async fn recording_backend_matches_in_process_for_scripted_hosts() {
+    // The test double obeys the same contract: scripted answers stand in for
+    // live daemons, silence for silent ones, absence for unreachable ones —
+    // and the decision digests match the in-process truth.
+    let h1 = Ipv4Addr::new(10, 0, 0, 1);
+    let h2 = Ipv4Addr::new(10, 0, 0, 2);
+    let h3 = Ipv4Addr::new(10, 0, 0, 3);
+    let config = ControllerConfig::new().with_control_file("00.control", POLICY);
+
+    let mut in_process = IdentxxController::new(config.clone()).unwrap();
+    let mut d1 = Daemon::bare(Host::new("h1", h1));
+    let flow = d1
+        .host_mut()
+        .open_connection("alice", firefox(), 41000, h2, 80);
+    in_process.register_daemon(d1);
+    let mut d3 = Daemon::bare(Host::new("h3", h3));
+    d3.set_silent(true);
+    in_process.register_daemon(d3);
+
+    let recording = RecordingBackend::new()
+        .with_answer(h1, vec![("name".to_string(), "firefox".to_string())])
+        .with_silent(h3);
+    let mut recorded = IdentxxController::new(config)
+        .unwrap()
+        .with_backend(Box::new(recording));
+
+    let silent_flow = FiveTuple::tcp(h3, 41001, h1, 80);
+    for (i, f) in [flow, silent_flow].iter().enumerate() {
+        let a = in_process.decide(f, i as u64);
+        let b = recorded.decide(f, i as u64);
+        assert_eq!(a.verdict.decision, b.verdict.decision);
+        assert_eq!(a.queries_issued, b.queries_issued);
+        assert_eq!(a.from_cache, b.from_cache);
+    }
+    assert_eq!(in_process.backend_stats(), recorded.backend_stats());
+
+    // The recording backend additionally proves *what* the controller asked:
+    // both ends, with the default key hints.
+    let log = recorded
+        .backend()
+        .as_any()
+        .downcast_ref::<RecordingBackend>()
+        .unwrap()
+        .recorded()
+        .to_vec();
+    assert_eq!(log.len(), 2);
+    assert_eq!(
+        log[0].targets,
+        vec![QueryTarget::Source, QueryTarget::Destination]
+    );
+    assert!(log[0].keys.contains(&well_known::USER_ID.to_string()));
+    assert!(log[0].keys.contains(&well_known::REQUIREMENTS.to_string()));
+}

@@ -1,31 +1,41 @@
-//! End-to-end test over real TCP sockets: ident++ daemons served by tokio,
-//! queried by a controller-side client, with the responses fed into the PF+=2
-//! policy — the deployment-shaped path of the system.
+//! End-to-end test over real TCP sockets: the full `IdentxxController`
+//! decision cycle running on a `NetworkBackend` — ident++ daemons served by
+//! tokio, both flow ends queried **concurrently** over loopback sockets, the
+//! responses fed through the PF+=2 policy, and the state table / audit log
+//! updated — the deployment-shaped path of the system.
+
+use std::time::{Duration, Instant};
 
 use identxx::daemon::Daemon;
 use identxx::hostmodel::{Executable, Host};
 use identxx::net::{query_daemon, DaemonServer};
 use identxx::prelude::*;
 
-#[tokio::test]
-async fn controller_queries_both_ends_over_tcp_and_enforces_policy() {
-    // Source host: alice runs skype.
-    let mut src_daemon = Daemon::bare(Host::new("laptop", Ipv4Addr::new(10, 0, 0, 1)));
-    let flow = src_daemon.host_mut().open_connection(
-        "alice",
-        Executable::new("/usr/bin/skype", "skype", 210, "skype.com", "voip"),
-        40321,
-        Ipv4Addr::new(10, 0, 0, 2),
-        34000,
-    );
-    // Destination host: bob's machine also runs skype, listening.
-    let mut dst_daemon = Daemon::bare(Host::new("desktop", Ipv4Addr::new(10, 0, 0, 2)));
-    let pid = dst_daemon.host_mut().spawn(
-        "bob",
-        Executable::new("/usr/bin/skype", "skype", 210, "skype.com", "voip"),
-    );
-    dst_daemon.host_mut().listen(pid, IpProtocol::Tcp, 34000);
+fn skype(version: i64) -> Executable {
+    Executable::new("/usr/bin/skype", "skype", version, "skype.com", "voip")
+}
 
+/// The Fig. 2 skype policy: both ends must run skype.
+const PAIR_POLICY: &str =
+    "block all\npass all with eq(@src[name], skype) with eq(@dst[name], skype) keep state\n";
+
+/// Stages alice→bob skype daemons and returns them with the staged flow.
+fn staged_pair() -> (Daemon, Daemon, FiveTuple) {
+    let src_ip = Ipv4Addr::new(10, 0, 0, 1);
+    let dst_ip = Ipv4Addr::new(10, 0, 0, 2);
+    let mut src_daemon = Daemon::bare(Host::new("laptop", src_ip));
+    let flow = src_daemon
+        .host_mut()
+        .open_connection("alice", skype(210), 40321, dst_ip, 34000);
+    let mut dst_daemon = Daemon::bare(Host::new("desktop", dst_ip));
+    let pid = dst_daemon.host_mut().spawn("bob", skype(210));
+    dst_daemon.host_mut().listen(pid, IpProtocol::Tcp, 34000);
+    (src_daemon, dst_daemon, flow)
+}
+
+#[tokio::test]
+async fn controller_decides_flows_over_tcp_backend() {
+    let (src_daemon, dst_daemon, flow) = staged_pair();
     let src_server = DaemonServer::start(src_daemon, "127.0.0.1:0".parse().unwrap())
         .await
         .unwrap();
@@ -33,40 +43,187 @@ async fn controller_queries_both_ends_over_tcp_and_enforces_policy() {
         .await
         .unwrap();
 
-    // The controller queries both ends (over real sockets).
-    let src_resp = query_daemon(src_server.local_addr(), Query::for_all_well_known(flow))
-        .await
+    let backend = NetworkBackend::new()
+        .with_budget(Duration::from_secs(2))
+        .with_endpoint(flow.src_ip, src_server.local_addr())
+        .with_endpoint(flow.dst_ip, dst_server.local_addr());
+    let config = ControllerConfig::new().with_control_file("00.control", PAIR_POLICY);
+    let mut controller = IdentxxController::new(config)
         .unwrap()
-        .expect("source daemon answers");
-    let dst_resp = query_daemon(dst_server.local_addr(), Query::for_all_well_known(flow))
-        .await
-        .unwrap()
-        .expect("destination daemon answers");
-    assert_eq!(src_resp.latest(well_known::USER_ID), Some("alice"));
-    assert_eq!(dst_resp.latest(well_known::USER_ID), Some("bob"));
+        .with_backend(Box::new(backend));
 
-    // The Fig. 2 skype rule evaluated over the live responses.
-    let policy = parse_ruleset(
-        "block all\npass all with eq(@src[name], skype) with eq(@dst[name], skype)\n",
-    )
-    .unwrap();
-    let verdict = EvalContext::new(&policy)
-        .with_responses(&src_resp, &dst_resp)
-        .evaluate(&flow);
-    assert_eq!(verdict.decision, Decision::Pass);
+    // The full decision cycle: two concurrent queries over real sockets,
+    // policy evaluation, state-table insert, audit record.
+    let decision = controller.decide(&flow, 0);
+    assert!(decision.is_pass(), "skype↔skype must pass");
+    assert_eq!(decision.queries_issued, 2);
+    assert!(!decision.from_cache);
+    assert_eq!(
+        decision
+            .src_response
+            .as_ref()
+            .unwrap()
+            .latest(well_known::USER_ID),
+        Some("alice")
+    );
+    assert_eq!(
+        decision
+            .dst_response
+            .as_ref()
+            .unwrap()
+            .latest(well_known::USER_ID),
+        Some("bob")
+    );
+    assert_eq!(src_server.queries_served(), 1);
+    assert_eq!(dst_server.queries_served(), 1);
 
-    // A flow toward a port nobody listens on yields no application identity on
-    // the destination side, so the same policy blocks it.
+    // The repeat decision is served from the controller's state table: no
+    // traffic reaches either daemon.
+    let cached = controller.decide(&flow, 10);
+    assert!(cached.from_cache);
+    assert_eq!(cached.queries_issued, 0);
+    assert_eq!(src_server.queries_served(), 1);
+    assert_eq!(dst_server.queries_served(), 1);
+
+    // A flow toward a port nobody listens on yields no application identity
+    // on the destination side, so the pair policy blocks it — over the same
+    // pooled connections.
     let other_flow = FiveTuple::tcp([10, 0, 0, 1], 40999, [10, 0, 0, 2], 9999);
-    let other_dst = query_daemon(dst_server.local_addr(), Query::new(other_flow))
+    let blocked = controller.decide(&other_flow, 20);
+    assert!(!blocked.is_pass());
+    assert_eq!(blocked.queries_issued, 2);
+
+    let stats = controller.backend_stats();
+    assert_eq!(stats.queries_sent, 4);
+    assert_eq!(stats.responses_received, 4);
+    assert_eq!(stats.timeouts, 0);
+    assert_eq!(controller.audit().len(), 3);
+
+    src_server.shutdown();
+    dst_server.shutdown();
+}
+
+#[tokio::test]
+async fn silent_and_unreachable_daemons_fail_closed_over_tcp() {
+    let (src_daemon, mut dst_daemon, flow) = staged_pair();
+    dst_daemon.set_silent(true);
+    let src_server = DaemonServer::start(src_daemon, "127.0.0.1:0".parse().unwrap())
         .await
+        .unwrap();
+    let dst_server = DaemonServer::start(dst_daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+
+    let backend = NetworkBackend::new()
+        .with_budget(Duration::from_millis(500))
+        .with_endpoint(flow.src_ip, src_server.local_addr())
+        .with_endpoint(flow.dst_ip, dst_server.local_addr());
+    let config = ControllerConfig::new().with_control_file("00.control", PAIR_POLICY);
+    let mut controller = IdentxxController::new(config)
         .unwrap()
-        .expect("daemon answers with host facts");
-    assert_eq!(other_dst.latest(well_known::APP_NAME), None);
-    let verdict = EvalContext::new(&policy)
-        .with_responses(&src_resp, &other_dst)
-        .evaluate(&other_flow);
-    assert_eq!(verdict.decision, Decision::Block);
+        .with_backend(Box::new(backend));
+
+    // Silent destination: both queries count, one goes unanswered, and the
+    // default-deny policy fails closed.
+    let decision = controller.decide(&flow, 0);
+    assert!(!decision.is_pass());
+    assert_eq!(decision.queries_issued, 2);
+    assert!(decision.src_response.is_some());
+    assert!(decision.dst_response.is_none());
+    let stats = controller.backend_stats();
+    assert_eq!(stats.queries_sent, 2);
+    assert_eq!(stats.responses_received, 1);
+    assert_eq!(stats.timeouts, 1);
+
+    // A host with no registered endpoint at all behaves the same way.
+    let stranger = FiveTuple::tcp([192, 168, 99, 99], 1234, [10, 0, 0, 1], 34000);
+    let decision = controller.decide(&stranger, 10);
+    assert!(!decision.is_pass());
+    assert_eq!(decision.queries_issued, 2);
+    assert!(decision.src_response.is_none());
+
+    src_server.shutdown();
+    dst_server.shutdown();
+}
+
+#[tokio::test]
+async fn dual_end_queries_cost_max_not_sum() {
+    let (mut src_daemon, mut dst_daemon, flow) = staged_pair();
+    // 150 ms of artificial latency on *each* end: issued serially the two
+    // round trips cost ≥ 300 ms; issued concurrently they cost ≈ 150 ms.
+    const DELAY: Duration = Duration::from_millis(150);
+    src_daemon.set_response_delay_micros(DELAY.as_micros() as u64);
+    dst_daemon.set_response_delay_micros(DELAY.as_micros() as u64);
+    let src_server = DaemonServer::start(src_daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+    let dst_server = DaemonServer::start(dst_daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+
+    let backend = NetworkBackend::new()
+        .with_budget(Duration::from_secs(2))
+        .with_endpoint(flow.src_ip, src_server.local_addr())
+        .with_endpoint(flow.dst_ip, dst_server.local_addr());
+    let config = ControllerConfig::new().with_control_file("00.control", PAIR_POLICY);
+    let mut controller = IdentxxController::new(config)
+        .unwrap()
+        .with_backend(Box::new(backend));
+
+    let started = Instant::now();
+    let decision = controller.decide(&flow, 0);
+    let elapsed = started.elapsed();
+    assert!(decision.is_pass());
+    assert_eq!(decision.queries_issued, 2);
+    assert!(
+        elapsed >= DELAY,
+        "a decision cannot be faster than one round trip ({elapsed:?})"
+    );
+    assert!(
+        elapsed < DELAY * 2,
+        "dual-end latency must be ≈ max, not sum, of the round trips \
+         (elapsed {elapsed:?} vs 2×{DELAY:?})"
+    );
+
+    src_server.shutdown();
+    dst_server.shutdown();
+}
+
+#[tokio::test]
+async fn shared_timeout_budget_bounds_the_whole_decision() {
+    let (mut src_daemon, mut dst_daemon, flow) = staged_pair();
+    // Both daemons stall far past the budget: the decision must come back
+    // within ≈ one budget (both ends time out concurrently), not two.
+    src_daemon.set_response_delay_micros(2_000_000);
+    dst_daemon.set_response_delay_micros(2_000_000);
+    let src_server = DaemonServer::start(src_daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+    let dst_server = DaemonServer::start(dst_daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+
+    const BUDGET: Duration = Duration::from_millis(200);
+    let backend = NetworkBackend::new()
+        .with_budget(BUDGET)
+        .with_endpoint(flow.src_ip, src_server.local_addr())
+        .with_endpoint(flow.dst_ip, dst_server.local_addr());
+    let config = ControllerConfig::new().with_control_file("00.control", PAIR_POLICY);
+    let mut controller = IdentxxController::new(config)
+        .unwrap()
+        .with_backend(Box::new(backend));
+
+    let started = Instant::now();
+    let decision = controller.decide(&flow, 0);
+    let elapsed = started.elapsed();
+    assert!(!decision.is_pass(), "no answers in budget → fail closed");
+    assert!(decision.src_response.is_none());
+    assert!(decision.dst_response.is_none());
+    assert_eq!(controller.backend_stats().timeouts, 2);
+    assert!(
+        elapsed < BUDGET * 2,
+        "the budget is shared, not per-end (elapsed {elapsed:?})"
+    );
 
     src_server.shutdown();
     dst_server.shutdown();
@@ -100,5 +257,6 @@ async fn concurrent_queries_are_served() {
         assert_eq!(response.latest(well_known::APP_NAME), Some("httpd"));
         assert_eq!(response.latest(well_known::USER_ID), Some("www"));
     }
+    assert_eq!(server.queries_served(), 16);
     server.shutdown();
 }
