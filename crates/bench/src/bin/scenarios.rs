@@ -1,19 +1,47 @@
-//! Prints the experiment scenario tables (E1, E6, E7, E8a, E8b) that used to
-//! be side effects of `cargo bench`.
+//! Prints the experiment scenario tables (E1, E6, E7, E8a, E8b, E9) that
+//! used to be side effects of `cargo bench`.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p identxx-bench --bin scenarios            # all tables
 //! cargo run --release -p identxx-bench --bin scenarios e6 e8a    # a subset
+//! IDENTXX_SHARDS=4 cargo run --release -p identxx-bench --bin scenarios e9
 //! ```
+//!
+//! `IDENTXX_SHARDS=N` focuses the E9 sharding sweep on shard counts {1, N}
+//! (CI's second smoke configuration); without it E9 sweeps 1/2/4/8. Every
+//! E9 cell asserts its decision stream is identical to the
+//! single-controller path, so the smoke run fails if sharding ever changes
+//! a decision.
 
 use identxx_bench::scenarios;
+
+/// Flows per E9 sweep cell. Modest on purpose: the slowest cell decides one
+/// flow per ~3 ms daemon round trip (≈ 2.3 s for the batch-1 single-shard
+/// cell), and the table has up to 12 cells.
+const E9_SMOKE_FLOWS: usize = 768;
+
+fn e9_shard_counts() -> Vec<usize> {
+    match std::env::var("IDENTXX_SHARDS") {
+        Ok(value) => {
+            let shards: usize = value.parse().ok().filter(|n| *n >= 1).unwrap_or_else(|| {
+                panic!("IDENTXX_SHARDS must be a positive integer, got {value:?}")
+            });
+            if shards == 1 {
+                vec![1]
+            } else {
+                vec![1, shards]
+            }
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["e1", "e6", "e7", "e8a", "e8b"]
+        vec!["e1", "e6", "e7", "e8a", "e8b", "e9"]
     } else {
         args.iter().map(String::as_str).collect()
     };
@@ -24,8 +52,11 @@ fn main() {
             "e7" => scenarios::print_e7(),
             "e8a" => scenarios::print_e8a(),
             "e8b" => scenarios::print_e8b(),
+            "e9" => scenarios::print_e9(&e9_shard_counts(), E9_SMOKE_FLOWS),
             other => {
-                eprintln!("unknown experiment {other:?}; expected e1, e6, e7, e8a, e8b, or all");
+                eprintln!(
+                    "unknown experiment {other:?}; expected e1, e6, e7, e8a, e8b, e9, or all"
+                );
                 std::process::exit(2);
             }
         }

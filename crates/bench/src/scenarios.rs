@@ -9,13 +9,18 @@
 //!   scenarios [e1|e6|e7|e8a|e8b|all]`) prints the tables,
 //! * the benches reuse the same fixtures for pure measurement.
 
+use std::net::SocketAddr;
+use std::time::Instant;
+
 use identxx_baselines::common::IntentScore;
 use identxx_baselines::{
     DistributedFirewall, EthaneController, EthanePolicy, FlowClassifier, VanillaFirewall,
 };
-use identxx_controller::ControllerConfig;
+use identxx_controller::{ControllerConfig, NetworkBackend, ShardedController};
 use identxx_core::{firefox_app, EnterpriseNetwork};
-use identxx_hostmodel::Executable;
+use identxx_daemon::Daemon;
+use identxx_hostmodel::{Executable, Host};
+use identxx_net::DaemonServer;
 use identxx_netsim::workload::{WorkloadConfig, WorkloadGenerator};
 use identxx_pf::{parse_ruleset, CacheGranularity, CompiledPolicy, Decision, EvalContext};
 use identxx_proto::{FiveTuple, Ipv4Addr, Response, Section};
@@ -479,6 +484,156 @@ pub fn print_e8b() {
             queries,
             queries as f64 / flows as f64
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E9: sharded controller, batched query rounds
+// ---------------------------------------------------------------------------
+
+/// Hosts in the E9 enterprise: small enough that one batched round reaches
+/// most daemons (exercising the per-host coalescing), large enough that the
+/// host-pair router spreads work over 8 shards.
+const E9_HOSTS: u8 = 16;
+
+/// Artificial per-round-trip daemon processing delay (microseconds). The
+/// sweep is deliberately **latency-bound**: a controller tier's time goes to
+/// waiting on end-hosts, and the overlap that batching (one round trip per
+/// host per round) and sharding (independent decision loops) buy is exactly
+/// what the sweep should surface. A CPU-bound variant would measure the
+/// container's core count instead.
+const E9_DAEMON_DELAY_MICROS: u64 = 3_000;
+
+fn e9_hosts() -> Vec<Ipv4Addr> {
+    (1..=E9_HOSTS).map(|i| Ipv4Addr::new(10, 0, 0, i)).collect()
+}
+
+/// The E9 workload: `flow_count` enterprise flows over the E9 hosts, at
+/// locality 0 (uniform host pairs). A hot host pair is pinned to one shard
+/// by design — the router *must* colocate everything that can share a cache
+/// entry — so a skewed workload measures the skew, not the tier; E8b is the
+/// locality experiment.
+pub fn sharding_workload(flow_count: usize, seed: u64) -> Vec<FiveTuple> {
+    let mut config = WorkloadConfig::enterprise(e9_hosts(), flow_count, seed);
+    config.locality = 0.0;
+    WorkloadGenerator::new(config)
+        .generate()
+        .into_iter()
+        .map(|flow| flow.five_tuple)
+        .collect()
+}
+
+/// Starts one real TCP daemon per E9 host. Odd-numbered hosts forge a
+/// firefox identity (their flows pass the allow-known-apps policy), even
+/// ones forge an unknown application (blocked) — so the sweep's decision
+/// stream is a genuine pass/block mix and the decision-identity assertion
+/// in [`print_e9`] has teeth. Every daemon charges `delay_micros` of
+/// processing per round trip.
+pub fn start_e9_daemons(delay_micros: u64) -> Vec<(Ipv4Addr, DaemonServer)> {
+    e9_hosts()
+        .into_iter()
+        .map(|addr| {
+            let mut daemon = Daemon::bare(Host::new(format!("h{addr}"), addr));
+            let app = if addr.0 % 2 == 1 {
+                "firefox"
+            } else {
+                "unknownd"
+            };
+            daemon.set_forged_response(Some(vec![
+                ("name".to_string(), app.to_string()),
+                ("userID".to_string(), "alice".to_string()),
+            ]));
+            daemon.set_response_delay_micros(delay_micros);
+            // The vendored runtime's `block_on` drives the (brief) async
+            // bind; with real tokio this becomes `Runtime::block_on`.
+            let server = tokio::runtime::block_on(DaemonServer::start(
+                daemon,
+                "127.0.0.1:0".parse().unwrap(),
+            ))
+            .expect("bind loopback daemon");
+            (addr, server)
+        })
+        .collect()
+}
+
+/// Builds the sweep's controller tier: `shards` shards over the
+/// allow-known-apps policy with host-pair+service-port cache keys, each
+/// shard owning its own [`NetworkBackend`] (and thus its own connection
+/// pool) over the same daemon endpoints.
+pub fn sharded_controller_over(
+    endpoints: &[(Ipv4Addr, SocketAddr)],
+    shards: usize,
+) -> ShardedController {
+    let config = ControllerConfig::new()
+        .with_control_file("00.control", ALLOW_KNOWN_APPS_POLICY)
+        .with_cache_granularity(CacheGranularity::HostPairDstPort);
+    ShardedController::new(config, shards)
+        .expect("compile E9 policy")
+        .with_backends(|_| {
+            let mut backend = NetworkBackend::new();
+            for (addr, endpoint) in endpoints {
+                backend.register_endpoint(*addr, *endpoint);
+            }
+            Box::new(backend)
+        })
+}
+
+/// Runs one sweep cell — `flows` decided in rounds of `batch` over
+/// `shards` — returning (decisions/sec, queries/flow, decision stream).
+pub fn run_sharding_cell(
+    endpoints: &[(Ipv4Addr, SocketAddr)],
+    shards: usize,
+    batch: usize,
+    flows: &[FiveTuple],
+) -> (f64, f64, Vec<Decision>) {
+    let mut controller = sharded_controller_over(endpoints, shards);
+    let started = Instant::now();
+    let decisions = controller.decide_stream(flows, batch, 0);
+    let elapsed = started.elapsed().as_secs_f64();
+    let decisions_per_sec = flows.len() as f64 / elapsed;
+    let queries_per_flow = controller.total_queries() as f64 / flows.len() as f64;
+    (
+        decisions_per_sec,
+        queries_per_flow,
+        decisions.iter().map(|d| d.verdict.decision).collect(),
+    )
+}
+
+/// Prints the E9 table: decisions/sec and queries/flow for shards ×
+/// batch-size over real loopback TCP daemons, asserting along the way that
+/// every sharded/batched configuration reproduces the single-controller
+/// decision stream exactly.
+pub fn print_e9(shard_counts: &[usize], flow_count: usize) {
+    let flows = sharding_workload(flow_count, 11);
+    let servers = start_e9_daemons(E9_DAEMON_DELAY_MICROS);
+    let endpoints: Vec<(Ipv4Addr, SocketAddr)> = servers
+        .iter()
+        .map(|(addr, server)| (*addr, server.local_addr()))
+        .collect();
+
+    // The reference stream: one unsharded controller, one flow per round —
+    // the exact pre-sharding decision path.
+    let (_, _, baseline) = run_sharding_cell(&endpoints, 1, 1, &flows);
+
+    println!(
+        "\n# E9: sharded controller over TCP ({flow_count} flows, {E9_HOSTS} hosts, {E9_DAEMON_DELAY_MICROS} us/daemon round trip)"
+    );
+    println!(
+        "{:>8} {:>8} {:>16} {:>14}",
+        "shards", "batch", "decisions/sec", "queries/flow"
+    );
+    for &shards in shard_counts {
+        for &batch in &[1usize, 8, 32] {
+            let (dps, qpf, decisions) = run_sharding_cell(&endpoints, shards, batch, &flows);
+            assert_eq!(
+                decisions, baseline,
+                "sharded ({shards}x batch {batch}) decisions diverge from the single-controller path"
+            );
+            println!("{shards:>8} {batch:>8} {dps:>16.0} {qpf:>14.2}");
+        }
+    }
+    for (_, server) in servers {
+        server.shutdown();
     }
 }
 

@@ -30,6 +30,15 @@
 //! decide. Every requested target counts as one query sent; each `None`
 //! counts as unanswered. Backends never interpret responses: interception,
 //! augmentation, and policy evaluation stay controller-side.
+//!
+//! [`QueryBackend::query_flows`] extends the same contract to a batch of
+//! flows (one [`FlowRequest`] each) resolved in a single query round. The
+//! per-request semantics are identical to calling `query_flow` once per
+//! request — the default implementation does exactly that — but a transport
+//! may reorganize the round: [`NetworkBackend`] coalesces every query bound
+//! for the same host into one `QUERY-BATCH` frame on that host's pooled
+//! connection, so a round of B flows costs one round trip per involved
+//! host instead of up to 2·B connections. See DESIGN.md §6.
 
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -88,6 +97,18 @@ impl FlowResponses {
     }
 }
 
+/// One flow's slice of a batched query round: which flow, which of its ends,
+/// and the advisory key hints to send.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRequest<'a> {
+    /// The flow to resolve.
+    pub flow: FiveTuple,
+    /// The ends of the flow to query.
+    pub targets: &'a [QueryTarget],
+    /// The advisory key hints (§3.2).
+    pub keys: &'a [&'a str],
+}
+
 /// A transport that resolves ident++ queries for both ends of a flow.
 pub trait QueryBackend: Send {
     /// Resolves the requested `targets` of `flow` in one call, with `keys`
@@ -100,6 +121,24 @@ pub trait QueryBackend: Send {
         targets: &[QueryTarget],
         keys: &[&str],
     ) -> FlowResponses;
+
+    /// Resolves a whole batch of flows in one query round, returning one
+    /// [`FlowResponses`] per request, in request order.
+    ///
+    /// The default implementation loops over [`QueryBackend::query_flow`],
+    /// which is exactly right for in-process and scripted backends: batching
+    /// is a *transport* optimization, and per-request semantics (counting,
+    /// missing-information handling) must not change with the round size.
+    /// [`NetworkBackend`] overrides this to coalesce every query bound for
+    /// the same host into one multi-query frame on that host's pooled
+    /// connection — a round costs one round trip per involved *host*, not
+    /// one connection (or thread) per flow end.
+    fn query_flows(&mut self, requests: &[FlowRequest<'_>]) -> Vec<FlowResponses> {
+        requests
+            .iter()
+            .map(|r| self.query_flow(&r.flow, r.targets, r.keys))
+            .collect()
+    }
 
     /// Transport counters accumulated since construction.
     fn stats(&self) -> BackendStats;
@@ -259,21 +298,26 @@ impl NetworkBackend {
         self.endpoints.get(&host).copied()
     }
 
-    /// Queries one end on its pooled client, creating the client on first
-    /// use. `None` covers every no-information case: unknown host, refused
-    /// connection, timeout, silent daemon.
-    fn query_one(
-        clients: &mut BTreeMap<Ipv4Addr, QueryClient>,
-        endpoints: &BTreeMap<Ipv4Addr, SocketAddr>,
-        addr: Ipv4Addr,
-        query: Query,
+    /// Runs one host's share of a query round on its pooled client. A single
+    /// query goes out as a plain `QUERY` frame (wire-identical to the
+    /// historical singleton path); several go out as one `QUERY-BATCH` frame
+    /// per [`identxx_proto::wire::MAX_BATCH`] chunk. `None` slots cover
+    /// every no-information case: refused connection, timeout, silent
+    /// daemon, flows the daemon knows nothing about. The batch client keeps
+    /// earlier chunks' answers when a later chunk's transport fails, so the
+    /// error fallback here only fires on a protocol-violating peer.
+    fn batch_on_client(
+        client: &mut QueryClient,
+        queries: &[Query],
         deadline: Instant,
-    ) -> Option<Response> {
-        let endpoint = endpoints.get(&addr)?;
-        let client = clients
-            .entry(addr)
-            .or_insert_with(|| QueryClient::new(*endpoint));
-        client.query_deadline(&query, deadline).ok().flatten()
+    ) -> Vec<Option<Response>> {
+        match queries {
+            [] => Vec::new(),
+            [one] => vec![client.query_deadline(one, deadline).ok().flatten()],
+            many => client
+                .query_batch_deadline(many, deadline)
+                .unwrap_or_else(|_| vec![None; many.len()]),
+        }
     }
 }
 
@@ -290,71 +334,122 @@ impl QueryBackend for NetworkBackend {
         targets: &[QueryTarget],
         keys: &[&str],
     ) -> FlowResponses {
+        // The singleton path is the one-request batch: per-host grouping
+        // still queries the two ends of a flow concurrently, each as a plain
+        // `QUERY` frame on its own pooled connection.
+        self.query_flows(&[FlowRequest {
+            flow: *flow,
+            targets,
+            keys,
+        }])
+        .pop()
+        .unwrap_or_default()
+    }
+
+    fn query_flows(&mut self, requests: &[FlowRequest<'_>]) -> Vec<FlowResponses> {
         let deadline = Instant::now() + self.budget;
-        let mut query = Query::new(*flow);
-        for k in keys {
-            query = query.with_key(k);
-        }
+        let mut responses: Vec<FlowResponses> = requests
+            .iter()
+            .map(|r| FlowResponses {
+                queries_issued: r.targets.len() as u32,
+                ..FlowResponses::default()
+            })
+            .collect();
+        self.stats.queries_sent += requests.iter().map(|r| r.targets.len() as u64).sum::<u64>();
 
-        let mut responses = FlowResponses {
-            queries_issued: targets.len() as u32,
-            ..FlowResponses::default()
-        };
-        self.stats.queries_sent += targets.len() as u64;
-
-        if let [first, rest @ ..] = targets {
-            // Each concurrent query needs exclusive use of its host's pooled
-            // client; lift the extra targets' clients out of the map, run
-            // them on scoped threads, and run the first target inline.
-            let extra: Vec<(QueryTarget, Ipv4Addr, QueryClient)> = rest
-                .iter()
-                .filter_map(|&target| {
-                    let addr = target_addr(flow, target);
-                    let endpoint = self.endpoints.get(&addr)?;
-                    let client = self
-                        .clients
-                        .remove(&addr)
-                        .unwrap_or_else(|| QueryClient::new(*endpoint));
-                    Some((target, addr, client))
-                })
-                .collect();
-
-            let extra_results = std::thread::scope(|scope| {
-                let handles: Vec<_> = extra
-                    .into_iter()
-                    .map(|(target, addr, mut client)| {
-                        let query = query.clone();
-                        scope.spawn(move || {
-                            let response = client.query_deadline(&query, deadline).ok().flatten();
-                            (target, addr, client, response)
-                        })
-                    })
-                    .collect();
-                // While the other ends are in flight, query the first end on
-                // this thread — the dual-end case costs max, not sum.
-                let first_response = Self::query_one(
-                    &mut self.clients,
-                    &self.endpoints,
-                    target_addr(flow, *first),
-                    query.clone(),
-                    deadline,
-                );
-                responses.set(*first, first_response);
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("query thread panicked"))
-                    .collect::<Vec<_>>()
-            });
-            for (target, addr, client, response) in extra_results {
-                self.clients.insert(addr, client);
-                responses.set(target, response);
+        // Group every (request, target) pair by the host whose daemon must
+        // answer it; the round costs one round trip per host in this map,
+        // not one thread per flow end (the historical fan-out shape).
+        let mut per_host: BTreeMap<Ipv4Addr, Vec<(usize, QueryTarget)>> = BTreeMap::new();
+        for (i, request) in requests.iter().enumerate() {
+            for &target in request.targets {
+                per_host
+                    .entry(target_addr(&request.flow, target))
+                    .or_default()
+                    .push((i, target));
             }
         }
 
-        for &target in targets {
-            match responses.get(target) {
-                Some(_) => self.stats.responses_received += 1,
-                None => self.stats.timeouts += 1,
+        // One host's share of the round: its pooled client and the queries
+        // (one per requested flow end) to send it in a single frame.
+        struct HostShare {
+            addr: Ipv4Addr,
+            client: QueryClient,
+            entries: Vec<(usize, QueryTarget)>,
+            queries: Vec<Query>,
+        }
+
+        // Lift each involved host's pooled client out of the map (created on
+        // first use). Hosts with no registered endpoint have no transport at
+        // all; their slots stay `None`.
+        let mut work: Vec<HostShare> = Vec::new();
+        for (addr, entries) in per_host {
+            let Some(endpoint) = self.endpoints.get(&addr) else {
+                continue;
+            };
+            let client = self
+                .clients
+                .remove(&addr)
+                .unwrap_or_else(|| QueryClient::new(*endpoint));
+            let queries: Vec<Query> = entries
+                .iter()
+                .map(|&(i, _)| {
+                    let mut query = Query::new(requests[i].flow);
+                    for k in requests[i].keys {
+                        query = query.with_key(k);
+                    }
+                    query
+                })
+                .collect();
+            work.push(HostShare {
+                addr,
+                client,
+                entries,
+                queries,
+            });
+        }
+
+        // One scoped thread per *extra* host, the first host inline on this
+        // thread: every host's share of the round runs concurrently under
+        // the one shared deadline, so the round costs ≈ the slowest host.
+        let results = std::thread::scope(|scope| {
+            let mut work = work.into_iter();
+            let first = work.next();
+            let handles: Vec<_> = work
+                .map(|mut share| {
+                    scope.spawn(move || {
+                        let answers =
+                            Self::batch_on_client(&mut share.client, &share.queries, deadline);
+                        (share, answers)
+                    })
+                })
+                .collect();
+            let mut results = Vec::with_capacity(handles.len() + 1);
+            if let Some(mut share) = first {
+                let answers = Self::batch_on_client(&mut share.client, &share.queries, deadline);
+                results.push((share, answers));
+            }
+            results.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("query thread panicked")),
+            );
+            results
+        });
+
+        for (share, answers) in results {
+            self.clients.insert(share.addr, share.client);
+            for ((i, target), answer) in share.entries.into_iter().zip(answers) {
+                responses[i].set(target, answer);
+            }
+        }
+
+        for (i, request) in requests.iter().enumerate() {
+            for &target in request.targets {
+                match responses[i].get(target) {
+                    Some(_) => self.stats.responses_received += 1,
+                    None => self.stats.timeouts += 1,
+                }
             }
         }
         responses
@@ -593,6 +688,41 @@ mod tests {
         let responses = backend.query_flow(&other, &[QueryTarget::Source], &[]);
         assert!(responses.src.is_none());
         assert_eq!(backend.recorded().len(), 2);
+    }
+
+    #[test]
+    fn default_query_flows_matches_sequential_query_flow() {
+        let (directory, flow) = staged_directory();
+        let mut batched = InProcessBackend::with_directory(directory);
+        let (directory, _) = staged_directory();
+        let mut sequential = InProcessBackend::with_directory(directory);
+
+        let stranger = FiveTuple::tcp([192, 168, 9, 9], 1, [10, 0, 0, 2], 80);
+        let requests = [
+            FlowRequest {
+                flow,
+                targets: BOTH_ENDS,
+                keys: &[well_known::USER_ID],
+            },
+            FlowRequest {
+                flow: stranger,
+                targets: &[QueryTarget::Source],
+                keys: &[],
+            },
+        ];
+        let batch = batched.query_flows(&requests);
+        let singles: Vec<FlowResponses> = requests
+            .iter()
+            .map(|r| sequential.query_flow(&r.flow, r.targets, r.keys))
+            .collect();
+        assert_eq!(batch.len(), singles.len());
+        for (b, s) in batch.iter().zip(&singles) {
+            assert_eq!(b.queries_issued, s.queries_issued);
+            assert_eq!(b.src.is_some(), s.src.is_some());
+            assert_eq!(b.dst.is_some(), s.dst.is_some());
+        }
+        assert_eq!(batched.stats(), sequential.stats());
+        assert_eq!(batched.stats().queries_sent, 3);
     }
 
     #[test]

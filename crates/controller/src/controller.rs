@@ -110,8 +110,14 @@ impl IdentxxController {
     /// [`crate::backend::NetworkBackend`] to query real daemons over TCP, or
     /// a [`crate::backend::RecordingBackend`] in tests.
     pub fn with_backend(mut self, backend: Box<dyn QueryBackend>) -> Self {
-        self.backend = backend;
+        self.set_backend(backend);
         self
+    }
+
+    /// Replaces the query backend in place (what
+    /// [`crate::ShardedController::with_backends`] uses to equip each shard).
+    pub fn set_backend(&mut self, backend: Box<dyn QueryBackend>) {
+        self.backend = backend;
     }
 
     /// The query backend.
@@ -331,96 +337,210 @@ impl IdentxxController {
     /// generation.
     pub fn decide(&mut self, flow: &FiveTuple, now: u64) -> FlowDecision {
         if self.compromised {
-            // §5.1: "If the controller is compromised, an attacker can disable
-            // all protection in the network."
-            let verdict = Verdict {
-                decision: Decision::Pass,
-                matched_rule: None,
-                matched_line: None,
-                keep_state: false,
-                quick: false,
-                rules_evaluated: 0,
-            };
-            let flow_mods = self.mods_for(flow, Decision::Pass);
-            return FlowDecision {
-                flow: *flow,
-                verdict,
-                src_response: None,
-                dst_response: None,
-                from_cache: false,
-                queries_issued: 0,
-                flow_mods,
-            };
+            return self.compromised_decision(flow);
         }
-
-        // 1. The controller-side rule cache (state table).
-        if self.config.use_state_table {
-            if let Some(entry) = self.state.lookup(flow, now) {
-                let verdict = Verdict {
-                    decision: entry.decision,
-                    matched_rule: None,
-                    matched_line: None,
-                    keep_state: true,
-                    quick: false,
-                    rules_evaluated: 0,
-                };
-                let flow_mods = self.mods_for(flow, entry.decision);
-                self.audit.push(AuditRecord {
-                    time: now,
-                    flow: *flow,
-                    decision: entry.decision,
-                    matched_line: None,
-                    from_cache: true,
-                    src_user: None,
-                    src_app: None,
-                    dst_user: None,
-                    dst_app: None,
-                    rule_maker: None,
-                    queries_issued: 0,
-                });
-                return FlowDecision {
-                    flow: *flow,
-                    verdict,
-                    src_response: None,
-                    dst_response: None,
-                    from_cache: true,
-                    queries_issued: 0,
-                    flow_mods,
-                };
-            }
+        if let Some(cached) = self.cached_decision(flow, now) {
+            return cached;
         }
-
-        // 2. Resolve both ends in one backend call (interceptors answer
-        // first; an intercepted query is never forwarded, §3.4).
-        let mut src_response = self.intercepted_response(flow, QueryTarget::Source);
-        let mut dst_response = self.intercepted_response(flow, QueryTarget::Destination);
-        let mut targets = [QueryTarget::Source; 2];
-        let mut target_count = 0;
-        if src_response.is_none() {
-            targets[target_count] = QueryTarget::Source;
-            target_count += 1;
-        }
-        if dst_response.is_none() {
-            targets[target_count] = QueryTarget::Destination;
-            target_count += 1;
-        }
-        // Nothing to resolve when interceptors answered for both ends — the
-        // backend is not consulted at all (and a recording backend logs no
-        // spurious zero-target call).
+        // Resolve both ends in one backend call (interceptors answer first;
+        // an intercepted query is never forwarded, §3.4). Nothing reaches
+        // the backend when interceptors answered for both ends — so a
+        // recording backend logs no spurious zero-target call.
+        let (mut src_response, mut dst_response, targets, target_count) =
+            self.intercept_phase(flow);
         let queries_issued = if target_count > 0 {
             let queried =
                 self.backend
                     .query_flow(flow, &targets[..target_count], DEFAULT_QUERY_KEYS);
-            if src_response.is_none() {
-                src_response = queried.src;
-            }
-            if dst_response.is_none() {
-                dst_response = queried.dst;
-            }
+            src_response = src_response.or(queried.src);
+            dst_response = dst_response.or(queried.dst);
             queried.queries_issued
         } else {
             0
         };
+        self.finish_decision(flow, src_response, dst_response, queries_issued, now)
+    }
+
+    /// Runs the decision cycle for a whole batch of flows with **one**
+    /// backend query round ([`QueryBackend::query_flows`]) covering every
+    /// flow the cache and interceptors could not settle.
+    ///
+    /// Per-flow **decisions** match a sequential [`IdentxxController::decide`]
+    /// loop exactly — including flows within one batch that share a cache
+    /// key (a repeat, a reverse flow, a coarse-granularity alias): the
+    /// cache is re-checked as each queried flow is finished, so a state
+    /// entry written by an earlier flow of the batch serves the later one
+    /// just as it would sequentially. At batch size 1 the paths are
+    /// identical in every observable. The two batch-level differences are
+    /// accounting, not decisions: queries for intra-batch cache aliases
+    /// have already been sent by the time the alias hits (the backend
+    /// counts that speculative work; sequential deciding would have
+    /// skipped it), and a batch's phase-1 cache-hit audit records precede
+    /// the records of its queried flows.
+    pub fn decide_batch(&mut self, flows: &[FiveTuple], now: u64) -> Vec<FlowDecision> {
+        struct Pending {
+            index: usize,
+            flow: FiveTuple,
+            src: Option<Response>,
+            dst: Option<Response>,
+            targets: [QueryTarget; 2],
+            target_count: usize,
+        }
+
+        let mut decisions: Vec<Option<FlowDecision>> = (0..flows.len()).map(|_| None).collect();
+        let mut pending: Vec<Pending> = Vec::new();
+        for (index, flow) in flows.iter().enumerate() {
+            if self.compromised {
+                decisions[index] = Some(self.compromised_decision(flow));
+            } else if let Some(cached) = self.cached_decision(flow, now) {
+                decisions[index] = Some(cached);
+            } else {
+                let (src, dst, targets, target_count) = self.intercept_phase(flow);
+                if target_count == 0 {
+                    decisions[index] = Some(self.finish_decision(flow, src, dst, 0, now));
+                } else {
+                    pending.push(Pending {
+                        index,
+                        flow: *flow,
+                        src,
+                        dst,
+                        targets,
+                        target_count,
+                    });
+                }
+            }
+        }
+
+        if !pending.is_empty() {
+            let responses = {
+                let requests: Vec<crate::backend::FlowRequest<'_>> = pending
+                    .iter()
+                    .map(|p| crate::backend::FlowRequest {
+                        flow: p.flow,
+                        targets: &p.targets[..p.target_count],
+                        keys: DEFAULT_QUERY_KEYS,
+                    })
+                    .collect();
+                self.backend.query_flows(&requests)
+            };
+            for (p, queried) in pending.into_iter().zip(responses) {
+                // Re-check the cache: an earlier flow of this very batch may
+                // have inserted an entry this flow aliases (its repeat, its
+                // reverse, a coarse-key sibling). Sequential deciding would
+                // have served it from the cache, so the batch does too — the
+                // already-sent query is speculative work, not a different
+                // decision.
+                decisions[p.index] = Some(match self.cached_decision(&p.flow, now) {
+                    Some(cached) => cached,
+                    None => {
+                        let src = p.src.or(queried.src);
+                        let dst = p.dst.or(queried.dst);
+                        self.finish_decision(&p.flow, src, dst, queried.queries_issued, now)
+                    }
+                });
+            }
+        }
+
+        decisions
+            .into_iter()
+            .map(|d| d.expect("every flow in the batch is decided"))
+            .collect()
+    }
+
+    /// §5.1: "If the controller is compromised, an attacker can disable all
+    /// protection in the network." Every flow passes, nothing is audited.
+    fn compromised_decision(&mut self, flow: &FiveTuple) -> FlowDecision {
+        let verdict = Verdict {
+            decision: Decision::Pass,
+            matched_rule: None,
+            matched_line: None,
+            keep_state: false,
+            quick: false,
+            rules_evaluated: 0,
+        };
+        let flow_mods = self.mods_for(flow, Decision::Pass);
+        FlowDecision {
+            flow: *flow,
+            verdict,
+            src_response: None,
+            dst_response: None,
+            from_cache: false,
+            queries_issued: 0,
+            flow_mods,
+        }
+    }
+
+    /// The controller-side rule cache (state table): a hit is a complete
+    /// decision, audited as such, with no query round at all.
+    fn cached_decision(&mut self, flow: &FiveTuple, now: u64) -> Option<FlowDecision> {
+        if !self.config.use_state_table {
+            return None;
+        }
+        let entry = self.state.lookup(flow, now)?;
+        let verdict = Verdict {
+            decision: entry.decision,
+            matched_rule: None,
+            matched_line: None,
+            keep_state: true,
+            quick: false,
+            rules_evaluated: 0,
+        };
+        let flow_mods = self.mods_for(flow, entry.decision);
+        self.audit.push(AuditRecord {
+            time: now,
+            flow: *flow,
+            decision: entry.decision,
+            matched_line: None,
+            from_cache: true,
+            src_user: None,
+            src_app: None,
+            dst_user: None,
+            dst_app: None,
+            rule_maker: None,
+            queries_issued: 0,
+        });
+        Some(FlowDecision {
+            flow: *flow,
+            verdict,
+            src_response: None,
+            dst_response: None,
+            from_cache: true,
+            queries_issued: 0,
+            flow_mods,
+        })
+    }
+
+    /// Lets interceptors answer for each end and derives the list of ends
+    /// the backend still has to resolve.
+    fn intercept_phase(
+        &mut self,
+        flow: &FiveTuple,
+    ) -> (Option<Response>, Option<Response>, [QueryTarget; 2], usize) {
+        let src = self.intercepted_response(flow, QueryTarget::Source);
+        let dst = self.intercepted_response(flow, QueryTarget::Destination);
+        let mut targets = [QueryTarget::Source; 2];
+        let mut target_count = 0;
+        if src.is_none() {
+            targets[target_count] = QueryTarget::Source;
+            target_count += 1;
+        }
+        if dst.is_none() {
+            targets[target_count] = QueryTarget::Destination;
+            target_count += 1;
+        }
+        (src, dst, targets, target_count)
+    }
+
+    /// The post-query tail of a decision: augmentation, policy evaluation,
+    /// state-table insert, audit record, and flow-mod generation.
+    fn finish_decision(
+        &mut self,
+        flow: &FiveTuple,
+        mut src_response: Option<Response>,
+        mut dst_response: Option<Response>,
+        queries_issued: u32,
+        now: u64,
+    ) -> FlowDecision {
         // Augment whatever responses exist with sections from on-path
         // controllers.
         if let Some(r) = src_response.as_mut() {
@@ -430,10 +550,8 @@ impl IdentxxController {
             self.augment_response(flow, QueryTarget::Destination, r);
         }
 
-        // 3. Evaluate the policy.
         let verdict = self.evaluate_only(flow, src_response.as_ref(), dst_response.as_ref());
 
-        // 4. Cache, audit, and install.
         if self.config.use_state_table && verdict.keep_state {
             self.state.insert(flow, verdict.decision, now);
         }
@@ -830,6 +948,87 @@ mod tests {
         assert!(directive.forward_packet);
         assert!(!directive.flow_mods.is_empty());
         assert_eq!(OpenFlowController::name(&controller), "ident++");
+    }
+
+    #[test]
+    fn decide_batch_matches_sequential_decisions() {
+        let (mut batch_ctl, addrs) = skype_controller();
+        let (mut seq_ctl, _) = skype_controller();
+        let f1 = start_skype(&mut batch_ctl, addrs[3], addrs[4], 210);
+        let _ = start_skype(&mut seq_ctl, addrs[3], addrs[4], 210);
+        let f2 = start_skype(&mut batch_ctl, addrs[5], addrs[6], 150);
+        let _ = start_skype(&mut seq_ctl, addrs[5], addrs[6], 150);
+        let stranger = FiveTuple::tcp([192, 168, 9, 9], 1234, addrs[0], 80);
+        let flows = vec![f1, f2, stranger];
+
+        for now in [0u64, 10] {
+            let batch = batch_ctl.decide_batch(&flows, now);
+            let sequential: Vec<FlowDecision> =
+                flows.iter().map(|f| seq_ctl.decide(f, now)).collect();
+            for (b, s) in batch.iter().zip(&sequential) {
+                assert_eq!(b.verdict.decision, s.verdict.decision);
+                assert_eq!(b.verdict.matched_line, s.verdict.matched_line);
+                assert_eq!(b.from_cache, s.from_cache);
+                assert_eq!(b.queries_issued, s.queries_issued);
+                assert_eq!(b.flow_mods, s.flow_mods);
+            }
+            assert_eq!(batch_ctl.backend_stats(), seq_ctl.backend_stats());
+            assert_eq!(batch_ctl.audit().records(), seq_ctl.audit().records());
+        }
+        // The second round was served from the state table for the pass.
+        assert!(batch_ctl.audit().cache_hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn intra_batch_cache_aliases_match_sequential_decisions() {
+        // A flow and its reverse in the SAME batch: sequentially the reverse
+        // hits the state entry the forward flow just wrote (canonical keys
+        // cover both directions) and inherits Pass; the batch must reach the
+        // same decisions even though both flows were queried up front.
+        let scripted = || {
+            Box::new(
+                crate::backend::RecordingBackend::new()
+                    .with_answer(
+                        Ipv4Addr::new(10, 0, 0, 1),
+                        vec![("name".to_string(), "firefox".to_string())],
+                    )
+                    .with_answer(
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        vec![("name".to_string(), "unknownd".to_string())],
+                    ),
+            )
+        };
+        let config = || {
+            ControllerConfig::new().with_control_file(
+                "00.control",
+                "block all\npass all with eq(@src[name], firefox) keep state\n",
+            )
+        };
+        let mut batched = IdentxxController::new(config())
+            .unwrap()
+            .with_backend(scripted());
+        let mut sequential = IdentxxController::new(config())
+            .unwrap()
+            .with_backend(scripted());
+
+        let forward = FiveTuple::tcp([10, 0, 0, 1], 41_000, [10, 0, 0, 2], 80);
+        let flows = [forward, forward.reversed()];
+        let batch = batched.decide_batch(&flows, 0);
+        let seq: Vec<FlowDecision> = flows.iter().map(|f| sequential.decide(f, 0)).collect();
+        for (b, s) in batch.iter().zip(&seq) {
+            assert_eq!(b.verdict.decision, s.verdict.decision);
+            assert_eq!(b.from_cache, s.from_cache);
+        }
+        assert!(batch[0].is_pass() && !batch[0].from_cache);
+        assert!(
+            batch[1].is_pass() && batch[1].from_cache,
+            "the reverse flow must be served from the entry its forward \
+             flow wrote, exactly as sequential deciding would"
+        );
+        // The one documented divergence is accounting: the batch had already
+        // queried the reverse flow before the alias hit.
+        assert_eq!(sequential.backend_stats().queries_sent, 2);
+        assert_eq!(batched.backend_stats().queries_sent, 4);
     }
 
     #[test]

@@ -13,7 +13,14 @@
 //!   public keys, named group lists, defaults,
 //! * [`backend`] — the pluggable query plane ([`QueryBackend`]): in-process
 //!   daemons for the simulator, concurrent dual-end TCP queries for
-//!   deployments, a recording double for tests,
+//!   deployments, a recording double for tests — plus the batched
+//!   [`QueryBackend::query_flows`] round that resolves many flows at one
+//!   round trip per host (`QUERY-BATCH` frames on pooled connections),
+//! * [`shard`] — the horizontally scaled tier: [`ShardedController`] routes
+//!   flows over N independent controller shards with a consistent-hash
+//!   [`ShardRouter`] keyed on cache-granularity-normalized flow keys, and
+//!   merges per-shard stats (sums) and audit logs (time-ordered) for
+//!   operators — see `DESIGN.md` §6,
 //! * [`querier`] — the directory of in-process daemons behind
 //!   [`backend::InProcessBackend`],
 //! * [`intercept`] — interception and augmentation of queries/responses by
@@ -32,13 +39,16 @@ pub mod controller;
 pub mod install;
 pub mod intercept;
 pub mod querier;
+pub mod shard;
 
 pub use audit::{AuditLog, AuditRecord};
 pub use backend::{
-    BackendStats, FlowResponses, InProcessBackend, NetworkBackend, QueryBackend, RecordingBackend,
+    BackendStats, FlowRequest, FlowResponses, InProcessBackend, NetworkBackend, QueryBackend,
+    RecordingBackend,
 };
 pub use config::ControllerConfig;
 pub use controller::{FlowDecision, IdentxxController};
 pub use install::NetworkMap;
 pub use intercept::{Interceptor, QueryTarget, ResponseAugmenter};
 pub use querier::DaemonDirectory;
+pub use shard::{ShardRouter, ShardedController};

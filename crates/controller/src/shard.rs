@@ -1,0 +1,603 @@
+//! Horizontal sharding of the ident++ controller.
+//!
+//! One [`IdentxxController`] serializes every flow-setup decision through a
+//! single policy/state/audit pipeline. That is faithful to the paper's
+//! prototype, but an enterprise controller tier answering millions of users
+//! needs the property the paper's *delegation* argument rests on at network
+//! scale too: the decision plane must grow horizontally without the shards
+//! coordinating on the hot path. [`ShardedController`] provides exactly
+//! that —
+//!
+//! * a [`ShardRouter`]: a consistent-hash ring over
+//!   [`CacheGranularity`]-normalized, direction-independent flow keys, so a
+//!   flow and its reverse (and every flow that could share a state-table
+//!   entry with it) always land on the same shard;
+//! * N fully independent [`IdentxxController`] shards, each owning its own
+//!   compiled policy, `Box<dyn QueryBackend>`, state table, and audit log —
+//!   no lock is shared between shards, which is what lets
+//!   [`ShardedController::decide_stream`] run them on parallel threads;
+//! * merged read-side views: [`ShardedController::backend_stats`] *sums*
+//!   per-shard transport counters (each shard really sent its queries — the
+//!   merged view is total work, unlike a latency view where max would be
+//!   the right merge), and [`ShardedController::merged_audit`] interleaves
+//!   the per-shard audit logs by decision time.
+//!
+//! Shard-local state is an invariant, not an optimization: because the
+//! router key is at least as coarse as every state-table key, a cache entry
+//! written by one shard can never be consulted (hit *or* missed) by
+//! another, so a sharded controller reaches the same decisions as a single
+//! one — only audit interleaving and per-shard query counts differ. See
+//! DESIGN.md §6.
+
+use identxx_daemon::Daemon;
+use identxx_pf::{CacheGranularity, PfError};
+use identxx_proto::FiveTuple;
+
+use crate::audit::AuditRecord;
+use crate::backend::{BackendStats, QueryBackend};
+use crate::config::ControllerConfig;
+use crate::controller::{FlowDecision, IdentxxController};
+use crate::install::NetworkMap;
+
+/// Virtual nodes per shard on the consistent-hash ring. A shard's share of
+/// the hash space concentrates around 1/N with relative spread ∝ 1/√vnodes;
+/// 512 keeps the worst shard within a few percent of the mean (the shard
+/// tests assert balance), while the ring stays a few thousand `u64`s —
+/// routing is one binary search.
+const VNODES_PER_SHARD: usize = 512;
+
+/// 64-bit FNV-1a with a splitmix64 finalizer. Stability matters as much as
+/// quality: the router must hash identically across processes and releases
+/// (a resharded deployment re-keys deliberately, never accidentally), which
+/// rules out `std::collections::hash_map::RandomState`; and FNV alone
+/// clusters on short near-sequential inputs like (shard, vnode) pairs, which
+/// the finalizer's avalanche fixes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer.
+    hash ^= hash >> 30;
+    hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash ^= hash >> 27;
+    hash = hash.wrapping_mul(0x94d0_49bb_1331_11eb);
+    hash ^ (hash >> 31)
+}
+
+/// Consistent-hash router assigning flows to shards.
+///
+/// The routing key is derived from the flow with the shard-locality rule:
+/// **any two flows that could share a state-table entry under the
+/// configured [`CacheGranularity`] must produce the same routing key.**
+/// Concretely:
+///
+/// * [`CacheGranularity::ExactFiveTuple`] routes by the canonical
+///   (direction-independent) 5-tuple — the cache key itself.
+/// * [`CacheGranularity::HostPair`] and
+///   [`CacheGranularity::HostPairDstPort`] route by the unordered host pair
+///   plus protocol. The dst-port granularity cannot route finer: its
+///   primary key is direction-dependent and reverse traffic hits through an
+///   exact secondary key, so the finest key that is both
+///   direction-independent and alias-closed is the host pair.
+///
+/// Consistent hashing (a ring of 512 virtual points per shard) rather than
+/// `hash % n` so growing the shard tier remaps only the keys captured by
+/// the new shard's points (≈ 1/(n+1) of the space), instead of reshuffling
+/// almost everything — resharding invalidates that fraction of shard-local
+/// caches, not all of them.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    granularity: CacheGranularity,
+    /// `(ring position, shard index)`, sorted by position.
+    ring: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Builds a router over `shards` shards for a given cache granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(shards: usize, granularity: CacheGranularity) -> ShardRouter {
+        assert!(shards > 0, "a controller tier needs at least one shard");
+        let mut ring = Vec::with_capacity(shards * VNODES_PER_SHARD);
+        for shard in 0..shards {
+            for vnode in 0..VNODES_PER_SHARD {
+                let mut point = [0u8; 16];
+                point[..8].copy_from_slice(&(shard as u64).to_be_bytes());
+                point[8..].copy_from_slice(&(vnode as u64).to_be_bytes());
+                ring.push((fnv1a(&point), shard));
+            }
+        }
+        ring.sort_unstable();
+        // On the (astronomically unlikely) collision of two points, keep the
+        // lower shard index — deterministically, thanks to the sort above.
+        ring.dedup_by_key(|(point, _)| *point);
+        ShardRouter {
+            granularity,
+            ring,
+            shards,
+        }
+    }
+
+    /// Number of shards the router spreads over.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The granularity the routing key is normalized under.
+    pub fn granularity(&self) -> CacheGranularity {
+        self.granularity
+    }
+
+    /// The direction-independent routing key for a flow (see the type-level
+    /// rules). `routing_key(flow) == routing_key(flow.reversed())` for every
+    /// flow and granularity.
+    pub fn routing_key(&self, flow: &FiveTuple) -> FiveTuple {
+        match self.granularity {
+            CacheGranularity::ExactFiveTuple => flow.canonical(),
+            CacheGranularity::HostPair | CacheGranularity::HostPairDstPort => {
+                CacheGranularity::HostPair.key(flow)
+            }
+        }
+    }
+
+    /// The shard a flow belongs to.
+    pub fn route(&self, flow: &FiveTuple) -> usize {
+        let key = self.routing_key(flow);
+        let mut bytes = [0u8; 13];
+        bytes[..4].copy_from_slice(&key.src_ip.0.to_be_bytes());
+        bytes[4..8].copy_from_slice(&key.dst_ip.0.to_be_bytes());
+        bytes[8..10].copy_from_slice(&key.src_port.to_be_bytes());
+        bytes[10..12].copy_from_slice(&key.dst_port.to_be_bytes());
+        bytes[12] = key.protocol.number();
+        let hash = fnv1a(&bytes);
+        // First ring point at or after the key's position, wrapping.
+        let at = self.ring.partition_point(|(point, _)| *point < hash);
+        let (_, shard) = self.ring[at % self.ring.len()];
+        shard
+    }
+}
+
+/// N independent [`IdentxxController`] shards behind a [`ShardRouter`].
+///
+/// Every shard compiles the same [`ControllerConfig`] and owns its own query
+/// backend, state table, and audit log; the router keeps each flow (and
+/// everything that could alias it in the cache) on one shard. Decisions are
+/// therefore identical to a single controller's — `tests/sharding.rs` pins
+/// this — while [`ShardedController::decide_stream`] spreads independent
+/// flows over parallel shard threads.
+pub struct ShardedController {
+    shards: Vec<IdentxxController>,
+    router: ShardRouter,
+}
+
+impl ShardedController {
+    /// Builds `shard_count` shards from one configuration, each compiling
+    /// the policy independently and starting with the default in-process
+    /// backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_count` is zero.
+    pub fn new(config: ControllerConfig, shard_count: usize) -> Result<ShardedController, PfError> {
+        assert!(
+            shard_count > 0,
+            "a controller tier needs at least one shard"
+        );
+        let router = ShardRouter::new(shard_count, config.cache_granularity);
+        let shards = (0..shard_count)
+            .map(|_| IdentxxController::new(config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedController { shards, router })
+    }
+
+    /// Attaches a network map to every shard (builder style); any shard can
+    /// install entries along any path.
+    pub fn with_network(mut self, network: NetworkMap) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|shard| shard.with_network(network.clone()))
+            .collect();
+        self
+    }
+
+    /// Gives each shard its own query backend (builder style): the factory
+    /// is called once per shard, in shard order. This is the seam the
+    /// deployment shape flows through — e.g. every shard gets its own
+    /// [`crate::backend::NetworkBackend`] with its own connection pool, so
+    /// shards never contend on a client.
+    pub fn with_backends(
+        mut self,
+        mut factory: impl FnMut(usize) -> Box<dyn QueryBackend>,
+    ) -> Self {
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_backend(factory(index));
+        }
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The shard index a flow routes to.
+    pub fn shard_for(&self, flow: &FiveTuple) -> usize {
+        self.router.route(flow)
+    }
+
+    /// A shard, by index.
+    pub fn shard(&self, index: usize) -> &IdentxxController {
+        &self.shards[index]
+    }
+
+    /// Mutable access to a shard, by index.
+    pub fn shard_mut(&mut self, index: usize) -> &mut IdentxxController {
+        &mut self.shards[index]
+    }
+
+    /// All shards, in index order.
+    pub fn shards(&self) -> &[IdentxxController] {
+        &self.shards
+    }
+
+    /// Registers an end-host daemon with **every** shard's in-process
+    /// backend (cloned per shard): any flow involving the host routes to
+    /// exactly one shard, but which one depends on the peer, so each shard
+    /// must be able to query it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a shard runs a non-in-process backend (register endpoints
+    /// on the shard's `NetworkBackend` instead, via
+    /// [`ShardedController::shard_mut`]).
+    pub fn register_daemon(&mut self, daemon: Daemon) {
+        for shard in &mut self.shards {
+            shard.register_daemon(daemon.clone());
+        }
+    }
+
+    /// Marks every shard compromised (§5.1) or restores them.
+    pub fn set_compromised(&mut self, compromised: bool) {
+        for shard in &mut self.shards {
+            shard.set_compromised(compromised);
+        }
+    }
+
+    /// Replaces (or adds) one `.control` file on every shard and recompiles;
+    /// shard state tables are cleared exactly as on a single controller.
+    /// The update is not transactional across shards: a decision racing the
+    /// rollout may still see the old policy on a not-yet-updated shard.
+    pub fn update_control_file(
+        &mut self,
+        name: impl Into<String>,
+        contents: impl Into<String>,
+    ) -> Result<(), PfError> {
+        let name = name.into();
+        let contents = contents.into();
+        for shard in &mut self.shards {
+            shard.update_control_file(name.clone(), contents.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Removes a `.control` file from every shard; `Ok(true)` when it
+    /// existed.
+    pub fn remove_control_file(&mut self, name: &str) -> Result<bool, PfError> {
+        let mut removed = false;
+        for shard in &mut self.shards {
+            removed |= shard.remove_control_file(name)?;
+        }
+        Ok(removed)
+    }
+
+    /// Routes one flow to its shard and decides it there.
+    pub fn decide(&mut self, flow: &FiveTuple, now: u64) -> FlowDecision {
+        let shard = self.router.route(flow);
+        self.shards[shard].decide(flow, now)
+    }
+
+    /// Decides one batch of flows: each shard's share goes through one
+    /// batched query round ([`IdentxxController::decide_batch`]), busy
+    /// shards running on parallel threads. Results come back in input
+    /// order.
+    pub fn decide_batch(&mut self, flows: &[FiveTuple], now: u64) -> Vec<FlowDecision> {
+        self.decide_stream(flows, flows.len().max(1), now)
+    }
+
+    /// Decides a stream of flows at a given query-round size: the stream is
+    /// partitioned over the shards once, every busy shard processes its
+    /// share on its own thread in rounds of `batch_size` flows, and the
+    /// decisions come back in input order. This is the controller tier's
+    /// throughput shape — thread startup is paid per *stream*, not per
+    /// round — and what the E9 sweep measures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size` is zero.
+    pub fn decide_stream(
+        &mut self,
+        flows: &[FiveTuple],
+        batch_size: usize,
+        now: u64,
+    ) -> Vec<FlowDecision> {
+        assert!(batch_size > 0, "a query round needs at least one flow");
+        let mut per_shard: Vec<Vec<(usize, FiveTuple)>> = vec![Vec::new(); self.shards.len()];
+        for (index, flow) in flows.iter().enumerate() {
+            per_shard[self.router.route(flow)].push((index, *flow));
+        }
+
+        let mut decisions: Vec<Option<FlowDecision>> = (0..flows.len()).map(|_| None).collect();
+        let busy = per_shard.iter().filter(|work| !work.is_empty()).count();
+        if busy <= 1 {
+            // One busy shard (or none): run inline, no thread to pay for.
+            for (shard, work) in self.shards.iter_mut().zip(&per_shard) {
+                Self::run_share(shard, work, batch_size, now, &mut decisions);
+            }
+        } else {
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(&per_shard)
+                    .filter(|(_, work)| !work.is_empty())
+                    .map(|(shard, work)| {
+                        scope.spawn(move || {
+                            // Run the share over shard-local slots, then pair
+                            // each decision with its global flow index.
+                            let mut slots: Vec<Option<FlowDecision>> =
+                                (0..work.len()).map(|_| None).collect();
+                            let local: Vec<(usize, FiveTuple)> = work
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &(_, flow))| (i, flow))
+                                .collect();
+                            Self::run_share(shard, &local, batch_size, now, &mut slots);
+                            work.iter()
+                                .zip(slots)
+                                .map(|(&(index, _), decision)| (index, decision))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("shard thread panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (index, decision) in results {
+                decisions[index] = decision;
+            }
+        }
+
+        decisions
+            .into_iter()
+            .map(|d| d.expect("every flow is decided by its shard"))
+            .collect()
+    }
+
+    /// Runs one shard's share of a stream in rounds of `batch_size`,
+    /// writing each decision into its flow's slot.
+    fn run_share(
+        shard: &mut IdentxxController,
+        work: &[(usize, FiveTuple)],
+        batch_size: usize,
+        now: u64,
+        decisions: &mut [Option<FlowDecision>],
+    ) {
+        for round in work.chunks(batch_size) {
+            let flows: Vec<FiveTuple> = round.iter().map(|&(_, flow)| flow).collect();
+            for (&(index, _), decision) in round.iter().zip(shard.decide_batch(&flows, now)) {
+                decisions[index] = Some(decision);
+            }
+        }
+    }
+
+    /// Transport counters **summed** over the shards. Sum, not max: every
+    /// shard's queries really went out, so the merged view is the tier's
+    /// total query work (a latency merge would take the max instead — see
+    /// DESIGN.md §6).
+    pub fn backend_stats(&self) -> BackendStats {
+        let mut merged = BackendStats::default();
+        for shard in &self.shards {
+            let stats = shard.backend_stats();
+            merged.queries_sent += stats.queries_sent;
+            merged.responses_received += stats.responses_received;
+            merged.timeouts += stats.timeouts;
+        }
+        merged
+    }
+
+    /// Total audited decisions across the shards.
+    pub fn audit_len(&self) -> usize {
+        self.shards.iter().map(|s| s.audit().len()).sum()
+    }
+
+    /// The per-shard audit logs merged into one decision-time-ordered view
+    /// (ties keep shard order, so the merge is deterministic).
+    pub fn merged_audit(&self) -> Vec<AuditRecord> {
+        let mut all: Vec<AuditRecord> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.audit().records().iter().cloned())
+            .collect();
+        all.sort_by_key(|record| record.time);
+        all
+    }
+
+    /// Fraction of decisions served from shard-local state tables.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.audit_len();
+        if total == 0 {
+            return 0.0;
+        }
+        let hits: usize = self
+            .shards
+            .iter()
+            .map(|s| s.audit().records().iter().filter(|r| r.from_cache).count())
+            .sum();
+        hits as f64 / total as f64
+    }
+
+    /// Total ident++ queries accounted across every shard's audit log.
+    pub fn total_queries(&self) -> u64 {
+        self.shards.iter().map(|s| s.audit().total_queries()).sum()
+    }
+}
+
+impl std::fmt::Debug for ShardedController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedController")
+            .field("shards", &self.shards.len())
+            .field("granularity", &self.router.granularity())
+            .field("audited", &self.audit_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use identxx_hostmodel::Host;
+    use identxx_proto::Ipv4Addr;
+
+    fn flows(n: u32) -> impl Iterator<Item = FiveTuple> {
+        (0..n).map(|i| {
+            FiveTuple::tcp(
+                [10, (i % 7) as u8, (i % 23) as u8, (i % 251) as u8],
+                40_000 + (i % 1000) as u16,
+                [10, 1, (i % 13) as u8, ((i * 7) % 251) as u8],
+                [80u16, 443, 22, 25][(i % 4) as usize],
+            )
+        })
+    }
+
+    #[test]
+    fn router_is_reverse_stable_for_every_granularity() {
+        for granularity in [
+            CacheGranularity::ExactFiveTuple,
+            CacheGranularity::HostPair,
+            CacheGranularity::HostPairDstPort,
+        ] {
+            let router = ShardRouter::new(8, granularity);
+            for flow in flows(500) {
+                assert_eq!(
+                    router.route(&flow),
+                    router.route(&flow.reversed()),
+                    "flow and reverse must share a shard ({granularity:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn router_spreads_and_single_shard_routes_everything_to_zero() {
+        let router = ShardRouter::new(4, CacheGranularity::ExactFiveTuple);
+        let mut per_shard = [0usize; 4];
+        for flow in flows(2000) {
+            per_shard[router.route(&flow)] += 1;
+        }
+        for (shard, count) in per_shard.iter().enumerate() {
+            assert!(
+                *count > 200,
+                "shard {shard} starves: {per_shard:?} (vnode ring too lumpy)"
+            );
+        }
+        let single = ShardRouter::new(1, CacheGranularity::ExactFiveTuple);
+        assert!(flows(100).all(|flow| single.route(&flow) == 0));
+    }
+
+    #[test]
+    fn growing_the_ring_only_moves_keys_to_the_new_shard() {
+        let before = ShardRouter::new(4, CacheGranularity::HostPair);
+        let after = ShardRouter::new(5, CacheGranularity::HostPair);
+        let mut moved = 0usize;
+        let mut total = 0usize;
+        for flow in flows(2000) {
+            total += 1;
+            let old = before.route(&flow);
+            let new = after.route(&flow);
+            if old != new {
+                moved += 1;
+                assert_eq!(
+                    new, 4,
+                    "a key that moves must move to the shard that was added"
+                );
+            }
+        }
+        // Roughly 1/5 of the keys should move; generous bounds keep the test
+        // robust to hash lumpiness.
+        assert!(moved > total / 20, "suspiciously few keys moved: {moved}");
+        assert!(
+            moved < total / 2,
+            "consistent hashing moved too much: {moved}"
+        );
+    }
+
+    #[test]
+    fn sharded_controller_merges_stats_and_audit() {
+        let config = ControllerConfig::new().with_control_file(
+            "00.control",
+            "block all\npass all with eq(@src[name], firefox) keep state\n",
+        );
+        let mut sharded = ShardedController::new(config, 4).unwrap();
+        assert_eq!(sharded.shard_count(), 4);
+        for host in 1..=6u8 {
+            sharded.register_daemon(Daemon::bare(Host::new(
+                format!("h{host}"),
+                Ipv4Addr::new(10, 0, 0, host),
+            )));
+        }
+        let all: Vec<FiveTuple> = (1..=3u8)
+            .map(|i| FiveTuple::tcp([10, 0, 0, i], 40_000 + i as u16, [10, 0, 0, i + 3], 80))
+            .collect();
+        let decisions = sharded.decide_batch(&all, 7);
+        assert_eq!(decisions.len(), 3);
+        // Bare daemons answer with no process info: default-deny blocks.
+        assert!(decisions.iter().all(|d| !d.is_pass()));
+        let stats = sharded.backend_stats();
+        assert_eq!(stats.queries_sent, 6);
+        assert_eq!(stats.responses_received, 6);
+        assert_eq!(sharded.audit_len(), 3);
+        let merged = sharded.merged_audit();
+        assert_eq!(merged.len(), 3);
+        assert!(merged.iter().all(|r| r.time == 7));
+        assert_eq!(sharded.total_queries(), 6);
+        assert_eq!(sharded.cache_hit_ratio(), 0.0);
+        // Every decision landed on the shard the router names.
+        for flow in &all {
+            let shard = sharded.shard_for(flow);
+            assert!(sharded
+                .shard(shard)
+                .audit()
+                .records()
+                .iter()
+                .any(|r| r.flow == *flow));
+        }
+    }
+
+    #[test]
+    fn policy_updates_reach_every_shard() {
+        let config = ControllerConfig::new().with_control_file("00.control", "block all\n");
+        let mut sharded = ShardedController::new(config, 3).unwrap();
+        sharded
+            .update_control_file("50.control", "pass all keep state\n")
+            .unwrap();
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 40_000, [10, 0, 0, 2], 80);
+        assert!(sharded.decide(&flow, 0).is_pass());
+        assert!(sharded.remove_control_file("50.control").unwrap());
+        assert!(!sharded.decide(&flow, 1).is_pass());
+        sharded.set_compromised(true);
+        assert!(sharded.decide(&flow, 2).is_pass());
+    }
+}

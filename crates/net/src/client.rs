@@ -27,9 +27,9 @@ pub async fn query_daemon(addr: SocketAddr, query: Query) -> io::Result<Option<R
         let mut buf = BytesMut::new();
         match read_message(&mut stream, &mut buf).await? {
             Some(WireMessage::Response(response)) => Ok(Some(response)),
-            Some(WireMessage::Query(_)) => Err(io::Error::new(
+            Some(_) => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "daemon sent a query instead of a response",
+                "daemon sent a non-response frame instead of a response",
             )),
             None => Ok(None),
         }
@@ -97,12 +97,110 @@ impl QueryClient {
         query: &Query,
         deadline: Instant,
     ) -> io::Result<Option<Response>> {
-        // One transparent retry: a pooled connection may have been closed by
-        // the server since the last query; only a *reused* connection earns
-        // the second attempt, so fresh-connection failures surface directly.
+        match self.exchange(&WireMessage::Query(query.clone()), deadline)? {
+            Some(WireMessage::Response(response)) => Ok(Some(response)),
+            Some(_) => {
+                self.disconnect();
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "daemon sent a non-response frame instead of a response",
+                ))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// [`QueryClient::query_deadline`] with a relative timeout.
+    pub fn query(&mut self, query: &Query, budget: Duration) -> io::Result<Option<Response>> {
+        self.query_deadline(query, Instant::now() + budget)
+    }
+
+    /// Sends every query in one `QUERY-BATCH` frame and waits for the
+    /// daemon's single `RESPONSE-BATCH`, giving the whole round trip until
+    /// `deadline`. Returns one slot per query, in query order; responses are
+    /// matched to queries by flow (the daemon omits flows it has no
+    /// information about). A daemon that closes without answering — silent,
+    /// or with no information on *any* of the flows — yields all `None`.
+    ///
+    /// Batches larger than [`identxx_proto::wire::MAX_BATCH`] are split into
+    /// several frames on the same connection, still under the one deadline.
+    /// A transport failure part-way through (daemon died between chunks,
+    /// deadline exhausted) costs only the *remaining* chunks their answers
+    /// — slots already filled by earlier chunks are kept, because those
+    /// flows really were answered. Only a protocol violation (a reply that
+    /// is not a response batch) is an `Err`.
+    pub fn query_batch_deadline(
+        &mut self,
+        queries: &[Query],
+        deadline: Instant,
+    ) -> io::Result<Vec<Option<Response>>> {
+        let mut out = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(identxx_proto::wire::MAX_BATCH.max(1)) {
+            // Unreachable/reset/timed-out transport (`Err`): this chunk
+            // (and likely the rest) has no answers, but earlier chunks'
+            // responses arrived and stay valid.
+            let exchanged = self
+                .exchange(&WireMessage::QueryBatch(chunk.to_vec()), deadline)
+                .unwrap_or_default();
+            match exchanged {
+                Some(WireMessage::ResponseBatch(responses)) => {
+                    let mut slots: Vec<Option<Response>> = vec![None; chunk.len()];
+                    for response in responses {
+                        // Match by flow; a duplicated flow in the batch fills
+                        // its slots in query order.
+                        if let Some(slot) = chunk
+                            .iter()
+                            .zip(slots.iter_mut())
+                            .find(|(q, slot)| q.flow == response.flow && slot.is_none())
+                            .map(|(_, slot)| slot)
+                        {
+                            *slot = Some(response);
+                        }
+                    }
+                    out.extend(slots);
+                }
+                Some(_) => {
+                    self.disconnect();
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "daemon answered a query batch with a non-batch frame",
+                    ));
+                }
+                // No answer for the whole chunk (timeout, silent daemon, or
+                // no information about any flow in it).
+                None => out.extend(chunk.iter().map(|_| None)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`QueryClient::query_batch_deadline`] with a relative timeout.
+    pub fn query_batch(
+        &mut self,
+        queries: &[Query],
+        budget: Duration,
+    ) -> io::Result<Vec<Option<Response>>> {
+        self.query_batch_deadline(queries, Instant::now() + budget)
+    }
+
+    /// Drops the pooled connection (the next query reconnects).
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+        self.buf.clear();
+    }
+
+    /// One request/response round trip with the transparent stale-connection
+    /// retry: a pooled connection may have been closed by the server since
+    /// the last query; only a *reused* connection earns the second attempt,
+    /// so fresh-connection failures surface directly.
+    fn exchange(
+        &mut self,
+        request: &WireMessage,
+        deadline: Instant,
+    ) -> io::Result<Option<WireMessage>> {
         for _ in 0..2 {
             let reused = self.stream.is_some();
-            match self.attempt(query, deadline) {
+            match self.attempt(request, deadline) {
                 Ok(outcome) => return Ok(outcome),
                 Err(err) if reused => {
                     self.disconnect();
@@ -117,18 +215,11 @@ impl QueryClient {
         unreachable!("second attempt always runs on a fresh connection")
     }
 
-    /// [`QueryClient::query_deadline`] with a relative timeout.
-    pub fn query(&mut self, query: &Query, budget: Duration) -> io::Result<Option<Response>> {
-        self.query_deadline(query, Instant::now() + budget)
-    }
-
-    /// Drops the pooled connection (the next query reconnects).
-    pub fn disconnect(&mut self) {
-        self.stream = None;
-        self.buf.clear();
-    }
-
-    fn attempt(&mut self, query: &Query, deadline: Instant) -> io::Result<Option<Response>> {
+    fn attempt(
+        &mut self,
+        request: &WireMessage,
+        deadline: Instant,
+    ) -> io::Result<Option<WireMessage>> {
         let Some(remaining) = deadline
             .checked_duration_since(Instant::now())
             .filter(|d| !d.is_zero())
@@ -150,16 +241,9 @@ impl QueryClient {
             .filter(|d| !d.is_zero())
             .unwrap_or(Duration::from_micros(1));
         stream.set_write_timeout(Some(remaining))?;
-        write_message_blocking(stream, &WireMessage::Query(query.clone()))?;
+        write_message_blocking(stream, request)?;
         match read_message_deadline(stream, &mut self.buf, deadline) {
-            Ok(Some(WireMessage::Response(response))) => Ok(Some(response)),
-            Ok(Some(WireMessage::Query(_))) => {
-                self.disconnect();
-                Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "daemon sent a query instead of a response",
-                ))
-            }
+            Ok(Some(message)) => Ok(Some(message)),
             Ok(None) => {
                 // Clean close without an answer. On a fresh connection this
                 // is the silent-daemon shape: "no information from this
@@ -357,6 +441,126 @@ mod tests {
         assert!(client
             .query(&Query::new(flow), Duration::from_millis(200))
             .is_err());
+    }
+
+    #[tokio::test]
+    async fn query_batch_answers_known_flows_and_omits_unknown() {
+        let (mut daemon, flow) = test_daemon();
+        // Stage a second flow on the same host so the batch spans two flows
+        // the daemon knows and one it does not.
+        let ssh = Executable::new("/usr/bin/ssh", "ssh", 100, "openbsd", "shell");
+        let flow2 =
+            daemon
+                .host_mut()
+                .open_connection("alice", ssh, 40001, Ipv4Addr::new(10, 0, 0, 3), 22);
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut client = QueryClient::new(server.local_addr());
+        let stranger = FiveTuple::tcp([10, 0, 9, 9], 1, [10, 0, 9, 8], 2);
+        let queries = vec![
+            Query::new(flow).with_key(well_known::USER_ID),
+            Query::new(stranger),
+            Query::new(flow2),
+        ];
+        let answers = client
+            .query_batch(&queries, Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(answers.len(), 3);
+        assert_eq!(
+            answers[0].as_ref().unwrap().latest(well_known::USER_ID),
+            Some("alice")
+        );
+        assert!(answers[1].is_none(), "unknown flow is unanswered");
+        assert_eq!(
+            answers[2].as_ref().unwrap().latest(well_known::APP_NAME),
+            Some("ssh")
+        );
+        assert_eq!(server.queries_served(), 2);
+        assert!(
+            client.is_connected(),
+            "batch exchanges pool the connection too"
+        );
+        // The same connection serves singleton queries afterwards.
+        assert!(client
+            .query(&Query::new(flow), Duration::from_secs(2))
+            .unwrap()
+            .is_some());
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn query_batch_keeps_earlier_chunks_when_a_later_chunk_fails() {
+        // 70 queries split into a 64-chunk and a 6-chunk. A raw server
+        // answers the first chunk fully, then dies: the second chunk's
+        // failure must cost only its own slots, not the 64 answers that
+        // already arrived.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            let (mut peer, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 4096];
+            let queries = loop {
+                let n = peer.read(&mut chunk).unwrap();
+                buf.extend_from_slice(&chunk[..n]);
+                if let Some((WireMessage::QueryBatch(queries), _)) =
+                    WireMessage::decode(&buf).unwrap()
+                {
+                    break queries;
+                }
+            };
+            let answers: Vec<Response> = queries
+                .iter()
+                .map(|q| {
+                    let mut r = Response::new(q.flow);
+                    let mut s = identxx_proto::Section::new();
+                    s.push("userID", "alice");
+                    r.push_section(s);
+                    r
+                })
+                .collect();
+            peer.write_all(&WireMessage::ResponseBatch(answers).encode())
+                .unwrap();
+            let _ = peer.flush();
+            // Dropping the listener and the connection kills the daemon
+            // before the second chunk can be served.
+        });
+
+        let mut client = QueryClient::new(addr);
+        let queries: Vec<Query> = (0..70u16)
+            .map(|i| Query::new(FiveTuple::tcp([10, 0, 0, 1], 30_000 + i, [10, 0, 0, 2], 80)))
+            .collect();
+        let answers = client
+            .query_batch(&queries, Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(answers.len(), 70);
+        assert!(
+            answers[..64].iter().all(|a| a.is_some()),
+            "the answered first chunk must be kept"
+        );
+        assert!(
+            answers[64..].iter().all(|a| a.is_none()),
+            "the failed second chunk is unanswered, not an error"
+        );
+    }
+
+    #[tokio::test]
+    async fn query_batch_silent_daemon_is_all_unanswered() {
+        let (mut daemon, flow) = test_daemon();
+        daemon.set_silent(true);
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut client = QueryClient::new(server.local_addr());
+        let queries = vec![Query::new(flow), Query::new(flow.reversed())];
+        let answers = client
+            .query_batch(&queries, Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(answers, vec![None, None]);
+        assert_eq!(server.queries_served(), 0);
+        server.shutdown();
     }
 
     #[tokio::test]

@@ -7,8 +7,11 @@ use identxx_proto::{ProtoError, WireMessage};
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 
 /// Upper bound on a single frame (header + body); anything larger is treated
-/// as a protocol violation and the connection is dropped.
-const MAX_FRAME: usize = 128 * 1024;
+/// as a protocol violation and the connection is dropped. Sized to admit a
+/// full batch frame ([`identxx_proto::wire::MAX_BATCH_BODY`] plus header
+/// slack); the proto-level limits reject oversized frames before the buffer
+/// grows anywhere near this bound.
+const MAX_FRAME: usize = identxx_proto::wire::MAX_BATCH_BODY + 4096;
 
 fn proto_to_io(err: ProtoError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, err.to_string())

@@ -9,6 +9,26 @@
 //! explicitly because a TCP transport cannot recover them from spoofed IP
 //! headers the way the paper's raw-packet transport does.
 //!
+//! ## Batching protocol
+//!
+//! Both sides of the transport speak the batched query round of
+//! `DESIGN.md` §6:
+//!
+//! * [`QueryClient::query_batch_deadline`] sends several queries for one
+//!   host as a single `QUERY-BATCH` frame on the pooled connection (splitting
+//!   at [`identxx_proto::wire::MAX_BATCH`] transparently) and matches the
+//!   `RESPONSE-BATCH` back to the queries **by flow**, so one round trip
+//!   resolves a whole batch; a host that closes without answering yields all
+//!   `None`, the same no-information shape as a silent singleton.
+//! * [`DaemonServer`] answers a batch frame with one response frame holding
+//!   every flow the daemon has information about (omitting the rest), and
+//!   charges its configured processing delay once per *frame* — a batched
+//!   round costs one delayed round trip per host, not one per flow.
+//!
+//! Timeouts stay absolute OS-enforced deadlines for singleton and batch
+//! exchanges alike, shared across every host queried in the same decision
+//! round by `identxx-controller`'s `NetworkBackend`.
+//!
 //! Built on tokio (see `DESIGN.md` §2 for the dependency justification).
 
 pub mod client;

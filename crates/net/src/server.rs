@@ -136,30 +136,57 @@ async fn serve_connection(
 ) -> io::Result<()> {
     let mut buf = BytesMut::new();
     while let Some(message) = read_message(&mut stream, &mut buf).await? {
-        if let WireMessage::Query(query) = message {
-            // Answer under the lock, but model the host's processing latency
-            // *outside* it, so concurrent queries to the same daemon (and of
-            // course to different daemons) overlap their delays.
-            let (answer, delay_micros) = {
-                let mut daemon = daemon.lock().await;
-                (daemon.answer(&query), daemon.response_delay_micros())
-            };
-            match answer {
-                Ok(Some(response)) => {
-                    if delay_micros > 0 {
-                        // A plain blocking sleep: this connection's task owns
-                        // its thread on the vendored runtime, and the delay
-                        // knob is an experiment feature, not a hot path.
-                        std::thread::sleep(Duration::from_micros(delay_micros));
+        // Answer under the lock, but model the host's processing latency
+        // *outside* it, so concurrent queries to the same daemon (and of
+        // course to different daemons) overlap their delays. A batch pays
+        // the processing delay once per round trip, not once per flow —
+        // that is the latency argument for batching.
+        let (reply, answered, delay_micros) = {
+            let mut daemon = daemon.lock().await;
+            let delay_micros = daemon.response_delay_micros();
+            match &message {
+                WireMessage::Query(query) => match daemon.answer(query) {
+                    Ok(Some(response)) => {
+                        (Some(WireMessage::Response(response)), 1u64, delay_micros)
                     }
-                    queries_served.fetch_add(1, Ordering::Relaxed);
-                    write_message(&mut stream, &WireMessage::Response(response)).await?;
+                    // Silent daemon or a query about a flow that is not
+                    // ours: close the connection without answering, like a
+                    // host with no daemon would simply not have the port
+                    // open.
+                    Ok(None) | Err(_) => (None, 0, delay_micros),
+                },
+                WireMessage::QueryBatch(queries) => {
+                    let answers: Vec<_> = queries
+                        .iter()
+                        .filter_map(|q| daemon.answer(q).ok().flatten())
+                        .collect();
+                    if answers.is_empty() {
+                        // No information about any flow in the batch: the
+                        // same close-without-answering shape as a silent
+                        // singleton.
+                        (None, 0, delay_micros)
+                    } else {
+                        let n = answers.len() as u64;
+                        (Some(WireMessage::ResponseBatch(answers)), n, delay_micros)
+                    }
                 }
-                // Silent daemon or a query about a flow that is not ours:
-                // close the connection without answering, like a host with no
-                // daemon would simply not have the port open.
-                Ok(None) | Err(_) => break,
+                // A peer pushing responses at a server is not part of the
+                // protocol; drop the frame and keep the connection.
+                WireMessage::Response(_) | WireMessage::ResponseBatch(_) => continue,
             }
+        };
+        match reply {
+            Some(frame) => {
+                if delay_micros > 0 {
+                    // A plain blocking sleep: this connection's task owns
+                    // its thread on the vendored runtime, and the delay
+                    // knob is an experiment feature, not a hot path.
+                    std::thread::sleep(Duration::from_micros(delay_micros));
+                }
+                queries_served.fetch_add(answered, Ordering::Relaxed);
+                write_message(&mut stream, &frame).await?;
+            }
+            None => break,
         }
     }
     Ok(())

@@ -23,6 +23,18 @@
 //!   addresses cannot be recovered from the IP header and must be carried
 //!   explicitly).
 //!
+//! ## Batched rounds
+//!
+//! [`wire`] also defines the multi-query frames behind the controller's
+//! batched query rounds: [`wire::WireMessage::QueryBatch`] carries several
+//! queries for **one host** in a single frame, and
+//! [`wire::WireMessage::ResponseBatch`] answers them *by flow* — the daemon
+//! omits flows it knows nothing about, which the receiver treats exactly
+//! like an unanswered singleton query. Batch elements are complete
+//! singleton frames (one framing scheme to parse), and batches are bounded
+//! by [`wire::MAX_BATCH`] elements / [`wire::MAX_BATCH_BODY`] bytes. See
+//! `DESIGN.md` §6 for how the controller tier uses these.
+//!
 //! ## Example
 //!
 //! ```

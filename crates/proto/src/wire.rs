@@ -13,6 +13,27 @@
 //! ```
 //!
 //! The body is exactly the paper's text format as produced by [`crate::codec`].
+//!
+//! ## Batched rounds
+//!
+//! A controller deciding a batch of flows coalesces every query bound for the
+//! same host into **one** frame, so a query round costs one round trip per
+//! host instead of one per flow (and, controller-side, one connection instead
+//! of one thread per flow end). The batch envelope prefixes a count where the
+//! singleton envelope carries flow addresses — each element is a complete
+//! singleton frame, so the body needs no second framing scheme:
+//!
+//! ```text
+//! IDENT++/1 <QUERY-BATCH|RESPONSE-BATCH> <count> <body-length>\n
+//! <count back-to-back singleton frames...>
+//! ```
+//!
+//! A response batch answers a query batch *by flow*, not by position: the
+//! daemon includes one `RESPONSE` frame per flow it has information about and
+//! simply omits the flows it does not (the receiver treats an omitted flow
+//! exactly like a singleton query that produced no answer). Batches are
+//! bounded by [`MAX_BATCH`] elements and [`MAX_BATCH_BODY`] body bytes;
+//! violating either is a protocol error, like an oversized singleton body.
 
 use crate::codec;
 use crate::error::ProtoError;
@@ -27,6 +48,19 @@ pub const IDENTXX_PORT: u16 = 783;
 /// Protocol magic / version token at the start of every frame.
 pub const MAGIC: &str = "IDENT++/1";
 
+/// Maximum number of elements in one batch frame. A controller batching
+/// harder than this splits the round into several frames.
+pub const MAX_BATCH: usize = 64;
+
+/// Maximum total body length of one batch frame, sized so that **any**
+/// batch of [`MAX_BATCH`] individually legal elements (each bounded by
+/// [`codec::MAX_MESSAGE_SIZE`] plus its singleton header) encodes into a
+/// legal batch — a daemon answering a full batch with maximum-size
+/// responses must never produce a frame the querier has to reject. The
+/// bound still caps what a peer can make the receiver buffer for one
+/// declared frame.
+pub const MAX_BATCH_BODY: usize = MAX_BATCH * (codec::MAX_MESSAGE_SIZE + 512);
+
 /// A framed ident++ message.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum WireMessage {
@@ -34,14 +68,30 @@ pub enum WireMessage {
     Query(Query),
     /// A response from an end-host or on-path controller.
     Response(Response),
+    /// Several queries for one host, resolved in a single round trip. Every
+    /// query in the batch is directed at the same daemon; the flows may (and
+    /// typically do) differ.
+    QueryBatch(Vec<Query>),
+    /// The answers to a [`WireMessage::QueryBatch`], matched by flow. Flows
+    /// the daemon has no information about are simply absent.
+    ResponseBatch(Vec<Response>),
 }
 
 impl WireMessage {
-    /// The flow addresses carried in the envelope.
+    /// The flow addresses carried in the envelope. Batch envelopes carry a
+    /// count instead of addresses; for them this returns the first element's
+    /// addresses (batches address a host, not a flow), or the zero address
+    /// pair for an empty batch.
     pub fn addresses(&self) -> FlowAddresses {
+        let zero = FlowAddresses {
+            src: Ipv4Addr::new(0, 0, 0, 0),
+            dst: Ipv4Addr::new(0, 0, 0, 0),
+        };
         match self {
             WireMessage::Query(q) => q.flow.addresses(),
             WireMessage::Response(r) => r.flow.addresses(),
+            WireMessage::QueryBatch(qs) => qs.first().map_or(zero, |q| q.flow.addresses()),
+            WireMessage::ResponseBatch(rs) => rs.first().map_or(zero, |r| r.flow.addresses()),
         }
     }
 
@@ -50,6 +100,20 @@ impl WireMessage {
         let (kind, body, addrs) = match self {
             WireMessage::Query(q) => ("QUERY", codec::encode_query(q), q.flow.addresses()),
             WireMessage::Response(r) => ("RESPONSE", codec::encode_response(r), r.flow.addresses()),
+            WireMessage::QueryBatch(qs) => {
+                return Self::encode_batch(
+                    "QUERY-BATCH",
+                    qs.len(),
+                    qs.iter().map(|q| WireMessage::Query(q.clone()).encode()),
+                );
+            }
+            WireMessage::ResponseBatch(rs) => {
+                return Self::encode_batch(
+                    "RESPONSE-BATCH",
+                    rs.len(),
+                    rs.iter().map(|r| WireMessage::Response(r.clone()).encode()),
+                );
+            }
         };
         let header = format!(
             "{MAGIC} {kind} {} {} {}\n",
@@ -63,12 +127,35 @@ impl WireMessage {
         out
     }
 
+    fn encode_batch(kind: &str, count: usize, frames: impl Iterator<Item = Vec<u8>>) -> Vec<u8> {
+        let mut body = Vec::new();
+        for frame in frames {
+            body.extend_from_slice(&frame);
+        }
+        let header = format!("{MAGIC} {kind} {count} {}\n", body.len());
+        let mut out = Vec::with_capacity(header.len() + body.len());
+        out.extend_from_slice(header.as_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
     /// Attempts to decode one frame from the start of `buf`.
     ///
     /// Returns `Ok(None)` if the buffer does not yet contain a complete frame
     /// (the caller should read more bytes), or `Ok(Some((message, consumed)))`
     /// with the number of bytes consumed.
     pub fn decode(buf: &[u8]) -> Result<Option<(WireMessage, usize)>, ProtoError> {
+        Self::decode_frame(buf, true)
+    }
+
+    /// [`WireMessage::decode`] with an explicit batch permission: batch
+    /// *elements* are decoded with `allow_batch = false`, so a hostile peer
+    /// nesting batch headers inside batch bodies is rejected at the inner
+    /// header — recursion depth is bounded at two regardless of input.
+    fn decode_frame(
+        buf: &[u8],
+        allow_batch: bool,
+    ) -> Result<Option<(WireMessage, usize)>, ProtoError> {
         let newline = match buf.iter().position(|&b| b == b'\n') {
             Some(p) => p,
             None => {
@@ -89,6 +176,14 @@ impl WireMessage {
         let kind = parts
             .next()
             .ok_or_else(|| ProtoError::BadFrame("missing message kind".into()))?;
+        if matches!(kind, "QUERY-BATCH" | "RESPONSE-BATCH") {
+            if !allow_batch {
+                return Err(ProtoError::BadFrame(
+                    "batch frames cannot nest inside batch bodies".into(),
+                ));
+            }
+            return Self::decode_batch(kind, parts, buf, newline);
+        }
         let src: Ipv4Addr = parts
             .next()
             .ok_or_else(|| ProtoError::BadFrame("missing source address".into()))?
@@ -122,6 +217,76 @@ impl WireMessage {
             "QUERY" => WireMessage::Query(codec::decode_query(body, addrs)?),
             "RESPONSE" => WireMessage::Response(codec::decode_response(body, addrs)?),
             other => return Err(ProtoError::BadFrame(format!("unknown kind {other:?}"))),
+        };
+        Ok(Some((msg, body_start + len)))
+    }
+
+    /// Decodes the tail of a batch frame: `<count> <body-length>\n` followed
+    /// by exactly `count` back-to-back singleton frames of the matching kind.
+    fn decode_batch<'a>(
+        kind: &str,
+        mut parts: impl Iterator<Item = &'a str>,
+        buf: &[u8],
+        newline: usize,
+    ) -> Result<Option<(WireMessage, usize)>, ProtoError> {
+        let count: usize = parts
+            .next()
+            .ok_or_else(|| ProtoError::BadFrame("missing batch count".into()))?
+            .parse()
+            .map_err(|_| ProtoError::BadFrame("bad batch count".into()))?;
+        let len: usize = parts
+            .next()
+            .ok_or_else(|| ProtoError::BadFrame("missing body length".into()))?
+            .parse()
+            .map_err(|_| ProtoError::BadFrame("bad body length".into()))?;
+        if parts.next().is_some() {
+            return Err(ProtoError::BadFrame("trailing tokens in header".into()));
+        }
+        if count > MAX_BATCH {
+            return Err(ProtoError::BadFrame(format!(
+                "batch of {count} exceeds the {MAX_BATCH}-element limit"
+            )));
+        }
+        if len > MAX_BATCH_BODY {
+            return Err(ProtoError::TooLarge {
+                size: len,
+                limit: MAX_BATCH_BODY,
+            });
+        }
+        let body_start = newline + 1;
+        if buf.len() < body_start + len {
+            return Ok(None);
+        }
+        let body = &buf[body_start..body_start + len];
+        let mut queries = Vec::new();
+        let mut responses = Vec::new();
+        let mut at = 0;
+        for _ in 0..count {
+            // The body is complete, so a partial element frame is corruption,
+            // not a need for more bytes. Elements must be singleton frames
+            // (`allow_batch = false`): nesting is a protocol violation.
+            let (element, used) = Self::decode_frame(&body[at..], false)?
+                .ok_or_else(|| ProtoError::BadFrame("batch body ends mid-element".into()))?;
+            at += used;
+            match (kind, element) {
+                ("QUERY-BATCH", WireMessage::Query(q)) => queries.push(q),
+                ("RESPONSE-BATCH", WireMessage::Response(r)) => responses.push(r),
+                _ => {
+                    return Err(ProtoError::BadFrame(
+                        "batch element kind does not match the envelope".into(),
+                    ))
+                }
+            }
+        }
+        if at != len {
+            return Err(ProtoError::BadFrame(
+                "batch body longer than its declared elements".into(),
+            ));
+        }
+        let msg = if kind == "QUERY-BATCH" {
+            WireMessage::QueryBatch(queries)
+        } else {
+            WireMessage::ResponseBatch(responses)
         };
         Ok(Some((msg, body_start + len)))
     }
@@ -215,5 +380,133 @@ mod tests {
     fn addresses_come_from_envelope() {
         let msg = WireMessage::Query(Query::new(flow()));
         assert_eq!(msg.addresses(), flow().addresses());
+    }
+
+    fn other_flow(i: u8) -> FiveTuple {
+        FiveTuple::tcp([10, 9, 8, i], 40000 + i as u16, [10, 1, 1, 1], 80)
+    }
+
+    #[test]
+    fn query_batch_round_trip() {
+        let msg = WireMessage::QueryBatch(vec![
+            Query::new(flow()).with_key(well_known::USER_ID),
+            Query::new(other_flow(1)),
+            Query::new(other_flow(2)).with_key(well_known::APP_NAME),
+        ]);
+        let bytes = msg.encode();
+        let (decoded, used) = WireMessage::decode(&bytes).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn response_batch_round_trip_and_empty_batch() {
+        let msg = WireMessage::ResponseBatch(vec![sample_response(), {
+            let mut r = Response::new(other_flow(3));
+            let mut s = Section::new();
+            s.push(well_known::USER_ID, "bob");
+            r.push_section(s);
+            r
+        }]);
+        let bytes = msg.encode();
+        let (decoded, used) = WireMessage::decode(&bytes).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(used, bytes.len());
+
+        let empty = WireMessage::ResponseBatch(Vec::new());
+        let bytes = empty.encode();
+        let (decoded, used) = WireMessage::decode(&bytes).unwrap().unwrap();
+        assert_eq!(decoded, empty);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn partial_batch_frames_ask_for_more_data() {
+        let msg = WireMessage::QueryBatch(vec![Query::new(flow()), Query::new(other_flow(1))]);
+        let bytes = msg.encode();
+        for cut in [0, 1, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert_eq!(WireMessage::decode(&bytes[..cut]).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn batch_addresses_are_the_first_elements() {
+        let msg = WireMessage::QueryBatch(vec![Query::new(flow()), Query::new(other_flow(1))]);
+        assert_eq!(msg.addresses(), flow().addresses());
+        let empty = WireMessage::QueryBatch(Vec::new());
+        assert_eq!(empty.addresses().src, Ipv4Addr::new(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn rejects_nested_batch_frames_without_recursing() {
+        // A hostile peer nesting batch headers inside batch bodies must be
+        // rejected at the first inner header — not by recursing through
+        // thousands of levels until the stack gives out.
+        let mut frame = WireMessage::Query(Query::new(flow())).encode();
+        for _ in 0..10_000 {
+            let header = format!("{MAGIC} QUERY-BATCH 1 {}\n", frame.len());
+            let mut outer = header.into_bytes();
+            outer.extend_from_slice(&frame);
+            frame = outer;
+        }
+        assert!(matches!(
+            WireMessage::decode(&frame),
+            Err(ProtoError::BadFrame(_))
+        ));
+    }
+
+    #[test]
+    fn any_legal_batch_of_legal_elements_encodes_legally() {
+        // The batch body bound must admit MAX_BATCH elements of the maximum
+        // singleton size (plus singleton headers, far under 512 bytes each),
+        // so a daemon fully answering a full batch can never emit a frame
+        // the querier has to reject.
+        const { assert!(MAX_BATCH_BODY >= MAX_BATCH * (codec::MAX_MESSAGE_SIZE + 128)) };
+        // And a realistic large batch round-trips.
+        let batch: Vec<Response> = (0..MAX_BATCH as u8)
+            .map(|i| {
+                let mut r = Response::new(other_flow(i));
+                let mut s = Section::new();
+                for k in 0..50 {
+                    s.push(format!("key-{k}"), "x".repeat(200).as_str());
+                }
+                r.push_section(s);
+                r
+            })
+            .collect();
+        let msg = WireMessage::ResponseBatch(batch);
+        let bytes = msg.encode();
+        let (decoded, used) = WireMessage::decode(&bytes).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn rejects_batch_limit_violations() {
+        // Too many elements.
+        let hdr = format!("{MAGIC} QUERY-BATCH {} 0\n", MAX_BATCH + 1);
+        assert!(WireMessage::decode(hdr.as_bytes()).is_err());
+        // Oversized declared body.
+        let hdr = format!("{MAGIC} RESPONSE-BATCH 1 {}\n", MAX_BATCH_BODY + 1);
+        assert!(matches!(
+            WireMessage::decode(hdr.as_bytes()),
+            Err(ProtoError::TooLarge { .. })
+        ));
+        // Count that does not match the body: one element declared, none sent.
+        let hdr = format!("{MAGIC} QUERY-BATCH 1 0\n");
+        assert!(WireMessage::decode(hdr.as_bytes()).is_err());
+        // Body longer than its declared elements.
+        let one = WireMessage::Query(Query::new(flow())).encode();
+        let hdr = format!("{MAGIC} QUERY-BATCH 1 {}\n", one.len() + 3);
+        let mut bytes = hdr.into_bytes();
+        bytes.extend_from_slice(&one);
+        bytes.extend_from_slice(b"xyz");
+        assert!(WireMessage::decode(&bytes).is_err());
+        // Element kind mismatching the envelope.
+        let resp = WireMessage::Response(sample_response()).encode();
+        let hdr = format!("{MAGIC} QUERY-BATCH 1 {}\n", resp.len());
+        let mut bytes = hdr.into_bytes();
+        bytes.extend_from_slice(&resp);
+        assert!(WireMessage::decode(&bytes).is_err());
     }
 }

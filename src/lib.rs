@@ -38,6 +38,14 @@ pub mod prelude {
     pub use identxx_core::prelude::*;
 }
 
+/// Runs every fenced Rust block in `README.md` as a doctest, so the
+/// README's quickstart snippets can never drift from the real API.
+#[cfg(doctest)]
+mod readme_doctests {
+    #[doc = include_str!("../README.md")]
+    struct ReadmeDoctests;
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

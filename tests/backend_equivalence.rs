@@ -219,3 +219,79 @@ async fn recording_backend_matches_in_process_for_scripted_hosts() {
     assert!(log[0].keys.contains(&well_known::USER_ID.to_string()));
     assert!(log[0].keys.contains(&well_known::REQUIREMENTS.to_string()));
 }
+
+#[tokio::test]
+async fn batched_rounds_decide_identically_across_backends() {
+    // The same scenario decided in batched query rounds: the in-process
+    // backend (default loop) and the network backend (per-host QUERY-BATCH
+    // frames over pooled connections) must match the sequential in-process
+    // reference decision for decision, stats, and audit alike.
+    let reference_scenario = scenario();
+    let scenario_a = scenario();
+    let scenario_b = scenario();
+    let config = ControllerConfig::new().with_control_file("00.control", POLICY);
+
+    let build_in_process = |daemons: Vec<Daemon>| {
+        let mut controller = IdentxxController::new(config.clone()).unwrap();
+        for daemon in daemons {
+            if daemon.host().addr != Ipv4Addr::new(10, 0, 0, 4) {
+                controller.register_daemon(daemon);
+            }
+        }
+        controller
+    };
+    let mut reference = build_in_process(reference_scenario.daemons);
+    let mut in_process = build_in_process(scenario_a.daemons);
+
+    let mut servers = Vec::new();
+    let mut backend = NetworkBackend::new().with_budget(Duration::from_millis(500));
+    for daemon in scenario_b.daemons {
+        let addr = daemon.host().addr;
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        backend.register_endpoint(addr, server.local_addr());
+        if addr == Ipv4Addr::new(10, 0, 0, 4) {
+            server.shutdown();
+        } else {
+            servers.push(server);
+        }
+    }
+    let mut network = IdentxxController::new(config)
+        .unwrap()
+        .with_backend(Box::new(backend));
+
+    // Rounds chosen so no flow repeats within a round (the one documented
+    // batch-vs-sequential divergence); repeats across rounds still hit the
+    // cache exactly as they would sequentially.
+    let flows = &reference_scenario.flows;
+    let rounds: [&[FiveTuple]; 4] = [&flows[0..1], &flows[1..3], &flows[3..6], &flows[6..8]];
+    let mut flow_index = 0usize;
+    for round in rounds {
+        let now = (flow_index as u64) * 10;
+        let a = in_process.decide_batch(round, now);
+        let b = network.decide_batch(round, now);
+        for (i, flow) in round.iter().enumerate() {
+            let r = reference.decide(flow, now);
+            assert_eq!(
+                digest(&r),
+                digest(&a[i]),
+                "in-process batch diverged from sequential for {flow}"
+            );
+            assert_eq!(
+                digest(&r),
+                digest(&b[i]),
+                "network batch diverged from sequential for {flow}"
+            );
+        }
+        flow_index += round.len();
+    }
+
+    assert_eq!(reference.backend_stats(), in_process.backend_stats());
+    assert_eq!(in_process.backend_stats(), network.backend_stats());
+    assert_eq!(in_process.audit().records(), network.audit().records());
+
+    for server in servers {
+        server.shutdown();
+    }
+}

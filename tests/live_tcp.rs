@@ -190,6 +190,67 @@ async fn dual_end_queries_cost_max_not_sum() {
 }
 
 #[tokio::test]
+async fn batched_round_costs_one_round_trip_per_host() {
+    // Four flows between the same two hosts, decided in ONE batched round:
+    // each host receives a single QUERY-BATCH frame and charges its
+    // processing delay once per frame, so the round costs ≈ one delayed
+    // round trip — where four singleton decisions would stack four.
+    const DELAY: Duration = Duration::from_millis(150);
+    let src_ip = Ipv4Addr::new(10, 0, 0, 1);
+    let dst_ip = Ipv4Addr::new(10, 0, 0, 2);
+    let mut src_daemon = Daemon::bare(Host::new("laptop", src_ip));
+    let mut dst_daemon = Daemon::bare(Host::new("desktop", dst_ip));
+    let pid = dst_daemon.host_mut().spawn("bob", skype(210));
+    dst_daemon.host_mut().listen(pid, IpProtocol::Tcp, 34000);
+    let flows: Vec<FiveTuple> = (0..4u16)
+        .map(|i| {
+            src_daemon
+                .host_mut()
+                .open_connection("alice", skype(210), 40_400 + i, dst_ip, 34000)
+        })
+        .collect();
+    src_daemon.set_response_delay_micros(DELAY.as_micros() as u64);
+    dst_daemon.set_response_delay_micros(DELAY.as_micros() as u64);
+
+    let src_server = DaemonServer::start(src_daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+    let dst_server = DaemonServer::start(dst_daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+    let backend = NetworkBackend::new()
+        .with_budget(Duration::from_secs(2))
+        .with_endpoint(src_ip, src_server.local_addr())
+        .with_endpoint(dst_ip, dst_server.local_addr());
+    let config = ControllerConfig::new().with_control_file("00.control", PAIR_POLICY);
+    let mut controller = IdentxxController::new(config)
+        .unwrap()
+        .with_backend(Box::new(backend));
+
+    let started = Instant::now();
+    let decisions = controller.decide_batch(&flows, 0);
+    let elapsed = started.elapsed();
+    assert!(decisions.iter().all(|d| d.is_pass()));
+    assert_eq!(controller.backend_stats().queries_sent, 8);
+    assert_eq!(controller.backend_stats().responses_received, 8);
+    // One frame per host → one delay per host, concurrently.
+    assert_eq!(src_server.queries_served(), 4);
+    assert_eq!(dst_server.queries_served(), 4);
+    assert!(
+        elapsed >= DELAY,
+        "a round cannot beat one round trip ({elapsed:?})"
+    );
+    assert!(
+        elapsed < DELAY * 3,
+        "a batched round must coalesce per host: 8 queries ≈ one delayed \
+         round trip, not eight (elapsed {elapsed:?})"
+    );
+
+    src_server.shutdown();
+    dst_server.shutdown();
+}
+
+#[tokio::test]
 async fn shared_timeout_budget_bounds_the_whole_decision() {
     let (mut src_daemon, mut dst_daemon, flow) = staged_pair();
     // Both daemons stall far past the budget: the decision must come back

@@ -1,0 +1,247 @@
+//! Sharding invariants: the consistent-hash router keeps every flow (and
+//! everything that could alias it in the state table) on one stable shard,
+//! and the sharded / batched decision paths are decision-identical to the
+//! single controller deciding one flow at a time.
+
+use identxx::controller::{
+    BackendStats, ControllerConfig, FlowDecision, IdentxxController, RecordingBackend, ShardRouter,
+    ShardedController,
+};
+use identxx::pf::{CacheGranularity, Decision};
+use identxx::proto::{FiveTuple, IpProtocol, Ipv4Addr};
+use proptest::prelude::*;
+
+const GRANULARITIES: [CacheGranularity; 3] = [
+    CacheGranularity::ExactFiveTuple,
+    CacheGranularity::HostPair,
+    CacheGranularity::HostPairDstPort,
+];
+
+fn arb_flow() -> impl Strategy<Value = FiveTuple> {
+    (
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u16>(),
+        prop_oneof![Just(6u8), Just(17u8), any::<u8>()],
+    )
+        .prop_map(|(src, sport, dst, dport, proto)| {
+            FiveTuple::new(
+                Ipv4Addr(src),
+                sport,
+                Ipv4Addr(dst),
+                dport,
+                IpProtocol::from_number(proto),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A flow and its reverse land on the same shard, under every cache
+    /// granularity and shard count, and routing is deterministic across
+    /// independently built routers.
+    #[test]
+    fn flow_and_reverse_share_a_shard(flow in arb_flow(), shards in 1usize..9) {
+        for granularity in GRANULARITIES {
+            let router = ShardRouter::new(shards, granularity);
+            let forward = router.route(&flow);
+            prop_assert!(forward < shards);
+            prop_assert_eq!(forward, router.route(&flow.reversed()),
+                "reverse direction re-routed under {:?}", granularity);
+            // A freshly built identical router agrees: routing is a pure
+            // function of (shards, granularity, flow).
+            let rebuilt = ShardRouter::new(shards, granularity);
+            prop_assert_eq!(forward, rebuilt.route(&flow));
+        }
+    }
+
+    /// Flows that can share a state-table entry share a shard: same host
+    /// pair and protocol, any ports, any direction.
+    #[test]
+    fn cache_aliases_are_colocated(flow in arb_flow(), sport in any::<u16>(), dport in any::<u16>()) {
+        for granularity in [CacheGranularity::HostPair, CacheGranularity::HostPairDstPort] {
+            let router = ShardRouter::new(8, granularity);
+            let mut sibling = flow;
+            sibling.src_port = sport;
+            sibling.dst_port = dport;
+            prop_assert_eq!(router.route(&flow), router.route(&sibling));
+            prop_assert_eq!(router.route(&flow), router.route(&sibling.reversed()));
+        }
+    }
+}
+
+/// The scripted scenario both equivalence tests run: four hosts, two of
+/// them claiming firefox (pass), one claiming an unknown app (block), one
+/// silent (fail closed).
+fn scripted_backend() -> RecordingBackend {
+    RecordingBackend::new()
+        .with_answer(
+            Ipv4Addr::new(10, 0, 0, 1),
+            vec![
+                ("name".to_string(), "firefox".to_string()),
+                ("userID".to_string(), "alice".to_string()),
+            ],
+        )
+        .with_answer(
+            Ipv4Addr::new(10, 0, 0, 2),
+            vec![("name".to_string(), "firefox".to_string())],
+        )
+        .with_answer(
+            Ipv4Addr::new(10, 0, 0, 3),
+            vec![("name".to_string(), "unknownd".to_string())],
+        )
+        .with_silent(Ipv4Addr::new(10, 0, 0, 4))
+}
+
+fn test_config() -> ControllerConfig {
+    ControllerConfig::new()
+        .with_control_file(
+            "00.control",
+            "block all\npass all with eq(@src[name], firefox) keep state\n",
+        )
+        .with_cache_granularity(CacheGranularity::HostPairDstPort)
+}
+
+/// Distinct flows spanning every scripted host, plus repeats in later
+/// rounds to exercise the cache.
+fn test_flows() -> Vec<FiveTuple> {
+    let h = |i: u8| Ipv4Addr::new(10, 0, 0, i);
+    vec![
+        FiveTuple::tcp(h(1), 41_000, h(2), 80),
+        FiveTuple::tcp(h(3), 41_001, h(1), 80), // unknown app → block
+        FiveTuple::tcp(h(4), 41_002, h(2), 80), // silent src → fail closed
+        FiveTuple::tcp(h(2), 41_003, h(3), 443),
+        FiveTuple::tcp(h(1), 41_004, h(4), 22),
+        FiveTuple::tcp(h(2), 41_005, h(1), 80), // reverse host pair of flow 0
+    ]
+}
+
+fn digest(d: &FlowDecision) -> (Decision, Option<usize>, bool, u32) {
+    (
+        d.verdict.decision,
+        d.verdict.matched_line,
+        d.from_cache,
+        d.queries_issued,
+    )
+}
+
+/// `decide_batch` (one query round per batch) reproduces the singleton
+/// `decide` loop exactly — decisions, backend stats, audit trail, and the
+/// per-host query log the recording backend captured.
+#[test]
+fn batched_rounds_match_singleton_decisions() {
+    let mut singleton = IdentxxController::new(test_config())
+        .unwrap()
+        .with_backend(Box::new(scripted_backend()));
+    let mut batched = IdentxxController::new(test_config())
+        .unwrap()
+        .with_backend(Box::new(scripted_backend()));
+
+    let flows = test_flows();
+    // Three rounds; no flow repeats *within* a round (intra-round repeats
+    // are the one documented divergence from sequential deciding).
+    for (round, chunk) in flows.chunks(2).enumerate() {
+        let now = round as u64 * 100;
+        let batch = batched.decide_batch(chunk, now);
+        for (flow, b) in chunk.iter().zip(&batch) {
+            let s = singleton.decide(flow, now);
+            assert_eq!(digest(&s), digest(b), "decision diverged for {flow}");
+        }
+    }
+    assert_eq!(singleton.backend_stats(), batched.backend_stats());
+    assert_eq!(singleton.audit().records(), batched.audit().records());
+
+    let log = |c: &IdentxxController| {
+        c.backend()
+            .as_any()
+            .downcast_ref::<RecordingBackend>()
+            .unwrap()
+            .recorded()
+            .to_vec()
+    };
+    assert_eq!(log(&singleton), log(&batched));
+}
+
+/// A one-shard `ShardedController` *is* the single controller: identical
+/// decisions, stats, and audit for the same flow sequence.
+#[test]
+fn one_shard_is_decision_identical_to_single_controller() {
+    let mut single = IdentxxController::new(test_config())
+        .unwrap()
+        .with_backend(Box::new(scripted_backend()));
+    let mut sharded = ShardedController::new(test_config(), 1)
+        .unwrap()
+        .with_backends(|_| Box::new(scripted_backend()));
+
+    let flows = test_flows();
+    for (i, flow) in flows.iter().enumerate() {
+        let now = i as u64 * 10;
+        assert_eq!(
+            digest(&single.decide(flow, now)),
+            digest(&sharded.decide(flow, now)),
+            "shards=1 diverged for {flow}"
+        );
+    }
+    assert_eq!(single.backend_stats(), sharded.backend_stats());
+    assert_eq!(single.audit().records(), sharded.merged_audit().as_slice());
+}
+
+/// Four shards reach the same decisions as one controller; the merged
+/// views add up; and every decision really ran on the shard the router
+/// names (shard-local audit is the proof).
+#[test]
+fn four_shards_decide_identically_and_merge_views() {
+    let mut single = IdentxxController::new(test_config())
+        .unwrap()
+        .with_backend(Box::new(scripted_backend()));
+    let mut sharded = ShardedController::new(test_config(), 4)
+        .unwrap()
+        .with_backends(|_| Box::new(scripted_backend()));
+
+    let flows = test_flows();
+    // Two passes so the second is cache-warm — shard-local state tables
+    // must serve repeats (and reverse flows) exactly like the single
+    // controller's.
+    for pass in 0u64..2 {
+        let now = pass * 1_000;
+        let batch = sharded.decide_batch(&flows, now);
+        for (flow, b) in flows.iter().zip(&batch) {
+            let s = single.decide(flow, now);
+            assert_eq!(
+                digest(&s),
+                digest(b),
+                "shards=4 diverged for {flow} on pass {pass}"
+            );
+        }
+    }
+
+    let merged: BackendStats = sharded.backend_stats();
+    assert_eq!(single.backend_stats(), merged);
+    assert_eq!(single.audit().len(), sharded.audit_len());
+    assert_eq!(
+        single.audit().total_queries(),
+        sharded.total_queries(),
+        "merged query accounting must be the sum of the shards"
+    );
+    assert!(sharded.cache_hit_ratio() > 0.0, "second pass must hit");
+
+    // Each flow's audit records live on exactly the shard the router names.
+    for flow in &flows {
+        let owner = sharded.shard_for(flow);
+        for (index, shard) in (0..sharded.shard_count()).map(|i| (i, sharded.shard(i))) {
+            let here = shard
+                .audit()
+                .records()
+                .iter()
+                .filter(|r| r.flow == *flow)
+                .count();
+            if index == owner {
+                assert!(here > 0, "owning shard has no record of {flow}");
+            } else {
+                assert_eq!(here, 0, "shard {index} decided foreign flow {flow}");
+            }
+        }
+    }
+}
