@@ -1,20 +1,30 @@
-//! Prints the experiment scenario tables (E1, E6, E7, E8a, E8b, E9) that
-//! used to be side effects of `cargo bench`.
+//! Prints the experiment scenario tables (E1, E6, E7, E8a, E8b, E9, E10)
+//! that used to be side effects of `cargo bench`.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p identxx-bench --bin scenarios            # all tables
-//! cargo run --release -p identxx-bench --bin scenarios e6 e8a    # a subset
-//! IDENTXX_SHARDS=4 cargo run --release -p identxx-bench --bin scenarios e9
+//! cargo run --release -p identxx-bench --bin scenarios             # all tables
+//! cargo run --release -p identxx-bench --bin scenarios e6 e8a     # a subset
+//! cargo run --release -p identxx-bench --bin scenarios --json e9  # + BENCH_E9.json
+//! IDENTXX_SHARDS=4 cargo run --release -p identxx-bench --bin scenarios e8b e9
+//! IDENTXX_E10_SMOKE=1 cargo run --release -p identxx-bench --bin scenarios e10
 //! ```
 //!
 //! `IDENTXX_SHARDS=N` focuses the E9 sharding sweep on shard counts {1, N}
-//! (CI's second smoke configuration); without it E9 sweeps 1/2/4/8. Every
-//! E9 cell asserts its decision stream is identical to the
-//! single-controller path, so the smoke run fails if sharding ever changes
-//! a decision.
+//! and runs the E8b table over an N-shard tier sharing one daemon directory
+//! (CI's second smoke configuration); without it E9 sweeps 1/2/4/8 and E8b
+//! runs unsharded. Every E9 cell (and the sharded E8b run) asserts it is
+//! decision-identical to the single-controller path, so the smoke run fails
+//! if sharding ever changes a decision. E10 compares the reactor runtime
+//! against the `IDENTXX_RUNTIME=threaded` baseline; `IDENTXX_E10_SMOKE=1`
+//! shrinks its sweep to CI size.
+//!
+//! `--json` additionally writes each quantitative experiment's cells to
+//! `BENCH_<EXP>.json` in the working directory (E8b, E9, E10) so CI can
+//! upload them as artifacts and track the perf trajectory across PRs.
 
+use identxx_bench::report::{write_bench_json, BenchRow};
 use identxx_bench::scenarios;
 
 /// Flows per E9 sweep cell. Modest on purpose: the slowest cell decides one
@@ -23,41 +33,67 @@ use identxx_bench::scenarios;
 const E9_SMOKE_FLOWS: usize = 768;
 
 fn e9_shard_counts() -> Vec<usize> {
-    match std::env::var("IDENTXX_SHARDS") {
-        Ok(value) => {
-            let shards: usize = value.parse().ok().filter(|n| *n >= 1).unwrap_or_else(|| {
-                panic!("IDENTXX_SHARDS must be a positive integer, got {value:?}")
-            });
-            if shards == 1 {
-                vec![1]
-            } else {
-                vec![1, shards]
-            }
-        }
-        Err(_) => vec![1, 2, 4, 8],
+    match scenarios::env_shards() {
+        Some(1) => vec![1],
+        Some(shards) => vec![1, shards],
+        None => vec![1, 2, 4, 8],
     }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| {
+            if arg == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["e1", "e6", "e7", "e8a", "e8b", "e9"]
+        vec!["e1", "e6", "e7", "e8a", "e8b", "e9", "e10"]
     } else {
         args.iter().map(String::as_str).collect()
     };
+    let e10_smoke = std::env::var_os("IDENTXX_E10_SMOKE").is_some();
     for experiment in selected {
-        match experiment {
-            "e1" => scenarios::print_e1(),
-            "e6" => scenarios::print_e6(),
-            "e7" => scenarios::print_e7(),
-            "e8a" => scenarios::print_e8a(),
+        let rows: Vec<BenchRow> = match experiment {
+            "e1" => {
+                scenarios::print_e1();
+                Vec::new()
+            }
+            "e6" => {
+                scenarios::print_e6();
+                Vec::new()
+            }
+            "e7" => {
+                scenarios::print_e7();
+                Vec::new()
+            }
+            "e8a" => {
+                scenarios::print_e8a();
+                Vec::new()
+            }
             "e8b" => scenarios::print_e8b(),
             "e9" => scenarios::print_e9(&e9_shard_counts(), E9_SMOKE_FLOWS),
+            "e10" => scenarios::print_e10(e10_smoke),
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; expected e1, e6, e7, e8a, e8b, e9, or all"
+                    "unknown experiment {other:?}; expected e1, e6, e7, e8a, e8b, e9, e10, or all"
                 );
                 std::process::exit(2);
+            }
+        };
+        if json && !rows.is_empty() {
+            match write_bench_json(experiment, &rows) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(err) => {
+                    eprintln!("failed to write BENCH json for {experiment}: {err}");
+                    std::process::exit(1);
+                }
             }
         }
     }

@@ -4,4 +4,5 @@
 //! (`cargo run --release -p identxx-bench --bin scenarios`). See
 //! EXPERIMENTS.md for the experiment index.
 
+pub mod report;
 pub mod scenarios;

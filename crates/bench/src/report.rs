@@ -1,0 +1,144 @@
+//! Machine-readable experiment output: `BENCH_<EXP>.json` files.
+//!
+//! The scenario binary's tables are human-readable and ephemeral; CI needs
+//! the same numbers as artifacts so the perf trajectory is comparable
+//! across PRs. Each experiment that opts in collects its cells as
+//! [`BenchRow`]s and, when the binary runs with `--json`, writes them as a
+//! JSON array of flat objects to `BENCH_<EXP>.json` in the working
+//! directory. The encoder is deliberately tiny (string/number fields only,
+//! no nesting) so the workspace stays free of a serde dependency.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+
+/// One field of a bench row.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A finite number (non-finite values are serialized as `null`).
+    Num(f64),
+    /// A string (escaped minimally: backslash, quote, control characters).
+    Str(String),
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Num(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Num(v as f64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Num(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+/// One experiment cell: ordered `(key, value)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct BenchRow {
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl BenchRow {
+    /// An empty row.
+    pub fn new() -> BenchRow {
+        BenchRow::default()
+    }
+
+    /// Appends a field (builder style).
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> BenchRow {
+        self.fields.push((key, value.into()));
+        self
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes rows as a JSON array of flat objects.
+pub fn to_json(rows: &[BenchRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        for (j, (key, value)) in row.fields.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            escape(key, &mut out);
+            out.push_str(": ");
+            match value {
+                Value::Num(n) if n.is_finite() => {
+                    // Integral values print without a fraction so the files
+                    // diff cleanly across runs.
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                }
+                Value::Num(_) => out.push_str("null"),
+                Value::Str(s) => escape(s, &mut out),
+            }
+        }
+        out.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes `BENCH_<EXP>.json` (experiment name upper-cased) in the current
+/// directory and returns its path.
+pub fn write_bench_json(experiment: &str, rows: &[BenchRow]) -> io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{}.json", experiment.to_uppercase()));
+    std::fs::write(&path, to_json(rows))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_serialize_flat_and_escaped() {
+        let rows = vec![
+            BenchRow::new()
+                .with("experiment", "e9")
+                .with("shards", 4usize)
+                .with("decisions_per_sec", 15396.25),
+            BenchRow::new().with("note", "quote\" and\\ctrl\u{1}"),
+        ];
+        let json = to_json(&rows);
+        assert!(json.contains("\"experiment\": \"e9\""));
+        assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"decisions_per_sec\": 15396.25"));
+        assert!(json.contains("\\\" and\\\\ctrl\\u0001"));
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        // Exactly one comma between the two objects.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+}

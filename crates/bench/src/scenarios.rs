@@ -6,12 +6,14 @@
 //! consumers:
 //!
 //! * the `scenarios` binary (`cargo run --release -p identxx-bench --bin
-//!   scenarios [e1|e6|e7|e8a|e8b|all]`) prints the tables,
+//!   scenarios [e1|e6|e7|e8a|e8b|e9|e10|all]`, `--json` for
+//!   `BENCH_<exp>.json` rows) prints the tables,
 //! * the benches reuse the same fixtures for pure measurement.
 
 use std::net::SocketAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use crate::report::BenchRow;
 use identxx_baselines::common::IntentScore;
 use identxx_baselines::{
     DistributedFirewall, EthaneController, EthanePolicy, FlowClassifier, VanillaFirewall,
@@ -115,7 +117,7 @@ pub fn identxx_blast_radius(net: &mut EnterpriseNetwork, attacker: Ipv4Addr) -> 
     for (i, victim) in victims.iter().enumerate() {
         let flow = {
             match net.daemon_mut(attacker) {
-                Some(daemon) => daemon.host_mut().open_connection(
+                Some(mut daemon) => daemon.host_mut().open_connection(
                     "mallory",
                     malware.clone(),
                     48000 + i as u16,
@@ -328,7 +330,7 @@ pub fn run_expressiveness_comparison(flow_count: usize, seed: u64) -> Vec<(Strin
             &flow.app.app_type,
         );
         {
-            let daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
+            let mut daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
             let pid = daemon.host_mut().spawn(&flow.user, exe);
             daemon.host_mut().connect_flow(pid, flow.five_tuple);
         }
@@ -440,11 +442,25 @@ pub fn print_e8a() {
 /// the paper's "the controller may cache the rules and apply them to
 /// future flows" (§3.4) intends.
 pub fn run_query_workload(flow_count: usize, locality: f64, seed: u64) -> (f64, u64, usize) {
-    let mut net = EnterpriseNetwork::star_with_config(
+    run_query_workload_sharded(flow_count, locality, seed, 1)
+}
+
+/// [`run_query_workload`] over a decision tier of `shards` shards sharing
+/// one daemon directory ([`identxx_controller::SharedDirectoryBackend`]):
+/// the scenario-table shape of the sharded simulator path, selected by
+/// `IDENTXX_SHARDS` in [`print_e8b`].
+pub fn run_query_workload_sharded(
+    flow_count: usize,
+    locality: f64,
+    seed: u64,
+    shards: usize,
+) -> (f64, u64, usize) {
+    let mut net = EnterpriseNetwork::star_with_config_sharded(
         20,
         ControllerConfig::new()
             .with_control_file("00.control", ALLOW_KNOWN_APPS_POLICY)
             .with_cache_granularity(CacheGranularity::HostPairDstPort),
+        shards,
     )
     .unwrap();
     let hosts = net.host_addrs();
@@ -459,24 +475,43 @@ pub fn run_query_workload(flow_count: usize, locality: f64, seed: u64) -> (f64, 
             "vendor",
             &flow.app.app_type,
         );
-        let daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
-        let pid = daemon.host_mut().spawn(&flow.user, exe);
-        daemon.host_mut().connect_flow(pid, flow.five_tuple);
+        {
+            let mut daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
+            let pid = daemon.host_mut().spawn(&flow.user, exe);
+            daemon.host_mut().connect_flow(pid, flow.five_tuple);
+        }
         net.decide(&flow.five_tuple);
     }
-    let audit = net.controller().audit();
-    (audit.cache_hit_ratio(), audit.total_queries(), flows.len())
+    (net.cache_hit_ratio(), net.total_queries(), flows.len())
 }
 
 /// Prints the E8b table: ident++ queries per flow vs workload locality.
-pub fn print_e8b() {
-    println!("\n# E8b: ident++ queries per flow vs workload locality (2000 flows)");
+/// With `IDENTXX_SHARDS=N` the same table runs over an N-shard decision
+/// tier sharing one daemon directory — the scenario-table proof that the
+/// simulator path shards (DESIGN.md §7). Returns the cells as bench rows.
+pub fn print_e8b() -> Vec<BenchRow> {
+    let shards = env_shards().unwrap_or(1);
+    println!(
+        "\n# E8b: ident++ queries per flow vs workload locality (2000 flows, {shards} shard{})",
+        if shards == 1 { "" } else { "s" }
+    );
     println!(
         "{:>10} {:>16} {:>16} {:>16}",
         "locality", "cache-hit-ratio", "total queries", "queries/flow"
     );
+    let mut rows = Vec::new();
     for locality in [0.0f64, 0.25, 0.5, 0.75, 0.9] {
-        let (hit_ratio, queries, flows) = run_query_workload(2_000, locality, 13);
+        let (hit_ratio, queries, flows) = run_query_workload_sharded(2_000, locality, 13, shards);
+        if shards > 1 {
+            // The sharded tier must reproduce the single tier's aggregate
+            // behaviour exactly: same audited queries, same hit ratio.
+            let (single_hit, single_queries, _) = run_query_workload(2_000, locality, 13);
+            assert_eq!(
+                queries, single_queries,
+                "sharded E8b diverged from the single-controller path at locality {locality}"
+            );
+            assert!((hit_ratio - single_hit).abs() < 1e-9);
+        }
         println!(
             "{:>10.2} {:>15.1}% {:>16} {:>16.2}",
             locality,
@@ -484,7 +519,33 @@ pub fn print_e8b() {
             queries,
             queries as f64 / flows as f64
         );
+        rows.push(
+            BenchRow::new()
+                .with("experiment", "e8b")
+                .with("shards", shards)
+                .with("locality", locality)
+                .with("cache_hit_ratio", hit_ratio)
+                .with("total_queries", queries)
+                .with("queries_per_flow", queries as f64 / flows as f64),
+        );
     }
+    rows
+}
+
+/// The `IDENTXX_SHARDS` override, when set and valid.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a positive integer — a silent
+/// fallback would quietly un-shard a CI smoke configuration.
+pub fn env_shards() -> Option<usize> {
+    std::env::var("IDENTXX_SHARDS").ok().map(|value| {
+        value
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .unwrap_or_else(|| panic!("IDENTXX_SHARDS must be a positive integer, got {value:?}"))
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -602,8 +663,8 @@ pub fn run_sharding_cell(
 /// Prints the E9 table: decisions/sec and queries/flow for shards ×
 /// batch-size over real loopback TCP daemons, asserting along the way that
 /// every sharded/batched configuration reproduces the single-controller
-/// decision stream exactly.
-pub fn print_e9(shard_counts: &[usize], flow_count: usize) {
+/// decision stream exactly. Returns the cells as bench rows.
+pub fn print_e9(shard_counts: &[usize], flow_count: usize) -> Vec<BenchRow> {
     let flows = sharding_workload(flow_count, 11);
     let servers = start_e9_daemons(E9_DAEMON_DELAY_MICROS);
     let endpoints: Vec<(Ipv4Addr, SocketAddr)> = servers
@@ -622,6 +683,7 @@ pub fn print_e9(shard_counts: &[usize], flow_count: usize) {
         "{:>8} {:>8} {:>16} {:>14}",
         "shards", "batch", "decisions/sec", "queries/flow"
     );
+    let mut rows = Vec::new();
     for &shards in shard_counts {
         for &batch in &[1usize, 8, 32] {
             let (dps, qpf, decisions) = run_sharding_cell(&endpoints, shards, batch, &flows);
@@ -630,11 +692,226 @@ pub fn print_e9(shard_counts: &[usize], flow_count: usize) {
                 "sharded ({shards}x batch {batch}) decisions diverge from the single-controller path"
             );
             println!("{shards:>8} {batch:>8} {dps:>16.0} {qpf:>14.2}");
+            rows.push(
+                BenchRow::new()
+                    .with("experiment", "e9")
+                    .with("shards", shards)
+                    .with("batch", batch)
+                    .with("flows", flow_count)
+                    .with("decisions_per_sec", dps)
+                    .with("queries_per_flow", qpf),
+            );
         }
     }
     for (_, server) in servers {
         server.shutdown();
     }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E10: reactor vs threaded runtime under connection fan-out
+// ---------------------------------------------------------------------------
+
+/// Artificial daemon processing delay for E10 (microseconds). Small on
+/// purpose: E9 measures the latency-bound overlap story; E10 measures the
+/// *runtime* — scheduling, wakeups, and per-connection cost — so the delay
+/// only needs to be large enough that rounds genuinely interleave.
+const E10_DAEMON_DELAY_MICROS: u64 = 300;
+
+/// Query-round size for every E10 cell: the E9 ceiling row (batch 32) is
+/// exactly the configuration the reactor is meant to multiply.
+const E10_BATCH: usize = 32;
+
+/// Current thread count of this process (from `/proc/self/status`); 0 when
+/// unreadable (non-Linux), which disables the thread columns' meaning but
+/// not the sweep.
+pub fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("Threads:")
+                    .and_then(|v| v.trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Starts `count` loopback daemons for the E10 sweep (same forged-identity
+/// mix as E9 so the decision stream is a pass/block mix).
+fn start_e10_daemons(count: usize) -> Vec<(Ipv4Addr, DaemonServer)> {
+    (1..=count)
+        .map(|i| {
+            let addr = Ipv4Addr::new(10, 1, (i / 250) as u8, (i % 250) as u8 + 1);
+            let mut daemon = Daemon::bare(Host::new(format!("h{addr}"), addr));
+            let app = if i % 2 == 1 { "firefox" } else { "unknownd" };
+            daemon.set_forged_response(Some(vec![
+                ("name".to_string(), app.to_string()),
+                ("userID".to_string(), "alice".to_string()),
+            ]));
+            daemon.set_response_delay_micros(E10_DAEMON_DELAY_MICROS);
+            let server = tokio::runtime::block_on(DaemonServer::start(
+                daemon,
+                "127.0.0.1:0".parse().unwrap(),
+            ))
+            .expect("bind loopback daemon");
+            (addr, server)
+        })
+        .collect()
+}
+
+/// One E10 cell: `lanes` independent controllers (each with its own
+/// `NetworkBackend` connection pool over every daemon) decide their slice
+/// of the workload in rounds of 32 (the E9 ceiling batch), concurrently. Returns
+/// `(decisions/sec, queries/flow, peak process threads seen mid-run)`.
+pub fn run_e10_cell(
+    endpoints: &[(Ipv4Addr, SocketAddr)],
+    lanes: usize,
+    flows: &[FiveTuple],
+) -> (f64, f64, usize) {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let config = ControllerConfig::new()
+        .with_control_file("00.control", ALLOW_KNOWN_APPS_POLICY)
+        .with_cache_granularity(CacheGranularity::HostPairDstPort);
+    let mut controllers: Vec<_> = (0..lanes)
+        .map(|_| {
+            let mut backend = NetworkBackend::new();
+            for (addr, endpoint) in endpoints {
+                backend.register_endpoint(*addr, *endpoint);
+            }
+            identxx_controller::IdentxxController::new(config.clone())
+                .expect("compile E10 policy")
+                .with_backend(Box::new(backend))
+        })
+        .collect();
+
+    let slice = flows.len().div_ceil(lanes);
+    let done = AtomicBool::new(false);
+    let peak_threads = AtomicUsize::new(process_threads());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = controllers
+            .iter_mut()
+            .enumerate()
+            .map(|(lane, controller)| {
+                let work =
+                    &flows[(lane * slice).min(flows.len())..((lane + 1) * slice).min(flows.len())];
+                scope.spawn(move || {
+                    for round in work.chunks(E10_BATCH) {
+                        controller.decide_batch(round, 0);
+                    }
+                })
+            })
+            .collect();
+        // Sampler: record the peak thread count while lanes are in flight;
+        // stopped (and then joined by the scope) once every lane finished.
+        let done = &done;
+        let peak = &peak_threads;
+        scope.spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                peak.fetch_max(process_threads(), Ordering::AcqRel);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        for handle in handles {
+            handle.join().expect("E10 lane panicked");
+        }
+        done.store(true, Ordering::Release);
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let decisions_per_sec = flows.len() as f64 / elapsed;
+    let total_queries: u64 = controllers.iter().map(|c| c.audit().total_queries()).sum();
+    (
+        decisions_per_sec,
+        total_queries as f64 / flows.len() as f64,
+        peak_threads.load(Ordering::Acquire),
+    )
+}
+
+/// Prints the E10 table: the reactor runtime vs the thread-per-task
+/// baseline (`IDENTXX_RUNTIME=threaded`) across daemon count × concurrent
+/// lanes, all at the E9 ceiling round size (batch 32). The separation the
+/// table exists to show: decisions/sec on the high-fan-out rows, and the
+/// process thread count — O(workers) on the reactor, O(connections) on the
+/// baseline. Returns the cells as bench rows.
+///
+/// `smoke` shrinks the sweep for CI (fewer daemons, fewer flows).
+pub fn print_e10(smoke: bool) -> Vec<BenchRow> {
+    let (daemon_counts, lane_counts, flow_count): (&[usize], &[usize], usize) = if smoke {
+        (&[4, 32], &[1, 4], 512)
+    } else {
+        (&[4, 32, 128], &[1, 4], 1024)
+    };
+    println!(
+        "\n# E10: reactor vs thread-per-task runtime (batch {E10_BATCH}, {E10_DAEMON_DELAY_MICROS} us/daemon, {flow_count} flows/cell)"
+    );
+    println!(
+        "{:>10} {:>8} {:>6} {:>16} {:>14} {:>13}",
+        "runtime", "daemons", "lanes", "decisions/sec", "queries/flow", "peak-threads"
+    );
+    let mut rows = Vec::new();
+    let mut reactor_dps: std::collections::BTreeMap<(usize, usize), f64> =
+        std::collections::BTreeMap::new();
+    let mut ratios: Vec<(usize, usize, f64)> = Vec::new();
+    for mode in ["reactor", "threaded"] {
+        if mode == "threaded" {
+            std::env::set_var("IDENTXX_RUNTIME", "threaded");
+        } else {
+            std::env::remove_var("IDENTXX_RUNTIME");
+        }
+        for &daemons in daemon_counts {
+            let servers = start_e10_daemons(daemons);
+            let endpoints: Vec<(Ipv4Addr, SocketAddr)> = servers
+                .iter()
+                .map(|(addr, server)| (*addr, server.local_addr()))
+                .collect();
+            let hosts: Vec<Ipv4Addr> = endpoints.iter().map(|(a, _)| *a).collect();
+            let mut config = WorkloadConfig::enterprise(hosts, flow_count, 17);
+            config.locality = 0.0;
+            let flows: Vec<FiveTuple> = WorkloadGenerator::new(config)
+                .generate()
+                .into_iter()
+                .map(|flow| flow.five_tuple)
+                .collect();
+            for &lanes in lane_counts {
+                let (dps, qpf, threads) = run_e10_cell(&endpoints, lanes, &flows);
+                println!(
+                    "{mode:>10} {daemons:>8} {lanes:>6} {dps:>16.0} {qpf:>14.2} {threads:>13}"
+                );
+                if mode == "reactor" {
+                    reactor_dps.insert((daemons, lanes), dps);
+                } else if let Some(reactor) = reactor_dps.get(&(daemons, lanes)) {
+                    ratios.push((daemons, lanes, reactor / dps));
+                }
+                rows.push(
+                    BenchRow::new()
+                        .with("experiment", "e10")
+                        .with("runtime", mode)
+                        .with("daemons", daemons)
+                        .with("lanes", lanes)
+                        .with("batch", E10_BATCH)
+                        .with("flows", flow_count)
+                        .with("decisions_per_sec", dps)
+                        .with("queries_per_flow", qpf)
+                        .with("peak_threads", threads),
+                );
+            }
+            for (_, server) in servers {
+                server.shutdown();
+            }
+        }
+    }
+    std::env::remove_var("IDENTXX_RUNTIME");
+    println!(
+        "{:>10} {:>8} {:>6} {:>16}",
+        "", "daemons", "lanes", "reactor/threaded"
+    );
+    for (daemons, lanes, ratio) in ratios {
+        println!("{:>10} {daemons:>8} {lanes:>6} {ratio:>15.2}x", "ratio");
+    }
+    rows
 }
 
 #[cfg(test)]

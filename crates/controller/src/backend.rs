@@ -9,14 +9,19 @@
 //! question ("resolve this flow's ends") and the backend decides transport,
 //! concurrency, and timeout handling, reporting uniform [`BackendStats`].
 //!
-//! Three implementations ship:
+//! Four implementations ship:
 //!
-//! * [`InProcessBackend`] — wraps the [`DaemonDirectory`] of simulated
+//! * [`InProcessBackend`] — wraps an owned [`DaemonDirectory`] of simulated
 //!   daemons; the simulator path, behaviour-identical to the controller's
 //!   historical hard-wired directory.
-//! * [`NetworkBackend`] — real TCP via `identxx-net`, querying the source
-//!   and destination ends **concurrently** with one shared deadline and a
-//!   pooled connection per host.
+//! * [`SharedDirectoryBackend`] — the same in-process semantics over an
+//!   `Arc<Mutex<DaemonDirectory>>`, so N controller shards can query (and
+//!   observe mutations of) **one** daemon population — what lets the
+//!   simulator facade drive a [`crate::ShardedController`] without N
+//!   diverging daemon copies (DESIGN.md §7).
+//! * [`NetworkBackend`] — real TCP via `identxx-net`, querying every
+//!   involved host **concurrently** with one shared deadline and a pooled
+//!   connection per host.
 //! * [`RecordingBackend`] — a scriptable test double that records every
 //!   query for failure-injection and audit tests.
 //!
@@ -43,6 +48,7 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use identxx_net::QueryClient;
@@ -234,6 +240,97 @@ impl QueryBackend for InProcessBackend {
 }
 
 // ---------------------------------------------------------------------------
+// Shared-directory backend
+// ---------------------------------------------------------------------------
+
+/// An in-process query plane over a **shared** daemon directory.
+///
+/// [`InProcessBackend`] owns its directory, which is exactly right for one
+/// controller but leaves a sharded tier stuck: N shards would need N copies
+/// of every daemon, and a scenario mutating a host (starting an application,
+/// compromising it) would have to repeat the mutation N times — the ROADMAP
+/// deficiency this type removes. All shards (and the simulator facade)
+/// instead hold clones of one `Arc<Mutex<DaemonDirectory>>`: a mutation is
+/// visible to every shard at its next query, and per-backend
+/// [`BackendStats`] stay shard-local so the tier's merged view still sums
+/// real work.
+///
+/// The lock is held per queried target, not per round — matching the
+/// granularity of a real daemon answering one query at a time, and short
+/// enough that shard threads interleave freely.
+#[derive(Debug)]
+pub struct SharedDirectoryBackend {
+    directory: Arc<Mutex<DaemonDirectory>>,
+    stats: BackendStats,
+}
+
+impl SharedDirectoryBackend {
+    /// Creates a backend over an existing shared directory.
+    pub fn new(directory: Arc<Mutex<DaemonDirectory>>) -> SharedDirectoryBackend {
+        SharedDirectoryBackend {
+            directory,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// A fresh shared directory plus the first backend over it; equip other
+    /// shards via [`SharedDirectoryBackend::new`] on the returned handle.
+    pub fn fresh() -> (Arc<Mutex<DaemonDirectory>>, SharedDirectoryBackend) {
+        let directory = Arc::new(Mutex::new(DaemonDirectory::new()));
+        let backend = SharedDirectoryBackend::new(Arc::clone(&directory));
+        (directory, backend)
+    }
+
+    /// The shared directory handle.
+    pub fn directory(&self) -> Arc<Mutex<DaemonDirectory>> {
+        Arc::clone(&self.directory)
+    }
+}
+
+impl QueryBackend for SharedDirectoryBackend {
+    fn query_flow(
+        &mut self,
+        flow: &FiveTuple,
+        targets: &[QueryTarget],
+        keys: &[&str],
+    ) -> FlowResponses {
+        let mut responses = FlowResponses::default();
+        for &target in targets {
+            let addr = target_addr(flow, target);
+            self.stats.queries_sent += 1;
+            responses.queries_issued += 1;
+            let answer = self
+                .directory
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .query(addr, flow, keys);
+            match &answer {
+                Some(_) => self.stats.responses_received += 1,
+                None => self.stats.timeouts += 1,
+            }
+            responses.set(target, answer);
+        }
+        responses
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn name(&self) -> &str {
+        "shared-directory"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Network backend
 // ---------------------------------------------------------------------------
 
@@ -249,6 +346,13 @@ pub const DEFAULT_QUERY_BUDGET: Duration = Duration::from_secs(2);
 /// pooled connection, against one *shared* absolute deadline — so the wall
 /// time a flow setup spends on queries is the maximum of the two round
 /// trips, not their sum, mirroring Fig. 1's parallel step 3.
+///
+/// Concurrency is future-shaped, not thread-shaped: a round's per-host
+/// shares are joined on the calling thread over the runtime's reactor, so a
+/// round across a hundred hosts costs a hundred suspended exchanges and
+/// zero spawned threads (the `IDENTXX_RUNTIME=threaded` baseline restores
+/// the historical scoped-thread-per-host fan-out for comparison —
+/// EXPERIMENTS.md E10).
 pub struct NetworkBackend {
     endpoints: BTreeMap<Ipv4Addr, SocketAddr>,
     clients: BTreeMap<Ipv4Addr, QueryClient>,
@@ -306,16 +410,21 @@ impl NetworkBackend {
     /// daemon, flows the daemon knows nothing about. The batch client keeps
     /// earlier chunks' answers when a later chunk's transport fails, so the
     /// error fallback here only fires on a protocol-violating peer.
-    fn batch_on_client(
+    async fn batch_on_client(
         client: &mut QueryClient,
         queries: &[Query],
         deadline: Instant,
     ) -> Vec<Option<Response>> {
         match queries {
             [] => Vec::new(),
-            [one] => vec![client.query_deadline(one, deadline).ok().flatten()],
+            [one] => vec![client
+                .query_deadline_async(one, deadline)
+                .await
+                .ok()
+                .flatten()],
             many => client
-                .query_batch_deadline(many, deadline)
+                .query_batch_deadline_async(many, deadline)
+                .await
                 .unwrap_or_else(|_| vec![None; many.len()]),
         }
     }
@@ -409,33 +518,57 @@ impl QueryBackend for NetworkBackend {
             });
         }
 
-        // One scoped thread per *extra* host, the first host inline on this
-        // thread: every host's share of the round runs concurrently under
-        // the one shared deadline, so the round costs ≈ the slowest host.
-        let results = std::thread::scope(|scope| {
-            let mut work = work.into_iter();
-            let first = work.next();
-            let handles: Vec<_> = work
-                .map(|mut share| {
-                    scope.spawn(move || {
-                        let answers =
-                            Self::batch_on_client(&mut share.client, &share.queries, deadline);
-                        (share, answers)
-                    })
+        // Every host's share of the round runs as a concurrent future under
+        // the one shared deadline, joined on this thread — the round costs
+        // ≈ the slowest host and **zero** spawned threads: the runtime's
+        // reactor suspends each share on socket readiness and its timer
+        // wheel enforces the deadline (DESIGN.md §7). Under the
+        // `IDENTXX_RUNTIME=threaded` baseline the historical architecture —
+        // one scoped OS thread per extra host, blocking shims — is kept for
+        // the E10 comparison rows.
+        let results: Vec<(HostShare, Vec<Option<Response>>)> =
+            if tokio::runtime::threaded_baseline() {
+                std::thread::scope(|scope| {
+                    let mut work = work.into_iter();
+                    let first = work.next();
+                    let handles: Vec<_> = work
+                        .map(|mut share| {
+                            scope.spawn(move || {
+                                let answers = tokio::runtime::block_on(Self::batch_on_client(
+                                    &mut share.client,
+                                    &share.queries,
+                                    deadline,
+                                ));
+                                (share, answers)
+                            })
+                        })
+                        .collect();
+                    let mut results = Vec::with_capacity(handles.len() + 1);
+                    if let Some(mut share) = first {
+                        let answers = tokio::runtime::block_on(Self::batch_on_client(
+                            &mut share.client,
+                            &share.queries,
+                            deadline,
+                        ));
+                        results.push((share, answers));
+                    }
+                    results.extend(
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("query thread panicked")),
+                    );
+                    results
                 })
-                .collect();
-            let mut results = Vec::with_capacity(handles.len() + 1);
-            if let Some(mut share) = first {
-                let answers = Self::batch_on_client(&mut share.client, &share.queries, deadline);
-                results.push((share, answers));
-            }
-            results.extend(
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("query thread panicked")),
-            );
-            results
-        });
+            } else {
+                tokio::runtime::block_on(tokio::future::join_all(work.into_iter().map(
+                    |mut share| async move {
+                        let answers =
+                            Self::batch_on_client(&mut share.client, &share.queries, deadline)
+                                .await;
+                        (share, answers)
+                    },
+                )))
+            };
 
         for (share, answers) in results {
             self.clients.insert(share.addr, share.client);
@@ -723,6 +856,69 @@ mod tests {
         }
         assert_eq!(batched.stats(), sequential.stats());
         assert_eq!(batched.stats().queries_sent, 3);
+    }
+
+    #[test]
+    fn shared_directory_backend_matches_in_process_semantics() {
+        let (directory, flow) = staged_directory();
+        let shared = Arc::new(Mutex::new(directory));
+        let mut a = SharedDirectoryBackend::new(Arc::clone(&shared));
+        let mut b = SharedDirectoryBackend::new(Arc::clone(&shared));
+        assert_eq!(a.name(), "shared-directory");
+
+        // Both backends see the same daemons; counters stay per-backend.
+        let responses = a.query_flow(&flow, BOTH_ENDS, &[well_known::USER_ID]);
+        assert_eq!(
+            responses.src.as_ref().unwrap().latest(well_known::USER_ID),
+            Some("alice")
+        );
+        assert!(responses.dst.is_some());
+        assert_eq!(a.stats().queries_sent, 2);
+        assert_eq!(b.stats().queries_sent, 0);
+
+        // A mutation through the shared handle is visible to every backend:
+        // silencing the source daemon makes it unanswered for both.
+        shared
+            .lock()
+            .unwrap()
+            .get_mut(flow.src_ip)
+            .unwrap()
+            .set_silent(true);
+        assert!(a.query_flow(&flow, BOTH_ENDS, &[]).src.is_none());
+        assert!(b.query_flow(&flow, BOTH_ENDS, &[]).src.is_none());
+        assert_eq!(a.stats().timeouts, 1);
+        assert_eq!(b.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn shared_directory_backend_batches_like_singles() {
+        let (directory, flow) = staged_directory();
+        let shared = Arc::new(Mutex::new(directory));
+        let mut batched = SharedDirectoryBackend::new(Arc::clone(&shared));
+        let mut sequential = SharedDirectoryBackend::new(shared);
+        let requests = [
+            FlowRequest {
+                flow,
+                targets: BOTH_ENDS,
+                keys: &[],
+            },
+            FlowRequest {
+                flow: flow.reversed(),
+                targets: &[QueryTarget::Destination],
+                keys: &[],
+            },
+        ];
+        let batch = batched.query_flows(&requests);
+        let singles: Vec<FlowResponses> = requests
+            .iter()
+            .map(|r| sequential.query_flow(&r.flow, r.targets, r.keys))
+            .collect();
+        for (b, s) in batch.iter().zip(&singles) {
+            assert_eq!(b.queries_issued, s.queries_issued);
+            assert_eq!(b.src.is_some(), s.src.is_some());
+            assert_eq!(b.dst.is_some(), s.dst.is_some());
+        }
+        assert_eq!(batched.stats(), sequential.stats());
     }
 
     #[test]

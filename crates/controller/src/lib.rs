@@ -12,10 +12,13 @@
 //! * [`config`] — the controller's configuration: `.control` files, trusted
 //!   public keys, named group lists, defaults,
 //! * [`backend`] — the pluggable query plane ([`QueryBackend`]): in-process
-//!   daemons for the simulator, concurrent dual-end TCP queries for
-//!   deployments, a recording double for tests — plus the batched
-//!   [`QueryBackend::query_flows`] round that resolves many flows at one
-//!   round trip per host (`QUERY-BATCH` frames on pooled connections),
+//!   daemons for the simulator (owned, or shared across shards via
+//!   [`SharedDirectoryBackend`]), concurrent dual-end TCP queries for
+//!   deployments (per-host futures joined under one deadline on the
+//!   runtime's reactor — zero threads per round, DESIGN.md §7), a recording
+//!   double for tests — plus the batched [`QueryBackend::query_flows`]
+//!   round that resolves many flows at one round trip per host
+//!   (`QUERY-BATCH` frames on pooled connections),
 //! * [`shard`] — the horizontally scaled tier: [`ShardedController`] routes
 //!   flows over N independent controller shards with a consistent-hash
 //!   [`ShardRouter`] keyed on cache-granularity-normalized flow keys, and
@@ -44,7 +47,7 @@ pub mod shard;
 pub use audit::{AuditLog, AuditRecord};
 pub use backend::{
     BackendStats, FlowRequest, FlowResponses, InProcessBackend, NetworkBackend, QueryBackend,
-    RecordingBackend,
+    RecordingBackend, SharedDirectoryBackend,
 };
 pub use config::ControllerConfig;
 pub use controller::{FlowDecision, IdentxxController};

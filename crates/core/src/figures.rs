@@ -94,7 +94,7 @@ pub fn figure2_skype() -> FigureScenario {
     let skype_daemon_conf =
         "@app /usr/bin/skype {\nname : skype\nvendor : skype.com\ntype : voip\n}\n";
     for addr in &hosts[1..] {
-        let daemon = network.daemon_mut(*addr).unwrap();
+        let mut daemon = network.daemon_mut(*addr).unwrap();
         daemon
             .host_mut()
             .config
@@ -236,7 +236,7 @@ pub fn figure45_research() -> FigureScenario {
     // Destination research machine (hosts[5] = 10.0.0.6): runs research-app
     // under a researcher account and carries the signed configuration.
     {
-        let daemon = network.daemon_mut(hosts[5]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[5]).unwrap();
         daemon.host_mut().add_user(identxx_hostmodel::User::new(
             "carol",
             1003,
@@ -251,7 +251,7 @@ pub fn figure45_research() -> FigureScenario {
     // Production machine (hosts[4] = 10.0.0.5) also runs the same listener —
     // but the controller's own rule forbids researchers from reaching it.
     {
-        let daemon = network.daemon_mut(hosts[4]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[4]).unwrap();
         daemon.host_mut().add_user(identxx_hostmodel::User::new(
             "carol",
             1003,
@@ -266,7 +266,7 @@ pub fn figure45_research() -> FigureScenario {
 
     // Source research machine: alice (research group) runs research-app.
     {
-        let daemon = network.daemon_mut(hosts[0]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[0]).unwrap();
         daemon.host_mut().add_user(identxx_hostmodel::User::new(
             "alice",
             1001,
@@ -278,11 +278,12 @@ pub fn figure45_research() -> FigureScenario {
 
     // 1. research-app → research-app on a research machine: allowed.
     {
-        let daemon = network.daemon_mut(hosts[0]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[0]).unwrap();
         let flow =
             daemon
                 .host_mut()
                 .open_connection("alice", research_exe.clone(), 45000, hosts[5], 7000);
+        drop(daemon);
         check(
             &mut network,
             &mut flows,
@@ -295,11 +296,12 @@ pub fn figure45_research() -> FigureScenario {
     // 2. The same application toward a production machine: blocked by the
     //    administrator's coarse constraint, regardless of the delegation.
     {
-        let daemon = network.daemon_mut(hosts[0]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[0]).unwrap();
         let flow =
             daemon
                 .host_mut()
                 .open_connection("alice", research_exe.clone(), 45001, hosts[4], 7000);
+        drop(daemon);
         check(
             &mut network,
             &mut flows,
@@ -311,7 +313,7 @@ pub fn figure45_research() -> FigureScenario {
 
     // 3. A non-researcher running the same app: blocked (groupID check).
     {
-        let daemon = network.daemon_mut(hosts[1]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[1]).unwrap();
         daemon
             .host_mut()
             .add_user(identxx_hostmodel::User::new("bob", 1002, &["users"]));
@@ -319,6 +321,7 @@ pub fn figure45_research() -> FigureScenario {
             daemon
                 .host_mut()
                 .open_connection("bob", research_exe.clone(), 45002, hosts[5], 7000);
+        drop(daemon);
         check(
             &mut network,
             &mut flows,
@@ -331,7 +334,7 @@ pub fn figure45_research() -> FigureScenario {
     // 4. A different app whose flow the signed requirements do not allow:
     //    web-browser → research machine port 7000. allowed() fails.
     {
-        let daemon = network.daemon_mut(hosts[2]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[2]).unwrap();
         daemon.host_mut().add_user(identxx_hostmodel::User::new(
             "dana",
             1004,
@@ -341,6 +344,7 @@ pub fn figure45_research() -> FigureScenario {
             daemon
                 .host_mut()
                 .open_connection("dana", crate::firefox_app(), 45003, hosts[5], 7000);
+        drop(daemon);
         check(
             &mut network,
             &mut flows,
@@ -353,7 +357,7 @@ pub fn figure45_research() -> FigureScenario {
     // 5. Requirements signed by the wrong key: verify() fails.
     {
         let forged = signed_app_config(&research_exe, requirements, &attacker_key, None);
-        let daemon = network.daemon_mut(hosts[3]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[3]).unwrap();
         daemon.host_mut().add_user(identxx_hostmodel::User::new(
             "eve",
             1005,
@@ -361,7 +365,8 @@ pub fn figure45_research() -> FigureScenario {
         ));
         // The destination this time is a research host whose config carries
         // the forged signature.
-        let dst_daemon = network.daemon_mut(hosts[1]).unwrap();
+        drop(daemon);
+        let mut dst_daemon = network.daemon_mut(hosts[1]).unwrap();
         dst_daemon.add_app_config(forged);
         dst_daemon.host_mut().add_user(identxx_hostmodel::User::new(
             "carol",
@@ -372,11 +377,13 @@ pub fn figure45_research() -> FigureScenario {
         dst_daemon
             .host_mut()
             .listen(pid, identxx_proto::IpProtocol::Tcp, 7000);
-        let daemon = network.daemon_mut(hosts[3]).unwrap();
+        drop(dst_daemon);
+        let mut daemon = network.daemon_mut(hosts[3]).unwrap();
         let flow =
             daemon
                 .host_mut()
                 .open_connection("eve", research_exe.clone(), 45004, hosts[1], 7000);
+        drop(daemon);
         check(
             &mut network,
             &mut flows,
@@ -443,12 +450,13 @@ pub fn figure67_secur() -> FigureScenario {
 
     // 1. thunderbird (Secur-approved) → mail server: allowed.
     {
-        let daemon = network.daemon_mut(hosts[0]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[0]).unwrap();
         daemon.add_app_config(secur_config.clone());
         let flow =
             daemon
                 .host_mut()
                 .open_connection("alice", thunderbird.clone(), 46000, hosts[1], 25);
+        drop(daemon);
         check(
             &mut network,
             &mut flows,
@@ -460,11 +468,12 @@ pub fn figure67_secur() -> FigureScenario {
 
     // 2. thunderbird → web server: Secur's rules do not allow it.
     {
-        let daemon = network.daemon_mut(hosts[0]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[0]).unwrap();
         let flow =
             daemon
                 .host_mut()
                 .open_connection("alice", thunderbird.clone(), 46001, hosts[2], 80);
+        drop(daemon);
         check(
             &mut network,
             &mut flows,
@@ -477,12 +486,13 @@ pub fn figure67_secur() -> FigureScenario {
     // 3. An application with rules "from Secur" but signed by someone else.
     {
         let fake = signed_app_config(&thunderbird, "pass all", &mallory_key, Some("Secur"));
-        let daemon = network.daemon_mut(hosts[3]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[3]).unwrap();
         daemon.add_app_config(fake);
         let flow =
             daemon
                 .host_mut()
                 .open_connection("mallory", thunderbird.clone(), 46002, hosts[1], 25);
+        drop(daemon);
         check(
             &mut network,
             &mut flows,
@@ -494,11 +504,12 @@ pub fn figure67_secur() -> FigureScenario {
 
     // 4. An application without any Secur configuration: blocked by default.
     {
-        let daemon = network.daemon_mut(hosts[4]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[4]).unwrap();
         let flow =
             daemon
                 .host_mut()
                 .open_connection("bob", crate::firefox_app(), 46003, hosts[1], 25);
+        drop(daemon);
         check(
             &mut network,
             &mut flows,
@@ -561,7 +572,7 @@ pub fn figure8_conficker() -> FigureScenario {
 
     // 1. System user on a LAN host → patched Server service: allowed.
     {
-        let daemon = network.daemon_mut(hosts[3]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[3]).unwrap();
         let flow = daemon.host_mut().open_connection(
             "system",
             system_client.clone(),
@@ -569,6 +580,7 @@ pub fn figure8_conficker() -> FigureScenario {
             hosts[1],
             445,
         );
+        drop(daemon);
         check(
             &mut network,
             &mut flows,
@@ -580,11 +592,12 @@ pub fn figure8_conficker() -> FigureScenario {
 
     // 2. Ordinary user → Server service: blocked.
     {
-        let daemon = network.daemon_mut(hosts[3]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[3]).unwrap();
         let flow =
             daemon
                 .host_mut()
                 .open_connection("alice", system_client.clone(), 47001, hosts[1], 445);
+        drop(daemon);
         check(
             &mut network,
             &mut flows,
@@ -596,7 +609,7 @@ pub fn figure8_conficker() -> FigureScenario {
 
     // 3. System user → unpatched host: blocked (the Conficker vector).
     {
-        let daemon = network.daemon_mut(hosts[4]).unwrap();
+        let mut daemon = network.daemon_mut(hosts[4]).unwrap();
         let flow = daemon.host_mut().open_connection(
             "system",
             system_client.clone(),
@@ -604,6 +617,7 @@ pub fn figure8_conficker() -> FigureScenario {
             hosts[2],
             445,
         );
+        drop(daemon);
         check(
             &mut network,
             &mut flows,

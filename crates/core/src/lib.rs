@@ -37,7 +37,7 @@ pub mod network;
 pub mod prelude;
 pub mod scenario;
 
-pub use network::EnterpriseNetwork;
+pub use network::{DaemonMut, EnterpriseNetwork};
 pub use scenario::{FlowOutcome, FlowSetupReport, ScenarioFlow};
 
 /// A firefox executable description used in documentation examples and the

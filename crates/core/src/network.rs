@@ -1,13 +1,26 @@
 //! A complete simulated ident++-protected enterprise network.
+//!
+//! The facade drives one of two decision tiers behind the same API: a single
+//! [`IdentxxController`] (the default, faithful to the paper's prototype) or
+//! a [`ShardedController`] whose N shards all query **one** shared daemon
+//! directory through [`SharedDirectoryBackend`] — so every scenario that
+//! mutates hosts mid-experiment (compromises, new applications) works
+//! unchanged when sharded, and any scenario table can run under
+//! `IDENTXX_SHARDS` (DESIGN.md §6/§7).
 
 use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use identxx_controller::{ControllerConfig, FlowDecision, IdentxxController, NetworkMap};
+use identxx_controller::{
+    ControllerConfig, DaemonDirectory, FlowDecision, IdentxxController, NetworkMap,
+    ShardedController, SharedDirectoryBackend,
+};
 use identxx_daemon::Daemon;
 use identxx_hostmodel::{Executable, Host};
 use identxx_netsim::{Duration, EventQueue, LinkProps, NodeId, NodeKind, Topology};
 use identxx_openflow::{
-    FlowMod, ForwardingResult, OpenFlowController, PacketHeader, Switch, SwitchId,
+    ControllerDirective, FlowMod, ForwardingResult, PacketHeader, Switch, SwitchId,
 };
 use identxx_pf::{Decision, PfError};
 use identxx_proto::{FiveTuple, IpProtocol, Ipv4Addr};
@@ -23,10 +36,54 @@ const CONTROLLER_OVERHEAD: Duration = Duration::from_micros(20);
 /// Per-rule evaluation cost.
 const PER_RULE_COST: Duration = Duration::from_micros(1);
 
+/// The decision plane behind the facade: one controller, or a sharded tier
+/// over a shared daemon directory.
+enum DecisionTier {
+    Single(Box<IdentxxController>),
+    Sharded {
+        tier: Box<ShardedController>,
+        directory: Arc<Mutex<DaemonDirectory>>,
+    },
+}
+
+/// Mutable access to one daemon, independent of the decision tier: a plain
+/// borrow on the single-controller path, a held directory lock on the
+/// sharded one. Derefs to [`Daemon`], so call sites read identically.
+pub enum DaemonMut<'a> {
+    /// Borrowed out of the single controller's in-process backend.
+    Direct(&'a mut Daemon),
+    /// Held lock over the sharded tier's shared directory.
+    Shared(MutexGuard<'a, DaemonDirectory>, Ipv4Addr),
+}
+
+impl Deref for DaemonMut<'_> {
+    type Target = Daemon;
+
+    fn deref(&self) -> &Daemon {
+        match self {
+            DaemonMut::Direct(daemon) => daemon,
+            DaemonMut::Shared(guard, addr) => {
+                guard.get(*addr).expect("checked present at construction")
+            }
+        }
+    }
+}
+
+impl DerefMut for DaemonMut<'_> {
+    fn deref_mut(&mut self) -> &mut Daemon {
+        match self {
+            DaemonMut::Direct(daemon) => daemon,
+            DaemonMut::Shared(guard, addr) => guard
+                .get_mut(*addr)
+                .expect("checked present at construction"),
+        }
+    }
+}
+
 /// A simulated enterprise: topology, software switches, the ident++
-/// controller (with a daemon per host), and a data-plane entry point.
+/// decision tier (with a daemon per host), and a data-plane entry point.
 pub struct EnterpriseNetwork {
-    controller: IdentxxController,
+    tier: DecisionTier,
     map: NetworkMap,
     switches: BTreeMap<SwitchId, Switch>,
     host_addrs: Vec<Ipv4Addr>,
@@ -36,20 +93,62 @@ pub struct EnterpriseNetwork {
 impl EnterpriseNetwork {
     /// Builds a network over an arbitrary topology and controller
     /// configuration. Every host node gets a bare daemon registered with the
-    /// controller; every switch node gets a software switch.
+    /// decision tier; every switch node gets a software switch.
     pub fn from_topology(
         topology: Topology,
         config: ControllerConfig,
     ) -> Result<EnterpriseNetwork, PfError> {
-        let map = NetworkMap::new(topology);
-        let mut controller = IdentxxController::new(config)?.with_network(map.clone());
+        EnterpriseNetwork::build(topology, config, 1)
+    }
 
+    /// [`EnterpriseNetwork::from_topology`] with the decision tier sharded
+    /// `shards` ways: each shard gets a [`SharedDirectoryBackend`] over one
+    /// shared daemon directory, so host mutations (compromises, new
+    /// applications) are visible to every shard and decisions stay identical
+    /// to the single-controller network. `shards <= 1` builds the single
+    /// tier.
+    pub fn from_topology_sharded(
+        topology: Topology,
+        config: ControllerConfig,
+        shards: usize,
+    ) -> Result<EnterpriseNetwork, PfError> {
+        EnterpriseNetwork::build(topology, config, shards)
+    }
+
+    fn build(
+        topology: Topology,
+        config: ControllerConfig,
+        shards: usize,
+    ) -> Result<EnterpriseNetwork, PfError> {
+        let map = NetworkMap::new(topology);
         let mut host_addrs = Vec::new();
+        let mut daemons = Vec::new();
         for node in map.topology().nodes_of_kind(NodeKind::Host) {
             let info = map.topology().node(node).unwrap();
             host_addrs.push(info.addr);
-            controller.register_daemon(Daemon::bare(Host::new(info.name.clone(), info.addr)));
+            daemons.push(Daemon::bare(Host::new(info.name.clone(), info.addr)));
         }
+
+        let tier = if shards <= 1 {
+            let mut controller = IdentxxController::new(config)?.with_network(map.clone());
+            for daemon in daemons {
+                controller.register_daemon(daemon);
+            }
+            DecisionTier::Single(Box::new(controller))
+        } else {
+            let mut directory = DaemonDirectory::new();
+            for daemon in daemons {
+                directory.register(daemon);
+            }
+            let directory = Arc::new(Mutex::new(directory));
+            let tier = ShardedController::new(config, shards)?
+                .with_network(map.clone())
+                .with_backends(|_| Box::new(SharedDirectoryBackend::new(Arc::clone(&directory))));
+            DecisionTier::Sharded {
+                tier: Box::new(tier),
+                directory,
+            }
+        };
 
         let mut switches = BTreeMap::new();
         for node in map.topology().nodes_of_kind(NodeKind::Switch) {
@@ -71,7 +170,7 @@ impl EnterpriseNetwork {
         }
 
         Ok(EnterpriseNetwork {
-            controller,
+            tier,
             map,
             switches,
             host_addrs,
@@ -94,6 +193,17 @@ impl EnterpriseNetwork {
     ) -> Result<EnterpriseNetwork, PfError> {
         let (topology, _sw, _ctrl, _hosts) = Topology::star(host_count, LinkProps::default());
         EnterpriseNetwork::from_topology(topology, config)
+    }
+
+    /// A star topology with a full controller configuration and a sharded
+    /// decision tier (see [`EnterpriseNetwork::from_topology_sharded`]).
+    pub fn star_with_config_sharded(
+        host_count: usize,
+        config: ControllerConfig,
+        shards: usize,
+    ) -> Result<EnterpriseNetwork, PfError> {
+        let (topology, _sw, _ctrl, _hosts) = Topology::star(host_count, LinkProps::default());
+        EnterpriseNetwork::from_topology_sharded(topology, config, shards)
     }
 
     /// A linear chain of `switch_count` switches with one client and one
@@ -124,13 +234,84 @@ impl EnterpriseNetwork {
     }
 
     /// The ident++ controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the network runs the sharded tier — use
+    /// [`EnterpriseNetwork::sharded`] and the tier-agnostic stat facades
+    /// ([`EnterpriseNetwork::audit_len`],
+    /// [`EnterpriseNetwork::cache_hit_ratio`],
+    /// [`EnterpriseNetwork::total_queries`]) there.
     pub fn controller(&self) -> &IdentxxController {
-        &self.controller
+        match &self.tier {
+            DecisionTier::Single(controller) => controller,
+            DecisionTier::Sharded { .. } => {
+                panic!("controller(): network runs a sharded tier; use sharded()")
+            }
+        }
     }
 
     /// Mutable access to the controller (policy updates, interceptors, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the network runs the sharded tier (see
+    /// [`EnterpriseNetwork::controller`]).
     pub fn controller_mut(&mut self) -> &mut IdentxxController {
-        &mut self.controller
+        match &mut self.tier {
+            DecisionTier::Single(controller) => controller,
+            DecisionTier::Sharded { .. } => {
+                panic!("controller_mut(): network runs a sharded tier; use sharded_mut()")
+            }
+        }
+    }
+
+    /// The sharded decision tier, when the network was built with one.
+    pub fn sharded(&self) -> Option<&ShardedController> {
+        match &self.tier {
+            DecisionTier::Single(_) => None,
+            DecisionTier::Sharded { tier, .. } => Some(tier),
+        }
+    }
+
+    /// Mutable access to the sharded decision tier, when present.
+    pub fn sharded_mut(&mut self) -> Option<&mut ShardedController> {
+        match &mut self.tier {
+            DecisionTier::Single(_) => None,
+            DecisionTier::Sharded { tier, .. } => Some(tier),
+        }
+    }
+
+    /// Number of shards in the decision tier (1 for the single controller).
+    pub fn shard_count(&self) -> usize {
+        match &self.tier {
+            DecisionTier::Single(_) => 1,
+            DecisionTier::Sharded { tier, .. } => tier.shard_count(),
+        }
+    }
+
+    /// Total audited decisions, across shards when sharded.
+    pub fn audit_len(&self) -> usize {
+        match &self.tier {
+            DecisionTier::Single(controller) => controller.audit().len(),
+            DecisionTier::Sharded { tier, .. } => tier.audit_len(),
+        }
+    }
+
+    /// Fraction of decisions served from the state table(s).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        match &self.tier {
+            DecisionTier::Single(controller) => controller.audit().cache_hit_ratio(),
+            DecisionTier::Sharded { tier, .. } => tier.cache_hit_ratio(),
+        }
+    }
+
+    /// Total ident++ queries accounted in the audit log(s).
+    pub fn total_queries(&self) -> u64 {
+        match &self.tier {
+            DecisionTier::Single(controller) => controller.audit().total_queries(),
+            DecisionTier::Sharded { tier, .. } => tier.total_queries(),
+        }
     }
 
     /// The network map (topology + routing + switch identities).
@@ -138,9 +319,24 @@ impl EnterpriseNetwork {
         &self.map
     }
 
-    /// Mutable access to a daemon by host address.
-    pub fn daemon_mut(&mut self, addr: Ipv4Addr) -> Option<&mut Daemon> {
-        self.controller.daemons_mut().get_mut(addr)
+    /// Mutable access to a daemon by host address, on either tier: a direct
+    /// borrow from the single controller's directory, or a held lock over
+    /// the sharded tier's shared directory (every shard sees the mutation).
+    pub fn daemon_mut(&mut self, addr: Ipv4Addr) -> Option<DaemonMut<'_>> {
+        match &mut self.tier {
+            DecisionTier::Single(controller) => controller
+                .daemons_mut()
+                .get_mut(addr)
+                .map(DaemonMut::Direct),
+            DecisionTier::Sharded { directory, .. } => {
+                let guard = directory.lock().unwrap_or_else(|e| e.into_inner());
+                if guard.get(addr).is_some() {
+                    Some(DaemonMut::Shared(guard, addr))
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     /// Mutable access to a switch.
@@ -173,9 +369,11 @@ impl EnterpriseNetwork {
         user: &str,
         exe: Executable,
     ) -> FiveTuple {
-        // Source ports are allocated deterministically per call.
-        let src_port = 40_000 + (self.controller.audit().len() as u16 % 20_000);
-        let daemon = self
+        // Source ports are allocated deterministically per call — keyed on
+        // the tier-wide audit length, so a sharded run allocates the same
+        // ports as its single-controller twin.
+        let src_port = 40_000 + (self.audit_len() as u16 % 20_000);
+        let mut daemon = self
             .daemon_mut(src)
             .expect("start_app: source address has no daemon");
         daemon
@@ -185,7 +383,7 @@ impl EnterpriseNetwork {
 
     /// Runs a service (listening process) on `addr`.
     pub fn run_service(&mut self, addr: Ipv4Addr, user: &str, exe: Executable, port: u16) {
-        let daemon = self
+        let mut daemon = self
             .daemon_mut(addr)
             .expect("run_service: address has no daemon");
         let pid = daemon.host_mut().spawn(user, exe);
@@ -253,14 +451,20 @@ impl EnterpriseNetwork {
                         ForwardingResult::Forwarded(_) | ForwardingResult::Flooded => {}
                         ForwardingResult::Dropped => return outcome,
                         ForwardingResult::SentToController(pin) => {
-                            let directive = self.controller.packet_in(&pin, self.clock);
-                            // Record controller-side accounting.
-                            let record = self.controller.audit().records().last().cloned();
-                            if let Some(record) = record {
-                                outcome.decision = Some(record.decision);
-                                outcome.from_cache = record.from_cache;
-                                outcome.queries_issued = record.queries_issued;
-                            }
+                            // The packet-in path through either tier: decide
+                            // the flow, then wrap the decision exactly as
+                            // `OpenFlowController::packet_in` does.
+                            let pin_flow = pin.header.five_tuple();
+                            let now = self.clock;
+                            let decision = self.decide_at(&pin_flow, now);
+                            outcome.decision = Some(decision.verdict.decision);
+                            outcome.from_cache = decision.from_cache;
+                            outcome.queries_issued = decision.queries_issued;
+                            let directive = if decision.is_pass() {
+                                ControllerDirective::allow(decision.flow_mods)
+                            } else {
+                                ControllerDirective::deny_with(decision.flow_mods)
+                            };
                             outcome.entries_installed += directive.flow_mods.len();
                             self.apply_flow_mods(&directive.flow_mods, self.clock);
                             if !directive.forward_packet {
@@ -285,10 +489,18 @@ impl EnterpriseNetwork {
     }
 
     /// Convenience: run the full decision for a flow directly against the
-    /// controller (no data-plane walk). Useful for policy-focused scenarios.
+    /// decision tier (no data-plane walk). Useful for policy-focused
+    /// scenarios; on a sharded network the flow is routed to its shard.
     pub fn decide(&mut self, flow: &FiveTuple) -> FlowDecision {
         let now = self.clock;
-        self.controller.decide(flow, now)
+        self.decide_at(flow, now)
+    }
+
+    fn decide_at(&mut self, flow: &FiveTuple, now: u64) -> FlowDecision {
+        match &mut self.tier {
+            DecisionTier::Single(controller) => controller.decide(flow, now),
+            DecisionTier::Sharded { tier, .. } => tier.decide(flow, now),
+        }
     }
 
     /// The event-driven timed reproduction of Fig. 1: measures how long the
@@ -341,10 +553,12 @@ impl EnterpriseNetwork {
         let first_switch_to_server =
             topo.path_latency(&path[1..])? + SWITCH_PROCESSING.times(path_switches as u64);
 
-        // The controller's actual decision (drives rule-evaluation cost and
-        // the number of flow-mods to install).
+        // The decision tier's actual decision (drives rule-evaluation cost
+        // and the number of flow-mods to install). Deciding needs `&mut
+        // self`, so the topology borrow is re-acquired afterwards.
         let now = self.clock;
-        let decision = self.controller.decide(flow, now);
+        let decision = self.decide_at(flow, now);
+        let topo = self.map.topology();
         let eval_cost =
             CONTROLLER_OVERHEAD + PER_RULE_COST.times(decision.verdict.rules_evaluated as u64);
         let query_rtt_src = controller_to_src.times(2) + DAEMON_PROCESSING;
@@ -431,6 +645,7 @@ impl std::fmt::Debug for EnterpriseNetwork {
         f.debug_struct("EnterpriseNetwork")
             .field("hosts", &self.host_addrs.len())
             .field("switches", &self.switches.len())
+            .field("shards", &self.shard_count())
             .field("clock", &self.clock)
             .finish()
     }
@@ -473,6 +688,90 @@ mod tests {
         let outcome = net.deliver_first_packet(&flow, 0);
         assert!(!outcome.delivered);
         assert_eq!(outcome.decision, Some(Decision::Block));
+    }
+
+    /// Builds a star network sharded `shards` ways with the app policy.
+    fn sharded_star(shards: usize) -> EnterpriseNetwork {
+        let config = ControllerConfig::new().with_control_file("00.control", APP_POLICY);
+        EnterpriseNetwork::star_with_config_sharded(6, config, shards).unwrap()
+    }
+
+    #[test]
+    fn sharded_network_decides_identically_to_single() {
+        let mut single = EnterpriseNetwork::star(6, APP_POLICY).unwrap();
+        let mut sharded = sharded_star(4);
+        assert_eq!(single.shard_count(), 1);
+        assert_eq!(sharded.shard_count(), 4);
+        assert!(sharded.sharded().is_some());
+
+        let hosts = single.host_addrs();
+        assert_eq!(hosts, sharded.host_addrs());
+        // A mixed workload: firefox (pass), malware (block), skype pair
+        // staged on both tiers, plus repeats that must hit the cache.
+        let malware = Executable::new("/tmp/malware", "malware", 1, "unknown", "unknown");
+        let staged: Vec<(Ipv4Addr, Ipv4Addr, u16, &str, Executable)> = vec![
+            (hosts[0], hosts[1], 80, "alice", firefox_app()),
+            (hosts[2], hosts[3], 80, "guest", malware),
+            (hosts[4], hosts[5], 80, "bob", skype_app(210)),
+        ];
+        for net in [&mut single, &mut sharded] {
+            net.run_service(hosts[5], "bob", skype_app(210), 80);
+        }
+        let mut flows = Vec::new();
+        for (src, dst, port, user, exe) in staged {
+            let f1 = single.start_app(src, dst, port, user, exe.clone());
+            let f2 = sharded.start_app(src, dst, port, user, exe);
+            assert_eq!(f1, f2, "port allocation must match across tiers");
+            flows.push(f1);
+        }
+        for flow in flows.iter().chain(flows.iter()) {
+            let a = single.decide(flow);
+            let b = sharded.decide(flow);
+            assert_eq!(a.verdict.decision, b.verdict.decision);
+            assert_eq!(a.from_cache, b.from_cache);
+            assert_eq!(a.queries_issued, b.queries_issued);
+        }
+        assert_eq!(single.audit_len(), sharded.audit_len());
+        assert_eq!(single.total_queries(), sharded.total_queries());
+        assert!((single.cache_hit_ratio() - sharded.cache_hit_ratio()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_network_sees_daemon_mutations_on_every_shard() {
+        // The shared-directory point: one mutation through the facade is
+        // visible to whichever shard the flow routes to — no N diverging
+        // daemon copies.
+        let mut net = sharded_star(3);
+        let hosts = net.host_addrs();
+        let flow = net.start_app(hosts[0], hosts[1], 80, "alice", firefox_app());
+        assert!(net.decide(&flow).is_pass());
+        // Compromise the source daemon to forge an unknown application: the
+        // next *fresh* flow (different host pair → possibly another shard)
+        // must see the forgery.
+        net.daemon_mut(hosts[0])
+            .unwrap()
+            .set_forged_response(Some(vec![("name".to_string(), "unknownd".to_string())]));
+        for dst in &hosts[2..] {
+            let fresh = net.start_app(hosts[0], *dst, 80, "alice", firefox_app());
+            assert!(
+                !net.decide(&fresh).is_pass(),
+                "forged identity must be visible to the shard deciding {dst}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_network_delivers_first_packets_through_the_data_plane() {
+        let mut net = sharded_star(2);
+        let hosts = net.host_addrs();
+        let flow = net.start_app(hosts[0], hosts[1], 80, "alice", firefox_app());
+        let outcome = net.deliver_first_packet(&flow, 0);
+        assert!(outcome.delivered);
+        assert_eq!(outcome.decision, Some(Decision::Pass));
+        assert_eq!(outcome.queries_issued, 2);
+        // Fig. 1 timing simulation runs on the sharded tier too.
+        let report = net.simulate_flow_setup(&flow).unwrap();
+        assert_eq!(report.decision, Decision::Pass);
     }
 
     #[test]

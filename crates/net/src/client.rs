@@ -9,7 +9,7 @@ use identxx_proto::{Query, Response, WireMessage};
 use tokio::net::TcpStream;
 use tokio::time::timeout;
 
-use crate::framing::{read_message, read_message_deadline, write_message, write_message_blocking};
+use crate::framing::{read_message, write_message};
 
 /// How long the controller waits for a daemon before concluding the host will
 /// not answer. A short bound matters: flow setup blocks on this round trip.
@@ -40,7 +40,7 @@ pub async fn query_daemon(addr: SocketAddr, query: Query) -> io::Result<Option<R
     }
 }
 
-/// A synchronous, connection-reusing client for one daemon endpoint.
+/// A connection-reusing client for one daemon endpoint.
 ///
 /// The controller's flow-setup path queries the same hosts over and over; a
 /// fresh TCP handshake per query would double every round trip. `QueryClient`
@@ -48,19 +48,30 @@ pub async fn query_daemon(addr: SocketAddr, query: Query) -> io::Result<Option<R
 /// serves any number of queries per connection) and transparently reconnects
 /// once when a pooled connection turns out to have gone stale.
 ///
-/// Timeouts are absolute deadlines enforced by the OS (`set_read_timeout`),
-/// so a daemon that accepts the connection and then stalls cannot hold the
-/// controller past its budget — unlike a polled async timeout over blocking
-/// sockets, which cannot preempt a blocked read (the vendored runtime's
-/// documented limit). `NetworkBackend` in `identxx-controller` drives one of
-/// these per flow end, concurrently, with a shared deadline.
+/// The core is **async**: every exchange is a future on the runtime's
+/// reactor, with the deadline enforced by the timer wheel — when it fires,
+/// the suspended read (or the in-progress connect) is preempted and the
+/// exchange resolves to "no answer", so a hung or trickling peer costs
+/// exactly the budget, never a wedged thread. `NetworkBackend` in
+/// `identxx-controller` joins one such future per involved host under a
+/// single shared deadline. The synchronous methods ([`QueryClient::query`],
+/// [`QueryClient::query_batch`], and the `_deadline` variants) are thin
+/// `block_on` shims kept for the blocking API surface.
 ///
 /// [`DaemonServer`]: crate::server::DaemonServer
-#[derive(Debug)]
 pub struct QueryClient {
     addr: SocketAddr,
-    stream: Option<std::net::TcpStream>,
+    stream: Option<TcpStream>,
     buf: BytesMut,
+}
+
+impl std::fmt::Debug for QueryClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryClient")
+            .field("addr", &self.addr)
+            .field("connected", &self.stream.is_some())
+            .finish()
+    }
 }
 
 impl QueryClient {
@@ -92,12 +103,15 @@ impl QueryClient {
     /// already exhausted; `Err` when the host is unreachable (e.g. nothing
     /// listens on the port). The controller treats both as "no information
     /// from this end-host".
-    pub fn query_deadline(
+    pub async fn query_deadline_async(
         &mut self,
         query: &Query,
         deadline: Instant,
     ) -> io::Result<Option<Response>> {
-        match self.exchange(&WireMessage::Query(query.clone()), deadline)? {
+        match self
+            .exchange(&WireMessage::Query(query.clone()), deadline)
+            .await?
+        {
             Some(WireMessage::Response(response)) => Ok(Some(response)),
             Some(_) => {
                 self.disconnect();
@@ -108,6 +122,15 @@ impl QueryClient {
             }
             None => Ok(None),
         }
+    }
+
+    /// Blocking shim over [`QueryClient::query_deadline_async`].
+    pub fn query_deadline(
+        &mut self,
+        query: &Query,
+        deadline: Instant,
+    ) -> io::Result<Option<Response>> {
+        tokio::runtime::block_on(self.query_deadline_async(query, deadline))
     }
 
     /// [`QueryClient::query_deadline`] with a relative timeout.
@@ -129,7 +152,7 @@ impl QueryClient {
     /// — slots already filled by earlier chunks are kept, because those
     /// flows really were answered. Only a protocol violation (a reply that
     /// is not a response batch) is an `Err`.
-    pub fn query_batch_deadline(
+    pub async fn query_batch_deadline_async(
         &mut self,
         queries: &[Query],
         deadline: Instant,
@@ -141,6 +164,7 @@ impl QueryClient {
             // responses arrived and stay valid.
             let exchanged = self
                 .exchange(&WireMessage::QueryBatch(chunk.to_vec()), deadline)
+                .await
                 .unwrap_or_default();
             match exchanged {
                 Some(WireMessage::ResponseBatch(responses)) => {
@@ -174,6 +198,15 @@ impl QueryClient {
         Ok(out)
     }
 
+    /// Blocking shim over [`QueryClient::query_batch_deadline_async`].
+    pub fn query_batch_deadline(
+        &mut self,
+        queries: &[Query],
+        deadline: Instant,
+    ) -> io::Result<Vec<Option<Response>>> {
+        tokio::runtime::block_on(self.query_batch_deadline_async(queries, deadline))
+    }
+
     /// [`QueryClient::query_batch_deadline`] with a relative timeout.
     pub fn query_batch(
         &mut self,
@@ -193,14 +226,14 @@ impl QueryClient {
     /// retry: a pooled connection may have been closed by the server since
     /// the last query; only a *reused* connection earns the second attempt,
     /// so fresh-connection failures surface directly.
-    fn exchange(
+    async fn exchange(
         &mut self,
         request: &WireMessage,
         deadline: Instant,
     ) -> io::Result<Option<WireMessage>> {
         for _ in 0..2 {
             let reused = self.stream.is_some();
-            match self.attempt(request, deadline) {
+            match self.attempt(request, deadline).await {
                 Ok(outcome) => return Ok(outcome),
                 Err(err) if reused => {
                     self.disconnect();
@@ -215,7 +248,12 @@ impl QueryClient {
         unreachable!("second attempt always runs on a fresh connection")
     }
 
-    fn attempt(
+    /// One attempt at the exchange: (re)connect if needed, send the frame,
+    /// read the reply — the whole sequence raced against `deadline` by the
+    /// runtime's timer wheel. An elapsed deadline is "no answer", and the
+    /// connection is dropped because a late response could still arrive on
+    /// the socket and alias the next query.
+    async fn attempt(
         &mut self,
         request: &WireMessage,
         deadline: Instant,
@@ -230,21 +268,27 @@ impl QueryClient {
         let reused = self.stream.is_some();
         if self.stream.is_none() {
             self.buf.clear();
-            self.stream = Some(std::net::TcpStream::connect_timeout(&self.addr, remaining)?);
+            match timeout(remaining, TcpStream::connect(self.addr)).await {
+                Ok(Ok(stream)) => self.stream = Some(stream),
+                // Unreachable endpoint: a real transport error.
+                Ok(Err(err)) => return Err(err),
+                // Budget exhausted mid-connect: no answer.
+                Err(_elapsed) => return Ok(None),
+            }
         }
-        let stream = self.stream.as_mut().expect("connected above");
-        // The OS enforces the remaining budget on every blocking call; the
-        // read path re-arms it per syscall (`read_message_deadline`) so a
-        // peer trickling bytes cannot stretch the frame past the deadline.
         let remaining = deadline
             .checked_duration_since(Instant::now())
             .filter(|d| !d.is_zero())
             .unwrap_or(Duration::from_micros(1));
-        stream.set_write_timeout(Some(remaining))?;
-        write_message_blocking(stream, request)?;
-        match read_message_deadline(stream, &mut self.buf, deadline) {
-            Ok(Some(message)) => Ok(Some(message)),
-            Ok(None) => {
+        let stream = self.stream.as_mut().expect("connected above");
+        let buf = &mut self.buf;
+        let round_trip = async {
+            write_message(stream, request).await?;
+            read_message(stream, buf).await
+        };
+        match timeout(remaining, round_trip).await {
+            Ok(Ok(Some(message))) => Ok(Some(message)),
+            Ok(Ok(None)) => {
                 // Clean close without an answer. On a fresh connection this
                 // is the silent-daemon shape: "no information from this
                 // end-host". On a reused one the server may simply have
@@ -260,20 +304,17 @@ impl QueryClient {
                     Ok(None)
                 }
             }
-            Err(err)
-                if matches!(
-                    err.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Deadline passed mid-read. A late response could still
-                // arrive on this socket, so it cannot be pooled.
-                self.disconnect();
-                Ok(None)
-            }
-            Err(err) => {
+            Ok(Err(err)) => {
                 self.disconnect();
                 Err(err)
+            }
+            Err(_elapsed) => {
+                // Deadline passed mid-exchange — whether the peer stalled
+                // outright or trickled bytes, the timer wheel preempts the
+                // suspended read. A late response could still arrive on this
+                // socket, so it cannot be pooled.
+                self.disconnect();
+                Ok(None)
             }
         }
     }
@@ -400,10 +441,49 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn hung_peer_is_cancelled_at_the_deadline() {
+        // A peer that accepts the connection and then never sends a byte —
+        // the worst case for the historical runtime, where a polled timeout
+        // could not preempt the blocked read. The timer wheel must cancel
+        // the exchange at the deadline and leave nothing pooled.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (peer, _) = listener.accept().unwrap();
+            use std::io::Read;
+            let mut sink = [0u8; 256];
+            // Swallow the query, answer nothing, and hold the socket open
+            // until the client abandons it.
+            while let Ok(n) = (&peer).read(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+            }
+        });
+        let mut client = QueryClient::new(addr);
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 2);
+        let started = Instant::now();
+        let result = client
+            .query(&Query::new(flow), Duration::from_millis(100))
+            .unwrap();
+        let elapsed = started.elapsed();
+        assert!(result.is_none(), "a hung peer is no information");
+        assert!(
+            elapsed >= Duration::from_millis(95),
+            "the client must wait out its budget ({elapsed:?})"
+        );
+        assert!(
+            elapsed < Duration::from_millis(1000),
+            "the deadline must actually cancel the hung exchange ({elapsed:?})"
+        );
+        assert!(!client.is_connected(), "a hung socket cannot be pooled");
+    }
+
+    #[tokio::test]
     async fn query_client_deadline_defeats_byte_trickling() {
-        // A hostile peer that sends one byte per almost-timeout: the
-        // per-syscall read timeout alone would restart on every byte, so the
-        // deadline must be re-armed with the *remaining* budget each read.
+        // A hostile peer that sends one byte per almost-timeout: the whole
+        // exchange races one timer-wheel deadline, so trickling buys the
+        // peer nothing.
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         std::thread::spawn(move || {

@@ -1,4 +1,11 @@
 //! Async framing of ident++ wire messages over byte streams.
+//!
+//! Deadlines are the caller's business: both helpers suspend on socket
+//! readiness, so wrapping a call in `tokio::time::timeout` bounds the whole
+//! frame — the timer wheel preempts a read mid-frame, which is what defeats
+//! both hung and byte-trickling peers (the blocking per-syscall
+//! `SO_RCVTIMEO` machinery this module used to carry is gone with the
+//! thread-per-connection transport).
 
 use std::io;
 
@@ -54,63 +61,6 @@ where
 {
     stream.write_all(&message.encode()).await?;
     stream.flush().await
-}
-
-/// Reads one framed [`WireMessage`] from a blocking `std::net::TcpStream`,
-/// giving the whole frame until `deadline`.
-///
-/// Identical framing semantics to [`read_message`]; the synchronous client
-/// ([`crate::client::QueryClient`]) uses this because OS-level read timeouts
-/// (`set_read_timeout`) can preempt a blocked read, which a polled async
-/// timeout over blocking sockets cannot. The remaining budget is recomputed
-/// and re-armed before **every** read syscall — `SO_RCVTIMEO` bounds one
-/// `read`, not the whole frame, so without re-arming a peer trickling one
-/// byte per almost-timeout could hold the caller far past its budget.
-/// Running out of budget surfaces as `ErrorKind::TimedOut`.
-pub fn read_message_deadline(
-    stream: &mut std::net::TcpStream,
-    buf: &mut BytesMut,
-    deadline: std::time::Instant,
-) -> io::Result<Option<WireMessage>> {
-    use std::io::Read;
-    let mut chunk = [0u8; 4096];
-    loop {
-        if let Some((msg, used)) = WireMessage::decode(buf).map_err(proto_to_io)? {
-            let _ = buf.split_to(used);
-            return Ok(Some(msg));
-        }
-        if buf.len() > MAX_FRAME {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "frame exceeds maximum size",
-            ));
-        }
-        let remaining = deadline
-            .checked_duration_since(std::time::Instant::now())
-            .filter(|d| !d.is_zero())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "deadline passed mid-frame"))?;
-        stream.set_read_timeout(Some(remaining))?;
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            if buf.is_empty() {
-                return Ok(None);
-            }
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-frame",
-            ));
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    }
-}
-
-/// Writes one framed [`WireMessage`] to a blocking `std::io` stream.
-pub fn write_message_blocking<W>(stream: &mut W, message: &WireMessage) -> io::Result<()>
-where
-    W: std::io::Write,
-{
-    stream.write_all(&message.encode())?;
-    stream.flush()
 }
 
 #[cfg(test)]

@@ -25,9 +25,16 @@
 //!   charges its configured processing delay once per *frame* — a batched
 //!   round costs one delayed round trip per host, not one per flow.
 //!
-//! Timeouts stay absolute OS-enforced deadlines for singleton and batch
-//! exchanges alike, shared across every host queried in the same decision
-//! round by `identxx-controller`'s `NetworkBackend`.
+//! ## Event-driven transport
+//!
+//! Both sides run on the vendored runtime's epoll reactor (DESIGN.md §7):
+//! the server serves **every** connection from a fixed worker pool (threads
+//! are O(workers), not O(connections) — `tests/reactor_stress.rs`), response
+//! delays are timer-wheel events, and the client's exchanges are futures
+//! whose deadlines the timer wheel enforces — one absolute deadline per
+//! decision round, shared across every host `identxx-controller`'s
+//! `NetworkBackend` queries concurrently. The blocking `QueryClient` methods
+//! remain as `block_on` shims over the async core.
 //!
 //! Built on tokio (see `DESIGN.md` §2 for the dependency justification).
 
@@ -36,5 +43,5 @@ pub mod framing;
 pub mod server;
 
 pub use client::{query_daemon, QueryClient};
-pub use framing::{read_message, read_message_deadline, write_message, write_message_blocking};
+pub use framing::{read_message, write_message};
 pub use server::DaemonServer;

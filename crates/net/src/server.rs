@@ -6,6 +6,14 @@
 //! queries, each answered with the daemon's response (or silently ignored if
 //! the daemon is configured silent — the querier's timeout handles that case,
 //! exactly as it would for a host with no daemon at all).
+//!
+//! Every connection is an executor **task**, not an OS thread: the runtime's
+//! reactor suspends it on socket readiness, so a server holding hundreds of
+//! idle controller connections costs wakers and buffers, never threads
+//! (`tests/reactor_stress.rs` pins this at ≥ 256 concurrent connections).
+//! Configured response delays are timer-wheel events (`tokio::time::sleep`),
+//! so a thousand delayed answers in flight still occupy only the worker
+//! pool. See DESIGN.md §7.
 
 use std::io;
 use std::net::SocketAddr;
@@ -105,27 +113,23 @@ impl DaemonServer {
 
     /// Stops the server and waits (bounded) for the accept loop to exit.
     ///
-    /// The vendored runtime cannot cancel a task blocked in `accept`, so the
-    /// shutdown protocol is cooperative: clear the running flag, then poke
-    /// the listener with a poison-pill connection so `accept` returns and the
-    /// loop observes the flag, closes the listener, and exits. In-flight
+    /// On the reactor runtime `abort` genuinely cancels: the accept task's
+    /// future is dropped at its next yield point, which closes the listener
+    /// socket and disconnects the `stopped` channel this method waits on.
+    /// The cooperative flag + poison-pill connection are kept for the
+    /// `IDENTXX_RUNTIME=threaded` baseline (where abort detaches) and for
+    /// real tokio runtimes driving the accept loop on another thread; both
+    /// protocols converge on "listener closed before return". In-flight
     /// per-connection tasks finish serving independently.
-    ///
-    /// This blocks the calling thread, which is fine on the vendored runtime
-    /// (thread-per-task) and on real tokio's multi-thread runtime (the
-    /// feature set the manifest requests): the accept task progresses on
-    /// another thread. On a `current_thread` runtime it would stall for the
-    /// full timeout before falling back to `abort` — call through
-    /// `spawn_blocking` there.
     pub fn shutdown(self) {
         self.running.store(false, Ordering::Release);
-        // Poison pill: unblock the accept loop. A failure means the listener
-        // is already gone, which is fine.
-        let _ = std::net::TcpStream::connect(self.local_addr);
-        // Wait for the loop to drop the listener (sender disconnects). Bound
-        // the wait so a wedged runtime cannot hang the caller.
-        let _ = self.stopped.recv_timeout(Duration::from_secs(5));
         self.handle.abort();
+        // Poison pill: unblock a threaded-baseline accept loop. A failure
+        // means the listener is already gone, which is fine.
+        let _ = std::net::TcpStream::connect(self.local_addr);
+        // Wait for the listener to drop (sender disconnects). Bound the wait
+        // so a wedged runtime cannot hang the caller.
+        let _ = self.stopped.recv_timeout(Duration::from_secs(5));
     }
 }
 
@@ -178,10 +182,11 @@ async fn serve_connection(
         match reply {
             Some(frame) => {
                 if delay_micros > 0 {
-                    // A plain blocking sleep: this connection's task owns
-                    // its thread on the vendored runtime, and the delay
-                    // knob is an experiment feature, not a hot path.
-                    std::thread::sleep(Duration::from_micros(delay_micros));
+                    // A timer-wheel event, not a blocked thread: hundreds of
+                    // connections can sit in their artificial processing
+                    // delay simultaneously without occupying the worker
+                    // pool.
+                    tokio::time::sleep(Duration::from_micros(delay_micros)).await;
                 }
                 queries_served.fetch_add(answered, Ordering::Relaxed);
                 write_message(&mut stream, &frame).await?;

@@ -56,9 +56,11 @@ fn score_mechanisms(flow_count: usize, seed: u64) -> (IntentScore, IntentScore, 
             "vendor",
             &flow.app.app_type,
         );
-        let daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
-        let pid = daemon.host_mut().spawn(&flow.user, exe);
-        daemon.host_mut().connect_flow(pid, flow.five_tuple);
+        {
+            let mut daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
+            let pid = daemon.host_mut().spawn(&flow.user, exe);
+            daemon.host_mut().connect_flow(pid, flow.five_tuple);
+        }
 
         identxx.record(
             flow.app.intended_allowed,
@@ -149,9 +151,11 @@ fn port_based_deny_causes_collateral_damage() {
             "vendor",
             &flow.app.app_type,
         );
-        let daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
-        let pid = daemon.host_mut().spawn(&flow.user, exe);
-        daemon.host_mut().connect_flow(pid, flow.five_tuple);
+        {
+            let mut daemon = net.daemon_mut(flow.five_tuple.src_ip).unwrap();
+            let pid = daemon.host_mut().spawn(&flow.user, exe);
+            daemon.host_mut().connect_flow(pid, flow.five_tuple);
+        }
         identxx_score.record(intended, net.decide(&flow.five_tuple).is_pass());
     }
     // In this scenario only firefox is intended; closing the port blocks it

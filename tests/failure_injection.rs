@@ -60,7 +60,7 @@ fn malformed_delegated_requirements_never_grant_access() {
     let hosts = net.host_addrs();
     let exe = Executable::new("/usr/bin/tool", "tool", 1, "v", "t");
     {
-        let daemon = net.daemon_mut(hosts[0]).unwrap();
+        let mut daemon = net.daemon_mut(hosts[0]).unwrap();
         daemon.add_app_config(
             identxx::daemon::AppConfig::new("/usr/bin/tool")
                 .with_pair("name", "tool")
@@ -78,7 +78,7 @@ fn recursive_requirements_terminate_and_fail_closed() {
     let hosts = net.host_addrs();
     let exe = Executable::new("/usr/bin/tool", "tool", 1, "v", "t");
     {
-        let daemon = net.daemon_mut(hosts[0]).unwrap();
+        let mut daemon = net.daemon_mut(hosts[0]).unwrap();
         daemon.add_app_config(
             identxx::daemon::AppConfig::new("/usr/bin/tool")
                 .with_pair("name", "tool")
@@ -117,7 +117,7 @@ fn tampered_executable_invalidates_delegation() {
 
     // Genuine binary: allowed.
     {
-        let daemon = net.daemon_mut(hosts[0]).unwrap();
+        let mut daemon = net.daemon_mut(hosts[0]).unwrap();
         daemon.add_app_config(signed.clone());
     }
     let ok_flow = net.start_app(hosts[0], hosts[1], 7000, "alice", genuine.clone());
@@ -134,7 +134,7 @@ fn tampered_executable_invalidates_delegation() {
         "research",
     );
     {
-        let daemon = net.daemon_mut(hosts[2]).unwrap();
+        let mut daemon = net.daemon_mut(hosts[2]).unwrap();
         daemon.add_app_config(signed);
     }
     let bad_flow = net.start_app(hosts[2], hosts[1], 7000, "alice", trojaned);

@@ -1,0 +1,123 @@
+//! Reactor stress test: one `DaemonServer` under ≥ 256 concurrent
+//! connections.
+//!
+//! The tentpole property of the event-driven runtime (DESIGN.md §7): server
+//! concurrency is carried by suspended tasks, not OS threads. Every
+//! connection below is a spawned client task; the daemon charges an
+//! artificial processing delay per answer so all connections are
+//! simultaneously in flight — and the process thread count must stay
+//! O(workers), where the historical thread-per-connection transport would
+//! have parked hundreds of threads.
+//!
+//! This file is its own integration binary so the thread census isn't
+//! polluted by unrelated tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use identxx::daemon::Daemon;
+use identxx::hostmodel::Host;
+use identxx::net::{query_daemon, DaemonServer};
+use identxx::prelude::*;
+
+const CONNECTIONS: u16 = 256;
+const DAEMON_DELAY: Duration = Duration::from_millis(150);
+
+/// Current thread count of this process, from `/proc/self/status`.
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("read /proc/self/status")
+        .lines()
+        .find_map(|line| {
+            line.strip_prefix("Threads:")
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .expect("Threads: line present")
+}
+
+#[tokio::test]
+async fn two_hundred_fifty_six_connections_bounded_threads() {
+    // A daemon that answers every flow (forged identity) after a delay, so
+    // each of the 256 connections holds an in-flight exchange long enough
+    // for all of them to overlap.
+    let mut daemon = Daemon::bare(Host::new("server", Ipv4Addr::new(10, 0, 0, 5)));
+    daemon.set_forged_response(Some(vec![
+        ("name".to_string(), "httpd".to_string()),
+        ("userID".to_string(), "www".to_string()),
+    ]));
+    daemon.set_response_delay_micros(DAEMON_DELAY.as_micros() as u64);
+    let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+    let addr = server.local_addr();
+
+    let peak_threads = Arc::new(AtomicUsize::new(process_threads()));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CONNECTIONS)
+        .map(|i| {
+            tokio::spawn(async move {
+                let flow = FiveTuple::tcp(
+                    [10, 0, (i / 250) as u8 + 1, (i % 250) as u8 + 1],
+                    41_000 + i,
+                    [10, 0, 0, 5],
+                    80,
+                );
+                // One connection, one in-flight query per task; the 2 s
+                // transport deadline doubles as the per-connection bound.
+                query_daemon(addr, Query::new(flow)).await.unwrap()
+            })
+        })
+        .collect();
+
+    // Census while the fan-out is live: sample the thread count a few times
+    // mid-flight (the daemon delay keeps exchanges open).
+    let census = {
+        let peak = Arc::clone(&peak_threads);
+        tokio::spawn(async move {
+            for _ in 0..8 {
+                tokio::time::sleep(DAEMON_DELAY / 8).await;
+                peak.fetch_max(process_threads(), Ordering::AcqRel);
+            }
+        })
+    };
+
+    let mut answered = 0usize;
+    for handle in handles {
+        let response = handle.await.unwrap();
+        let response = response.expect("every connection must be answered");
+        assert_eq!(response.latest(well_known::APP_NAME), Some("httpd"));
+        answered += 1;
+    }
+    census.await.unwrap();
+    let elapsed = started.elapsed();
+
+    assert_eq!(answered, usize::from(CONNECTIONS));
+    assert_eq!(server.queries_served(), u64::from(CONNECTIONS));
+
+    // All 256 answers arrived within the transport deadline — and well
+    // under 256 serialized daemon delays (≈ 38 s): the delays overlapped as
+    // timer events on shared workers.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "256 concurrent exchanges must overlap, not serialize (elapsed {elapsed:?})"
+    );
+
+    // The core assertion: thread count is O(workers), not O(connections).
+    // Budget: worker pool + reactor + test harness + margin — far below the
+    // ~512 threads the thread-per-connection design would need (one server
+    // thread and one client task thread per connection).
+    let peak = peak_threads.load(Ordering::Acquire);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let budget = workers + 16;
+    assert!(
+        peak <= budget,
+        "thread count must stay O(workers): peak {peak} > budget {budget} \
+         with {CONNECTIONS} connections in flight"
+    );
+
+    server.shutdown();
+}

@@ -1,0 +1,377 @@
+//! The multi-worker task executor behind [`crate::spawn`].
+//!
+//! Tasks are reference-counted futures with the classic four-state waker
+//! machine (idle / scheduled / running / notified): a wake on an idle task
+//! pushes it onto the shared injector queue, a wake mid-poll flags it for
+//! requeue, and duplicate wakes collapse. A fixed pool of worker threads
+//! (`IDENTXX_WORKERS`, default `max(2, available_parallelism)`) drains the
+//! queue — so the thread count is O(workers) no matter how many tasks (one
+//! per server connection, say) are live, which is the reactor's whole point.
+//!
+//! [`JoinHandle::abort`] genuinely cancels: it marks the task aborted and
+//! schedules it; whichever worker dequeues it next **drops the future
+//! instead of polling it** (releasing its sockets, timers, and buffers) and
+//! completes the join handle with a cancelled [`JoinError`]. A task mid-poll
+//! finishes its current poll first — cancellation lands at the next yield
+//! point, which is at most one readiness event away because every I/O future
+//! in this runtime yields on `WouldBlock`.
+//!
+//! ## The threaded baseline
+//!
+//! Setting `IDENTXX_RUNTIME=threaded` switches `spawn` to one OS thread per
+//! task (driven by [`crate::runtime::block_on`]), reproducing the runtime's
+//! historical thread-per-task architecture over the same non-blocking I/O.
+//! Experiments use it as the comparison row (EXPERIMENTS.md E10); `abort`
+//! in that mode detaches instead of cancelling, which is exactly the
+//! documented historical semantics.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+
+const IDLE: u8 = 0;
+const SCHEDULED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const COMPLETE: u8 = 4;
+
+/// Why a spawned task failed to produce its output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JoinErrorKind {
+    Panicked,
+    Cancelled,
+}
+
+/// Error returned when awaiting a task that panicked or was aborted.
+#[derive(Debug)]
+pub struct JoinError {
+    kind: JoinErrorKind,
+}
+
+impl JoinError {
+    pub(crate) fn panicked() -> JoinError {
+        JoinError {
+            kind: JoinErrorKind::Panicked,
+        }
+    }
+
+    pub(crate) fn cancelled() -> JoinError {
+        JoinError {
+            kind: JoinErrorKind::Cancelled,
+        }
+    }
+
+    /// Whether the task was cancelled via [`JoinHandle::abort`].
+    pub fn is_cancelled(&self) -> bool {
+        self.kind == JoinErrorKind::Cancelled
+    }
+
+    /// Whether the task panicked.
+    pub fn is_panic(&self) -> bool {
+        self.kind == JoinErrorKind::Panicked
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            JoinErrorKind::Panicked => write!(f, "spawned task panicked"),
+            JoinErrorKind::Cancelled => write!(f, "task was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Output slot + waker shared between a task and its [`JoinHandle`].
+struct JoinInner<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+pub(crate) struct JoinState<T> {
+    inner: Mutex<JoinInner<T>>,
+}
+
+impl<T> JoinState<T> {
+    fn new() -> JoinState<T> {
+        JoinState {
+            inner: Mutex::new(JoinInner {
+                result: None,
+                waker: None,
+            }),
+        }
+    }
+
+    fn complete(&self, result: Result<T, JoinError>) {
+        let waker = {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if inner.result.is_none() {
+                inner.result = Some(result);
+            }
+            inner.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+type BoxedFuture = Pin<Box<dyn Future<Output = ()> + Send>>;
+
+/// A pool-scheduled task: the erased future plus its waker state machine.
+struct Task {
+    future: Mutex<Option<BoxedFuture>>,
+    state: AtomicU8,
+    aborted: AtomicBool,
+    /// Completes the (type-erased) join state abnormally — on panic or abort.
+    fail: Box<dyn Fn(JoinError) + Send + Sync>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        schedule(self);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        schedule(Arc::clone(self));
+    }
+}
+
+fn schedule(task: Arc<Task>) {
+    loop {
+        match task.state.load(Ordering::Acquire) {
+            IDLE => {
+                if task
+                    .state
+                    .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    pool().push(task);
+                    return;
+                }
+            }
+            RUNNING => {
+                if task
+                    .state
+                    .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+            // Already queued, already flagged, or finished.
+            _ => return,
+        }
+    }
+}
+
+fn run(task: Arc<Task>) {
+    if task.aborted.load(Ordering::Acquire) {
+        // Cancellation: drop the future without polling it (closing its
+        // sockets and timers) and fail the join handle.
+        *task.future.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        task.state.store(COMPLETE, Ordering::Release);
+        (task.fail)(JoinError::cancelled());
+        return;
+    }
+    task.state.store(RUNNING, Ordering::Release);
+    let waker = Waker::from(Arc::clone(&task));
+    let mut cx = Context::from_waker(&waker);
+    let polled = {
+        let mut slot = task.future.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(future) = slot.as_mut() else {
+            task.state.store(COMPLETE, Ordering::Release);
+            return;
+        };
+        catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx)))
+    };
+    match polled {
+        Ok(Poll::Ready(())) => {
+            // The wrapped future already delivered its output to the join
+            // state before returning Ready.
+            *task.future.lock().unwrap_or_else(|e| e.into_inner()) = None;
+            task.state.store(COMPLETE, Ordering::Release);
+        }
+        Ok(Poll::Pending) => loop {
+            if task
+                .state
+                .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // An abort can land in the window between this worker
+                // dequeuing the task and the RUNNING store above — its
+                // schedule() saw the stale SCHEDULED state and no-opped,
+                // and the pre-poll aborted check had already passed. If the
+                // task now parks with no future wake coming (a silent
+                // peer), that abort would be lost forever; re-check and
+                // reschedule so cancellation always lands.
+                if task.aborted.load(Ordering::Acquire) {
+                    schedule(Arc::clone(&task));
+                }
+                break;
+            }
+            // A wake arrived mid-poll: requeue.
+            if task
+                .state
+                .compare_exchange(NOTIFIED, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                pool().push(Arc::clone(&task));
+                break;
+            }
+        },
+        Err(_panic) => {
+            *task.future.lock().unwrap_or_else(|e| e.into_inner()) = None;
+            task.state.store(COMPLETE, Ordering::Release);
+            (task.fail)(JoinError::panicked());
+        }
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+}
+
+impl Pool {
+    fn push(&self, task: Arc<Task>) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+        self.available.notify_one();
+    }
+
+    fn pop(&self) -> Arc<Task> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(task) = queue.pop_front() {
+                return task;
+            }
+            queue = self
+                .available
+                .wait(queue)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+/// Worker-thread count: `IDENTXX_WORKERS`, else `max(2, parallelism)` — at
+/// least two so short blocking sections (daemon locks) overlap even on a
+/// single-core container.
+pub(crate) fn worker_count() -> usize {
+    if let Some(n) = std::env::var("IDENTXX_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 0..worker_count() {
+            std::thread::Builder::new()
+                .name(format!("idx-worker-{i}"))
+                .spawn(move || loop {
+                    run(pool.pop());
+                })
+                .expect("spawn worker thread");
+        }
+        pool
+    })
+}
+
+/// Handle to a spawned task: await it for the output, or [`abort`] it.
+///
+/// [`abort`]: JoinHandle::abort
+pub struct JoinHandle<T> {
+    join: Arc<JoinState<T>>,
+    /// `None` under the threaded baseline, where abort detaches.
+    task: Option<Arc<Task>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Requests cancellation. On the reactor runtime the task's future is
+    /// dropped at its next yield point (at the latest, the next time a worker
+    /// dequeues it) and awaiting the handle yields a cancelled [`JoinError`].
+    /// Under the `IDENTXX_RUNTIME=threaded` baseline the task cannot be
+    /// interrupted and is detached instead — the historical stand-in
+    /// semantics the baseline exists to measure.
+    pub fn abort(&self) {
+        if let Some(task) = &self.task {
+            task.aborted.store(true, Ordering::Release);
+            schedule(Arc::clone(task));
+        }
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.join.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(result) = inner.result.take() {
+            return Poll::Ready(result);
+        }
+        match inner.waker.as_ref() {
+            Some(current) if current.will_wake(cx.waker()) => {}
+            _ => inner.waker = Some(cx.waker().clone()),
+        }
+        Poll::Pending
+    }
+}
+
+/// Spawns a future: onto the worker pool normally, or onto its own OS thread
+/// under the `IDENTXX_RUNTIME=threaded` baseline.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let join = Arc::new(JoinState::new());
+    if crate::runtime::threaded_baseline() {
+        let state = Arc::clone(&join);
+        std::thread::Builder::new()
+            .name("idx-task".into())
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| crate::runtime::block_on(future)));
+                state.complete(result.map_err(|_| JoinError::panicked()));
+            })
+            .expect("spawn task thread");
+        return JoinHandle { join, task: None };
+    }
+    let state = Arc::clone(&join);
+    let wrapped = async move {
+        state.complete(Ok(future.await));
+    };
+    let fail_state = Arc::clone(&join);
+    let task = Arc::new(Task {
+        future: Mutex::new(Some(Box::pin(wrapped))),
+        state: AtomicU8::new(IDLE),
+        aborted: AtomicBool::new(false),
+        fail: Box::new(move |err| fail_state.complete(Err(err))),
+    });
+    schedule(Arc::clone(&task));
+    JoinHandle {
+        join,
+        task: Some(task),
+    }
+}

@@ -1,25 +1,47 @@
-//! Hermetic stand-in for the parts of `tokio` this workspace uses.
+//! Hermetic stand-in for the parts of `tokio` this workspace uses — now a
+//! real event-driven runtime, not a thread-per-task façade.
 //!
-//! The real tokio is a crates.io dependency; this workspace builds without
-//! network access, so the subset `identxx-net` and its tests need is
-//! implemented here with the simplest semantics that are still honest:
+//! The runtime has three moving parts (DESIGN.md §7):
 //!
-//! * [`runtime::block_on`] — a poll loop with a parking waker,
-//! * [`spawn`] — one OS thread per task (futures here block in I/O, so a
-//!   cooperative scheduler would deadlock; threads match the semantics),
-//! * [`net`] — `TcpListener` / `TcpStream` over blocking std sockets,
-//! * [`io`] — `AsyncReadExt` / `AsyncWriteExt` and an in-memory [`io::duplex`],
-//! * [`sync::Mutex`] — an async-`lock` façade over `std::sync::Mutex`,
-//! * [`time::timeout`] — deadline checked between polls (it cannot preempt a
-//!   blocking read; callers in this workspace never need that),
-//! * `#[tokio::main]` / `#[tokio::test]` re-exported from the vendored
-//!   `tokio-macros`.
+//! * a **reactor** (`reactor`/`sys`, private): one background thread running
+//!   an `epoll` loop over every socket (registered non-blocking and
+//!   edge-triggered), translating readiness into waker calls, and driving
+//!   the **timer wheel** (`timer`) that backs [`time::sleep`] /
+//!   [`time::timeout`] — so a timeout genuinely preempts a read blocked on a
+//!   dead peer;
+//! * an **executor** (`executor`): a fixed pool of worker threads
+//!   (`IDENTXX_WORKERS`, default `max(2, parallelism)`) polling spawned
+//!   tasks — thread count is O(workers), not O(tasks), and
+//!   [`task::JoinHandle::abort`] genuinely cancels by dropping the future at
+//!   its next yield point;
+//! * the **blocking boundary** ([`runtime::block_on`]): synchronous callers
+//!   (the controller's decision path, tests) drive a future on their own
+//!   thread with a park/unpark waker; the reactor wakes them like any task.
 //!
-//! See DESIGN.md §2 for the substitution policy and its limits.
+//! Setting `IDENTXX_RUNTIME=threaded` restores the historical
+//! thread-per-task `spawn` over the same non-blocking I/O — the comparison
+//! baseline for the E10 experiment (EXPERIMENTS.md).
+//!
+//! The public surface stays the real tokio API (`net::TcpListener`,
+//! `io::AsyncReadExt`, `time::timeout`, `#[tokio::main]` / `#[tokio::test]`
+//! re-exported from the vendored `tokio-macros`), so swapping in the
+//! crates.io crate remains a manifest-only change; [`future::join_all`] and
+//! [`runtime::threaded_baseline`] are the two documented extensions beyond
+//! it. See DESIGN.md §2 for the substitution policy.
 
+mod executor;
+mod reactor;
+mod sys;
+mod timer;
+
+pub mod net;
+
+pub use executor::spawn;
 pub use tokio_macros::{main, test};
 
 pub mod runtime {
+    //! Entry points for driving futures from synchronous code.
+
     use std::future::Future;
     use std::pin::pin;
     use std::sync::Arc;
@@ -37,9 +59,9 @@ pub mod runtime {
 
     /// Drives a future to completion on the calling thread.
     ///
-    /// Parks between polls with a short timeout as a backstop: the I/O types
-    /// in this vendored runtime complete synchronously inside `poll`, so
-    /// `Pending` only arises from [`crate::time::timeout`] racing a deadline.
+    /// Parks between polls; the reactor (I/O readiness, timer deadlines) and
+    /// the executor (join handles) unpark it through the waker. A generous
+    /// park timeout backstops against any lost wake without busy-polling.
     pub fn block_on<F: Future>(future: F) -> F::Output {
         let mut future = pin!(future);
         let waker = Waker::from(Arc::new(ThreadWaker(thread::current())));
@@ -47,132 +69,98 @@ pub mod runtime {
         loop {
             match future.as_mut().poll(&mut cx) {
                 Poll::Ready(value) => return value,
-                Poll::Pending => thread::park_timeout(Duration::from_millis(1)),
+                Poll::Pending => thread::park_timeout(Duration::from_millis(100)),
             }
         }
+    }
+
+    /// Whether the process runs the thread-per-task **baseline** instead of
+    /// the worker-pool executor (`IDENTXX_RUNTIME=threaded`). Read per call,
+    /// so an experiment can flip modes between measurement rows. Affects
+    /// [`crate::spawn`] (and the query plane's fan-out strategy in
+    /// `identxx-controller`); I/O stays reactor-driven in both modes.
+    pub fn threaded_baseline() -> bool {
+        std::env::var_os("IDENTXX_RUNTIME").is_some_and(|v| v == "threaded")
     }
 }
 
 pub mod task {
-    use std::fmt;
+    //! Spawned-task handles.
+
+    pub use crate::executor::{JoinError, JoinHandle};
+}
+
+pub mod future {
+    //! Future combinators (the `futures-util` subset this workspace needs).
+
     use std::future::Future;
     use std::pin::Pin;
-    use std::sync::mpsc;
     use std::task::{Context, Poll};
 
-    /// Error returned when a spawned task panicked before producing a value.
-    #[derive(Debug)]
-    pub struct JoinError;
+    /// Future returned by [`join_all`].
+    pub struct JoinAll<F: Future> {
+        futures: Vec<Option<Pin<Box<F>>>>,
+        results: Vec<Option<F::Output>>,
+        pending: usize,
+    }
 
-    impl fmt::Display for JoinError {
-        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "spawned task panicked")
+    impl<F: Future> Unpin for JoinAll<F> {}
+
+    impl<F: Future> Future for JoinAll<F> {
+        type Output = Vec<F::Output>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = &mut *self;
+            for i in 0..this.futures.len() {
+                if let Some(future) = this.futures[i].as_mut() {
+                    if let Poll::Ready(value) = future.as_mut().poll(cx) {
+                        this.results[i] = Some(value);
+                        this.futures[i] = None;
+                        this.pending -= 1;
+                    }
+                }
+            }
+            if this.pending > 0 {
+                return Poll::Pending;
+            }
+            Poll::Ready(
+                this.results
+                    .iter_mut()
+                    .map(|slot| slot.take().expect("every future completed"))
+                    .collect(),
+            )
         }
     }
 
-    impl std::error::Error for JoinError {}
-
-    /// Handle to a task spawned with [`crate::spawn`].
-    pub struct JoinHandle<T> {
-        pub(crate) rx: mpsc::Receiver<T>,
-    }
-
-    impl<T> JoinHandle<T> {
-        /// Requests cancellation. The vendored runtime runs each task on its
-        /// own OS thread and cannot interrupt one blocked in I/O; the thread
-        /// is detached and exits with the process. Tasks in this workspace
-        /// that get aborted (accept loops) hold no resources that outlive it.
-        pub fn abort(&self) {}
-    }
-
-    impl<T> Future for JoinHandle<T> {
-        type Output = Result<T, JoinError>;
-
-        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
-            // Blocking recv: awaiting a join handle is a terminal wait and
-            // the producing task runs on its own thread.
-            Poll::Ready(self.rx.recv().map_err(|_| JoinError))
-        }
-    }
-}
-
-/// Spawns a future onto its own OS thread, driven by [`runtime::block_on`].
-pub fn spawn<F>(future: F) -> task::JoinHandle<F::Output>
-where
-    F: std::future::Future + Send + 'static,
-    F::Output: Send + 'static,
-{
-    let (tx, rx) = std::sync::mpsc::channel();
-    std::thread::spawn(move || {
-        let value = runtime::block_on(future);
-        let _ = tx.send(value);
-    });
-    task::JoinHandle { rx }
-}
-
-pub mod net {
-    use std::io;
-    use std::net::SocketAddr;
-
-    /// Async façade over a blocking `std::net::TcpListener`.
-    pub struct TcpListener {
-        inner: std::net::TcpListener,
-    }
-
-    impl TcpListener {
-        /// Binds to `addr`.
-        pub async fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
-            Ok(TcpListener {
-                inner: std::net::TcpListener::bind(addr)?,
-            })
-        }
-
-        /// Accepts one connection (blocking inside `poll`).
-        pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
-            let (stream, peer) = self.inner.accept()?;
-            Ok((TcpStream { inner: stream }, peer))
-        }
-
-        /// The bound local address.
-        pub fn local_addr(&self) -> io::Result<SocketAddr> {
-            self.inner.local_addr()
-        }
-    }
-
-    /// Async façade over a blocking `std::net::TcpStream`.
-    pub struct TcpStream {
-        inner: std::net::TcpStream,
-    }
-
-    impl TcpStream {
-        /// Connects to `addr`.
-        pub async fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
-            Ok(TcpStream {
-                inner: std::net::TcpStream::connect(addr)?,
-            })
-        }
-
-        pub(crate) fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-            use std::io::Read;
-            self.inner.read(buf)
-        }
-
-        pub(crate) fn write_all_bytes(&mut self, data: &[u8]) -> io::Result<()> {
-            use std::io::Write;
-            self.inner.write_all(data)
-        }
-
-        pub(crate) fn flush_bytes(&mut self) -> io::Result<()> {
-            use std::io::Write;
-            self.inner.flush()
+    /// Runs every future concurrently on the **calling** task and resolves
+    /// to their outputs in input order. All still-pending children are
+    /// re-polled on each wake (they share one waker), which is the right
+    /// trade for the fan-outs in this workspace (tens to a few hundred
+    /// cheap-to-poll I/O futures); spawn tasks instead when children are
+    /// poll-expensive.
+    pub fn join_all<I>(futures: I) -> JoinAll<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Future,
+    {
+        let futures: Vec<Option<Pin<Box<I::Item>>>> =
+            futures.into_iter().map(|f| Some(Box::pin(f))).collect();
+        let pending = futures.len();
+        JoinAll {
+            results: (0..pending).map(|_| None).collect(),
+            futures,
+            pending,
         }
     }
 }
 
 pub mod io {
+    //! Async read/write traits and an in-memory duplex pipe.
+
     use std::collections::VecDeque;
     use std::io;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::{Arc, Mutex};
+    use std::task::{Poll, Waker};
 
     use bytes::BytesMut;
 
@@ -198,7 +186,7 @@ pub mod io {
     impl AsyncReadExt for crate::net::TcpStream {
         async fn read_buf(&mut self, buf: &mut BytesMut) -> io::Result<usize> {
             let mut chunk = [0u8; READ_CHUNK];
-            let n = self.read_some(&mut chunk)?;
+            let n = self.read_some(&mut chunk).await?;
             buf.extend_from_slice(&chunk[..n]);
             Ok(n)
         }
@@ -206,55 +194,67 @@ pub mod io {
 
     impl AsyncWriteExt for crate::net::TcpStream {
         async fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
-            self.write_all_bytes(data)
+            self.write_all_bytes(data).await
         }
 
         async fn flush(&mut self) -> io::Result<()> {
-            self.flush_bytes()
+            self.flush_bytes().await
         }
     }
 
-    /// One direction of an in-memory pipe.
+    /// One direction of the in-memory pipe: bytes plus the reader's waker.
     #[derive(Default)]
     struct Pipe {
         state: Mutex<PipeState>,
-        readable: Condvar,
     }
 
     #[derive(Default)]
     struct PipeState {
         buf: VecDeque<u8>,
         closed: bool,
+        reader: Option<Waker>,
     }
 
     impl Pipe {
         fn write(&self, data: &[u8]) {
-            let mut state = self.state.lock().unwrap();
-            state.buf.extend(data.iter().copied());
-            self.readable.notify_all();
+            let waker = {
+                let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                state.buf.extend(data.iter().copied());
+                state.reader.take()
+            };
+            if let Some(waker) = waker {
+                waker.wake();
+            }
         }
 
         fn close(&self) {
-            let mut state = self.state.lock().unwrap();
-            state.closed = true;
-            self.readable.notify_all();
+            let waker = {
+                let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                state.closed = true;
+                state.reader.take()
+            };
+            if let Some(waker) = waker {
+                waker.wake();
+            }
         }
 
-        fn read(&self, out: &mut BytesMut) -> usize {
-            let mut state = self.state.lock().unwrap();
-            loop {
+        async fn read(&self, out: &mut BytesMut) -> usize {
+            std::future::poll_fn(|cx| {
+                let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
                 if !state.buf.is_empty() {
                     let n = state.buf.len().min(READ_CHUNK);
                     for byte in state.buf.drain(..n) {
                         out.extend_from_slice(&[byte]);
                     }
-                    return n;
+                    return Poll::Ready(n);
                 }
                 if state.closed {
-                    return 0;
+                    return Poll::Ready(0);
                 }
-                state = self.readable.wait(state).unwrap();
-            }
+                state.reader = Some(cx.waker().clone());
+                Poll::Pending
+            })
+            .await
         }
     }
 
@@ -293,7 +293,7 @@ pub mod io {
 
     impl AsyncReadExt for DuplexStream {
         async fn read_buf(&mut self, buf: &mut BytesMut) -> io::Result<usize> {
-            Ok(self.read.read(buf))
+            Ok(self.read.read(buf).await)
         }
     }
 
@@ -310,11 +310,14 @@ pub mod io {
 }
 
 pub mod sync {
+    //! Synchronization primitives.
+
     use std::ops::{Deref, DerefMut};
 
-    /// Async façade over `std::sync::Mutex`. `lock` blocks the thread
-    /// instead of yielding; the critical sections in this workspace are
-    /// short and never await while holding the guard.
+    /// Async façade over `std::sync::Mutex`. `lock` briefly blocks the
+    /// worker thread instead of yielding; the critical sections in this
+    /// workspace are short and never await while holding the guard, so a
+    /// queue-fair async mutex would buy nothing.
     #[derive(Debug, Default)]
     pub struct Mutex<T> {
         inner: std::sync::Mutex<T>,
@@ -360,11 +363,73 @@ pub mod sync {
 }
 
 pub mod time {
+    //! Timer futures backed by the reactor's timer wheel.
+
     use std::fmt;
     use std::future::Future;
     use std::pin::Pin;
+    use std::sync::Arc;
     use std::task::{Context, Poll};
     use std::time::{Duration, Instant};
+
+    use crate::reactor;
+    use crate::timer::TimerShared;
+
+    /// Future returned by [`sleep`]: resolves once its deadline passes.
+    pub struct Sleep {
+        deadline: Instant,
+        entry: Option<Arc<TimerShared>>,
+    }
+
+    impl Sleep {
+        /// The instant this sleep resolves at.
+        pub fn deadline(&self) -> Instant {
+            self.deadline
+        }
+    }
+
+    impl Future for Sleep {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if Instant::now() >= self.deadline {
+                if let Some(entry) = self.entry.take() {
+                    entry.cancel();
+                }
+                return Poll::Ready(());
+            }
+            match &self.entry {
+                Some(entry) => entry.set_waker(cx.waker()),
+                None => {
+                    self.entry = Some(reactor::handle().add_timer(self.deadline, cx.waker()));
+                }
+            }
+            // The wheel fires already-due inserts on its next turn, so a
+            // deadline that passed while arming still wakes us; re-checking
+            // here just resolves that race without a spurious round trip.
+            if Instant::now() >= self.deadline {
+                return Poll::Ready(());
+            }
+            Poll::Pending
+        }
+    }
+
+    impl Drop for Sleep {
+        fn drop(&mut self) {
+            if let Some(entry) = &self.entry {
+                entry.cancel();
+            }
+        }
+    }
+
+    /// Suspends the current task for `duration` — a timer-wheel event, never
+    /// a blocked thread.
+    pub fn sleep(duration: Duration) -> Sleep {
+        Sleep {
+            deadline: Instant::now() + duration,
+            entry: None,
+        }
+    }
 
     /// Error returned by [`timeout`] when the deadline passes first.
     #[derive(Debug)]
@@ -381,7 +446,7 @@ pub mod time {
     /// Future returned by [`timeout`].
     pub struct Timeout<F> {
         future: F,
-        deadline: Instant,
+        sleep: Sleep,
     }
 
     impl<F: Future> Future for Timeout<F> {
@@ -389,34 +454,36 @@ pub mod time {
 
         fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
             // Safety: `future` is never moved out of `this`; the projection
-            // is the standard manual pin-projection pattern.
+            // is the standard manual pin-projection pattern (`sleep` is
+            // `Unpin`-shaped and polled through a fresh Pin each time).
             let this = unsafe { self.get_unchecked_mut() };
             let future = unsafe { Pin::new_unchecked(&mut this.future) };
-            match future.poll(cx) {
-                Poll::Ready(value) => Poll::Ready(Ok(value)),
-                Poll::Pending if Instant::now() >= this.deadline => Poll::Ready(Err(Elapsed)),
-                Poll::Pending => {
-                    cx.waker().wake_by_ref();
-                    Poll::Pending
-                }
+            if let Poll::Ready(value) = future.poll(cx) {
+                return Poll::Ready(Ok(value));
+            }
+            match Pin::new(&mut this.sleep).poll(cx) {
+                Poll::Ready(()) => Poll::Ready(Err(Elapsed)),
+                Poll::Pending => Poll::Pending,
             }
         }
     }
 
-    /// Bounds `future` by `duration`. The deadline is only checked between
-    /// polls: the vendored I/O blocks inside `poll`, so a timeout cannot
-    /// preempt a stuck read — callers in this workspace rely on peers either
-    /// answering or closing the connection.
+    /// Bounds `future` by `duration`. Unlike the historical stand-in, the
+    /// deadline is a real timer-wheel event: a future suspended on socket
+    /// readiness is preempted when the timer fires, so a hung peer costs
+    /// exactly the timeout, never a wedged thread.
     pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
         Timeout {
             future,
-            deadline: Instant::now() + duration,
+            sleep: sleep(duration),
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::time::{Duration, Instant};
+
     use bytes::BytesMut;
 
     use crate::io::{duplex, AsyncReadExt, AsyncWriteExt};
@@ -431,6 +498,14 @@ mod tests {
     fn spawn_and_join() {
         let handle = crate::spawn(async { 7u32 });
         assert_eq!(block_on(handle).unwrap(), 7);
+    }
+
+    #[test]
+    fn spawned_panic_surfaces_as_join_error() {
+        let handle = crate::spawn(async { panic!("boom") });
+        let err = block_on(handle).unwrap_err();
+        assert!(err.is_panic());
+        assert!(!err.is_cancelled());
     }
 
     #[test]
@@ -478,7 +553,6 @@ mod tests {
 
     #[test]
     fn timeout_elapses_on_pending_future() {
-        use std::time::Duration;
         let forever = std::future::pending::<()>();
         let result = block_on(crate::time::timeout(Duration::from_millis(20), forever));
         assert!(result.is_err());
@@ -486,9 +560,133 @@ mod tests {
 
     #[test]
     fn timeout_passes_through_ready_future() {
-        use std::time::Duration;
         let result = block_on(crate::time::timeout(Duration::from_secs(5), async { 3 }));
         assert_eq!(result.unwrap(), 3);
+    }
+
+    #[test]
+    fn sleep_takes_roughly_its_duration() {
+        let started = Instant::now();
+        block_on(crate::time::sleep(Duration::from_millis(40)));
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(40),
+            "woke early: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "woke far too late: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn timeout_preempts_a_read_blocked_on_a_hung_peer() {
+        // The tentpole property the historical stand-in lacked: a peer that
+        // accepts and then never writes must not hold the caller past its
+        // deadline — the timer wheel preempts the suspended read.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let (peer, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(5));
+            drop(peer);
+        });
+        let started = Instant::now();
+        let result = block_on(async {
+            let mut stream = crate::net::TcpStream::connect(addr).await.unwrap();
+            let mut buf = BytesMut::new();
+            crate::time::timeout(Duration::from_millis(80), stream.read_buf(&mut buf)).await
+        });
+        let elapsed = started.elapsed();
+        assert!(result.is_err(), "hung peer must elapse the timeout");
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "timeout must preempt the blocked read (elapsed {elapsed:?})"
+        );
+        drop(hold);
+    }
+
+    #[test]
+    fn abort_cancels_a_task_suspended_in_io() {
+        // `abort` must genuinely cancel: the task suspends reading from a
+        // silent peer, the abort drops its future (closing the socket), and
+        // the join handle reports cancellation.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let (peer, _) = listener.accept().unwrap();
+            // Hold the peer open until the client end disappears.
+            let mut byte = [0u8; 1];
+            use std::io::Read;
+            let _ = (&peer).read(&mut byte);
+        });
+        let cancelled = block_on(async {
+            let handle = crate::spawn(async move {
+                let mut stream = crate::net::TcpStream::connect(addr).await.unwrap();
+                let mut buf = BytesMut::new();
+                // Suspends forever: the peer never writes.
+                stream.read_buf(&mut buf).await.unwrap();
+            });
+            crate::time::sleep(Duration::from_millis(50)).await;
+            handle.abort();
+            handle.await
+        });
+        let err = cancelled.unwrap_err();
+        assert!(err.is_cancelled(), "abort must cancel, not detach: {err}");
+        // The dropped future closed its socket, so the peer's read returns.
+        hold.join().unwrap();
+    }
+
+    #[test]
+    fn abort_racing_the_dispatch_window_is_never_lost() {
+        // Abort immediately after spawn, racing the worker that dequeues
+        // the fresh task: if the abort flag lands between the dequeue and
+        // the task's RUNNING transition, the executor must still observe it
+        // on the way back to idle — otherwise a task suspended with no
+        // future wake (here: a forever-pending future) would leak and the
+        // join handle would hang. 200 iterations hammer the window.
+        block_on(async {
+            for _ in 0..200 {
+                let handle = crate::spawn(std::future::pending::<()>());
+                handle.abort();
+                let joined = crate::time::timeout(Duration::from_secs(5), handle).await;
+                let err = joined
+                    .expect("aborted task must complete its join handle")
+                    .unwrap_err();
+                assert!(err.is_cancelled());
+            }
+        });
+    }
+
+    #[test]
+    fn join_all_resolves_in_input_order() {
+        let outputs = block_on(crate::future::join_all((0..8u64).map(|i| async move {
+            // Reverse-staggered sleeps: completion order is the opposite of
+            // input order, results must still come back by index.
+            crate::time::sleep(Duration::from_millis(24 - 3 * i)).await;
+            i
+        })));
+        assert_eq!(outputs, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn many_tasks_on_bounded_workers() {
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (0..64)
+            .map(|_| {
+                let counter = std::sync::Arc::clone(&counter);
+                crate::spawn(async move {
+                    crate::time::sleep(Duration::from_millis(10)).await;
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                })
+            })
+            .collect();
+        block_on(async {
+            for handle in handles {
+                handle.await.unwrap();
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 64);
     }
 
     #[test]

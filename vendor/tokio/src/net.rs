@@ -1,0 +1,112 @@
+//! Non-blocking TCP types driven by the reactor.
+//!
+//! Every socket is switched into non-blocking mode and registered with the
+//! epoll reactor at creation. I/O methods run the edge-triggered discipline:
+//! try the syscall, and on `WouldBlock` suspend on the socket's readiness
+//! until the reactor reports the next transition — so a task blocked on a
+//! dead peer costs a parked waker, not a parked OS thread, and
+//! [`crate::time::timeout`] can preempt it at its deadline.
+
+use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+use std::os::fd::AsRawFd;
+
+use crate::reactor::{self, Registration, ScheduledIo, READABLE, WRITABLE};
+use crate::sys;
+
+/// Runs one non-blocking syscall to completion: retries after `Interrupted`,
+/// suspends on `WouldBlock` until the reactor reports readiness.
+pub(crate) async fn io_op<T>(
+    io: &ScheduledIo,
+    mask: u8,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    loop {
+        match op() {
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => io.ready(mask).await,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            result => return result,
+        }
+    }
+}
+
+/// A reactor-registered TCP listener.
+pub struct TcpListener {
+    // Declared before the socket: deregistration must precede the fd close.
+    reg: Registration,
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds to `addr` in non-blocking mode and registers with the reactor.
+    pub async fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        let reg = reactor::handle().register(inner.as_raw_fd())?;
+        Ok(TcpListener { reg, inner })
+    }
+
+    /// Accepts one connection, suspending (not blocking a thread) until a
+    /// peer arrives.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, peer) = io_op(&self.reg.io, READABLE, || self.inner.accept()).await?;
+        stream.set_nonblocking(true)?;
+        let reg = reactor::handle().register(stream.as_raw_fd())?;
+        Ok((TcpStream { reg, inner: stream }, peer))
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+/// A reactor-registered TCP stream.
+pub struct TcpStream {
+    // Declared before the socket: deregistration must precede the fd close.
+    reg: Registration,
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connects to `addr` without ever blocking a thread: the socket is
+    /// created non-blocking, the in-progress connect suspends on
+    /// writability, and the socket error is checked on completion — so a
+    /// black-holed peer holds a waker, not a thread, and a wrapping
+    /// [`crate::time::timeout`] genuinely cancels the attempt.
+    pub async fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+        let (inner, in_progress) = sys::connect_nonblocking(&addr)?;
+        let reg = reactor::handle().register(inner.as_raw_fd())?;
+        let stream = TcpStream { reg, inner };
+        if in_progress {
+            stream.reg.io.ready(WRITABLE).await;
+            sys::take_socket_error(stream.inner.as_raw_fd())?;
+        }
+        Ok(stream)
+    }
+
+    pub(crate) async fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let inner = &self.inner;
+        io_op(&self.reg.io, READABLE, || (&*inner).read(buf)).await
+    }
+
+    pub(crate) async fn write_all_bytes(&mut self, mut data: &[u8]) -> io::Result<()> {
+        while !data.is_empty() {
+            let inner = &self.inner;
+            let n = io_op(&self.reg.io, WRITABLE, || (&*inner).write(data)).await?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "wrote zero bytes to TCP stream",
+                ));
+            }
+            data = &data[n..];
+        }
+        Ok(())
+    }
+
+    pub(crate) async fn flush_bytes(&mut self) -> io::Result<()> {
+        // Kernel sockets have no userspace write buffer to flush.
+        Ok(())
+    }
+}

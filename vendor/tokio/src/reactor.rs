@@ -1,0 +1,285 @@
+//! The epoll reactor: one background thread multiplexing readiness for every
+//! socket the runtime owns, plus the timer wheel.
+//!
+//! Sockets register once (edge-triggered, both directions) and receive an
+//! [`ScheduledIo`] holding cached readiness bits and one waker slot per
+//! direction. I/O futures follow the standard edge-triggered discipline:
+//! attempt the syscall; on `WouldBlock`, park a waker and consume a readiness
+//! bit if one arrived in the meantime. The reactor thread's only jobs are to
+//! translate epoll events into readiness bits + wakes and to advance the
+//! timer wheel; it never performs I/O on behalf of tasks, so a slow
+//! connection can't stall the loop.
+//!
+//! The reactor starts lazily on first use and lives for the process — a
+//! stand-in for tokio's driver, which this workspace never shuts down
+//! mid-process either.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+use std::time::Instant;
+
+use crate::sys;
+use crate::timer::{TimerShared, TimerWheel};
+
+/// Readiness bit: the socket may be readable (or closed/errored).
+pub(crate) const READABLE: u8 = 0b01;
+/// Readiness bit: the socket may be writable (or closed/errored).
+pub(crate) const WRITABLE: u8 = 0b10;
+
+/// Token reserved for the reactor's self-wake pipe.
+const WAKE_TOKEN: u64 = 0;
+
+/// Per-socket reactor state: cached readiness and per-direction wakers.
+pub(crate) struct ScheduledIo {
+    readiness: AtomicU8,
+    reader: Mutex<Option<Waker>>,
+    writer: Mutex<Option<Waker>>,
+}
+
+impl ScheduledIo {
+    fn new() -> ScheduledIo {
+        ScheduledIo {
+            readiness: AtomicU8::new(0),
+            reader: Mutex::new(None),
+            writer: Mutex::new(None),
+        }
+    }
+
+    /// Reactor-side: record readiness and wake whoever waits on it.
+    fn dispatch(&self, events: u32) {
+        let mut bits = 0u8;
+        if events & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+            bits |= READABLE;
+        }
+        if events & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+            bits |= WRITABLE;
+        }
+        if bits == 0 {
+            return;
+        }
+        self.readiness.fetch_or(bits, Ordering::AcqRel);
+        if bits & READABLE != 0 {
+            wake_slot(&self.reader);
+        }
+        if bits & WRITABLE != 0 {
+            wake_slot(&self.writer);
+        }
+    }
+
+    fn waker_slot(&self, mask: u8) -> &Mutex<Option<Waker>> {
+        if mask == READABLE {
+            &self.reader
+        } else {
+            &self.writer
+        }
+    }
+
+    /// Consumes a readiness bit if present.
+    fn take_readiness(&self, mask: u8) -> bool {
+        self.readiness.fetch_and(!mask, Ordering::AcqRel) & mask != 0
+    }
+
+    /// Waits until the direction in `mask` reports ready, consuming the
+    /// readiness bit. Always `await` this only after a syscall returned
+    /// `WouldBlock` — edge-triggered epoll reports *transitions*, so waiting
+    /// without having drained the socket can sleep forever.
+    pub(crate) fn ready(&self, mask: u8) -> Ready<'_> {
+        Ready { io: self, mask }
+    }
+}
+
+fn wake_slot(slot: &Mutex<Option<Waker>>) {
+    let waker = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(waker) = waker {
+        waker.wake();
+    }
+}
+
+/// Future returned by [`ScheduledIo::ready`].
+pub(crate) struct Ready<'a> {
+    io: &'a ScheduledIo,
+    mask: u8,
+}
+
+impl std::future::Future for Ready<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.io.take_readiness(self.mask) {
+            return Poll::Ready(());
+        }
+        {
+            let mut slot = self
+                .io
+                .waker_slot(self.mask)
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match slot.as_ref() {
+                Some(current) if current.will_wake(cx.waker()) => {}
+                _ => *slot = Some(cx.waker().clone()),
+            }
+        }
+        // Re-check after parking the waker: an event between the first check
+        // and the store would otherwise be missed (its wake hit the previous
+        // waker or none at all).
+        if self.io.take_readiness(self.mask) {
+            return Poll::Ready(());
+        }
+        Poll::Pending
+    }
+}
+
+/// A socket's registration with the reactor; dropping it deregisters the fd.
+/// Declare it **before** the socket in structs, so deregistration precedes
+/// the fd's close.
+pub(crate) struct Registration {
+    token: u64,
+    fd: RawFd,
+    pub(crate) io: Arc<ScheduledIo>,
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        handle().deregister(self.token, self.fd);
+    }
+}
+
+pub(crate) struct Reactor {
+    epfd: RawFd,
+    registrations: Mutex<HashMap<u64, Arc<ScheduledIo>>>,
+    next_token: AtomicU64,
+    timers: Mutex<TimerWheel>,
+    /// Write end of the self-wake pipe; one byte unblocks `epoll_wait` so the
+    /// loop re-reads its timer deadline.
+    wake_writer: std::os::unix::net::UnixStream,
+}
+
+static REACTOR: OnceLock<Reactor> = OnceLock::new();
+
+/// The process-wide reactor, started on first use.
+pub(crate) fn handle() -> &'static Reactor {
+    REACTOR.get_or_init(Reactor::start)
+}
+
+impl Reactor {
+    fn start() -> Reactor {
+        let epfd = sys::epoll_create().expect("epoll_create1 failed");
+        let (wake_reader, wake_writer) = std::os::unix::net::UnixStream::pair().expect("wake pipe");
+        wake_reader
+            .set_nonblocking(true)
+            .expect("wake pipe nonblocking");
+        wake_writer
+            .set_nonblocking(true)
+            .expect("wake pipe nonblocking");
+        // Level-triggered on purpose: the drain loop below consumes all
+        // pending bytes, and a missed edge here would strand the loop on a
+        // stale timeout.
+        sys::epoll_add(epfd, wake_reader.as_raw_fd(), WAKE_TOKEN, sys::EPOLLIN)
+            .expect("register wake pipe");
+        let reactor = Reactor {
+            epfd,
+            registrations: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+            timers: Mutex::new(TimerWheel::new(Instant::now())),
+            wake_writer,
+        };
+        std::thread::Builder::new()
+            .name("idx-reactor".into())
+            .spawn(move || handle().run(wake_reader))
+            .expect("spawn reactor thread");
+        reactor
+    }
+
+    fn run(&self, wake_reader: std::os::unix::net::UnixStream) {
+        let mut events = [sys::epoll_event { events: 0, data: 0 }; 64];
+        let mut drain = [0u8; 64];
+        loop {
+            let timeout_ms = {
+                let timers = self.timers.lock().unwrap_or_else(|e| e.into_inner());
+                match timers.poll_timeout_ms(Instant::now()) {
+                    Some(ms) => ms.min(i32::MAX as u64) as i32,
+                    None => -1,
+                }
+            };
+            let n = match sys::wait(self.epfd, &mut events, timeout_ms) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            for event in &events[..n] {
+                let token = event.data;
+                if token == WAKE_TOKEN {
+                    while let Ok(n) = (&wake_reader).read(&mut drain) {
+                        if n < drain.len() {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                let io = {
+                    let map = self.registrations.lock().unwrap_or_else(|e| e.into_inner());
+                    map.get(&token).cloned()
+                };
+                if let Some(io) = io {
+                    io.dispatch(event.events);
+                }
+            }
+            self.timers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .advance(Instant::now());
+        }
+    }
+
+    /// Registers a non-blocking socket, edge-triggered for both directions.
+    pub(crate) fn register(&self, fd: RawFd) -> io::Result<Registration> {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let io = Arc::new(ScheduledIo::new());
+        self.registrations
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(token, Arc::clone(&io));
+        let events = sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLRDHUP | sys::EPOLLET;
+        if let Err(err) = sys::epoll_add(self.epfd, fd, token, events) {
+            self.registrations
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&token);
+            return Err(err);
+        }
+        Ok(Registration { token, fd, io })
+    }
+
+    fn deregister(&self, token: u64, fd: RawFd) {
+        // The fd may already be half-closed; failure here only means there is
+        // nothing left to deregister.
+        let _ = sys::epoll_del(self.epfd, fd);
+        self.registrations
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&token);
+    }
+
+    /// Arms a timer waking `waker` at `deadline`; nudges the reactor loop if
+    /// this deadline is now the earliest.
+    pub(crate) fn add_timer(&self, deadline: Instant, waker: &Waker) -> Arc<TimerShared> {
+        let (shared, now_earliest) = self
+            .timers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(deadline, waker);
+        if now_earliest {
+            self.wake();
+        }
+        shared
+    }
+
+    fn wake(&self) {
+        // A full pipe means a wake is already pending — exactly what we want.
+        let _ = (&self.wake_writer).write(&[1]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Minimal FFI shim over the platform's `epoll` and socket syscalls.
+//!
+//! The vendored runtime needs exactly four kernel facilities that `std` does
+//! not expose: an `epoll` instance to multiplex readiness, non-blocking
+//! `connect` (std's `TcpStream::connect` blocks in the syscall), the
+//! `SO_ERROR` read that completes a non-blocking connect, and nothing else —
+//! fd lifecycle, reads, writes, and accepts all go through `std` types
+//! switched into non-blocking mode. The declarations below bind directly to
+//! the C library `std` already links, so no external crate is needed; the
+//! constants are the Linux generic-architecture values (x86_64/aarch64).
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::net::SocketAddr;
+use std::os::fd::RawFd;
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+pub(crate) const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+const AF_INET: u16 = 2;
+const AF_INET6: u16 = 10;
+const SOCK_STREAM: i32 = 1;
+const SOCK_NONBLOCK: i32 = 0o4000;
+const SOCK_CLOEXEC: i32 = 0o2000000;
+const SOL_SOCKET: i32 = 1;
+const SO_ERROR: i32 = 4;
+const EINPROGRESS: i32 = 115;
+const EINTR: i32 = 4;
+
+/// Mirror of the kernel's `struct epoll_event`. Packed on x86, where the
+/// kernel ABI leaves the 64-bit data field unaligned.
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub(crate) struct epoll_event {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[repr(C)]
+struct sockaddr_in {
+    sin_family: u16,
+    /// Network byte order.
+    sin_port: u16,
+    /// Network byte order.
+    sin_addr: [u8; 4],
+    sin_zero: [u8; 8],
+}
+
+#[repr(C)]
+struct sockaddr_in6 {
+    sin6_family: u16,
+    /// Network byte order.
+    sin6_port: u16,
+    sin6_flowinfo: u32,
+    sin6_addr: [u8; 16],
+    sin6_scope_id: u32,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut epoll_event) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut epoll_event, maxevents: i32, timeout: i32) -> i32;
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn connect(fd: i32, addr: *const u8, len: u32) -> i32;
+    fn getsockopt(fd: i32, level: i32, optname: i32, optval: *mut u8, optlen: *mut u32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a close-on-exec epoll instance.
+pub(crate) fn epoll_create() -> io::Result<RawFd> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// Registers `fd` for `events`, tagging readiness reports with `token`.
+pub(crate) fn epoll_add(epfd: RawFd, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+    let mut event = epoll_event {
+        events,
+        data: token,
+    };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut event) }).map(|_| ())
+}
+
+/// Removes `fd` from the epoll set. Failure is tolerable (the fd may already
+/// be closed), so the caller usually ignores the result.
+pub(crate) fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    let mut event = epoll_event { events: 0, data: 0 };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut event) }).map(|_| ())
+}
+
+/// Waits up to `timeout_ms` (`-1` = forever) for readiness events. `EINTR`
+/// is reported as zero events so the caller's loop just re-enters.
+pub(crate) fn wait(epfd: RawFd, events: &mut [epoll_event], timeout_ms: i32) -> io::Result<usize> {
+    let ret = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+    if ret < 0 {
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() == Some(EINTR) {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(ret as usize)
+}
+
+/// Starts a non-blocking TCP connect to `addr`. Returns the socket (already
+/// in non-blocking mode) and whether the connect is still in progress — if
+/// so, the caller waits for writability and then checks
+/// [`take_socket_error`].
+pub(crate) fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(std::net::TcpStream, bool)> {
+    use std::os::fd::FromRawFd;
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = cvt(unsafe { socket(domain as i32, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    // From here the fd is owned by the std stream, which closes it on drop
+    // (including on the error paths below).
+    let stream = unsafe { std::net::TcpStream::from_raw_fd(fd) };
+    let ret = match addr {
+        SocketAddr::V4(v4) => {
+            let raw = sockaddr_in {
+                sin_family: AF_INET,
+                sin_port: v4.port().to_be(),
+                sin_addr: v4.ip().octets(),
+                sin_zero: [0; 8],
+            };
+            unsafe {
+                connect(
+                    fd,
+                    (&raw as *const sockaddr_in).cast(),
+                    std::mem::size_of::<sockaddr_in>() as u32,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let raw = sockaddr_in6 {
+                sin6_family: AF_INET6,
+                sin6_port: v6.port().to_be(),
+                sin6_flowinfo: v6.flowinfo().to_be(),
+                sin6_addr: v6.ip().octets(),
+                sin6_scope_id: v6.scope_id(),
+            };
+            unsafe {
+                connect(
+                    fd,
+                    (&raw as *const sockaddr_in6).cast(),
+                    std::mem::size_of::<sockaddr_in6>() as u32,
+                )
+            }
+        }
+    };
+    if ret == 0 {
+        return Ok((stream, false));
+    }
+    let err = io::Error::last_os_error();
+    if err.raw_os_error() == Some(EINPROGRESS) {
+        return Ok((stream, true));
+    }
+    Err(err)
+}
+
+/// Reads and clears the socket's pending error (`SO_ERROR`) — the completion
+/// status of a non-blocking connect once the socket reports writable.
+pub(crate) fn take_socket_error(fd: RawFd) -> io::Result<()> {
+    let mut err: i32 = 0;
+    let mut len = std::mem::size_of::<i32>() as u32;
+    cvt(unsafe {
+        getsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_ERROR,
+            (&mut err as *mut i32).cast(),
+            &mut len,
+        )
+    })?;
+    if err == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::from_raw_os_error(err))
+    }
+}

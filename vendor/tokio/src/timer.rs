@@ -1,0 +1,305 @@
+//! The hashed timer wheel behind [`crate::time`].
+//!
+//! One wheel lives inside the reactor ([`crate::reactor`]); the reactor
+//! thread advances it after every `epoll_wait` and uses
+//! [`TimerWheel::next_deadline_ms`] to bound how long it sleeps, which is
+//! what lets a `timeout` preempt a socket read that never becomes ready.
+//!
+//! Layout: 512 one-millisecond slots cover the wheel's current revolution;
+//! deadlines further out sit in a `BTreeMap` overflow that drains into the
+//! slots as the cursor advances. Because an entry is only filed into a slot
+//! when its deadline falls inside the current 512 ms window, every entry in
+//! a slot shares the one in-window deadline congruent to that slot — firing
+//! a due slot is a plain drain, no per-entry deadline comparison.
+//!
+//! Cancellation is lazy: dropping a `Sleep` flips its shared state to
+//! cancelled and the wheel discards the entry when its deadline comes due.
+//! Entries therefore linger for at most their original duration, bounding
+//! the garbage by (timer rate × timeout length) — a few MB at the query
+//! plane's default 2 s budget and tens of thousands of exchanges per second.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::Waker;
+use std::time::Instant;
+
+const SLOTS: usize = 512;
+
+const ARMED: u8 = 0;
+const FIRED: u8 = 1;
+const CANCELLED: u8 = 2;
+
+/// State shared between a timer future (`Sleep`) and the wheel.
+pub(crate) struct TimerShared {
+    state: AtomicU8,
+    waker: Mutex<Option<Waker>>,
+}
+
+impl TimerShared {
+    fn new(waker: &Waker) -> TimerShared {
+        TimerShared {
+            state: AtomicU8::new(ARMED),
+            waker: Mutex::new(Some(waker.clone())),
+        }
+    }
+
+    /// Replaces the waker woken at the deadline (the future may migrate
+    /// between tasks' contexts across polls).
+    pub(crate) fn set_waker(&self, waker: &Waker) {
+        let mut slot = self.waker.lock().unwrap_or_else(|e| e.into_inner());
+        match slot.as_ref() {
+            Some(current) if current.will_wake(waker) => {}
+            _ => *slot = Some(waker.clone()),
+        }
+    }
+
+    /// Marks the timer dead; the wheel drops the entry when its slot fires.
+    pub(crate) fn cancel(&self) {
+        let _ = self
+            .state
+            .compare_exchange(ARMED, CANCELLED, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    fn fire(&self) {
+        if self
+            .state
+            .compare_exchange(ARMED, FIRED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            let waker = self.waker.lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+        }
+    }
+}
+
+struct Entry {
+    deadline_ms: u64,
+    shared: Arc<TimerShared>,
+}
+
+pub(crate) struct TimerWheel {
+    start: Instant,
+    /// Every deadline strictly below this has fired.
+    cursor_ms: u64,
+    slots: Vec<Vec<Entry>>,
+    overflow: BTreeMap<u64, Vec<Entry>>,
+    /// Live (fired-or-not-yet-drained) entries; zero short-circuits the
+    /// deadline scan.
+    live: usize,
+    /// Cached earliest pending deadline: recomputed by [`TimerWheel::advance`]
+    /// each reactor loop, and lowered in place by inserts between loops —
+    /// so an insert costs O(1), not a wheel scan.
+    earliest: Option<u64>,
+}
+
+impl TimerWheel {
+    pub(crate) fn new(start: Instant) -> TimerWheel {
+        TimerWheel {
+            start,
+            cursor_ms: 0,
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            overflow: BTreeMap::new(),
+            live: 0,
+            earliest: None,
+        }
+    }
+
+    fn to_ms(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.start).as_millis() as u64
+    }
+
+    /// Registers a waker to fire at `deadline` (rounded **up** to the next
+    /// millisecond, so timers never fire early). Returns the shared handle
+    /// and whether this deadline is now the wheel's earliest — the caller
+    /// must wake the reactor in that case so it re-arms its poll timeout.
+    pub(crate) fn insert(&mut self, deadline: Instant, waker: &Waker) -> (Arc<TimerShared>, bool) {
+        let shared = Arc::new(TimerShared::new(waker));
+        // Ceil: a deadline of 3.2 ms files under 4 ms.
+        let deadline_ms = self.to_ms(deadline).saturating_add(1).max(self.cursor_ms);
+        let entry = Entry {
+            deadline_ms,
+            shared: Arc::clone(&shared),
+        };
+        if deadline_ms < self.cursor_ms + SLOTS as u64 {
+            self.slots[(deadline_ms % SLOTS as u64) as usize].push(entry);
+        } else {
+            self.overflow.entry(deadline_ms).or_default().push(entry);
+        }
+        self.live += 1;
+        let now_earliest = self.earliest.is_none_or(|e| deadline_ms < e);
+        if now_earliest {
+            self.earliest = Some(deadline_ms);
+        }
+        (shared, now_earliest)
+    }
+
+    /// Fires everything due at `now` and pulls overflow entries whose
+    /// deadline has entered the wheel's window.
+    ///
+    /// The cursor jumps from due deadline to due deadline instead of
+    /// stepping per millisecond — after a long idle stretch (the reactor
+    /// parked in `epoll_wait` with no timers) the catch-up costs one
+    /// iteration per *pending* deadline, not one per elapsed millisecond,
+    /// so the first event after hours of idleness does not stall the
+    /// reactor under the timers lock.
+    pub(crate) fn advance(&mut self, now: Instant) {
+        let now_ms = self.to_ms(now);
+        loop {
+            // The slot scan sees every in-window entry, and any overflow
+            // entry inside the window was pulled at the end of the previous
+            // iteration — so `next` really is the earliest pending deadline.
+            let due = match self.next_deadline_ms() {
+                Some(next) if next <= now_ms => next,
+                _ => {
+                    // Nothing (more) due: everything strictly before now has
+                    // fired, so the cursor may jump past the idle stretch.
+                    // Pull overflow for the shifted window — every cursor
+                    // move must, or an overflow entry could later be filed
+                    // behind the cursor and fire a whole revolution late.
+                    self.cursor_ms = self.cursor_ms.max(now_ms + 1);
+                    self.pull_overflow();
+                    break;
+                }
+            };
+            self.cursor_ms = self.cursor_ms.max(due);
+            // `due` may live in the overflow (slots empty across the jump);
+            // bring the new window's entries into their slots before firing.
+            self.pull_overflow();
+            let slot = (self.cursor_ms % SLOTS as u64) as usize;
+            for entry in self.slots[slot].drain(..) {
+                self.live -= 1;
+                entry.shared.fire();
+            }
+            self.cursor_ms += 1;
+            self.pull_overflow();
+        }
+        self.earliest = self.next_deadline_ms();
+    }
+
+    /// Moves overflow entries whose deadline entered the wheel's current
+    /// 512 ms window into their slots.
+    fn pull_overflow(&mut self) {
+        let window_end = self.cursor_ms + SLOTS as u64;
+        while let Some(entry) = self.overflow.first_entry() {
+            if *entry.key() >= window_end {
+                break;
+            }
+            for entry in entry.remove() {
+                self.slots[(entry.deadline_ms % SLOTS as u64) as usize].push(entry);
+            }
+        }
+    }
+
+    /// The earliest pending deadline in wheel milliseconds, if any. Linear in
+    /// the wheel size (≤ 512 emptiness checks), run once per reactor loop.
+    fn next_deadline_ms(&self) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        for deadline in self.cursor_ms..self.cursor_ms + SLOTS as u64 {
+            if !self.slots[(deadline % SLOTS as u64) as usize].is_empty() {
+                return Some(deadline);
+            }
+        }
+        self.overflow.keys().next().copied()
+    }
+
+    /// Milliseconds the reactor may sleep before the next deadline
+    /// (`None` = no timers, sleep until I/O).
+    pub(crate) fn poll_timeout_ms(&self, now: Instant) -> Option<u64> {
+        let next = self.earliest?;
+        Some(next.saturating_sub(self.to_ms(now)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+    use std::task::Wake;
+    use std::time::Duration;
+
+    struct CountingWake(AtomicUsize);
+
+    impl Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, AtomicOrdering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWake>, Waker) {
+        let counter = Arc::new(CountingWake(AtomicUsize::new(0)));
+        (Arc::clone(&counter), Waker::from(counter))
+    }
+
+    #[test]
+    fn fires_after_a_long_idle_jump() {
+        // The cursor must catch up from hours of idleness per *deadline*,
+        // not per millisecond — and still fire correctly afterwards.
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start);
+        wheel.advance(start + Duration::from_secs(36_000));
+        let (fired, waker) = counting_waker();
+        wheel.insert(
+            start + Duration::from_secs(36_000) + Duration::from_millis(50),
+            &waker,
+        );
+        wheel.advance(start + Duration::from_secs(36_000) + Duration::from_millis(10));
+        assert_eq!(
+            fired.0.load(AtomicOrdering::SeqCst),
+            0,
+            "must not fire early"
+        );
+        wheel.advance(start + Duration::from_secs(36_000) + Duration::from_millis(60));
+        assert_eq!(
+            fired.0.load(AtomicOrdering::SeqCst),
+            1,
+            "must fire after the jump"
+        );
+    }
+
+    #[test]
+    fn overflow_entry_survives_a_cursor_jump() {
+        // An entry parked in the overflow (beyond the 512 ms window at
+        // insert time) must still fire on time when the cursor jumps across
+        // an idle stretch rather than stepping per millisecond — every jump
+        // has to pull the overflow into the shifted window.
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start);
+        let (far, far_waker) = counting_waker();
+        wheel.insert(start + Duration::from_millis(600), &far_waker);
+        // Idle jump to t=199 ms: nothing due, window shifts.
+        wheel.advance(start + Duration::from_millis(199));
+        // A later-deadline slot entry must not shadow the overflow entry.
+        let (near, near_waker) = counting_waker();
+        wheel.insert(start + Duration::from_millis(650), &near_waker);
+        assert_eq!(
+            wheel.poll_timeout_ms(start + Duration::from_millis(199)),
+            Some(402),
+            "the overflow entry (due 600→601 ms) must bound the poll timeout"
+        );
+        wheel.advance(start + Duration::from_millis(620));
+        assert_eq!(
+            far.0.load(AtomicOrdering::SeqCst),
+            1,
+            "overflow entry fires on time"
+        );
+        assert_eq!(near.0.load(AtomicOrdering::SeqCst), 0);
+        wheel.advance(start + Duration::from_millis(660));
+        assert_eq!(near.0.load(AtomicOrdering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cancelled_entries_do_not_wake() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start);
+        let (fired, waker) = counting_waker();
+        let (shared, _) = wheel.insert(start + Duration::from_millis(20), &waker);
+        shared.cancel();
+        wheel.advance(start + Duration::from_millis(50));
+        assert_eq!(fired.0.load(AtomicOrdering::SeqCst), 0);
+    }
+}
