@@ -38,10 +38,26 @@ pub struct AuditRecord {
     pub queries_issued: u32,
 }
 
+/// A load-time note about the policy itself rather than about any one flow:
+/// rules the compiler's dead-rule elimination dropped, port rules that are
+/// unsafe under the configured cache granularity, and similar static
+/// findings. The categories match the `identxx-pf` static analyzer's
+/// diagnostic codes (e.g. `shadowed-rule`, `granularity-unsafe`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyNote {
+    /// Kebab-case category, e.g. `shadowed-rule`.
+    pub category: String,
+    /// Source line of the rule the note is about (0 = unknown).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
 /// The append-only audit log.
 #[derive(Debug, Clone, Default)]
 pub struct AuditLog {
     records: Vec<AuditRecord>,
+    policy_notes: Vec<PolicyNote>,
 }
 
 impl AuditLog {
@@ -58,6 +74,16 @@ impl AuditLog {
     /// All records in order.
     pub fn records(&self) -> &[AuditRecord] {
         &self.records
+    }
+
+    /// Appends a load-time policy note.
+    pub fn push_note(&mut self, note: PolicyNote) {
+        self.policy_notes.push(note);
+    }
+
+    /// Load-time notes about the policy (dead rules, granularity hazards).
+    pub fn policy_notes(&self) -> &[PolicyNote] {
+        &self.policy_notes
     }
 
     /// Number of records.

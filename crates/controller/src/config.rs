@@ -35,6 +35,13 @@ pub struct ControllerConfig {
     /// Whether to install a drop entry for denied flows (so follow-up packets
     /// of a denied flow do not hit the controller again).
     pub install_drop_entries: bool,
+    /// Acknowledges that the policy contains port-constrained rules while the
+    /// cache granularity erases ports from the state key, so a cached verdict
+    /// can be replayed for flows the rule would have treated differently. The
+    /// controller always records the affected rules in the audit log's policy
+    /// notes; in debug builds it additionally panics unless this flag is set
+    /// (the E8b locality sweep sets it deliberately).
+    pub acknowledge_coarse_cache: bool,
 }
 
 impl Default for ControllerConfig {
@@ -49,6 +56,7 @@ impl Default for ControllerConfig {
             use_state_table: true,
             cache_granularity: CacheGranularity::ExactFiveTuple,
             install_drop_entries: true,
+            acknowledge_coarse_cache: false,
         }
     }
 }
@@ -100,6 +108,14 @@ impl ControllerConfig {
     /// Sets the state-table key granularity (builder style).
     pub fn with_cache_granularity(mut self, granularity: CacheGranularity) -> Self {
         self.cache_granularity = granularity;
+        self
+    }
+
+    /// Accepts port-constrained rules under a coarse cache granularity
+    /// (builder style); see
+    /// [`acknowledge_coarse_cache`](Self::acknowledge_coarse_cache).
+    pub fn with_coarse_cache_acknowledged(mut self) -> Self {
+        self.acknowledge_coarse_cache = true;
         self
     }
 

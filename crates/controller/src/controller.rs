@@ -7,7 +7,7 @@ use identxx_proto::{well_known, FiveTuple, Response};
 
 use identxx_openflow::{ControllerDirective, FlowMod, OpenFlowController, PacketIn};
 
-use crate::audit::{AuditLog, AuditRecord};
+use crate::audit::{AuditLog, AuditRecord, PolicyNote};
 use crate::backend::{BackendStats, InProcessBackend, QueryBackend};
 use crate::config::ControllerConfig;
 use crate::install::NetworkMap;
@@ -81,10 +81,50 @@ pub struct IdentxxController {
 impl IdentxxController {
     /// Creates a controller from a configuration, compiling its `.control`
     /// files.
+    ///
+    /// Construction also performs the cheap static checks: every rule the
+    /// compiler's dead-rule elimination dropped is recorded as a policy note
+    /// in the audit log (the administrator should know which delegated rules
+    /// can never decide anything), and rules whose ports the configured
+    /// [`identxx_pf::CacheGranularity`] erases from the state key are noted
+    /// as well. In debug builds the latter additionally panics unless
+    /// [`ControllerConfig::acknowledge_coarse_cache`] is set, because a
+    /// coarse cache silently replays verdicts across ports such rules
+    /// distinguish.
     pub fn new(config: ControllerConfig) -> Result<IdentxxController, PfError> {
         let ruleset = config.compile()?;
         let compiled = Self::compile_policy(&config, &ruleset);
         let state = StateTable::new().with_granularity(config.cache_granularity);
+        let mut audit = AuditLog::new();
+        for dead in compiled.dead_rules() {
+            audit.push_note(PolicyNote {
+                category: "shadowed-rule".to_string(),
+                line: dead.line,
+                message: format!("rule never decides any flow: {}", dead.reason),
+            });
+        }
+        if config.use_state_table {
+            let hazards =
+                identxx_pf::analyze::granularity_diagnostics(&ruleset, config.cache_granularity);
+            debug_assert!(
+                hazards.is_empty() || config.acknowledge_coarse_cache,
+                "policy has port-constrained rules the {:?} cache granularity cannot key \
+                 (acknowledge with ControllerConfig::with_coarse_cache_acknowledged): {}",
+                config.cache_granularity,
+                hazards
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            );
+            for hazard in hazards {
+                audit.push_note(PolicyNote {
+                    category: hazard.category.as_str().to_string(),
+                    line: hazard.span.line,
+                    message: hazard.message,
+                });
+            }
+        }
         Ok(IdentxxController {
             config,
             ruleset,
@@ -92,7 +132,7 @@ impl IdentxxController {
             backend: Box::new(InProcessBackend::new()),
             network: None,
             state,
-            audit: AuditLog::new(),
+            audit,
             interceptors: Vec::new(),
             augmenters: Vec::new(),
             compromised: false,
@@ -667,6 +707,62 @@ mod tests {
 
     fn skype(version: i64) -> Executable {
         Executable::new("/usr/bin/skype", "skype", version, "skype.com", "voip")
+    }
+
+    #[test]
+    fn dead_rules_are_recorded_as_policy_notes() {
+        let config = ControllerConfig::new().with_control_file(
+            "00.control",
+            "block from 10.0.0.1 to any\nblock all\npass quick all\npass from 10.0.0.2 to any\n",
+        );
+        let controller = IdentxxController::new(config).unwrap();
+        let notes = controller.audit().policy_notes();
+        assert!(
+            notes.iter().any(|n| n.category == "shadowed-rule"),
+            "{notes:?}"
+        );
+        // Rule 0 is superseded by the unconditional `block all`, rule 3 is
+        // truncated behind `pass quick all`: both lines must be named.
+        assert!(notes.iter().any(|n| n.line == 1), "{notes:?}");
+        assert!(notes.iter().any(|n| n.line == 4), "{notes:?}");
+    }
+
+    #[test]
+    fn coarse_cache_port_rules_are_noted_when_acknowledged() {
+        let config = ControllerConfig::new()
+            .with_control_file("00.control", "block all\npass from any to any port 80\n")
+            .with_cache_granularity(identxx_pf::CacheGranularity::HostPair)
+            .with_coarse_cache_acknowledged();
+        let controller = IdentxxController::new(config).unwrap();
+        let notes = controller.audit().policy_notes();
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.category == "granularity-unsafe" && n.line == 2),
+            "{notes:?}"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "coarse_cache_acknowledged")]
+    fn coarse_cache_port_rules_panic_in_debug_without_acknowledgement() {
+        let config = ControllerConfig::new()
+            .with_control_file("00.control", "block all\npass from any to any port 80\n")
+            .with_cache_granularity(identxx_pf::CacheGranularity::HostPair);
+        let _ = IdentxxController::new(config);
+    }
+
+    #[test]
+    fn port_free_policy_is_safe_under_any_granularity() {
+        let config = ControllerConfig::new()
+            .with_control_file(
+                "00.control",
+                "block all\npass all with eq(@src[name], ssh)\n",
+            )
+            .with_cache_granularity(identxx_pf::CacheGranularity::HostPair);
+        let controller = IdentxxController::new(config).unwrap();
+        assert!(controller.audit().policy_notes().is_empty());
     }
 
     fn firefox() -> Executable {

@@ -44,7 +44,7 @@ pub mod intercept;
 pub mod querier;
 pub mod shard;
 
-pub use audit::{AuditLog, AuditRecord};
+pub use audit::{AuditLog, AuditRecord, PolicyNote};
 pub use backend::{
     BackendStats, FlowRequest, FlowResponses, InProcessBackend, NetworkBackend, QueryBackend,
     RecordingBackend, SharedDirectoryBackend,

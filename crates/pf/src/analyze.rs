@@ -1,0 +1,1770 @@
+//! Static analysis of PF+=2 rule sets.
+//!
+//! The evaluator deliberately fails *closed*: undefined tables are empty,
+//! unknown functions never match, unresolvable service names never match.
+//! That is the right runtime posture for a security policy, but it means a
+//! typo silently turns a rule into dead weight instead of an error. This
+//! module is the complementary *load-time* check: it inspects a parsed
+//! [`RuleSet`] and reports everything the interpreter would silently swallow,
+//! as structured [`Diagnostic`]s carrying source [`Span`]s.
+//!
+//! The passes, in the order [`analyze`] runs them:
+//!
+//! 1. **References** — undefined tables, dicts, macros, functions and service
+//!    names, built-in arity mistakes, and `@src[key]`/`@dst[key]` keys no
+//!    daemon field is known to produce.
+//! 2. **Satisfiability** — predicates that constant-fold to `false` (the rule
+//!    can never match) or to `true` (the predicate is noise), and predicate
+//!    *sets* whose value constraints are mutually exclusive (e.g. two `eq`
+//!    calls pinning the same key to different values).
+//! 3. **Ordering** — rules that can never decide a flow because a later rule
+//!    subsumes them (last match wins) or an earlier `quick` rule always
+//!    preempts them; overlapping rule pairs with opposite actions where only
+//!    ordering picks the winner; and the compiler's own dead-rule elimination
+//!    results, re-reported with their reasons.
+//! 4. **Cache granularity** — rules whose port constraints a coarse
+//!    [`CacheGranularity`] would erase from the state-table key, so a cached
+//!    verdict for one port would be replayed for flows on other ports
+//!    (see [`granularity_diagnostics`]).
+//!
+//! ## Soundness contract
+//!
+//! Every *shadowing* claim is sound with respect to the reference
+//! interpreter: if the analyzer says a rule never decides, no flow/response
+//! combination makes [`crate::EvalContext::evaluate`] pick that rule. To keep
+//! that promise the analyzer only claims subsumption it can prove — address
+//! sets are compared per CIDR prefix, predicate sets syntactically — and it
+//! models the interpreter's quirks exactly (an undefined table is the *empty*
+//! set, so a negated reference to it matches **every** address; an
+//! unresolvable named port matches none). The reverse direction is
+//! best-effort: some dead rules are necessarily missed (the problem is
+//! undecidable in general), which is why these are warnings, not a proof of
+//! liveness for the rules left unflagged.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use identxx_proto::{well_known, IpProtocol};
+
+use crate::ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet, Span};
+use crate::compile::PolicyCompiler;
+use crate::functions::{numeric_cmp, parse_list_literal, FunctionRegistry};
+use crate::parser::parse_ruleset;
+use crate::services;
+use crate::state::CacheGranularity;
+
+/// How serious a diagnostic is.
+///
+/// `Error` means the configuration almost certainly does not do what its
+/// author intended (a dangling reference, an impossible predicate set);
+/// `pfcheck` exits non-zero when any error is present. `Warning` flags rules
+/// that are legal but suspicious — dead, order-dependent, or unsafe under the
+/// configured cache granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but well-defined configuration.
+    Warning,
+    /// Almost certainly a configuration mistake.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name (`"warning"` / `"error"`), as printed and serialized.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kind of problem a [`Diagnostic`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// A rule that can never decide any flow: a later rule subsumes it, an
+    /// earlier `quick` rule always preempts it, or the compiler's dead-rule
+    /// elimination dropped it.
+    ShadowedRule,
+    /// An earlier `quick` rule intercepts part of a later rule's match space.
+    PartialShadow,
+    /// Two overlapping rules with opposite actions where neither contains the
+    /// other, so only rule order picks the winner on the intersection.
+    Contradiction,
+    /// A reference to a table, dict, macro or service name that is not
+    /// defined anywhere in the (merged) configuration.
+    UndefinedReference,
+    /// A `with` call to a function that is neither built in nor registered.
+    UnknownFunction,
+    /// A built-in function called with the wrong number of arguments.
+    BadArity,
+    /// A `@src[key]`/`@dst[key]` key that no known daemon field produces.
+    UnknownResponseKey,
+    /// A predicate (or predicate set) that can never be true, so the rule can
+    /// never match.
+    Unsatisfiable,
+    /// A predicate that is always true and therefore constrains nothing.
+    Tautology,
+    /// A port-constrained rule whose ports the configured cache granularity
+    /// erases from the state-table key.
+    GranularityUnsafe,
+}
+
+impl Category {
+    /// Stable kebab-case code for this category (used in text and JSON
+    /// output).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Category::ShadowedRule => "shadowed-rule",
+            Category::PartialShadow => "partial-shadow",
+            Category::Contradiction => "contradiction",
+            Category::UndefinedReference => "undefined-reference",
+            Category::UnknownFunction => "unknown-function",
+            Category::BadArity => "bad-arity",
+            Category::UnknownResponseKey => "unknown-response-key",
+            Category::Unsatisfiable => "unsatisfiable",
+            Category::Tautology => "tautology",
+            Category::GranularityUnsafe => "granularity-unsafe",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A secondary source location attached to a [`Diagnostic`] — e.g. the rule
+/// that shadows the one being reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Related {
+    /// Position of the related rule or call.
+    pub span: Span,
+    /// Index of the related rule in [`RuleSet::rules`], when it is a rule.
+    pub rule_index: Option<usize>,
+    /// Why this location is relevant.
+    pub note: String,
+}
+
+/// One finding of the static analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// What kind of problem this is.
+    pub category: Category,
+    /// Where the problem is (the rule or the offending call).
+    pub span: Span,
+    /// Index of the rule this diagnostic is about, when it is about a rule.
+    pub rule_index: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+    /// Other locations that explain the finding.
+    pub related: Vec<Related>,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.category, self.span, self.message
+        )?;
+        for rel in &self.related {
+            write!(f, "\n  note at {}: {}", rel.span, rel.note)?;
+        }
+        Ok(())
+    }
+}
+
+/// Context the analyzer cannot learn from the rule set itself.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisOptions {
+    /// The state-table granularity the controller will cache verdicts at.
+    /// When set, [`analyze`] appends [`granularity_diagnostics`].
+    pub granularity: Option<CacheGranularity>,
+    /// Response keys the deployment's daemons produce beyond
+    /// [`well_known::ALL`]. Keys outside the union are reported as
+    /// [`Category::UnknownResponseKey`] warnings.
+    pub extra_response_keys: Vec<String>,
+    /// Names of user functions registered with the evaluator (see
+    /// [`FunctionRegistry`]). Calls to functions outside this list and the
+    /// built-ins are [`Category::UnknownFunction`] errors.
+    pub user_functions: Vec<String>,
+    /// Names of context-provided named lists (the evaluator's
+    /// `with_named_list`). `member`'s list argument resolves these before
+    /// macros and tables, and their contents are unknown statically.
+    pub named_lists: Vec<String>,
+}
+
+/// Runs every analysis pass over `ruleset` and returns the findings, sorted
+/// by source position.
+pub fn analyze(ruleset: &RuleSet, options: &AnalysisOptions) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    reference_pass(ruleset, options, &mut diags);
+    let sat = satisfiability_pass(ruleset, options, &mut diags);
+    ordering_pass(ruleset, options, &sat, &mut diags);
+    if let Some(granularity) = options.granularity {
+        diags.extend(granularity_diagnostics(ruleset, granularity));
+    }
+    diags.sort_by_key(|d| (d.span.line, d.span.col, d.category.as_str()));
+    diags
+}
+
+/// Reports every rule whose port constraints `granularity` erases from the
+/// state-table key.
+///
+/// A cached verdict is replayed for any later flow that maps to the same
+/// cache key. [`CacheGranularity::HostPair`] keys on addresses only, so a
+/// rule that inspects *any* port can disagree with the cache;
+/// [`CacheGranularity::HostPairDstPort`] preserves the destination port but
+/// erases the source port. [`CacheGranularity::ExactFiveTuple`] is always
+/// safe. This check is linear and allocation-light, so the controller runs it
+/// at construction time on every policy.
+pub fn granularity_diagnostics(
+    ruleset: &RuleSet,
+    granularity: CacheGranularity,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if granularity == CacheGranularity::ExactFiveTuple {
+        return diags;
+    }
+    for (index, rule) in ruleset.rules.iter().enumerate() {
+        let from_port = rule.from.as_ref().and_then(|e| e.port.as_ref()).is_some();
+        let to_port = rule.to.as_ref().and_then(|e| e.port.as_ref()).is_some();
+        let erased = match granularity {
+            CacheGranularity::ExactFiveTuple => continue,
+            CacheGranularity::HostPairDstPort if from_port => "source port",
+            CacheGranularity::HostPairDstPort => continue,
+            CacheGranularity::HostPair if from_port && to_port => "source and destination ports",
+            CacheGranularity::HostPair if from_port => "source port",
+            CacheGranularity::HostPair if to_port => "destination port",
+            CacheGranularity::HostPair => continue,
+        };
+        diags.push(Diagnostic {
+            severity: Severity::Warning,
+            category: Category::GranularityUnsafe,
+            span: rule_span(rule),
+            rule_index: Some(index),
+            message: format!(
+                "rule constrains the {erased}, but cache granularity {granularity:?} drops \
+                 {erased} from the state key: a cached verdict for one port would be replayed \
+                 for flows on other ports"
+            ),
+            related: Vec::new(),
+        });
+    }
+    diags
+}
+
+fn rule_span(rule: &Rule) -> Span {
+    if rule.span.is_known() {
+        rule.span
+    } else if rule.line != 0 {
+        Span::new(rule.line, 1)
+    } else {
+        Span::default()
+    }
+}
+
+fn call_span(call: &FnCall) -> Span {
+    if call.span.is_known() {
+        call.span
+    } else if call.line != 0 {
+        Span::new(call.line, 1)
+    } else {
+        Span::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: references
+// ---------------------------------------------------------------------------
+
+/// Built-in argument counts: `(name, min, max)`.
+const BUILTIN_ARITY: &[(&str, usize, usize)] = &[
+    ("eq", 2, 2),
+    ("ne", 2, 2),
+    ("gt", 2, 2),
+    ("lt", 2, 2),
+    ("gte", 2, 2),
+    ("lte", 2, 2),
+    ("exists", 1, 1),
+    ("member", 2, 2),
+    ("includes", 2, 2),
+    ("allowed", 1, 1),
+    ("verify", 3, usize::MAX),
+];
+
+fn reference_pass(ruleset: &RuleSet, options: &AnalysisOptions, diags: &mut Vec<Diagnostic>) {
+    let known_keys: BTreeSet<&str> = well_known::ALL
+        .iter()
+        .copied()
+        .chain(options.extra_response_keys.iter().map(String::as_str))
+        .collect();
+
+    fn check_endpoint(
+        ruleset: &RuleSet,
+        diags: &mut Vec<Diagnostic>,
+        endpoint: Option<&Endpoint>,
+        side: &str,
+        index: usize,
+        span: Span,
+    ) {
+        let Some(endpoint) = endpoint else { return };
+        if let AddrSpec::Table(name) = &endpoint.addr {
+            if !ruleset.tables.contains_key(name) {
+                let extra = if endpoint.negate {
+                    "; negated, the reference matches EVERY address"
+                } else {
+                    "; the endpoint matches no address"
+                };
+                diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    category: Category::UndefinedReference,
+                    span,
+                    rule_index: Some(index),
+                    message: format!("{side} references undefined table <{name}>{extra}"),
+                    related: Vec::new(),
+                });
+            }
+        }
+        if let Some(PortSpec::Named(name)) = &endpoint.port {
+            if services::resolve_port(name).is_none() {
+                diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    category: Category::UndefinedReference,
+                    span,
+                    rule_index: Some(index),
+                    message: format!(
+                        "{side} uses unknown service name `port {name}`; the endpoint matches \
+                         no port"
+                    ),
+                    related: Vec::new(),
+                });
+            }
+        }
+    }
+
+    for (index, rule) in ruleset.rules.iter().enumerate() {
+        let span = rule_span(rule);
+        check_endpoint(ruleset, diags, rule.from.as_ref(), "`from`", index, span);
+        check_endpoint(ruleset, diags, rule.to.as_ref(), "`to`", index, span);
+
+        for call in &rule.withs {
+            let span = call_span(call);
+            let name = call.name.as_str();
+            if let Some(&(_, min, max)) = BUILTIN_ARITY.iter().find(|(n, _, _)| *n == name) {
+                if call.args.len() < min || call.args.len() > max {
+                    let expected = if max == usize::MAX {
+                        format!("at least {min}")
+                    } else if min == max {
+                        format!("{min}")
+                    } else {
+                        format!("{min}..{max}")
+                    };
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        category: Category::BadArity,
+                        span,
+                        rule_index: Some(index),
+                        message: format!(
+                            "`{name}` takes {expected} argument(s), got {}; the call never \
+                             matches",
+                            call.args.len()
+                        ),
+                        related: Vec::new(),
+                    });
+                }
+            } else if !FunctionRegistry::is_builtin(name)
+                && !options.user_functions.iter().any(|f| f == name)
+            {
+                diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    category: Category::UnknownFunction,
+                    span,
+                    rule_index: Some(index),
+                    message: format!(
+                        "unknown function `{name}`; unknown functions never match, so the rule \
+                         is inert"
+                    ),
+                    related: Vec::new(),
+                });
+            }
+
+            for arg in &call.args {
+                match arg {
+                    FnArg::MacroRef(m) if !ruleset.macros.contains_key(m) => {
+                        diags.push(Diagnostic {
+                            severity: Severity::Error,
+                            category: Category::UndefinedReference,
+                            span,
+                            rule_index: Some(index),
+                            message: format!(
+                                "reference to undefined macro ${m}; the argument resolves to \
+                                 nothing and the call never matches"
+                            ),
+                            related: Vec::new(),
+                        });
+                    }
+                    FnArg::DictRef { dict, key, .. } => match dict.as_str() {
+                        "src" | "dst" if !known_keys.contains(key.as_str()) => {
+                            diags.push(Diagnostic {
+                                severity: Severity::Warning,
+                                category: Category::UnknownResponseKey,
+                                span,
+                                rule_index: Some(index),
+                                message: format!(
+                                    "@{dict}[{key}] is not a well-known response key; no \
+                                     standard daemon field produces it"
+                                ),
+                                related: Vec::new(),
+                            });
+                        }
+                        "src" | "dst" => {}
+                        other if !ruleset.dicts.contains_key(other) => {
+                            diags.push(Diagnostic {
+                                severity: Severity::Error,
+                                category: Category::UndefinedReference,
+                                span,
+                                rule_index: Some(index),
+                                message: format!(
+                                    "reference to undefined dict @{other}[{key}]; the argument \
+                                     resolves to nothing and the call never matches"
+                                ),
+                                related: Vec::new(),
+                            });
+                        }
+                        _ => {}
+                    },
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: satisfiability (constant folding + value constraints)
+// ---------------------------------------------------------------------------
+
+/// Result of statically resolving a function argument.
+enum StaticArg {
+    /// Statically resolvable: `Some(value)` or known-absent (`None`), exactly
+    /// what the interpreter's `resolve_arg` would return.
+    Known(Option<String>),
+    /// Depends on the `@src`/`@dst` responses at evaluation time.
+    Runtime,
+}
+
+fn resolve_static(arg: &FnArg, ruleset: &RuleSet) -> StaticArg {
+    match arg {
+        FnArg::Literal(text) => StaticArg::Known(Some(text.clone())),
+        FnArg::MacroRef(name) => StaticArg::Known(ruleset.macros.get(name).cloned()),
+        FnArg::DictRef { dict, key, .. } => match dict.as_str() {
+            "src" | "dst" => StaticArg::Runtime,
+            other => StaticArg::Known(
+                ruleset
+                    .dicts
+                    .get(other)
+                    .and_then(|d| d.get(key))
+                    .map(str::to_string),
+            ),
+        },
+    }
+}
+
+/// What constant folding learned about a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fold {
+    /// True for every flow/response.
+    True,
+    /// False for every flow/response.
+    False,
+    /// Depends on runtime information.
+    Unknown,
+}
+
+/// Folds a `with` call without runtime responses, mirroring the
+/// interpreter's `call_matches` exactly (missing arguments are false, unknown
+/// functions are false, malformed `allowed` requirements are false, …).
+fn fold_call(call: &FnCall, ruleset: &RuleSet, options: &AnalysisOptions) -> Fold {
+    let name = call.name.as_str();
+    match name {
+        "eq" | "ne" | "gt" | "lt" | "gte" | "lte" => {
+            if call.args.len() != 2 {
+                return Fold::False;
+            }
+            let a = resolve_static(&call.args[0], ruleset);
+            let b = resolve_static(&call.args[1], ruleset);
+            // A known-absent argument makes the call false no matter what the
+            // other one resolves to.
+            if matches!(a, StaticArg::Known(None)) || matches!(b, StaticArg::Known(None)) {
+                return Fold::False;
+            }
+            match (&a, &b) {
+                (StaticArg::Known(Some(a)), StaticArg::Known(Some(b))) => {
+                    let hit = match name {
+                        "eq" => a == b,
+                        "ne" => a != b,
+                        _ => match numeric_cmp(a, b) {
+                            Some(ord) => match name {
+                                "gt" => ord == std::cmp::Ordering::Greater,
+                                "lt" => ord == std::cmp::Ordering::Less,
+                                "gte" => ord != std::cmp::Ordering::Less,
+                                _ => ord != std::cmp::Ordering::Greater,
+                            },
+                            None => false,
+                        },
+                    };
+                    if hit {
+                        Fold::True
+                    } else {
+                        Fold::False
+                    }
+                }
+                // One side is runtime. A non-numeric constant on the other
+                // side makes the numeric comparisons unconditionally false.
+                (StaticArg::Known(Some(lit)), StaticArg::Runtime)
+                | (StaticArg::Runtime, StaticArg::Known(Some(lit)))
+                    if name != "eq" && name != "ne" && lit.trim().parse::<i64>().is_err() =>
+                {
+                    Fold::False
+                }
+                _ => Fold::Unknown,
+            }
+        }
+        "exists" => {
+            if call.args.len() != 1 {
+                return Fold::False;
+            }
+            match resolve_static(&call.args[0], ruleset) {
+                StaticArg::Known(Some(_)) => Fold::True,
+                StaticArg::Known(None) => Fold::False,
+                StaticArg::Runtime => Fold::Unknown,
+            }
+        }
+        "member" => {
+            if call.args.len() != 2 {
+                return Fold::False;
+            }
+            let value = resolve_static(&call.args[0], ruleset);
+            if matches!(value, StaticArg::Known(None)) {
+                return Fold::False;
+            }
+            // Mirror `resolve_list`: a *literal* list argument resolves
+            // through named lists, then macros, then tables; anything else
+            // resolves as a value and is split as a list literal.
+            let list: Option<Vec<String>> = match &call.args[1] {
+                FnArg::Literal(name) if options.named_lists.iter().any(|l| l == name) => None,
+                FnArg::Literal(name) => {
+                    if let Some(text) = ruleset.macros.get(name) {
+                        Some(parse_list_literal(text))
+                    } else if let Some(table) = ruleset.tables.get(name) {
+                        Some(table.entries().iter().map(|e| format!("{e:?}")).collect())
+                    } else {
+                        Some(parse_list_literal(name))
+                    }
+                }
+                other => match resolve_static(other, ruleset) {
+                    StaticArg::Known(Some(text)) => Some(parse_list_literal(&text)),
+                    StaticArg::Known(None) => Some(Vec::new()),
+                    StaticArg::Runtime => None,
+                },
+            };
+            match (value, list) {
+                // An empty list never matches, whatever the value is.
+                (_, Some(list)) if list.is_empty() => Fold::False,
+                (StaticArg::Known(Some(value)), Some(list)) => {
+                    if value
+                        .split_whitespace()
+                        .any(|v| list.iter().any(|m| m == v))
+                    {
+                        Fold::True
+                    } else {
+                        Fold::False
+                    }
+                }
+                _ => Fold::Unknown,
+            }
+        }
+        "includes" => {
+            if call.args.len() != 2 {
+                return Fold::False;
+            }
+            let haystack = resolve_static(&call.args[0], ruleset);
+            let needle = resolve_static(&call.args[1], ruleset);
+            if matches!(haystack, StaticArg::Known(None))
+                || matches!(needle, StaticArg::Known(None))
+            {
+                return Fold::False;
+            }
+            match (haystack, needle) {
+                (StaticArg::Known(Some(h)), StaticArg::Known(Some(n))) => {
+                    if h.split_whitespace().any(|item| item == n) {
+                        Fold::True
+                    } else {
+                        Fold::False
+                    }
+                }
+                _ => Fold::Unknown,
+            }
+        }
+        "allowed" => {
+            if call.args.len() != 1 {
+                return Fold::False;
+            }
+            match resolve_static(&call.args[0], ruleset) {
+                StaticArg::Known(None) => Fold::False,
+                StaticArg::Runtime => Fold::Unknown,
+                StaticArg::Known(Some(text)) => match parse_ruleset(&text) {
+                    // Malformed delegated rules never grant access.
+                    Err(_) => Fold::False,
+                    Ok(sub) => {
+                        if sub.rules.is_empty() {
+                            // The empty rule set yields the evaluator's
+                            // configurable default decision — not foldable.
+                            return Fold::Unknown;
+                        }
+                        if !sub.rules.iter().all(rule_matches_everything) {
+                            return Fold::Unknown;
+                        }
+                        // All rules unconditional: the first `quick` rule
+                        // decides, else the last rule (last match wins).
+                        let decider = sub
+                            .rules
+                            .iter()
+                            .find(|r| r.quick)
+                            .unwrap_or_else(|| sub.rules.last().expect("non-empty"));
+                        match decider.action {
+                            Action::Pass => Fold::True,
+                            Action::Block => Fold::False,
+                        }
+                    }
+                },
+            }
+        }
+        "verify" => {
+            if call.args.len() < 3 {
+                return Fold::False;
+            }
+            if call
+                .args
+                .iter()
+                .any(|a| matches!(resolve_static(a, ruleset), StaticArg::Known(None)))
+            {
+                return Fold::False;
+            }
+            Fold::Unknown
+        }
+        other => {
+            if options.user_functions.iter().any(|f| f == other) {
+                Fold::Unknown
+            } else {
+                // Unknown functions never match (administrator typos fail
+                // closed).
+                Fold::False
+            }
+        }
+    }
+}
+
+fn rule_matches_everything(rule: &Rule) -> bool {
+    fn endpoint_any(e: &Option<Endpoint>) -> bool {
+        match e {
+            None => true,
+            Some(e) => !e.negate && e.addr == AddrSpec::Any && e.port.is_none(),
+        }
+    }
+    rule.proto.is_none()
+        && rule.withs.is_empty()
+        && endpoint_any(&rule.from)
+        && endpoint_any(&rule.to)
+}
+
+/// Per-key value constraints accumulated from a rule's runtime predicates.
+#[derive(Debug, Clone, Default)]
+struct Constraint {
+    eq: Option<String>,
+    ne: BTreeSet<String>,
+    /// Inclusive numeric bounds from `gt`/`lt`/`gte`/`lte`.
+    lo: Option<i64>,
+    hi: Option<i64>,
+}
+
+impl Constraint {
+    fn check(&self, target: &str) -> Result<(), String> {
+        if let Some(eq) = &self.eq {
+            if self.ne.contains(eq) {
+                return Err(format!(
+                    "{target} is required to both equal and not equal {eq:?}"
+                ));
+            }
+            if self.lo.is_some() || self.hi.is_some() {
+                match eq.trim().parse::<i64>() {
+                    Err(_) => {
+                        return Err(format!(
+                            "{target} must equal non-numeric {eq:?} but is also compared \
+                             numerically (numeric comparisons on it can never hold)"
+                        ));
+                    }
+                    Ok(v) => {
+                        if self.lo.is_some_and(|lo| v < lo) || self.hi.is_some_and(|hi| v > hi) {
+                            return Err(format!(
+                                "{target} must equal {v} but the numeric bounds exclude it"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if let (Some(lo), Some(hi)) = (self.lo, self.hi) {
+            if lo > hi {
+                return Err(format!(
+                    "{target} is bounded to the empty numeric range [{lo}, {hi}]"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A conjunction of per-key [`Constraint`]s, keyed by the canonical
+/// `@dict[key]` the predicates inspect.
+#[derive(Debug, Clone, Default)]
+struct ConstraintMap {
+    map: BTreeMap<String, Constraint>,
+}
+
+impl ConstraintMap {
+    fn add(&mut self, target: &str, kind: ConstraintKind) -> Result<(), String> {
+        let c = self.map.entry(target.to_string()).or_default();
+        match kind {
+            ConstraintKind::Eq(v) => {
+                if let Some(prev) = &c.eq {
+                    if *prev != v {
+                        return Err(format!(
+                            "{target} is required to equal both {prev:?} and {v:?}"
+                        ));
+                    }
+                }
+                c.eq = Some(v);
+            }
+            ConstraintKind::Ne(v) => {
+                c.ne.insert(v);
+            }
+            ConstraintKind::Bound { lo, hi } => {
+                if let Some(lo) = lo {
+                    c.lo = Some(c.lo.map_or(lo, |prev| prev.max(lo)));
+                }
+                if let Some(hi) = hi {
+                    c.hi = Some(c.hi.map_or(hi, |prev| prev.min(hi)));
+                }
+            }
+        }
+        c.check(target)
+    }
+}
+
+enum ConstraintKind {
+    Eq(String),
+    Ne(String),
+    Bound { lo: Option<i64>, hi: Option<i64> },
+}
+
+/// Canonical display form of a `@dict[key]` reference, used as the
+/// constraint-map key and in messages.
+fn canon_dictref(concat: bool, dict: &str, key: &str) -> String {
+    format!("{}@{dict}[{key}]", if concat { "*" } else { "" })
+}
+
+/// Extracts a value constraint from a runtime comparison predicate:
+/// one side a `@src`/`@dst` reference, the other a statically known literal.
+fn extract_constraint(call: &FnCall, ruleset: &RuleSet) -> Option<(String, ConstraintKind)> {
+    let name = call.name.as_str();
+    if !matches!(name, "eq" | "ne" | "gt" | "lt" | "gte" | "lte") || call.args.len() != 2 {
+        return None;
+    }
+    let as_runtime_ref = |arg: &FnArg| match arg {
+        FnArg::DictRef { concat, dict, key } if dict == "src" || dict == "dst" => {
+            Some(canon_dictref(*concat, dict, key))
+        }
+        _ => None,
+    };
+    let as_literal = |arg: &FnArg| match resolve_static(arg, ruleset) {
+        StaticArg::Known(Some(v)) => Some(v),
+        _ => None,
+    };
+    // `ref_first` distinguishes gt(@src[k], 5)  (k > 5)  from
+    // gt(5, @src[k])  (k < 5) for the numeric comparisons.
+    let (target, lit, ref_first) = if let Some(t) = as_runtime_ref(&call.args[0]) {
+        (t, as_literal(&call.args[1])?, true)
+    } else if let Some(t) = as_runtime_ref(&call.args[1]) {
+        (t, as_literal(&call.args[0])?, false)
+    } else {
+        return None;
+    };
+    let kind = match name {
+        "eq" => ConstraintKind::Eq(lit),
+        "ne" => ConstraintKind::Ne(lit),
+        _ => {
+            let n: i64 = lit.trim().parse().ok()?; // non-numeric folds false elsewhere
+            let (lo, hi) = match (name, ref_first) {
+                ("gt", true) | ("lt", false) => (Some(n.saturating_add(1)), None),
+                ("gte", true) | ("lte", false) => (Some(n), None),
+                ("lt", true) | ("gt", false) => (None, Some(n.saturating_sub(1))),
+                _ => (None, Some(n)), // ("lte", true) | ("gte", false)
+            };
+            ConstraintKind::Bound { lo, hi }
+        }
+    };
+    Some((target, kind))
+}
+
+/// Per-rule result of the satisfiability pass, reused by the ordering pass.
+struct RuleSat {
+    /// The rule can never match (a predicate folded false or the constraint
+    /// set is contradictory).
+    never_matches: bool,
+    /// Canonical forms of the predicates that actually constrain the rule
+    /// (tautologies removed).
+    preds: BTreeSet<String>,
+    /// Value constraints implied by the runtime predicates.
+    constraints: ConstraintMap,
+}
+
+fn satisfiability_pass(
+    ruleset: &RuleSet,
+    options: &AnalysisOptions,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<RuleSat> {
+    let mut out = Vec::with_capacity(ruleset.rules.len());
+    for (index, rule) in ruleset.rules.iter().enumerate() {
+        let mut sat = RuleSat {
+            never_matches: false,
+            preds: BTreeSet::new(),
+            constraints: ConstraintMap::default(),
+        };
+        // An unresolvable named service makes the endpoint (and the rule)
+        // matchless; the reference pass already reported the error.
+        for endpoint in [&rule.from, &rule.to].into_iter().flatten() {
+            if let Some(PortSpec::Named(name)) = &endpoint.port {
+                if services::resolve_port(name).is_none() {
+                    sat.never_matches = true;
+                }
+            }
+        }
+        for call in &rule.withs {
+            match fold_call(call, ruleset, options) {
+                Fold::False => {
+                    sat.never_matches = true;
+                    diags.push(Diagnostic {
+                        severity: Severity::Warning,
+                        category: Category::Unsatisfiable,
+                        span: call_span(call),
+                        rule_index: Some(index),
+                        message: format!(
+                            "`{}` is always false here, so the rule can never match",
+                            call.name
+                        ),
+                        related: Vec::new(),
+                    });
+                }
+                Fold::True => {
+                    diags.push(Diagnostic {
+                        severity: Severity::Warning,
+                        category: Category::Tautology,
+                        span: call_span(call),
+                        rule_index: Some(index),
+                        message: format!(
+                            "`{}` is always true here and constrains nothing",
+                            call.name
+                        ),
+                        related: Vec::new(),
+                    });
+                }
+                Fold::Unknown => {
+                    sat.preds.insert(canon_call(call));
+                    if let Some((target, kind)) = extract_constraint(call, ruleset) {
+                        if let Err(reason) = sat.constraints.add(&target, kind) {
+                            if !sat.never_matches {
+                                sat.never_matches = true;
+                                diags.push(Diagnostic {
+                                    severity: Severity::Warning,
+                                    category: Category::Unsatisfiable,
+                                    span: call_span(call),
+                                    rule_index: Some(index),
+                                    message: format!(
+                                        "the rule's predicates can never hold together: {reason}"
+                                    ),
+                                    related: Vec::new(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.push(sat);
+    }
+    out
+}
+
+/// Canonical syntactic form of a call, for set-inclusion comparison between
+/// rules. Purely syntactic (macros are *not* expanded): two rules carrying
+/// the identical call text place the identical constraint, which is all
+/// subsumption needs.
+fn canon_call(call: &FnCall) -> String {
+    let mut s = call.name.clone();
+    for arg in &call.args {
+        s.push('\u{1e}');
+        match arg {
+            FnArg::Literal(t) => {
+                s.push('L');
+                s.push_str(t);
+            }
+            FnArg::MacroRef(m) => {
+                s.push('M');
+                s.push_str(m);
+            }
+            FnArg::DictRef { concat, dict, key } => {
+                s.push(if *concat { 'C' } else { 'D' });
+                s.push_str(dict);
+                s.push('\u{1f}');
+                s.push_str(key);
+            }
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: ordering (shadowing, partial shadowing, contradictions)
+// ---------------------------------------------------------------------------
+
+/// A set of IPv4 addresses, represented as CIDR prefixes or their complement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum AddrSet {
+    /// Every address.
+    Any,
+    /// The union of the prefixes.
+    Set(Vec<(u32, u8)>),
+    /// Everything *outside* the union of the prefixes.
+    Complement(Vec<(u32, u8)>),
+}
+
+/// Whether prefix `a` contains prefix `b`.
+fn prefix_contains(a: (u32, u8), b: (u32, u8)) -> bool {
+    let (an, al) = a;
+    let (bn, bl) = b;
+    if al > bl {
+        return false;
+    }
+    if al == 0 {
+        return true;
+    }
+    let shift = 32 - al as u32;
+    (an >> shift) == (bn >> shift)
+}
+
+fn prefix_disjoint(a: (u32, u8), b: (u32, u8)) -> bool {
+    !prefix_contains(a, b) && !prefix_contains(b, a)
+}
+
+/// `a ⊆ b` over prefix lists: every prefix of `a` inside some prefix of `b`.
+/// Conservative — a prefix covered only by the *union* of several smaller
+/// prefixes is not recognized — which keeps subsumption claims sound.
+fn prefixes_subset(a: &[(u32, u8)], b: &[(u32, u8)]) -> bool {
+    a.iter()
+        .all(|&pa| b.iter().any(|&pb| prefix_contains(pb, pa)))
+}
+
+fn prefixes_disjoint(a: &[(u32, u8)], b: &[(u32, u8)]) -> bool {
+    a.iter()
+        .all(|&pa| b.iter().all(|&pb| prefix_disjoint(pa, pb)))
+}
+
+fn prefixes_cover_everything(a: &[(u32, u8)]) -> bool {
+    a.iter().any(|&(_, len)| len == 0)
+}
+
+impl AddrSet {
+    fn empty(&self) -> bool {
+        match self {
+            AddrSet::Any => false,
+            AddrSet::Set(s) => s.is_empty(),
+            AddrSet::Complement(s) => prefixes_cover_everything(s),
+        }
+    }
+
+    /// Provable `self ⊆ other`.
+    fn subset_of(&self, other: &AddrSet) -> bool {
+        if self.empty() || matches!(other, AddrSet::Any) {
+            return true;
+        }
+        match (self, other) {
+            (AddrSet::Any, AddrSet::Set(b)) => prefixes_cover_everything(b),
+            (AddrSet::Any, AddrSet::Complement(b)) => b.is_empty(),
+            (AddrSet::Set(a), AddrSet::Set(b)) => prefixes_subset(a, b),
+            (AddrSet::Set(a), AddrSet::Complement(b)) => prefixes_disjoint(a, b),
+            (AddrSet::Complement(_), AddrSet::Set(b)) => prefixes_cover_everything(b),
+            (AddrSet::Complement(a), AddrSet::Complement(b)) => prefixes_subset(b, a),
+            (_, AddrSet::Any) => true,
+        }
+    }
+
+    /// Provable `self ∩ other = ∅`.
+    fn disjoint_from(&self, other: &AddrSet) -> bool {
+        if self.empty() || other.empty() {
+            return true;
+        }
+        match (self, other) {
+            (AddrSet::Any, _) | (_, AddrSet::Any) => false,
+            (AddrSet::Set(a), AddrSet::Set(b)) => prefixes_disjoint(a, b),
+            (AddrSet::Set(a), AddrSet::Complement(b)) => prefixes_subset(a, b),
+            (AddrSet::Complement(a), AddrSet::Set(b)) => prefixes_subset(b, a),
+            // Two complements are disjoint only if the prefixes jointly cover
+            // the whole space; not worth proving, so say "may overlap".
+            (AddrSet::Complement(_), AddrSet::Complement(_)) => false,
+        }
+    }
+}
+
+/// A set of ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PortSet {
+    /// Every port.
+    Any,
+    /// An inclusive range.
+    Range(u16, u16),
+    /// No port (an unresolvable service name).
+    Never,
+}
+
+impl PortSet {
+    fn subset_of(&self, other: &PortSet) -> bool {
+        match (self, other) {
+            (PortSet::Never, _) | (_, PortSet::Any) => true,
+            (_, PortSet::Never) => false,
+            (PortSet::Any, PortSet::Range(lo, hi)) => *lo == 0 && *hi == u16::MAX,
+            (PortSet::Range(alo, ahi), PortSet::Range(blo, bhi)) => blo <= alo && ahi <= bhi,
+        }
+    }
+
+    fn disjoint_from(&self, other: &PortSet) -> bool {
+        match (self, other) {
+            (PortSet::Never, _) | (_, PortSet::Never) => true,
+            (PortSet::Any, _) | (_, PortSet::Any) => false,
+            (PortSet::Range(alo, ahi), PortSet::Range(blo, bhi)) => ahi < blo || bhi < alo,
+        }
+    }
+}
+
+/// The statically analyzable match space of one rule.
+struct Matcher {
+    proto: Option<IpProtocol>,
+    from_addr: AddrSet,
+    from_port: PortSet,
+    to_addr: AddrSet,
+    to_port: PortSet,
+}
+
+fn addr_set(endpoint: &Option<Endpoint>, ruleset: &RuleSet) -> AddrSet {
+    let Some(endpoint) = endpoint else {
+        return AddrSet::Any;
+    };
+    let prefixes: Vec<(u32, u8)> = match &endpoint.addr {
+        AddrSpec::Any => {
+            // `!any` never matches (the interpreter negates the always-true
+            // address match).
+            return if endpoint.negate {
+                AddrSet::Set(Vec::new())
+            } else {
+                AddrSet::Any
+            };
+        }
+        AddrSpec::Host(h) => vec![(h.to_u32(), 32)],
+        AddrSpec::Cidr {
+            network,
+            prefix_len,
+        } => vec![(network.to_u32(), *prefix_len)],
+        AddrSpec::Table(name) => {
+            let mut prefixes = Vec::new();
+            // An undefined table is the empty set — so its *negation*
+            // matches every address, exactly as the interpreter behaves.
+            if let Some(table) = ruleset.tables.get(name) {
+                table.visit_flattened(&ruleset.tables, |entry| match entry {
+                    crate::table::TableEntry::Host(h) => prefixes.push((h.to_u32(), 32)),
+                    crate::table::TableEntry::Cidr {
+                        network,
+                        prefix_len,
+                    } => prefixes.push((network.to_u32(), *prefix_len)),
+                    crate::table::TableEntry::TableRef(_) => {}
+                });
+            }
+            prefixes
+        }
+    };
+    if endpoint.negate {
+        AddrSet::Complement(prefixes)
+    } else {
+        AddrSet::Set(prefixes)
+    }
+}
+
+fn port_set(endpoint: &Option<Endpoint>) -> PortSet {
+    match endpoint.as_ref().and_then(|e| e.port.as_ref()) {
+        None => PortSet::Any,
+        Some(PortSpec::Number(n)) => PortSet::Range(*n, *n),
+        Some(PortSpec::Range(lo, hi)) => {
+            if lo <= hi {
+                PortSet::Range(*lo, *hi)
+            } else {
+                PortSet::Never
+            }
+        }
+        Some(PortSpec::Named(name)) => match services::resolve_port(name) {
+            Some(p) => PortSet::Range(p, p),
+            None => PortSet::Never,
+        },
+    }
+}
+
+impl Matcher {
+    fn of(rule: &Rule, ruleset: &RuleSet) -> Matcher {
+        Matcher {
+            proto: rule.proto,
+            from_addr: addr_set(&rule.from, ruleset),
+            from_port: port_set(&rule.from),
+            to_addr: addr_set(&rule.to, ruleset),
+            to_port: port_set(&rule.to),
+        }
+    }
+
+    /// Provable: every flow this matcher accepts, `other` accepts too
+    /// (packet dimensions only; predicates are compared separately).
+    fn packet_subset_of(&self, other: &Matcher) -> bool {
+        (other.proto.is_none() || other.proto == self.proto)
+            && self.from_addr.subset_of(&other.from_addr)
+            && self.from_port.subset_of(&other.from_port)
+            && self.to_addr.subset_of(&other.to_addr)
+            && self.to_port.subset_of(&other.to_port)
+    }
+
+    /// Provable: no flow matches both (packet dimensions only).
+    fn packet_disjoint_from(&self, other: &Matcher) -> bool {
+        (self.proto.is_some() && other.proto.is_some() && self.proto != other.proto)
+            || self.from_addr.disjoint_from(&other.from_addr)
+            || self.from_port.disjoint_from(&other.from_port)
+            || self.to_addr.disjoint_from(&other.to_addr)
+            || self.to_port.disjoint_from(&other.to_port)
+    }
+}
+
+/// Provable: rule `sup` matches every flow/response that rule `sub` matches.
+fn subsumes(sup: (&Matcher, &RuleSat), sub: (&Matcher, &RuleSat)) -> bool {
+    sub.0.packet_subset_of(sup.0) && sup.1.preds.is_subset(&sub.1.preds)
+}
+
+/// Whether two rules can both match some flow/response (i.e. not provably
+/// disjoint).
+fn may_overlap(a: (&Matcher, &RuleSat), b: (&Matcher, &RuleSat)) -> bool {
+    if a.0.packet_disjoint_from(b.0) {
+        return false;
+    }
+    // Merge both rules' value constraints; a conflict proves disjointness.
+    let mut merged = a.1.constraints.clone();
+    for (target, c) in &b.1.constraints.map {
+        if let Some(v) = &c.eq {
+            if merged.add(target, ConstraintKind::Eq(v.clone())).is_err() {
+                return false;
+            }
+        }
+        for v in &c.ne {
+            if merged.add(target, ConstraintKind::Ne(v.clone())).is_err() {
+                return false;
+            }
+        }
+        if (c.lo.is_some() || c.hi.is_some())
+            && merged
+                .add(target, ConstraintKind::Bound { lo: c.lo, hi: c.hi })
+                .is_err()
+        {
+            return false;
+        }
+    }
+    true
+}
+
+fn ordering_pass(
+    ruleset: &RuleSet,
+    _options: &AnalysisOptions,
+    sat: &[RuleSat],
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Re-report the compiler's own dead-rule elimination, with reasons.
+    let compiled = PolicyCompiler::new().compile(ruleset);
+    let mut compiler_dead: BTreeSet<usize> = BTreeSet::new();
+    for dead in compiled.dead_rules() {
+        compiler_dead.insert(dead.index);
+        let blamed = ruleset.rules.get(dead.reason.blamed_index());
+        diags.push(Diagnostic {
+            severity: Severity::Warning,
+            category: Category::ShadowedRule,
+            span: ruleset
+                .rules
+                .get(dead.index)
+                .map(rule_span)
+                .unwrap_or_default(),
+            rule_index: Some(dead.index),
+            message: format!("rule never decides any flow: {}", dead.reason),
+            related: blamed
+                .map(|rule| Related {
+                    span: rule_span(rule),
+                    rule_index: Some(dead.reason.blamed_index()),
+                    note: "this rule makes it unreachable".to_string(),
+                })
+                .into_iter()
+                .collect(),
+        });
+    }
+
+    let matchers: Vec<Matcher> = ruleset
+        .rules
+        .iter()
+        .map(|r| Matcher::of(r, ruleset))
+        .collect();
+    // Rules already proven to never decide; skipped as *subjects* of further
+    // pair diagnostics (but they still shadow others if they themselves
+    // match).
+    let mut shadowed: BTreeSet<usize> = compiler_dead.clone();
+
+    let n = ruleset.rules.len();
+    for later in 0..n {
+        for earlier in 0..later {
+            let er = &ruleset.rules[earlier];
+            let lr = &ruleset.rules[later];
+            let em = (&matchers[earlier], &sat[earlier]);
+            let lm = (&matchers[later], &sat[later]);
+            // Rules that can never match neither shadow nor get shadowed in
+            // any way worth reporting beyond their Unsatisfiable diagnostic.
+            if sat[earlier].never_matches || sat[later].never_matches {
+                continue;
+            }
+
+            // Full shadow #1: a later rule subsumes an earlier non-quick
+            // rule. Under last-match-wins the later rule (or something after
+            // it) always outranks the earlier one.
+            if !er.quick && !shadowed.contains(&earlier) && subsumes(lm, em) {
+                shadowed.insert(earlier);
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    category: Category::ShadowedRule,
+                    span: rule_span(er),
+                    rule_index: Some(earlier),
+                    message: format!(
+                        "rule never decides any flow: every flow it matches also matches the \
+                         `{}` rule at line {}, which comes later (last match wins)",
+                        lr.action.keyword(),
+                        rule_span(lr).line
+                    ),
+                    related: vec![Related {
+                        span: rule_span(lr),
+                        rule_index: Some(later),
+                        note: "this later rule subsumes it".to_string(),
+                    }],
+                });
+                continue;
+            }
+
+            // Full shadow #2: an earlier `quick` rule subsumes a later rule.
+            // The quick rule stops evaluation before the later rule is ever
+            // the deciding match.
+            if er.quick && !shadowed.contains(&later) && subsumes(em, lm) {
+                shadowed.insert(later);
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    category: Category::ShadowedRule,
+                    span: rule_span(lr),
+                    rule_index: Some(later),
+                    message: format!(
+                        "rule never decides any flow: the `quick` rule at line {} matches \
+                         everything it matches and stops evaluation first",
+                        rule_span(er).line
+                    ),
+                    related: vec![Related {
+                        span: rule_span(er),
+                        rule_index: Some(earlier),
+                        note: "this earlier `quick` rule preempts it".to_string(),
+                    }],
+                });
+                continue;
+            }
+
+            if shadowed.contains(&earlier) || shadowed.contains(&later) {
+                continue;
+            }
+            if !may_overlap(em, lm) {
+                continue;
+            }
+            let e_covers_l = subsumes(em, lm);
+            let l_covers_e = subsumes(lm, em);
+            if er.action != lr.action {
+                // Opposite actions on an overlap. When one rule contains the
+                // other, the ordering is the standard "general default,
+                // specific exception" idiom; only flag *partial* overlaps,
+                // where which rule wins on the intersection is decided by
+                // nothing but rule order.
+                if !e_covers_l && !l_covers_e {
+                    diags.push(Diagnostic {
+                        severity: Severity::Warning,
+                        category: Category::Contradiction,
+                        span: rule_span(lr),
+                        rule_index: Some(later),
+                        message: format!(
+                            "`{}` rule overlaps the `{}` rule at line {} with the opposite \
+                             action; neither contains the other, so only rule order decides \
+                             flows matching both",
+                            lr.action.keyword(),
+                            er.action.keyword(),
+                            rule_span(er).line
+                        ),
+                        related: vec![Related {
+                            span: rule_span(er),
+                            rule_index: Some(earlier),
+                            note: format!("conflicting `{}` rule", er.action.keyword()),
+                        }],
+                    });
+                }
+            } else if er.quick && !e_covers_l && !l_covers_e {
+                // Same action, but an earlier quick rule intercepts part of
+                // the later rule's match space — flows in the intersection
+                // take the quick rule's side effects (e.g. `keep state`), not
+                // the later rule's.
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    category: Category::PartialShadow,
+                    span: rule_span(lr),
+                    rule_index: Some(later),
+                    message: format!(
+                        "the `quick` rule at line {} intercepts part of this rule's match \
+                         space; flows matching both are decided by the quick rule",
+                        rule_span(er).line
+                    ),
+                    related: vec![Related {
+                        span: rule_span(er),
+                        rule_index: Some(earlier),
+                        note: "this earlier `quick` rule partially shadows it".to_string(),
+                    }],
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ruleset;
+
+    fn run(policy: &str) -> Vec<Diagnostic> {
+        analyze(&parse_ruleset(policy).unwrap(), &AnalysisOptions::default())
+    }
+
+    fn run_with(policy: &str, options: &AnalysisOptions) -> Vec<Diagnostic> {
+        analyze(&parse_ruleset(policy).unwrap(), options)
+    }
+
+    fn by_category(diags: &[Diagnostic], cat: Category) -> Vec<&Diagnostic> {
+        diags.iter().filter(|d| d.category == cat).collect()
+    }
+
+    #[test]
+    fn later_subsuming_rule_shadows_earlier() {
+        let diags = run("pass from 10.0.0.1 to any\npass from 10.0.0.0/24 to any\n");
+        let shadows = by_category(&diags, Category::ShadowedRule);
+        assert_eq!(shadows.len(), 1, "{diags:?}");
+        assert_eq!(shadows[0].rule_index, Some(0));
+        assert_eq!(shadows[0].span.line, 1);
+        assert_eq!(shadows[0].related[0].rule_index, Some(1));
+    }
+
+    #[test]
+    fn earlier_quick_rule_shadows_later() {
+        let diags = run("block quick from 10.0.0.0/24 to any\npass from 10.0.0.1 to any\n");
+        let shadows = by_category(&diags, Category::ShadowedRule);
+        assert_eq!(shadows.len(), 1, "{diags:?}");
+        assert_eq!(shadows[0].rule_index, Some(1));
+        assert_eq!(shadows[0].related[0].rule_index, Some(0));
+    }
+
+    #[test]
+    fn compiler_dead_rules_are_reported_with_reason() {
+        // Rule 1 (`pass quick all`) truncates rule 2 and shadows rule 0.
+        let diags = run("block all\npass quick all\nblock from 10.0.0.1 to any\n");
+        let shadows = by_category(&diags, Category::ShadowedRule);
+        let indices: BTreeSet<_> = shadows.iter().filter_map(|d| d.rule_index).collect();
+        assert!(indices.contains(&2), "truncated rule reported: {diags:?}");
+        assert!(indices.contains(&0), "superseded rule reported: {diags:?}");
+        let truncated = shadows.iter().find(|d| d.rule_index == Some(2)).unwrap();
+        assert!(truncated.message.contains("quick"), "{}", truncated.message);
+    }
+
+    #[test]
+    fn quick_subsumption_does_not_flag_distinct_rules() {
+        let diags = run("block quick from 10.0.0.0/24 to any\npass from 10.1.0.1 to any\n");
+        assert!(
+            by_category(&diags, Category::ShadowedRule).is_empty(),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn predicated_rule_is_not_shadowed_by_plain_subset() {
+        // The later rule matches a superset of packets but carries an extra
+        // predicate, so the earlier rule still decides flows failing it.
+        let diags = run("pass from 10.0.0.1 to any\n\
+             pass from 10.0.0.0/24 to any with eq(@src[name], ssh)\n");
+        assert!(
+            by_category(&diags, Category::ShadowedRule).is_empty(),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn contradiction_on_partial_overlap_with_opposite_actions() {
+        let diags = run("pass from 10.0.0.0/24 to 20.0.0.1\n\
+             block from 10.0.0.0/25 to 20.0.0.0/24 port 25\n");
+        let contras = by_category(&diags, Category::Contradiction);
+        assert_eq!(contras.len(), 1, "{diags:?}");
+        assert_eq!(contras[0].rule_index, Some(1));
+        assert_eq!(contras[0].related[0].rule_index, Some(0));
+    }
+
+    #[test]
+    fn block_all_then_pass_specific_is_not_a_contradiction() {
+        let diags = run("block all\npass from 10.0.0.0/24 to any port 80\n");
+        assert!(
+            by_category(&diags, Category::Contradiction).is_empty(),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn disjoint_value_constraints_suppress_contradiction() {
+        // Opposite actions, overlapping packets — but the `eq` predicates pin
+        // the same key to different values, so no flow matches both.
+        let diags = run("pass from any to any with eq(@src[name], firefox)\n\
+             block from any to 10.0.0.0/8 with eq(@src[name], skype)\n");
+        assert!(
+            by_category(&diags, Category::Contradiction).is_empty(),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn partial_shadow_by_earlier_quick_rule() {
+        let diags = run("pass quick from 10.0.0.0/25 to 20.0.0.0/24\n\
+             pass from 10.0.0.0/24 to 20.0.0.1 port 443 keep state\n");
+        let partial = by_category(&diags, Category::PartialShadow);
+        assert_eq!(partial.len(), 1, "{diags:?}");
+        assert_eq!(partial[0].rule_index, Some(1));
+    }
+
+    #[test]
+    fn undefined_references_are_errors() {
+        let diags = run("pass from <nope> to any\n\
+             pass from any to any with member(@src[name], $ghost)\n\
+             pass from any to any with eq(@mykeys[research], x)\n\
+             pass from any to any port frobnicate\n");
+        let refs = by_category(&diags, Category::UndefinedReference);
+        assert_eq!(refs.len(), 4, "{diags:?}");
+        assert!(refs.iter().all(|d| d.severity == Severity::Error));
+        assert!(refs.iter().any(|d| d.message.contains("<nope>")));
+        assert!(refs.iter().any(|d| d.message.contains("$ghost")));
+        assert!(refs.iter().any(|d| d.message.contains("@mykeys")));
+        assert!(refs.iter().any(|d| d.message.contains("frobnicate")));
+    }
+
+    #[test]
+    fn negated_undefined_table_warns_it_matches_everything() {
+        let diags = run("block from !<typo> to any\n");
+        let refs = by_category(&diags, Category::UndefinedReference);
+        assert_eq!(refs.len(), 1);
+        assert!(
+            refs[0].message.contains("EVERY address"),
+            "{}",
+            refs[0].message
+        );
+    }
+
+    #[test]
+    fn unknown_function_and_bad_arity_are_errors() {
+        let diags = run("pass from any to any with frob(@src[name])\n\
+             pass from any to any with eq(@src[name])\n\
+             pass from any to any with verify(@src[req-sig], k)\n");
+        assert_eq!(
+            by_category(&diags, Category::UnknownFunction).len(),
+            1,
+            "{diags:?}"
+        );
+        assert_eq!(
+            by_category(&diags, Category::BadArity).len(),
+            2,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn registered_user_function_is_accepted() {
+        let options = AnalysisOptions {
+            user_functions: vec!["is-business-hours".to_string()],
+            ..AnalysisOptions::default()
+        };
+        let diags = run_with(
+            "pass from any to any with is-business-hours(@src[userID])\n",
+            &options,
+        );
+        assert!(
+            by_category(&diags, Category::UnknownFunction).is_empty(),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_response_key_is_a_warning() {
+        let diags = run("pass from any to any with exists(@src[not-a-real-key])\n");
+        let keys = by_category(&diags, Category::UnknownResponseKey);
+        assert_eq!(keys.len(), 1, "{diags:?}");
+        assert_eq!(keys[0].severity, Severity::Warning);
+
+        let options = AnalysisOptions {
+            extra_response_keys: vec!["not-a-real-key".to_string()],
+            ..AnalysisOptions::default()
+        };
+        let diags = run_with(
+            "pass from any to any with exists(@src[not-a-real-key])\n",
+            &options,
+        );
+        assert!(by_category(&diags, Category::UnknownResponseKey).is_empty());
+    }
+
+    #[test]
+    fn app_name_alt_is_a_known_key() {
+        let diags = run("pass from any to any with eq(@src[app-name], skype)\n");
+        assert!(
+            by_category(&diags, Category::UnknownResponseKey).is_empty(),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn conflicting_eq_constraints_are_unsatisfiable() {
+        let diags =
+            run("pass from any to any with eq(@src[name], firefox) with eq(@src[name], chrome)\n");
+        let unsat = by_category(&diags, Category::Unsatisfiable);
+        assert_eq!(unsat.len(), 1, "{diags:?}");
+        assert!(unsat[0].message.contains("firefox"), "{}", unsat[0].message);
+    }
+
+    #[test]
+    fn empty_numeric_interval_is_unsatisfiable() {
+        let diags =
+            run("pass from any to any with gt(@src[version], 10) with lt(@src[version], 5)\n");
+        assert_eq!(
+            by_category(&diags, Category::Unsatisfiable).len(),
+            1,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn eq_against_numeric_bound_checks_the_value() {
+        // version == skype (non-numeric) but also compared numerically.
+        let diags =
+            run("pass from any to any with eq(@src[version], skype) with gte(@src[version], 2)\n");
+        assert_eq!(
+            by_category(&diags, Category::Unsatisfiable).len(),
+            1,
+            "{diags:?}"
+        );
+
+        // Consistent: 100 within [2, ∞).
+        let diags =
+            run("pass from any to any with eq(@src[version], 100) with gte(@src[version], 2)\n");
+        assert!(
+            by_category(&diags, Category::Unsatisfiable).is_empty(),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn flipped_numeric_operands_constrain_correctly() {
+        // gt(5, @src[version]) means version < 5; with version > 10 → empty.
+        let diags =
+            run("pass from any to any with gt(5, @src[version]) with gt(@src[version], 10)\n");
+        assert_eq!(
+            by_category(&diags, Category::Unsatisfiable).len(),
+            1,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn predicate_folding_to_false_is_unsatisfiable() {
+        // member against an undefined macro: the list resolves empty.
+        let diags = run("pass from any to any with member(@src[name], $missing)\n");
+        assert_eq!(
+            by_category(&diags, Category::Unsatisfiable).len(),
+            1,
+            "{diags:?}"
+        );
+
+        // Numeric comparison against a non-numeric literal can never hold.
+        let diags = run("pass from any to any with lt(@src[version], latest)\n");
+        assert_eq!(
+            by_category(&diags, Category::Unsatisfiable).len(),
+            1,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn literal_tautology_is_flagged() {
+        let diags = run("pass from any to any with eq(tcp, tcp)\n");
+        assert_eq!(
+            by_category(&diags, Category::Tautology).len(),
+            1,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn allowed_folds_over_unconditional_requirements() {
+        let pass_all = "req = \"pass all\"\npass from any to any with allowed($req)\n";
+        let diags = run(pass_all);
+        assert_eq!(
+            by_category(&diags, Category::Tautology).len(),
+            1,
+            "{diags:?}"
+        );
+
+        let block_all = "req = \"block all\"\npass from any to any with allowed($req)\n";
+        let diags = run(block_all);
+        assert_eq!(
+            by_category(&diags, Category::Unsatisfiable).len(),
+            1,
+            "{diags:?}"
+        );
+
+        // Conditional requirements cannot be folded.
+        let conditional =
+            "req = \"block from 10.0.0.0/8 to any\"\npass from any to any with allowed($req)\n";
+        let diags = run(conditional);
+        assert!(
+            by_category(&diags, Category::Tautology).is_empty(),
+            "{diags:?}"
+        );
+        assert!(
+            by_category(&diags, Category::Unsatisfiable).is_empty(),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_rules_do_not_produce_shadow_noise() {
+        // Rule 0 can never match; it must not be reported as shadowed by
+        // rule 1 on top of its Unsatisfiable diagnostic.
+        let diags = run(
+            "pass from 10.0.0.1 to any with member(@src[name], $missing)\n\
+             pass from 10.0.0.0/24 to any\n",
+        );
+        assert_eq!(
+            by_category(&diags, Category::Unsatisfiable).len(),
+            1,
+            "{diags:?}"
+        );
+        assert!(
+            by_category(&diags, Category::ShadowedRule).is_empty(),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn granularity_checks_flag_erased_ports() {
+        let ruleset = parse_ruleset(
+            "pass from any port 1024:65535 to any port 80\n\
+             pass from any to any port 443\n\
+             pass from any to any\n",
+        )
+        .unwrap();
+
+        let diags = granularity_diagnostics(&ruleset, CacheGranularity::ExactFiveTuple);
+        assert!(diags.is_empty());
+
+        // HostPairDstPort erases only the source port: rule 0 unsafe.
+        let diags = granularity_diagnostics(&ruleset, CacheGranularity::HostPairDstPort);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule_index, Some(0));
+        assert_eq!(diags[0].category, Category::GranularityUnsafe);
+
+        // HostPair erases both: rules 0 and 1 unsafe.
+        let diags = granularity_diagnostics(&ruleset, CacheGranularity::HostPair);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].rule_index, Some(0));
+        assert_eq!(diags[1].rule_index, Some(1));
+    }
+
+    #[test]
+    fn analyze_includes_granularity_when_configured() {
+        let options = AnalysisOptions {
+            granularity: Some(CacheGranularity::HostPair),
+            ..AnalysisOptions::default()
+        };
+        let diags = run_with("pass from any to any port 80\n", &options);
+        assert_eq!(
+            by_category(&diags, Category::GranularityUnsafe).len(),
+            1,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn figure2_style_policy_has_no_errors() {
+        let policy = r#"
+table <server> { 10.0.0.1 }
+table <lan> { 10.0.0.0/16 }
+table <int_hosts> { <lan> <server> }
+allowed_apps = "{ firefox ssh }"
+block all
+pass from <int_hosts> to any keep state with member(@src[name], $allowed_apps)
+pass from any to <server> port 80 keep state
+"#;
+        let diags = run(policy);
+        assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "clean policy must produce no errors: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn diagnostics_render_with_spans() {
+        let diags = run("pass from <nope> to any\n");
+        let text = diags[0].to_string();
+        assert!(text.contains("error[undefined-reference]"), "{text}");
+        assert!(text.contains("at 1:"), "{text}");
+    }
+
+    #[test]
+    fn severity_and_category_names() {
+        assert_eq!(Severity::Error.as_str(), "error");
+        assert_eq!(Severity::Warning.as_str(), "warning");
+        assert_eq!(Category::ShadowedRule.as_str(), "shadowed-rule");
+        assert_eq!(Category::GranularityUnsafe.as_str(), "granularity-unsafe");
+    }
+}

@@ -7,6 +7,40 @@ use identxx_proto::Ipv4Addr;
 use crate::dict::Dict;
 use crate::table::Table;
 
+/// A source position: 1-based line and column in the configuration text.
+///
+/// `Span::default()` (line 0) means "position unknown" — used by rules built
+/// programmatically rather than parsed (e.g. [`Rule::simple`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based source line (0 = unknown).
+    pub line: usize,
+    /// 1-based source column (0 = unknown).
+    pub col: usize,
+}
+
+impl Span {
+    /// Creates a span at the given position.
+    pub fn new(line: usize, col: usize) -> Self {
+        Span { line, col }
+    }
+
+    /// Whether this span points at real source text.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "?:?")
+        }
+    }
+}
+
 /// Rule action. Only `pass` and `block` are defined by the paper ("Currently,
 /// only two are defined: pass and block", §3.3); `log` is mentioned as unused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,6 +142,8 @@ pub struct FnCall {
     pub args: Vec<FnArg>,
     /// Source line of the call (for diagnostics).
     pub line: usize,
+    /// Source position of the call (line and column).
+    pub span: Span,
 }
 
 /// A single PF+=2 rule.
@@ -129,6 +165,8 @@ pub struct Rule {
     pub keep_state: bool,
     /// Source line the rule started on.
     pub line: usize,
+    /// Source position the rule started at (line and column).
+    pub span: Span,
 }
 
 impl Rule {
@@ -143,6 +181,7 @@ impl Rule {
             withs: Vec::new(),
             keep_state: false,
             line: 0,
+            span: Span::default(),
         }
     }
 }

@@ -1,0 +1,366 @@
+//! `pfcheck` — static analysis for PF+=2 configurations.
+//!
+//! ```text
+//! pfcheck [OPTIONS] <PATH>...
+//!
+//! PATH            a .control file, or a directory of .control files that are
+//!                 merged in alphabetical order (as the controller loads them)
+//!
+//! --json          emit diagnostics as a JSON array on stdout
+//! --granularity G also check rules against a state-cache granularity:
+//!                 exact | dst-port | host-pair
+//! --allow-key K   accept @src[K]/@dst[K] as a known response key (repeatable)
+//! --allow-fn F    accept F as a registered user function (repeatable)
+//! -q, --quiet     print only the per-input summary lines
+//! -h, --help      this text
+//! ```
+//!
+//! Exit status: `0` when no errors were found (warnings are allowed), `1`
+//! when any error-severity diagnostic (or a parse failure) was reported, `2`
+//! on usage or I/O problems.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+use identxx_pf::analyze::{analyze, AnalysisOptions, Related, Severity};
+use identxx_pf::{parse_ruleset, CacheGranularity, ConfigSet, RuleSet, Span};
+
+const USAGE: &str = "usage: pfcheck [--json] [--granularity exact|dst-port|host-pair] \
+                     [--allow-key K]... [--allow-fn F]... [-q] <path>...";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut quiet = false;
+    let mut options = AnalysisOptions::default();
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "-q" | "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--granularity" => {
+                let Some(value) = args.next() else {
+                    eprintln!("pfcheck: --granularity needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                options.granularity = Some(match value.as_str() {
+                    "exact" | "five-tuple" => CacheGranularity::ExactFiveTuple,
+                    "dst-port" | "host-pair-dst-port" => CacheGranularity::HostPairDstPort,
+                    "host-pair" => CacheGranularity::HostPair,
+                    other => {
+                        eprintln!("pfcheck: unknown granularity {other:?}\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                });
+            }
+            "--allow-key" => match args.next() {
+                Some(key) => options.extra_response_keys.push(key),
+                None => {
+                    eprintln!("pfcheck: --allow-key needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--allow-fn" => match args.next() {
+                Some(name) => options.user_functions.push(name),
+                None => {
+                    eprintln!("pfcheck: --allow-fn needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("pfcheck: unknown option {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut any_error = false;
+    let mut json_entries: Vec<String> = Vec::new();
+
+    for path in &paths {
+        match check_input(Path::new(path), &options) {
+            Err(err) => {
+                eprintln!("pfcheck: {path}: {err}");
+                return ExitCode::from(2);
+            }
+            Ok(report) => {
+                any_error |= report.errors > 0;
+                if json {
+                    json_entries.extend(report.json_entries);
+                } else {
+                    print!("{}", report.render_text(quiet));
+                }
+            }
+        }
+    }
+
+    if json {
+        let mut out = String::from("[");
+        for (i, entry) in json_entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            out.push_str(entry);
+        }
+        out.push_str(if json_entries.is_empty() { "]" } else { "\n]" });
+        println!("{out}");
+    }
+
+    if any_error {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Everything `pfcheck` found about one command-line path.
+struct Report {
+    label: String,
+    errors: usize,
+    warnings: usize,
+    /// Rendered `severity[category] at file:line:col: message` lines with
+    /// indented notes.
+    lines: Vec<String>,
+    /// Pre-rendered JSON objects, one per diagnostic.
+    json_entries: Vec<String>,
+}
+
+impl Report {
+    fn render_text(&self, quiet: bool) -> String {
+        let mut out = String::new();
+        if !quiet {
+            for line in &self.lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{}: {} error(s), {} warning(s)",
+            self.label, self.errors, self.warnings
+        );
+        out
+    }
+}
+
+/// Maps a rule index in the merged rule set back to the `.control` file it
+/// came from (directory inputs only).
+struct FileMap {
+    /// `(file name, number of rules contributed)` in merge order.
+    files: Vec<(String, usize)>,
+}
+
+impl FileMap {
+    fn locate(&self, rule_index: usize) -> Option<&str> {
+        let mut base = 0usize;
+        for (name, count) in &self.files {
+            if rule_index < base + count {
+                return Some(name);
+            }
+            base += count;
+        }
+        None
+    }
+}
+
+fn check_input(path: &Path, options: &AnalysisOptions) -> std::io::Result<Report> {
+    let label = path.display().to_string();
+    let (ruleset, map) = if path.is_dir() {
+        let set = ConfigSet::load_dir(path)?;
+        let mut merged = RuleSet::new();
+        let mut files = Vec::new();
+        for (name, contents) in set.control_files() {
+            match parse_ruleset(contents) {
+                Ok(parsed) => {
+                    files.push((name.to_string(), parsed.rules.len()));
+                    merged.merge(parsed);
+                }
+                Err(err) => return Ok(parse_failure(label, Some(name), &err.to_string())),
+            }
+        }
+        (merged, Some(FileMap { files }))
+    } else {
+        let contents = std::fs::read_to_string(path)?;
+        match parse_ruleset(&contents) {
+            Ok(parsed) => (parsed, None),
+            Err(err) => return Ok(parse_failure(label, None, &err.to_string())),
+        }
+    };
+
+    let diags = analyze(&ruleset, options);
+    let mut report = Report {
+        label: label.clone(),
+        errors: 0,
+        warnings: 0,
+        lines: Vec::new(),
+        json_entries: Vec::new(),
+    };
+    for diag in &diags {
+        match diag.severity {
+            Severity::Error => report.errors += 1,
+            Severity::Warning => report.warnings += 1,
+        }
+        let file = diag
+            .rule_index
+            .and_then(|i| map.as_ref().and_then(|m| m.locate(i)));
+        let mut line = format!(
+            "{}[{}] at {}: {}",
+            diag.severity,
+            diag.category,
+            position(&label, file, diag.span),
+            diag.message
+        );
+        for rel in &diag.related {
+            let rel_file = rel
+                .rule_index
+                .and_then(|i| map.as_ref().and_then(|m| m.locate(i)));
+            let _ = write!(
+                line,
+                "\n  note at {}: {}",
+                position(&label, rel_file, rel.span),
+                rel.note
+            );
+        }
+        report.lines.push(line);
+        report
+            .json_entries
+            .push(diag_json(&label, file, diag, map.as_ref()));
+    }
+    Ok(report)
+}
+
+fn parse_failure(label: String, file: Option<&str>, message: &str) -> Report {
+    let mut entry = String::from("{");
+    json_str(&mut entry, "input", &label);
+    if let Some(file) = file {
+        entry.push(',');
+        json_str(&mut entry, "file", file);
+    }
+    entry.push(',');
+    json_str(&mut entry, "severity", "error");
+    entry.push(',');
+    json_str(&mut entry, "category", "parse-error");
+    entry.push(',');
+    json_str(&mut entry, "message", message);
+    entry.push('}');
+    let position = match file {
+        Some(f) => format!("{label}/{f}"),
+        None => label.clone(),
+    };
+    Report {
+        label,
+        errors: 1,
+        warnings: 0,
+        lines: vec![format!("error[parse-error] at {position}: {message}")],
+        json_entries: vec![entry],
+    }
+}
+
+fn position(label: &str, file: Option<&str>, span: Span) -> String {
+    match file {
+        Some(file) => format!("{label}/{file}:{span}"),
+        None => format!("{label}:{span}"),
+    }
+}
+
+// --- tiny JSON encoder (keeps the workspace serde-free) --------------------
+
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_str(out: &mut String, key: &str, value: &str) {
+    json_escape(key, out);
+    out.push(':');
+    json_escape(value, out);
+}
+
+fn json_num(out: &mut String, key: &str, value: usize) {
+    json_escape(key, out);
+    out.push(':');
+    let _ = write!(out, "{value}");
+}
+
+fn related_json(rel: &Related, map: Option<&FileMap>) -> String {
+    let mut out = String::from("{");
+    if let Some(file) = rel.rule_index.and_then(|i| map.and_then(|m| m.locate(i))) {
+        json_str(&mut out, "file", file);
+        out.push(',');
+    }
+    json_num(&mut out, "line", rel.span.line);
+    out.push(',');
+    json_num(&mut out, "col", rel.span.col);
+    out.push(',');
+    if let Some(i) = rel.rule_index {
+        json_num(&mut out, "rule", i);
+        out.push(',');
+    }
+    json_str(&mut out, "note", &rel.note);
+    out.push('}');
+    out
+}
+
+fn diag_json(
+    label: &str,
+    file: Option<&str>,
+    diag: &identxx_pf::Diagnostic,
+    map: Option<&FileMap>,
+) -> String {
+    let mut out = String::from("{");
+    json_str(&mut out, "input", label);
+    out.push(',');
+    if let Some(file) = file {
+        json_str(&mut out, "file", file);
+        out.push(',');
+    }
+    json_str(&mut out, "severity", diag.severity.as_str());
+    out.push(',');
+    json_str(&mut out, "category", diag.category.as_str());
+    out.push(',');
+    json_num(&mut out, "line", diag.span.line);
+    out.push(',');
+    json_num(&mut out, "col", diag.span.col);
+    out.push(',');
+    if let Some(i) = diag.rule_index {
+        json_num(&mut out, "rule", i);
+        out.push(',');
+    }
+    json_str(&mut out, "message", &diag.message);
+    if !diag.related.is_empty() {
+        out.push(',');
+        json_escape("related", &mut out);
+        out.push_str(":[");
+        for (i, rel) in diag.related.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&related_json(rel, map));
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}

@@ -360,6 +360,35 @@ impl<'a> Compilation<'a> {
             }
         }
 
+        // Record every eliminated rule so the drop is observable (audit log,
+        // `pfcheck`) instead of silent.
+        let mut dead: Vec<DeadRule> = Vec::new();
+        for crule in &rules[..floor] {
+            let superseding = rules[floor].index;
+            dead.push(DeadRule {
+                index: crule.index,
+                line: self.ruleset.rules[crule.index].line,
+                reason: DeadRuleReason::SupersededByUnconditional {
+                    index: superseding,
+                    line: self.ruleset.rules[superseding].line,
+                },
+            });
+        }
+        if rules.len() < self.ruleset.rules.len() {
+            let quick_index = rules[rules.len() - 1].index;
+            let quick_line = self.ruleset.rules[quick_index].line;
+            for (index, rule) in self.ruleset.rules.iter().enumerate().skip(rules.len()) {
+                dead.push(DeadRule {
+                    index,
+                    line: rule.line,
+                    reason: DeadRuleReason::AfterUnconditionalQuick {
+                        index: quick_index,
+                        line: quick_line,
+                    },
+                });
+            }
+        }
+
         // Bucket by protocol: a rule with `proto p` is only a candidate for
         // flows with protocol p; a rule without `proto` is a candidate for
         // every flow.
@@ -396,6 +425,7 @@ impl<'a> Compilation<'a> {
             proto_buckets,
             core: self.core,
             source_rules: self.ruleset.rules.len(),
+            dead,
         }
     }
 
@@ -654,6 +684,74 @@ fn rule_is_unconditional(rule: &Rule) -> bool {
     rule.proto.is_none() && rule.withs.is_empty() && ep_any(&rule.from) && ep_any(&rule.to)
 }
 
+/// Why dead-rule elimination removed a source rule from the compiled policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadRuleReason {
+    /// An earlier unconditional `quick` rule decides every flow before this
+    /// rule is reached.
+    AfterUnconditionalQuick {
+        /// Source index of the unconditional `quick` rule.
+        index: usize,
+        /// Source line of that rule.
+        line: usize,
+    },
+    /// A later unconditional non-`quick` rule always matches afterwards, so
+    /// under last-match-wins this rule can never be the deciding match.
+    SupersededByUnconditional {
+        /// Source index of the unconditional rule.
+        index: usize,
+        /// Source line of that rule.
+        line: usize,
+    },
+}
+
+impl DeadRuleReason {
+    /// Source index of the rule responsible for the elimination.
+    pub fn blamed_index(&self) -> usize {
+        match self {
+            DeadRuleReason::AfterUnconditionalQuick { index, .. }
+            | DeadRuleReason::SupersededByUnconditional { index, .. } => *index,
+        }
+    }
+
+    /// Source line of the rule responsible for the elimination.
+    pub fn blamed_line(&self) -> usize {
+        match self {
+            DeadRuleReason::AfterUnconditionalQuick { line, .. }
+            | DeadRuleReason::SupersededByUnconditional { line, .. } => *line,
+        }
+    }
+}
+
+impl std::fmt::Display for DeadRuleReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeadRuleReason::AfterUnconditionalQuick { index, line } => write!(
+                f,
+                "unreachable: the unconditional quick rule #{index} (line {line}) decides every flow first"
+            ),
+            DeadRuleReason::SupersededByUnconditional { index, line } => write!(
+                f,
+                "never decides: the unconditional rule #{index} (line {line}) always matches later (last match wins)"
+            ),
+        }
+    }
+}
+
+/// A source rule that dead-rule elimination removed (it can never decide a
+/// flow). Reported so administrators see *which* rules were dropped, not just
+/// a count — the static analyzer ([`mod@crate::analyze`]) and the compiler agree
+/// on this set by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadRule {
+    /// Index of the dropped rule in the source rule set.
+    pub index: usize,
+    /// Source line of the dropped rule.
+    pub line: usize,
+    /// Why it can never decide a flow.
+    pub reason: DeadRuleReason,
+}
+
 /// A rule set lowered into its evaluation-ready form. Build one with
 /// [`CompiledPolicy::compile`] or, when keys / named lists / user functions /
 /// a non-default decision are involved, via [`PolicyCompiler`].
@@ -667,6 +765,9 @@ pub struct CompiledPolicy {
     proto_buckets: Vec<(IpProtocol, Vec<u32>)>,
     core: Arc<EvalCore>,
     source_rules: usize,
+    /// Source rules removed by dead-rule elimination, with the reason each
+    /// can never decide a flow.
+    dead: Vec<DeadRule>,
 }
 
 impl CompiledPolicy {
@@ -684,6 +785,19 @@ impl CompiledPolicy {
     /// Number of rules retained after dead-rule elimination.
     pub fn compiled_rule_count(&self) -> usize {
         self.rules.len()
+    }
+
+    /// The source rules dead-rule elimination removed, with reasons. Empty
+    /// when every source rule can still decide some flow.
+    pub fn dead_rules(&self) -> &[DeadRule] {
+        &self.dead
+    }
+
+    /// Number of internal evaluator faults recorded by this policy's
+    /// evaluations (impossible lowering states that failed closed instead of
+    /// panicking). Nonzero values indicate a compiler bug worth reporting.
+    pub fn internal_error_count(&self) -> u64 {
+        self.core.internal_error_count()
     }
 
     /// How many times `allowed()` actually invoked the parser on a delegated
@@ -872,7 +986,15 @@ impl<'e> EvalRun<'e> {
                             CmpOp::Lt => ord == Ordering::Less,
                             CmpOp::Gte => ord != Ordering::Less,
                             CmpOp::Lte => ord != Ordering::Greater,
-                            CmpOp::Eq | CmpOp::Ne => unreachable!(),
+                            CmpOp::Eq | CmpOp::Ne => {
+                                // The arms above handled Eq/Ne before the
+                                // numeric path; reaching here means the
+                                // lowering produced an impossible CPred. Fail
+                                // closed and count the fault instead of
+                                // panicking in the decision path.
+                                self.policy.core.note_internal_error();
+                                false
+                            }
                         },
                         None => false,
                     },
@@ -1058,6 +1180,13 @@ mod tests {
         let compiled = CompiledPolicy::compile(&rs);
         assert_eq!(compiled.source_rule_count(), 4);
         assert_eq!(compiled.compiled_rule_count(), 2);
+        // The truncated rules are reported, blaming the quick rule.
+        let dead = compiled.dead_rules();
+        assert_eq!(dead.iter().map(|d| d.index).collect::<Vec<_>>(), vec![2, 3]);
+        assert!(dead.iter().all(|d| matches!(
+            d.reason,
+            DeadRuleReason::AfterUnconditionalQuick { index: 1, line: 2 }
+        )));
         let flow = FiveTuple::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
         let v = compiled.evaluate(&flow, None, None);
         assert_eq!(v.decision, Decision::Pass);
@@ -1083,6 +1212,15 @@ mod tests {
         let interpreted = EvalContext::new(&rs).evaluate(&flow);
         assert_eq!(v.decision, interpreted.decision);
         assert_eq!(v.matched_rule, interpreted.matched_rule);
+        // The dead prefix (rules 0 and 1) is reported, blaming the floor rule.
+        let dead = compiled.dead_rules();
+        assert_eq!(dead.iter().map(|d| d.index).collect::<Vec<_>>(), vec![0, 1]);
+        assert!(dead.iter().all(|d| matches!(
+            d.reason,
+            DeadRuleReason::SupersededByUnconditional { index: 2, line: 3 }
+        )));
+        // No internal faults in a healthy compile/evaluate cycle.
+        assert_eq!(compiled.internal_error_count(), 0);
     }
 
     #[test]

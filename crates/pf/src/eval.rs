@@ -142,6 +142,10 @@ pub(crate) struct EvalCore {
     /// Shared across clones (the cache is keyed by requirement text alone, so
     /// a core tweaked via a builder can still reuse earlier parses).
     pub(crate) requirements: Arc<RequirementCache>,
+    /// Count of internal evaluator faults (compiler-bug class): states the
+    /// lowering promises are impossible fail closed and tick this counter
+    /// instead of panicking in the decision path. Shared across clones.
+    pub(crate) internal_errors: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl EvalCore {
@@ -152,7 +156,20 @@ impl EvalCore {
             functions: FunctionRegistry::new(),
             default_decision: Decision::Pass,
             requirements: Arc::new(RequirementCache::default()),
+            internal_errors: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
+    }
+
+    /// Records one internal fault (see `internal_errors`).
+    pub(crate) fn note_internal_error(&self) {
+        self.internal_errors
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Number of internal faults recorded so far.
+    pub(crate) fn internal_error_count(&self) -> u64 {
+        self.internal_errors
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -252,6 +269,13 @@ impl<'a> EvalContext<'a> {
     /// The rule set this context evaluates.
     pub fn ruleset(&self) -> &RuleSet {
         self.ruleset
+    }
+
+    /// Number of internal evaluator faults recorded (states the compiler
+    /// promises are impossible; they fail closed instead of panicking).
+    /// Nonzero values indicate a compiler bug worth reporting.
+    pub fn internal_error_count(&self) -> u64 {
+        self.core.internal_error_count()
     }
 
     /// How many times `allowed()` actually invoked the parser on a delegated

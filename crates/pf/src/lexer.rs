@@ -9,8 +9,9 @@
 //! 3. the remaining text is tokenized; newlines are treated as ordinary
 //!    whitespace (rule boundaries are recovered syntactically by the parser).
 //!
-//! Every token records the (1-based) source line it started on so errors can
-//! point back at the offending configuration line.
+//! Every token records the (1-based) source line and column it started on so
+//! errors and analyzer diagnostics can point back at the offending
+//! configuration text.
 
 use crate::error::PfError;
 
@@ -53,13 +54,15 @@ pub enum Tok {
     Star,
 }
 
-/// A token plus the source line it started on.
+/// A token plus the source position it started on.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpannedTok {
     /// The token.
     pub tok: Tok,
     /// 1-based line number in the original (pre-continuation-folding) text.
     pub line: usize,
+    /// 1-based column (in characters) on that line.
+    pub col: usize,
 }
 
 /// Characters that terminate a bare word.
@@ -73,6 +76,19 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>, PfError> {
     let chars: Vec<char> = input.chars().collect();
     let mut i = 0usize;
     let mut line = 1usize;
+    // Index of the first character of the current line; columns are derived
+    // from it so every token push doesn't have to maintain its own counter.
+    let mut line_start = 0usize;
+
+    macro_rules! push {
+        ($tok:expr, $line:expr, $start:expr) => {
+            tokens.push(SpannedTok {
+                tok: $tok,
+                line: $line,
+                col: $start - line_start + 1,
+            })
+        };
+    }
 
     while i < chars.len() {
         let c = chars[i];
@@ -80,6 +96,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>, PfError> {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             c if c.is_whitespace() => {
                 i += 1;
@@ -95,21 +112,20 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>, PfError> {
                 if j < chars.len() && chars[j] == '\n' {
                     line += 1;
                     i = j + 1;
+                    line_start = i;
                 } else if j >= chars.len() {
                     i = j;
                 } else {
                     // Treat as the start of a word.
                     let start_line = line;
+                    let start = i;
                     let mut word = String::from('\\');
                     i += 1;
                     while i < chars.len() && is_word_char(chars[i]) {
                         word.push(chars[i]);
                         i += 1;
                     }
-                    tokens.push(SpannedTok {
-                        tok: Tok::Word(word),
-                        line: start_line,
-                    });
+                    push!(Tok::Word(word), start_line, start);
                 }
             }
             '#' => {
@@ -120,6 +136,8 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>, PfError> {
             }
             '"' => {
                 let start_line = line;
+                let start = i;
+                let start_col = start - line_start + 1;
                 let mut s = String::new();
                 i += 1;
                 loop {
@@ -133,11 +151,13 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>, PfError> {
                     }
                     if c == '\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     // A backslash-newline inside a string is a continuation.
                     if c == '\\' && i + 1 < chars.len() && chars[i + 1] == '\n' {
                         line += 1;
                         i += 2;
+                        line_start = i;
                         continue;
                     }
                     s.push(c);
@@ -146,106 +166,72 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>, PfError> {
                 tokens.push(SpannedTok {
                     tok: Tok::Str(s),
                     line: start_line,
+                    col: start_col,
                 });
             }
             '<' => {
-                tokens.push(SpannedTok { tok: Tok::Lt, line });
+                push!(Tok::Lt, line, i);
                 i += 1;
             }
             '>' => {
-                tokens.push(SpannedTok { tok: Tok::Gt, line });
+                push!(Tok::Gt, line, i);
                 i += 1;
             }
             '{' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::LBrace,
-                    line,
-                });
+                push!(Tok::LBrace, line, i);
                 i += 1;
             }
             '}' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::RBrace,
-                    line,
-                });
+                push!(Tok::RBrace, line, i);
                 i += 1;
             }
             '(' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::LParen,
-                    line,
-                });
+                push!(Tok::LParen, line, i);
                 i += 1;
             }
             ')' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::RParen,
-                    line,
-                });
+                push!(Tok::RParen, line, i);
                 i += 1;
             }
             '[' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::LBracket,
-                    line,
-                });
+                push!(Tok::LBracket, line, i);
                 i += 1;
             }
             ']' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::RBracket,
-                    line,
-                });
+                push!(Tok::RBracket, line, i);
                 i += 1;
             }
             ',' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::Comma,
-                    line,
-                });
+                push!(Tok::Comma, line, i);
                 i += 1;
             }
             ':' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::Colon,
-                    line,
-                });
+                push!(Tok::Colon, line, i);
                 i += 1;
             }
             '!' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::Bang,
-                    line,
-                });
+                push!(Tok::Bang, line, i);
                 i += 1;
             }
             '=' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::Equals,
-                    line,
-                });
+                push!(Tok::Equals, line, i);
                 i += 1;
             }
             '@' => {
-                tokens.push(SpannedTok { tok: Tok::At, line });
+                push!(Tok::At, line, i);
                 i += 1;
             }
             '$' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::Dollar,
-                    line,
-                });
+                push!(Tok::Dollar, line, i);
                 i += 1;
             }
             '*' => {
-                tokens.push(SpannedTok {
-                    tok: Tok::Star,
-                    line,
-                });
+                push!(Tok::Star, line, i);
                 i += 1;
             }
             _ => {
                 let start_line = line;
+                let start = i;
                 let mut word = String::new();
                 while i < chars.len() && is_word_char(chars[i]) {
                     word.push(chars[i]);
@@ -254,10 +240,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>, PfError> {
                 if word.is_empty() {
                     return Err(PfError::lex(line, format!("unexpected character {c:?}")));
                 }
-                tokens.push(SpannedTok {
-                    tok: Tok::Word(word),
-                    line: start_line,
-                });
+                push!(Tok::Word(word), start_line, start);
             }
         }
     }
@@ -373,6 +356,26 @@ mod tests {
         assert_eq!(toks[0].line, 1);
         assert_eq!(toks[2].line, 2);
         assert_eq!(toks[4].line, 4);
+    }
+
+    #[test]
+    fn columns_are_tracked() {
+        let toks = tokenize("block all\n  pass from any\n").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (1, 7));
+        assert_eq!((toks[2].line, toks[2].col), (2, 3));
+        assert_eq!((toks[3].line, toks[3].col), (2, 8));
+    }
+
+    #[test]
+    fn columns_after_continuation_restart() {
+        let toks = tokenize("pass from any \\\n    to any\n").unwrap();
+        // `to` starts the second physical line at column 5.
+        let to = toks
+            .iter()
+            .find(|t| t.tok == Tok::Word("to".into()))
+            .unwrap();
+        assert_eq!((to.line, to.col), (2, 5));
     }
 
     #[test]

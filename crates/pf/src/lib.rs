@@ -43,6 +43,7 @@
 //! assert!(verdict.keep_state);
 //! ```
 
+pub mod analyze;
 pub mod ast;
 pub mod compile;
 pub mod dict;
@@ -56,8 +57,9 @@ pub mod services;
 pub mod state;
 pub mod table;
 
-pub use ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet};
-pub use compile::{CompiledPolicy, PolicyCompiler};
+pub use analyze::{analyze, AnalysisOptions, Category, Diagnostic, Severity};
+pub use ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet, Span};
+pub use compile::{CompiledPolicy, DeadRule, DeadRuleReason, PolicyCompiler};
 pub use error::PfError;
 pub use eval::{Decision, EvalContext, Verdict};
 pub use parser::parse_ruleset;

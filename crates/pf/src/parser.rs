@@ -12,7 +12,7 @@
 
 use identxx_proto::IpProtocol;
 
-use crate::ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet};
+use crate::ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet, Span};
 use crate::dict::Dict;
 use crate::error::PfError;
 use crate::lexer::{tokenize, SpannedTok, Tok};
@@ -48,6 +48,15 @@ impl Parser {
             .or_else(|| self.tokens.last())
             .map(|t| t.line)
             .unwrap_or(0)
+    }
+
+    /// The source position of the current token (or the last one at EOF).
+    fn span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| Span::new(t.line, t.col))
+            .unwrap_or_default()
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -231,6 +240,7 @@ impl Parser {
 
     fn parse_rule(&mut self) -> Result<Rule, PfError> {
         let line = self.line();
+        let span = self.span();
         let action_word = self.expect_word("an action")?;
         let action = match action_word.as_str() {
             "pass" => Action::Pass,
@@ -249,6 +259,7 @@ impl Parser {
             withs: Vec::new(),
             keep_state: false,
             line,
+            span,
         };
 
         while !self.at_item_boundary() {
@@ -388,12 +399,18 @@ impl Parser {
     /// `name(arg, arg, ...)`
     fn parse_fncall(&mut self) -> Result<FnCall, PfError> {
         let line = self.line();
+        let span = self.span();
         let name = self.expect_word("a function name")?;
         self.expect(&Tok::LParen, "'('")?;
         let mut args = Vec::new();
         if matches!(self.peek(), Some(Tok::RParen)) {
             self.next();
-            return Ok(FnCall { name, args, line });
+            return Ok(FnCall {
+                name,
+                args,
+                line,
+                span,
+            });
         }
         loop {
             args.push(self.parse_fnarg()?);
@@ -408,7 +425,12 @@ impl Parser {
                 }
             }
         }
-        Ok(FnCall { name, args, line })
+        Ok(FnCall {
+            name,
+            args,
+            line,
+            span,
+        })
     }
 
     fn parse_fnarg(&mut self) -> Result<FnArg, PfError> {

@@ -88,6 +88,18 @@ impl ConfigSet {
             .collect()
     }
 
+    /// Iterates over the `.control` files as `(name, contents)` pairs in load
+    /// (alphabetical) order. Tools that need to attribute rules back to the
+    /// file they came from (e.g. `pfcheck`) parse the files individually in
+    /// this order, which yields the same merged rule set as
+    /// [`ConfigSet::compile`].
+    pub fn control_files(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files
+            .iter()
+            .filter(|(n, _)| n.ends_with(".control"))
+            .map(|(n, c)| (n.as_str(), c.as_str()))
+    }
+
     /// Concatenates the `.control` files in alphabetical order and parses the
     /// result into a single [`RuleSet`].
     pub fn compile(&self) -> Result<RuleSet, PfError> {

@@ -1,0 +1,252 @@
+//! Property test: the static analyzer's dead-rule verdicts are *sound*.
+//!
+//! `analyze` may stay silent about rules that never decide (it is
+//! deliberately conservative), but when it reports [`Category::ShadowedRule`]
+//! or [`Category::Unsatisfiable`] for a rule, that rule must never be the
+//! deciding rule of any flow under the reference interpreter — for any flow
+//! and any daemon responses. Randomized rule sets are generated with a heavy
+//! bias toward overlapping endpoints and repeated predicates (so shadowing
+//! actually occurs), then every sampled flow/response combination is
+//! evaluated through `EvalContext` and the matched rule is checked against
+//! the analyzer's kill list.
+
+use proptest::prelude::*;
+
+use identxx_pf::{analyze, parse_ruleset, AnalysisOptions, Category, EvalContext};
+use identxx_proto::{FiveTuple, IpProtocol, Ipv4Addr, Response, Section};
+
+/// Small pools (shared shape with `tests/compiled_equivalence.rs`) so random
+/// rules overlap and random flows hit them.
+const ADDRS: [[u8; 4]; 5] = [
+    [192, 168, 0, 10],
+    [192, 168, 0, 77],
+    [192, 168, 1, 1],
+    [10, 0, 0, 5],
+    [8, 8, 8, 8],
+];
+
+const PORTS: [u16; 5] = [80, 443, 22, 1500, 7000];
+
+const VALUES: [&str; 5] = ["skype", "firefox", "users wheel", "210", "150"];
+
+const KEYS: [&str; 3] = ["name", "version", "groupID"];
+
+fn arb_endpoint() -> impl Strategy<Value = String> {
+    // The vendored proptest has no weighted `prop_oneof!`; repetition biases
+    // toward `any` endpoints and portless rules, which is what makes rules
+    // overlap often enough for shadowing to occur.
+    let addr = prop_oneof![
+        Just("any".to_string()),
+        Just("any".to_string()),
+        Just("any".to_string()),
+        Just("192.168.0.0/24".to_string()),
+        Just("192.168.0.0/24".to_string()),
+        Just("192.168.0.10".to_string()),
+        Just("192.168.0.10".to_string()),
+        Just("10.0.0.0/8".to_string()),
+        Just("<lan>".to_string()),
+        Just("!192.168.0.0/24".to_string()),
+    ];
+    let port = prop_oneof![
+        Just(String::new()),
+        Just(String::new()),
+        Just(String::new()),
+        Just(String::new()),
+        Just(" port 80".to_string()),
+        Just(" port 80".to_string()),
+        Just(" port http".to_string()),
+        Just(" port nosuchservice".to_string()),
+        Just(" port 1000:2000".to_string()),
+    ];
+    (addr, port).prop_map(|(addr, port)| format!("{addr}{port}"))
+}
+
+/// A deliberately tiny predicate vocabulary: shadowing requires the earlier
+/// rule's predicates to be a superset of the later rule's, which only
+/// happens when identical predicate text recurs across rules.
+fn arb_predicate() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("eq(@src[name], skype)".to_string()),
+        Just("eq(@src[name], firefox)".to_string()),
+        Just("gt(@src[version], 200)".to_string()),
+        Just("exists(@dst[groupID])".to_string()),
+        Just("member(@src[groupID], users)".to_string()),
+        Just("eq(@src[version], @src[version])".to_string()),
+        Just("ne(@src[name], @src[name])".to_string()),
+    ]
+}
+
+fn arb_rule() -> impl Strategy<Value = String> {
+    let proto = prop_oneof![
+        Just(String::new()),
+        Just(String::new()),
+        Just(String::new()),
+        Just(" proto tcp".to_string()),
+        Just(" proto udp".to_string()),
+    ];
+    (
+        any::<bool>(),
+        (0u8..8).prop_map(|q| q == 0),
+        proto,
+        prop_oneof![
+            Just(None),
+            (arb_endpoint(), arb_endpoint()).prop_map(Some),
+            (arb_endpoint(), arb_endpoint()).prop_map(Some),
+        ],
+        prop::collection::vec(arb_predicate(), 0..3),
+        any::<bool>(),
+    )
+        .prop_map(|(pass, quick, proto, endpoints, preds, keep)| {
+            let mut rule = String::from(if pass { "pass" } else { "block" });
+            if quick {
+                rule.push_str(" quick");
+            }
+            rule.push_str(&proto);
+            match endpoints {
+                None => rule.push_str(" all"),
+                Some((from, to)) => {
+                    rule.push_str(" from ");
+                    rule.push_str(&from);
+                    rule.push_str(" to ");
+                    rule.push_str(&to);
+                }
+            }
+            for pred in preds {
+                rule.push_str(" with ");
+                rule.push_str(&pred);
+            }
+            if keep {
+                rule.push_str(" keep state");
+            }
+            rule
+        })
+}
+
+fn arb_ruleset_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_rule(), 2..9).prop_map(|rules| {
+        let mut text = String::from("table <lan> { 192.168.0.0/24 }\n");
+        for rule in rules {
+            text.push_str(&rule);
+            text.push('\n');
+        }
+        text
+    })
+}
+
+fn arb_flow() -> impl Strategy<Value = FiveTuple> {
+    (
+        0usize..ADDRS.len(),
+        0usize..ADDRS.len(),
+        0usize..PORTS.len(),
+        0usize..PORTS.len(),
+        prop_oneof![Just(IpProtocol::Tcp), Just(IpProtocol::Udp)],
+    )
+        .prop_map(|(s, d, sp, dp, proto)| {
+            FiveTuple::new(
+                Ipv4Addr::from(ADDRS[s]),
+                PORTS[sp],
+                Ipv4Addr::from(ADDRS[d]),
+                PORTS[dp],
+                proto,
+            )
+        })
+}
+
+fn arb_response(flow: FiveTuple) -> impl Strategy<Value = Option<Response>> {
+    let section = prop::collection::vec((0usize..KEYS.len(), 0usize..VALUES.len()), 1..4);
+    prop_oneof![
+        Just(None),
+        prop::collection::vec(section, 0..3).prop_map(move |sections| {
+            let mut response = Response::new(flow);
+            for pairs in sections {
+                let mut s = Section::new();
+                for (k, v) in pairs {
+                    s.push(KEYS[k], VALUES[v]);
+                }
+                response.push_section(s);
+            }
+            Some(response)
+        }),
+    ]
+}
+
+/// Guards the property against vacuity: a ruleset the analyzer must flag,
+/// so the kill-list comparison in the property actually bites.
+#[test]
+fn generator_shapes_do_produce_dead_rules() {
+    let text = "table <lan> { 192.168.0.0/24 }\n\
+                pass from 192.168.0.10 to any\n\
+                pass proto tcp all with eq(@src[name], skype) with eq(@src[name], firefox)\n\
+                pass from 192.168.0.0/24 to any\n";
+    let ruleset = parse_ruleset(text).unwrap();
+    let options = AnalysisOptions {
+        named_lists: vec!["users".to_string()],
+        ..AnalysisOptions::default()
+    };
+    let diags = analyze(&ruleset, &options);
+    let dead: Vec<usize> = diags
+        .iter()
+        .filter(|d| matches!(d.category, Category::ShadowedRule | Category::Unsatisfiable))
+        .filter_map(|d| d.rule_index)
+        .collect();
+    assert!(
+        dead.contains(&0),
+        "host rule shadowed by the later /24 rule: {diags:?}"
+    );
+    assert!(
+        dead.contains(&1),
+        "contradictory equality constraints never match: {diags:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rules_reported_dead_never_decide_a_flow(
+        text in arb_ruleset_text(),
+        flows in prop::collection::vec(arb_flow(), 8..9),
+        seed in any::<u32>(),
+    ) {
+        let ruleset = parse_ruleset(&text).unwrap();
+
+        let options = AnalysisOptions {
+            named_lists: vec!["users".to_string()],
+            ..AnalysisOptions::default()
+        };
+        let dead: Vec<usize> = analyze(&ruleset, &options)
+            .into_iter()
+            .filter(|d| {
+                matches!(d.category, Category::ShadowedRule | Category::Unsatisfiable)
+            })
+            .filter_map(|d| d.rule_index)
+            .collect();
+
+        // Each sampled flow is paired with freshly drawn responses so the
+        // predicate layer varies too, not just the packet layer.
+        let mut rng =
+            proptest::test_runner::TestRng::deterministic(&format!("soundness-{seed}"));
+        for flow in flows {
+            let src = arb_response(flow).generate(&mut rng);
+            let dst = arb_response(flow).generate(&mut rng);
+            let mut ctx = EvalContext::new(&ruleset)
+                .with_named_list("users", vec!["users".to_string()]);
+            if let Some(src) = &src {
+                ctx = ctx.with_src_response(src);
+            }
+            if let Some(dst) = &dst {
+                ctx = ctx.with_dst_response(dst);
+            }
+            let verdict = ctx.evaluate(&flow);
+            if let Some(matched) = verdict.matched_rule {
+                prop_assert!(
+                    !dead.contains(&matched),
+                    "rule {} was reported dead but decided flow {:?}\nruleset:\n{}",
+                    matched,
+                    flow,
+                    text
+                );
+            }
+        }
+    }
+}

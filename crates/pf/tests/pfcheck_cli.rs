@@ -1,0 +1,139 @@
+//! End-to-end tests for the `pfcheck` binary: exit codes, text output, and
+//! the JSON emitter, over seeded good and bad policies.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pfcheck-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn pfcheck(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pfcheck"))
+        .args(args)
+        .output()
+        .expect("pfcheck runs")
+}
+
+#[test]
+fn clean_policy_exits_zero() {
+    let dir = scratch_dir("clean");
+    let file = dir.join("good.control");
+    std::fs::write(
+        &file,
+        "table <server> { 192.168.1.1 }\n\
+         block all\n\
+         pass from any to <server> port 80 with eq(@src[name], firefox) keep state\n",
+    )
+    .unwrap();
+    let out = pfcheck(&[file.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("0 error(s)"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn seeded_errors_exit_nonzero_and_name_categories() {
+    let dir = scratch_dir("seeded");
+    let file = dir.join("bad.control");
+    std::fs::write(
+        &file,
+        "block from <missing_table> to any\n\
+         pass from any to any with frob(@src[name])\n\
+         pass from any to any with eq(@src[name], a) with eq(@src[name], b)\n\
+         pass from 10.0.0.1 to any\n\
+         pass from 10.0.0.0/24 to any\n",
+    )
+    .unwrap();
+    let out = pfcheck(&[file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("undefined-reference"), "{text}");
+    assert!(text.contains("unknown-function"), "{text}");
+    assert!(text.contains("unsatisfiable"), "{text}");
+    assert!(text.contains("shadowed-rule"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn granularity_flag_reports_unsafe_ports() {
+    let dir = scratch_dir("granularity");
+    let file = dir.join("ports.control");
+    std::fs::write(&file, "block all\npass from any to any port 80\n").unwrap();
+
+    let out = pfcheck(&["--granularity", "host-pair", file.to_str().unwrap()]);
+    assert!(out.status.success(), "warnings only: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("granularity-unsafe"), "{text}");
+
+    let out = pfcheck(&["--granularity", "exact", file.to_str().unwrap()]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(!text.contains("granularity-unsafe"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn directory_input_merges_and_attributes_files() {
+    let dir = scratch_dir("dir");
+    // The header defines the table the footer references; merged analysis
+    // must resolve it (no undefined-reference error).
+    std::fs::write(
+        dir.join("00-header.control"),
+        "table <server> { 10.0.0.1 }\nblock all\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("99-footer.control"),
+        "pass from any to <server> port 22\n",
+    )
+    .unwrap();
+    let out = pfcheck(&[dir.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("0 error(s)"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn json_output_is_structured() {
+    let dir = scratch_dir("json");
+    let file = dir.join("bad.control");
+    std::fs::write(&file, "block from <nope> to any\n").unwrap();
+    let out = pfcheck(&["--json", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let trimmed = text.trim();
+    assert!(trimmed.starts_with('['), "{text}");
+    assert!(trimmed.ends_with(']'), "{text}");
+    assert!(
+        text.contains("\"category\":\"undefined-reference\""),
+        "{text}"
+    );
+    assert!(text.contains("\"severity\":\"error\""), "{text}");
+    assert!(text.contains("\"line\":1"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn parse_failures_are_reported_as_errors() {
+    let dir = scratch_dir("parse");
+    let file = dir.join("broken.control");
+    std::fs::write(&file, "pass from\n").unwrap();
+    let out = pfcheck(&[file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("parse-error"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = pfcheck(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = pfcheck(&["--granularity", "bogus", "x.control"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -56,6 +56,7 @@ pub mod well_known {
         USER_ID,
         GROUP_ID,
         APP_NAME,
+        APP_NAME_ALT,
         EXE_HASH,
         VERSION,
         VENDOR,

@@ -1,0 +1,386 @@
+//! `cargo run -p xtask -- lint` — repository lints that rustc and clippy do
+//! not cover, hand-rolled over the source text (the container has no `syn`,
+//! and these checks only need line/token granularity):
+//!
+//! 1. **SAFETY comments** — every `unsafe` token in `vendor/tokio/src` must
+//!    have a `// SAFETY:` comment on the same line or within the few lines
+//!    above it. The vendored runtime is the only unsafe code in the
+//!    workspace; each site must say why it is sound.
+//! 2. **`unsafe_op_in_unsafe_fn`** — `vendor/tokio/src/lib.rs` must carry
+//!    `#![deny(unsafe_op_in_unsafe_fn)]`, so an unsafe fn body cannot hide
+//!    unsafe operations without their own block (and comment, per lint 1).
+//! 3. **Blocking calls in async code** — inside `async fn` bodies and
+//!    `async` blocks, `thread::sleep` and the blocking `std::net` connect /
+//!    bind calls stall a reactor worker and are rejected. Test modules are
+//!    exempt (test scaffolding blocks on purpose); a deliberate production
+//!    use is escaped with an `xtask:allow-blocking` comment on the same
+//!    line, which the lint counts and reports.
+//!
+//! Exit status is non-zero if any lint fails, so CI can gate on it.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`\n\nusage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let mut violations = Vec::new();
+
+    let tokio_src = root.join("vendor/tokio/src");
+    for file in rust_files(&tokio_src) {
+        check_safety_comments(&file, &mut violations);
+    }
+    check_deny_attribute(&tokio_src.join("lib.rs"), &mut violations);
+
+    let mut async_roots: Vec<PathBuf> = vec![root.join("src"), tokio_src];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                async_roots.push(src);
+            }
+        }
+    }
+    let mut files_scanned = 0usize;
+    for dir in async_roots {
+        for file in rust_files(&dir) {
+            files_scanned += 1;
+            check_blocking_in_async(&file, &mut violations);
+        }
+    }
+
+    if violations.is_empty() {
+        println!("xtask lint: ok ({files_scanned} files scanned for blocking calls)");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the executable's cwd to the directory holding the workspace
+/// `Cargo.toml` (cargo runs xtask from the workspace root, but be tolerant).
+fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("workspace root not found above cwd");
+        }
+    }
+}
+
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Strips line comments, string/char literal *contents*, and lifetimes from
+/// one source line so that brace counting and token matching see only code.
+/// Raw strings and block comments are not used in this workspace's sources;
+/// the scanner treats `"` inside them like any string delimiter, which is
+/// conservative (it can only hide tokens, never invent them — and braces in
+/// format strings are the actual hazard this guards against).
+fn sanitize(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            b'"' => {
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\u{..}') vs lifetime ('a).
+                let rest = &bytes[i + 1..];
+                let close = if rest.first() == Some(&b'\\') {
+                    rest.iter().skip(1).position(|&b| b == b'\'').map(|p| p + 1)
+                } else if rest.len() >= 2 && rest[1] == b'\'' {
+                    Some(1)
+                } else {
+                    None
+                };
+                match close {
+                    Some(offset) => i += offset + 2, // skip the whole literal
+                    None => i += 1,                  // lifetime: drop the quote
+                }
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True if `line` contains `word` as a standalone token (not part of a
+/// longer identifier such as `unsafe_op_in_unsafe_fn`).
+fn has_token(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before = line[..at].chars().next_back();
+        let after = line[at + word.len()..].chars().next();
+        let boundary = |c: Option<char>| !c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary(before) && boundary(after) {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// How many raw lines above an `unsafe` token a `// SAFETY:` comment still
+/// covers it (the comment may span several lines between them).
+const SAFETY_WINDOW: usize = 6;
+
+fn check_safety_comments(path: &Path, violations: &mut Vec<String>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        violations.push(format!("{}: unreadable", path.display()));
+        return;
+    };
+    let raw: Vec<&str> = text.lines().collect();
+    for (idx, line) in raw.iter().enumerate() {
+        if !has_token(&sanitize(line), "unsafe") {
+            continue;
+        }
+        let window_start = idx.saturating_sub(SAFETY_WINDOW);
+        let covered = raw[window_start..=idx]
+            .iter()
+            .any(|l| l.to_ascii_lowercase().contains("safety:"));
+        if !covered {
+            violations.push(format!(
+                "{}:{}: `unsafe` without a `// SAFETY:` comment within {} lines above",
+                path.display(),
+                idx + 1,
+                SAFETY_WINDOW
+            ));
+        }
+    }
+}
+
+fn check_deny_attribute(lib_rs: &Path, violations: &mut Vec<String>) {
+    match std::fs::read_to_string(lib_rs) {
+        Ok(text) if text.contains("#![deny(unsafe_op_in_unsafe_fn)]") => {}
+        Ok(_) => violations.push(format!(
+            "{}: missing `#![deny(unsafe_op_in_unsafe_fn)]`",
+            lib_rs.display()
+        )),
+        Err(_) => violations.push(format!("{}: unreadable", lib_rs.display())),
+    }
+}
+
+const BLOCKING_PATTERNS: &[&str] = &[
+    "thread::sleep",
+    "std::net::TcpStream::connect",
+    "std::net::TcpListener::bind",
+];
+
+const ALLOW_MARKER: &str = "xtask:allow-blocking";
+
+/// The allow marker may sit on the flagged line or in a comment up to this
+/// many lines above it.
+const ALLOW_WINDOW: usize = 3;
+
+fn check_blocking_in_async(path: &Path, violations: &mut Vec<String>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let mut depth = 0usize;
+    // Brace depths at which async bodies opened; non-empty = inside async.
+    let mut async_stack: Vec<usize> = Vec::new();
+    let mut pending_async = false;
+    // Depth of a `#[cfg(test)] mod … { … }` body being skipped, if any.
+    let mut test_mod_depth: Option<usize> = None;
+    let mut pending_cfg_test = false;
+
+    let raw_lines: Vec<&str> = text.lines().collect();
+    for (idx, raw) in raw_lines.iter().copied().enumerate() {
+        let line = sanitize(raw);
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let starts_test_mod = pending_cfg_test && has_token(&line, "mod");
+        if has_token(&line, "async") {
+            pending_async = true;
+        }
+
+        let allowed = raw_lines[idx.saturating_sub(ALLOW_WINDOW)..=idx]
+            .iter()
+            .any(|l| l.contains(ALLOW_MARKER));
+        if !async_stack.is_empty()
+            && test_mod_depth.is_none()
+            && !allowed
+            && BLOCKING_PATTERNS.iter().any(|p| line.contains(p))
+        {
+            violations.push(format!(
+                "{}:{}: blocking call in async code (escape with `// {}` if deliberate): {}",
+                path.display(),
+                idx + 1,
+                ALLOW_MARKER,
+                raw.trim()
+            ));
+        }
+
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if starts_test_mod && test_mod_depth.is_none() {
+                        test_mod_depth = Some(depth);
+                        pending_cfg_test = false;
+                    }
+                    if pending_async {
+                        async_stack.push(depth);
+                        pending_async = false;
+                    }
+                }
+                '}' => {
+                    if async_stack.last() == Some(&depth) {
+                        async_stack.pop();
+                    }
+                    if test_mod_depth == Some(depth) {
+                        test_mod_depth = None;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                // A statement terminator before any `{` means the `async`
+                // token did not open a body here (e.g. a use or a string).
+                ';' if pending_async => pending_async = false,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_strips_strings_comments_and_lifetimes() {
+        assert_eq!(sanitize("let x = 1; // comment { } unsafe"), "let x = 1; ");
+        assert_eq!(sanitize(r#"format!("{e:?}")"#), r#"format!("")"#);
+        assert_eq!(sanitize("fn f<'a>(x: &'a str)"), "fn f<a>(x: &a str)");
+        assert_eq!(sanitize("let c = '{';"), "let c = ;");
+        assert_eq!(sanitize(r"let c = '\n';"), "let c = ;");
+    }
+
+    #[test]
+    fn token_matching_respects_identifier_boundaries() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("#![deny(unsafe_op_in_unsafe_fn)]", "unsafe"));
+        assert!(has_token("x unsafe_y unsafe", "unsafe"));
+    }
+
+    fn blocking(source: &str) -> Vec<String> {
+        let dir = std::env::temp_dir().join(format!("xtask-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.rs");
+        std::fs::write(&path, source).unwrap();
+        let mut v = Vec::new();
+        check_blocking_in_async(&path, &mut v);
+        v
+    }
+
+    #[test]
+    fn blocking_call_in_async_fn_is_flagged() {
+        let v = blocking("async fn f() {\n    std::thread::sleep(d);\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("probe.rs:2"), "{v:?}");
+    }
+
+    #[test]
+    fn blocking_call_in_sync_fn_is_not_flagged() {
+        let v = blocking("fn f() {\n    std::thread::sleep(d);\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn async_block_inside_sync_fn_is_scanned() {
+        let v = blocking("fn f() {\n    block_on(async {\n        thread::sleep(d);\n    });\n    thread::sleep(d);\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("probe.rs:3"), "{v:?}");
+    }
+
+    #[test]
+    fn test_modules_and_allow_marker_are_exempt() {
+        let flagged = blocking(
+            "#[cfg(test)]\nmod tests {\n    async fn f() {\n        thread::sleep(d);\n    }\n}\n",
+        );
+        assert!(flagged.is_empty(), "{flagged:?}");
+        let escaped =
+            blocking("async fn f() {\n    thread::sleep(d); // xtask:allow-blocking why\n}\n");
+        assert!(escaped.is_empty(), "{escaped:?}");
+    }
+
+    #[test]
+    fn safety_window_accepts_comment_and_rejects_bare_unsafe() {
+        let dir = std::env::temp_dir().join(format!("xtask-safety-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.rs");
+        let padding = "\n".repeat(SAFETY_WINDOW + 1);
+        std::fs::write(
+            &path,
+            format!(
+                "// SAFETY: fine\nlet x = unsafe {{ f() }};{padding}let y = unsafe {{ g() }};\n"
+            ),
+        )
+        .unwrap();
+        let mut v = Vec::new();
+        check_safety_comments(&path, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].contains(&format!("probe.rs:{}", SAFETY_WINDOW + 3)),
+            "{v:?}"
+        );
+    }
+}

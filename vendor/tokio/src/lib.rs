@@ -29,6 +29,8 @@
 //! [`runtime::threaded_baseline`] are the two documented extensions beyond
 //! it. See DESIGN.md §2 for the substitution policy.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod executor;
 mod reactor;
 mod sys;
@@ -453,7 +455,7 @@ pub mod time {
         type Output = Result<F::Output, Elapsed>;
 
         fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-            // Safety: `future` is never moved out of `this`; the projection
+            // SAFETY: `future` is never moved out of `this`; the projection
             // is the standard manual pin-projection pattern (`sleep` is
             // `Unpin`-shaped and polled through a fresh Pin each time).
             let this = unsafe { self.get_unchecked_mut() };

@@ -40,6 +40,8 @@ pub struct TcpListener {
 impl TcpListener {
     /// Binds to `addr` in non-blocking mode and registers with the reactor.
     pub async fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+        // xtask:allow-blocking — bind(2) on a local address does not wait
+        // on the network; real tokio performs it synchronously too.
         let inner = std::net::TcpListener::bind(addr)?;
         inner.set_nonblocking(true)?;
         let reg = reactor::handle().register(inner.as_raw_fd())?;

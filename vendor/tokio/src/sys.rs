@@ -85,6 +85,7 @@ fn cvt(ret: i32) -> io::Result<i32> {
 
 /// Creates a close-on-exec epoll instance.
 pub(crate) fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: `epoll_create1` takes no pointers; the flag is a valid constant.
     cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
 }
 
@@ -94,6 +95,8 @@ pub(crate) fn epoll_add(epfd: RawFd, fd: RawFd, token: u64, events: u32) -> io::
         events,
         data: token,
     };
+    // SAFETY: `event` is a live stack value for the duration of the call; a
+    // stale `epfd`/`fd` is reported by the kernel as `EBADF`, not UB.
     cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut event) }).map(|_| ())
 }
 
@@ -101,12 +104,16 @@ pub(crate) fn epoll_add(epfd: RawFd, fd: RawFd, token: u64, events: u32) -> io::
 /// be closed), so the caller usually ignores the result.
 pub(crate) fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
     let mut event = epoll_event { events: 0, data: 0 };
+    // SAFETY: as for `epoll_add` — the event struct outlives the call and bad
+    // fds surface as `EBADF`.
     cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut event) }).map(|_| ())
 }
 
 /// Waits up to `timeout_ms` (`-1` = forever) for readiness events. `EINTR`
 /// is reported as zero events so the caller's loop just re-enters.
 pub(crate) fn wait(epfd: RawFd, events: &mut [epoll_event], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: the pointer/length pair comes from a live `&mut [epoll_event]`,
+    // and the kernel writes at most `events.len()` entries into it.
     let ret = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
     if ret < 0 {
         let err = io::Error::last_os_error();
@@ -128,9 +135,12 @@ pub(crate) fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(std::net::Tc
         SocketAddr::V4(_) => AF_INET,
         SocketAddr::V6(_) => AF_INET6,
     };
+    // SAFETY: `socket` takes no pointers; invalid arguments surface as errno.
     let fd = cvt(unsafe { socket(domain as i32, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
     // From here the fd is owned by the std stream, which closes it on drop
     // (including on the error paths below).
+    // SAFETY: `fd` was just created, is owned by nothing else, and ownership
+    // transfers to `stream` here exactly once.
     let stream = unsafe { std::net::TcpStream::from_raw_fd(fd) };
     let ret = match addr {
         SocketAddr::V4(v4) => {
@@ -140,6 +150,8 @@ pub(crate) fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(std::net::Tc
                 sin_addr: v4.ip().octets(),
                 sin_zero: [0; 8],
             };
+            // SAFETY: `raw` is a fully initialized `sockaddr_in` that lives
+            // across the call, and the advertised length matches its size.
             unsafe {
                 connect(
                     fd,
@@ -156,6 +168,8 @@ pub(crate) fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(std::net::Tc
                 sin6_addr: v6.ip().octets(),
                 sin6_scope_id: v6.scope_id(),
             };
+            // SAFETY: `raw` is a fully initialized `sockaddr_in6` that lives
+            // across the call, and the advertised length matches its size.
             unsafe {
                 connect(
                     fd,
@@ -180,6 +194,8 @@ pub(crate) fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(std::net::Tc
 pub(crate) fn take_socket_error(fd: RawFd) -> io::Result<()> {
     let mut err: i32 = 0;
     let mut len = std::mem::size_of::<i32>() as u32;
+    // SAFETY: `err` and `len` are live stack variables; `len` advertises
+    // exactly the size of `err`, which is all the kernel writes.
     cvt(unsafe {
         getsockopt(
             fd,
