@@ -1,5 +1,5 @@
-//! Prints the experiment scenario tables (E1, E6, E7, E8a, E8b, E9, E10)
-//! that used to be side effects of `cargo bench`.
+//! Prints the experiment scenario tables (E1, E6, E7, E8a, E8b, E9, E10,
+//! E12) that used to be side effects of `cargo bench`.
 //!
 //! Usage:
 //!
@@ -9,6 +9,7 @@
 //! cargo run --release -p identxx-bench --bin scenarios --json e9  # + BENCH_E9.json
 //! IDENTXX_SHARDS=4 cargo run --release -p identxx-bench --bin scenarios e8b e9
 //! IDENTXX_E10_SMOKE=1 cargo run --release -p identxx-bench --bin scenarios e10
+//! IDENTXX_E12_SMOKE=1 cargo run --release -p identxx-bench --bin scenarios e12
 //! ```
 //!
 //! `IDENTXX_SHARDS=N` focuses the E9 sharding sweep on shard counts {1, N}
@@ -18,11 +19,15 @@
 //! decision-identical to the single-controller path, so the smoke run fails
 //! if sharding ever changes a decision. E10 compares the reactor runtime
 //! against the `IDENTXX_RUNTIME=threaded` baseline; `IDENTXX_E10_SMOKE=1`
-//! shrinks its sweep to CI size.
+//! shrinks its sweep to CI size. E12 is the failure-drill matrix (partition,
+//! brownout, shard loss, reshard-under-load — DESIGN.md §9): every cell
+//! asserts bounded round latency, fail-closed denies for unobtainable
+//! answers, and post-recovery decision identity; `IDENTXX_E12_SMOKE=1`
+//! shrinks it for CI.
 //!
 //! `--json` additionally writes each quantitative experiment's cells to
-//! `BENCH_<EXP>.json` in the working directory (E8b, E9, E10) so CI can
-//! upload them as artifacts and track the perf trajectory across PRs.
+//! `BENCH_<EXP>.json` in the working directory (E8b, E9, E10, E12) so CI
+//! can upload them as artifacts and track the perf trajectory across PRs.
 
 use identxx_bench::report::{write_bench_json, BenchRow};
 use identxx_bench::scenarios;
@@ -54,11 +59,12 @@ fn main() {
         })
         .collect();
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["e1", "e6", "e7", "e8a", "e8b", "e9", "e10"]
+        vec!["e1", "e6", "e7", "e8a", "e8b", "e9", "e10", "e12"]
     } else {
         args.iter().map(String::as_str).collect()
     };
     let e10_smoke = std::env::var_os("IDENTXX_E10_SMOKE").is_some();
+    let e12_smoke = std::env::var_os("IDENTXX_E12_SMOKE").is_some();
     for experiment in selected {
         let rows: Vec<BenchRow> = match experiment {
             "e1" => {
@@ -80,9 +86,10 @@ fn main() {
             "e8b" => scenarios::print_e8b(),
             "e9" => scenarios::print_e9(&e9_shard_counts(), E9_SMOKE_FLOWS),
             "e10" => scenarios::print_e10(e10_smoke),
+            "e12" => scenarios::print_e12(e12_smoke),
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; expected e1, e6, e7, e8a, e8b, e9, e10, or all"
+                    "unknown experiment {other:?}; expected e1, e6, e7, e8a, e8b, e9, e10, e12, or all"
                 );
                 std::process::exit(2);
             }

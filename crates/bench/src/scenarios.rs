@@ -11,6 +11,7 @@
 //! * the benches reuse the same fixtures for pure measurement.
 
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::report::BenchRow;
@@ -18,9 +19,11 @@ use identxx_baselines::common::IntentScore;
 use identxx_baselines::{
     DistributedFirewall, EthaneController, EthanePolicy, FlowClassifier, VanillaFirewall,
 };
-use identxx_controller::{ControllerConfig, NetworkBackend, ShardedController};
+use identxx_controller::{
+    BreakerConfig, ControllerConfig, NetworkBackend, QueryBackend, ShardedController,
+};
 use identxx_core::{firefox_app, EnterpriseNetwork};
-use identxx_daemon::Daemon;
+use identxx_daemon::{Daemon, FaultInjector, FaultPlan, Window};
 use identxx_hostmodel::{Executable, Host};
 use identxx_net::DaemonServer;
 use identxx_netsim::workload::{WorkloadConfig, WorkloadGenerator};
@@ -911,6 +914,462 @@ pub fn print_e10(smoke: bool) -> Vec<BenchRow> {
     for (daemons, lanes, ratio) in ratios {
         println!("{:>10} {daemons:>8} {lanes:>6} {ratio:>15.2}x", "ratio");
     }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E12: failure drills — fail-closed decisions under injected faults
+// ---------------------------------------------------------------------------
+
+/// Per-round-trip daemon processing delay for E12 (microseconds). Small:
+/// the drills measure *fault* latency (deadline misses, breaker fast-fails),
+/// not healthy-path throughput — E9 owns that table.
+const E12_DAEMON_DELAY_MICROS: u64 = 300;
+
+/// Query-round size for every drill cell (the E9 ceiling batch).
+const E12_BATCH: usize = 32;
+
+/// The controller tier's per-round query budget. Short relative to a
+/// brownout on purpose: a browned-out daemon (5 s extra) must blow it so the
+/// drill exercises deadline-miss → breaker-open → fast-fail, and a faulted
+/// round's cost is bounded by it instead of by the fault. But generous
+/// relative to the healthy path (~ms on loopback): on a shared 1-vCPU CI
+/// runner a scheduler stall must not fake a deadline miss in the cells that
+/// assert *zero* fail-closed denies.
+const E12_BUDGET: Duration = Duration::from_secs(2);
+
+/// Extra processing delay a brownout inflicts (microseconds); ≫ the budget.
+const E12_BROWNOUT_EXTRA_MICROS: u64 = 5_000_000;
+
+/// Logical microseconds between drill rounds: the injector clock and the
+/// controller's `now` advance by this much per batch, so fault windows are
+/// expressed in whole rounds.
+const E12_ROUND_MICROS: u64 = 1_000_000;
+
+/// Shards in the drilled tier.
+const E12_SHARDS: usize = 4;
+
+/// Rounds allowed between a fault clearing and the tier provably matching
+/// the unfaulted baseline again: enough for the breaker cooldown
+/// (`E12_BREAKER.cooldown_rounds`) plus its half-open probe.
+const E12_RECOVERY_SLACK_ROUNDS: usize = 5;
+
+const E12_BREAKER: BreakerConfig = BreakerConfig {
+    failure_threshold: 2,
+    cooldown_rounds: 2,
+};
+
+/// Hard per-round wall-clock ceiling (milliseconds). Deliberately generous —
+/// shared 1-vCPU CI runners stall — while still distinguishing "bounded by
+/// the query budget" from "hung on a dead host": an unbounded wait would be
+/// the 500 ms connect/read timeout times the flow count, orders of magnitude
+/// past this.
+const E12_ROUND_CEILING_MS: f64 = 10_000.0;
+
+/// Starts the E9 daemon population with a drill [`FaultInjector`] attached,
+/// so scripted silences, brownouts, and frame faults reach every daemon and
+/// server choke point.
+pub fn start_drill_daemons(injector: &Arc<FaultInjector>) -> Vec<(Ipv4Addr, DaemonServer)> {
+    e9_hosts()
+        .into_iter()
+        .map(|addr| {
+            let mut daemon = Daemon::bare(Host::new(format!("h{addr}"), addr));
+            let app = if addr.0 % 2 == 1 {
+                "firefox"
+            } else {
+                "unknownd"
+            };
+            daemon.set_forged_response(Some(vec![
+                ("name".to_string(), app.to_string()),
+                ("userID".to_string(), "alice".to_string()),
+            ]));
+            daemon.set_response_delay_micros(E12_DAEMON_DELAY_MICROS);
+            daemon.set_fault_injector(Some(injector.clone()));
+            let server = tokio::runtime::block_on(DaemonServer::start(
+                daemon,
+                "127.0.0.1:0".parse().unwrap(),
+            ))
+            .expect("bind loopback daemon");
+            (addr, server)
+        })
+        .collect()
+}
+
+/// One drilled query backend: short budget, circuit breaker, and the cell's
+/// injector (partitions are enforced controller-side).
+fn drill_backend(
+    endpoints: &[(Ipv4Addr, SocketAddr)],
+    injector: &Arc<FaultInjector>,
+) -> Box<dyn QueryBackend> {
+    let mut backend = NetworkBackend::new()
+        .with_budget(E12_BUDGET)
+        .with_breaker(E12_BREAKER)
+        .with_fault_injector(injector.clone());
+    for (addr, endpoint) in endpoints {
+        backend.register_endpoint(*addr, *endpoint);
+    }
+    Box::new(backend)
+}
+
+/// The drilled controller tier: fail-closed decisions over the E9 policy,
+/// every shard wired to a drilled backend (short budget, breaker, injector).
+pub fn drill_tier(
+    endpoints: &[(Ipv4Addr, SocketAddr)],
+    shards: usize,
+    injector: &Arc<FaultInjector>,
+) -> ShardedController {
+    let config = ControllerConfig::new()
+        .with_control_file("00.control", ALLOW_KNOWN_APPS_POLICY)
+        .with_cache_granularity(CacheGranularity::HostPairDstPort)
+        .with_fail_closed_on_unanswered();
+    ShardedController::new(config, shards)
+        .expect("compile E12 policy")
+        .with_backends(|_| drill_backend(endpoints, injector))
+}
+
+/// What one drill run produced: the verdict stream, per-round wall-clock,
+/// and the tier's final audit/state shape.
+pub struct DrillRun {
+    /// One verdict per flow, in decision order.
+    pub verdicts: Vec<Decision>,
+    /// Whether each decision came from a shard's state table (a cached
+    /// answer is obtainable by definition, so fault assertions exempt it).
+    pub from_cache: Vec<bool>,
+    /// Wall-clock milliseconds per round.
+    pub round_millis: Vec<f64>,
+    /// `fail-closed` policy notes accumulated across all shards.
+    pub fail_closed_notes: usize,
+    /// State-table entries summed across all shards at the end of the run.
+    pub state_entries: usize,
+}
+
+/// Drives `flows` through `tier` in rounds of `E12_BATCH`, advancing the
+/// injector's logical clock in lock-step and calling `on_round` before each
+/// round (where drills reshard mid-run).
+pub fn run_drill(
+    tier: &mut ShardedController,
+    injector: &Arc<FaultInjector>,
+    flows: &[FiveTuple],
+    mut on_round: impl FnMut(usize, &mut ShardedController),
+) -> DrillRun {
+    let mut verdicts = Vec::with_capacity(flows.len());
+    let mut from_cache = Vec::with_capacity(flows.len());
+    let mut round_millis = Vec::new();
+    for (round, chunk) in flows.chunks(E12_BATCH).enumerate() {
+        on_round(round, tier);
+        let now = round as u64 * E12_ROUND_MICROS;
+        injector.advance_to(now);
+        let started = Instant::now();
+        let decisions = tier.decide_batch(chunk, now);
+        round_millis.push(started.elapsed().as_secs_f64() * 1e3);
+        verdicts.extend(decisions.iter().map(|d| d.verdict.decision));
+        from_cache.extend(decisions.iter().map(|d| d.from_cache));
+    }
+    let fail_closed_notes = tier
+        .shards()
+        .iter()
+        .map(|shard| {
+            shard
+                .audit()
+                .policy_notes()
+                .iter()
+                .filter(|note| note.category == "fail-closed")
+                .count()
+        })
+        .sum();
+    let state_entries = tier
+        .shards()
+        .iter()
+        .map(|shard| shard.state_table().len())
+        .sum();
+    DrillRun {
+        verdicts,
+        from_cache,
+        round_millis,
+        fail_closed_notes,
+        state_entries,
+    }
+}
+
+fn percentile_ms(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[((sorted.len() as f64 - 1.0) * p).round() as usize]
+}
+
+/// Asserts the drill-wide latency contract: no round — faulted or not — ever
+/// blocks past the (generous) ceiling. The query budget bounds each faulted
+/// round; the breaker bounds how many rounds pay it.
+fn assert_rounds_bounded(cell: &str, run: &DrillRun) {
+    let max = run.round_millis.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        max <= E12_ROUND_CEILING_MS,
+        "E12 {cell}: a round took {max:.0} ms — decisions must never block unboundedly"
+    );
+}
+
+/// Asserts that every surviving shard holds exactly the state the router
+/// names it owner of — the "no lost or duplicated entries" half of the
+/// reshard contract (counts are checked against the baseline separately).
+fn assert_state_owned(cell: &str, tier: &ShardedController) {
+    for (slot, shard) in tier.shards().iter().enumerate() {
+        if tier.is_drained(slot) {
+            assert_eq!(
+                shard.state_table().len(),
+                0,
+                "E12 {cell}: drained shard {slot} must hold no state"
+            );
+            continue;
+        }
+        for (key, _) in shard.state_table().entries() {
+            assert_eq!(
+                tier.shard_for(key),
+                slot,
+                "E12 {cell}: shard {slot} holds state the router assigns elsewhere"
+            );
+        }
+    }
+}
+
+/// Prints the E12 failure-drill table: four drill cells (host partition,
+/// daemon brownout, shard loss, reshard-under-load) over real loopback TCP
+/// daemons, each asserting the fail-closed contract (DESIGN.md §9):
+///
+/// * no decision ever blocks past the ceiling (the budget + breaker bound
+///   every faulted round),
+/// * flows whose answers are unobtainable are denied with a `fail-closed`
+///   audit note — and those denies are never cached,
+/// * once the fault clears (plus breaker cooldown), the verdict stream is
+///   identical to an unfaulted single-controller baseline,
+/// * membership changes preserve decision identity end-to-end and migrate
+///   state without loss or duplication.
+///
+/// `smoke` shrinks the run for CI. Returns the cells as bench rows.
+pub fn print_e12(smoke: bool) -> Vec<BenchRow> {
+    let flow_count = if smoke { 512 } else { 1024 };
+    let flows = sharding_workload(flow_count, 23);
+    let rounds = flows.len().div_ceil(E12_BATCH);
+    // Fault window in rounds: [rounds/4, 3*rounds/8). Recovery is asserted
+    // from the window's end plus the breaker slack to the end of the run.
+    let fault_from = rounds / 4;
+    let fault_until = rounds * 3 / 8;
+    let recovered_from = fault_until + E12_RECOVERY_SLACK_ROUNDS;
+    assert!(
+        recovered_from + 2 < rounds,
+        "drill must have a post-recovery tail to assert identity over"
+    );
+    let window = Window::between(
+        fault_from as u64 * E12_ROUND_MICROS,
+        fault_until as u64 * E12_ROUND_MICROS,
+    );
+    let flow_round = |i: usize| i / E12_BATCH;
+    let in_window = |i: usize| (fault_from..fault_until).contains(&flow_round(i));
+    let recovered = |i: usize| flow_round(i) >= recovered_from;
+
+    println!(
+        "\n# E12: failure drills ({flow_count} flows, {E12_SHARDS} shards, {} ms budget, window rounds {fault_from}..{fault_until} of {rounds})",
+        E12_BUDGET.as_millis()
+    );
+    println!(
+        "{:>18} {:>9} {:>9} {:>9} {:>12} {:>10}",
+        "cell", "p50 ms", "p99 ms", "max ms", "fail-closed", "recovered"
+    );
+
+    // The unfaulted baseline: a single-controller tier over healthy daemons,
+    // same flows, same logical clock. Every cell's recovery (and the
+    // membership cells' entire run) is compared against its verdict stream.
+    let baseline = {
+        let injector = FaultInjector::none();
+        let servers = start_drill_daemons(&injector);
+        let endpoints: Vec<(Ipv4Addr, SocketAddr)> = servers
+            .iter()
+            .map(|(addr, server)| (*addr, server.local_addr()))
+            .collect();
+        let mut tier = drill_tier(&endpoints, 1, &injector);
+        let run = run_drill(&mut tier, &injector, &flows, |_, _| {});
+        for (_, server) in servers {
+            server.shutdown();
+        }
+        assert_eq!(run.fail_closed_notes, 0, "the baseline must be healthy");
+        run
+    };
+
+    let mut rows = Vec::new();
+    let mut row = |cell: &'static str, run: &DrillRun| {
+        let p50 = percentile_ms(&run.round_millis, 0.50);
+        let p99 = percentile_ms(&run.round_millis, 0.99);
+        let max = run.round_millis.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{cell:>18} {p50:>9.1} {p99:>9.1} {max:>9.1} {:>12} {:>10}",
+            run.fail_closed_notes, "yes"
+        );
+        rows.push(
+            BenchRow::new()
+                .with("experiment", "e12")
+                .with("cell", cell)
+                .with("flows", flows.len())
+                .with("rounds", rounds)
+                .with("shards", E12_SHARDS)
+                .with("p50_ms", p50)
+                .with("p99_ms", p99)
+                .with("max_ms", max)
+                .with("fail_closed_notes", run.fail_closed_notes),
+        );
+    };
+
+    // --- Cell 1: partition — a third of the hosts unreachable mid-run. ----
+    {
+        let partitioned: Vec<Ipv4Addr> = e9_hosts().into_iter().take(4).collect();
+        let mut plan = FaultPlan::new(23);
+        for &host in &partitioned {
+            plan = plan.partition(host, window);
+        }
+        let injector = plan.injector();
+        let servers = start_drill_daemons(&injector);
+        let endpoints: Vec<(Ipv4Addr, SocketAddr)> = servers
+            .iter()
+            .map(|(addr, server)| (*addr, server.local_addr()))
+            .collect();
+        let mut tier = drill_tier(&endpoints, E12_SHARDS, &injector);
+        let run = run_drill(&mut tier, &injector, &flows, |_, _| {});
+        for (_, server) in servers {
+            server.shutdown();
+        }
+        assert_rounds_bounded("partition", &run);
+        assert!(
+            run.fail_closed_notes > 0,
+            "E12 partition: unreachable hosts must produce fail-closed denies"
+        );
+        for (i, flow) in flows.iter().enumerate() {
+            let touches = partitioned.contains(&flow.src_ip) || partitioned.contains(&flow.dst_ip);
+            if in_window(i) && touches && !run.from_cache[i] {
+                // A cached answer is obtainable, so only freshly queried
+                // flows are required to fail closed.
+                assert_eq!(
+                    run.verdicts[i],
+                    Decision::Block,
+                    "E12 partition: flow {flow} crossed the partition yet was not denied"
+                );
+            }
+            if recovered(i) {
+                assert_eq!(
+                    run.verdicts[i], baseline.verdicts[i],
+                    "E12 partition: verdicts must match the baseline after recovery (flow {flow})"
+                );
+            }
+        }
+        row("partition", &run);
+    }
+
+    // --- Cell 2: brownout — one host slower than the budget mid-run. ------
+    {
+        let browned = Ipv4Addr::new(10, 0, 0, 1);
+        let injector = FaultPlan::new(23)
+            .brownout(browned, E12_BROWNOUT_EXTRA_MICROS, window)
+            .injector();
+        let servers = start_drill_daemons(&injector);
+        let endpoints: Vec<(Ipv4Addr, SocketAddr)> = servers
+            .iter()
+            .map(|(addr, server)| (*addr, server.local_addr()))
+            .collect();
+        let mut tier = drill_tier(&endpoints, E12_SHARDS, &injector);
+        let run = run_drill(&mut tier, &injector, &flows, |_, _| {});
+        for (_, server) in servers {
+            server.shutdown();
+        }
+        assert_rounds_bounded("brownout", &run);
+        assert!(
+            run.fail_closed_notes > 0,
+            "E12 brownout: deadline misses and breaker-open rounds must fail closed"
+        );
+        for (i, flow) in flows.iter().enumerate() {
+            if recovered(i) {
+                assert_eq!(
+                    run.verdicts[i], baseline.verdicts[i],
+                    "E12 brownout: verdicts must match the baseline after recovery (flow {flow})"
+                );
+            }
+        }
+        row("brownout", &run);
+    }
+
+    // --- Cell 3: shard loss — a shard removed (state evacuated) mid-run. --
+    {
+        let injector = FaultInjector::none();
+        let servers = start_drill_daemons(&injector);
+        let endpoints: Vec<(Ipv4Addr, SocketAddr)> = servers
+            .iter()
+            .map(|(addr, server)| (*addr, server.local_addr()))
+            .collect();
+        let mut tier = drill_tier(&endpoints, E12_SHARDS, &injector);
+        let run = run_drill(&mut tier, &injector, &flows, |round, tier| {
+            if round == fault_from {
+                tier.remove_shard(1);
+            }
+        });
+        assert_rounds_bounded("shard-loss", &run);
+        assert_eq!(
+            run.verdicts, baseline.verdicts,
+            "E12 shard-loss: evacuating a shard must not change any decision"
+        );
+        assert_eq!(
+            run.fail_closed_notes, 0,
+            "E12 shard-loss: losing a controller shard loses no answers"
+        );
+        assert_eq!(
+            run.state_entries, baseline.state_entries,
+            "E12 shard-loss: state entries lost or duplicated in the handoff"
+        );
+        assert_state_owned("shard-loss", &tier);
+        for (_, server) in servers {
+            server.shutdown();
+        }
+        row("shard-loss", &run);
+    }
+
+    // --- Cell 4: reshard under load — grow, drain, and retire mid-run. ----
+    {
+        let injector = FaultInjector::none();
+        let servers = start_drill_daemons(&injector);
+        let endpoints: Vec<(Ipv4Addr, SocketAddr)> = servers
+            .iter()
+            .map(|(addr, server)| (*addr, server.local_addr()))
+            .collect();
+        let mut tier = drill_tier(&endpoints, E12_SHARDS, &injector);
+        let grow_at = fault_from;
+        let drain_at = fault_until;
+        let retire_at = recovered_from;
+        let run = run_drill(&mut tier, &injector, &flows, |round, tier| {
+            if round == grow_at {
+                tier.add_shard(drill_backend(&endpoints, &injector))
+                    .expect("add shard mid-run");
+            } else if round == drain_at {
+                tier.drain_shard(0);
+            } else if round == retire_at {
+                tier.remove_shard(0);
+            }
+        });
+        assert_rounds_bounded("reshard", &run);
+        assert_eq!(
+            run.verdicts, baseline.verdicts,
+            "E12 reshard: live membership changes must not change any decision"
+        );
+        assert_eq!(run.fail_closed_notes, 0, "E12 reshard: no fault injected");
+        assert_eq!(
+            run.state_entries, baseline.state_entries,
+            "E12 reshard: state entries lost or duplicated across handoffs"
+        );
+        assert_eq!(tier.epoch(), 3, "add + drain + remove = three epochs");
+        assert_state_owned("reshard", &tier);
+        for (_, server) in servers {
+            server.shutdown();
+        }
+        row("reshard", &run);
+    }
+
     rows
 }
 

@@ -86,6 +86,36 @@ impl AuditLog {
         &self.policy_notes
     }
 
+    /// Removes and returns every record satisfying the predicate, preserving
+    /// order — the audit half of a reshard handoff: when a key range moves
+    /// to another shard, its decision history moves with it so per-shard
+    /// logs keep answering "what did this shard decide about its flows".
+    pub fn extract_records_where<F: FnMut(&AuditRecord) -> bool>(
+        &mut self,
+        mut pred: F,
+    ) -> Vec<AuditRecord> {
+        let mut extracted = Vec::new();
+        self.records.retain(|record| {
+            if pred(record) {
+                extracted.push(record.clone());
+                false
+            } else {
+                true
+            }
+        });
+        extracted
+    }
+
+    /// Merges records previously taken by
+    /// [`AuditLog::extract_records_where`] into this log, keeping it
+    /// time-ordered. The sort is stable, so records this log already held
+    /// keep their relative order (and precede absorbed records of equal
+    /// time).
+    pub fn absorb_records(&mut self, records: Vec<AuditRecord>) {
+        self.records.extend(records);
+        self.records.sort_by_key(|record| record.time);
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -51,6 +51,7 @@ use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use identxx_daemon::FaultInjector;
 use identxx_net::QueryClient;
 use identxx_proto::{FiveTuple, Ipv4Addr, Query, Response};
 
@@ -172,6 +173,7 @@ pub trait QueryBackend: Send {
 pub struct InProcessBackend {
     directory: DaemonDirectory,
     stats: BackendStats,
+    fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl InProcessBackend {
@@ -185,7 +187,16 @@ impl InProcessBackend {
         InProcessBackend {
             directory,
             stats: BackendStats::default(),
+            fault_injector: None,
         }
+    }
+
+    /// Attaches a failure-drill fault injector: hosts inside an active
+    /// partition window are unreachable from this backend (the in-process
+    /// equivalent of the network partition seen from the query plane).
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> InProcessBackend {
+        self.fault_injector = Some(injector);
+        self
     }
 
     /// The daemon directory.
@@ -212,7 +223,15 @@ impl QueryBackend for InProcessBackend {
             let addr = target_addr(flow, target);
             self.stats.queries_sent += 1;
             responses.queries_issued += 1;
-            let answer = self.directory.query(addr, flow, keys);
+            let partitioned = self
+                .fault_injector
+                .as_ref()
+                .is_some_and(|injector| injector.unreachable(addr));
+            let answer = if partitioned {
+                None
+            } else {
+                self.directory.query(addr, flow, keys)
+            };
             match &answer {
                 Some(_) => self.stats.responses_received += 1,
                 None => self.stats.timeouts += 1,
@@ -262,6 +281,7 @@ impl QueryBackend for InProcessBackend {
 pub struct SharedDirectoryBackend {
     directory: Arc<Mutex<DaemonDirectory>>,
     stats: BackendStats,
+    fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl SharedDirectoryBackend {
@@ -270,7 +290,16 @@ impl SharedDirectoryBackend {
         SharedDirectoryBackend {
             directory,
             stats: BackendStats::default(),
+            fault_injector: None,
         }
+    }
+
+    /// Attaches a failure-drill fault injector: hosts inside an active
+    /// partition window are unreachable from *this* backend (per-shard
+    /// injectors model a partition that cuts one shard off).
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> SharedDirectoryBackend {
+        self.fault_injector = Some(injector);
+        self
     }
 
     /// A fresh shared directory plus the first backend over it; equip other
@@ -299,11 +328,18 @@ impl QueryBackend for SharedDirectoryBackend {
             let addr = target_addr(flow, target);
             self.stats.queries_sent += 1;
             responses.queries_issued += 1;
-            let answer = self
-                .directory
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .query(addr, flow, keys);
+            let partitioned = self
+                .fault_injector
+                .as_ref()
+                .is_some_and(|injector| injector.unreachable(addr));
+            let answer = if partitioned {
+                None
+            } else {
+                self.directory
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .query(addr, flow, keys)
+            };
             match &answer {
                 Some(_) => self.stats.responses_received += 1,
                 None => self.stats.timeouts += 1,
@@ -339,6 +375,47 @@ impl QueryBackend for SharedDirectoryBackend {
 /// setup blocks on the slower of the two round trips.
 pub const DEFAULT_QUERY_BUDGET: Duration = Duration::from_secs(2);
 
+/// Per-host circuit breaker configuration for [`NetworkBackend`].
+///
+/// A host that misses `failure_threshold` consecutive query rounds (every
+/// answer `None`: dead endpoint, deadline misses, silence) trips its breaker
+/// **open**: the backend stops querying it, so a browned-out or dead host
+/// costs nothing instead of a full deadline every round. After
+/// `cooldown_rounds` skipped rounds the breaker goes **half-open**: the next
+/// round probes the host normally — one answered query closes the breaker,
+/// another all-miss round reopens it. States and transitions are documented
+/// in DESIGN.md §9.
+///
+/// The breaker is opt-in ([`NetworkBackend::with_breaker`]): with it off the
+/// backend keeps the historical always-query behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive all-miss rounds before the breaker opens.
+    pub failure_threshold: u32,
+    /// Rounds the host is skipped before a half-open probe.
+    pub cooldown_rounds: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_rounds: 8,
+        }
+    }
+}
+
+/// One host's breaker state (see [`BreakerConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Queries flow normally; counts consecutive all-miss rounds.
+    Closed { consecutive_misses: u32 },
+    /// The host is skipped for `remaining` more rounds.
+    Open { remaining: u32 },
+    /// The next round is a probe: answered → closed, all-miss → reopen.
+    HalfOpen,
+}
+
 /// The deployment-shaped query plane: each end-host's daemon is a TCP
 /// endpoint (port 783 in a real deployment), queried through `identxx-net`.
 ///
@@ -358,6 +435,11 @@ pub struct NetworkBackend {
     clients: BTreeMap<Ipv4Addr, QueryClient>,
     budget: Duration,
     stats: BackendStats,
+    /// Per-host circuit breaking; `None` = historical always-query mode.
+    breaker: Option<BreakerConfig>,
+    breakers: BTreeMap<Ipv4Addr, BreakerState>,
+    /// Failure-drill partitions (hosts unreachable from this backend).
+    fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl NetworkBackend {
@@ -368,6 +450,9 @@ impl NetworkBackend {
             clients: BTreeMap::new(),
             budget: DEFAULT_QUERY_BUDGET,
             stats: BackendStats::default(),
+            breaker: None,
+            breakers: BTreeMap::new(),
+            fault_injector: None,
         }
     }
 
@@ -375,6 +460,96 @@ impl NetworkBackend {
     pub fn with_budget(mut self, budget: Duration) -> NetworkBackend {
         self.budget = budget;
         self
+    }
+
+    /// Enables the per-host circuit breaker (builder style). See
+    /// [`BreakerConfig`].
+    pub fn with_breaker(mut self, config: BreakerConfig) -> NetworkBackend {
+        self.breaker = Some(config);
+        self
+    }
+
+    /// Attaches a failure-drill fault injector: hosts inside an active
+    /// partition window are unreachable from this backend. Per-shard
+    /// injectors model a partition (or a shard-wide outage) that cuts one
+    /// shard's query plane off while others keep answering.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> NetworkBackend {
+        self.fault_injector = Some(injector);
+        self
+    }
+
+    /// Whether `host`'s breaker is currently open (the host is being
+    /// skipped). Always `false` with the breaker disabled.
+    pub fn breaker_is_open(&self, host: Ipv4Addr) -> bool {
+        matches!(self.breakers.get(&host), Some(BreakerState::Open { .. }))
+    }
+
+    /// The breaker state for `host`, for drills and reports:
+    /// `"closed"`, `"open"`, or `"half-open"`.
+    pub fn breaker_state_name(&self, host: Ipv4Addr) -> &'static str {
+        match self.breakers.get(&host) {
+            None | Some(BreakerState::Closed { .. }) => "closed",
+            Some(BreakerState::Open { .. }) => "open",
+            Some(BreakerState::HalfOpen) => "half-open",
+        }
+    }
+
+    /// Whether the breaker admits queries to `host` this round. Advances an
+    /// open breaker's cooldown; after the last cooldown round it parks in
+    /// half-open so the *next* round probes.
+    fn breaker_admits(&mut self, host: Ipv4Addr) -> bool {
+        if self.breaker.is_none() {
+            return true;
+        }
+        let state = self.breakers.entry(host).or_insert(BreakerState::Closed {
+            consecutive_misses: 0,
+        });
+        match state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { remaining } => {
+                *remaining = remaining.saturating_sub(1);
+                if *remaining == 0 {
+                    *state = BreakerState::HalfOpen;
+                }
+                false
+            }
+        }
+    }
+
+    /// Records the outcome of a round in which `host` was actually queried.
+    fn breaker_record(&mut self, host: Ipv4Addr, any_response: bool) {
+        let Some(config) = self.breaker else {
+            return;
+        };
+        let state = self.breakers.entry(host).or_insert(BreakerState::Closed {
+            consecutive_misses: 0,
+        });
+        *state = if any_response {
+            BreakerState::Closed {
+                consecutive_misses: 0,
+            }
+        } else {
+            match *state {
+                BreakerState::Closed { consecutive_misses } => {
+                    let misses = consecutive_misses + 1;
+                    if misses >= config.failure_threshold.max(1) {
+                        BreakerState::Open {
+                            remaining: config.cooldown_rounds.max(1),
+                        }
+                    } else {
+                        BreakerState::Closed {
+                            consecutive_misses: misses,
+                        }
+                    }
+                }
+                // A failed half-open probe reopens for a full cooldown.
+                BreakerState::HalfOpen => BreakerState::Open {
+                    remaining: config.cooldown_rounds.max(1),
+                },
+                // Open hosts are never queried; keep the countdown.
+                open @ BreakerState::Open { .. } => open,
+            }
+        };
     }
 
     /// Maps a host address to the socket address its daemon listens on
@@ -388,8 +563,10 @@ impl NetworkBackend {
     /// Maps (or remaps) a host address to its daemon's socket address.
     pub fn register_endpoint(&mut self, host: Ipv4Addr, endpoint: SocketAddr) {
         self.endpoints.insert(host, endpoint);
-        // A remap invalidates any pooled connection to the old endpoint.
+        // A remap invalidates any pooled connection to the old endpoint —
+        // and any breaker history: the new endpoint earns a clean slate.
         self.clients.remove(&host);
+        self.breakers.remove(&host);
     }
 
     /// The shared per-decision query budget.
@@ -490,9 +667,22 @@ impl QueryBackend for NetworkBackend {
 
         // Lift each involved host's pooled client out of the map (created on
         // first use). Hosts with no registered endpoint have no transport at
-        // all; their slots stay `None`.
+        // all; their slots stay `None`. The same applies to hosts behind an
+        // active drill partition, and to hosts whose circuit breaker is open
+        // — skipping them is the breaker's entire point: an unanswerable
+        // host costs nothing instead of a deadline every round.
         let mut work: Vec<HostShare> = Vec::new();
         for (addr, entries) in per_host {
+            if self
+                .fault_injector
+                .as_ref()
+                .is_some_and(|injector| injector.unreachable(addr))
+            {
+                continue;
+            }
+            if !self.breaker_admits(addr) {
+                continue;
+            }
             let Some(endpoint) = self.endpoints.get(&addr) else {
                 continue;
             };
@@ -572,6 +762,7 @@ impl QueryBackend for NetworkBackend {
 
         for (share, answers) in results {
             self.clients.insert(share.addr, share.client);
+            self.breaker_record(share.addr, answers.iter().any(|a| a.is_some()));
             for ((i, target), answer) in share.entries.into_iter().zip(answers) {
                 responses[i].set(target, answer);
             }
@@ -919,6 +1110,122 @@ mod tests {
             assert_eq!(b.dst.is_some(), s.dst.is_some());
         }
         assert_eq!(batched.stats(), sequential.stats());
+    }
+
+    #[tokio::test]
+    async fn breaker_opens_after_consecutive_misses_and_recovers_via_half_open() {
+        use identxx_net::DaemonServer;
+        // A healthy server whose daemon is silent: every round connects fine
+        // but yields no answer — the all-miss shape that must trip the
+        // breaker without any endpoint churn.
+        let h1 = Ipv4Addr::new(10, 0, 0, 1);
+        let mut daemon = Daemon::bare(Host::new("h1", h1));
+        let exe = Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser");
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("alice", exe, 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        daemon.set_silent(true);
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut backend = NetworkBackend::new()
+            .with_budget(Duration::from_millis(500))
+            .with_endpoint(h1, server.local_addr())
+            .with_breaker(BreakerConfig {
+                failure_threshold: 2,
+                cooldown_rounds: 1,
+            });
+
+        let src_only = &[QueryTarget::Source][..];
+        assert_eq!(backend.breaker_state_name(h1), "closed");
+        assert!(backend.query_flow(&flow, src_only, &[]).src.is_none());
+        assert_eq!(backend.breaker_state_name(h1), "closed");
+        assert!(backend.query_flow(&flow, src_only, &[]).src.is_none());
+        assert!(backend.breaker_is_open(h1), "two misses must open");
+        let served_before_skip = server.queries_served();
+
+        // Open round: the host is skipped entirely (no wire traffic), the
+        // slot is still an unanswered query, and the breaker parks half-open.
+        assert!(backend.query_flow(&flow, src_only, &[]).src.is_none());
+        assert_eq!(server.queries_served(), served_before_skip);
+        assert_eq!(backend.breaker_state_name(h1), "half-open");
+
+        // The daemon recovers; the half-open probe closes the breaker.
+        server.daemon().lock().await.set_silent(false);
+        let probed = backend.query_flow(&flow, src_only, &[]);
+        assert!(probed.src.is_some(), "half-open probe must reach the host");
+        assert_eq!(backend.breaker_state_name(h1), "closed");
+        // Timeouts were charged for every unanswered round, probes included.
+        assert_eq!(backend.stats().queries_sent, 4);
+        assert_eq!(backend.stats().timeouts, 3);
+        assert_eq!(backend.stats().responses_received, 1);
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn breaker_reopens_when_the_half_open_probe_fails() {
+        use identxx_net::DaemonServer;
+        let h1 = Ipv4Addr::new(10, 0, 0, 1);
+        let mut daemon = Daemon::bare(Host::new("h1", h1));
+        daemon.set_silent(true);
+        let flow = FiveTuple::tcp(h1, 40000, [10, 0, 0, 2], 80);
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut backend = NetworkBackend::new()
+            .with_budget(Duration::from_millis(500))
+            .with_endpoint(h1, server.local_addr())
+            .with_breaker(BreakerConfig {
+                failure_threshold: 1,
+                cooldown_rounds: 2,
+            });
+        let src_only = &[QueryTarget::Source][..];
+        backend.query_flow(&flow, src_only, &[]); // miss → open(2)
+        assert!(backend.breaker_is_open(h1));
+        backend.query_flow(&flow, src_only, &[]); // skipped, open(1)
+        assert!(backend.breaker_is_open(h1));
+        backend.query_flow(&flow, src_only, &[]); // skipped → half-open
+        assert_eq!(backend.breaker_state_name(h1), "half-open");
+        backend.query_flow(&flow, src_only, &[]); // failed probe → reopen
+        assert!(backend.breaker_is_open(h1));
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn drill_partition_cuts_a_host_off_until_the_window_ends() {
+        use identxx_daemon::{FaultPlan, Window};
+        use identxx_net::DaemonServer;
+        let h1 = Ipv4Addr::new(10, 0, 0, 1);
+        let mut daemon = Daemon::bare(Host::new("h1", h1));
+        let exe = Executable::new("/usr/bin/firefox", "firefox", 300, "mozilla", "browser");
+        let flow =
+            daemon
+                .host_mut()
+                .open_connection("alice", exe, 40000, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let injector = FaultPlan::new(1)
+            .partition(h1, Window::between(100, 200))
+            .injector();
+        let mut backend = NetworkBackend::new()
+            .with_budget(Duration::from_millis(500))
+            .with_endpoint(h1, server.local_addr())
+            .with_fault_injector(Arc::clone(&injector));
+        let src_only = &[QueryTarget::Source][..];
+        assert!(backend.query_flow(&flow, src_only, &[]).src.is_some());
+        let served = server.queries_served();
+        injector.advance_to(150);
+        // Partition active: no wire traffic at all, slot unanswered.
+        assert!(backend.query_flow(&flow, src_only, &[]).src.is_none());
+        assert_eq!(server.queries_served(), served);
+        injector.advance_to(200);
+        assert!(
+            backend.query_flow(&flow, src_only, &[]).src.is_some(),
+            "connectivity returns the microsecond the window closes"
+        );
+        server.shutdown();
     }
 
     #[test]

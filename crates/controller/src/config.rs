@@ -42,6 +42,15 @@ pub struct ControllerConfig {
     /// notes; in debug builds it additionally panics unless this flag is set
     /// (the E8b locality sweep sets it deliberately).
     pub acknowledge_coarse_cache: bool,
+    /// Denies any flow whose identity queries went unanswered — a silent
+    /// daemon, a partitioned host, an open circuit breaker, a half-answered
+    /// batch frame — with an explicit `fail-closed` policy note instead of
+    /// evaluating the policy over the missing responses. The deny is never
+    /// cached, so decisions return to the baseline as soon as answers are
+    /// obtainable again. Off by default: the paper's default-deny policies
+    /// already block on missing identity, and experiments compare both
+    /// behaviours (DESIGN.md §9).
+    pub fail_closed_on_unanswered: bool,
 }
 
 impl Default for ControllerConfig {
@@ -57,6 +66,7 @@ impl Default for ControllerConfig {
             cache_granularity: CacheGranularity::ExactFiveTuple,
             install_drop_entries: true,
             acknowledge_coarse_cache: false,
+            fail_closed_on_unanswered: false,
         }
     }
 }
@@ -116,6 +126,14 @@ impl ControllerConfig {
     /// [`acknowledge_coarse_cache`](Self::acknowledge_coarse_cache).
     pub fn with_coarse_cache_acknowledged(mut self) -> Self {
         self.acknowledge_coarse_cache = true;
+        self
+    }
+
+    /// Denies flows with unanswered identity queries outright (builder
+    /// style); see
+    /// [`fail_closed_on_unanswered`](Self::fail_closed_on_unanswered).
+    pub fn with_fail_closed_on_unanswered(mut self) -> Self {
+        self.fail_closed_on_unanswered = true;
         self
     }
 

@@ -398,6 +398,17 @@ impl IdentxxController {
         } else {
             0
         };
+        if self.config.fail_closed_on_unanswered
+            && Self::queried_but_unanswered(&targets[..target_count], &src_response, &dst_response)
+        {
+            return self.fail_closed_decision(
+                flow,
+                src_response,
+                dst_response,
+                queries_issued,
+                now,
+            );
+        }
         self.finish_decision(flow, src_response, dst_response, queries_issued, now)
     }
 
@@ -475,7 +486,23 @@ impl IdentxxController {
                     None => {
                         let src = p.src.or(queried.src);
                         let dst = p.dst.or(queried.dst);
-                        self.finish_decision(&p.flow, src, dst, queried.queries_issued, now)
+                        if self.config.fail_closed_on_unanswered
+                            && Self::queried_but_unanswered(
+                                &p.targets[..p.target_count],
+                                &src,
+                                &dst,
+                            )
+                        {
+                            self.fail_closed_decision(
+                                &p.flow,
+                                src,
+                                dst,
+                                queried.queries_issued,
+                                now,
+                            )
+                        } else {
+                            self.finish_decision(&p.flow, src, dst, queried.queries_issued, now)
+                        }
                     }
                 });
             }
@@ -625,6 +652,80 @@ impl IdentxxController {
         }
     }
 
+    /// Whether any end the backend was actually asked about (interceptor
+    /// answers never reach the backend) is still missing its response —
+    /// i.e. the query went out and nothing came back before the deadline.
+    fn queried_but_unanswered(
+        targets: &[QueryTarget],
+        src: &Option<Response>,
+        dst: &Option<Response>,
+    ) -> bool {
+        targets.iter().any(|target| match target {
+            QueryTarget::Source => src.is_none(),
+            QueryTarget::Destination => dst.is_none(),
+        })
+    }
+
+    /// The fail-closed deny: identity for one end of the flow was queried
+    /// and never answered, so instead of evaluating policy over a missing
+    /// response the controller denies outright, audits the decision, and
+    /// explains itself with a `fail-closed` policy note. The deny is **not**
+    /// written to the state table — the moment the daemon answers again the
+    /// flow is re-decided against the real policy (DESIGN.md §9).
+    fn fail_closed_decision(
+        &mut self,
+        flow: &FiveTuple,
+        src_response: Option<Response>,
+        dst_response: Option<Response>,
+        queries_issued: u32,
+        now: u64,
+    ) -> FlowDecision {
+        let verdict = Verdict {
+            decision: Decision::Block,
+            matched_rule: None,
+            matched_line: None,
+            keep_state: false,
+            quick: false,
+            rules_evaluated: 0,
+        };
+        let flow_mods = self.mods_for(flow, Decision::Block);
+        let latest = |r: &Option<Response>, key: &str| -> Option<String> {
+            r.as_ref().and_then(|r| r.latest(key)).map(str::to_string)
+        };
+        self.audit.push(AuditRecord {
+            time: now,
+            flow: *flow,
+            decision: Decision::Block,
+            matched_line: None,
+            from_cache: false,
+            src_user: latest(&src_response, well_known::USER_ID),
+            src_app: latest(&src_response, well_known::APP_NAME),
+            dst_user: latest(&dst_response, well_known::USER_ID),
+            dst_app: latest(&dst_response, well_known::APP_NAME),
+            rule_maker: None,
+            queries_issued,
+        });
+        self.audit.push_note(PolicyNote {
+            category: "fail-closed".to_string(),
+            line: 0,
+            message: format!(
+                "identity for {flow} unobtainable (src answered: {}, dst answered: {}): \
+                 denied fail-closed, decision not cached",
+                src_response.is_some(),
+                dst_response.is_some(),
+            ),
+        });
+        FlowDecision {
+            flow: *flow,
+            verdict,
+            src_response,
+            dst_response,
+            from_cache: false,
+            queries_issued,
+            flow_mods,
+        }
+    }
+
     /// Lets interceptors answer a query on behalf of one end; `Some` means
     /// the query must not be forwarded to the backend.
     fn intercepted_response(&mut self, flow: &FiveTuple, target: QueryTarget) -> Option<Response> {
@@ -667,6 +768,18 @@ impl IdentxxController {
     /// The controller's state table (read access, for tests and experiments).
     pub fn state_table(&self) -> &StateTable {
         &self.state
+    }
+
+    /// Mutable state-table access for the sharding layer's reshard handoff
+    /// (crate-internal: arbitrary external mutation would break the audit
+    /// log's story of how each entry came to be).
+    pub(crate) fn state_table_mut(&mut self) -> &mut StateTable {
+        &mut self.state
+    }
+
+    /// Mutable audit-log access for the sharding layer's reshard handoff.
+    pub(crate) fn audit_mut(&mut self) -> &mut AuditLog {
+        &mut self.audit
     }
 }
 
@@ -1125,6 +1238,110 @@ mod tests {
         // queried the reverse flow before the alias hit.
         assert_eq!(sequential.backend_stats().queries_sent, 2);
         assert_eq!(batched.backend_stats().queries_sent, 4);
+    }
+
+    #[test]
+    fn fail_closed_denies_half_answered_flows_and_recovers_uncached() {
+        // The source end answers "firefox" — enough for the pass rule — but
+        // the destination daemon is unreachable. Fail-closed mode must deny
+        // anyway, leave a policy note, and *not* cache the deny, so the flow
+        // passes the moment the destination answers again.
+        let config = || {
+            ControllerConfig::new()
+                .with_control_file(
+                    "00.control",
+                    "block all\npass all with eq(@src[name], firefox) keep state\n",
+                )
+                .with_fail_closed_on_unanswered()
+        };
+        let half_answered = Box::new(crate::backend::RecordingBackend::new().with_answer(
+            Ipv4Addr::new(10, 0, 0, 1),
+            vec![("name".to_string(), "firefox".to_string())],
+        ));
+        let mut controller = IdentxxController::new(config())
+            .unwrap()
+            .with_backend(half_answered);
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 41_000, [10, 0, 0, 2], 80);
+        let denied = controller.decide(&flow, 0);
+        assert!(!denied.is_pass());
+        assert_eq!(denied.verdict.matched_line, None);
+        assert_eq!(denied.queries_issued, 2);
+        assert!(denied.src_response.is_some() && denied.dst_response.is_none());
+        assert!(controller
+            .audit()
+            .policy_notes()
+            .iter()
+            .any(|n| n.category == "fail-closed"));
+        assert_eq!(controller.audit().records().len(), 1);
+        assert_eq!(controller.audit().records()[0].decision, Decision::Block);
+        // Not cached: the state table holds nothing for this flow.
+        assert_eq!(controller.state_table().len(), 0);
+        // The fault clears (the destination answers again): the very next
+        // decision follows the policy, no stale deny in the way.
+        controller.set_backend(Box::new(
+            crate::backend::RecordingBackend::new()
+                .with_answer(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    vec![("name".to_string(), "firefox".to_string())],
+                )
+                .with_answer(
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    vec![("name".to_string(), "httpd".to_string())],
+                ),
+        ));
+        let recovered = controller.decide(&flow, 10);
+        assert!(recovered.is_pass() && !recovered.from_cache);
+        let repeat = controller.decide(&flow, 20);
+        assert!(repeat.is_pass() && repeat.from_cache);
+    }
+
+    #[test]
+    fn fail_closed_applies_to_batched_rounds_too() {
+        let backend = || {
+            Box::new(
+                crate::backend::RecordingBackend::new()
+                    .with_answer(
+                        Ipv4Addr::new(10, 0, 0, 1),
+                        vec![("name".to_string(), "firefox".to_string())],
+                    )
+                    .with_answer(
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        vec![("name".to_string(), "httpd".to_string())],
+                    ),
+            )
+        };
+        let config = || {
+            ControllerConfig::new()
+                .with_control_file(
+                    "00.control",
+                    "block all\npass all with eq(@src[name], firefox) keep state\n",
+                )
+                .with_fail_closed_on_unanswered()
+        };
+        let mut batched = IdentxxController::new(config())
+            .unwrap()
+            .with_backend(backend());
+        let mut sequential = IdentxxController::new(config())
+            .unwrap()
+            .with_backend(backend());
+        let answered = FiveTuple::tcp([10, 0, 0, 1], 41_000, [10, 0, 0, 2], 80);
+        // 10.0.0.3 is scripted nowhere: its source query goes unanswered.
+        let orphaned = FiveTuple::tcp([10, 0, 0, 3], 41_001, [10, 0, 0, 2], 80);
+        let flows = [answered, orphaned];
+        let batch = batched.decide_batch(&flows, 0);
+        let seq: Vec<FlowDecision> = flows.iter().map(|f| sequential.decide(f, 0)).collect();
+        for (b, s) in batch.iter().zip(&seq) {
+            assert_eq!(b.verdict.decision, s.verdict.decision);
+            assert_eq!(b.verdict.matched_line, s.verdict.matched_line);
+            assert_eq!(b.from_cache, s.from_cache);
+        }
+        assert!(batch[0].is_pass());
+        assert!(!batch[1].is_pass());
+        assert!(batched
+            .audit()
+            .policy_notes()
+            .iter()
+            .any(|n| n.category == "fail-closed"));
     }
 
     #[test]

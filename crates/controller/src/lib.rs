@@ -46,8 +46,8 @@ pub mod shard;
 
 pub use audit::{AuditLog, AuditRecord, PolicyNote};
 pub use backend::{
-    BackendStats, FlowRequest, FlowResponses, InProcessBackend, NetworkBackend, QueryBackend,
-    RecordingBackend, SharedDirectoryBackend,
+    BackendStats, BreakerConfig, FlowRequest, FlowResponses, InProcessBackend, NetworkBackend,
+    QueryBackend, RecordingBackend, SharedDirectoryBackend,
 };
 pub use config::ControllerConfig;
 pub use controller::{FlowDecision, IdentxxController};

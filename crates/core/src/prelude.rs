@@ -1,10 +1,13 @@
 //! Convenient re-exports for users of the ident++ reproduction.
 
 pub use identxx_controller::{
-    BackendStats, ControllerConfig, FlowDecision, IdentxxController, InProcessBackend,
-    NetworkBackend, NetworkMap, QueryBackend, QueryTarget, RecordingBackend,
+    BackendStats, BreakerConfig, ControllerConfig, FlowDecision, IdentxxController,
+    InProcessBackend, NetworkBackend, NetworkMap, QueryBackend, QueryTarget, RecordingBackend,
+    ShardedController,
 };
-pub use identxx_daemon::{appconfig::signed_app_config, AppConfig, Daemon};
+pub use identxx_daemon::{
+    appconfig::signed_app_config, AppConfig, Daemon, FaultInjector, FaultPlan, Window,
+};
 pub use identxx_hostmodel::{Executable, Host, User};
 pub use identxx_netsim::{LinkProps, Topology, WorkloadConfig, WorkloadGenerator};
 pub use identxx_openflow::{FlowMatch, FlowTable, OfAction, Switch};

@@ -1,11 +1,14 @@
 //! The ident++ daemon itself: query answering.
 
+use std::sync::Arc;
+
 use identxx_proto::{well_known, FiveTuple, Query, Response, Section};
 
 use identxx_hostmodel::{FlowOwner, Host};
 
 use crate::appconfig::{parse_app_configs, AppConfig};
 use crate::error::DaemonError;
+use crate::fault::FaultInjector;
 
 /// Whether the queried host is the source or the destination of the flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +42,10 @@ pub struct Daemon {
     response_delay_micros: u64,
     /// Number of queries answered (for the experiments' accounting).
     queries_answered: u64,
+    /// Scripted faults from a failure drill (DESIGN.md §9): silence windows,
+    /// brownout delays, and response drops consulted on every answer. `None`
+    /// outside drills — the common case pays one branch.
+    fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl Daemon {
@@ -56,6 +63,7 @@ impl Daemon {
             silent: false,
             response_delay_micros: 0,
             queries_answered: 0,
+            fault_injector: None,
         })
     }
 
@@ -68,6 +76,7 @@ impl Daemon {
             silent: false,
             response_delay_micros: 0,
             queries_answered: 0,
+            fault_injector: None,
         }
     }
 
@@ -134,6 +143,29 @@ impl Daemon {
         self.response_delay_micros
     }
 
+    /// The latency transports should actually charge right now: the
+    /// configured delay plus any active brownout from the fault injector.
+    pub fn effective_response_delay_micros(&self) -> u64 {
+        let extra = self
+            .fault_injector
+            .as_ref()
+            .map_or(0, |injector| injector.extra_delay_micros(self.host.addr));
+        self.response_delay_micros.saturating_add(extra)
+    }
+
+    /// Attaches (or clears) a failure-drill fault injector. Silence windows,
+    /// brownouts, and response drops scripted for this host take effect on
+    /// subsequent answers.
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        self.fault_injector = injector;
+    }
+
+    /// The attached fault injector, if any (transports consult it for
+    /// frame-level faults like batch reordering).
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fault_injector.clone()
+    }
+
     /// How many queries this daemon has answered.
     pub fn queries_answered(&self) -> u64 {
         self.queries_answered
@@ -164,8 +196,22 @@ impl Daemon {
         if self.silent {
             return Ok(None);
         }
+        if let Some(injector) = &self.fault_injector {
+            // A scripted silence window (daemon killed / churned out) looks
+            // exactly like a configured-silent daemon: no answer, no count.
+            if injector.silenced(self.host.addr) {
+                return Ok(None);
+            }
+        }
         let direction = self.direction_for(&query.flow)?;
         self.queries_answered += 1;
+        if let Some(injector) = &self.fault_injector {
+            // A dropped response: the daemon did the work (the query counts)
+            // but the answer never makes it out.
+            if injector.drop_response(self.host.addr) {
+                return Ok(None);
+            }
+        }
 
         let mut response = Response::new(query.flow);
 

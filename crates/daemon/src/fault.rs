@@ -1,0 +1,416 @@
+//! Deterministic fault injection for failure drills.
+//!
+//! The E12 drill suite (DESIGN.md §9) needs to kill daemons, partition the
+//! network, brown hosts out, and corrupt batch frames — *reproducibly*. A
+//! [`FaultPlan`] is a seedable script of faults, each active over a window of
+//! **logical time** (the same microsecond clock the controller's `decide`
+//! calls carry), compiled into a shared [`FaultInjector`] that the daemon,
+//! the TCP server, and the controller's query backends consult at their
+//! respective choke points:
+//!
+//! * [`FaultInjector::silenced`] — the daemon answers nothing (daemon killed,
+//!   churned out of the population),
+//! * [`FaultInjector::unreachable`] — the *controller side* refuses to reach
+//!   the host (network partition: connectivity loss, not host death),
+//! * [`FaultInjector::extra_delay_micros`] — inflated processing latency
+//!   (brownout: the host answers, but slower than the decision budget),
+//! * [`FaultInjector::drop_response`] — every `one_in`-th answer vanishes,
+//! * [`FaultInjector::duplicate_batch`] / [`FaultInjector::reorder_seed`] —
+//!   `RESPONSE-BATCH` frames carry duplicated / shuffled answers (the client
+//!   must re-match by flow, so neither may change a decision).
+//!
+//! There is **no wall clock** anywhere: the drill driver advances the
+//! injector's logical clock with [`FaultInjector::advance_to`] in lock-step
+//! with the flow timestamps it feeds the controller, and every probabilistic
+//! draw is a pure hash of `(seed, fault, event-counter)` — the same plan
+//! replays the same faults, which is what lets drills assert byte-identical
+//! decisions across runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use identxx_proto::Ipv4Addr;
+
+/// A half-open window `[from, until)` of logical microseconds during which a
+/// fault is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First microsecond the fault is active.
+    pub from: u64,
+    /// First microsecond the fault is no longer active (`u64::MAX` = open).
+    pub until: u64,
+}
+
+impl Window {
+    /// A window covering `[from, until)`.
+    pub fn between(from: u64, until: u64) -> Window {
+        Window { from, until }
+    }
+
+    /// A window from `from` that never ends.
+    pub fn from(from: u64) -> Window {
+        Window {
+            from,
+            until: u64::MAX,
+        }
+    }
+
+    /// The whole run.
+    pub fn always() -> Window {
+        Window {
+            from: 0,
+            until: u64::MAX,
+        }
+    }
+
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: u64) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// One scripted fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The host's daemon answers nothing: killed daemon, or a host churned
+    /// out of the population. The host is still reachable (connections open
+    /// and close without an answer — the silent-daemon wire shape).
+    Silence { host: Ipv4Addr, window: Window },
+    /// The controller cannot reach the host at all (network partition seen
+    /// from the query plane). The daemon itself is healthy.
+    Partition { host: Ipv4Addr, window: Window },
+    /// The host answers, but `extra_delay_micros` slower — a brownout that
+    /// turns answers into deadline misses without killing anything.
+    Brownout {
+        host: Ipv4Addr,
+        extra_delay_micros: u64,
+        window: Window,
+    },
+    /// Every `one_in`-th answer from the host is dropped before it is sent.
+    DropResponse {
+        host: Ipv4Addr,
+        one_in: u64,
+        window: Window,
+    },
+    /// `RESPONSE-BATCH` frames from the host carry a duplicated answer.
+    DuplicateBatchAnswer { host: Ipv4Addr, window: Window },
+    /// `RESPONSE-BATCH` frames from the host arrive with their answers
+    /// shuffled (the protocol matches by flow, so order must not matter).
+    ReorderBatch { host: Ipv4Addr, window: Window },
+}
+
+impl Fault {
+    fn host(&self) -> Ipv4Addr {
+        match self {
+            Fault::Silence { host, .. }
+            | Fault::Partition { host, .. }
+            | Fault::Brownout { host, .. }
+            | Fault::DropResponse { host, .. }
+            | Fault::DuplicateBatchAnswer { host, .. }
+            | Fault::ReorderBatch { host, .. } => *host,
+        }
+    }
+
+    fn window(&self) -> Window {
+        match self {
+            Fault::Silence { window, .. }
+            | Fault::Partition { window, .. }
+            | Fault::Brownout { window, .. }
+            | Fault::DropResponse { window, .. }
+            | Fault::DuplicateBatchAnswer { window, .. }
+            | Fault::ReorderBatch { window, .. } => *window,
+        }
+    }
+}
+
+/// A seedable script of faults. Build one with the fluent methods, then
+/// compile it into the shared [`FaultInjector`] with [`FaultPlan::injector`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given jitter/draw seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds an arbitrary fault.
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Silences `host` (daemon killed / churned out) during `window`.
+    pub fn silence(self, host: Ipv4Addr, window: Window) -> FaultPlan {
+        self.with(Fault::Silence { host, window })
+    }
+
+    /// Partitions `host` away from the controller during `window`.
+    pub fn partition(self, host: Ipv4Addr, window: Window) -> FaultPlan {
+        self.with(Fault::Partition { host, window })
+    }
+
+    /// Browns `host` out by `extra_delay_micros` during `window`.
+    pub fn brownout(self, host: Ipv4Addr, extra_delay_micros: u64, window: Window) -> FaultPlan {
+        self.with(Fault::Brownout {
+            host,
+            extra_delay_micros,
+            window,
+        })
+    }
+
+    /// Drops every `one_in`-th answer from `host` during `window`.
+    pub fn drop_responses(self, host: Ipv4Addr, one_in: u64, window: Window) -> FaultPlan {
+        self.with(Fault::DropResponse {
+            host,
+            one_in: one_in.max(1),
+            window,
+        })
+    }
+
+    /// Duplicates an answer in every batch frame from `host` during `window`.
+    pub fn duplicate_batch_answers(self, host: Ipv4Addr, window: Window) -> FaultPlan {
+        self.with(Fault::DuplicateBatchAnswer { host, window })
+    }
+
+    /// Shuffles the answers of every batch frame from `host` during `window`.
+    pub fn reorder_batches(self, host: Ipv4Addr, window: Window) -> FaultPlan {
+        self.with(Fault::ReorderBatch { host, window })
+    }
+
+    /// The scripted faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Compiles the plan into a shareable injector (logical clock at 0).
+    pub fn injector(self) -> Arc<FaultInjector> {
+        let counters = self.faults.iter().map(|_| AtomicU64::new(0)).collect();
+        Arc::new(FaultInjector {
+            seed: self.seed,
+            faults: self.faults,
+            counters,
+            clock: AtomicU64::new(0),
+        })
+    }
+}
+
+/// The compiled, shareable form of a [`FaultPlan`]: one logical clock, one
+/// monotone event counter per fault, and pure-hash draws — everything a
+/// daemon, server, or backend asks is a deterministic function of the plan
+/// and the sequence of events so far.
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    faults: Vec<Fault>,
+    /// One event counter per fault (drop draws, reorder shuffles).
+    counters: Vec<AtomicU64>,
+    /// Logical time in microseconds; only ever moves forward.
+    clock: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector with no faults (everything healthy). Useful as a default.
+    pub fn none() -> Arc<FaultInjector> {
+        FaultPlan::new(0).injector()
+    }
+
+    /// Advances the logical clock to `now_micros` (monotone: going backwards
+    /// is a no-op). Drill drivers call this in lock-step with the flow
+    /// timestamps they feed the controller.
+    pub fn advance_to(&self, now_micros: u64) {
+        self.clock.fetch_max(now_micros, Ordering::Release);
+    }
+
+    /// The current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+
+    fn active(&self, now: u64) -> impl Iterator<Item = (usize, &Fault)> {
+        self.faults
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.window().contains(now))
+    }
+
+    /// Whether `host`'s daemon is silenced right now.
+    pub fn silenced(&self, host: Ipv4Addr) -> bool {
+        let now = self.now();
+        self.active(now)
+            .any(|(_, f)| matches!(f, Fault::Silence { .. }) && f.host() == host)
+    }
+
+    /// Whether the controller is partitioned away from `host` right now.
+    pub fn unreachable(&self, host: Ipv4Addr) -> bool {
+        let now = self.now();
+        self.active(now)
+            .any(|(_, f)| matches!(f, Fault::Partition { .. }) && f.host() == host)
+    }
+
+    /// The total brownout delay currently inflicted on `host`.
+    pub fn extra_delay_micros(&self, host: Ipv4Addr) -> u64 {
+        let now = self.now();
+        self.active(now)
+            .filter(|(_, f)| f.host() == host)
+            .map(|(_, f)| match f {
+                Fault::Brownout {
+                    extra_delay_micros, ..
+                } => *extra_delay_micros,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Whether the next answer from `host` should be dropped. Consumes one
+    /// event from the drop fault's counter: the decision sequence is
+    /// deterministic in the plan seed and the number of prior answers.
+    pub fn drop_response(&self, host: Ipv4Addr) -> bool {
+        let now = self.now();
+        for (i, fault) in self.active(now) {
+            if let Fault::DropResponse { one_in, .. } = fault {
+                if fault.host() == host {
+                    let n = self.counters[i].fetch_add(1, Ordering::Relaxed);
+                    let draw = splitmix64(self.seed ^ hash_host(host) ^ n);
+                    if draw.is_multiple_of(*one_in) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether batch frames from `host` should carry a duplicated answer.
+    pub fn duplicate_batch(&self, host: Ipv4Addr) -> bool {
+        let now = self.now();
+        self.active(now)
+            .any(|(_, f)| matches!(f, Fault::DuplicateBatchAnswer { .. }) && f.host() == host)
+    }
+
+    /// When batch frames from `host` should be shuffled, a fresh per-frame
+    /// shuffle seed (deterministic in the plan seed and frame count);
+    /// otherwise `None`.
+    pub fn reorder_seed(&self, host: Ipv4Addr) -> Option<u64> {
+        let now = self.now();
+        for (i, fault) in self.active(now) {
+            if matches!(fault, Fault::ReorderBatch { .. }) && fault.host() == host {
+                let n = self.counters[i].fetch_add(1, Ordering::Relaxed);
+                return Some(splitmix64(self.seed ^ hash_host(host).rotate_left(23) ^ n));
+            }
+        }
+        None
+    }
+
+    /// Fisher–Yates shuffle with a deterministic seed — the helper servers
+    /// use to scramble batch answers under a [`Fault::ReorderBatch`].
+    pub fn shuffle<T>(items: &mut [T], mut seed: u64) {
+        for i in (1..items.len()).rev() {
+            seed = splitmix64(seed);
+            items.swap(i, (seed % (i as u64 + 1)) as usize);
+        }
+    }
+}
+
+fn hash_host(host: Ipv4Addr) -> u64 {
+    let o = host.octets();
+    u64::from(o[0]) << 24 | u64::from(o[1]) << 16 | u64::from(o[2]) << 8 | u64::from(o[3])
+}
+
+/// The splitmix64 finalizer: a cheap, well-mixed pure hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn windows_gate_faults_on_the_logical_clock() {
+        let injector = FaultPlan::new(7)
+            .silence(host(1), Window::between(100, 200))
+            .partition(host(2), Window::from(500))
+            .brownout(host(3), 40_000, Window::always())
+            .injector();
+        assert!(!injector.silenced(host(1)), "fault not active at t=0");
+        injector.advance_to(150);
+        assert!(injector.silenced(host(1)));
+        assert!(!injector.silenced(host(2)), "faults are per-host");
+        assert!(!injector.unreachable(host(2)), "partition starts at 500");
+        assert_eq!(injector.extra_delay_micros(host(3)), 40_000);
+        injector.advance_to(200);
+        assert!(!injector.silenced(host(1)), "window is half-open");
+        injector.advance_to(500);
+        assert!(injector.unreachable(host(2)));
+        // The clock never goes backwards.
+        injector.advance_to(100);
+        assert_eq!(injector.now(), 500);
+        assert!(injector.unreachable(host(2)));
+    }
+
+    #[test]
+    fn drop_draws_are_deterministic_and_roughly_proportional() {
+        let drops = |seed: u64| -> Vec<bool> {
+            let injector = FaultPlan::new(seed)
+                .drop_responses(host(1), 4, Window::always())
+                .injector();
+            (0..64).map(|_| injector.drop_response(host(1))).collect()
+        };
+        assert_eq!(drops(42), drops(42), "same seed replays the same drops");
+        assert_ne!(drops(42), drops(43), "different seeds differ");
+        let dropped = drops(42).iter().filter(|d| **d).count();
+        assert!(
+            (4..=32).contains(&dropped),
+            "one-in-4 over 64 draws should drop a plausible share, got {dropped}"
+        );
+        // Other hosts are untouched and consume no draws.
+        let injector = FaultPlan::new(42)
+            .drop_responses(host(1), 2, Window::always())
+            .injector();
+        assert!(!injector.drop_response(host(9)));
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_a_permutation() {
+        let mut a: Vec<u32> = (0..16).collect();
+        let mut b: Vec<u32> = (0..16).collect();
+        FaultInjector::shuffle(&mut a, 99);
+        FaultInjector::shuffle(&mut b, 99);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<u32>>());
+        assert_ne!(a, sorted, "a 16-element shuffle should actually move");
+    }
+
+    #[test]
+    fn reorder_seed_changes_per_frame_but_replays_per_plan() {
+        let build = || {
+            FaultPlan::new(5)
+                .reorder_batches(host(4), Window::always())
+                .injector()
+        };
+        let one = build();
+        let s1 = one.reorder_seed(host(4)).unwrap();
+        let s2 = one.reorder_seed(host(4)).unwrap();
+        assert_ne!(s1, s2, "each frame gets its own shuffle");
+        let two = build();
+        assert_eq!(two.reorder_seed(host(4)).unwrap(), s1);
+        assert_eq!(two.reorder_seed(host(4)).unwrap(), s2);
+        assert!(one.reorder_seed(host(9)).is_none());
+    }
+}

@@ -25,7 +25,9 @@
 pub mod appconfig;
 pub mod daemon;
 pub mod error;
+pub mod fault;
 
 pub use appconfig::{parse_app_configs, signed_app_config, AppConfig};
 pub use daemon::{Daemon, QueryDirection};
 pub use error::DaemonError;
+pub use fault::{Fault, FaultInjector, FaultPlan, Window};

@@ -10,6 +10,7 @@ use tokio::net::TcpStream;
 use tokio::time::timeout;
 
 use crate::framing::{read_message, write_message};
+use crate::retry::RetryPolicy;
 
 /// How long the controller waits for a daemon before concluding the host will
 /// not answer. A short bound matters: flow setup blocks on this round trip.
@@ -63,6 +64,10 @@ pub struct QueryClient {
     addr: SocketAddr,
     stream: Option<TcpStream>,
     buf: BytesMut,
+    retry: RetryPolicy,
+    /// Exchanges completed so far — the jitter salt, so successive retries
+    /// against the same host land on different schedule points.
+    exchanges: u64,
 }
 
 impl std::fmt::Debug for QueryClient {
@@ -82,7 +87,21 @@ impl QueryClient {
             addr,
             stream: None,
             buf: BytesMut::new(),
+            retry: RetryPolicy::default(),
+            exchanges: 0,
         }
+    }
+
+    /// Replaces the retry policy (default: [`RetryPolicy::default`], three
+    /// jittered attempts). Both the singleton and batch paths go through it.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> QueryClient {
+        self.retry = policy;
+        self
+    }
+
+    /// The retry policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The daemon endpoint this client queries.
@@ -222,30 +241,49 @@ impl QueryClient {
         self.buf.clear();
     }
 
-    /// One request/response round trip with the transparent stale-connection
-    /// retry: a pooled connection may have been closed by the server since
-    /// the last query; only a *reused* connection earns the second attempt,
-    /// so fresh-connection failures surface directly.
+    /// One request/response round trip, driven through the client's
+    /// [`RetryPolicy`].
+    ///
+    /// Two kinds of retry compose here. A *reused* pooled connection that
+    /// fails gets one free immediate reconnect — the server may simply have
+    /// dropped the idle socket since the last query, which says nothing
+    /// about the daemon's health, so it neither consumes an attempt nor
+    /// backs off. Genuine fresh-connection failures (refused, reset
+    /// mid-exchange) consume attempts from the policy, with the jittered
+    /// exponential backoff slept between them and the whole schedule capped
+    /// by `deadline`: when the next backoff would overrun it, or the
+    /// attempts are spent, the last error surfaces.
     async fn exchange(
         &mut self,
         request: &WireMessage,
         deadline: Instant,
     ) -> io::Result<Option<WireMessage>> {
-        for _ in 0..2 {
+        let salt = self.exchanges;
+        self.exchanges = self.exchanges.wrapping_add(1);
+        let mut attempts = 0u32;
+        loop {
             let reused = self.stream.is_some();
             match self.attempt(request, deadline).await {
                 Ok(outcome) => return Ok(outcome),
                 Err(err) if reused => {
+                    // Free retry: a stale pooled connection is not a failed
+                    // daemon. The next iteration runs on a fresh connection.
                     self.disconnect();
                     let _ = err;
                 }
                 Err(err) => {
                     self.disconnect();
-                    return Err(err);
+                    attempts += 1;
+                    if !self.retry.allows_retry(attempts, Some(deadline), salt) {
+                        return Err(err);
+                    }
+                    let delay = self.retry.delay_before(attempts, salt);
+                    if !delay.is_zero() {
+                        tokio::time::sleep(delay).await;
+                    }
                 }
             }
         }
-        unreachable!("second attempt always runs on a fresh connection")
     }
 
     /// One attempt at the exchange: (re)connect if needed, send the frame,

@@ -40,8 +40,10 @@
 
 pub mod client;
 pub mod framing;
+pub mod retry;
 pub mod server;
 
 pub use client::{query_daemon, QueryClient};
 pub use framing::{read_message, write_message};
+pub use retry::RetryPolicy;
 pub use server::DaemonServer;

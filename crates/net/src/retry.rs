@@ -1,0 +1,236 @@
+//! Deterministic jittered-backoff retry policy for the query plane.
+//!
+//! Every retry loop in the transport — the singleton and batch paths of
+//! [`QueryClient`](crate::QueryClient) alike — shares this one policy, so
+//! "how often do we hammer a failing daemon" is a single tunable instead of
+//! scattered `for _ in 0..2` loops. The schedule is exponential with **full
+//! jitter** (each delay drawn from `[raw/2, raw]`), but the draw is a pure
+//! hash of `(jitter_seed, salt, attempt)` — no wall clock, no RNG state —
+//! so a seeded run replays the exact same schedule. That determinism is what
+//! lets the E12 failure drills assert byte-identical decisions across runs.
+
+use std::time::{Duration, Instant};
+
+/// A retry schedule: how many attempts, and how long to back off between
+/// them.
+///
+/// `max_attempts` counts the first try, so `1` means "no retry". Delays
+/// grow `base_delay * 2^(retry-1)` capped at `max_delay`, then jittered
+/// deterministically from `jitter_seed` and the caller-supplied salt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, first try included. Never 0 (treated as 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff delay.
+    pub max_delay: Duration,
+    /// Seed mixed into the jitter hash. Two clients with different seeds
+    /// desynchronise their retries against the same dead host.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// The transport default: three attempts with a short jittered backoff.
+    /// Bounded enough that an unreachable host still fails well inside a
+    /// typical decision budget, patient enough to ride out a one-off refusal.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(50),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: one attempt, no delays.
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// `attempts` back-to-back tries with no backoff — the shape of a flake
+    /// workaround that re-runs a burst until one comes out clean.
+    pub fn immediate(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Replaces the attempt budget.
+    pub fn with_max_attempts(mut self, attempts: u32) -> RetryPolicy {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Replaces the backoff schedule.
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> RetryPolicy {
+        self.base_delay = base;
+        self.max_delay = max;
+        self
+    }
+
+    /// Replaces the jitter seed.
+    pub fn with_jitter_seed(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The jittered delay before retry number `retry` (1-based: the delay
+    /// between the first and second attempt is `delay_before(1, salt)`).
+    /// Deterministic in `(jitter_seed, salt, retry)`.
+    pub fn delay_before(&self, retry: u32, salt: u64) -> Duration {
+        if retry == 0 || self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = retry.saturating_sub(1).min(20);
+        let raw = self
+            .base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay)
+            .max(self.base_delay.min(self.max_delay));
+        // Full jitter over the top half: [raw/2, raw]. Drawn from a pure
+        // hash so the schedule replays under a fixed seed.
+        let raw_micros = raw.as_micros() as u64;
+        let half = raw_micros / 2;
+        let span = raw_micros - half;
+        let draw = splitmix64(
+            self.jitter_seed
+                ^ salt.rotate_left(17)
+                ^ u64::from(retry).wrapping_mul(0xd134_2543_de82_ef95),
+        );
+        Duration::from_micros(half + if span == 0 { 0 } else { draw % (span + 1) })
+    }
+
+    /// Whether another attempt is allowed after `made` attempts, and — when
+    /// a deadline is in play — whether its backoff still fits before it.
+    pub fn allows_retry(&self, made: u32, deadline: Option<Instant>, salt: u64) -> bool {
+        if made >= self.max_attempts.max(1) {
+            return false;
+        }
+        match deadline {
+            Some(deadline) => Instant::now() + self.delay_before(made, salt) < deadline,
+            None => true,
+        }
+    }
+
+    /// Drives a blocking operation through the schedule: `op` is called with
+    /// the attempt number (1-based) until it returns `Ok`, the attempts are
+    /// exhausted, or the backoff would overrun `deadline` (if any). Sleeps
+    /// the jittered delay between attempts. Returns the last error when
+    /// every attempt fails.
+    pub fn run_blocking<T, E>(
+        &self,
+        salt: u64,
+        deadline: Option<Instant>,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(err) => {
+                    if !self.allows_retry(attempt, deadline, salt) {
+                        return Err(err);
+                    }
+                    let delay = self.delay_before(attempt, salt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, well-mixed pure hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_capped() {
+        let policy = RetryPolicy::default();
+        for retry in 1..8 {
+            let a = policy.delay_before(retry, 42);
+            let b = policy.delay_before(retry, 42);
+            assert_eq!(a, b, "same seed and salt must replay the same delay");
+            assert!(a <= policy.max_delay, "delay must respect the cap");
+            let raw = policy
+                .base_delay
+                .saturating_mul(1u32 << (retry - 1).min(20))
+                .min(policy.max_delay);
+            assert!(a >= raw / 2, "full jitter stays in the top half");
+        }
+        // Different salts desynchronise.
+        let spread: std::collections::HashSet<Duration> =
+            (0..16).map(|salt| policy.delay_before(3, salt)).collect();
+        assert!(spread.len() > 1, "jitter must actually vary with the salt");
+    }
+
+    #[test]
+    fn immediate_policy_never_sleeps() {
+        let policy = RetryPolicy::immediate(3);
+        assert_eq!(policy.delay_before(1, 7), Duration::ZERO);
+        assert_eq!(policy.delay_before(2, 7), Duration::ZERO);
+    }
+
+    #[test]
+    fn run_blocking_retries_until_success() {
+        let policy = RetryPolicy::immediate(3);
+        let mut calls = 0u32;
+        let result: Result<u32, &str> = policy.run_blocking(0, None, |attempt| {
+            calls += 1;
+            if attempt < 3 {
+                Err("not yet")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result, Ok(3));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn run_blocking_surfaces_the_last_error() {
+        let policy = RetryPolicy::immediate(2);
+        let mut calls = 0u32;
+        let result: Result<(), u32> = policy.run_blocking(0, None, |attempt| {
+            calls += 1;
+            Err(attempt)
+        });
+        assert_eq!(result, Err(2));
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn deadline_stops_the_schedule() {
+        let policy = RetryPolicy::default().with_max_attempts(10);
+        let deadline = Instant::now() + Duration::from_millis(5);
+        let mut calls = 0u32;
+        let result: Result<(), &str> = policy.run_blocking(1, Some(deadline), |_| {
+            calls += 1;
+            std::thread::sleep(Duration::from_millis(3));
+            Err("down")
+        });
+        assert!(result.is_err());
+        assert!(calls < 10, "the deadline must cut the schedule short");
+    }
+}

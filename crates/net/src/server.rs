@@ -147,7 +147,9 @@ async fn serve_connection(
         // that is the latency argument for batching.
         let (reply, answered, delay_micros) = {
             let mut daemon = daemon.lock().await;
-            let delay_micros = daemon.response_delay_micros();
+            // Effective = configured + any active brownout from a failure
+            // drill's fault injector.
+            let delay_micros = daemon.effective_response_delay_micros();
             match &message {
                 WireMessage::Query(query) => match daemon.answer(query) {
                     Ok(Some(response)) => {
@@ -160,10 +162,24 @@ async fn serve_connection(
                     Ok(None) | Err(_) => (None, 0, delay_micros),
                 },
                 WireMessage::QueryBatch(queries) => {
-                    let answers: Vec<_> = queries
+                    let mut answers: Vec<_> = queries
                         .iter()
                         .filter_map(|q| daemon.answer(q).ok().flatten())
                         .collect();
+                    // Frame-level drill faults: the protocol matches answers
+                    // to queries by flow, so a shuffled or duplicated batch
+                    // must decide identically — drills prove it.
+                    if let Some(injector) = daemon.fault_injector() {
+                        let host = daemon.host().addr;
+                        if !answers.is_empty() {
+                            if let Some(seed) = injector.reorder_seed(host) {
+                                identxx_daemon::FaultInjector::shuffle(&mut answers, seed);
+                            }
+                            if injector.duplicate_batch(host) {
+                                answers.push(answers[0].clone());
+                            }
+                        }
+                    }
                     if answers.is_empty() {
                         // No information about any flow in the batch: the
                         // same close-without-answering shape as a silent

@@ -246,6 +246,46 @@ impl StateTable {
         self.entries.clear();
     }
 
+    /// Removes and returns every entry whose **stored key** satisfies the
+    /// predicate — the handoff half of live resharding. Keys are the
+    /// granularity-normalized tuples the table indexes by, so a router that
+    /// normalizes at least as coarsely routes a stored key exactly where it
+    /// routes the flows that produced it. Entries come back verbatim
+    /// (`created_at`, `expires_at`, `hits` untouched): a migrated entry must
+    /// behave on its new shard precisely as it would have on the old one.
+    pub fn extract_where<F: FnMut(&FiveTuple) -> bool>(
+        &mut self,
+        mut pred: F,
+    ) -> Vec<(FiveTuple, StateEntry)> {
+        let mut extracted = Vec::new();
+        self.entries.retain(|key, entry| {
+            if pred(key) {
+                extracted.push((*key, *entry));
+                false
+            } else {
+                true
+            }
+        });
+        extracted
+    }
+
+    /// Installs entries previously taken by [`StateTable::extract_where`]
+    /// under their original keys, verbatim. The absorbing table must use the
+    /// same granularity as the extracting one (the keys are already
+    /// normalized under it); callers hand entries between tables built from
+    /// one configuration, which guarantees that.
+    pub fn absorb(&mut self, entries: impl IntoIterator<Item = (FiveTuple, StateEntry)>) {
+        for (key, entry) in entries {
+            self.entries.insert(key, entry);
+        }
+    }
+
+    /// Every stored `(key, entry)` pair, in arbitrary order (drill suites
+    /// use this to prove resharding conserves entries).
+    pub fn entries(&self) -> impl Iterator<Item = (&FiveTuple, &StateEntry)> {
+        self.entries.iter()
+    }
+
     /// Number of (possibly expired) entries currently stored.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -9,6 +9,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use identxx_net::RetryPolicy;
 use identxx_pf::{parse_ruleset, CompiledPolicy, Decision, PolicyCompiler};
 use identxx_proto::{FiveTuple, Response, Section};
 
@@ -107,33 +108,40 @@ fn steady_state_compiled_evaluation_does_not_allocate() {
     assert!(expected.contains(&Decision::Pass));
     assert!(expected.contains(&Decision::Block));
 
-    // Measure up to three bursts and require one to be allocation-free: a
-    // genuine per-evaluation allocation shows up in *every* burst (50 000
-    // evaluations each), while a process-level one-time lazy init (stdio,
-    // unwinder, …) that happens to land inside the first window cannot
-    // repeat. This keeps the steady-state guarantee without flaking on
-    // environmental noise.
+    // Measure bursts through the transport's shared retry policy and require
+    // one to be allocation-free: a genuine per-evaluation allocation shows
+    // up in *every* burst (50 000 evaluations each), while a process-level
+    // one-time lazy init (stdio, unwinder, …) that happens to land inside
+    // the first window cannot repeat. `RetryPolicy::immediate(3)` is
+    // exactly the old hand-rolled three-burst loop — back-to-back attempts,
+    // no backoff sleeps that could themselves allocate inside the window.
     let mut burst_allocs = Vec::new();
-    for _attempt in 0..3 {
-        let before = ALLOCATIONS.load(Ordering::Relaxed);
-        let mut passes = 0u64;
-        for _ in 0..10_000 {
-            for (flow, want) in flows.iter().zip(&expected) {
-                let verdict = compiled.evaluate(flow, Some(&src), Some(&dst));
-                assert!(verdict.decision == *want);
-                if verdict.decision.is_pass() {
-                    passes += 1;
+    RetryPolicy::immediate(3)
+        .run_blocking(0, None, |_attempt| {
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            let mut passes = 0u64;
+            for _ in 0..10_000 {
+                for (flow, want) in flows.iter().zip(&expected) {
+                    let verdict = compiled.evaluate(flow, Some(&src), Some(&dst));
+                    assert!(verdict.decision == *want);
+                    if verdict.decision.is_pass() {
+                        passes += 1;
+                    }
                 }
             }
-        }
-        let after = ALLOCATIONS.load(Ordering::Relaxed);
-        assert!(std::hint::black_box(passes) > 0);
-        burst_allocs.push(after - before);
-        if after == before {
-            return;
-        }
-    }
-    panic!(
-        "compiled evaluation allocated on the steady-state path in every burst: {burst_allocs:?}"
-    );
+            let after = ALLOCATIONS.load(Ordering::Relaxed);
+            assert!(std::hint::black_box(passes) > 0);
+            burst_allocs.push(after - before);
+            if after == before {
+                Ok(())
+            } else {
+                Err(after - before)
+            }
+        })
+        .unwrap_or_else(|_| {
+            panic!(
+                "compiled evaluation allocated on the steady-state path in every burst: \
+                 {burst_allocs:?}"
+            )
+        });
 }

@@ -165,6 +165,250 @@ async fn in_process_and_network_backends_decide_identically() {
     }
 }
 
+/// Fail-closed mode is transport-independent: with
+/// `fail_closed_on_unanswered` set, the in-process and network controllers
+/// still decide identically over the whole scenario — silent, unreachable,
+/// and unknown hosts all produce the explicit fail-closed deny (no matched
+/// line, never cached) plus a `fail-closed` policy note, on both
+/// transports.
+#[tokio::test]
+async fn fail_closed_is_equivalent_across_backends() {
+    let scenario_a = scenario();
+    let scenario_b = scenario();
+
+    let config = ControllerConfig::new()
+        .with_control_file("00.control", POLICY)
+        .with_fail_closed_on_unanswered();
+    let mut in_process = IdentxxController::new(config.clone()).unwrap();
+    for daemon in scenario_a.daemons {
+        if daemon.host().addr != Ipv4Addr::new(10, 0, 0, 4) {
+            in_process.register_daemon(daemon);
+        }
+    }
+
+    let mut servers = Vec::new();
+    let mut backend = NetworkBackend::new().with_budget(Duration::from_millis(500));
+    for daemon in scenario_b.daemons {
+        let addr = daemon.host().addr;
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        backend.register_endpoint(addr, server.local_addr());
+        if addr == Ipv4Addr::new(10, 0, 0, 4) {
+            server.shutdown();
+        } else {
+            servers.push(server);
+        }
+    }
+    let mut network = IdentxxController::new(config)
+        .unwrap()
+        .with_backend(Box::new(backend));
+
+    let flows = scenario().flows;
+    for (i, flow) in flows.iter().enumerate() {
+        let now = (i as u64) * 10;
+        let a = in_process.decide(flow, now);
+        let b = network.decide(flow, now);
+        assert_eq!(
+            digest(&a),
+            digest(&b),
+            "fail-closed decision {i} diverged between backends for {flow}"
+        );
+    }
+    assert_eq!(in_process.backend_stats(), network.backend_stats());
+    assert_eq!(in_process.audit().records(), network.audit().records());
+
+    // The silent-source flow is the canonical fail-closed case: denied with
+    // no matched line, explained by a policy note, on both transports.
+    let from_silent = flows[4];
+    for controller in [&in_process, &network] {
+        let record = controller
+            .audit()
+            .records()
+            .iter()
+            .find(|r| r.flow == from_silent)
+            .expect("the silent-source flow is audited");
+        assert_eq!(record.decision, Decision::Block);
+        assert_eq!(record.matched_line, None);
+        assert!(!controller.state_table().contains(&from_silent, 0));
+        assert!(controller
+            .audit()
+            .policy_notes()
+            .iter()
+            .any(|n| n.category == "fail-closed"));
+    }
+    assert_eq!(
+        in_process
+            .audit()
+            .policy_notes()
+            .iter()
+            .filter(|n| n.category == "fail-closed")
+            .count(),
+        network
+            .audit()
+            .policy_notes()
+            .iter()
+            .filter(|n| n.category == "fail-closed")
+            .count(),
+        "both transports must fail closed for exactly the same flows"
+    );
+
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+/// A half-answered `QUERY-BATCH` frame: one frame carries answers for only
+/// part of the round — here because a drill [`FaultPlan`] drops one of the
+/// two answers h1 owes (a daemon answers host-level even for flows it cannot
+/// attribute to a process, so an *omitted* answer is a fault, not a lookup
+/// miss). The fully answered flow decides normally; the flow whose answer
+/// vanished fails closed with an audit note — never a hang, never a guess.
+#[tokio::test]
+async fn half_answered_batch_frame_fails_closed_for_the_missing_flow() {
+    let h1 = Ipv4Addr::new(10, 0, 0, 1);
+    let h2 = Ipv4Addr::new(10, 0, 0, 2);
+    let scenario_b = scenario();
+    let known_skype = scenario_b.flows[2];
+    // A second flow between the same hosts, so both source queries travel in
+    // the one batch frame to h1.
+    let probed = FiveTuple::tcp(h1, 49_999, h2, 34_000);
+
+    // Seed 3 is chosen so the one-in-two drop draw keeps the frame's first
+    // answer (the skype flow) and drops its second (the probed flow): h1's
+    // `RESPONSE-BATCH` is genuinely half-answered.
+    let injector = FaultPlan::new(3)
+        .drop_responses(h1, 2, Window::always())
+        .injector();
+
+    let mut servers = Vec::new();
+    let mut backend = NetworkBackend::new().with_budget(Duration::from_millis(500));
+    for mut daemon in scenario_b.daemons {
+        let addr = daemon.host().addr;
+        if addr != h1 && addr != h2 {
+            continue;
+        }
+        if addr == h1 {
+            daemon.set_fault_injector(Some(injector.clone()));
+        }
+        let server = DaemonServer::start(daemon, "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        backend.register_endpoint(addr, server.local_addr());
+        servers.push(server);
+    }
+    let config = ControllerConfig::new()
+        .with_control_file("00.control", POLICY)
+        .with_fail_closed_on_unanswered();
+    let mut controller = IdentxxController::new(config)
+        .unwrap()
+        .with_backend(Box::new(backend));
+
+    let decisions = controller.decide_batch(&[known_skype, probed], 0);
+    assert!(
+        decisions[0].is_pass(),
+        "the fully answered flow decides normally"
+    );
+    assert_eq!(decisions[1].verdict.decision, Decision::Block);
+    assert_eq!(decisions[1].verdict.matched_line, None);
+    assert!(
+        decisions[1].src_response.is_none() && decisions[1].dst_response.is_some(),
+        "exactly the dropped half of the frame is missing"
+    );
+    assert!(controller
+        .audit()
+        .policy_notes()
+        .iter()
+        .any(|n| n.category == "fail-closed"));
+    assert!(!controller.state_table().contains(&probed, 0));
+
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+/// An open circuit breaker fails closed too: after the configured run of
+/// deadline misses the backend stops dialing the host, and the controller
+/// turns the unobtainable answer into an audited deny — bounded latency,
+/// no guessing, and the deny is never cached so recovery is immediate once
+/// the breaker re-closes.
+#[tokio::test]
+async fn breaker_open_decisions_fail_closed_with_an_audit_note() {
+    let h2 = Ipv4Addr::new(10, 0, 0, 2);
+    let h3 = Ipv4Addr::new(10, 0, 0, 3);
+    let mut silent = Daemon::bare(Host::new("h3", h3));
+    silent.set_silent(true);
+    let listener = {
+        let mut d = Daemon::bare(Host::new("h2", h2));
+        let pid = d.host_mut().spawn("bob", skype());
+        d.host_mut().listen(pid, IpProtocol::Tcp, 34000);
+        d
+    };
+
+    let silent_server = DaemonServer::start(silent, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+    let listener_server = DaemonServer::start(listener, "127.0.0.1:0".parse().unwrap())
+        .await
+        .unwrap();
+    let mut backend = NetworkBackend::new()
+        .with_budget(Duration::from_millis(300))
+        .with_breaker(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_rounds: 4,
+        });
+    backend.register_endpoint(h3, silent_server.local_addr());
+    backend.register_endpoint(h2, listener_server.local_addr());
+
+    let config = ControllerConfig::new()
+        .with_control_file("00.control", POLICY)
+        .with_fail_closed_on_unanswered();
+    let mut controller = IdentxxController::new(config)
+        .unwrap()
+        .with_backend(Box::new(backend));
+
+    // Two rounds of deadline misses trip the breaker…
+    for round in 0u64..2 {
+        let flow = FiveTuple::tcp(h3, 42_000 + round as u16, h2, 34000);
+        let decision = controller.decide(&flow, round * 10);
+        assert_eq!(decision.verdict.decision, Decision::Block);
+        assert_eq!(decision.verdict.matched_line, None);
+    }
+    let breaker_open = |c: &IdentxxController| {
+        c.backend()
+            .as_any()
+            .downcast_ref::<NetworkBackend>()
+            .unwrap()
+            .breaker_is_open(h3)
+    };
+    assert!(
+        breaker_open(&controller),
+        "two consecutive misses must open the breaker"
+    );
+
+    // …and while it is open the host is never dialed: the decision is an
+    // immediate fail-closed deny, audited like every other.
+    let served_before = silent_server.queries_served();
+    let flow = FiveTuple::tcp(h3, 42_100, h2, 34000);
+    let decision = controller.decide(&flow, 100);
+    assert_eq!(decision.verdict.decision, Decision::Block);
+    assert_eq!(decision.verdict.matched_line, None);
+    assert_eq!(
+        silent_server.queries_served(),
+        served_before,
+        "an open breaker must not dial the host"
+    );
+    assert!(controller
+        .audit()
+        .policy_notes()
+        .iter()
+        .any(|n| n.category == "fail-closed"));
+    assert!(!controller.state_table().contains(&flow, 100));
+
+    silent_server.shutdown();
+    listener_server.shutdown();
+}
+
 #[tokio::test]
 async fn recording_backend_matches_in_process_for_scripted_hosts() {
     // The test double obeys the same contract: scripted answers stand in for

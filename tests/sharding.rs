@@ -72,6 +72,59 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Growing the ring N → N+1 remaps ≈ 1/(N+1) of sampled keys — every
+    /// moved key moves **to** the new member — and no alias group (a flow,
+    /// its reverse, its port siblings) is ever split across shards by the
+    /// transition: aliases move together or not at all.
+    #[test]
+    fn growth_remaps_one_over_n_plus_one_and_never_splits_alias_groups(
+        flows in prop::collection::vec(arb_flow(), 400..401),
+        shards in 1usize..8,
+    ) {
+        for granularity in GRANULARITIES {
+            let before = ShardRouter::new(shards, granularity);
+            let after = before.with_added(shards as u64);
+            let mut moved = 0usize;
+            for flow in &flows {
+                let old = before.route(flow);
+                let new = after.route(flow);
+                if old != new {
+                    prop_assert_eq!(new, shards, "a moved key must move to the new member");
+                    moved += 1;
+                }
+                // The alias group transitions atomically: reverse and (for
+                // coarse granularities) port siblings agree with the flow
+                // both before and after the growth.
+                let mut aliases = vec![flow.reversed()];
+                if granularity != CacheGranularity::ExactFiveTuple {
+                    let mut sibling = *flow;
+                    sibling.src_port = flow.src_port.wrapping_add(17);
+                    sibling.dst_port = flow.dst_port.wrapping_add(3);
+                    aliases.push(sibling);
+                    aliases.push(sibling.reversed());
+                }
+                for alias in aliases {
+                    prop_assert_eq!(old, before.route(&alias),
+                        "alias split before growth under {:?}", granularity);
+                    prop_assert_eq!(new, after.route(&alias),
+                        "alias split after growth under {:?}", granularity);
+                }
+            }
+            // ≈ 1/(N+1) of the keys move; the bounds are generous (vnode
+            // lumpiness ~1/√512 relative, sampling noise over 400 keys) but
+            // rule out both `hash % n`-style reshuffles and a dead member.
+            let expected = flows.len() / (shards + 1);
+            prop_assert!(moved >= expected / 4,
+                "suspiciously few keys moved: {}/{} at {} shards", moved, flows.len(), shards);
+            prop_assert!(moved <= (expected * 2).min(flows.len() * 9 / 10),
+                "consistent hashing moved too much: {}/{} at {} shards", moved, flows.len(), shards);
+        }
+    }
+}
+
 /// The scripted scenario both equivalence tests run: four hosts, two of
 /// them claiming firefox (pass), one claiming an unknown app (block), one
 /// silent (fail closed).
@@ -244,4 +297,104 @@ fn four_shards_decide_identically_and_merge_views() {
             }
         }
     }
+}
+
+/// A tier that grows, drains, and shrinks *between rounds of a warm
+/// workload* stays decision-identical — including `from_cache` and query
+/// accounting — to a tier whose membership never changed, and no state
+/// entry is lost or duplicated along the way.
+#[test]
+fn live_resharding_preserves_decision_identity() {
+    let mut fixed = ShardedController::new(test_config(), 3)
+        .unwrap()
+        .with_backends(|_| Box::new(scripted_backend()));
+    let mut elastic = ShardedController::new(test_config(), 3)
+        .unwrap()
+        .with_backends(|_| Box::new(scripted_backend()));
+
+    let flows = test_flows();
+    let compare = |elastic: &mut ShardedController, fixed: &mut ShardedController, now: u64| {
+        let e = elastic.decide_batch(&flows, now);
+        let f = fixed.decide_batch(&flows, now);
+        for ((flow, e), f) in flows.iter().zip(&e).zip(&f) {
+            assert_eq!(digest(e), digest(f), "diverged for {flow} at t={now}");
+        }
+    };
+
+    compare(&mut elastic, &mut fixed, 0); // cold round
+    elastic
+        .add_shard(Box::new(scripted_backend()))
+        .expect("policy recompiles on the new shard");
+    compare(&mut elastic, &mut fixed, 100); // warm round on the grown tier
+    elastic.drain_shard(0);
+    compare(&mut elastic, &mut fixed, 200); // warm round with a drained member
+    elastic.remove_shard(0);
+    compare(&mut elastic, &mut fixed, 300); // warm round after removal
+    assert_eq!(elastic.epoch(), 3, "add + drain + remove = three epochs");
+
+    // Conservation: the churned tier holds exactly as much state as the
+    // fixed one, and every entry sits on the shard the router names.
+    let count = |tier: &ShardedController| {
+        tier.shards()
+            .iter()
+            .map(|s| s.state_table().len())
+            .sum::<usize>()
+    };
+    assert_eq!(count(&elastic), count(&fixed));
+    for (slot, shard) in elastic.shards().iter().enumerate() {
+        for (key, _) in shard.state_table().entries() {
+            assert_eq!(elastic.shard_for(key), slot, "entry stranded off-owner");
+        }
+    }
+    assert_eq!(elastic.audit_len(), fixed.audit_len());
+}
+
+/// Fail-closed mode at the sharded tier: a silent daemon's flow is denied
+/// by the explicit fail-closed path (no matched line), the deny is audited
+/// on the owning shard with a `fail-closed` policy note, and it is never
+/// cached — answered flows keep caching normally.
+#[test]
+fn fail_closed_denies_silent_hosts_without_caching_the_deny() {
+    let config = test_config().with_fail_closed_on_unanswered();
+    let mut sharded = ShardedController::new(config, 3)
+        .unwrap()
+        .with_backends(|_| Box::new(scripted_backend()));
+
+    let h = |i: u8| Ipv4Addr::new(10, 0, 0, i);
+    let silent_src = FiveTuple::tcp(h(4), 41_002, h(2), 80); // h4 never answers
+    let answered = FiveTuple::tcp(h(1), 41_000, h(2), 80); // firefox → pass
+
+    for round in 0u64..2 {
+        let decisions = sharded.decide_batch(&[silent_src, answered], round * 100);
+        assert_eq!(decisions[0].verdict.decision, Decision::Block);
+        assert_eq!(
+            decisions[0].verdict.matched_line, None,
+            "fail-closed denies before any rule can match"
+        );
+        assert!(
+            !decisions[0].from_cache,
+            "a fail-closed deny must never be served from cache (round {round})"
+        );
+        assert_eq!(decisions[0].queries_issued, 2);
+        assert!(decisions[1].is_pass());
+    }
+    let owner = sharded.shard_for(&silent_src);
+    assert!(
+        sharded
+            .shard(owner)
+            .audit()
+            .policy_notes()
+            .iter()
+            .any(|n| n.category == "fail-closed"),
+        "the owning shard must explain the deny with a fail-closed note"
+    );
+    // Only the pass was cached (one decided flow = the coarse entry plus
+    // its exact-tuple secondary under HostPairDstPort granularity); the
+    // fail-closed deny left no state anywhere.
+    let cached: usize = sharded.shards().iter().map(|s| s.state_table().len()).sum();
+    assert_eq!(cached, 2);
+    assert!(sharded
+        .shards()
+        .iter()
+        .all(|s| !s.state_table().contains(&silent_src, 300)));
 }
