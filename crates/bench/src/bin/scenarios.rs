@@ -1,5 +1,5 @@
 //! Prints the experiment scenario tables (E1, E6, E7, E8a, E8b, E9, E10,
-//! E12) that used to be side effects of `cargo bench`.
+//! E12, E13) that used to be side effects of `cargo bench`.
 //!
 //! Usage:
 //!
@@ -10,6 +10,7 @@
 //! IDENTXX_SHARDS=4 cargo run --release -p identxx-bench --bin scenarios e8b e9
 //! IDENTXX_E10_SMOKE=1 cargo run --release -p identxx-bench --bin scenarios e10
 //! IDENTXX_E12_SMOKE=1 cargo run --release -p identxx-bench --bin scenarios e12
+//! IDENTXX_E13_SMOKE=1 cargo run --release -p identxx-bench --bin scenarios e13
 //! ```
 //!
 //! `IDENTXX_SHARDS=N` focuses the E9 sharding sweep on shard counts {1, N}
@@ -23,11 +24,16 @@
 //! brownout, shard loss, reshard-under-load — DESIGN.md §9): every cell
 //! asserts bounded round latency, fail-closed denies for unobtainable
 //! answers, and post-recovery decision identity; `IDENTXX_E12_SMOKE=1`
+//! shrinks it for CI. E13 sweeps the amortized `verify()` plane — bundle
+//! locality × bundle lifetime × batch size against an unsigned-rule
+//! baseline — asserting forged bundles never pass, expired bundles stop
+//! passing, and the headline amortization claim; `IDENTXX_E13_SMOKE=1`
 //! shrinks it for CI.
 //!
 //! `--json` additionally writes each quantitative experiment's cells to
-//! `BENCH_<EXP>.json` in the working directory (E8b, E9, E10, E12) so CI
-//! can upload them as artifacts and track the perf trajectory across PRs.
+//! `BENCH_<EXP>.json` in the working directory (E8b, E9, E10, E12, E13) so
+//! CI can upload them as artifacts and track the perf trajectory across
+//! PRs.
 
 use identxx_bench::report::{write_bench_json, BenchRow};
 use identxx_bench::scenarios;
@@ -59,12 +65,13 @@ fn main() {
         })
         .collect();
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["e1", "e6", "e7", "e8a", "e8b", "e9", "e10", "e12"]
+        vec!["e1", "e6", "e7", "e8a", "e8b", "e9", "e10", "e12", "e13"]
     } else {
         args.iter().map(String::as_str).collect()
     };
     let e10_smoke = std::env::var_os("IDENTXX_E10_SMOKE").is_some();
     let e12_smoke = std::env::var_os("IDENTXX_E12_SMOKE").is_some();
+    let e13_smoke = std::env::var_os("IDENTXX_E13_SMOKE").is_some();
     for experiment in selected {
         let rows: Vec<BenchRow> = match experiment {
             "e1" => {
@@ -87,9 +94,10 @@ fn main() {
             "e9" => scenarios::print_e9(&e9_shard_counts(), E9_SMOKE_FLOWS),
             "e10" => scenarios::print_e10(e10_smoke),
             "e12" => scenarios::print_e12(e12_smoke),
+            "e13" => scenarios::print_e13(e13_smoke),
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; expected e1, e6, e7, e8a, e8b, e9, e10, e12, or all"
+                    "unknown experiment {other:?}; expected e1, e6, e7, e8a, e8b, e9, e10, e12, e13, or all"
                 );
                 std::process::exit(2);
             }

@@ -20,9 +20,11 @@ use identxx_baselines::{
     DistributedFirewall, EthaneController, EthanePolicy, FlowClassifier, VanillaFirewall,
 };
 use identxx_controller::{
-    BreakerConfig, ControllerConfig, NetworkBackend, QueryBackend, ShardedController,
+    BreakerConfig, ControllerConfig, IdentxxController, NetworkBackend, QueryBackend,
+    RecordingBackend, ShardedController,
 };
 use identxx_core::{firefox_app, EnterpriseNetwork};
+use identxx_crypto::{sign_bundle_windowed, KeyPair};
 use identxx_daemon::{Daemon, FaultInjector, FaultPlan, Window};
 use identxx_hostmodel::{Executable, Host};
 use identxx_net::DaemonServer;
@@ -1370,6 +1372,300 @@ pub fn print_e12(smoke: bool) -> Vec<BenchRow> {
         row("reshard", &run);
     }
 
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E13: amortized delegation verification — hit rate × lifetime × batch
+// ---------------------------------------------------------------------------
+
+/// Hot delegation bundles (the working set the verify cache should retain).
+const E13_HOT_APPS: usize = 4;
+/// Cold bundles — more than the deliberately small verify cache holds, so
+/// low-locality traffic churns it.
+const E13_COLD_APPS: usize = 64;
+/// Verify-cache capacity for the sweep: big enough for the hot set, far
+/// smaller than the whole bundle population.
+const E13_VERIFY_CAPACITY: usize = 32;
+/// Logical microseconds per decision round.
+const E13_ROUND_MICROS: u64 = 1_000;
+/// The delegated requirements every E13 bundle signs over.
+const E13_REQS: &str = "block all\npass all with eq(@src[name], research-app)";
+
+/// One delegated application: a source address plus the response its daemon
+/// gives (including the signed bundle).
+struct E13App {
+    addr: Ipv4Addr,
+    pairs: Vec<(String, String)>,
+}
+
+/// Builds the E13 bundle population: `E13_HOT_APPS + E13_COLD_APPS` apps,
+/// each with its own exe-hash (hence its own bundle), windowed
+/// `[0, not_after)` under the `Secur` key. The last cold app's response
+/// claims a different name than its bundle signs over — a forged delegation
+/// every cell must reject.
+fn e13_apps(signer: &KeyPair, not_after: u64) -> Vec<E13App> {
+    let total = E13_HOT_APPS + E13_COLD_APPS;
+    (0..total)
+        .map(|i| {
+            let exe_hash = format!("e13-exe-{i:03}");
+            let bundle = sign_bundle_windowed(
+                signer,
+                "Secur",
+                0,
+                not_after,
+                &[exe_hash.as_str(), "research-app", E13_REQS],
+            );
+            let forged = i == total - 1;
+            let name = if forged {
+                "imposter-app"
+            } else {
+                "research-app"
+            };
+            E13App {
+                addr: Ipv4Addr::new(10, 0, (i / 200) as u8, (i % 200) as u8 + 1),
+                pairs: vec![
+                    ("name".to_string(), name.to_string()),
+                    ("exe-hash".to_string(), exe_hash),
+                    ("requirements".to_string(), E13_REQS.to_string()),
+                    ("req-sig".to_string(), bundle.to_hex()),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// The app index each flow presents: the first pass enumerates every app
+/// once (so every bundle — the forged one included — is exercised in every
+/// cell), then a deterministic xorshift stream picks hot apps with
+/// probability `locality` and cold ones uniformly otherwise.
+fn e13_app_sequence(flow_count: usize, locality: f64, seed: u64) -> Vec<usize> {
+    let total = E13_HOT_APPS + E13_COLD_APPS;
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..flow_count)
+        .map(|k| {
+            if k < total {
+                k
+            } else if (next() % 1_000) as f64 / 1_000.0 < locality {
+                (next() as usize) % E13_HOT_APPS
+            } else {
+                E13_HOT_APPS + (next() as usize) % E13_COLD_APPS
+            }
+        })
+        .collect()
+}
+
+/// Drives the flow stream through one controller in rounds of `batch`,
+/// advancing the logical clock one round per batch. Returns per-decision
+/// wall-clock microseconds and the pass verdicts.
+fn e13_run(
+    controller: &mut IdentxxController,
+    flows: &[FiveTuple],
+    batch: usize,
+) -> (f64, Vec<bool>) {
+    let mut passes = Vec::with_capacity(flows.len());
+    let started = Instant::now();
+    for (round, chunk) in flows.chunks(batch).enumerate() {
+        let now = round as u64 * E13_ROUND_MICROS;
+        for decision in controller.decide_batch(chunk, now) {
+            passes.push(decision.is_pass());
+        }
+    }
+    let per_decision_us = started.elapsed().as_secs_f64() * 1e6 / flows.len() as f64;
+    (per_decision_us, passes)
+}
+
+/// Builds the E13 controller (signed or unsigned policy) over a recording
+/// backend scripted with every app's response. The state table is disabled
+/// so every decision re-evaluates — the experiment measures the verify
+/// plane, not the flow cache.
+fn e13_controller(
+    signer: &KeyPair,
+    apps: &[E13App],
+    server: Ipv4Addr,
+    signed: bool,
+) -> IdentxxController {
+    let policy = if signed {
+        "block all\npass all with verify(@src[req-sig], Secur, @src[exe-hash], \
+         @src[name], @src[requirements])\n"
+    } else {
+        "block all\npass all with eq(@src[name], research-app)\n"
+    };
+    let mut backend = RecordingBackend::new()
+        .with_answer(server, vec![("name".to_string(), "httpd".to_string())]);
+    for app in apps {
+        backend = backend.with_answer(app.addr, app.pairs.clone());
+    }
+    IdentxxController::new(
+        ControllerConfig::new()
+            .with_control_file("00.control", policy)
+            .with_trusted_key("Secur", signer.public())
+            .with_verify_cache_capacity(E13_VERIFY_CAPACITY)
+            .without_state_table(),
+    )
+    .expect("compile E13 policy")
+    .with_backend(Box::new(backend))
+}
+
+/// Prints the E13 table: amortized authenticated-delegation cost across
+/// bundle locality {0.5, 0.9} × bundle lifetime {short, long} × batch size
+/// {1, 32}, against an unsigned-rule baseline over the same flows and
+/// backend.
+///
+/// Every cell asserts the security invariants (the forged bundle never
+/// passes; short-lived bundles stop passing at expiry; long-lived cells see
+/// no expiry), and the headline cells (0.9 locality, long lifetime) assert
+/// the amortization claim: hot-set hit rate and a per-decision cost within
+/// ~2× of the unsigned rule. `smoke` shrinks the flow count for CI.
+pub fn print_e13(smoke: bool) -> Vec<BenchRow> {
+    let flow_count = if smoke { 1_024 } else { 8_192 };
+    let signer = KeyPair::from_seed(b"Secur");
+    let server = Ipv4Addr::new(10, 0, 200, 1);
+    let total_apps = E13_HOT_APPS + E13_COLD_APPS;
+    assert!(
+        flow_count > 2 * total_apps,
+        "enumeration prefix must not dominate"
+    );
+
+    println!(
+        "\n# E13: amortized delegation verification ({flow_count} flows, {total_apps} bundles, cache {E13_VERIFY_CAPACITY})"
+    );
+    println!(
+        "{:>9} {:>9} {:>6} {:>9} {:>8} {:>9} {:>8} {:>11} {:>13} {:>7}",
+        "locality",
+        "lifetime",
+        "batch",
+        "hit_rate",
+        "misses",
+        "expired",
+        "forged",
+        "signed_us",
+        "unsigned_us",
+        "ratio"
+    );
+
+    let mut rows = Vec::new();
+    for &locality in &[0.5f64, 0.9] {
+        for &(lifetime, short) in &[("short", true), ("long", false)] {
+            for &batch in &[1usize, 32] {
+                let rounds = flow_count.div_ceil(batch);
+                let run_micros = rounds as u64 * E13_ROUND_MICROS;
+                // Short-lived bundles expire at the run's midpoint; long
+                // ones outlive the run.
+                let not_after = if short {
+                    run_micros / 2
+                } else {
+                    run_micros + 1
+                };
+                let apps = e13_apps(&signer, not_after);
+                let sequence = e13_app_sequence(flow_count, locality, 0xe13_5eed);
+                let flows: Vec<FiveTuple> = sequence
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &i)| {
+                        FiveTuple::tcp(apps[i].addr, 40_000 + (k % 20_000) as u16, server, 80)
+                    })
+                    .collect();
+
+                let mut signed_ctl = e13_controller(&signer, &apps, server, true);
+                let (signed_us, signed_passes) = e13_run(&mut signed_ctl, &flows, batch);
+                let mut unsigned_ctl = e13_controller(&signer, &apps, server, false);
+                let (unsigned_us, unsigned_passes) = e13_run(&mut unsigned_ctl, &flows, batch);
+
+                let stats = signed_ctl.verify_stats();
+                let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+                let ratio = signed_us / unsigned_us;
+                let cell = format!("E13 locality {locality} lifetime {lifetime} batch {batch}");
+
+                // The forged bundle never passes; with a valid window it is
+                // actually checked (and counted) rather than masked.
+                let forged_idx = total_apps - 1;
+                for (k, &i) in sequence.iter().enumerate() {
+                    if i == forged_idx {
+                        assert!(!signed_passes[k], "{cell}: forged bundle passed (flow {k})");
+                    }
+                }
+                assert!(
+                    stats.forged > 0,
+                    "{cell}: the forged bundle was never checked"
+                );
+                // The unsigned baseline accepts what verify() accepts while
+                // the bundles are live — the delegations differ only in
+                // authentication. (The forged app's claim differs, and after
+                // expiry the signed plane — correctly — stops passing.)
+                let live = |k: usize| !short || (k / batch) as u64 * E13_ROUND_MICROS < not_after;
+                for (k, &i) in sequence.iter().enumerate() {
+                    if i != forged_idx && live(k) {
+                        assert_eq!(
+                            signed_passes[k], unsigned_passes[k],
+                            "{cell}: live signed decision diverged from baseline (flow {k})"
+                        );
+                    }
+                }
+                if short {
+                    assert!(
+                        stats.expired > 0,
+                        "{cell}: short-lived bundles never expired"
+                    );
+                    // After the window closes, nothing signed passes: expiry
+                    // is fail-closed, not advisory.
+                    for (k, &pass) in signed_passes.iter().enumerate() {
+                        if !live(k) {
+                            assert!(!pass, "{cell}: decision {k} passed after bundle expiry");
+                        }
+                    }
+                } else {
+                    assert_eq!(
+                        stats.expired, 0,
+                        "{cell}: long-lived bundles must not expire"
+                    );
+                    // Headline cells: the hot set stays cached and the
+                    // amortized authenticated decision is within ~2× of the
+                    // unsigned rule (bounded at 3× for CI timer jitter).
+                    if locality >= 0.9 {
+                        assert!(
+                            hit_rate >= 0.85,
+                            "{cell}: hot bundles should amortize (hit rate {hit_rate:.3})"
+                        );
+                        assert!(
+                            ratio <= 3.0,
+                            "{cell}: authenticated delegation cost {ratio:.2}x the unsigned rule"
+                        );
+                    }
+                }
+
+                println!(
+                    "{locality:>9} {lifetime:>9} {batch:>6} {hit_rate:>9.3} {:>8} {:>9} {:>8} {signed_us:>11.2} {unsigned_us:>13.2} {ratio:>7.2}",
+                    stats.misses, stats.expired, stats.forged
+                );
+                rows.push(
+                    BenchRow::new()
+                        .with("experiment", "e13")
+                        .with("locality", locality)
+                        .with("lifetime", lifetime)
+                        .with("batch", batch)
+                        .with("flows", flow_count)
+                        .with("bundles", total_apps)
+                        .with("cache_capacity", E13_VERIFY_CAPACITY)
+                        .with("hit_rate", hit_rate)
+                        .with("hits", stats.hits)
+                        .with("misses", stats.misses)
+                        .with("evictions", stats.evictions)
+                        .with("expired", stats.expired)
+                        .with("forged", stats.forged)
+                        .with("signed_us_per_decision", signed_us)
+                        .with("unsigned_us_per_decision", unsigned_us)
+                        .with("cost_ratio", ratio),
+                );
+            }
+        }
+    }
     rows
 }
 

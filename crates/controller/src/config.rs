@@ -51,6 +51,11 @@ pub struct ControllerConfig {
     /// already block on missing identity, and experiments compare both
     /// behaviours (DESIGN.md §9).
     pub fail_closed_on_unanswered: bool,
+    /// Capacity of the `verify()` verdict cache (entries). Each distinct
+    /// delegation bundle pays ed25519 curve math once; repeats cost one hash
+    /// plus a window check. Capped like the state table so hostile response
+    /// churn cannot grow controller memory.
+    pub verify_cache_capacity: usize,
 }
 
 impl Default for ControllerConfig {
@@ -67,6 +72,7 @@ impl Default for ControllerConfig {
             install_drop_entries: true,
             acknowledge_coarse_cache: false,
             fail_closed_on_unanswered: false,
+            verify_cache_capacity: identxx_crypto::verify_cache::DEFAULT_VERIFY_CACHE_CAPACITY,
         }
     }
 }
@@ -134,6 +140,13 @@ impl ControllerConfig {
     /// [`fail_closed_on_unanswered`](Self::fail_closed_on_unanswered).
     pub fn with_fail_closed_on_unanswered(mut self) -> Self {
         self.fail_closed_on_unanswered = true;
+        self
+    }
+
+    /// Sets the `verify()` verdict-cache capacity (builder style); see
+    /// [`verify_cache_capacity`](Self::verify_cache_capacity).
+    pub fn with_verify_cache_capacity(mut self, capacity: usize) -> Self {
+        self.verify_cache_capacity = capacity;
         self
     }
 

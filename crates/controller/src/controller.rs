@@ -1,5 +1,8 @@
 //! The ident++ controller.
 
+use std::sync::Arc;
+
+use identxx_crypto::{SignedBundle, VerifyCache, VerifyCacheStats};
 use identxx_pf::{
     CompiledPolicy, Decision, EvalContext, PfError, PolicyCompiler, RuleSet, StateTable, Verdict,
 };
@@ -74,6 +77,10 @@ pub struct IdentxxController {
     audit: AuditLog,
     interceptors: Vec<Box<dyn Interceptor>>,
     augmenters: Vec<Box<dyn ResponseAugmenter>>,
+    /// The amortized `verify()` plane: shared with the compiled policy (and
+    /// every interpreter context it spawns), drained into audit notes after
+    /// each decision, prewarmed by `decide_batch`.
+    verify_cache: Arc<VerifyCache>,
     /// A compromised controller (§5.1) stops enforcing anything.
     compromised: bool,
 }
@@ -93,7 +100,8 @@ impl IdentxxController {
     /// distinguish.
     pub fn new(config: ControllerConfig) -> Result<IdentxxController, PfError> {
         let ruleset = config.compile()?;
-        let compiled = Self::compile_policy(&config, &ruleset);
+        let verify_cache = Arc::new(VerifyCache::with_capacity(config.verify_cache_capacity));
+        let compiled = Self::compile_policy(&config, &ruleset, &verify_cache);
         let state = StateTable::new().with_granularity(config.cache_granularity);
         let mut audit = AuditLog::new();
         for dead in compiled.dead_rules() {
@@ -135,6 +143,7 @@ impl IdentxxController {
             audit,
             interceptors: Vec::new(),
             augmenters: Vec::new(),
+            verify_cache,
             compromised: false,
         })
     }
@@ -216,11 +225,17 @@ impl IdentxxController {
     }
 
     /// Lowers a parsed ruleset into the evaluation-ready form, carrying the
-    /// configuration's default decision, trusted keys, and named lists.
-    fn compile_policy(config: &ControllerConfig, ruleset: &RuleSet) -> CompiledPolicy {
+    /// configuration's default decision, trusted keys, named lists, and the
+    /// shared verify cache.
+    fn compile_policy(
+        config: &ControllerConfig,
+        ruleset: &RuleSet,
+        verify_cache: &Arc<VerifyCache>,
+    ) -> CompiledPolicy {
         let mut compiler = PolicyCompiler::new()
             .with_default(config.default_decision)
-            .with_key_registry(config.trusted_keys.clone());
+            .with_key_registry(config.trusted_keys.clone())
+            .with_verify_cache(Arc::clone(verify_cache));
         for (name, members) in &config.named_lists {
             compiler = compiler.with_named_list(name.clone(), members.clone());
         }
@@ -283,7 +298,9 @@ impl IdentxxController {
     ) -> Result<(), PfError> {
         self.config.control_files.add_file(name, contents);
         self.ruleset = self.config.compile()?;
-        self.compiled = Self::compile_policy(&self.config, &self.ruleset);
+        // The verify cache survives recompiles: verdicts are content-addressed
+        // (signature × key × items), so no policy change can invalidate them.
+        self.compiled = Self::compile_policy(&self.config, &self.ruleset, &self.verify_cache);
         self.state.clear();
         Ok(())
     }
@@ -294,7 +311,7 @@ impl IdentxxController {
         let removed = self.config.control_files.remove(name);
         if removed {
             self.ruleset = self.config.compile()?;
-            self.compiled = Self::compile_policy(&self.config, &self.ruleset);
+            self.compiled = Self::compile_policy(&self.config, &self.ruleset, &self.verify_cache);
             self.state.clear();
         }
         Ok(removed)
@@ -343,7 +360,21 @@ impl IdentxxController {
         src: Option<&Response>,
         dst: Option<&Response>,
     ) -> Verdict {
-        self.compiled.evaluate(flow, src, dst)
+        self.evaluate_only_at(flow, src, dst, 0)
+    }
+
+    /// [`IdentxxController::evaluate_only`] at logical time `now`
+    /// (microseconds): `verify()` checks short-lived bundles' validity
+    /// windows against it. The decision cycle uses the decision's own clock;
+    /// `evaluate_only` is the `now = 0` convenience for callers without one.
+    pub fn evaluate_only_at(
+        &self,
+        flow: &FiveTuple,
+        src: Option<&Response>,
+        dst: Option<&Response>,
+        now: u64,
+    ) -> Verdict {
+        self.compiled.evaluate_at(flow, src, dst, now)
     }
 
     /// Evaluates the same policy through the AST interpreter (the reference
@@ -474,6 +505,48 @@ impl IdentxxController {
                     .collect();
                 self.backend.query_flows(&requests)
             };
+            // Batch verification: warm the verify plane with each *distinct*
+            // signed delegation bundle the responses carry, so a batch
+            // presenting the same bundle N times pays its ed25519 curve math
+            // once up front and every per-flow evaluation below hits the
+            // cache. Prewarming records no audit events (the evaluations
+            // record the real ones) and is correctness-neutral: a bundle
+            // whose policy covers different items simply misses. Raw legacy
+            // signatures carry no key id to resolve, so they skip the
+            // prewarm and amortize through the cache from their first
+            // evaluation instead.
+            let mut prewarmed: Vec<&str> = Vec::new();
+            for (p, queried) in pending.iter().zip(responses.iter()) {
+                let ends = [
+                    p.src.as_ref().or(queried.src.as_ref()),
+                    p.dst.as_ref().or(queried.dst.as_ref()),
+                ];
+                for response in ends.into_iter().flatten() {
+                    let Some(sig) = response.latest(well_known::REQ_SIG) else {
+                        continue;
+                    };
+                    if prewarmed.contains(&sig) {
+                        continue;
+                    }
+                    let Ok(bundle) = SignedBundle::from_hex(sig) else {
+                        continue;
+                    };
+                    let Some(key) = self.config.trusted_keys.get(&bundle.key_id) else {
+                        continue;
+                    };
+                    let items = [
+                        response.latest(well_known::EXE_HASH).unwrap_or(""),
+                        response
+                            .latest(well_known::APP_NAME)
+                            .or_else(|| response.latest(well_known::APP_NAME_ALT))
+                            .unwrap_or(""),
+                        response.latest(well_known::REQUIREMENTS).unwrap_or(""),
+                    ];
+                    self.verify_cache
+                        .prewarm_hex_at(sig, &key.to_hex(), &items, now);
+                    prewarmed.push(sig);
+                }
+            }
             for (p, queried) in pending.into_iter().zip(responses) {
                 // Re-check the cache: an earlier flow of this very batch may
                 // have inserted an entry this flow aliases (its repeat, its
@@ -617,7 +690,26 @@ impl IdentxxController {
             self.augment_response(flow, QueryTarget::Destination, r);
         }
 
-        let verdict = self.evaluate_only(flow, src_response.as_ref(), dst_response.as_ref());
+        let verdict =
+            self.evaluate_only_at(flow, src_response.as_ref(), dst_response.as_ref(), now);
+
+        // Attach what the verify plane did for this evaluation: every bundle
+        // check records whether it was served from the cache, verified fresh,
+        // rejected outside its window, forged, or not parseable at all.
+        for event in self.verify_cache.drain_events() {
+            let under = match &event.key_id {
+                Some(key_id) => format!(" under key '{key_id}'"),
+                None => String::new(),
+            };
+            self.audit.push_note(PolicyNote {
+                category: event.outcome.as_str().to_string(),
+                line: 0,
+                message: format!(
+                    "delegation bundle for {flow}{under}: {}",
+                    event.outcome.as_str()
+                ),
+            });
+        }
 
         if self.config.use_state_table && verdict.keep_state {
             self.state.insert(flow, verdict.decision, now);
@@ -763,6 +855,19 @@ impl IdentxxController {
             },
             None => Vec::new(),
         }
+    }
+
+    /// The verify plane's counters: cache hits/misses/evictions and how many
+    /// bundles resolved valid, expired, not-yet-valid, forged, or
+    /// unparseable.
+    pub fn verify_stats(&self) -> VerifyCacheStats {
+        self.verify_cache.stats()
+    }
+
+    /// The shared `verify()` verdict cache (read access, for tests and
+    /// experiments).
+    pub fn verify_cache(&self) -> &VerifyCache {
+        &self.verify_cache
     }
 
     /// The controller's state table (read access, for tests and experiments).
@@ -1401,5 +1506,221 @@ mod tests {
         // later revocation of everything that host was allowed to do.
         let revoked = controller.revoke_where(|r| r.flow.src_ip == addrs[8]);
         assert!(!revoked.is_empty());
+    }
+
+    use identxx_crypto::{sign_bundle_windowed, KeyPair};
+
+    /// The items every delegation bundle in these tests covers.
+    const DELEGATED_REQS: &str = "pass all";
+
+    /// A backend scripting both ends of `flow` with a signed delegation
+    /// bundle for the given source app (destination runs plain httpd).
+    fn delegation_backend(
+        signer: &KeyPair,
+        not_before: u64,
+        not_after: u64,
+        tamper: bool,
+    ) -> Box<crate::backend::RecordingBackend> {
+        let exe_hash = "f00dfeed";
+        let bundle = sign_bundle_windowed(
+            signer,
+            "Secur",
+            not_before,
+            not_after,
+            &[exe_hash, "research-app", DELEGATED_REQS],
+        );
+        let name = if tamper {
+            "imposter-app"
+        } else {
+            "research-app"
+        };
+        Box::new(
+            crate::backend::RecordingBackend::new()
+                .with_answer(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    vec![
+                        ("name".to_string(), name.to_string()),
+                        ("exe-hash".to_string(), exe_hash.to_string()),
+                        ("requirements".to_string(), DELEGATED_REQS.to_string()),
+                        ("req-sig".to_string(), bundle.to_hex()),
+                    ],
+                )
+                .with_answer(
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    vec![("name".to_string(), "httpd".to_string())],
+                ),
+        )
+    }
+
+    fn delegation_config(signer: &KeyPair) -> ControllerConfig {
+        ControllerConfig::new()
+            .with_control_file(
+                "00.control",
+                "block all\npass all with verify(@src[req-sig], Secur, @src[exe-hash], \
+                 @src[name], @src[requirements])\n",
+            )
+            .with_trusted_key("Secur", signer.public())
+            .without_state_table()
+    }
+
+    #[test]
+    fn verify_plane_notes_fresh_cached_and_expired_outcomes() {
+        let signer = KeyPair::from_seed(b"Secur");
+        let mut controller = IdentxxController::new(delegation_config(&signer))
+            .unwrap()
+            .with_backend(delegation_backend(&signer, 100, 1_000, false));
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 41_000, [10, 0, 0, 2], 80);
+
+        // Before the window: rejected, no curve math spent.
+        assert!(!controller.decide(&flow, 50).is_pass());
+        // Inside the window: fresh verification, then a cache hit.
+        assert!(controller.decide(&flow, 100).is_pass());
+        assert!(controller.decide(&flow, 500).is_pass());
+        // At exactly `not_after` the bundle is expired (half-open window) —
+        // the cached valid verdict must not outlive it.
+        assert!(!controller.decide(&flow, 1_000).is_pass());
+
+        let stats = controller.verify_stats();
+        assert_eq!(stats.not_yet_valid, 1);
+        assert_eq!(stats.misses, 1, "one fresh verification for the bundle");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.expired, 1);
+
+        let notes = controller.audit().policy_notes();
+        for category in [
+            "verify-not-yet-valid",
+            "verify-fresh",
+            "verify-cached",
+            "verify-expired",
+        ] {
+            assert!(
+                notes
+                    .iter()
+                    .any(|n| n.category == category && n.message.contains("key 'Secur'")),
+                "missing {category} note: {notes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_plane_notes_forged_bundles() {
+        let signer = KeyPair::from_seed(b"Secur");
+        // The host claims a different app name than the bundle signs over.
+        let mut controller = IdentxxController::new(delegation_config(&signer))
+            .unwrap()
+            .with_backend(delegation_backend(&signer, 0, 1_000, true));
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 41_000, [10, 0, 0, 2], 80);
+        assert!(!controller.decide(&flow, 10).is_pass());
+        assert_eq!(controller.verify_stats().forged, 1);
+        assert!(controller
+            .audit()
+            .policy_notes()
+            .iter()
+            .any(|n| n.category == "verify-forged"));
+    }
+
+    #[test]
+    fn unparseable_signature_is_distinguished_from_forged() {
+        let signer = KeyPair::from_seed(b"Secur");
+        let backend = Box::new(
+            crate::backend::RecordingBackend::new()
+                .with_answer(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    vec![
+                        ("name".to_string(), "research-app".to_string()),
+                        ("exe-hash".to_string(), "f00dfeed".to_string()),
+                        ("requirements".to_string(), DELEGATED_REQS.to_string()),
+                        ("req-sig".to_string(), "zz-not-even-hex".to_string()),
+                    ],
+                )
+                .with_answer(
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    vec![("name".to_string(), "httpd".to_string())],
+                ),
+        );
+        let mut controller = IdentxxController::new(delegation_config(&signer))
+            .unwrap()
+            .with_backend(backend);
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 41_000, [10, 0, 0, 2], 80);
+        assert!(!controller.decide(&flow, 10).is_pass());
+        let stats = controller.verify_stats();
+        assert_eq!(stats.unparseable, 1);
+        assert_eq!(stats.forged, 0);
+        let notes = controller.audit().policy_notes();
+        assert!(notes.iter().any(|n| n.category == "verify-unparseable"));
+        assert!(notes.iter().all(|n| n.category != "verify-forged"));
+    }
+
+    #[test]
+    fn decide_batch_prewarms_each_distinct_bundle_once() {
+        let signer = KeyPair::from_seed(b"Secur");
+        // Five distinct flows from the same delegated app: the batch's
+        // responses all carry the identical bundle. The prewarm pass should
+        // verify it once; every per-flow evaluation then hits the cache.
+        let exe_hash = "f00dfeed";
+        let bundle = sign_bundle_windowed(
+            &signer,
+            "Secur",
+            0,
+            1_000,
+            &[exe_hash, "research-app", DELEGATED_REQS],
+        );
+        let mut backend = crate::backend::RecordingBackend::new().with_answer(
+            Ipv4Addr::new(10, 0, 0, 200),
+            vec![("name".to_string(), "httpd".to_string())],
+        );
+        let mut flows = Vec::new();
+        for i in 0..5u8 {
+            let src = Ipv4Addr::new(10, 0, 0, 10 + i);
+            backend = backend.with_answer(
+                src,
+                vec![
+                    ("name".to_string(), "research-app".to_string()),
+                    ("exe-hash".to_string(), exe_hash.to_string()),
+                    ("requirements".to_string(), DELEGATED_REQS.to_string()),
+                    ("req-sig".to_string(), bundle.to_hex()),
+                ],
+            );
+            flows.push(FiveTuple::tcp(src, 41_000, [10, 0, 0, 200], 80));
+        }
+        let mut controller = IdentxxController::new(delegation_config(&signer))
+            .unwrap()
+            .with_backend(Box::new(backend));
+        let decisions = controller.decide_batch(&flows, 10);
+        assert!(decisions.iter().all(FlowDecision::is_pass));
+        let stats = controller.verify_stats();
+        assert_eq!(
+            stats.misses, 1,
+            "one batch, one distinct bundle, one round of curve math: {stats:?}"
+        );
+        assert_eq!(stats.hits, 5, "every evaluation served from the cache");
+        // The prewarm recorded no events — only the five real evaluations.
+        let cached_notes = controller
+            .audit()
+            .policy_notes()
+            .iter()
+            .filter(|n| n.category == "verify-cached")
+            .count();
+        assert_eq!(cached_notes, 5);
+    }
+
+    #[test]
+    fn verify_cache_survives_policy_recompiles() {
+        let signer = KeyPair::from_seed(b"Secur");
+        let mut controller = IdentxxController::new(delegation_config(&signer))
+            .unwrap()
+            .with_backend(delegation_backend(&signer, 0, 1_000, false));
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 41_000, [10, 0, 0, 2], 80);
+        assert!(controller.decide(&flow, 10).is_pass());
+        assert_eq!(controller.verify_stats().misses, 1);
+        // A policy update touches the ruleset, not the bundle's verdict —
+        // the re-decided flow hits the verify cache.
+        controller
+            .update_control_file("10-extra.control", "block from 10.9.9.9 to any\n")
+            .unwrap();
+        assert!(controller.decide(&flow, 20).is_pass());
+        let stats = controller.verify_stats();
+        assert_eq!(stats.misses, 1, "recompile must not clear the verify cache");
+        assert_eq!(stats.hits, 1);
     }
 }

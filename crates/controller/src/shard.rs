@@ -41,6 +41,8 @@ use identxx_daemon::Daemon;
 use identxx_pf::{CacheGranularity, PfError};
 use identxx_proto::FiveTuple;
 
+use identxx_crypto::VerifyCacheStats;
+
 use crate::audit::AuditRecord;
 use crate::backend::{BackendStats, QueryBackend};
 use crate::config::ControllerConfig;
@@ -255,6 +257,21 @@ pub struct ShardedController {
     /// Transport counters of removed shards, folded in so tier totals stay
     /// monotone across removals.
     retired_stats: BackendStats,
+    /// Verify-plane counters of removed shards, same monotonicity story.
+    retired_verify_stats: VerifyCacheStats,
+}
+
+/// Adds one shard's verify-plane counters into an accumulator (counters are
+/// per-shard work, so the tier view sums, exactly like [`BackendStats`]).
+fn fold_verify_stats(acc: &mut VerifyCacheStats, stats: VerifyCacheStats) {
+    acc.hits += stats.hits;
+    acc.misses += stats.misses;
+    acc.evictions += stats.evictions;
+    acc.valid += stats.valid;
+    acc.expired += stats.expired;
+    acc.not_yet_valid += stats.not_yet_valid;
+    acc.forged += stats.forged;
+    acc.unparseable += stats.unparseable;
 }
 
 impl ShardedController {
@@ -281,6 +298,7 @@ impl ShardedController {
             next_id: shard_count as u64,
             epoch: 0,
             retired_stats: BackendStats::default(),
+            retired_verify_stats: VerifyCacheStats::default(),
         })
     }
 
@@ -543,6 +561,7 @@ impl ShardedController {
         self.retired_stats.queries_sent += stats.queries_sent;
         self.retired_stats.responses_received += stats.responses_received;
         self.retired_stats.timeouts += stats.timeouts;
+        fold_verify_stats(&mut self.retired_verify_stats, retired.verify_stats());
         self.epoch += 1;
         retired
     }
@@ -660,6 +679,17 @@ impl ShardedController {
             merged.queries_sent += stats.queries_sent;
             merged.responses_received += stats.responses_received;
             merged.timeouts += stats.timeouts;
+        }
+        merged
+    }
+
+    /// Verify-plane counters **summed** over the shards (each shard owns an
+    /// independent verify cache, so the tier view is total verification
+    /// work), plus the folded counters of removed shards.
+    pub fn verify_stats(&self) -> VerifyCacheStats {
+        let mut merged = self.retired_verify_stats;
+        for shard in &self.shards {
+            fold_verify_stats(&mut merged, shard.verify_stats());
         }
         merged
     }

@@ -38,21 +38,13 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
     outer.finalize()
 }
 
-/// Constant-time comparison of two MACs.
+/// Constant-time comparison of two MACs (via [`crate::ct_eq`]).
 ///
 /// Timing side channels are largely irrelevant in a simulator, but verifying
 /// MACs in constant time is the idiom the real system would use, and it is
 /// cheap to do correctly.
 pub fn verify_hmac(key: &[u8], message: &[u8], mac: &[u8]) -> bool {
-    let expected = hmac_sha256(key, message);
-    if mac.len() != expected.len() {
-        return false;
-    }
-    let mut diff = 0u8;
-    for (a, b) in expected.iter().zip(mac.iter()) {
-        diff |= a ^ b;
-    }
-    diff == 0
+    crate::ct_eq(&hmac_sha256(key, message), mac)
 }
 
 #[cfg(test)]

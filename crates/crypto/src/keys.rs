@@ -13,15 +13,19 @@
 //! [`KeyRegistry`] is the in-memory form of that dictionary; the PF+=2
 //! evaluator resolves `@pubkeys[research]` against it (or against the literal
 //! hex value, when the dictionary stores the key material inline).
+//!
+//! Keys are real ed25519 keys ([`crate::ed25519`]): the secret key is the
+//! 32-byte RFC 8032 seed, the public key its 32-byte compressed curve point
+//! (64 hex characters in `.control` files).
 
 use std::collections::BTreeMap;
 
-use crate::schnorr;
+use crate::ed25519;
 use crate::sha256::{from_hex, sha256, to_hex};
 
-/// A secret (signing) key.
+/// A secret (signing) key: the 32-byte ed25519 seed.
 #[derive(Clone, Copy, PartialEq, Eq)]
-pub struct SecretKey(pub(crate) u64);
+pub struct SecretKey(pub(crate) [u8; 32]);
 
 impl std::fmt::Debug for SecretKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -30,30 +34,30 @@ impl std::fmt::Debug for SecretKey {
     }
 }
 
-/// A public (verification) key.
+/// A public (verification) key: a compressed ed25519 curve point.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
-pub struct PublicKey(pub(crate) u64);
+pub struct PublicKey(pub(crate) [u8; 32]);
 
 impl PublicKey {
-    /// Hex form, as stored in `.control` files.
+    /// Hex form, as stored in `.control` files (64 characters).
     pub fn to_hex(&self) -> String {
-        to_hex(&self.0.to_be_bytes())
+        to_hex(&self.0)
     }
 
     /// Parses the hex form. Returns `None` for malformed input.
     pub fn from_hex(s: &str) -> Option<PublicKey> {
         let bytes = from_hex(s.trim())?;
-        if bytes.len() != 8 {
+        if bytes.len() != 32 {
             return None;
         }
-        let mut w = [0u8; 8];
+        let mut w = [0u8; 32];
         w.copy_from_slice(&bytes);
-        Some(PublicKey(u64::from_be_bytes(w)))
+        Some(PublicKey(w))
     }
 
-    /// The raw group element.
-    pub fn raw(&self) -> u64 {
-        self.0
+    /// The raw compressed-point bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
     }
 }
 
@@ -68,33 +72,21 @@ impl KeyPair {
     /// Derives a key pair deterministically from a seed.
     ///
     /// Deterministic derivation keeps simulator runs and the paper-figure
-    /// scenarios reproducible; a production deployment would draw the secret
-    /// from a CSPRNG instead.
+    /// scenarios reproducible; a production deployment would draw the 32-byte
+    /// ed25519 seed from a CSPRNG instead.
     pub fn from_seed(seed: &[u8]) -> KeyPair {
         let digest = sha256(&[b"identxx-keypair:", seed].concat());
-        let mut w = [0u8; 8];
-        w.copy_from_slice(&digest[..8]);
-        let mut x = u64::from_be_bytes(w) % crate::field::GROUP_ORDER;
-        if x == 0 {
-            x = 1;
-        }
         KeyPair {
-            secret: SecretKey(x),
-            public: PublicKey(schnorr::public_key(x)),
+            secret: SecretKey(digest),
+            public: PublicKey(ed25519::derive_public(&digest)),
         }
     }
 
-    /// Builds a key pair from a raw secret scalar.
+    /// Builds a key pair deterministically from a raw `u64` (kept for
+    /// callers that index key material numerically; the value is stretched
+    /// into a full seed, it is *not* the secret scalar).
     pub fn from_secret(x: u64) -> KeyPair {
-        let x = if x.is_multiple_of(crate::field::GROUP_ORDER) {
-            1
-        } else {
-            x % crate::field::GROUP_ORDER
-        };
-        KeyPair {
-            secret: SecretKey(x),
-            public: PublicKey(schnorr::public_key(x)),
-        }
+        KeyPair::from_seed(&x.to_be_bytes())
     }
 
     /// The public half.
@@ -103,8 +95,8 @@ impl KeyPair {
     }
 
     /// Signs a raw message.
-    pub fn sign(&self, message: &[u8]) -> schnorr::Signature {
-        schnorr::sign(self.secret.0, message)
+    pub fn sign(&self, message: &[u8]) -> ed25519::Signature {
+        ed25519::sign(&self.secret.0, message)
     }
 }
 
@@ -151,6 +143,12 @@ impl KeyRegistry {
     pub fn iter(&self) -> impl Iterator<Item = (&str, PublicKey)> {
         self.keys.iter().map(|(n, k)| (n.as_str(), *k))
     }
+
+    /// The registered names, in order (used by the static analyzer's
+    /// dangling-key check).
+    pub fn names(&self) -> Vec<String> {
+        self.keys.keys().cloned().collect()
+    }
 }
 
 #[cfg(test)]
@@ -170,9 +168,12 @@ mod tests {
     fn public_key_hex_round_trip() {
         let kp = KeyPair::from_seed(b"Secur");
         let hex = kp.public().to_hex();
+        assert_eq!(hex.len(), 64);
         assert_eq!(PublicKey::from_hex(&hex), Some(kp.public()));
         assert_eq!(PublicKey::from_hex("nothex"), None);
         assert_eq!(PublicKey::from_hex("abcd"), None);
+        // The old 8-byte toy-scheme key length no longer parses.
+        assert_eq!(PublicKey::from_hex("0123456789abcdef"), None);
     }
 
     #[test]
@@ -189,19 +190,22 @@ mod tests {
         assert_eq!(reg.resolve("unknown"), None);
         assert_eq!(reg.len(), 1);
         assert!(!reg.is_empty());
+        assert_eq!(reg.names(), vec!["research".to_string()]);
     }
 
     #[test]
     fn secret_key_debug_does_not_leak() {
-        let kp = KeyPair::from_secret(123456);
+        let kp = KeyPair::from_secret(123_456);
         let dbg = format!("{:?}", kp);
         assert!(!dbg.contains("123456"));
+        assert!(dbg.contains("SecretKey(..)"));
     }
 
     #[test]
-    fn zero_secret_is_avoided() {
+    fn from_secret_signs_verifiably() {
         let kp = KeyPair::from_secret(0);
         let msg = b"m";
-        assert!(schnorr::verify(kp.public().raw(), msg, &kp.sign(msg)));
+        let sig = kp.sign(msg);
+        assert!(crate::ed25519::verify(kp.public().as_bytes(), msg, &sig));
     }
 }

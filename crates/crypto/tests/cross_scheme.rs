@@ -1,0 +1,78 @@
+//! Cross-scheme equivalence: the legacy toy Schnorr scheme and the real
+//! ed25519 scheme must agree on which bundles they accept and which tampered
+//! variants they reject. This is the only place the toy scheme is still
+//! exercised; it compiles only under the `legacy-toy` feature
+//! (`cargo test -p identxx-crypto --features legacy-toy`).
+#![cfg(feature = "legacy-toy")]
+
+use identxx_crypto::signing::canonical_encoding;
+use identxx_crypto::{ed25519, schnorr, KeyPair};
+
+/// A tamper suite: the original bundle plus every single-item mutation,
+/// item-boundary shift, and truncation/extension we check signatures against.
+fn tamper_suite() -> Vec<(&'static str, Vec<String>)> {
+    let original = vec![
+        "9f2c7a11deadbeef".to_string(),
+        "research-app".to_string(),
+        "block all\npass all with eq(@src[name], research-app)".to_string(),
+    ];
+    let mut suite = vec![("original", original.clone())];
+    for (i, label) in [
+        (0usize, "tampered-exe-hash"),
+        (1, "tampered-app-name"),
+        (2, "tampered-requirements"),
+    ] {
+        let mut v = original.clone();
+        v[i].push('x');
+        suite.push((label, v));
+    }
+    // Item-boundary shift: move the last char of item 0 onto item 1.
+    let mut shifted = original.clone();
+    let c = shifted[0].pop().unwrap();
+    shifted[1].insert(0, c);
+    suite.push(("boundary-shift", shifted));
+    // Dropped and appended items.
+    suite.push(("dropped-item", original[..2].to_vec()));
+    let mut extended = original.clone();
+    extended.push(String::new());
+    suite.push(("appended-empty-item", extended));
+    suite
+}
+
+#[test]
+fn toy_and_ed25519_agree_on_the_tamper_suite() {
+    let suite = tamper_suite();
+    let (_, original) = &suite[0];
+
+    // Sign the original bundle's canonical encoding under both schemes.
+    let toy_secret = 0x5eed_u64;
+    let toy_public = schnorr::public_key(toy_secret);
+    let toy_sig = schnorr::sign(toy_secret, &canonical_encoding(original));
+
+    let kp = KeyPair::from_seed(b"cross-scheme");
+    let ed_sig = kp.sign(&canonical_encoding(original));
+
+    for (label, items) in &suite {
+        let enc = canonical_encoding(items);
+        let toy_ok = schnorr::verify(toy_public, &enc, &toy_sig);
+        let ed_ok = ed25519::verify(kp.public().as_bytes(), &enc, &ed_sig);
+        let expect = *label == "original";
+        assert_eq!(toy_ok, expect, "toy scheme disagrees on {label}");
+        assert_eq!(ed_ok, expect, "ed25519 disagrees on {label}");
+    }
+}
+
+#[test]
+fn both_schemes_reject_wrong_keys() {
+    let msg = canonical_encoding(&["a", "b"]);
+
+    let toy_sig = schnorr::sign(7, &msg);
+    assert!(schnorr::verify(schnorr::public_key(7), &msg, &toy_sig));
+    assert!(!schnorr::verify(schnorr::public_key(8), &msg, &toy_sig));
+
+    let kp = KeyPair::from_seed(b"right");
+    let other = KeyPair::from_seed(b"wrong");
+    let ed_sig = kp.sign(&msg);
+    assert!(ed25519::verify(kp.public().as_bytes(), &msg, &ed_sig));
+    assert!(!ed25519::verify(other.public().as_bytes(), &msg, &ed_sig));
+}

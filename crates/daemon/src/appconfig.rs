@@ -23,7 +23,7 @@
 //! matching a flow's executable are added, in file order, to the daemon's
 //! response.
 
-use identxx_crypto::{sign_bundle_hex, KeyPair};
+use identxx_crypto::{sign_bundle_hex, sign_bundle_windowed, KeyPair};
 use identxx_hostmodel::Executable;
 
 use crate::error::DaemonError;
@@ -198,6 +198,104 @@ pub fn signed_app_config(
         signer,
         &[exe_hash.as_str(), exe.name.as_str(), requirements],
     );
+    app_config_with_sig(exe, requirements, rule_maker, sig)
+}
+
+/// [`signed_app_config`] with a **bounded lifetime**: the `req-sig` value is
+/// a windowed bundle naming `key_id` and valid for
+/// `not_before <= now < not_after` on the controller's logical clock. A
+/// stolen or leaked block stops working on its own once the window closes —
+/// the delegation has to be actively renewed (see [`resign_app_config`])
+/// rather than actively revoked.
+///
+/// # Panics
+///
+/// Panics when `not_before >= not_after` (an empty window would mint a
+/// bundle no controller ever accepts — always an issuer bug, never input).
+pub fn signed_app_config_windowed(
+    exe: &Executable,
+    requirements: &str,
+    signer: &KeyPair,
+    key_id: &str,
+    not_before: u64,
+    not_after: u64,
+    rule_maker: Option<&str>,
+) -> AppConfig {
+    assert!(
+        not_before < not_after,
+        "empty validity window [{not_before}, {not_after})"
+    );
+    let exe_hash = exe.content_hash();
+    let bundle = sign_bundle_windowed(
+        signer,
+        key_id,
+        not_before,
+        not_after,
+        &[exe_hash.as_str(), exe.name.as_str(), requirements],
+    );
+    app_config_with_sig(exe, requirements, rule_maker, bundle.to_hex())
+}
+
+/// Rolls an `@app` block's delegation over to a fresh validity window: the
+/// existing `requirements` value is re-signed (the rules themselves don't
+/// change — only the window and possibly the key), and every `req-sig` pair
+/// is replaced with the new bundle. This is the expiry-rollover path an
+/// issuer runs on a timer; it errors when the block carries no
+/// `requirements` to re-sign.
+///
+/// # Panics
+///
+/// Panics when `not_before >= not_after`, like
+/// [`signed_app_config_windowed`].
+pub fn resign_app_config(
+    config: &mut AppConfig,
+    exe: &Executable,
+    signer: &KeyPair,
+    key_id: &str,
+    not_before: u64,
+    not_after: u64,
+) -> Result<(), DaemonError> {
+    assert!(
+        not_before < not_after,
+        "empty validity window [{not_before}, {not_after})"
+    );
+    let requirements = config
+        .get("requirements")
+        .ok_or_else(|| DaemonError::BadConfig {
+            line: 0,
+            message: format!("@app {} has no requirements to re-sign", config.exe_path),
+        })?
+        .to_string();
+    let exe_hash = exe.content_hash();
+    let bundle = sign_bundle_windowed(
+        signer,
+        key_id,
+        not_before,
+        not_after,
+        &[exe_hash.as_str(), exe.name.as_str(), requirements.as_str()],
+    );
+    let hex = bundle.to_hex();
+    let mut replaced = false;
+    for (k, v) in &mut config.pairs {
+        if k == "req-sig" {
+            *v = hex.clone();
+            replaced = true;
+        }
+    }
+    if !replaced {
+        config.pairs.push(("req-sig".to_string(), hex));
+    }
+    Ok(())
+}
+
+/// The shared tail of the `signed_app_config*` constructors: the standard
+/// identity pairs, the optional rule-maker, and the signature.
+fn app_config_with_sig(
+    exe: &Executable,
+    requirements: &str,
+    rule_maker: Option<&str>,
+    sig: String,
+) -> AppConfig {
     let mut config = AppConfig::new(&exe.path)
         .with_pair("name", &exe.name)
         .with_pair("version", exe.version.to_string())
@@ -324,5 +422,95 @@ rule-maker : Secur
         let secur = KeyPair::from_seed(b"Secur");
         let with_maker = signed_app_config(&exe, requirements, &secur, Some("Secur"));
         assert_eq!(with_maker.get("rule-maker"), Some("Secur"));
+    }
+
+    #[test]
+    fn windowed_config_expires_and_names_its_key() {
+        use identxx_crypto::{verify_bundle_hex_at, SignedBundle};
+
+        let exe = Executable::new(
+            "/usr/bin/research-app",
+            "research-app",
+            1,
+            "lab",
+            "research",
+        );
+        let secur = KeyPair::from_seed(b"Secur");
+        let requirements = "block all\npass all with eq(@src[name], research-app)";
+        let config = signed_app_config_windowed(
+            &exe,
+            requirements,
+            &secur,
+            "Secur",
+            1_000,
+            2_000,
+            Some("Secur"),
+        );
+        let sig = config.get("req-sig").unwrap();
+        // The bundle names its key and window on the wire.
+        let bundle = SignedBundle::from_hex(sig).unwrap();
+        assert_eq!(bundle.key_id, "Secur");
+        assert_eq!((bundle.not_before, bundle.not_after), (1_000, 2_000));
+        let key = secur.public().to_hex();
+        let items = [
+            exe.content_hash(),
+            "research-app".to_string(),
+            requirements.to_string(),
+        ];
+        // Valid strictly inside the window, rejected on either side.
+        assert!(verify_bundle_hex_at(sig, &key, &items, 1_000).is_ok());
+        assert!(verify_bundle_hex_at(sig, &key, &items, 1_999).is_ok());
+        assert!(verify_bundle_hex_at(sig, &key, &items, 999).is_err());
+        assert!(verify_bundle_hex_at(sig, &key, &items, 2_000).is_err());
+        // The windowed block still parses back from its rendered form.
+        let reparsed = parse_app_configs(&config.render()).unwrap();
+        assert_eq!(reparsed[0].get("req-sig"), Some(sig));
+    }
+
+    #[test]
+    fn resigning_rolls_the_window_forward() {
+        use identxx_crypto::{verify_bundle_hex_at, SignedBundle};
+
+        let exe = Executable::new(
+            "/usr/bin/research-app",
+            "research-app",
+            1,
+            "lab",
+            "research",
+        );
+        let secur = KeyPair::from_seed(b"Secur");
+        let requirements = "block all";
+        let mut config =
+            signed_app_config_windowed(&exe, requirements, &secur, "Secur", 0, 1_000, None);
+        let key = secur.public().to_hex();
+        let items = [
+            exe.content_hash(),
+            "research-app".to_string(),
+            requirements.to_string(),
+        ];
+        let old_sig = config.get("req-sig").unwrap().to_string();
+        assert!(verify_bundle_hex_at(&old_sig, &key, &items, 1_500).is_err());
+        // Roll the delegation over; the rules are unchanged, the window new.
+        resign_app_config(&mut config, &exe, &secur, "Secur", 1_000, 2_000).unwrap();
+        let new_sig = config.get("req-sig").unwrap();
+        assert_ne!(new_sig, old_sig);
+        assert!(verify_bundle_hex_at(new_sig, &key, &items, 1_500).is_ok());
+        assert_eq!(SignedBundle::from_hex(new_sig).unwrap().not_after, 2_000);
+        // Exactly one req-sig pair remains.
+        assert_eq!(
+            config.pairs.iter().filter(|(k, _)| k == "req-sig").count(),
+            1
+        );
+        // A block with no requirements cannot be re-signed.
+        let mut bare = AppConfig::new("/usr/bin/x").with_pair("name", "x");
+        assert!(resign_app_config(&mut bare, &exe, &secur, "Secur", 0, 10).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty validity window")]
+    fn empty_window_is_an_issuer_bug() {
+        let exe = Executable::new("/usr/bin/x", "x", 1, "v", "t");
+        let signer = KeyPair::from_seed(b"k");
+        let _ = signed_app_config_windowed(&exe, "block all", &signer, "k", 5, 5, None);
     }
 }

@@ -27,7 +27,9 @@ pub mod daemon;
 pub mod error;
 pub mod fault;
 
-pub use appconfig::{parse_app_configs, signed_app_config, AppConfig};
+pub use appconfig::{
+    parse_app_configs, resign_app_config, signed_app_config, signed_app_config_windowed, AppConfig,
+};
 pub use daemon::{Daemon, QueryDirection};
 pub use error::DaemonError;
 pub use fault::{Fault, FaultInjector, FaultPlan, Window};

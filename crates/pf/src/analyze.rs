@@ -112,6 +112,10 @@ pub enum Category {
     /// A port-constrained rule whose ports the configured cache granularity
     /// erases from the state-table key.
     GranularityUnsafe,
+    /// A `verify()` key argument that names no key in the deployment's
+    /// trusted-key registry (and is not raw public-key hex), or a dict entry
+    /// that does not exist — the signature can never check out.
+    DanglingKey,
 }
 
 impl Category {
@@ -129,6 +133,7 @@ impl Category {
             Category::Unsatisfiable => "unsatisfiable",
             Category::Tautology => "tautology",
             Category::GranularityUnsafe => "granularity-unsafe",
+            Category::DanglingKey => "dangling-key",
         }
     }
 }
@@ -200,6 +205,13 @@ pub struct AnalysisOptions {
     /// `with_named_list`). `member`'s list argument resolves these before
     /// macros and tables, and their contents are unknown statically.
     pub named_lists: Vec<String>,
+    /// Names in the deployment's trusted-key registry (the evaluator's
+    /// `with_key_registry`; see `KeyRegistry::names`). `None` means the
+    /// registry is unknown and the dangling-key pass is skipped; `Some`
+    /// (even empty) enables it: a `verify()` key argument that is a bare
+    /// name outside this list — and is not raw public-key hex — is a
+    /// [`Category::DanglingKey`] error.
+    pub trusted_key_names: Option<Vec<String>>,
 }
 
 /// Runs every analysis pass over `ruleset` and returns the findings, sorted
@@ -211,6 +223,9 @@ pub fn analyze(ruleset: &RuleSet, options: &AnalysisOptions) -> Vec<Diagnostic> 
     ordering_pass(ruleset, options, &sat, &mut diags);
     if let Some(granularity) = options.granularity {
         diags.extend(granularity_diagnostics(ruleset, granularity));
+    }
+    if let Some(trusted) = &options.trusted_key_names {
+        dangling_key_pass(ruleset, trusted, &mut diags);
     }
     diags.sort_by_key(|d| (d.span.line, d.span.col, d.category.as_str()));
     diags
@@ -444,6 +459,99 @@ fn reference_pass(ruleset: &RuleSet, options: &AnalysisOptions, diags: &mut Vec<
                     },
                     _ => {}
                 }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dangling-key pass: verify() key arguments vs the trusted-key registry
+// ---------------------------------------------------------------------------
+
+/// Whether `text` parses as a raw public key (the evaluator's fallback when
+/// the trusted-key registry has no entry for it): 64 hex characters.
+fn looks_like_public_key_hex(text: &str) -> bool {
+    text.len() == 64 && text.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+/// Reports every `verify()` whose key argument can be resolved statically
+/// and resolves to no usable key. The evaluator resolves the second argument
+/// first against the trusted-key registry by name and then as raw hex, so a
+/// bare name outside `trusted` (that is not hex) makes the signature check
+/// unsatisfiable and the rule inert — exactly the failure mode of rotating a
+/// controller key out from under a shipped policy.
+fn dangling_key_pass(ruleset: &RuleSet, trusted: &[String], diags: &mut Vec<Diagnostic>) {
+    for (index, rule) in ruleset.rules.iter().enumerate() {
+        for call in &rule.withs {
+            if call.name != "verify" || call.args.len() < 2 {
+                continue;
+            }
+            let span = call_span(call);
+            match &call.args[1] {
+                FnArg::Literal(name) => {
+                    if looks_like_public_key_hex(name) || trusted.iter().any(|t| t == name) {
+                        continue;
+                    }
+                    let known = if trusted.is_empty() {
+                        String::from("the registry is empty")
+                    } else {
+                        format!("registry keys: {}", trusted.join(", "))
+                    };
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        category: Category::DanglingKey,
+                        span,
+                        rule_index: Some(index),
+                        message: format!(
+                            "`verify` trusts key `{name}`, which is not in the deployment's \
+                             trusted-key registry and is not public-key hex; the signature can \
+                             never check out and the rule is inert ({known})"
+                        ),
+                        related: Vec::new(),
+                    });
+                }
+                FnArg::DictRef { dict, key, .. } if dict != "src" && dict != "dst" => {
+                    // Undefined dicts are already `undefined-reference` errors
+                    // in the reference pass; here we check the entry.
+                    let Some(entries) = ruleset.dicts.get(dict) else {
+                        continue;
+                    };
+                    match entries.get(key) {
+                        None => diags.push(Diagnostic {
+                            severity: Severity::Error,
+                            category: Category::DanglingKey,
+                            span,
+                            rule_index: Some(index),
+                            message: format!(
+                                "`verify` reads its key from @{dict}[{key}], but dict <{dict}> \
+                                 has no entry `{key}`; the signature can never check out and \
+                                 the rule is inert"
+                            ),
+                            related: Vec::new(),
+                        }),
+                        Some(value)
+                            if !looks_like_public_key_hex(value)
+                                && !trusted.iter().any(|t| t == value) =>
+                        {
+                            diags.push(Diagnostic {
+                                severity: Severity::Error,
+                                category: Category::DanglingKey,
+                                span,
+                                rule_index: Some(index),
+                                message: format!(
+                                    "`verify` reads its key from @{dict}[{key}], but the entry \
+                                     is neither public-key hex nor a trusted-key registry name; \
+                                     the signature can never check out and the rule is inert"
+                                ),
+                                related: Vec::new(),
+                            });
+                        }
+                        Some(_) => {}
+                    }
+                }
+                // @src/@dst responses and macro text are dynamic; nothing to
+                // check statically.
+                _ => {}
             }
         }
     }
@@ -1766,5 +1874,93 @@ pass from any to <server> port 80 keep state
         assert_eq!(Severity::Warning.as_str(), "warning");
         assert_eq!(Category::ShadowedRule.as_str(), "shadowed-rule");
         assert_eq!(Category::GranularityUnsafe.as_str(), "granularity-unsafe");
+        assert_eq!(Category::DanglingKey.as_str(), "dangling-key");
+    }
+
+    const VERIFY_TAIL: &str = "@src[exe-hash], @src[name], @src[requirements])";
+
+    fn trusted(names: &[&str]) -> AnalysisOptions {
+        AnalysisOptions {
+            trusted_key_names: Some(names.iter().map(|n| n.to_string()).collect()),
+            ..AnalysisOptions::default()
+        }
+    }
+
+    #[test]
+    fn verify_of_unregistered_key_name_is_a_dangling_key_error() {
+        let policy =
+            format!("block all\npass all with verify(@src[req-sig], Secur, {VERIFY_TAIL}\n");
+        // Registry known and missing the name: error naming both sides.
+        let diags = run_with(&policy, &trusted(&["Ops"]));
+        let dangling = by_category(&diags, Category::DanglingKey);
+        assert_eq!(dangling.len(), 1, "{diags:?}");
+        assert_eq!(dangling[0].severity, Severity::Error);
+        assert!(
+            dangling[0].message.contains("`Secur`"),
+            "{}",
+            dangling[0].message
+        );
+        assert!(
+            dangling[0].message.contains("Ops"),
+            "{}",
+            dangling[0].message
+        );
+        // Registered name: clean. Registry unknown (None): pass skipped.
+        assert!(by_category(
+            &run_with(&policy, &trusted(&["Secur"])),
+            Category::DanglingKey
+        )
+        .is_empty());
+        assert!(by_category(&run(&policy), Category::DanglingKey).is_empty());
+    }
+
+    #[test]
+    fn raw_hex_key_is_not_dangling() {
+        let hex = "ab".repeat(32);
+        let policy =
+            format!("block all\npass all with verify(@src[req-sig], {hex}, {VERIFY_TAIL}\n");
+        let diags = run_with(&policy, &trusted(&[]));
+        assert!(
+            by_category(&diags, Category::DanglingKey).is_empty(),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_dict_entry_is_a_dangling_key_error() {
+        let hex = "cd".repeat(32);
+        let policy = format!(
+            "dict <pubkeys> {{ research : {hex} }}\nblock all\n\
+             pass all with verify(@src[req-sig], @pubkeys[research], {VERIFY_TAIL}\n\
+             pass all with verify(@src[req-sig], @pubkeys[missing], {VERIFY_TAIL}\n"
+        );
+        let diags = run_with(&policy, &trusted(&[]));
+        let dangling = by_category(&diags, Category::DanglingKey);
+        assert_eq!(dangling.len(), 1, "{diags:?}");
+        assert!(
+            dangling[0].message.contains("no entry `missing`"),
+            "{}",
+            dangling[0].message
+        );
+    }
+
+    #[test]
+    fn dict_entry_that_is_neither_hex_nor_registry_name_is_dangling() {
+        let policy = "dict <pubkeys> { research : not-a-key }\nblock all\n\
+             pass all with verify(@src[req-sig], @pubkeys[research], @src[exe-hash])\n";
+        let diags = run_with(policy, &trusted(&[]));
+        assert_eq!(
+            by_category(&diags, Category::DanglingKey).len(),
+            1,
+            "{diags:?}"
+        );
+        // An entry holding a registry *name* resolves at runtime: clean.
+        let aliased = "dict <pubkeys> { research : Secur }\nblock all\n\
+             pass all with verify(@src[req-sig], @pubkeys[research], @src[exe-hash])\n";
+        let diags = run_with(aliased, &trusted(&["Secur"]));
+        assert!(
+            by_category(&diags, Category::DanglingKey).is_empty(),
+            "{diags:?}"
+        );
     }
 }

@@ -11,6 +11,10 @@
 //!                 exact | dst-port | host-pair
 //! --allow-key K   accept @src[K]/@dst[K] as a known response key (repeatable)
 //! --allow-fn F    accept F as a registered user function (repeatable)
+//! --trusted-key K the deployment's trusted-key registry contains key name K
+//!                 (repeatable; passing it at all turns on the dangling-key
+//!                 check, so a `verify()` naming an unregistered key is an
+//!                 error — feed it from `KeyRegistry::names()`)
 //! -q, --quiet     print only the per-input summary lines
 //! -h, --help      this text
 //! ```
@@ -27,7 +31,7 @@ use identxx_pf::analyze::{analyze, AnalysisOptions, Related, Severity};
 use identxx_pf::{parse_ruleset, CacheGranularity, ConfigSet, RuleSet, Span};
 
 const USAGE: &str = "usage: pfcheck [--json] [--granularity exact|dst-port|host-pair] \
-                     [--allow-key K]... [--allow-fn F]... [-q] <path>...";
+                     [--allow-key K]... [--allow-fn F]... [--trusted-key K]... [-q] <path>...";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -70,6 +74,16 @@ fn main() -> ExitCode {
                 Some(name) => options.user_functions.push(name),
                 None => {
                     eprintln!("pfcheck: --allow-fn needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--trusted-key" => match args.next() {
+                Some(name) => options
+                    .trusted_key_names
+                    .get_or_insert_with(Vec::new)
+                    .push(name),
+                None => {
+                    eprintln!("pfcheck: --trusted-key needs a value\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },

@@ -27,7 +27,7 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use identxx_crypto::{verify_bundle_hex, KeyRegistry};
+use identxx_crypto::{verify_bundle_hex_at, KeyRegistry, VerifyCache};
 use identxx_proto::{FiveTuple, IpProtocol, Ipv4Addr, Response};
 
 use crate::ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet};
@@ -307,6 +307,15 @@ impl PolicyCompiler {
     /// Attaches user-defined functions.
     pub fn with_functions(mut self, functions: FunctionRegistry) -> Self {
         self.core.functions = functions;
+        self
+    }
+
+    /// Attaches a shared verification cache: `verify()` verdicts are then
+    /// amortized by bundle content hash across every evaluation of the
+    /// compiled policy (and the interpreter contexts it spawns for
+    /// `allowed()`).
+    pub fn with_verify_cache(mut self, cache: Arc<VerifyCache>) -> Self {
+        self.core.verify_cache = Some(cache);
         self
     }
 
@@ -806,7 +815,9 @@ impl CompiledPolicy {
         self.core.requirements.parse_count()
     }
 
-    /// Evaluates the policy for `flow` against optional src/dst responses.
+    /// Evaluates the policy for `flow` against optional src/dst responses at
+    /// logical time zero (unwindowed bundles only; windowed bundles need
+    /// [`CompiledPolicy::evaluate_at`]).
     ///
     /// Decision-equivalent to [`EvalContext::evaluate`] over the same rule
     /// set and configuration. `Verdict::rules_evaluated` counts *candidate*
@@ -818,10 +829,24 @@ impl CompiledPolicy {
         src: Option<&Response>,
         dst: Option<&Response>,
     ) -> Verdict {
+        self.evaluate_at(flow, src, dst, 0)
+    }
+
+    /// Evaluates at logical time `now` (microseconds). `now` only affects
+    /// `verify()` of short-lived bundles, whose validity window is checked
+    /// against it.
+    pub fn evaluate_at(
+        &self,
+        flow: &FiveTuple,
+        src: Option<&Response>,
+        dst: Option<&Response>,
+        now: u64,
+    ) -> Verdict {
         EvalRun {
             policy: self,
             src,
             dst,
+            now,
             slots: [None; RESP_SLOTS],
         }
         .evaluate(flow)
@@ -863,6 +888,8 @@ struct EvalRun<'e> {
     policy: &'e CompiledPolicy,
     src: Option<&'e Response>,
     dst: Option<&'e Response>,
+    /// Logical time of this evaluation (window checks of short-lived bundles).
+    now: u64,
     /// Memoized `latest(key)` results per compile-time slot: `None` =
     /// unresolved, `Some(None)` = key absent, `Some(Some(v))` = present.
     slots: [Option<Option<&'e str>>; RESP_SLOTS],
@@ -1066,7 +1093,7 @@ impl<'e> EvalRun<'e> {
                     self.dst,
                     Arc::clone(&self.policy.core),
                 )
-                .evaluate_at_depth(flow, depth + 1)
+                .evaluate_at_depth(flow, depth + 1, self.now)
                 .decision
                 .is_pass()
             }
@@ -1090,7 +1117,12 @@ impl<'e> EvalRun<'e> {
                         None => return false,
                     }
                 }
-                verify_bundle_hex(&sig, &key_hex, &items)
+                match &self.policy.core.verify_cache {
+                    Some(cache) => cache
+                        .verify_hex_at(&sig, &key_hex, &items, self.now)
+                        .is_valid(),
+                    None => verify_bundle_hex_at(&sig, &key_hex, &items, self.now).is_ok(),
+                }
             }
             CPred::User { name, args } => {
                 match self
@@ -1448,6 +1480,62 @@ mod tests {
                 .decision,
             Decision::Pass
         );
+    }
+
+    #[test]
+    fn verify_windowed_and_cached_matches_interpreter() {
+        use identxx_crypto::{sign_bundle_windowed, KeyPair};
+        let secur = KeyPair::from_seed(b"Secur");
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 9999, [10, 0, 0, 2], 7000);
+        let requirements = "block all\npass from any to any port 7000";
+        let bundle = sign_bundle_windowed(
+            &secur,
+            "Secur",
+            1_000,
+            2_000,
+            &["hash", "app", requirements],
+        );
+        let rs = parse_ruleset(
+            "block all\npass all with verify(@dst[req-sig], Secur, @dst[exe-hash], @dst[app-name], @dst[requirements])\n",
+        )
+        .unwrap();
+        let src = Response::new(flow);
+        let dst = response_with(
+            flow,
+            &[
+                ("req-sig", bundle.to_hex().as_str()),
+                ("exe-hash", "hash"),
+                ("app-name", "app"),
+                ("requirements", requirements),
+            ],
+        );
+        let mut registry = KeyRegistry::new();
+        registry.insert("Secur", secur.public());
+        let cache = Arc::new(VerifyCache::new());
+        let compiled = PolicyCompiler::new()
+            .with_key_registry(registry.clone())
+            .with_verify_cache(Arc::clone(&cache))
+            .compile(&rs);
+        let interp = EvalContext::new(&rs)
+            .with_responses(&src, &dst)
+            .with_key_registry(registry);
+        for now in [0u64, 999, 1_000, 1_999, 2_000, 50_000] {
+            let c = compiled.evaluate_at(&flow, Some(&src), Some(&dst), now);
+            let i = interp.evaluate_at(&flow, now);
+            assert_eq!(c.decision, i.decision, "divergence at now={now}");
+            assert_eq!(
+                c.decision,
+                if (1_000..2_000).contains(&now) {
+                    Decision::Pass
+                } else {
+                    Decision::Block
+                }
+            );
+        }
+        // The two in-window evaluations shared one fresh verification.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
     }
 
     #[test]

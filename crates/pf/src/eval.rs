@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 
-use identxx_crypto::{verify_bundle_hex, KeyRegistry};
+use identxx_crypto::{verify_bundle_hex_at, KeyRegistry, VerifyCache};
 use identxx_proto::{FiveTuple, Response};
 
 use crate::ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet};
@@ -146,6 +146,10 @@ pub(crate) struct EvalCore {
     /// lowering promises are impossible fail closed and tick this counter
     /// instead of panicking in the decision path. Shared across clones.
     pub(crate) internal_errors: Arc<std::sync::atomic::AtomicU64>,
+    /// Amortized `verify()` plane: when present, bundle verification verdicts
+    /// are cached by content hash so repeated bundles skip the curve math.
+    /// `None` falls back to uncached [`verify_bundle_hex_at`].
+    pub(crate) verify_cache: Option<Arc<VerifyCache>>,
 }
 
 impl EvalCore {
@@ -157,6 +161,7 @@ impl EvalCore {
             default_decision: Decision::Pass,
             requirements: Arc::new(RequirementCache::default()),
             internal_errors: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            verify_cache: None,
         }
     }
 
@@ -266,6 +271,14 @@ impl<'a> EvalContext<'a> {
         self
     }
 
+    /// Attaches a shared verification cache: `verify()` verdicts are then
+    /// amortized by bundle content hash instead of re-running curve math for
+    /// every flow that presents the same bundle.
+    pub fn with_verify_cache(mut self, cache: Arc<VerifyCache>) -> Self {
+        Arc::make_mut(&mut self.core).verify_cache = Some(cache);
+        self
+    }
+
     /// The rule set this context evaluates.
     pub fn ruleset(&self) -> &RuleSet {
         self.ruleset
@@ -285,20 +298,28 @@ impl<'a> EvalContext<'a> {
         self.core.requirements.parse_count()
     }
 
-    /// Evaluates the policy for `flow`, returning the full verdict.
+    /// Evaluates the policy for `flow` at logical time zero (unwindowed
+    /// bundles only; windowed bundles need [`EvalContext::evaluate_at`]).
     pub fn evaluate(&self, flow: &FiveTuple) -> Verdict {
-        self.evaluate_rules(&self.ruleset.rules, flow, 0)
+        self.evaluate_at(flow, 0)
+    }
+
+    /// Evaluates the policy for `flow` at logical time `now` (microseconds on
+    /// the system's logical clock). `now` only affects `verify()` of
+    /// short-lived bundles, whose validity window is checked against it.
+    pub fn evaluate_at(&self, flow: &FiveTuple, now: u64) -> Verdict {
+        self.evaluate_rules(&self.ruleset.rules, flow, 0, now)
     }
 
     /// Evaluates starting at a given `allowed()` nesting depth (used by the
     /// compiled evaluator, which delegates sub-rule sets to the interpreter).
-    pub(crate) fn evaluate_at_depth(&self, flow: &FiveTuple, depth: usize) -> Verdict {
-        self.evaluate_rules(&self.ruleset.rules, flow, depth)
+    pub(crate) fn evaluate_at_depth(&self, flow: &FiveTuple, depth: usize, now: u64) -> Verdict {
+        self.evaluate_rules(&self.ruleset.rules, flow, depth, now)
     }
 
     /// Evaluates an arbitrary rule list in this context (used by `allowed()`
     /// for delegated requirement rule sets).
-    fn evaluate_rules(&self, rules: &[Rule], flow: &FiveTuple, depth: usize) -> Verdict {
+    fn evaluate_rules(&self, rules: &[Rule], flow: &FiveTuple, depth: usize, now: u64) -> Verdict {
         let mut verdict = Verdict {
             decision: self.core.default_decision,
             matched_rule: None,
@@ -309,7 +330,7 @@ impl<'a> EvalContext<'a> {
         };
         for (idx, rule) in rules.iter().enumerate() {
             verdict.rules_evaluated += 1;
-            if self.rule_matches(rule, flow, depth) {
+            if self.rule_matches(rule, flow, depth, now) {
                 verdict.decision = Decision::from_action(rule.action);
                 verdict.matched_rule = Some(idx);
                 verdict.matched_line = Some(rule.line);
@@ -323,7 +344,7 @@ impl<'a> EvalContext<'a> {
         verdict
     }
 
-    fn rule_matches(&self, rule: &Rule, flow: &FiveTuple, depth: usize) -> bool {
+    fn rule_matches(&self, rule: &Rule, flow: &FiveTuple, depth: usize, now: u64) -> bool {
         if let Some(proto) = rule.proto {
             if proto != flow.protocol {
                 return false;
@@ -341,7 +362,7 @@ impl<'a> EvalContext<'a> {
         }
         rule.withs
             .iter()
-            .all(|call| self.call_matches(call, flow, depth))
+            .all(|call| self.call_matches(call, flow, depth, now))
     }
 
     fn endpoint_matches(
@@ -437,7 +458,7 @@ impl<'a> EvalContext<'a> {
         }
     }
 
-    fn call_matches(&self, call: &FnCall, flow: &FiveTuple, depth: usize) -> bool {
+    fn call_matches(&self, call: &FnCall, flow: &FiveTuple, depth: usize, now: u64) -> bool {
         match call.name.as_str() {
             "eq" | "ne" | "gt" | "lt" | "gte" | "lte" => {
                 if call.args.len() != 2 {
@@ -525,7 +546,7 @@ impl<'a> EvalContext<'a> {
                     core: Arc::clone(&self.core),
                 };
                 sub_ctx
-                    .evaluate_rules(&sub_ruleset.rules, flow, depth + 1)
+                    .evaluate_rules(&sub_ruleset.rules, flow, depth + 1, now)
                     .decision
                     .is_pass()
             }
@@ -554,7 +575,10 @@ impl<'a> EvalContext<'a> {
                         None => return false,
                     }
                 }
-                verify_bundle_hex(&sig, &key_hex, &data)
+                match &self.core.verify_cache {
+                    Some(cache) => cache.verify_hex_at(&sig, &key_hex, &data, now).is_valid(),
+                    None => verify_bundle_hex_at(&sig, &key_hex, &data, now).is_ok(),
+                }
             }
             other => match self.core.functions.get(other) {
                 Some(f) => {
@@ -963,6 +987,52 @@ mod tests {
         // Without the registry the name cannot be resolved.
         let ctx = EvalContext::new(&rs).with_responses(&src, &dst);
         assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+    }
+
+    #[test]
+    fn verify_windowed_bundles_respect_the_logical_clock() {
+        use identxx_crypto::sign_bundle_windowed;
+
+        let secur = KeyPair::from_seed(b"Secur");
+        let flow = flow_to_server();
+        let data = ["cafebabe", "thunderbird", "block all\npass all"];
+        let bundle = sign_bundle_windowed(&secur, "Secur", 1_000, 2_000, &data);
+        let rs = parse_ruleset(
+            "block all\npass all with verify(@src[req-sig], Secur, @src[exe-hash], @src[app-name], @src[requirements])\n",
+        )
+        .unwrap();
+        let src = response_with(
+            flow,
+            &[
+                ("req-sig", bundle.to_hex().as_str()),
+                ("exe-hash", "cafebabe"),
+                ("app-name", "thunderbird"),
+                ("requirements", "block all\npass all"),
+            ],
+        );
+        let dst = Response::new(flow);
+        let mut registry = KeyRegistry::new();
+        registry.insert("Secur", secur.public());
+        let cache = Arc::new(VerifyCache::new());
+        let ctx = EvalContext::new(&rs)
+            .with_responses(&src, &dst)
+            .with_key_registry(registry)
+            .with_verify_cache(Arc::clone(&cache));
+
+        // Inside the window: pass (fresh, then cached).
+        assert_eq!(ctx.evaluate_at(&flow, 1_500).decision, Decision::Pass);
+        assert_eq!(ctx.evaluate_at(&flow, 1_999).decision, Decision::Pass);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        // Before / at-or-after the window: block, even though the verdict is
+        // cached.
+        assert_eq!(ctx.evaluate_at(&flow, 999).decision, Decision::Block);
+        assert_eq!(ctx.evaluate_at(&flow, 2_000).decision, Decision::Block);
+        // `evaluate` (t=0) is before the window too.
+        assert_eq!(ctx.evaluate(&flow).decision, Decision::Block);
+        let stats = cache.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.not_yet_valid, 2);
     }
 
     #[test]

@@ -194,6 +194,58 @@ proptest! {
     }
 
     #[test]
+    fn windowed_bundle_encoding_is_injective(
+        key_id in "[a-z]{1,8}",
+        not_before in 0u64..1_000,
+        window in 1u64..1_000,
+        items in prop::collection::vec("[ -~]{0,20}", 1..4),
+        mutation in 0usize..5,
+        pick in any::<prop::sample::Index>(),
+    ) {
+        use identxx::crypto::signing::{canonical_encoding, windowed_encoding};
+
+        let not_after = not_before + window;
+        let original = windowed_encoding(&key_id, not_before, not_after, &items);
+
+        // Deterministic, and disjoint from the legacy v1 encoding of the
+        // same items (so a v1 signature can never verify as windowed).
+        prop_assert_eq!(&original, &windowed_encoding(&key_id, not_before, not_after, &items));
+        prop_assert_ne!(&original, &canonical_encoding(&items));
+
+        // Every neighboring tuple — key id, either window edge, merged
+        // items, or an item boundary shifted by one character — must
+        // encode differently. Boundary shifts are the classic injectivity
+        // trap: without length prefixes, ["ab", "c"] and ["a", "bc"]
+        // would collide.
+        let mut m_key = key_id.clone();
+        let mut m_before = not_before;
+        let mut m_after = not_after;
+        let mut m_items = items.clone();
+        match mutation {
+            0 => m_key.push('x'),
+            1 => m_before += 1,
+            2 => m_after += 1,
+            3 => {
+                if m_items.len() >= 2 {
+                    let merged = m_items.remove(0) + &m_items.remove(0);
+                    m_items.insert(0, merged);
+                } else {
+                    m_items.push(String::new());
+                }
+            }
+            _ => {
+                let i = pick.index(m_items.len());
+                match m_items[i].pop() {
+                    Some(c) if i + 1 < m_items.len() => m_items[i + 1].insert(0, c),
+                    Some(c) => m_items.push(c.to_string()),
+                    None => m_items[i].push('x'),
+                }
+            }
+        }
+        prop_assert_ne!(original, windowed_encoding(&m_key, m_before, m_after, &m_items));
+    }
+
+    #[test]
     fn sha256_hex_is_stable_and_collision_free_on_distinct_inputs(
         a in prop::collection::vec(any::<u8>(), 0..200),
         b in prop::collection::vec(any::<u8>(), 0..200),
