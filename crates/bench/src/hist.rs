@@ -1,0 +1,268 @@
+//! Mergeable log-bucketed latency histogram for the sustained-load harness.
+//!
+//! E11 records one latency sample per decision over minutes-long runs, so
+//! the recorder must be O(1) per sample, fixed-size in memory, and mergeable
+//! across load-generator segments (per-cell histograms sum into a run-wide
+//! one). The classic answer is a log-linear layout (HdrHistogram's): values
+//! below [`LINEAR_BUCKETS`] get exact unit buckets; above that, each
+//! power-of-two octave is split into [`LINEAR_BUCKETS`] linear sub-buckets,
+//! so every bucket's width is at most `1/LINEAR_BUCKETS` of its lower bound
+//! and any reported quantile is within ~3.1% of the true sample.
+//!
+//! The histogram is unit-agnostic (it stores `u64`s); E11 records
+//! microseconds. Merging is element-wise count addition, which makes it
+//! insensitive to recording order — `tests/hist_props.rs` pins that, the
+//! quantile error bound, and the empty/single-sample edges.
+
+/// Sub-buckets per octave (and the size of the exact linear prefix). The
+/// relative quantile error is bounded by `1/LINEAR_BUCKETS` ≈ 3.1%.
+pub const LINEAR_BUCKETS: u64 = 32;
+
+/// log2(LINEAR_BUCKETS): values below `1 << SUB_BITS` are bucketed exactly.
+const SUB_BITS: u32 = LINEAR_BUCKETS.trailing_zeros();
+
+/// Octaves above the linear prefix needed to cover the full `u64` domain:
+/// the most significant bit ranges over `SUB_BITS..=63`.
+const OCTAVES: usize = (64 - SUB_BITS as usize) + 1;
+
+/// Total bucket count (linear prefix is octave 0).
+const BUCKETS: usize = OCTAVES * LINEAR_BUCKETS as usize;
+
+/// A fixed-geometry log-linear histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+/// The bucket index for `value`. Octave 0 is the exact prefix `[0,
+/// LINEAR_BUCKETS)`; octave `o ≥ 1` covers `[2^(SUB_BITS+o-1),
+/// 2^(SUB_BITS+o))` in `LINEAR_BUCKETS` equal slices.
+fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_BUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let sub = (value >> (octave - 1)) - LINEAR_BUCKETS;
+    octave * LINEAR_BUCKETS as usize + sub as usize
+}
+
+/// The inclusive value range `[low, high]` a bucket covers.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    let octave = index as u64 / LINEAR_BUCKETS;
+    let sub = index as u64 % LINEAR_BUCKETS;
+    if octave == 0 {
+        return (sub, sub);
+    }
+    let width = 1u64 << (octave - 1);
+    let low = (LINEAR_BUCKETS + sub) << (octave - 1);
+    (low, low + (width - 1))
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram in (element-wise count addition). The result
+    /// is identical to having recorded both sample streams into one
+    /// histogram, in any order.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (exact); 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (exact); 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (exact); 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `[low, high]` bounds of the bucket holding the `q`-quantile
+    /// sample (rank `ceil(q·count)`, clamped to `[1, count]`), tightened by
+    /// the exact min/max. The true quantile lies inside the returned range,
+    /// whose width is at most `low / LINEAR_BUCKETS`.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (low, high) = bucket_bounds(index);
+                return (low.max(self.min), high.min(self.max));
+            }
+        }
+        (self.max, self.max)
+    }
+
+    /// The `q`-quantile, reported as the upper bound of its bucket
+    /// (conservative for tail percentiles); 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+
+    /// Shorthand trio for reports: (p50, p99, p999).
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.value_at_quantile(0.50),
+            self.value_at_quantile(0.99),
+            self.value_at_quantile(0.999),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_prefix_is_exact() {
+        for v in 0..LINEAR_BUCKETS {
+            let (low, high) = bucket_bounds(bucket_index(v));
+            assert_eq!((low, high), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        // Consecutive buckets tile the value domain with no gap or overlap,
+        // and every probed value falls inside its own bucket's bounds.
+        let mut expected_low = 0u64;
+        for index in 0..BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            assert_eq!(low, expected_low, "gap/overlap at bucket {index}");
+            assert!(high >= low);
+            if high == u64::MAX {
+                break;
+            }
+            expected_low = high + 1;
+        }
+        for probe in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1_000,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let (low, high) = bucket_bounds(bucket_index(probe));
+            assert!(low <= probe && probe <= high, "{probe} outside its bucket");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for index in 0..BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            assert!(
+                high - low <= low / LINEAR_BUCKETS,
+                "bucket {index} wider than the error bound: [{low}, {high}]"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_a_known_stream() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1_000);
+        let p50 = h.value_at_quantile(0.50);
+        // True p50 is 500; the estimate must sit within one bucket width.
+        assert!((484..=516).contains(&p50), "p50 {p50}");
+        assert_eq!(h.value_at_quantile(1.0), 1_000);
+        assert_eq!(h.quantile_bounds(0.0).0, 1);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut combined = LogHistogram::new();
+        for v in [3u64, 77, 900, 40_000, 1 << 40] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [0u64, 5, 5, 123_456] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.counts, combined.counts);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        assert_eq!(a.mean(), combined.mean());
+    }
+}

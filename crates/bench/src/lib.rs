@@ -4,5 +4,7 @@
 //! (`cargo run --release -p identxx-bench --bin scenarios`). See
 //! EXPERIMENTS.md for the experiment index.
 
+pub mod e11;
+pub mod hist;
 pub mod report;
 pub mod scenarios;

@@ -1,0 +1,142 @@
+//! Property tests for the E11 latency histogram (`identxx_bench::hist`).
+//!
+//! The sustained-load harness merges per-segment histograms into run-wide
+//! ones and reports p50/p99/p999 from the merged result, so three properties
+//! carry the whole report: merging is order-independent and equal to
+//! single-stream recording, every quantile estimate brackets the true sorted
+//! quantile within the documented `1/LINEAR_BUCKETS` relative error, and the
+//! empty/single-sample edges degrade gracefully instead of panicking.
+
+use identxx_bench::hist::{LogHistogram, LINEAR_BUCKETS};
+use proptest::prelude::*;
+
+/// Samples that exercise every histogram regime: the exact linear prefix,
+/// mid-range octaves (the microsecond latencies E11 actually records), and
+/// the far tail.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..LINEAR_BUCKETS,
+        LINEAR_BUCKETS..10_000u64,
+        10_000u64..100_000_000u64,
+        any::<u64>(),
+    ]
+}
+
+/// The true `q`-quantile of `values` under the histogram's rank convention
+/// (rank `ceil(q·count)` clamped to `[1, count]`, 1-indexed into the sorted
+/// stream).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+const QS: [f64; 6] = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging any partition of a sample stream — in any segment order —
+    /// yields exactly the histogram of the whole stream.
+    #[test]
+    fn merge_is_order_independent_and_equals_combined_recording(
+        values in prop::collection::vec(sample(), 1..200),
+        cut in 0usize..200,
+        reversed in any::<bool>(),
+    ) {
+        let cut = cut % values.len();
+        let mut combined = LogHistogram::new();
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            combined.record(v);
+            if i < cut { left.record(v) } else { right.record(v) }
+        }
+        let mut merged = LogHistogram::new();
+        let (first, second) = if reversed { (&right, &left) } else { (&left, &right) };
+        merged.merge(first);
+        merged.merge(second);
+
+        prop_assert_eq!(merged.count(), combined.count());
+        prop_assert_eq!(merged.min(), combined.min());
+        prop_assert_eq!(merged.max(), combined.max());
+        prop_assert_eq!(merged.mean(), combined.mean());
+        for q in QS {
+            prop_assert_eq!(merged.quantile_bounds(q), combined.quantile_bounds(q));
+        }
+    }
+
+    /// Every reported quantile bracket contains the true sorted-stream
+    /// quantile, and the bracket is never wider than the documented
+    /// `low / LINEAR_BUCKETS` relative error bound.
+    #[test]
+    fn quantile_bounds_bracket_the_true_quantile(
+        values in prop::collection::vec(sample(), 1..300),
+    ) {
+        let mut h = LogHistogram::new();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in QS {
+            let truth = true_quantile(&sorted, q);
+            let (low, high) = h.quantile_bounds(q);
+            prop_assert!(
+                low <= truth && truth <= high,
+                "q={}: true {} outside [{}, {}]", q, truth, low, high
+            );
+            prop_assert!(
+                high - low <= low / LINEAR_BUCKETS,
+                "q={}: bracket [{}, {}] wider than low/{}", q, low, high, LINEAR_BUCKETS
+            );
+            prop_assert_eq!(h.value_at_quantile(q), high);
+        }
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+    }
+
+    /// A single sample is reported exactly — every quantile, min, max, and
+    /// the mean all collapse to that value.
+    #[test]
+    fn single_sample_is_exact_at_every_quantile(v in sample()) {
+        let mut h = LogHistogram::new();
+        h.record(v);
+        prop_assert_eq!(h.count(), 1);
+        prop_assert_eq!(h.min(), v);
+        prop_assert_eq!(h.max(), v);
+        prop_assert_eq!(h.mean(), v as f64);
+        for q in QS {
+            prop_assert_eq!(h.quantile_bounds(q), (v, v));
+            prop_assert_eq!(h.value_at_quantile(q), v);
+        }
+        let (p50, p99, p999) = h.percentiles();
+        prop_assert_eq!((p50, p99, p999), (v, v, v));
+    }
+}
+
+/// The empty histogram answers every query with zeros instead of panicking,
+/// and merging an empty histogram is a no-op.
+#[test]
+fn empty_histogram_degrades_to_zeros() {
+    let h = LogHistogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.mean(), 0.0);
+    for q in QS {
+        assert_eq!(h.quantile_bounds(q), (0, 0));
+        assert_eq!(h.value_at_quantile(q), 0);
+    }
+    assert_eq!(h.percentiles(), (0, 0, 0));
+
+    let mut populated = LogHistogram::new();
+    populated.record(42);
+    let before = (populated.count(), populated.min(), populated.max());
+    populated.merge(&h);
+    assert_eq!(
+        (populated.count(), populated.min(), populated.max()),
+        before,
+        "merging an empty histogram must not disturb the population"
+    );
+    assert_eq!(populated.value_at_quantile(0.5), 42);
+}

@@ -11,7 +11,7 @@ use identxx_proto::{well_known, FiveTuple, Response};
 use identxx_openflow::{ControllerDirective, FlowMod, OpenFlowController, PacketIn};
 
 use crate::audit::{AuditLog, AuditRecord, PolicyNote};
-use crate::backend::{BackendStats, InProcessBackend, QueryBackend};
+use crate::backend::{BackendStats, InProcessBackend, QueryBackend, SharedDirectoryBackend};
 use crate::config::ControllerConfig;
 use crate::install::NetworkMap;
 use crate::intercept::{Interceptor, QueryTarget, ResponseAugmenter};
@@ -185,14 +185,23 @@ impl IdentxxController {
         self.backend.stats()
     }
 
-    /// Registers an end-host daemon with the in-process backend.
+    /// Registers an end-host daemon with the in-process backend (owned or
+    /// shared-directory flavor; registering through a shared directory is
+    /// visible to every shard over the same handle).
     ///
     /// # Panics
     ///
-    /// Panics when the controller runs over a different backend — network
-    /// deployments register daemon endpoints on the
+    /// Panics when the controller runs over a network or recording backend —
+    /// network deployments register daemon endpoints on the
     /// [`crate::backend::NetworkBackend`] instead.
     pub fn register_daemon(&mut self, daemon: identxx_daemon::Daemon) {
+        if let Some(directory) = self.shared_daemons() {
+            directory
+                .lock()
+                .expect("shared daemon directory poisoned")
+                .register(daemon);
+            return;
+        }
         self.daemons_mut().register(daemon);
     }
 
@@ -222,6 +231,39 @@ impl IdentxxController {
             .downcast_mut::<InProcessBackend>()
             .expect("daemons_mut(): controller is not using the in-process backend")
             .directory_mut()
+    }
+
+    /// The shared daemon directory handle, when this controller queries
+    /// through a [`SharedDirectoryBackend`] (the sharded-tier configuration
+    /// where N shards see one daemon population). `None` on any other
+    /// backend. This is the population-churn hook: registering or
+    /// unregistering through the handle is immediately visible to every
+    /// shard sharing it.
+    pub fn shared_daemons(&self) -> Option<std::sync::Arc<std::sync::Mutex<DaemonDirectory>>> {
+        self.backend
+            .as_any()
+            .downcast_ref::<SharedDirectoryBackend>()
+            .map(SharedDirectoryBackend::directory)
+    }
+
+    /// Removes an end-host daemon from the query plane (population churn:
+    /// the host left the network). Works over both in-process backend
+    /// flavors; returns whether the daemon was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the controller runs over a network or recording backend —
+    /// those model daemon departure by dropping the endpoint or the scripted
+    /// answer instead.
+    pub fn unregister_daemon(&mut self, addr: identxx_proto::Ipv4Addr) -> bool {
+        if let Some(directory) = self.shared_daemons() {
+            return directory
+                .lock()
+                .expect("shared daemon directory poisoned")
+                .unregister(addr)
+                .is_some();
+        }
+        self.daemons_mut().unregister(addr).is_some()
     }
 
     /// Lowers a parsed ruleset into the evaluation-ready form, carrying the

@@ -388,7 +388,10 @@ impl ShardedController {
     /// Registers an end-host daemon with **every** shard's in-process
     /// backend (cloned per shard): any flow involving the host routes to
     /// exactly one shard, but which one depends on the peer, so each shard
-    /// must be able to query it.
+    /// must be able to query it. When the shards share one daemon directory
+    /// (`SharedDirectoryBackend`), the daemon is registered once through the
+    /// shared handle and every shard sees it immediately — the arrival half
+    /// of population churn.
     ///
     /// # Panics
     ///
@@ -396,9 +399,43 @@ impl ShardedController {
     /// on the shard's `NetworkBackend` instead, via
     /// [`ShardedController::shard_mut`]).
     pub fn register_daemon(&mut self, daemon: Daemon) {
+        if let Some(directory) = self.shards[0].shared_daemons() {
+            directory
+                .lock()
+                .expect("shared daemon directory poisoned")
+                .register(daemon);
+            return;
+        }
         for shard in &mut self.shards {
             shard.register_daemon(daemon.clone());
         }
+    }
+
+    /// Removes an end-host daemon from the tier's query plane — the
+    /// departure half of population churn. Over a shared directory the
+    /// removal happens once and is visible to every shard; over per-shard
+    /// in-process backends each shard's clone is dropped. Returns whether
+    /// any backend held the daemon. Flows that still name the departed host
+    /// go unanswered, which is exactly the silent-host shape the fail-closed
+    /// configuration (`ControllerConfig::with_fail_closed_on_unanswered`)
+    /// exists for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a shard runs a non-in-process backend.
+    pub fn unregister_daemon(&mut self, addr: identxx_proto::Ipv4Addr) -> bool {
+        if let Some(directory) = self.shards[0].shared_daemons() {
+            return directory
+                .lock()
+                .expect("shared daemon directory poisoned")
+                .unregister(addr)
+                .is_some();
+        }
+        let mut removed = false;
+        for shard in &mut self.shards {
+            removed |= shard.unregister_daemon(addr);
+        }
+        removed
     }
 
     /// Marks every shard compromised (§5.1) or restores them.

@@ -23,6 +23,7 @@
 //! for the security-analysis experiments.
 
 pub mod appconfig;
+pub mod churn;
 pub mod daemon;
 pub mod error;
 pub mod fault;
@@ -30,6 +31,7 @@ pub mod fault;
 pub use appconfig::{
     parse_app_configs, resign_app_config, signed_app_config, signed_app_config_windowed, AppConfig,
 };
+pub use churn::{ChurnPlan, ChurnSchedule, ChurnTick};
 pub use daemon::{Daemon, QueryDirection};
 pub use error::DaemonError;
 pub use fault::{Fault, FaultInjector, FaultPlan, Window};

@@ -54,6 +54,64 @@ fn host_without_daemon_can_still_be_covered_by_interception() {
 }
 
 #[test]
+fn churned_out_daemon_fails_closed_and_rejoins_cleanly() {
+    // Population churn × fail-closed (DESIGN.md §10): a daemon that leaves
+    // mid-stream makes its host's queries unanswerable, so under
+    // `fail_closed_on_unanswered` new flows from that host are denied with a
+    // fail-closed audit note — and the deny is never cached, so the host
+    // passes again the moment it rejoins.
+    let config = identxx::controller::ControllerConfig::new()
+        .with_control_file("00.control", POLICY)
+        .with_fail_closed_on_unanswered();
+    let mut net = EnterpriseNetwork::star_with_config(4, config).unwrap();
+    let hosts = net.host_addrs();
+    let flow = net.start_app(hosts[0], hosts[1], 80, "alice", firefox_app());
+
+    // Departure: capture the daemon as it leaves (the directory hands it
+    // back), and check the tier-facing hook agrees it is already gone.
+    let departed = net
+        .controller_mut()
+        .daemons_mut()
+        .unregister(hosts[0])
+        .expect("h0 started with a live daemon");
+    assert!(
+        !net.controller_mut().unregister_daemon(hosts[0]),
+        "double departure must report the daemon as already gone"
+    );
+
+    let denied = net.decide(&flow);
+    assert!(!denied.is_pass(), "departed source must fail closed");
+    assert!(denied.src_response.is_none());
+    assert!(
+        net.controller()
+            .audit()
+            .policy_notes()
+            .iter()
+            .any(|note| note.category == "fail-closed"),
+        "fail-closed denies must be audited as such"
+    );
+    assert_eq!(
+        net.controller().state_table().len(),
+        0,
+        "a fail-closed deny must never be cached"
+    );
+
+    // Rejoin through the churn hook: the very next decision passes — no
+    // negative cache entry survived the outage.
+    net.controller_mut().register_daemon(departed);
+    assert!(net.decide(&flow).is_pass(), "rejoined daemon must pass");
+
+    // Second departure, this time through the hook. The pass above was
+    // cached `keep state`, so the *same* five-tuple still passes from cache
+    // (documented semantics: flow-table entries outlive the host), but a
+    // fresh flow from the departed host fails closed again.
+    let fresh = net.start_app(hosts[0], hosts[1], 8080, "alice", firefox_app());
+    assert!(net.controller_mut().unregister_daemon(hosts[0]));
+    assert!(net.decide(&flow).is_pass(), "cached verdict outlives churn");
+    assert!(!net.decide(&fresh).is_pass(), "uncached flow fails closed");
+}
+
+#[test]
 fn malformed_delegated_requirements_never_grant_access() {
     let policy = "block all\npass all with allowed(@src[requirements])\n";
     let mut net = EnterpriseNetwork::star(4, policy).unwrap();

@@ -149,9 +149,11 @@ async fn silent_and_unreachable_daemons_fail_closed_over_tcp() {
 #[tokio::test]
 async fn dual_end_queries_cost_max_not_sum() {
     let (mut src_daemon, mut dst_daemon, flow) = staged_pair();
-    // 150 ms of artificial latency on *each* end: issued serially the two
-    // round trips cost ≥ 300 ms; issued concurrently they cost ≈ 150 ms.
-    const DELAY: Duration = Duration::from_millis(150);
+    // 400 ms of artificial latency on *each* end: issued serially the two
+    // round trips cost ≥ 800 ms; issued concurrently they cost ≈ 400 ms.
+    // The delay dwarfs scheduler noise on a loaded single-core CI box, so
+    // the `< 2×DELAY` bound leaves a full DELAY of headroom either way.
+    const DELAY: Duration = Duration::from_millis(400);
     src_daemon.set_response_delay_micros(DELAY.as_micros() as u64);
     dst_daemon.set_response_delay_micros(DELAY.as_micros() as u64);
     let src_server = DaemonServer::start(src_daemon, "127.0.0.1:0".parse().unwrap())
@@ -194,8 +196,11 @@ async fn batched_round_costs_one_round_trip_per_host() {
     // Four flows between the same two hosts, decided in ONE batched round:
     // each host receives a single QUERY-BATCH frame and charges its
     // processing delay once per frame, so the round costs ≈ one delayed
-    // round trip — where four singleton decisions would stack four.
-    const DELAY: Duration = Duration::from_millis(150);
+    // round trip — where four singleton decisions would stack four
+    // (≥ 4×DELAY). The `< 3×DELAY` bound sits 2×DELAY above the expected
+    // cost and a full DELAY below the stacked one, so CI scheduler noise
+    // cannot flip the verdict in either direction.
+    const DELAY: Duration = Duration::from_millis(300);
     let src_ip = Ipv4Addr::new(10, 0, 0, 1);
     let dst_ip = Ipv4Addr::new(10, 0, 0, 2);
     let mut src_daemon = Daemon::bare(Host::new("laptop", src_ip));
@@ -264,7 +269,10 @@ async fn shared_timeout_budget_bounds_the_whole_decision() {
         .await
         .unwrap();
 
-    const BUDGET: Duration = Duration::from_millis(200);
+    // A generous budget (still far under the 2 s stall above) keeps the
+    // `< 2×BUDGET` sharing assertion a whole BUDGET away from timer and
+    // scheduler jitter on slow CI runners.
+    const BUDGET: Duration = Duration::from_millis(500);
     let backend = NetworkBackend::new()
         .with_budget(BUDGET)
         .with_endpoint(flow.src_ip, src_server.local_addr())

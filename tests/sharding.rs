@@ -3,10 +3,14 @@
 //! and the sharded / batched decision paths are decision-identical to the
 //! single controller deciding one flow at a time.
 
+use std::sync::{Arc, Mutex};
+
 use identxx::controller::{
-    BackendStats, ControllerConfig, FlowDecision, IdentxxController, RecordingBackend, ShardRouter,
-    ShardedController,
+    BackendStats, ControllerConfig, DaemonDirectory, FlowDecision, IdentxxController,
+    RecordingBackend, ShardRouter, ShardedController, SharedDirectoryBackend,
 };
+use identxx::daemon::Daemon;
+use identxx::hostmodel::Host;
 use identxx::pf::{CacheGranularity, Decision};
 use identxx::proto::{FiveTuple, IpProtocol, Ipv4Addr};
 use proptest::prelude::*;
@@ -397,4 +401,180 @@ fn fail_closed_denies_silent_hosts_without_caching_the_deny() {
         .shards()
         .iter()
         .all(|s| !s.state_table().contains(&silent_src, 300)));
+}
+
+// ---------------------------------------------------------------------------
+// Population churn (daemons joining and leaving mid-stream)
+// ---------------------------------------------------------------------------
+
+/// A live in-process daemon claiming application `app` (its forged response
+/// answers any query).
+fn churn_daemon(addr: Ipv4Addr, app: &str) -> Daemon {
+    let mut daemon = Daemon::bare(Host::new(format!("h{addr}"), addr));
+    daemon.set_forged_response(Some(vec![
+        ("name".to_string(), app.to_string()),
+        ("userID".to_string(), "alice".to_string()),
+    ]));
+    daemon
+}
+
+/// A shared directory seeded with hosts .1–.8: odd hosts claim firefox
+/// (pass under [`test_config`]), even ones an unknown app (block).
+fn churn_directory() -> Arc<Mutex<DaemonDirectory>> {
+    let (directory, _) = SharedDirectoryBackend::fresh();
+    {
+        let mut directory = directory.lock().unwrap();
+        for i in 1u8..=8 {
+            let app = if i % 2 == 1 { "firefox" } else { "unknownd" };
+            directory.register(churn_daemon(Ipv4Addr::new(10, 0, 0, i), app));
+        }
+    }
+    directory
+}
+
+/// A tier of `shards` controllers over (a backend onto) `directory`.
+fn tier_over(directory: &Arc<Mutex<DaemonDirectory>>, shards: usize) -> ShardedController {
+    ShardedController::new(test_config(), shards)
+        .unwrap()
+        .with_backends(|_| Box::new(SharedDirectoryBackend::new(Arc::clone(directory))))
+}
+
+/// Round-robin flows over hosts .1–.9 (including the not-yet-arrived .9):
+/// distinct within a round, so batched and singleton deciding agree.
+fn churn_flows(round: u64) -> Vec<FiveTuple> {
+    let h = |i: u8| Ipv4Addr::new(10, 0, 0, i);
+    (1u8..=9)
+        .map(|i| {
+            FiveTuple::tcp(
+                h(i),
+                41_000 + round as u16,
+                h(i % 9 + 1),
+                if i % 2 == 0 { 80 } else { 443 },
+            )
+        })
+        .collect()
+}
+
+/// Daemons joining and leaving mid-stream change *which* flows pass — and
+/// nothing else: a 3-shard tier tracks a single controller over an
+/// identically-churned population decision-for-decision (including
+/// `from_cache` and query accounting), audit records are conserved (one
+/// round's worth per round, each on exactly the shard that owns the flow),
+/// and the departure/arrival flip the affected flow's verdict in both
+/// worlds at the same round boundary.
+#[test]
+fn population_churn_preserves_decision_identity_and_audit_conservation() {
+    let single_dir = churn_directory();
+    let tier_dir = churn_directory();
+    let mut single = tier_over(&single_dir, 1);
+    let mut tier = tier_over(&tier_dir, 3);
+
+    let mut decided = 0usize;
+    let mut verdict_of = |round: u64,
+                          single: &mut ShardedController,
+                          tier: &mut ShardedController|
+     -> Vec<Decision> {
+        let flows = churn_flows(round);
+        let now = round * 1_000;
+        let t = tier.decide_batch(&flows, now);
+        let mut verdicts = Vec::new();
+        for (flow, t) in flows.iter().zip(&t) {
+            let s = single.decide(flow, now);
+            assert_eq!(
+                digest(&s),
+                digest(t),
+                "churned tier diverged for {flow} at round {round}"
+            );
+            verdicts.push(t.verdict.decision);
+        }
+        decided += flows.len();
+        verdicts
+    };
+
+    // Round 0: h9 has not arrived yet — its flow blocks (no answer under
+    // default-deny); h1 (firefox) passes.
+    let before = verdict_of(0, &mut single, &mut tier);
+    assert_eq!(before[0], Decision::Pass, "h1 claims firefox");
+    assert_eq!(before[8], Decision::Block, "h9 is not registered yet");
+
+    // Mid-stream churn through the tier hooks: firefox-claiming h9 arrives,
+    // firefox-claiming h1 leaves. Same churn on the reference population.
+    let h = |i: u8| Ipv4Addr::new(10, 0, 0, i);
+    tier.register_daemon(churn_daemon(h(9), "firefox"));
+    assert!(tier.unregister_daemon(h(1)), "h1 was live");
+    single.register_daemon(churn_daemon(h(9), "firefox"));
+    assert!(single.unregister_daemon(h(1)));
+
+    // Round 1: the arrival passes. h1's pass was cached with `keep state`
+    // before it left — flow-table entries outliving the host is the
+    // documented cache semantics, and both worlds must agree on it.
+    let after = verdict_of(1, &mut single, &mut tier);
+    assert_eq!(after[8], Decision::Pass, "arrived h9 must pass");
+
+    // Elastic membership composes with population churn: grow the tier by
+    // one shard (over the same shared directory) mid-run, churn again, and
+    // decisions still track the single controller.
+    tier.add_shard(Box::new(SharedDirectoryBackend::new(Arc::clone(&tier_dir))))
+        .expect("policy recompiles on the new shard");
+    tier.register_daemon(churn_daemon(h(1), "firefox"));
+    single.register_daemon(churn_daemon(h(1), "firefox"));
+    assert!(tier.unregister_daemon(h(2)));
+    assert!(single.unregister_daemon(h(2)));
+    verdict_of(2, &mut single, &mut tier);
+
+    // Conservation: every decision left exactly one audit record, the
+    // merged view has all of them, and each sits on the owning shard.
+    assert_eq!(tier.audit_len(), decided);
+    assert_eq!(single.audit_len(), decided);
+    assert_eq!(tier.merged_audit().len(), decided);
+    let per_shard: usize = tier.shards().iter().map(|s| s.audit().len()).sum();
+    assert_eq!(per_shard, decided, "audit records lost or duplicated");
+    for round in 0..3 {
+        for flow in churn_flows(round) {
+            let owner = tier.shard_for(&flow);
+            for (slot, shard) in tier.shards().iter().enumerate() {
+                let here = shard
+                    .audit()
+                    .records()
+                    .iter()
+                    .filter(|r| r.flow == flow)
+                    .count();
+                assert_eq!(
+                    here,
+                    if slot == owner { 1 } else { 0 },
+                    "round-{round} record for {flow} misplaced on shard {slot}"
+                );
+            }
+        }
+    }
+
+    // Both populations ended at the same size: 8 seeded + h9 − h2.
+    assert_eq!(tier_dir.lock().unwrap().len(), 8);
+    assert_eq!(single_dir.lock().unwrap().len(), 8);
+}
+
+/// The shared-directory churn hooks register once, not once per shard: a
+/// daemon arriving through the tier appears exactly once in the shared
+/// population, departing removes it for every shard at once, and
+/// re-registering after departure is a clean rejoin.
+#[test]
+fn shared_directory_churn_hooks_are_idempotent_across_shards() {
+    let directory = churn_directory();
+    let mut tier = tier_over(&directory, 4);
+    let addr = Ipv4Addr::new(10, 0, 0, 42);
+
+    tier.register_daemon(churn_daemon(addr, "firefox"));
+    assert_eq!(directory.lock().unwrap().len(), 9);
+    assert!(tier.unregister_daemon(addr));
+    assert!(!tier.unregister_daemon(addr), "double departure");
+    assert_eq!(directory.lock().unwrap().len(), 8);
+    tier.register_daemon(churn_daemon(addr, "firefox"));
+    assert_eq!(directory.lock().unwrap().len(), 9, "rejoin after departure");
+
+    // The flow actually decides through the rejoined daemon on every shard
+    // it can route to.
+    for sport in [41_000u16, 41_001, 41_002, 41_003] {
+        let flow = FiveTuple::tcp(addr, sport, Ipv4Addr::new(10, 0, 0, 2), 80);
+        assert!(tier.decide(&flow, 0).is_pass(), "rejoined daemon unheard");
+    }
 }
