@@ -35,8 +35,8 @@
 //! `IDENTXX_E11_SMOKE=1` shrinks its minutes-long cells to seconds.
 //!
 //! `--json` additionally writes each quantitative experiment's cells to
-//! `BENCH_<EXP>.json` in the working directory (E8b, E9, E10, E11, E12,
-//! E13) — each with a trailing environment row recording cores and the
+//! `BENCH_<EXP>.json` in the working directory (E8a, E8b, E9, E10, E11,
+//! E12, E13) — each with a trailing environment row recording cores and the
 //! `IDENTXX_*` knobs — so CI can upload them as artifacts and track the
 //! perf trajectory across PRs.
 
@@ -94,10 +94,7 @@ fn main() {
                 scenarios::print_e7();
                 Vec::new()
             }
-            "e8a" => {
-                scenarios::print_e8a();
-                Vec::new()
-            }
+            "e8a" => scenarios::print_e8a(),
             "e8b" => scenarios::print_e8b(),
             "e9" => scenarios::print_e9(&e9_shard_counts(), E9_SMOKE_FLOWS),
             "e10" => scenarios::print_e10(e10_smoke),

@@ -402,34 +402,126 @@ pub fn scaling_responses(flow: FiveTuple) -> (Response, Response) {
     (src, Response::new(flow))
 }
 
-/// Prints the E8a table: rules examined per decision vs policy size, for
-/// last-match, `quick`, and the compiled evaluator.
-pub fn print_e8a() {
+/// Times `f` per call in microseconds: doubles the batch size until one
+/// batch takes at least 10 ms, then reports the best of three batches at
+/// that size (the minimum is robust against scheduler noise — identical
+/// work measures identically).
+fn time_per_call_us(mut f: impl FnMut()) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(10) {
+            let mut best = elapsed.as_secs_f64() / iters as f64;
+            for _ in 0..2 {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+            }
+            return best * 1e6;
+        }
+        iters *= 2;
+    }
+}
+
+/// Prints the E8a table — rules examined and decision cost vs policy size,
+/// for the interpreter (last-match and `quick`), the linear compiled scan,
+/// and the field-indexed matcher tree — and returns the cells as
+/// [`BenchRow`]s for `BENCH_E8A.json`.
+///
+/// Asserts the tree's flat-cost claim: the per-decision tree cost at the
+/// largest policy must stay within 2× of the 1 000-rule cost (the response-
+/// literal hash dispatch hands the merge ~2 candidate rules no matter how
+/// many `eq(@src[name], app-i)` rules the policy holds), while the linear
+/// paths grow with the rule count.
+pub fn print_e8a() -> Vec<BenchRow> {
     let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
     let (src, dst) = scaling_responses(flow);
-    println!("\n# E8a: rules evaluated per decision vs policy size (last-match vs quick)");
+    println!("\n# E8a: decision cost vs policy size (interpreter vs linear vs matcher tree)");
     println!(
-        "{:>8} {:>18} {:>18} {:>18}",
-        "rules", "evaluated(last)", "evaluated(quick)", "evaluated(compiled)"
+        "{:>8} {:>11} {:>12} {:>11} {:>14} {:>11} {:>9} {:>12}",
+        "rules",
+        "eval(last)",
+        "eval(quick)",
+        "eval(tree)",
+        "interpreted-us",
+        "linear-us",
+        "tree-us",
+        "compile-us"
     );
-    for n in [10usize, 100, 1_000, 10_000] {
+    let mut rows = Vec::new();
+    let mut tree_us_at_1k = None;
+    for n in [10usize, 100, 1_000, 10_000, 100_000] {
         let last = parse_ruleset(&scaling_policy(n, false)).unwrap();
         let quick = parse_ruleset(&scaling_policy(n, true)).unwrap();
-        let v_last = EvalContext::new(&last)
-            .with_responses(&src, &dst)
-            .evaluate(&flow);
-        let v_quick = EvalContext::new(&quick)
-            .with_responses(&src, &dst)
-            .evaluate(&flow);
-        let v_compiled = CompiledPolicy::compile(&last).evaluate(&flow, Some(&src), Some(&dst));
+        let compile_start = Instant::now();
+        let compiled = CompiledPolicy::compile(&last);
+        let compile_us = compile_start.elapsed().as_secs_f64() * 1e6;
+        let ctx_last = EvalContext::new(&last).with_responses(&src, &dst);
+        let ctx_quick = EvalContext::new(&quick).with_responses(&src, &dst);
+        let v_last = ctx_last.evaluate(&flow);
+        let v_quick = ctx_quick.evaluate(&flow);
+        let v_linear = compiled.evaluate_linear(&flow, Some(&src), Some(&dst));
+        let v_tree = compiled.evaluate(&flow, Some(&src), Some(&dst));
         assert_eq!(v_last.decision, Decision::Pass);
         assert_eq!(v_quick.decision, Decision::Pass);
-        assert_eq!(v_compiled.decision, Decision::Pass);
+        assert_eq!(v_linear.decision, Decision::Pass);
+        assert_eq!(v_tree.decision, Decision::Pass);
+        let interpreted_us = time_per_call_us(|| {
+            std::hint::black_box(ctx_last.evaluate(&flow));
+        });
+        let linear_us = time_per_call_us(|| {
+            std::hint::black_box(compiled.evaluate_linear(&flow, Some(&src), Some(&dst)));
+        });
+        let tree_us = time_per_call_us(|| {
+            std::hint::black_box(compiled.evaluate(&flow, Some(&src), Some(&dst)));
+        });
         println!(
-            "{:>8} {:>18} {:>18} {:>18}",
-            n, v_last.rules_evaluated, v_quick.rules_evaluated, v_compiled.rules_evaluated
+            "{:>8} {:>11} {:>12} {:>11} {:>14.3} {:>11.3} {:>9.3} {:>12.0}",
+            n,
+            v_last.rules_evaluated,
+            v_quick.rules_evaluated,
+            v_tree.rules_evaluated,
+            interpreted_us,
+            linear_us,
+            tree_us,
+            compile_us
+        );
+        if n == 1_000 {
+            tree_us_at_1k = Some((tree_us, v_tree.rules_evaluated));
+        }
+        if let Some((base_us, base_rules)) = tree_us_at_1k {
+            // The structural invariant first (exact, noise-free), then the
+            // headline cost curve with the 2× acceptance margin.
+            assert_eq!(
+                v_tree.rules_evaluated, base_rules,
+                "tree candidate count must not grow with policy size"
+            );
+            assert!(
+                tree_us <= base_us * 2.0,
+                "tree decision cost must stay flat: {tree_us:.3}us at {n} rules \
+                 vs {base_us:.3}us at 1000 rules"
+            );
+        }
+        rows.push(
+            BenchRow::new()
+                .with("rules", n)
+                .with("evaluated_interpreted", v_last.rules_evaluated)
+                .with("evaluated_quick", v_quick.rules_evaluated)
+                .with("evaluated_linear", v_linear.rules_evaluated)
+                .with("evaluated_tree", v_tree.rules_evaluated)
+                .with("interpreted_us", interpreted_us)
+                .with("linear_us", linear_us)
+                .with("tree_us", tree_us)
+                .with("compile_us", compile_us),
         );
     }
+    rows
 }
 
 // ---------------------------------------------------------------------------

@@ -105,15 +105,27 @@ impl IdentxxController {
         let state = StateTable::new().with_granularity(config.cache_granularity);
         let mut audit = AuditLog::new();
         for dead in compiled.dead_rules() {
+            // Unmatchable rules (unreachable matcher-tree leaves) get their
+            // own category: the fix is editing the rule itself, not the
+            // ordering around it.
+            let category = match dead.reason {
+                identxx_pf::DeadRuleReason::Unmatchable { .. } => "unmatchable-rule",
+                _ => "shadowed-rule",
+            };
             audit.push_note(PolicyNote {
-                category: "shadowed-rule".to_string(),
+                category: category.to_string(),
                 line: dead.line,
                 message: format!("rule never decides any flow: {}", dead.reason),
             });
         }
         if config.use_state_table {
-            let hazards =
-                identxx_pf::analyze::granularity_diagnostics(&ruleset, config.cache_granularity);
+            // The field-aware variant reuses the freshly compiled policy
+            // (no second compile) and skips rules proven dead above.
+            let hazards = identxx_pf::analyze::granularity_diagnostics_with(
+                &ruleset,
+                config.cache_granularity,
+                &compiled,
+            );
             debug_assert!(
                 hazards.is_empty() || config.acknowledge_coarse_cache,
                 "policy has port-constrained rules the {:?} cache granularity cannot key \

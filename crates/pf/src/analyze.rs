@@ -46,8 +46,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use identxx_proto::{well_known, IpProtocol};
 
 use crate::ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet, Span};
-use crate::compile::PolicyCompiler;
+use crate::compile::{CompiledPolicy, PolicyCompiler};
 use crate::functions::{numeric_cmp, parse_list_literal, FunctionRegistry};
+use crate::matcher::FieldSet;
 use crate::parser::parse_ruleset;
 use crate::services;
 use crate::state::CacheGranularity;
@@ -270,6 +271,82 @@ pub fn granularity_diagnostics(
                 "rule constrains the {erased}, but cache granularity {granularity:?} drops \
                  {erased} from the state key: a cached verdict for one port would be replayed \
                  for flows on other ports"
+            ),
+            related: Vec::new(),
+        });
+    }
+    diags
+}
+
+/// [`granularity_diagnostics`], sharpened with a [`CompiledPolicy`]'s
+/// field-inspection sets (see [`CompiledPolicy::fields_inspected`]).
+///
+/// Two refinements over the syntactic pass:
+///
+/// * rules the compiler's dead-rule elimination removed are skipped — a rule
+///   that can never decide a flow cannot disagree with the state cache, and
+///   it is already reported as dead elsewhere;
+/// * the message blames the *exact* inspected fields the granularity erases
+///   (from the matcher tree's per-rule [`FieldSet`]s), so the administrator
+///   knows which field to preserve — the work-list a future per-rule
+///   granularity override would consume.
+///
+/// The two passes flag the same live rules: the tree derives its port fields
+/// from the same endpoint structure the syntactic pass reads. Callers that
+/// already hold a compiled policy (the controller, `pfcheck`) should prefer
+/// this form; [`analyze`] keeps the syntactic pass so it works on a bare
+/// [`RuleSet`].
+pub fn granularity_diagnostics_with(
+    ruleset: &RuleSet,
+    granularity: CacheGranularity,
+    compiled: &CompiledPolicy,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let erased = match granularity {
+        CacheGranularity::ExactFiveTuple => return diags,
+        CacheGranularity::HostPairDstPort => FieldSet::SRC_PORT,
+        CacheGranularity::HostPair => FieldSet::SRC_PORT.union(FieldSet::DST_PORT),
+    };
+    let dead: BTreeSet<usize> = compiled.dead_rules().iter().map(|d| d.index).collect();
+    for (index, rule) in ruleset.rules.iter().enumerate() {
+        if dead.contains(&index) {
+            continue;
+        }
+        // Blame only the structural port constraint (what the syntactic pass
+        // sees); the inspection set additionally tells us which erased fields
+        // the matcher actually reads, which is what the message names.
+        let inspected = match compiled.fields_inspected(index) {
+            Some(fields) => fields,
+            None => continue,
+        };
+        let from_port = rule.from.as_ref().and_then(|e| e.port.as_ref()).is_some();
+        let to_port = rule.to.as_ref().and_then(|e| e.port.as_ref()).is_some();
+        if !from_port && !to_port {
+            continue;
+        }
+        let structural = if from_port {
+            FieldSet::SRC_PORT
+        } else {
+            FieldSet::EMPTY
+        }
+        .union(if to_port {
+            FieldSet::DST_PORT
+        } else {
+            FieldSet::EMPTY
+        });
+        let blamed = structural.intersect(inspected).intersect(erased);
+        if blamed.is_empty() {
+            continue;
+        }
+        diags.push(Diagnostic {
+            severity: Severity::Warning,
+            category: Category::GranularityUnsafe,
+            span: rule_span(rule),
+            rule_index: Some(index),
+            message: format!(
+                "rule inspects {blamed}, but cache granularity {granularity:?} drops \
+                 {blamed} from the state key: a cached verdict for one port would be \
+                 replayed for flows on other ports (rule inspects {inspected})"
             ),
             related: Vec::new(),
         });
@@ -1320,7 +1397,10 @@ fn ordering_pass(
     let mut compiler_dead: BTreeSet<usize> = BTreeSet::new();
     for dead in compiled.dead_rules() {
         compiler_dead.insert(dead.index);
-        let blamed = ruleset.rules.get(dead.reason.blamed_index());
+        // Unmatchable rules blame themselves (blamed_index is None): no
+        // related location to point at.
+        let blamed_index = dead.reason.blamed_index();
+        let blamed = blamed_index.and_then(|i| ruleset.rules.get(i));
         diags.push(Diagnostic {
             severity: Severity::Warning,
             category: Category::ShadowedRule,
@@ -1334,7 +1414,7 @@ fn ordering_pass(
             related: blamed
                 .map(|rule| Related {
                     span: rule_span(rule),
-                    rule_index: Some(dead.reason.blamed_index()),
+                    rule_index: blamed_index,
                     note: "this rule makes it unreachable".to_string(),
                 })
                 .into_iter()
@@ -1829,6 +1909,47 @@ mod tests {
     }
 
     #[test]
+    fn compiled_granularity_checks_skip_dead_rules_and_blame_fields() {
+        // Rule 1 is live with a source-port constraint; rule 2 is port-
+        // constrained but unmatchable (undefined table => empty set), so the
+        // compiler-aware pass must not flag it.
+        let ruleset = parse_ruleset(
+            "block all\n\
+             pass from any port 1024:65535 to any port 80\n\
+             pass from <nosuch> to any port 22\n",
+        )
+        .unwrap();
+        let compiled = crate::CompiledPolicy::compile(&ruleset);
+
+        let diags =
+            granularity_diagnostics_with(&ruleset, CacheGranularity::ExactFiveTuple, &compiled);
+        assert!(diags.is_empty());
+
+        let diags = granularity_diagnostics_with(&ruleset, CacheGranularity::HostPair, &compiled);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule_index, Some(1));
+        assert!(
+            diags[0].message.contains("src-port+dst-port"),
+            "message should blame both erased ports: {}",
+            diags[0].message
+        );
+
+        // HostPairDstPort keeps the destination port: only src-port blamed.
+        let diags =
+            granularity_diagnostics_with(&ruleset, CacheGranularity::HostPairDstPort, &compiled);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("rule inspects src-port,"),
+            "message should blame only the source port: {}",
+            diags[0].message
+        );
+
+        // The syntactic pass, by contrast, flags the dead rule too.
+        let diags = granularity_diagnostics(&ruleset, CacheGranularity::HostPair);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+
+    #[test]
     fn analyze_includes_granularity_when_configured() {
         let options = AnalysisOptions {
             granularity: Some(CacheGranularity::HostPair),
@@ -1863,9 +1984,14 @@ pass from any to <server> port 80 keep state
     #[test]
     fn diagnostics_render_with_spans() {
         let diags = run("pass from <nope> to any\n");
-        let text = diags[0].to_string();
+        let text = by_category(&diags, Category::UndefinedReference)[0].to_string();
         assert!(text.contains("error[undefined-reference]"), "{text}");
         assert!(text.contains("at 1:"), "{text}");
+        // The compiler also proves the rule unmatchable (empty table, never
+        // negated) and the ordering pass re-reports that as a shadow warning.
+        let shadows = by_category(&diags, Category::ShadowedRule);
+        assert_eq!(shadows.len(), 1, "{diags:?}");
+        assert!(shadows[0].message.contains("unmatchable"), "{diags:?}");
     }
 
     #[test]

@@ -8,7 +8,13 @@
 //!
 //! --json          emit diagnostics as a JSON array on stdout
 //! --granularity G also check rules against a state-cache granularity:
-//!                 exact | dst-port | host-pair
+//!                 exact | dst-port | host-pair (field-aware: the check
+//!                 compiles the policy, skips rules the compiler proved dead,
+//!                 and blames the exact erased field)
+//! --fields        print each rule's field-inspection set (which flow fields
+//!                 and response sides the compiled matcher reads for it) and
+//!                 the per-subtree union — the work-list for choosing a
+//!                 per-rule cache granularity
 //! --allow-key K   accept @src[K]/@dst[K] as a known response key (repeatable)
 //! --allow-fn F    accept F as a registered user function (repeatable)
 //! --trusted-key K the deployment's trusted-key registry contains key name K
@@ -27,15 +33,18 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 
-use identxx_pf::analyze::{analyze, AnalysisOptions, Related, Severity};
-use identxx_pf::{parse_ruleset, CacheGranularity, ConfigSet, RuleSet, Span};
+use identxx_pf::analyze::{
+    analyze, granularity_diagnostics_with, AnalysisOptions, Related, Severity,
+};
+use identxx_pf::{parse_ruleset, CacheGranularity, CompiledPolicy, ConfigSet, RuleSet, Span};
 
-const USAGE: &str = "usage: pfcheck [--json] [--granularity exact|dst-port|host-pair] \
+const USAGE: &str = "usage: pfcheck [--json] [--granularity exact|dst-port|host-pair] [--fields] \
                      [--allow-key K]... [--allow-fn F]... [--trusted-key K]... [-q] <path>...";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut quiet = false;
+    let mut fields = false;
     let mut options = AnalysisOptions::default();
     let mut paths: Vec<String> = Vec::new();
 
@@ -43,6 +52,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--fields" => fields = true,
             "-q" | "--quiet" => quiet = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -103,7 +113,7 @@ fn main() -> ExitCode {
     let mut json_entries: Vec<String> = Vec::new();
 
     for path in &paths {
-        match check_input(Path::new(path), &options) {
+        match check_input(Path::new(path), &options, fields) {
             Err(err) => {
                 eprintln!("pfcheck: {path}: {err}");
                 return ExitCode::from(2);
@@ -189,7 +199,7 @@ impl FileMap {
     }
 }
 
-fn check_input(path: &Path, options: &AnalysisOptions) -> std::io::Result<Report> {
+fn check_input(path: &Path, options: &AnalysisOptions, fields: bool) -> std::io::Result<Report> {
     let label = path.display().to_string();
     let (ruleset, map) = if path.is_dir() {
         let set = ConfigSet::load_dir(path)?;
@@ -213,7 +223,27 @@ fn check_input(path: &Path, options: &AnalysisOptions) -> std::io::Result<Report
         }
     };
 
-    let diags = analyze(&ruleset, options);
+    // When a compiled view is needed (field listing, or the sharper
+    // compiler-aware granularity pass), compile once and share it.
+    let compiled =
+        (options.granularity.is_some() || fields).then(|| CompiledPolicy::compile(&ruleset));
+    let diags = match (options.granularity, compiled.as_ref()) {
+        (Some(granularity), Some(compiled)) => {
+            // Run the generic passes without the syntactic granularity check,
+            // then substitute the field-aware one and restore sort order.
+            let mut opts = options.clone();
+            opts.granularity = None;
+            let mut diags = analyze(&ruleset, &opts);
+            diags.extend(granularity_diagnostics_with(
+                &ruleset,
+                granularity,
+                compiled,
+            ));
+            diags.sort_by_key(|d| (d.span.line, d.span.col, d.category.as_str()));
+            diags
+        }
+        _ => analyze(&ruleset, options),
+    };
     let mut report = Report {
         label: label.clone(),
         errors: 0,
@@ -251,6 +281,28 @@ fn check_input(path: &Path, options: &AnalysisOptions) -> std::io::Result<Report
         report
             .json_entries
             .push(diag_json(&label, file, diag, map.as_ref()));
+    }
+    if fields {
+        if let Some(compiled) = compiled.as_ref() {
+            for (index, rule) in ruleset.rules.iter().enumerate() {
+                let file = map.as_ref().and_then(|m| m.locate(index));
+                let place = position(&label, file, Span::new(rule.line, 1));
+                match compiled.fields_inspected(index) {
+                    Some(set) => report
+                        .lines
+                        .push(format!("fields at {place}: rule #{index} inspects {set}")),
+                    None => report.lines.push(format!(
+                        "fields at {place}: rule #{index} eliminated before matching \
+                         (dead prefix)"
+                    )),
+                }
+            }
+            for (subtree, set) in compiled.subtree_fields() {
+                report
+                    .lines
+                    .push(format!("fields: {label}: {subtree} subtree inspects {set}"));
+            }
+        }
     }
     Ok(report)
 }

@@ -13,8 +13,11 @@
 //! * string literals, macro values, and dict lookups are interned into a
 //!   symbol table so predicates compare borrowed `&str`s instead of
 //!   allocating,
-//! * rules are bucketed by IP protocol (and truncated at an unconditional
-//!   `quick` rule) so evaluation only examines candidate rules.
+//! * rules are truncated at an unconditional `quick` rule, floored below a
+//!   superseding unconditional rule, and indexed into the field-indexed
+//!   matcher tree of [`crate::matcher`] so evaluation only examines the
+//!   rules that *could* match a flow — decision cost tracks candidate
+//!   count, not policy size.
 //!
 //! The compiled evaluator is **decision-equivalent** to the interpreter —
 //! `tests/compiled_equivalence.rs` proves it by property test against the
@@ -33,6 +36,7 @@ use identxx_proto::{FiveTuple, IpProtocol, Ipv4Addr, Response};
 use crate::ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet};
 use crate::eval::{Decision, EvalContext, EvalCore, Verdict, MAX_ALLOWED_DEPTH};
 use crate::functions::{list_items, numeric_cmp, FunctionRegistry};
+use crate::matcher::{FieldSet, MatcherStats, MatcherTree, Merge, UnmatchableReason};
 use crate::services::resolve_port;
 use crate::table::{Table, TableEntry};
 
@@ -42,7 +46,7 @@ pub type Sym = u32;
 
 /// The policy-wide string interner.
 #[derive(Debug, Default)]
-struct SymbolTable {
+pub(crate) struct SymbolTable {
     strings: Vec<String>,
     index: HashMap<String, Sym>,
 }
@@ -58,7 +62,7 @@ impl SymbolTable {
         sym
     }
 
-    fn get(&self, sym: Sym) -> &str {
+    pub(crate) fn get(&self, sym: Sym) -> &str {
         &self.strings[sym as usize]
     }
 }
@@ -70,19 +74,25 @@ impl SymbolTable {
 /// mask; within a group the masked network addresses are sorted, so a lookup
 /// is one mask + binary search per distinct prefix length (≤ 33).
 #[derive(Debug, Default)]
-struct FlatSet {
+pub(crate) struct FlatSet {
     hosts: Vec<u32>,
     cidrs: Vec<(u32, Vec<u32>)>,
 }
 
 impl FlatSet {
-    fn contains(&self, addr: u32) -> bool {
+    pub(crate) fn contains(&self, addr: u32) -> bool {
         if self.hosts.binary_search(&addr).is_ok() {
             return true;
         }
         self.cidrs
             .iter()
             .any(|(mask, nets)| nets.binary_search(&(addr & mask)).is_ok())
+    }
+
+    /// Whether the set contains no host and no network at all. An endpoint
+    /// constrained (non-negated) to an empty set can never match.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.hosts.is_empty() && self.cidrs.iter().all(|(_, nets)| nets.is_empty())
     }
 }
 
@@ -131,7 +141,7 @@ fn flatten_table(root: &Table, all: &BTreeMap<String, Table>) -> FlatSet {
 
 /// A compiled address specification.
 #[derive(Debug, Clone, Copy)]
-enum CAddr {
+pub(crate) enum CAddr {
     Any,
     Host(u32),
     Cidr {
@@ -145,7 +155,7 @@ enum CAddr {
 /// A compiled port constraint. Named services are resolved at compile time;
 /// an unresolvable name can never match (fail closed, as the interpreter).
 #[derive(Debug, Clone, Copy)]
-enum CPort {
+pub(crate) enum CPort {
     Any,
     Eq(u16),
     Range(u16, u16),
@@ -153,15 +163,15 @@ enum CPort {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct CEndpoint {
-    negate: bool,
-    addr: CAddr,
-    port: CPort,
+pub(crate) struct CEndpoint {
+    pub(crate) negate: bool,
+    pub(crate) addr: CAddr,
+    pub(crate) port: CPort,
 }
 
 /// Which response a `@src[..]`/`@dst[..]` reference reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Side {
+pub(crate) enum Side {
     Src,
     Dst,
 }
@@ -178,7 +188,7 @@ const NO_SLOT: u16 = u16::MAX;
 /// resolved at compile time (the rule set is immutable once compiled), so at
 /// evaluation time only response lookups remain dynamic.
 #[derive(Debug, Clone)]
-enum CArg {
+pub(crate) enum CArg {
     /// A literal / macro value / dict value, interned.
     Lit(Sym),
     /// An undefined macro or dict reference: always resolves to "absent".
@@ -197,7 +207,7 @@ enum CArg {
 
 /// The list argument of `member`, pre-resolved where possible.
 #[derive(Debug, Clone)]
-enum CList {
+pub(crate) enum CList {
     /// Named list, macro list, table rendering, or literal — fully known at
     /// compile time.
     Static(Vec<String>),
@@ -206,7 +216,7 @@ enum CList {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CmpOp {
+pub(crate) enum CmpOp {
     Eq,
     Ne,
     Gt,
@@ -217,7 +227,7 @@ enum CmpOp {
 
 /// A compiled `with` predicate.
 #[derive(Debug, Clone)]
-enum CPred {
+pub(crate) enum CPred {
     /// `eq(@resp[key], literal)` — the overwhelmingly common predicate shape
     /// (every application rule in the paper's figures) — specialised to one
     /// memoized lookup and one string compare.
@@ -257,16 +267,19 @@ enum CPred {
 
 /// A compiled rule.
 #[derive(Debug)]
-struct CRule {
+pub(crate) struct CRule {
     /// Index into the source `RuleSet::rules` (reported in verdicts).
     index: usize,
     line: usize,
     action: Action,
     quick: bool,
     keep_state: bool,
-    from: Option<CEndpoint>,
-    to: Option<CEndpoint>,
-    preds: Vec<CPred>,
+    /// The `proto` constraint, checked per-rule now that the matcher tree
+    /// mixes protocols inside one candidate list.
+    pub(crate) proto: Option<IpProtocol>,
+    pub(crate) from: Option<CEndpoint>,
+    pub(crate) to: Option<CEndpoint>,
+    pub(crate) preds: Vec<CPred>,
 }
 
 /// Builder for [`CompiledPolicy`], mirroring [`EvalContext`]'s configuration
@@ -398,40 +411,29 @@ impl<'a> Compilation<'a> {
             }
         }
 
-        // Bucket by protocol: a rule with `proto p` is only a candidate for
-        // flows with protocol p; a rule without `proto` is a candidate for
-        // every flow.
-        let mut wildcard: Vec<u32> = Vec::new();
-        let mut proto_buckets: Vec<(IpProtocol, Vec<u32>)> = Vec::new();
-        for (pos, rule) in rules.iter().enumerate().skip(floor) {
-            match self.ruleset.rules[rule.index].proto {
-                None => {
-                    wildcard.push(pos as u32);
-                    for (_, bucket) in proto_buckets.iter_mut() {
-                        bucket.push(pos as u32);
-                    }
-                }
-                Some(p) => {
-                    if !proto_buckets.iter().any(|(bp, _)| *bp == p) {
-                        // New protocol: start its bucket from the wildcard
-                        // rules seen so far (they are candidates for it too).
-                        proto_buckets.push((p, wildcard.clone()));
-                    }
-                    for (bp, bucket) in proto_buckets.iter_mut() {
-                        if *bp == p {
-                            bucket.push(pos as u32);
-                        }
-                    }
-                }
-            }
+        // Index the live rules into the field-indexed matcher tree. Rules
+        // the tree proves unmatchable (unreachable leaves) join the dead-rule
+        // report with their reason.
+        let tree = MatcherTree::build(&rules, floor, &self.sets, &self.symbols);
+        for &(pos, reason) in tree.unreachable() {
+            let crule = &rules[pos as usize];
+            dead.push(DeadRule {
+                index: crule.index,
+                line: crule.line,
+                reason: DeadRuleReason::Unmatchable {
+                    line: crule.line,
+                    reason,
+                },
+            });
         }
+        dead.sort_by_key(|d| d.index);
 
         CompiledPolicy {
             symbols: self.symbols,
             sets: self.sets,
             rules,
-            wildcard,
-            proto_buckets,
+            floor,
+            tree,
             core: self.core,
             source_rules: self.ruleset.rules.len(),
             dead,
@@ -454,6 +456,7 @@ impl<'a> Compilation<'a> {
             action: rule.action,
             quick: rule.quick,
             keep_state: rule.keep_state,
+            proto: rule.proto,
             from,
             to,
             preds: rule.withs.iter().map(|c| self.compile_call(c)).collect(),
@@ -712,14 +715,28 @@ pub enum DeadRuleReason {
         /// Source line of that rule.
         line: usize,
     },
+    /// The matcher tree proved the rule can match no flow at all — an
+    /// unreachable tree leaf (unresolvable named port, inverted port range,
+    /// or a non-negated endpoint over an empty address set). The blame is the
+    /// rule itself.
+    Unmatchable {
+        /// Source line of the unmatchable rule (the blame is self-directed).
+        line: usize,
+        /// What makes it unmatchable.
+        reason: UnmatchableReason,
+    },
 }
 
 impl DeadRuleReason {
-    /// Source index of the rule responsible for the elimination.
-    pub fn blamed_index(&self) -> usize {
+    /// Source index of the rule responsible for the elimination. For
+    /// [`DeadRuleReason::Unmatchable`] this is the dead rule itself — no
+    /// other rule is involved — so callers pairing this with a [`DeadRule`]
+    /// should prefer the dead rule's own index there.
+    pub fn blamed_index(&self) -> Option<usize> {
         match self {
             DeadRuleReason::AfterUnconditionalQuick { index, .. }
-            | DeadRuleReason::SupersededByUnconditional { index, .. } => *index,
+            | DeadRuleReason::SupersededByUnconditional { index, .. } => Some(*index),
+            DeadRuleReason::Unmatchable { .. } => None,
         }
     }
 
@@ -727,7 +744,8 @@ impl DeadRuleReason {
     pub fn blamed_line(&self) -> usize {
         match self {
             DeadRuleReason::AfterUnconditionalQuick { line, .. }
-            | DeadRuleReason::SupersededByUnconditional { line, .. } => *line,
+            | DeadRuleReason::SupersededByUnconditional { line, .. }
+            | DeadRuleReason::Unmatchable { line, .. } => *line,
         }
     }
 }
@@ -743,6 +761,9 @@ impl std::fmt::Display for DeadRuleReason {
                 f,
                 "never decides: the unconditional rule #{index} (line {line}) always matches later (last match wins)"
             ),
+            DeadRuleReason::Unmatchable { reason, .. } => {
+                write!(f, "unmatchable: the rule has {reason}, so no flow can satisfy it")
+            }
         }
     }
 }
@@ -768,10 +789,11 @@ pub struct CompiledPolicy {
     symbols: SymbolTable,
     sets: Vec<FlatSet>,
     rules: Vec<CRule>,
-    /// Candidate rule positions for flows whose protocol matches no bucket.
-    wildcard: Vec<u32>,
-    /// Candidate rule positions per protocol that appears in the policy.
-    proto_buckets: Vec<(IpProtocol, Vec<u32>)>,
+    /// First rule position that can still decide a flow (everything below is
+    /// the dead prefix superseded by an unconditional rule).
+    floor: usize,
+    /// The field-indexed matcher tree over `rules[floor..]`.
+    tree: MatcherTree,
     core: Arc<EvalCore>,
     source_rules: usize,
     /// Source rules removed by dead-rule elimination, with the reason each
@@ -852,13 +874,64 @@ impl CompiledPolicy {
         .evaluate(flow)
     }
 
-    fn candidates(&self, protocol: IpProtocol) -> &[u32] {
-        for (p, bucket) in &self.proto_buckets {
-            if *p == protocol {
-                return bucket;
-            }
+    /// Evaluates without the matcher tree: a plain ordered scan over the live
+    /// rules. Decision-identical to [`CompiledPolicy::evaluate`] (the
+    /// three-way equivalence proptest pins all three paths together); kept as
+    /// the reference implementation and as the "linear compiled" series in
+    /// the E8a scaling benchmark.
+    pub fn evaluate_linear(
+        &self,
+        flow: &FiveTuple,
+        src: Option<&Response>,
+        dst: Option<&Response>,
+    ) -> Verdict {
+        self.evaluate_linear_at(flow, src, dst, 0)
+    }
+
+    /// [`CompiledPolicy::evaluate_linear`] at logical time `now`.
+    pub fn evaluate_linear_at(
+        &self,
+        flow: &FiveTuple,
+        src: Option<&Response>,
+        dst: Option<&Response>,
+        now: u64,
+    ) -> Verdict {
+        EvalRun {
+            policy: self,
+            src,
+            dst,
+            now,
+            slots: [None; RESP_SLOTS],
         }
-        &self.wildcard
+        .evaluate_linear(flow)
+    }
+
+    /// The flow/response fields rule `source_index` inspects while matching,
+    /// or `None` if the rule was eliminated before indexing (truncated after
+    /// an unconditional `quick` rule). A cached verdict for this rule is safe
+    /// to replay exactly across flows agreeing on every returned field — this
+    /// is the work-list for per-rule cache granularity, and what
+    /// `pfcheck --granularity` uses to blame the precise field that makes a
+    /// coarse cache key unsafe.
+    pub fn fields_inspected(&self, source_index: usize) -> Option<FieldSet> {
+        // Compiled rule positions coincide with source indices (lowering
+        // preserves order and only ever truncates the tail).
+        if source_index < self.rules.len() {
+            Some(self.tree.fields_of(source_index))
+        } else {
+            None
+        }
+    }
+
+    /// Per-subtree field-inspection sets: for each root dispatch dimension
+    /// that holds any rules, the union of fields its rules inspect.
+    pub fn subtree_fields(&self) -> Vec<(&'static str, FieldSet)> {
+        self.tree.subtree_fields()
+    }
+
+    /// Shape statistics of the built matcher tree.
+    pub fn matcher_stats(&self) -> MatcherStats {
+        self.tree.stats()
     }
 
     fn endpoint_matches(&self, endpoint: &CEndpoint, addr: Ipv4Addr, port: u16) -> bool {
@@ -896,8 +969,25 @@ struct EvalRun<'e> {
 }
 
 impl<'e> EvalRun<'e> {
+    /// The tree-dispatched evaluation: gather the candidate lists selected by
+    /// the flow's header fields and response values, then run the ordinary
+    /// last-match/`quick` loop over their min-position merge. The merge
+    /// yields candidates in source order, so match semantics are untouched —
+    /// the tree only shrinks the candidate set.
     fn evaluate(&mut self, flow: &FiveTuple) -> Verdict {
         let policy = self.policy;
+        let mut merge = Merge::new();
+        policy.tree.push_flow_lists(flow, &policy.sets, &mut merge);
+        for table in policy.tree.resp_tables() {
+            // The nested response-value matchers: dispatch on the memoized
+            // `latest(key)` lookup. A `&str` probe of a `String`-keyed map
+            // neither allocates nor rehashes.
+            if let Some(value) = self.latest(table.side, table.key, table.slot) {
+                if let Some(list) = table.map.get(value) {
+                    merge.push(list);
+                }
+            }
+        }
         let mut verdict = Verdict {
             decision: policy.core.default_decision,
             matched_rule: None,
@@ -906,7 +996,7 @@ impl<'e> EvalRun<'e> {
             quick: false,
             rules_evaluated: 0,
         };
-        for &pos in policy.candidates(flow.protocol) {
+        while let Some(pos) = merge.next() {
             let rule = &policy.rules[pos as usize];
             verdict.rules_evaluated += 1;
             if self.rule_matches(rule, flow) {
@@ -923,8 +1013,42 @@ impl<'e> EvalRun<'e> {
         verdict
     }
 
+    /// The reference path: an ordered scan over every live rule.
+    fn evaluate_linear(&mut self, flow: &FiveTuple) -> Verdict {
+        let policy = self.policy;
+        let mut verdict = Verdict {
+            decision: policy.core.default_decision,
+            matched_rule: None,
+            matched_line: None,
+            keep_state: false,
+            quick: false,
+            rules_evaluated: 0,
+        };
+        for rule in &policy.rules[policy.floor..] {
+            verdict.rules_evaluated += 1;
+            if self.rule_matches(rule, flow) {
+                verdict.decision = Decision::from_action(rule.action);
+                verdict.matched_rule = Some(rule.index);
+                verdict.matched_line = Some(rule.line);
+                verdict.keep_state = rule.keep_state;
+                if rule.quick {
+                    verdict.quick = true;
+                    break;
+                }
+            }
+        }
+        verdict
+    }
+
     fn rule_matches(&mut self, rule: &CRule, flow: &FiveTuple) -> bool {
-        // The protocol constraint is already enforced by bucketing.
+        // Candidate lists mix protocols (a port-dispatched rule may still
+        // carry `proto`), so the protocol constraint is enforced here, with
+        // the interpreter's exact (derived) equality.
+        if let Some(proto) = rule.proto {
+            if proto != flow.protocol {
+                return false;
+            }
+        }
         if let Some(from) = &rule.from {
             if !self
                 .policy
@@ -1153,7 +1277,7 @@ impl std::fmt::Debug for CompiledPolicy {
             .field("compiled_rules", &self.rules.len())
             .field("symbols", &self.symbols.strings.len())
             .field("sets", &self.sets.len())
-            .field("proto_buckets", &self.proto_buckets.len())
+            .field("matcher", &self.tree.stats())
             .field("default", &self.core.default_decision)
             .finish()
     }
@@ -1239,8 +1363,9 @@ mod tests {
         let v = compiled.evaluate(&flow, None, None);
         assert_eq!(v.decision, Decision::Block);
         assert_eq!(v.matched_rule, Some(2));
-        // Only the floor rule onward is examined.
-        assert_eq!(v.rules_evaluated, 2);
+        // Only the floor rule is a candidate: the dead prefix is skipped and
+        // the `5.6.7.8` rule is host-indexed away from this flow entirely.
+        assert_eq!(v.rules_evaluated, 1);
         let interpreted = EvalContext::new(&rs).evaluate(&flow);
         assert_eq!(v.decision, interpreted.decision);
         assert_eq!(v.matched_rule, interpreted.matched_rule);
@@ -1581,5 +1706,172 @@ mod tests {
         let rendered = format!("{compiled:?}");
         assert!(rendered.contains("CompiledPolicy"));
         assert!(rendered.contains("compiled_rules"));
+    }
+
+    #[test]
+    fn response_literal_dispatch_keeps_candidates_flat() {
+        // The E8a shape: a default plus many response-literal rules. The
+        // tree dispatches on the memoized `@src[name]` value, so a flow sees
+        // the residual default plus exactly its own rule — regardless of n.
+        let mut policy = String::from("block all\n");
+        for i in 0..500 {
+            policy.push_str(&format!("pass all with eq(@src[name], app-{i})\n"));
+        }
+        let rs = parse_ruleset(&policy).unwrap();
+        let compiled = CompiledPolicy::compile(&rs);
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+        let src = response_with(flow, &[("name", "app-123")]);
+        let dst = Response::new(flow);
+        let v = compiled.evaluate(&flow, Some(&src), Some(&dst));
+        assert_eq!(v.decision, Decision::Pass);
+        assert_eq!(v.matched_rule, Some(124));
+        assert_eq!(v.rules_evaluated, 2, "block all + the one app-123 rule");
+        // A value matching no rule only sees the residual default.
+        let other = response_with(flow, &[("name", "unlisted")]);
+        let v = compiled.evaluate(&flow, Some(&other), Some(&dst));
+        assert_eq!(v.decision, Decision::Block);
+        assert_eq!(v.rules_evaluated, 1);
+        // And the linear reference path decides identically.
+        let lin = compiled.evaluate_linear(&flow, Some(&src), Some(&dst));
+        assert_eq!(lin.decision, Decision::Pass);
+        assert_eq!(lin.matched_rule, Some(124));
+        assert_eq!(lin.rules_evaluated, 501);
+    }
+
+    #[test]
+    fn tree_dispatch_preserves_last_match_across_lists() {
+        // Candidates from different dispatch tables (src-host vs dst-port vs
+        // residual) must still be visited in source order: the *last* match
+        // wins, and `quick` stops at the right rule.
+        let policy = "block all\n\
+                      pass from 10.0.0.1 to any\n\
+                      block from any to any port 80\n\
+                      pass quick from 10.0.0.1 to any port 80\n\
+                      block from 10.0.0.1 to any\n";
+        let rs = parse_ruleset(policy).unwrap();
+        let compiled = CompiledPolicy::compile(&rs);
+        let flow = FiveTuple::tcp([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80);
+        let v = compiled.evaluate(&flow, None, None);
+        let interpreted = EvalContext::new(&rs).evaluate(&flow);
+        assert_eq!(v.decision, interpreted.decision);
+        assert_eq!(v.matched_rule, interpreted.matched_rule);
+        assert_eq!(v.quick, interpreted.quick);
+        assert_eq!(v.matched_rule, Some(3), "quick rule wins before rule 4");
+        let lin = compiled.evaluate_linear(&flow, None, None);
+        assert_eq!(lin.decision, v.decision);
+        assert_eq!(lin.matched_rule, v.matched_rule);
+    }
+
+    #[test]
+    fn unmatchable_rules_become_unreachable_leaves() {
+        // (An inverted port range is the third unmatchable class, but the
+        // parser already rejects it, so it is only reachable from hand-built
+        // ASTs.)
+        let policy = "table <empty> { }\n\
+                      block all\n\
+                      pass from any to any port nosuchservice\n\
+                      pass from <empty> to any\n\
+                      pass from !<empty> to any\n";
+        let rs = parse_ruleset(policy).unwrap();
+        let compiled = CompiledPolicy::compile(&rs);
+        let dead: Vec<_> = compiled
+            .dead_rules()
+            .iter()
+            .filter(|d| matches!(d.reason, DeadRuleReason::Unmatchable { .. }))
+            .collect();
+        assert_eq!(
+            dead.iter().map(|d| d.index).collect::<Vec<_>>(),
+            vec![1, 2],
+            "{:?}",
+            compiled.dead_rules()
+        );
+        for d in &dead {
+            // Self-blamed: no other rule to point at, the line is its own.
+            assert_eq!(d.reason.blamed_index(), None);
+            assert_eq!(d.reason.blamed_line(), d.line);
+            assert!(format!("{}", d.reason).contains("unmatchable"));
+        }
+        // The negated-empty-set rule matches everything and stays live.
+        let flow = FiveTuple::tcp([1, 2, 3, 4], 1, [5, 6, 7, 8], 2);
+        let v = compiled.evaluate(&flow, None, None);
+        assert_eq!(v.decision, Decision::Pass);
+        assert_eq!(v.matched_rule, Some(3));
+        assert_eq!(v.decision, EvalContext::new(&rs).evaluate(&flow).decision);
+    }
+
+    #[test]
+    fn fields_inspected_reflects_rule_structure() {
+        use crate::matcher::FieldSet;
+        let policy = "block all\n\
+                      pass proto tcp from 10.0.0.0/8 port 1000 to any port 80\n\
+                      pass all with eq(@src[name], firefox)\n\
+                      pass all with eq(@dst[role], server)\n\
+                      pass quick all\nblock all\n";
+        let rs = parse_ruleset(policy).unwrap();
+        let compiled = CompiledPolicy::compile(&rs);
+        assert_eq!(compiled.fields_inspected(0), Some(FieldSet::EMPTY));
+        let full = compiled.fields_inspected(1).unwrap();
+        for field in [
+            FieldSet::PROTO,
+            FieldSet::SRC_ADDR,
+            FieldSet::SRC_PORT,
+            FieldSet::DST_PORT,
+        ] {
+            assert!(full.contains(field), "{full}");
+        }
+        assert!(!full.contains(FieldSet::DST_ADDR), "`to any` reads nothing");
+        assert_eq!(compiled.fields_inspected(2), Some(FieldSet::RESP_SRC));
+        assert_eq!(compiled.fields_inspected(3), Some(FieldSet::RESP_DST));
+        // Rule 5 is truncated after the unconditional quick rule: no entry.
+        assert_eq!(compiled.fields_inspected(5), None);
+        // The per-subtree union is exposed for pfcheck.
+        let subtrees = compiled.subtree_fields();
+        assert!(
+            subtrees.iter().any(|(name, f)| *name == "resp-value"
+                && f.contains(FieldSet::RESP_SRC)
+                && f.contains(FieldSet::RESP_DST)),
+            "{subtrees:?}"
+        );
+    }
+
+    #[test]
+    fn matcher_stats_summarize_tree_shape() {
+        let policy = "table <lan> { 192.168.0.0/16 }\n\
+                      block all\n\
+                      pass from any to any port 80\n\
+                      pass from any to 10.0.0.1\n\
+                      pass from <lan> to any\n\
+                      pass proto udp all\n\
+                      pass all with eq(@src[name], firefox)\n";
+        let rs = parse_ruleset(policy).unwrap();
+        let compiled = CompiledPolicy::compile(&rs);
+        let stats = compiled.matcher_stats();
+        assert_eq!(stats.rules_indexed, 5);
+        assert_eq!(stats.residual_rules, 1, "only `block all` is residual");
+        assert_eq!(stats.unreachable_rules, 0);
+        assert_eq!(stats.port_entries, 1);
+        assert_eq!(stats.host_entries, 1);
+        assert_eq!(stats.proto_entries, 1);
+        assert_eq!(stats.addr_groups, 1);
+        assert_eq!(stats.resp_tables, 1);
+        assert_eq!(stats.resp_entries, 1);
+    }
+
+    #[test]
+    fn port_range_expansion_dispatches_narrow_ranges() {
+        // A narrow range is expanded into per-port table entries; a wide one
+        // falls through to the residual list. Both decide identically.
+        let policy = "block all\n\
+                      pass from any to any port 8000:8009\n\
+                      pass from any to any port 1024:65535\n";
+        let rs = parse_ruleset(policy).unwrap();
+        let compiled = CompiledPolicy::compile(&rs);
+        for port in [7999u16, 8000, 8005, 8009, 8010, 80, 1024, 65535] {
+            let flow = FiveTuple::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], port);
+            let v = compiled.evaluate(&flow, None, None);
+            let i = EvalContext::new(&rs).evaluate(&flow);
+            assert_eq!(v.decision, i.decision, "port {port}");
+            assert_eq!(v.matched_rule, i.matched_rule, "port {port}");
+        }
     }
 }

@@ -51,6 +51,7 @@ pub mod error;
 pub mod eval;
 pub mod functions;
 pub mod lexer;
+pub mod matcher;
 pub mod parser;
 pub mod ruleset;
 pub mod services;
@@ -62,6 +63,7 @@ pub use ast::{Action, AddrSpec, Endpoint, FnArg, FnCall, PortSpec, Rule, RuleSet
 pub use compile::{CompiledPolicy, DeadRule, DeadRuleReason, PolicyCompiler};
 pub use error::PfError;
 pub use eval::{Decision, EvalContext, Verdict};
+pub use matcher::{FieldSet, MatcherStats, UnmatchableReason};
 pub use parser::parse_ruleset;
 pub use ruleset::{ConfigFile, ConfigSet};
 pub use state::{CacheGranularity, StateEntry, StateTable};

@@ -1,0 +1,881 @@
+//! The field-indexed matcher tree behind [`crate::compile::CompiledPolicy`].
+//!
+//! The compiled evaluator used to scan its candidate rules first-to-last
+//! per flow; protocol bucketing and dead-rule elimination trimmed the scan
+//! but left it O(rules). Production rule sets grow into the tens of
+//! thousands of rules, and the controller sits on every flow-setup path, so
+//! a linear scan is the product's latency floor. This module compiles the
+//! lowered rules once into a **field-indexed matcher tree** in the style of
+//! the xDS Unified Matcher: hash-dispatch tables over the cheapest
+//! high-selectivity discriminators, nested value matchers for
+//! response-valued predicates, and an ordered residual list for rules no
+//! indexer can classify. Decision cost becomes a function of how many rules
+//! *could* match a flow, not how many rules the policy has.
+//!
+//! # Tree shape
+//!
+//! The root fans out into one dispatch table per field, each one a
+//! compile-time-sized hash map (or membership group) whose leaves are
+//! sorted candidate-position lists:
+//!
+//! * **dst port** — rules with an exact `port p` on the `to` endpoint (or a
+//!   range narrow enough to expand, ≤ [`RANGE_EXPAND_MAX`] ports) dispatch
+//!   on `flow.dst_port`;
+//! * **dst/src host** — rules pinning an endpoint to a single address (a
+//!   host literal or a /32) dispatch on the flow address;
+//! * **response values** — rules whose predicates include
+//!   `eq(@side[key], lit)` dispatch on the memoized `latest(key)` response
+//!   lookup, one nested exact-match table per `(side, key)` (at most
+//!   [`MAX_RESP_TABLES`], most-populous first) — this is the xDS "nested
+//!   matcher on a derived input";
+//! * **host-set membership** — rules constraining an endpoint to a table
+//!   (`from <lan>`) or a CIDR share one membership group per distinct set
+//!   (at most [`MAX_ADDR_GROUPS`]); the group's binary-searched
+//!   `FlatSet`/mask test runs once per flow, not once per rule;
+//! * **protocol** — rules whose only discriminator is `proto p`;
+//! * **residual** — everything else (negated endpoints, wide ranges,
+//!   overflow past the table caps), kept in source order.
+//!
+//! Every rule lands in **exactly one** leaf, chosen by selectivity
+//! (port > host > response value > set membership > protocol > residual),
+//! so the per-flow candidate lists are disjoint. Rules that can never match
+//! any flow (unresolvable named port, empty inclusive address set, inverted
+//! port range) land in *no* leaf and are reported as unreachable — the
+//! compiler turns them into dead-rule notes.
+//!
+//! # First-match preservation
+//!
+//! PF semantics are last-match-wins with `quick` short-circuit, i.e. the
+//! deciding rule is a function of match **order**. The tree preserves order
+//! exactly: every leaf entry is the rule's original position, each leaf list
+//! is sorted ascending, and evaluation merges the (at most [`MAX_LISTS`])
+//! active lists by **minimum position** — a k-way merge over disjoint
+//! sorted lists. The merged stream visits exactly the union of candidate
+//! rules in source order, so the existing match loop (track last match,
+//! stop at `quick`) runs unchanged and decides identically to the linear
+//! scan; `tests/compiled_equivalence.rs` pins interpreter ≡ linear ≡ tree
+//! by property test.
+//!
+//! # Zero allocation
+//!
+//! All tables are built (and pre-sized) at compile time; evaluation only
+//! *reads* them. `HashMap` lookups never allocate or rehash, membership
+//! tests are binary searches over flattened sets, and the merge state is a
+//! stack array of list views — `crates/pf/tests/compiled_alloc.rs` asserts
+//! zero steady-state allocations through the tree path.
+
+use std::collections::HashMap;
+
+use identxx_proto::FiveTuple;
+
+use crate::compile::{CAddr, CArg, CList, CPort, CPred, CRule, FlatSet, Side, Sym, SymbolTable};
+
+/// Maximum distinct host-set / CIDR membership groups the tree dispatches
+/// on. Groups are chosen most-populous-first; rules whose set is not chosen
+/// fall through to the next discriminator (usually the residual list).
+pub const MAX_ADDR_GROUPS: usize = 16;
+
+/// Maximum distinct `(side, key)` response-value tables. Chosen
+/// most-populous-first, like the address groups.
+pub const MAX_RESP_TABLES: usize = 8;
+
+/// Widest inclusive port range expanded into the dst-port table. Wider
+/// ranges fall through to the next discriminator.
+pub const RANGE_EXPAND_MAX: u32 = 16;
+
+/// Upper bound on candidate lists a single flow can activate: one each for
+/// the protocol, dst-port, dst-host and src-host tables, every address
+/// group, every response table, and the residual list. The merge state is
+/// sized by this bound, so evaluation needs no heap.
+pub const MAX_LISTS: usize = 4 + MAX_ADDR_GROUPS + MAX_RESP_TABLES + 1;
+
+// ---------------------------------------------------------------------------
+// Field-inspection sets
+// ---------------------------------------------------------------------------
+
+/// The set of flow/response fields a rule (or a whole matcher subtree)
+/// inspects while matching.
+///
+/// Computed for every compiled rule during tree construction and exposed via
+/// [`crate::compile::CompiledPolicy::fields_inspected`]: a cached verdict is
+/// only safe to replay across flows that agree on every inspected field, so
+/// these sets are the work-list for per-rule cache granularity and the blame
+/// source for `pfcheck --granularity`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct FieldSet {
+    bits: u8,
+}
+
+impl FieldSet {
+    /// The empty set: the rule matches every flow without reading anything.
+    pub const EMPTY: FieldSet = FieldSet { bits: 0 };
+    /// The IP protocol.
+    pub const PROTO: FieldSet = FieldSet { bits: 1 };
+    /// The source address.
+    pub const SRC_ADDR: FieldSet = FieldSet { bits: 2 };
+    /// The source port.
+    pub const SRC_PORT: FieldSet = FieldSet { bits: 4 };
+    /// The destination address.
+    pub const DST_ADDR: FieldSet = FieldSet { bits: 8 };
+    /// The destination port.
+    pub const DST_PORT: FieldSet = FieldSet { bits: 16 };
+    /// Values from the source-side ident++ response.
+    pub const RESP_SRC: FieldSet = FieldSet { bits: 32 };
+    /// Values from the destination-side ident++ response.
+    pub const RESP_DST: FieldSet = FieldSet { bits: 64 };
+    /// Every field (the conservative answer for `allowed()` delegation,
+    /// whose sub-rule set arrives at evaluation time).
+    pub const ALL: FieldSet = FieldSet { bits: 127 };
+
+    /// Set union.
+    pub const fn union(self, other: FieldSet) -> FieldSet {
+        FieldSet {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Set intersection.
+    pub const fn intersect(self, other: FieldSet) -> FieldSet {
+        FieldSet {
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// Whether every field in `other` is also in `self`.
+    pub const fn contains(self, other: FieldSet) -> bool {
+        self.bits & other.bits == other.bits
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// The names of the fields in the set, in canonical order.
+    pub fn names(self) -> impl Iterator<Item = &'static str> {
+        const NAMES: [(FieldSet, &str); 7] = [
+            (FieldSet::PROTO, "protocol"),
+            (FieldSet::SRC_ADDR, "src-addr"),
+            (FieldSet::SRC_PORT, "src-port"),
+            (FieldSet::DST_ADDR, "dst-addr"),
+            (FieldSet::DST_PORT, "dst-port"),
+            (FieldSet::RESP_SRC, "src-response"),
+            (FieldSet::RESP_DST, "dst-response"),
+        ];
+        NAMES
+            .into_iter()
+            .filter(move |(f, _)| self.contains(*f))
+            .map(|(_, name)| name)
+    }
+}
+
+impl std::fmt::Display for FieldSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "none");
+        }
+        let mut first = true;
+        for name in self.names() {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{name}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tree structure
+// ---------------------------------------------------------------------------
+
+/// Why tree construction proved a rule can never match any flow. These rules
+/// land in no leaf — they are the tree's *unreachable leaves*, surfaced as
+/// dead rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnmatchableReason {
+    /// A named service port that resolves to nothing (`port nosuchservice`):
+    /// the endpoint's port test fails closed for every flow.
+    UnresolvablePort,
+    /// An inverted port range (`port 2000:1000`) matches no port.
+    EmptyPortRange,
+    /// A non-negated endpoint constrained to an empty address set (a missing
+    /// or empty table).
+    EmptyAddressSet,
+}
+
+impl std::fmt::Display for UnmatchableReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnmatchableReason::UnresolvablePort => {
+                write!(f, "a named port that resolves to no service")
+            }
+            UnmatchableReason::EmptyPortRange => write!(f, "an inverted (empty) port range"),
+            UnmatchableReason::EmptyAddressSet => {
+                write!(f, "a non-negated endpoint over an empty address set")
+            }
+        }
+    }
+}
+
+/// The membership test of an address group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum GroupTest {
+    /// Index into the compiled policy's flattened sets.
+    Set(usize),
+    /// A masked-compare CIDR test.
+    Cidr { net: u32, mask: u32 },
+}
+
+/// One host-set membership group: all rules (on one side) constrained to the
+/// same flattened set or CIDR. The membership test runs once per flow.
+#[derive(Debug)]
+pub(crate) struct AddrGroup {
+    pub(crate) side: Side,
+    pub(crate) test: GroupTest,
+    pub(crate) rules: Vec<u32>,
+}
+
+/// One nested response-value matcher: all rules carrying
+/// `eq(@side[key], lit)` dispatch through an exact-match table over the
+/// memoized `latest(key)` lookup.
+#[derive(Debug)]
+pub(crate) struct RespTable {
+    pub(crate) side: Side,
+    pub(crate) key: Sym,
+    pub(crate) slot: u16,
+    pub(crate) map: HashMap<String, Vec<u32>>,
+}
+
+/// Where tree construction placed a rule (introspection/debug only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Placement {
+    DstPort,
+    DstHost,
+    SrcHost,
+    RespValue,
+    AddrGroup,
+    Proto,
+    Residual,
+    /// Proven unmatchable: in no leaf.
+    Unreachable(UnmatchableReason),
+    /// Below the dead-prefix floor: unindexed (never a candidate).
+    DeadPrefix,
+}
+
+/// Summary statistics of a built tree (for benches, docs, and `Debug`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatcherStats {
+    /// Rules placed in any dispatch table (port/host/resp/group/proto).
+    pub rules_indexed: usize,
+    /// Rules in the ordered residual list.
+    pub residual_rules: usize,
+    /// Rules proven unmatchable (unreachable leaves).
+    pub unreachable_rules: usize,
+    /// Distinct dst-port table entries.
+    pub port_entries: usize,
+    /// Distinct dst-host + src-host table entries.
+    pub host_entries: usize,
+    /// Distinct protocol table entries.
+    pub proto_entries: usize,
+    /// Host-set / CIDR membership groups.
+    pub addr_groups: usize,
+    /// Nested response-value tables.
+    pub resp_tables: usize,
+    /// Total entries across the response-value tables.
+    pub resp_entries: usize,
+}
+
+/// The built matcher tree over a compiled rule list. Positions are indices
+/// into `CompiledPolicy::rules` (not source indices).
+pub(crate) struct MatcherTree {
+    proto: HashMap<u8, Vec<u32>>,
+    dst_port: HashMap<u16, Vec<u32>>,
+    dst_host: HashMap<u32, Vec<u32>>,
+    src_host: HashMap<u32, Vec<u32>>,
+    groups: Vec<AddrGroup>,
+    resp: Vec<RespTable>,
+    residual: Vec<u32>,
+    /// Per compiled position: the fields the rule inspects while matching.
+    fields: Vec<FieldSet>,
+    /// Per compiled position: where the rule landed.
+    placements: Vec<Placement>,
+    /// Positions proven unmatchable, with reasons (sorted ascending).
+    unreachable: Vec<(u32, UnmatchableReason)>,
+}
+
+/// What a rule would like to dispatch on, in decreasing selectivity order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wish {
+    Port(u16),
+    PortRange(u16, u16),
+    DstHost(u32),
+    SrcHost(u32),
+    Resp { table: RespKey, lit: Sym },
+    Group(GroupKey),
+    Proto(u8),
+}
+
+type RespKey = (Side, Sym, u16);
+type GroupKey = (Side, GroupTest);
+
+impl MatcherTree {
+    /// Builds the tree over `rules[floor..]`. Positions below `floor` are the
+    /// compiler's dead prefix (a later unconditional rule always outmatches
+    /// them) and are left unindexed.
+    pub(crate) fn build(
+        rules: &[CRule],
+        floor: usize,
+        sets: &[FlatSet],
+        symbols: &SymbolTable,
+    ) -> MatcherTree {
+        let mut fields = Vec::with_capacity(rules.len());
+        let mut placements = vec![Placement::DeadPrefix; rules.len()];
+        let mut wish_lists: Vec<Vec<Wish>> = Vec::with_capacity(rules.len());
+        let mut unreachable: Vec<(u32, UnmatchableReason)> = Vec::new();
+
+        // Pass 1: per-rule field sets, unmatchability proofs, and wish lists.
+        let mut group_counts: HashMap<GroupKey, usize> = HashMap::new();
+        let mut resp_counts: HashMap<RespKey, usize> = HashMap::new();
+        for (pos, rule) in rules.iter().enumerate() {
+            fields.push(rule_fields(rule));
+            if pos < floor {
+                wish_lists.push(Vec::new());
+                continue;
+            }
+            if let Some(reason) = unmatchable(rule, sets) {
+                unreachable.push((pos as u32, reason));
+                placements[pos] = Placement::Unreachable(reason);
+                wish_lists.push(Vec::new());
+                continue;
+            }
+            let wishes = rule_wishes(rule);
+            if let Some(first) = wishes.first() {
+                match first {
+                    Wish::Group(key) => *group_counts.entry(*key).or_insert(0) += 1,
+                    Wish::Resp { table, .. } => *resp_counts.entry(*table).or_insert(0) += 1,
+                    _ => {}
+                }
+            }
+            wish_lists.push(wishes);
+        }
+
+        // Select which membership groups and response tables to materialize:
+        // most-populous first, ties broken by first appearance so the choice
+        // is deterministic.
+        let chosen_groups = choose_top(&group_counts, &wish_lists, MAX_ADDR_GROUPS, |w| match w {
+            Wish::Group(key) => Some(*key),
+            _ => None,
+        });
+        let chosen_resp = choose_top(&resp_counts, &wish_lists, MAX_RESP_TABLES, |w| match w {
+            Wish::Resp { table, .. } => Some(*table),
+            _ => None,
+        });
+
+        let mut tree = MatcherTree {
+            proto: HashMap::new(),
+            dst_port: HashMap::new(),
+            dst_host: HashMap::new(),
+            src_host: HashMap::new(),
+            groups: chosen_groups
+                .iter()
+                .map(|(side, test)| AddrGroup {
+                    side: *side,
+                    test: *test,
+                    rules: Vec::new(),
+                })
+                .collect(),
+            resp: chosen_resp
+                .iter()
+                .map(|(side, key, slot)| RespTable {
+                    side: *side,
+                    key: *key,
+                    slot: *slot,
+                    map: HashMap::new(),
+                })
+                .collect(),
+            residual: Vec::new(),
+            fields,
+            placements,
+            unreachable,
+        };
+
+        // Pass 2: place every live rule at its first realizable wish.
+        // Iterating positions in ascending order keeps every leaf list
+        // sorted, which the min-index merge depends on.
+        for (pos, wishes) in wish_lists.iter().enumerate() {
+            if pos < floor || matches!(tree.placements[pos], Placement::Unreachable(_)) {
+                continue;
+            }
+            tree.place(pos as u32, wishes, &chosen_groups, &chosen_resp, symbols);
+        }
+        tree
+    }
+
+    fn place(
+        &mut self,
+        pos: u32,
+        wishes: &[Wish],
+        chosen_groups: &[GroupKey],
+        chosen_resp: &[RespKey],
+        symbols: &SymbolTable,
+    ) {
+        for wish in wishes {
+            match wish {
+                Wish::Port(p) => {
+                    self.dst_port.entry(*p).or_default().push(pos);
+                    self.placements[pos as usize] = Placement::DstPort;
+                    return;
+                }
+                Wish::PortRange(lo, hi) => {
+                    // The rule appears under every port of the (narrow)
+                    // range; a flow consults exactly one port entry, so the
+                    // merge still never sees a duplicate.
+                    for p in *lo..=*hi {
+                        self.dst_port.entry(p).or_default().push(pos);
+                    }
+                    self.placements[pos as usize] = Placement::DstPort;
+                    return;
+                }
+                Wish::DstHost(h) => {
+                    self.dst_host.entry(*h).or_default().push(pos);
+                    self.placements[pos as usize] = Placement::DstHost;
+                    return;
+                }
+                Wish::SrcHost(h) => {
+                    self.src_host.entry(*h).or_default().push(pos);
+                    self.placements[pos as usize] = Placement::SrcHost;
+                    return;
+                }
+                Wish::Resp { table, lit } => {
+                    if let Some(idx) = chosen_resp.iter().position(|k| k == table) {
+                        self.resp[idx]
+                            .map
+                            .entry(symbols.get(*lit).to_string())
+                            .or_default()
+                            .push(pos);
+                        self.placements[pos as usize] = Placement::RespValue;
+                        return;
+                    }
+                }
+                Wish::Group(key) => {
+                    if let Some(idx) = chosen_groups.iter().position(|k| k == key) {
+                        self.groups[idx].rules.push(pos);
+                        self.placements[pos as usize] = Placement::AddrGroup;
+                        return;
+                    }
+                }
+                Wish::Proto(p) => {
+                    self.proto.entry(*p).or_default().push(pos);
+                    self.placements[pos as usize] = Placement::Proto;
+                    return;
+                }
+            }
+        }
+        self.residual.push(pos);
+        self.placements[pos as usize] = Placement::Residual;
+    }
+
+    /// Pushes the candidate lists selected by the flow's *header* fields
+    /// (protocol, ports, addresses, set membership). Response-value tables
+    /// are the caller's job — they need the evaluation's memoized response
+    /// lookups.
+    pub(crate) fn push_flow_lists<'t>(
+        &'t self,
+        flow: &FiveTuple,
+        sets: &[FlatSet],
+        merge: &mut Merge<'t>,
+    ) {
+        if let Some(list) = self.proto.get(&flow.protocol.number()) {
+            merge.push(list);
+        }
+        if let Some(list) = self.dst_port.get(&flow.dst_port) {
+            merge.push(list);
+        }
+        let dst = flow.dst_ip.to_u32();
+        let src = flow.src_ip.to_u32();
+        if let Some(list) = self.dst_host.get(&dst) {
+            merge.push(list);
+        }
+        if let Some(list) = self.src_host.get(&src) {
+            merge.push(list);
+        }
+        for group in &self.groups {
+            let addr = match group.side {
+                Side::Src => src,
+                Side::Dst => dst,
+            };
+            let member = match group.test {
+                GroupTest::Set(idx) => sets[idx].contains(addr),
+                GroupTest::Cidr { net, mask } => addr & mask == net,
+            };
+            if member {
+                merge.push(&group.rules);
+            }
+        }
+        merge.push(&self.residual);
+    }
+
+    /// The nested response-value tables (consulted by the evaluation run,
+    /// which owns the memoized response lookups).
+    pub(crate) fn resp_tables(&self) -> &[RespTable] {
+        &self.resp
+    }
+
+    /// The fields rule `pos` inspects while matching.
+    pub(crate) fn fields_of(&self, pos: usize) -> FieldSet {
+        self.fields[pos]
+    }
+
+    /// Positions proven unmatchable, with reasons.
+    pub(crate) fn unreachable(&self) -> &[(u32, UnmatchableReason)] {
+        &self.unreachable
+    }
+
+    /// Union of inspected fields over one subtree's candidate list.
+    fn union_fields(&self, list: &[u32]) -> FieldSet {
+        list.iter().fold(FieldSet::EMPTY, |acc, &pos| {
+            acc.union(self.fields[pos as usize])
+        })
+    }
+
+    /// Per-subtree inspection sets: the union of inspected fields under each
+    /// root dispatch dimension. `pfcheck` uses these to report what a whole
+    /// policy region reads; the per-rule sets drive granularity blame.
+    pub(crate) fn subtree_fields(&self) -> Vec<(&'static str, FieldSet)> {
+        let mut out = Vec::new();
+        let mut dim = |name: &'static str, fields: FieldSet| {
+            if !fields.is_empty() {
+                out.push((name, fields));
+            }
+        };
+        let union_map = |lists: Vec<&Vec<u32>>| {
+            lists
+                .into_iter()
+                .fold(FieldSet::EMPTY, |acc, l| acc.union(self.union_fields(l)))
+        };
+        dim("dst-port", union_map(self.dst_port.values().collect()));
+        dim("dst-host", union_map(self.dst_host.values().collect()));
+        dim("src-host", union_map(self.src_host.values().collect()));
+        dim(
+            "addr-group",
+            self.groups.iter().fold(FieldSet::EMPTY, |acc, g| {
+                acc.union(self.union_fields(&g.rules))
+            }),
+        );
+        dim(
+            "resp-value",
+            self.resp.iter().fold(FieldSet::EMPTY, |acc, t| {
+                acc.union(union_map(t.map.values().collect()))
+            }),
+        );
+        dim("proto", union_map(self.proto.values().collect()));
+        dim("residual", self.union_fields(&self.residual));
+        out
+    }
+
+    /// Summary statistics.
+    pub(crate) fn stats(&self) -> MatcherStats {
+        let placed = |p: Placement| {
+            self.placements
+                .iter()
+                .filter(|candidate| **candidate == p)
+                .count()
+        };
+        MatcherStats {
+            rules_indexed: placed(Placement::DstPort)
+                + placed(Placement::DstHost)
+                + placed(Placement::SrcHost)
+                + placed(Placement::RespValue)
+                + placed(Placement::AddrGroup)
+                + placed(Placement::Proto),
+            residual_rules: self.residual.len(),
+            unreachable_rules: self.unreachable.len(),
+            port_entries: self.dst_port.len(),
+            host_entries: self.dst_host.len() + self.src_host.len(),
+            proto_entries: self.proto.len(),
+            addr_groups: self.groups.iter().filter(|g| !g.rules.is_empty()).count(),
+            resp_tables: self.resp.iter().filter(|t| !t.map.is_empty()).count(),
+            resp_entries: self.resp.iter().map(|t| t.map.len()).sum(),
+        }
+    }
+}
+
+/// Picks the top `cap` keys by wish count (ties: first appearance in rule
+/// order, so the choice is stable across builds).
+fn choose_top<K: Copy + PartialEq + Eq + std::hash::Hash>(
+    counts: &HashMap<K, usize>,
+    wish_lists: &[Vec<Wish>],
+    cap: usize,
+    extract: impl Fn(&Wish) -> Option<K>,
+) -> Vec<K> {
+    // First-appearance order over first wishes only (the ones counted).
+    let mut order: Vec<K> = Vec::new();
+    for wishes in wish_lists {
+        if let Some(key) = wishes.first().and_then(&extract) {
+            if counts.contains_key(&key) && !order.contains(&key) {
+                order.push(key);
+            }
+        }
+    }
+    let mut ranked: Vec<(usize, usize, K)> = order
+        .iter()
+        .enumerate()
+        .map(|(first_seen, key)| (counts[key], first_seen, *key))
+        .collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    ranked.into_iter().take(cap).map(|(_, _, k)| k).collect()
+}
+
+/// Proves a rule unmatchable from its endpoints alone, if possible.
+fn unmatchable(rule: &CRule, sets: &[FlatSet]) -> Option<UnmatchableReason> {
+    for endpoint in [&rule.from, &rule.to].into_iter().flatten() {
+        match endpoint.port {
+            CPort::Never => return Some(UnmatchableReason::UnresolvablePort),
+            CPort::Range(lo, hi) if lo > hi => return Some(UnmatchableReason::EmptyPortRange),
+            _ => {}
+        }
+        if let CAddr::Set(idx) = endpoint.addr {
+            if !endpoint.negate && sets[idx].is_empty() {
+                return Some(UnmatchableReason::EmptyAddressSet);
+            }
+        }
+    }
+    None
+}
+
+/// The rule's dispatch wish list, in decreasing selectivity order. Always
+/// realizable in the worst case via the residual list (implicit last wish).
+fn rule_wishes(rule: &CRule) -> Vec<Wish> {
+    let mut wishes = Vec::new();
+    if let Some(to) = &rule.to {
+        // Port dispatch is sound even under `!addr` negation: negation
+        // applies to the address test only, the port must match regardless.
+        match to.port {
+            CPort::Eq(p) => wishes.push(Wish::Port(p)),
+            CPort::Range(lo, hi) if (hi as u32).saturating_sub(lo as u32) < RANGE_EXPAND_MAX => {
+                wishes.push(Wish::PortRange(lo, hi))
+            }
+            _ => {}
+        }
+        if !to.negate {
+            match to.addr {
+                CAddr::Host(h) => wishes.push(Wish::DstHost(h)),
+                CAddr::Cidr { net, mask } if mask == u32::MAX => wishes.push(Wish::DstHost(net)),
+                _ => {}
+            }
+        }
+    }
+    if let Some(from) = &rule.from {
+        if !from.negate {
+            match from.addr {
+                CAddr::Host(h) => wishes.push(Wish::SrcHost(h)),
+                CAddr::Cidr { net, mask } if mask == u32::MAX => wishes.push(Wish::SrcHost(net)),
+                _ => {}
+            }
+        }
+    }
+    for pred in &rule.preds {
+        if let CPred::EqRespLit {
+            side,
+            key,
+            slot,
+            lit,
+        } = pred
+        {
+            wishes.push(Wish::Resp {
+                table: (*side, *key, *slot),
+                lit: *lit,
+            });
+            break;
+        }
+    }
+    for (endpoint, side) in [(&rule.to, Side::Dst), (&rule.from, Side::Src)] {
+        if let Some(e) = endpoint {
+            if !e.negate {
+                match e.addr {
+                    CAddr::Set(idx) => wishes.push(Wish::Group((side, GroupTest::Set(idx)))),
+                    // mask == MAX handled as a host above; mask == 0 matches
+                    // everything and discriminates nothing.
+                    CAddr::Cidr { net, mask } if mask != u32::MAX && mask != 0 => {
+                        wishes.push(Wish::Group((side, GroupTest::Cidr { net, mask })))
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    if let Some(p) = rule.proto {
+        wishes.push(Wish::Proto(p.number()));
+    }
+    wishes
+}
+
+/// The fields a compiled rule inspects while matching.
+fn rule_fields(rule: &CRule) -> FieldSet {
+    let mut fields = FieldSet::EMPTY;
+    if rule.proto.is_some() {
+        fields = fields.union(FieldSet::PROTO);
+    }
+    for (endpoint, addr_bit, port_bit) in [
+        (&rule.from, FieldSet::SRC_ADDR, FieldSet::SRC_PORT),
+        (&rule.to, FieldSet::DST_ADDR, FieldSet::DST_PORT),
+    ] {
+        if let Some(e) = endpoint {
+            if e.negate || !matches!(e.addr, CAddr::Any) {
+                fields = fields.union(addr_bit);
+            }
+            if !matches!(e.port, CPort::Any) {
+                fields = fields.union(port_bit);
+            }
+        }
+    }
+    for pred in &rule.preds {
+        fields = fields.union(pred_fields(pred));
+    }
+    fields
+}
+
+fn arg_fields(arg: &CArg) -> FieldSet {
+    match arg {
+        CArg::Lit(_) | CArg::Missing => FieldSet::EMPTY,
+        CArg::Resp { side, .. } => side_field(*side),
+    }
+}
+
+fn side_field(side: Side) -> FieldSet {
+    match side {
+        Side::Src => FieldSet::RESP_SRC,
+        Side::Dst => FieldSet::RESP_DST,
+    }
+}
+
+fn pred_fields(pred: &CPred) -> FieldSet {
+    match pred {
+        CPred::EqRespLit { side, .. } => side_field(*side),
+        CPred::Cmp { a, b, .. }
+        | CPred::Includes {
+            haystack: a,
+            needle: b,
+        } => arg_fields(a).union(arg_fields(b)),
+        CPred::Exists(arg) => arg_fields(arg),
+        CPred::Member { value, list } => {
+            let list_fields = match list {
+                CList::Static(_) => FieldSet::EMPTY,
+                CList::Dynamic(arg) => arg_fields(arg),
+            };
+            arg_fields(value).union(list_fields)
+        }
+        // The delegated rule set arrives inside a response at evaluation
+        // time and may inspect anything — the only sound answer is "all".
+        CPred::Allowed(_) => FieldSet::ALL,
+        CPred::Verify { sig, key, data } => data
+            .iter()
+            .map(arg_fields)
+            .fold(arg_fields(sig).union(arg_fields(key)), FieldSet::union),
+        CPred::User { args, .. } => args
+            .iter()
+            .map(arg_fields)
+            .fold(FieldSet::EMPTY, FieldSet::union),
+        CPred::Never => FieldSet::EMPTY,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The k-way min-index merge
+// ---------------------------------------------------------------------------
+
+/// Merges up to [`MAX_LISTS`] disjoint, ascending candidate lists by
+/// minimum position. Lives entirely on the stack; pushing an empty list is
+/// a no-op, so the active width is usually far below the bound.
+pub(crate) struct Merge<'a> {
+    lists: [&'a [u32]; MAX_LISTS],
+    len: usize,
+}
+
+impl<'a> Merge<'a> {
+    pub(crate) fn new() -> Merge<'a> {
+        Merge {
+            lists: [&[]; MAX_LISTS],
+            len: 0,
+        }
+    }
+
+    /// Adds a candidate list. Panics if the static [`MAX_LISTS`] bound is
+    /// exceeded — impossible by construction (the tree materializes at most
+    /// that many dispatch dimensions), and a silent drop would change
+    /// decisions, so this fails loudly.
+    pub(crate) fn push(&mut self, list: &'a [u32]) {
+        if list.is_empty() {
+            return;
+        }
+        assert!(self.len < MAX_LISTS, "matcher tree exceeded MAX_LISTS");
+        self.lists[self.len] = list;
+        self.len += 1;
+    }
+
+    /// The next candidate position in ascending order.
+    pub(crate) fn next(&mut self) -> Option<u32> {
+        let mut best: Option<(usize, u32)> = None;
+        for (idx, list) in self.lists[..self.len].iter().enumerate() {
+            let head = list[0];
+            if best.is_none_or(|(_, b)| head < b) {
+                best = Some((idx, head));
+            }
+        }
+        let (idx, head) = best?;
+        let rest = &self.lists[idx][1..];
+        if rest.is_empty() {
+            // Swap-remove the exhausted list so the scan width shrinks.
+            self.len -= 1;
+            self.lists[idx] = self.lists[self.len];
+        } else {
+            self.lists[idx] = rest;
+        }
+        Some(head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_yields_ascending_union_of_disjoint_lists() {
+        let mut merge = Merge::new();
+        merge.push(&[1, 4, 9]);
+        merge.push(&[]);
+        merge.push(&[0, 5]);
+        merge.push(&[2, 3, 10]);
+        let mut out = Vec::new();
+        while let Some(pos) = merge.next() {
+            out.push(pos);
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 9, 10]);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let mut merge = Merge::new();
+        assert_eq!(merge.next(), None);
+        merge.push(&[]);
+        assert_eq!(merge.next(), None);
+    }
+
+    #[test]
+    fn field_set_algebra_and_display() {
+        let ports = FieldSet::SRC_PORT.union(FieldSet::DST_PORT);
+        assert!(ports.contains(FieldSet::SRC_PORT));
+        assert!(!ports.contains(FieldSet::SRC_ADDR));
+        assert!(FieldSet::ALL.contains(ports));
+        assert!(FieldSet::EMPTY.is_empty());
+        assert_eq!(format!("{}", FieldSet::EMPTY), "none");
+        assert_eq!(format!("{ports}"), "src-port+dst-port");
+        assert_eq!(
+            FieldSet::ALL.names().count(),
+            7,
+            "every field has exactly one name"
+        );
+    }
+}

@@ -44,7 +44,12 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 /// A policy exercising every fast-path feature at once: tables (nested),
 /// CIDR and host endpoints, named and numeric ports, protocol constraints,
 /// and the comparison / existence / membership / inclusion predicates over
-/// literals, macros, dict values, and response keys.
+/// literals, macros, dict values, and response keys — and every matcher-tree
+/// dispatch dimension: exact dst-port table (`port http`, `port 53`,
+/// `port 5353`), narrow-range expansion (`port 9000:9008`), wide-range
+/// residual (`port 1000:2000`), dst-host and src-host maps (`to 192.168.1.1`,
+/// `from 172.16.0.1`), addr groups (set and CIDR), proto buckets, and
+/// response-literal tables (`eq(@src[name], …)`).
 const POLICY: &str = "\
 table <server> { 192.168.1.1 }
 table <lan> { 192.168.0.0/24 10.0.0.0/8 }
@@ -58,6 +63,10 @@ pass all with eq(@src[name], skype) with gte(@src[version], 200)
 pass all with exists(@src[user-initiated]) with includes(@dst[os-patch], MS08-067)
 pass all with eq(@src[userID], @meta[owner]) with member(@src[groupID], admins)
 block proto udp from any to any port 53 with ne(@src[name], resolver)
+pass proto tcp from any to 192.168.1.1 port 8080
+block from 172.16.0.1 to any
+pass proto tcp from any to any port 9000:9008
+block quick proto udp from any to any port 5353
 ";
 
 fn response(flow: FiveTuple, pairs: &[(&str, &str)]) -> Response {
@@ -83,6 +92,11 @@ fn steady_state_compiled_evaluation_does_not_allocate() {
         FiveTuple::tcp([10, 1, 2, 3], 40002, [10, 4, 5, 6], 443),
         FiveTuple::udp([10, 1, 2, 3], 5353, [9, 9, 9, 9], 53),
         FiveTuple::tcp([172, 16, 0, 1], 1, [172, 16, 0, 2], 22),
+        // Tree-dispatch paths: dst-host map + exact port, narrow-range
+        // per-port expansion, and a quick rule inside the exact-port table.
+        FiveTuple::tcp([8, 8, 4, 4], 40003, [192, 168, 1, 1], 8080),
+        FiveTuple::tcp([8, 8, 4, 4], 40004, [8, 8, 8, 8], 9004),
+        FiveTuple::udp([8, 8, 4, 4], 40005, [8, 8, 8, 8], 5353),
     ];
     let src = response(
         flows[0],

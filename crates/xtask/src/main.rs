@@ -25,20 +25,40 @@
 //!    back into the production signing path.
 //!
 //! Exit status is non-zero if any lint fails, so CI can gate on it.
+//!
+//! `cargo run -p xtask -- e11-gate <baseline.json> <current.json>` is the
+//! E11 latency-regression gate: it compares the current smoke run's
+//! `latency_p99_us` cells against the committed `BENCH_E11.json` baseline
+//! and fails on a greater-than-2x regression in any matching cell. The two
+//! reports' environment rows must be identical first — p99 numbers from
+//! different machines or knob configurations are not comparable, so a
+//! mismatch skips the gate (exit 0, with a message) instead of failing it.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use identxx_bench::report::{parse_json, BenchRow, Value};
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint\n       \
+                     cargo run -p xtask -- e11-gate <baseline.json> <current.json>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("e11-gate") => match (args.get(1), args.get(2)) {
+            (Some(baseline), Some(current)) => e11_gate(Path::new(baseline), Path::new(current)),
+            _ => {
+                eprintln!("e11-gate needs two paths\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         Some(other) => {
-            eprintln!("unknown task `{other}`\n\nusage: cargo run -p xtask -- lint");
+            eprintln!("unknown task `{other}`\n\n{USAGE}");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
@@ -82,6 +102,162 @@ fn lint() -> ExitCode {
         eprintln!("xtask lint: {} violation(s)", violations.len());
         ExitCode::FAILURE
     }
+}
+
+// ---------------------------------------------------------------------------
+// e11-gate: p99 latency-regression gate over BENCH_E11.json
+// ---------------------------------------------------------------------------
+
+/// Maximum tolerated p99 growth: a current cell must stay within this factor
+/// of the committed baseline cell, or the gate fails.
+const E11_P99_MAX_RATIO: f64 = 2.0;
+
+/// What comparing a baseline report against a current one concluded.
+enum GateOutcome {
+    /// The two environment rows differ: the numbers came from different
+    /// machine/knob configurations and are not comparable. The gate passes
+    /// vacuously (with a message) rather than failing on apples-to-oranges.
+    Skipped(String),
+    /// Cells were compared; `regressions` holds one line per cell whose p99
+    /// grew beyond [`E11_P99_MAX_RATIO`].
+    Compared {
+        report: Vec<String>,
+        regressions: Vec<String>,
+    },
+}
+
+/// `cargo run -p xtask -- e11-gate <baseline.json> <current.json>`: fails
+/// (exit 1) when any matching E11 cell's `latency_p99_us` regressed beyond
+/// [`E11_P99_MAX_RATIO`]; exits 0 when every cell is within bounds or the
+/// environment rows do not match; exits 2 on unreadable/invalid input.
+fn e11_gate(baseline_path: &Path, current_path: &Path) -> ExitCode {
+    let read = |path: &Path| -> Result<Vec<BenchRow>, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|err| format!("{}: {err}", path.display()))?;
+        parse_json(&text).map_err(|err| format!("{}: {err}", path.display()))
+    };
+    let pair = read(baseline_path).and_then(|baseline| Ok((baseline, read(current_path)?)));
+    let (baseline, current) = match pair {
+        Ok(pair) => pair,
+        Err(err) => {
+            eprintln!("e11-gate: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    match e11_gate_outcome(&baseline, &current) {
+        Err(err) => {
+            eprintln!("e11-gate: {err}");
+            ExitCode::from(2)
+        }
+        Ok(GateOutcome::Skipped(reason)) => {
+            println!("e11-gate: skipped: {reason}");
+            ExitCode::SUCCESS
+        }
+        Ok(GateOutcome::Compared {
+            report,
+            regressions,
+        }) => {
+            for line in &report {
+                println!("e11-gate: {line}");
+            }
+            if regressions.is_empty() {
+                println!("e11-gate: ok (every cell within {E11_P99_MAX_RATIO}x of baseline p99)");
+                ExitCode::SUCCESS
+            } else {
+                for regression in &regressions {
+                    eprintln!("e11-gate: REGRESSION: {regression}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn environment_of(rows: &[BenchRow]) -> Option<&BenchRow> {
+    rows.iter()
+        .find(|r| matches!(r.get("row"), Some(Value::Str(s)) if s == "environment"))
+}
+
+/// The identity of one E11 cell: every configuration field that must agree
+/// before two p99 numbers are the same experiment.
+fn cell_key(row: &BenchRow) -> String {
+    [
+        "experiment",
+        "churn",
+        "daemons",
+        "shards",
+        "offered_rate_per_sec",
+        "duration_s",
+    ]
+    .iter()
+    .map(|key| match row.get(key) {
+        Some(Value::Str(s)) => format!("{key}={s}"),
+        Some(Value::Num(n)) => format!("{key}={n}"),
+        None => format!("{key}=?"),
+    })
+    .collect::<Vec<_>>()
+    .join(" ")
+}
+
+fn p99_of(row: &BenchRow) -> Option<f64> {
+    match row.get("latency_p99_us") {
+        Some(Value::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn e11_gate_outcome(baseline: &[BenchRow], current: &[BenchRow]) -> Result<GateOutcome, String> {
+    let env_baseline =
+        environment_of(baseline).ok_or_else(|| "baseline has no environment row".to_string())?;
+    let env_current =
+        environment_of(current).ok_or_else(|| "current run has no environment row".to_string())?;
+    if env_baseline != env_current {
+        return Ok(GateOutcome::Skipped(format!(
+            "environment rows differ (baseline {env_baseline:?} vs current {env_current:?}); \
+             latency numbers from different environments are not comparable"
+        )));
+    }
+    let mut report = Vec::new();
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for base_row in baseline {
+        let Some(base_p99) = p99_of(base_row) else {
+            continue;
+        };
+        let key = cell_key(base_row);
+        let matching = current
+            .iter()
+            .find(|row| p99_of(row).is_some() && cell_key(row) == key);
+        let Some(current_row) = matching else {
+            report.push(format!("{key}: no matching cell in current run; skipped"));
+            continue;
+        };
+        let current_p99 = p99_of(current_row).expect("matching cell has p99");
+        compared += 1;
+        let ratio = if base_p99 > 0.0 {
+            current_p99 / base_p99
+        } else {
+            f64::INFINITY
+        };
+        report.push(format!(
+            "{key}: p99 {base_p99:.0}us -> {current_p99:.0}us ({ratio:.2}x)"
+        ));
+        if current_p99 > base_p99 * E11_P99_MAX_RATIO {
+            regressions.push(format!(
+                "{key}: p99 {base_p99:.0}us -> {current_p99:.0}us exceeds the \
+                 {E11_P99_MAX_RATIO}x budget"
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(
+            "no comparable cells: baseline and current share no cell key with a p99".to_string(),
+        );
+    }
+    Ok(GateOutcome::Compared {
+        report,
+        regressions,
+    })
 }
 
 /// Walk up from the executable's cwd to the directory holding the workspace
@@ -359,6 +535,82 @@ fn check_toy_scheme_containment(path: &Path, violations: &mut Vec<String>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn e11_env() -> BenchRow {
+        BenchRow::new()
+            .with("row", "environment")
+            .with("available_cores", 1usize)
+            .with("identxx_runtime", "reactor")
+    }
+
+    fn e11_cell(churn: &str, p99: f64) -> BenchRow {
+        BenchRow::new()
+            .with("experiment", "e11")
+            .with("churn", churn)
+            .with("daemons", 1024usize)
+            .with("shards", 4usize)
+            .with("offered_rate_per_sec", 1000usize)
+            .with("duration_s", 4usize)
+            .with("latency_p99_us", p99)
+    }
+
+    #[test]
+    fn e11_gate_passes_within_budget_and_fails_beyond_it() {
+        let baseline = vec![e11_cell("off", 2000.0), e11_cell("on", 2400.0), e11_env()];
+
+        let ok = vec![e11_cell("off", 3900.0), e11_cell("on", 2000.0), e11_env()];
+        match e11_gate_outcome(&baseline, &ok).unwrap() {
+            GateOutcome::Compared { regressions, .. } => assert!(regressions.is_empty()),
+            GateOutcome::Skipped(reason) => panic!("unexpected skip: {reason}"),
+        }
+
+        let slow = vec![e11_cell("off", 4100.0), e11_cell("on", 2000.0), e11_env()];
+        match e11_gate_outcome(&baseline, &slow).unwrap() {
+            GateOutcome::Compared { regressions, .. } => {
+                assert_eq!(regressions.len(), 1, "{regressions:?}");
+                assert!(regressions[0].contains("churn=off"), "{regressions:?}");
+            }
+            GateOutcome::Skipped(reason) => panic!("unexpected skip: {reason}"),
+        }
+    }
+
+    #[test]
+    fn e11_gate_skips_on_environment_mismatch() {
+        let baseline = vec![e11_cell("off", 2000.0), e11_env()];
+        let other_env = BenchRow::new()
+            .with("row", "environment")
+            .with("available_cores", 8usize)
+            .with("identxx_runtime", "reactor");
+        let current = vec![e11_cell("off", 9000.0), other_env];
+        assert!(matches!(
+            e11_gate_outcome(&baseline, &current).unwrap(),
+            GateOutcome::Skipped(_)
+        ));
+    }
+
+    #[test]
+    fn e11_gate_reports_missing_cells_without_failing() {
+        let baseline = vec![e11_cell("off", 2000.0), e11_cell("on", 2400.0), e11_env()];
+        // The churn=on cell vanished (different sweep shape): reported, not
+        // a regression — but at least one cell must still compare.
+        let current = vec![e11_cell("off", 2100.0), e11_env()];
+        match e11_gate_outcome(&baseline, &current).unwrap() {
+            GateOutcome::Compared {
+                report,
+                regressions,
+            } => {
+                assert!(regressions.is_empty());
+                assert!(
+                    report.iter().any(|l| l.contains("no matching cell")),
+                    "{report:?}"
+                );
+            }
+            GateOutcome::Skipped(reason) => panic!("unexpected skip: {reason}"),
+        }
+
+        let disjoint = vec![e11_cell("elsewhere", 2100.0), e11_env()];
+        assert!(e11_gate_outcome(&baseline, &disjoint).is_err());
+    }
 
     #[test]
     fn sanitize_strips_strings_comments_and_lifetimes() {

@@ -1,14 +1,22 @@
 //! Property test: the compiled PF+=2 evaluator is decision-equivalent to the
-//! AST interpreter.
+//! AST interpreter — **three ways**.
 //!
 //! Randomized rule sets (tables, macros, dicts, protocol constraints,
 //! negated endpoints, named/numeric/range ports, the full predicate
 //! vocabulary, `quick` and `keep state`) are evaluated over randomized flows
-//! and responses through both `EvalContext` (the reference oracle) and
-//! `CompiledPolicy`. Every field of the verdict except `rules_evaluated`
-//! must agree — the compiled form is allowed (indeed, expected) to examine
-//! fewer rules, but never to decide differently or attribute the decision
-//! to a different rule.
+//! and responses through `EvalContext` (the reference oracle),
+//! `CompiledPolicy::evaluate_linear` (the compiled ordered scan), and
+//! `CompiledPolicy::evaluate` (the field-indexed matcher tree). Every field
+//! of the verdict except `rules_evaluated` must agree across all three —
+//! the compiled paths are allowed (indeed, expected) to examine fewer
+//! rules, but never to decide differently or attribute the decision to a
+//! different rule.
+//!
+//! A second generator skews toward what the matcher tree actually indexes:
+//! policies heavy in hash-dispatchable discriminators (exact dst ports,
+//! exact hosts, `eq(@src[k], lit)` literals, host-set membership, `proto`),
+//! with `quick` rules, duplicate/overlapping discriminators, and rules
+//! straddling several root dispatch dimensions at once.
 
 use proptest::prelude::*;
 
@@ -230,6 +238,172 @@ fn arb_response(flow: FiveTuple) -> impl Strategy<Value = Option<Response>> {
     ]
 }
 
+// ---------------------------------------------------------------------------
+// Dispatch-heavy generator: what the matcher tree actually indexes
+// ---------------------------------------------------------------------------
+
+/// Ports drawn from a pool of 3 so many rules share a discriminator (the
+/// tree's per-port leaf lists grow past one entry), plus a narrow range that
+/// expands into per-port entries and a wide one that stays residual.
+fn arb_dispatch_rule() -> impl Strategy<Value = String> {
+    let action = prop_oneof![Just("pass"), Just("block")];
+    // More frequent `quick` than the general generator: quick-stops inside
+    // hash-dispatched leaf lists are exactly what first-match preservation
+    // has to get right.
+    let quick = (0u8..5).prop_map(|q| q == 0);
+    // The vendored strategy combinators are not `Clone`; rebuild on demand.
+    let host = || {
+        (0usize..ADDRS.len()).prop_map(|i| {
+            let a = ADDRS[i];
+            format!("{}.{}.{}.{}", a[0], a[1], a[2], a[3])
+        })
+    };
+    let shape = prop_oneof![
+        // Port-dispatched, duplicated across rules (3-port pool).
+        prop_oneof![Just(80u16), Just(443), Just(7000)]
+            .prop_map(|p| format!(" from any to any port {p}")),
+        // Narrow range: expanded into per-port table entries.
+        Just(" from any to any port 440:445".to_string()),
+        // Wide range: falls through to the residual list.
+        Just(" from any to any port 1000:2000".to_string()),
+        // Host-dispatched (dst, src), sometimes straddling a port too —
+        // the rule sits in ONE leaf but carries both constraints.
+        host().prop_map(|h| format!(" from any to {h}")),
+        host().prop_map(|h| format!(" from {h} to any")),
+        (host(), prop_oneof![Just(80u16), Just(443)])
+            .prop_map(|(h, p)| format!(" from {h} to any port {p}")),
+        // Set-membership groups (shared FlatSet test) and CIDR groups.
+        Just(" from <lan> to any".to_string()),
+        Just(" from any to <all>".to_string()),
+        Just(" from 10.0.0.0/8 to any".to_string()),
+        // Unconstrained (residual or proto/resp dispatched below).
+        Just(" all".to_string()),
+    ];
+    // The vendored `prop_oneof!` has no weight syntax; duplicate entries to
+    // bias the uniform union (4:1:1 no-proto, 3:1:1 no-resp).
+    let proto = prop_oneof![
+        Just(String::new()),
+        Just(String::new()),
+        Just(String::new()),
+        Just(String::new()),
+        Just(" proto tcp".to_string()),
+        Just(" proto udp".to_string()),
+    ];
+    // Response-literal dispatch: a pool of 4 values over 2 keys, so tables
+    // fill with duplicate literals and flows hit/miss realistically.
+    let resp = prop_oneof![
+        Just(String::new()),
+        Just(String::new()),
+        Just(String::new()),
+        (0usize..4usize, any::<bool>()).prop_map(|(v, dst)| {
+            let side = if dst { "dst" } else { "src" };
+            format!(" with eq(@{side}[name], {})", VALUES[v])
+        }),
+        Just(" with member(@src[groupID], wheel)".to_string()),
+    ];
+    (action, quick, proto, shape, resp, any::<bool>()).prop_map(
+        |(action, quick, proto, shape, resp, keep)| {
+            let mut rule = String::from(action);
+            if quick {
+                rule.push_str(" quick");
+            }
+            rule.push_str(&proto);
+            rule.push_str(&shape);
+            rule.push_str(&resp);
+            if keep {
+                rule.push_str(" keep state");
+            }
+            rule
+        },
+    )
+}
+
+/// Longer rule lists than the general generator (up to 40 rules) so leaf
+/// lists hold many positions and the min-index merge is genuinely k-way.
+fn arb_dispatch_ruleset_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_dispatch_rule(), 1..40).prop_map(|rules| {
+        let mut text = String::from(
+            "table <server> { 192.168.1.1 }\n\
+             table <lan> { 192.168.0.0/24 }\n\
+             table <all> { <lan> <server> <all> }\n",
+        );
+        for rule in rules {
+            text.push_str(&rule);
+            text.push('\n');
+        }
+        text
+    })
+}
+
+/// Runs one flow through all three evaluation paths and asserts the verdicts
+/// agree on every field except `rules_evaluated`.
+fn assert_three_way(
+    text: &str,
+    flow: &FiveTuple,
+    src: Option<&Response>,
+    dst: Option<&Response>,
+) -> Result<(), TestCaseError> {
+    let ruleset = parse_ruleset(text).unwrap();
+    let mut ctx = EvalContext::new(&ruleset).with_named_list("users", vec!["users".to_string()]);
+    if let Some(src) = src {
+        ctx = ctx.with_src_response(src);
+    }
+    if let Some(dst) = dst {
+        ctx = ctx.with_dst_response(dst);
+    }
+    let interpreted = ctx.evaluate(flow);
+
+    let policy = PolicyCompiler::new()
+        .with_named_list("users", vec!["users".to_string()])
+        .compile(&ruleset);
+    let linear = policy.evaluate_linear(flow, src, dst);
+    let tree = policy.evaluate(flow, src, dst);
+
+    for (name, compiled) in [("linear", &linear), ("tree", &tree)] {
+        prop_assert_eq!(
+            compiled.decision,
+            interpreted.decision,
+            "{} ruleset:\n{}",
+            name,
+            text
+        );
+        prop_assert_eq!(
+            compiled.matched_rule,
+            interpreted.matched_rule,
+            "{} ruleset:\n{}",
+            name,
+            text
+        );
+        prop_assert_eq!(
+            compiled.matched_line,
+            interpreted.matched_line,
+            "{} ruleset:\n{}",
+            name,
+            text
+        );
+        prop_assert_eq!(
+            compiled.keep_state,
+            interpreted.keep_state,
+            "{} ruleset:\n{}",
+            name,
+            text
+        );
+        prop_assert_eq!(
+            compiled.quick,
+            interpreted.quick,
+            "{} ruleset:\n{}",
+            name,
+            text
+        );
+    }
+    // Neither compiled path examines more rules than the interpreter, and
+    // the tree never examines more than the linear scan (its candidate set
+    // is a subset of the live rules).
+    prop_assert!(linear.rules_evaluated <= interpreted.rules_evaluated);
+    prop_assert!(tree.rules_evaluated <= linear.rules_evaluated);
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -239,36 +413,23 @@ proptest! {
         flow in arb_flow(),
         seed in any::<u32>(),
     ) {
-        let ruleset = parse_ruleset(&text).unwrap();
-
         // Derive the responses from an inner generator so every case also
         // varies the response shapes.
         let mut rng = proptest::test_runner::TestRng::deterministic(&format!("responses-{seed}"));
         let src = arb_response(flow).generate(&mut rng);
         let dst = arb_response(flow).generate(&mut rng);
+        assert_three_way(&text, &flow, src.as_ref(), dst.as_ref())?;
+    }
 
-        let mut ctx = EvalContext::new(&ruleset)
-            .with_named_list("users", vec!["users".to_string()]);
-        if let Some(src) = &src {
-            ctx = ctx.with_src_response(src);
-        }
-        if let Some(dst) = &dst {
-            ctx = ctx.with_dst_response(dst);
-        }
-        let interpreted = ctx.evaluate(&flow);
-
-        let compiled = PolicyCompiler::new()
-            .with_named_list("users", vec!["users".to_string()])
-            .compile(&ruleset)
-            .evaluate(&flow, src.as_ref(), dst.as_ref());
-
-        prop_assert_eq!(compiled.decision, interpreted.decision, "ruleset:\n{}", text);
-        prop_assert_eq!(compiled.matched_rule, interpreted.matched_rule, "ruleset:\n{}", text);
-        prop_assert_eq!(compiled.matched_line, interpreted.matched_line, "ruleset:\n{}", text);
-        prop_assert_eq!(compiled.keep_state, interpreted.keep_state, "ruleset:\n{}", text);
-        prop_assert_eq!(compiled.quick, interpreted.quick, "ruleset:\n{}", text);
-        // The compiled form may skip non-candidate rules but never examines
-        // more than the interpreter.
-        prop_assert!(compiled.rules_evaluated <= interpreted.rules_evaluated);
+    #[test]
+    fn dispatch_heavy_policies_are_three_way_equivalent(
+        text in arb_dispatch_ruleset_text(),
+        flow in arb_flow(),
+        seed in any::<u32>(),
+    ) {
+        let mut rng = proptest::test_runner::TestRng::deterministic(&format!("dispatch-{seed}"));
+        let src = arb_response(flow).generate(&mut rng);
+        let dst = arb_response(flow).generate(&mut rng);
+        assert_three_way(&text, &flow, src.as_ref(), dst.as_ref())?;
     }
 }
